@@ -1,0 +1,174 @@
+//===- bench/ablation_engines.cpp - Experiment E6: design ablations -------===//
+//
+// Part of the APT project. Ablates the starred design decisions of
+// DESIGN.md §5 on a fixed query mix (every provable theorem from E2-E3
+// plus their unprovable twins):
+//
+//  * subset-query engine: subset-construction DFAs vs Brzozowski
+//    derivatives;
+//  * goal memoization on/off (the cache §4.2 presumes);
+//  * language-query caching on/off;
+//  * the intersecting-language prune on/off.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prelude.h"
+#include "core/Prover.h"
+#include "regex/RegexParser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+using namespace apt;
+
+namespace {
+
+struct MixQuery {
+  const char *Structure; ///< "llt" or "sm".
+  const char *P, *Q;
+  bool Provable;
+};
+
+const MixQuery kMix[] = {
+    {"llt", "L.L.N", "L.R.N", true},
+    {"llt", "L.N", "R.N", true},
+    {"llt", "eps", "(L|R|N)+", true},
+    {"llt", "L.L.N.N", "L.R.N", false},
+    {"llt", "(L|R)*.N", "(L|R)*.N.N", false},
+    {"sm", "ncolE+", "nrowE+.ncolE+", true},
+    {"sm", "relem.ncolE*", "nrowH.relem.ncolE*", true},
+    {"sm", "ncolE+", "ncolE+", false},
+};
+
+/// Runs the whole mix once with the given options; returns proved count.
+int runMix(const ProverOptions &Opts, uint64_t *GoalsOut = nullptr) {
+  FieldTable Fields;
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  StructureInfo SM = preludeSparseMatrixFull(Fields);
+  Prover Pr(Fields, Opts);
+  int Proved = 0;
+  for (const MixQuery &Q : kMix) {
+    const AxiomSet &Axioms =
+        Q.Structure[0] == 'l' ? LLT.Axioms : SM.Axioms;
+    bool Ok = Pr.proveDisjoint(Axioms, parseRegex(Q.P, Fields).Value,
+                               parseRegex(Q.Q, Fields).Value);
+    Proved += Ok;
+    if (Ok != Q.Provable)
+      std::fprintf(stderr, "verdict flip: %s vs %s\n", Q.P, Q.Q);
+  }
+  if (GoalsOut)
+    *GoalsOut = Pr.stats().GoalsExplored;
+  return Proved;
+}
+
+void BM_Engine(benchmark::State &State) {
+  ProverOptions Opts;
+  Opts.Engine =
+      State.range(0) ? LangEngine::Derivative : LangEngine::Dfa;
+  int Proved = 0;
+  for (auto _ : State)
+    Proved = runMix(Opts);
+  State.counters["proved"] = Proved;
+  State.SetLabel(Opts.Engine == LangEngine::Dfa ? "DFA engine"
+                                                : "derivative engine");
+}
+BENCHMARK(BM_Engine)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+void BM_GoalCache(benchmark::State &State) {
+  ProverOptions Opts;
+  Opts.EnableGoalCache = State.range(0) != 0;
+  uint64_t Goals = 0;
+  int Proved = 0;
+  for (auto _ : State)
+    Proved = runMix(Opts, &Goals);
+  State.counters["proved"] = Proved;
+  State.counters["goals"] = static_cast<double>(Goals);
+  State.SetLabel(Opts.EnableGoalCache ? "goal cache ON"
+                                      : "goal cache OFF");
+}
+BENCHMARK(BM_GoalCache)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+void BM_IntersectPrune(benchmark::State &State) {
+  ProverOptions Opts;
+  Opts.PruneIntersectingLanguages = State.range(0) != 0;
+  int Proved = 0;
+  for (auto _ : State)
+    Proved = runMix(Opts);
+  State.counters["proved"] = Proved;
+  State.SetLabel(Opts.PruneIntersectingLanguages
+                     ? "intersect prune ON"
+                     : "intersect prune OFF");
+}
+BENCHMARK(BM_IntersectPrune)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DoubleKleeneRule(benchmark::State &State) {
+  // The seven-case rule only matters for the minimal-axiom Theorem T;
+  // measured separately because the nested-only mode cannot prove it.
+  ProverOptions Opts;
+  Opts.PaperStyleDoubleKleene = State.range(0) != 0;
+  FieldTable Fields;
+  StructureInfo SM = preludeSparseMatrixMinimal(Fields);
+  RegexRef P = parseRegex("ncolE+", Fields).Value;
+  RegexRef Q = parseRegex("nrowE+.ncolE+", Fields).Value;
+  bool Ok = false;
+  for (auto _ : State) {
+    Prover Pr(Fields, Opts);
+    Ok = Pr.proveDisjoint(SM.Axioms, P, Q);
+  }
+  State.counters["proved"] = Ok;
+  State.SetLabel(Opts.PaperStyleDoubleKleene
+                     ? "seven-case rule ON (proves Theorem T)"
+                     : "seven-case rule OFF (cannot prove it)");
+}
+BENCHMARK(BM_DoubleKleeneRule)
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void printSummary() {
+  std::printf("\n== E6: design ablations (query mix: %zu queries, "
+              "%d provable) ==\n",
+              sizeof(kMix) / sizeof(kMix[0]),
+              []() {
+                int N = 0;
+                for (const MixQuery &Q : kMix)
+                  N += Q.Provable;
+                return N;
+              }());
+  struct Config {
+    const char *Name;
+    ProverOptions Opts;
+  };
+  ProverOptions Base;
+  ProverOptions NoCacheO;
+  NoCacheO.EnableGoalCache = false;
+  ProverOptions NoPrune;
+  NoPrune.PruneIntersectingLanguages = false;
+  ProverOptions Deriv;
+  Deriv.Engine = LangEngine::Derivative;
+  Config Configs[] = {
+      {"baseline (DFA, caches, prune)", Base},
+      {"derivative engine", Deriv},
+      {"goal cache off", NoCacheO},
+      {"intersect prune off", NoPrune},
+  };
+  for (const Config &C : Configs) {
+    uint64_t Goals = 0;
+    int Proved = runMix(C.Opts, &Goals);
+    std::printf("  %-32s proved %d, %8llu goals explored\n", C.Name,
+                Proved, static_cast<unsigned long long>(Goals));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printSummary();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- bench/ablation_pivoting.cpp - Markowitz pivoting ablation ----------===//
+//
+// Part of the APT project. §5 stresses that "good pivot selection is one
+// of the keys to reducing the number of fillins, and thus considerable
+// effort is spent in selecting the best possible pivot element". This
+// bench quantifies that: Markowitz selection vs. first-acceptable-pivot
+// on resistor grids of growing size -- fill-ins, total element
+// operations, and the knock-on effect on the simulated Figure 7
+// speedups (more fill-in work also shifts the partial/full gap).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/Kernels.h"
+#include "sparse/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace apt;
+
+namespace {
+
+FactorResult factorGrid(unsigned Grid, bool Markowitz,
+                        ExecutionModel *Model = nullptr,
+                        ParallelPolicy Policy = ParallelPolicy::Sequential) {
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      Grid * Grid, resistorGridTriplets(Grid, Grid));
+  KernelOptions Opts;
+  Opts.MarkowitzPivoting = Markowitz;
+  Opts.Model = Model;
+  Opts.Policy = Policy;
+  return factor(M, Opts);
+}
+
+void BM_Pivoting(benchmark::State &State) {
+  unsigned Grid = static_cast<unsigned>(State.range(0));
+  bool Markowitz = State.range(1) != 0;
+  FactorResult F;
+  for (auto _ : State)
+    F = factorGrid(Grid, Markowitz);
+  State.counters["fillins"] = static_cast<double>(F.Fillins);
+  State.counters["ops"] = static_cast<double>(F.totalOps());
+  State.SetLabel(std::string(Markowitz ? "markowitz" : "first-pivot") +
+                 " " + std::to_string(Grid) + "x" + std::to_string(Grid));
+}
+BENCHMARK(BM_Pivoting)
+    ->Args({8, 1})
+    ->Args({8, 0})
+    ->Args({12, 1})
+    ->Args({12, 0})
+    ->Args({16, 1})
+    ->Args({16, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void printTable() {
+  std::printf("\n== Pivoting ablation: Markowitz vs first acceptable "
+              "pivot ==\n");
+  std::printf("%-10s %12s %12s %14s %14s %10s\n", "grid", "fill(M)",
+              "fill(first)", "ops(M)", "ops(first)", "ops ratio");
+  for (unsigned Grid : {8u, 12u, 16u, 20u}) {
+    FactorResult FM = factorGrid(Grid, true);
+    FactorResult FF = factorGrid(Grid, false);
+    std::printf("%2ux%-7u %12zu %12zu %14llu %14llu %9.1fx\n", Grid, Grid,
+                FM.Fillins, FF.Fillins,
+                static_cast<unsigned long long>(FM.totalOps()),
+                static_cast<unsigned long long>(FF.totalOps()),
+                static_cast<double>(FF.totalOps()) /
+                    static_cast<double>(FM.totalOps()));
+  }
+
+  std::printf("\nEffect on simulated 7-PE speedups (16x16 grid):\n");
+  for (bool Markowitz : {true, false}) {
+    for (ParallelPolicy Policy :
+         {ParallelPolicy::Partial, ParallelPolicy::Full}) {
+      PeSimulator Sim(7, /*BarrierCost=*/200);
+      factorGrid(16, Markowitz, &Sim, Policy);
+      std::printf("  %-12s %-8s speedup %4.1f\n",
+                  Markowitz ? "markowitz" : "first-pivot",
+                  parallelPolicyName(Policy),
+                  static_cast<double>(Sim.totalWork()) /
+                      static_cast<double>(Sim.elapsed()));
+    }
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

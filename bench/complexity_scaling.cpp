@@ -1,0 +1,189 @@
+//===- bench/complexity_scaling.cpp - Experiment E5: §4.2 complexity ------===//
+//
+// Part of the APT project. §4.2 argues that although the worst case is
+// exponential, practical proofs are dominated by the RE->DFA conversion
+// and the whole test behaves like O(n^4) time / O(n^2) space in the
+// path-component count n, with n around ten in real code.
+//
+// This harness grows both the provable and the unprovable query families
+// in n and reports prover latency, explored-goal counts, and DFA-state
+// construction totals, letting the polynomial be read off the series.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prelude.h"
+#include "core/Prover.h"
+#include "regex/Dfa.h"
+#include "regex/RegexParser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace apt;
+
+namespace {
+
+/// L^k . N vs L^(k-1) . R . N over the leaf-linked tree: provable at any
+/// depth, with n growing linearly.
+std::pair<std::string, std::string> deepTreeQuery(unsigned K) {
+  std::string P, Q;
+  for (unsigned I = 0; I < K; ++I)
+    P += "L.";
+  P += "N";
+  for (unsigned I = 0; I + 1 < K; ++I)
+    Q += "L.";
+  Q += "R.N";
+  return {P, Q};
+}
+
+/// Iteration paths with k row-hops over the sparse matrix: provable,
+/// exercising the Kleene machinery at growing depth.
+std::pair<std::string, std::string> deepMatrixQuery(unsigned K) {
+  std::string Q = "ncolE+";
+  for (unsigned I = 0; I < K; ++I)
+    Q = "nrowE+." + Q;
+  return {"ncolE+", Q};
+}
+
+void BM_TreePathLength(benchmark::State &State) {
+  FieldTable Fields;
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  auto [PT, QT] = deepTreeQuery(static_cast<unsigned>(State.range(0)));
+  RegexRef P = parseRegex(PT, Fields).Value;
+  RegexRef Q = parseRegex(QT, Fields).Value;
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    Prover Pr(Fields);
+    bool Ok = Pr.proveDisjoint(LLT.Axioms, P, Q);
+    if (!Ok)
+      State.SkipWithError("expected a proof");
+    Goals = Pr.stats().GoalsExplored;
+  }
+  State.counters["components"] = static_cast<double>(State.range(0) + 1);
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+BENCHMARK(BM_TreePathLength)
+    ->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MatrixPathLength(benchmark::State &State) {
+  FieldTable Fields;
+  StructureInfo SM = preludeSparseMatrixMinimal(Fields);
+  auto [PT, QT] = deepMatrixQuery(static_cast<unsigned>(State.range(0)));
+  RegexRef P = parseRegex(PT, Fields).Value;
+  RegexRef Q = parseRegex(QT, Fields).Value;
+  uint64_t Goals = 0;
+  for (auto _ : State) {
+    Prover Pr(Fields);
+    bool Ok = Pr.proveDisjoint(SM.Axioms, P, Q);
+    if (!Ok)
+      State.SkipWithError("expected a proof");
+    Goals = Pr.stats().GoalsExplored;
+  }
+  State.counters["goals"] = static_cast<double>(Goals);
+}
+BENCHMARK(BM_MatrixPathLength)
+    ->DenseRange(1, 5)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The failure path: unprovable queries of growing length (cost of
+/// returning Maybe, which §4.2's cutoffs keep bounded).
+void BM_UnprovableLength(benchmark::State &State) {
+  FieldTable Fields;
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  unsigned K = static_cast<unsigned>(State.range(0));
+  std::string PT, QT = "L";
+  for (unsigned I = 0; I < K; ++I)
+    PT += I ? ".N" : "N";
+  for (unsigned I = 0; I + 1 < K; ++I)
+    QT += ".N";
+  QT += ".N"; // Q = L.N^k: may collide with N^k (both end deep in the
+              // leaf chain), so no proof exists.
+  RegexRef P = parseRegex(PT, Fields).Value;
+  RegexRef Q = parseRegex(QT, Fields).Value;
+  for (auto _ : State) {
+    Prover Pr(Fields);
+    benchmark::DoNotOptimize(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  }
+}
+BENCHMARK(BM_UnprovableLength)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+/// RE -> DFA conversion cost in isolation (the §4.2 bottleneck): the
+/// sparse-matrix "any field" closure with growing alternation width.
+void BM_DfaConstruction(benchmark::State &State) {
+  FieldTable Fields;
+  unsigned Width = static_cast<unsigned>(State.range(0));
+  std::string Text = "(";
+  for (unsigned I = 0; I < Width; ++I) {
+    if (I)
+      Text += "|";
+    Text += "f" + std::to_string(I);
+  }
+  Text += ")+.g.(";
+  for (unsigned I = 0; I < Width; ++I) {
+    if (I)
+      Text += "|";
+    Text += "f" + std::to_string(I);
+  }
+  Text += ")*";
+  RegexRef R = parseRegex(Text, Fields).Value;
+  std::set<FieldId> Syms;
+  R->collectSymbols(Syms);
+  std::vector<FieldId> Alphabet(Syms.begin(), Syms.end());
+  size_t States = 0;
+  for (auto _ : State) {
+    Dfa D = Dfa::fromRegex(*R, Alphabet);
+    States = D.numStates();
+    benchmark::DoNotOptimize(States);
+  }
+  State.counters["dfa_states"] = static_cast<double>(States);
+}
+BENCHMARK(BM_DfaConstruction)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void printSeries() {
+  std::printf("\n== E5: prover scaling in path length (§4.2) ==\n");
+  std::printf("%-26s %10s %12s %12s\n", "query family", "components",
+              "goals", "subset-qs");
+  for (unsigned K = 2; K <= 14; K += 2) {
+    FieldTable Fields;
+    StructureInfo LLT = preludeLeafLinkedTree(Fields);
+    auto [PT, QT] = deepTreeQuery(K);
+    Prover Pr(Fields);
+    bool Ok = Pr.proveDisjoint(LLT.Axioms, parseRegex(PT, Fields).Value,
+                               parseRegex(QT, Fields).Value);
+    std::printf("tree L^%-2u.N vs L^%u.R.N %s %8u %12llu %12llu\n", K,
+                K - 1, Ok ? " " : "!", K + 1,
+                static_cast<unsigned long long>(Pr.stats().GoalsExplored),
+                static_cast<unsigned long long>(
+                    Pr.langQuery().stats().SubsetQueries));
+  }
+  for (unsigned K = 1; K <= 5; ++K) {
+    FieldTable Fields;
+    StructureInfo SM = preludeSparseMatrixMinimal(Fields);
+    auto [PT, QT] = deepMatrixQuery(K);
+    Prover Pr(Fields);
+    bool Ok = Pr.proveDisjoint(SM.Axioms, parseRegex(PT, Fields).Value,
+                               parseRegex(QT, Fields).Value);
+    std::printf("matrix (nrowE+)^%u theorem %s %8u %12llu %12llu\n", K,
+                Ok ? " " : "!", 2 * K + 2,
+                static_cast<unsigned long long>(Pr.stats().GoalsExplored),
+                static_cast<unsigned long long>(
+                    Pr.langQuery().stats().SubsetQueries));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printSeries();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

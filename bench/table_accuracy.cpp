@@ -1,0 +1,212 @@
+//===- bench/table_accuracy.cpp - Experiment E4: accuracy comparison ------===//
+//
+// Part of the APT project. The paper's central qualitative claim
+// (§2.3/§2.4/§5): existing tests are precise only for lists and trees,
+// while APT also breaks false dependences in DAGs (leaf-linked trees,
+// sparse matrices) and handles cyclic structures via equality axioms.
+//
+// This harness runs a fixed query suite over six structures through all
+// four oracles and prints a verdict table; ground truth from concrete
+// heap graphs guards against unsound No answers (any unsoundness aborts
+// the run). The benchmark half measures per-oracle query latency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Oracle.h"
+#include "core/Prelude.h"
+#include "graph/AxiomChecker.h"
+#include "graph/GraphBuilders.h"
+#include "regex/RegexParser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+using namespace apt;
+
+namespace {
+
+/// One accuracy query: two paths over one structure, with the expected
+/// ground truth (true = genuinely disjoint everywhere in the model).
+struct AccuracyQuery {
+  const char *Structure;
+  const char *P, *Q;
+  bool LoopCarried; ///< P = per-iteration access, Q = increment.
+};
+
+const AccuracyQuery kSuite[] = {
+    // Lists: everything should handle straight-line queries; only
+    // relational tests survive the unbounded loop.
+    {"LinkedList", "eps", "next", false},
+    {"LinkedList", "next", "next.next", false},
+    {"LinkedList", "eps", "next", true},
+    // Plain trees: the Larus-style test is precise here.
+    {"BinaryTree", "L.L", "L.R", false},
+    {"BinaryTree", "L.(L|R)*", "R.(L|R)*", false},
+    // Leaf-linked tree: the paper's §3.3 query and its starred variant.
+    {"LLBinaryTree", "L.L.N", "L.R.N", false},
+    {"LLBinaryTree", "L.N", "R.N", false},
+    {"LLBinaryTree", "eps", "(L|R|N)+", false},
+    // Sparse matrix: Theorem T (loop-carried) and the header variant.
+    {"SparseMatrix", "ncolE+", "nrowE", true},
+    {"SparseMatrix", "relem.ncolE*", "nrowH", true},
+    // Cyclic: the ring needs equality axioms; nothing else can help.
+    {"DoublyLinkedRing", "eps", "next", false},
+    {"DoublyLinkedRing", "next", "prev", false},
+    // 2-D range tree.
+    {"RangeTree2D", "L.sub.(yL|yR|yN)*", "R.sub.(yL|yR|yN)*", false},
+    {"RangeTree2D", "L.L", "L.sub.yL", false},
+};
+
+struct Setup {
+  FieldTable Fields;
+  std::map<std::string, StructureInfo> Infos;
+  std::map<std::string, BuiltStructure> Models;
+
+  Setup() {
+    Infos["LinkedList"] = preludeLinkedList(Fields);
+    Infos["BinaryTree"] = preludeBinaryTree(Fields);
+    Infos["LLBinaryTree"] = preludeLeafLinkedTree(Fields);
+    Infos["SparseMatrix"] = preludeSparseMatrixFull(Fields);
+    Infos["DoublyLinkedRing"] = preludeDoublyLinkedRing(Fields);
+    Infos["RangeTree2D"] = preludeRangeTree2D(Fields);
+
+    Models.emplace("LinkedList", buildLinkedList(Fields, 12));
+    Models.emplace("BinaryTree", buildBinaryTree(Fields, 4));
+    Models.emplace("LLBinaryTree", buildLeafLinkedTree(Fields, 2));
+    Models.emplace("SparseMatrix",
+                   buildSparseMatrixGraph(
+                       Fields, {{0, 0}, {0, 2}, {0, 5}, {1, 1}, {1, 2},
+                                {2, 0}, {2, 3}, {3, 3}, {3, 4}, {3, 5},
+                                {4, 1}, {4, 4}, {5, 0}, {5, 5}}));
+    Models.emplace("DoublyLinkedRing", buildDoublyLinkedRing(Fields, 8));
+    Models.emplace("RangeTree2D", buildRangeTree2D(Fields, 2, 2));
+
+    // Every model must satisfy its axioms, or the comparison is void.
+    for (auto &[Name, Info] : Infos) {
+      if (checkAxioms(Models.at(Name).Graph, Info.Axioms, Fields)) {
+        std::fprintf(stderr, "model %s violates its axioms\n",
+                     Name.c_str());
+        std::abort();
+      }
+    }
+  }
+
+  RegexRef parse(const char *Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    if (!R) {
+      std::fprintf(stderr, "bad regex %s: %s\n", Text, R.Error.c_str());
+      std::abort();
+    }
+    return R.Value;
+  }
+
+  DepVerdict ask(DependenceOracle &O, const AccuracyQuery &Q) {
+    const StructureInfo &Info = Infos.at(Q.Structure);
+    if (auto *KL = dynamic_cast<KLimitedOracle *>(&O))
+      KL->setModel(&Models.at(Q.Structure).Graph,
+                   Models.at(Q.Structure).Root);
+    if (Q.LoopCarried)
+      return O.mayAliasLoopCarried(Info, parse(Q.P), parse(Q.Q));
+    return O.mayAlias(Info, parse(Q.P), parse(Q.Q));
+  }
+
+  /// Validates a No verdict against the concrete model (universal
+  /// oracles from every node; the handle-anchored k-limited from the
+  /// root only).
+  void checkSound(DependenceOracle &O, const AccuracyQuery &Q,
+                  DepVerdict V) {
+    if (V != DepVerdict::No || Q.LoopCarried)
+      return;
+    const BuiltStructure &B = Models.at(Q.Structure);
+    bool HandleAnchored = dynamic_cast<KLimitedOracle *>(&O) != nullptr;
+    RegexRef P = parse(Q.P), QQ = parse(Q.Q);
+    for (HeapGraph::NodeId Node = 0; Node < B.Graph.numNodes(); ++Node) {
+      if (HandleAnchored && Node != B.Root)
+        continue;
+      if (B.Graph.pathsOverlap(Node, P, QQ)) {
+        std::fprintf(stderr, "UNSOUND: %s said No on %s: %s vs %s\n",
+                     O.name().c_str(), Q.Structure, Q.P, Q.Q);
+        std::abort();
+      }
+    }
+  }
+};
+
+void printTable() {
+  Setup S;
+  TypeBasedOracle TB;
+  KLimitedOracle KL(2);
+  LarusOracle LA;
+  AptOracle APT(S.Fields);
+  DependenceOracle *Oracles[] = {&TB, &KL, &LA, &APT};
+
+  std::printf("\n== E4: dependence-test accuracy comparison ==\n");
+  std::printf("Verdict per oracle (No = independence proven; unsound No "
+              "answers abort the run):\n\n");
+  std::printf("%-17s %-34s %-11s %-13s %-18s %-5s\n", "structure",
+              "query", "type-based", "k-limited(2)", "path-intersection",
+              "APT");
+  int Wins[4] = {0, 0, 0, 0};
+  for (const AccuracyQuery &Q : kSuite) {
+    std::string QueryText = std::string(Q.P) + " vs " +
+                            (Q.LoopCarried ? std::string("carried(") +
+                                                 Q.Q + ")"
+                                           : std::string(Q.Q));
+    std::printf("%-17s %-34s", Q.Structure, QueryText.c_str());
+    int Idx = 0;
+    for (DependenceOracle *O : Oracles) {
+      DepVerdict V = S.ask(*O, Q);
+      S.checkSound(*O, Q, V);
+      if (V == DepVerdict::No)
+        ++Wins[Idx];
+      std::printf(" %-*s", Idx == 0   ? 11
+                           : Idx == 1 ? 13
+                           : Idx == 2 ? 18
+                                      : 5,
+                  depVerdictName(V));
+      ++Idx;
+    }
+    std::printf("\n");
+  }
+  size_t Total = sizeof(kSuite) / sizeof(kSuite[0]);
+  std::printf("\nIndependences proven (of %zu queries): type-based %d, "
+              "k-limited %d, path-intersection %d, APT %d\n\n",
+              Total, Wins[0], Wins[1], Wins[2], Wins[3]);
+}
+
+void BM_OracleSuite(benchmark::State &State) {
+  Setup S;
+  std::unique_ptr<DependenceOracle> O;
+  switch (State.range(0)) {
+  case 0:
+    O = std::make_unique<TypeBasedOracle>();
+    break;
+  case 1:
+    O = std::make_unique<KLimitedOracle>(2);
+    break;
+  case 2:
+    O = std::make_unique<LarusOracle>();
+    break;
+  default:
+    O = std::make_unique<AptOracle>(S.Fields);
+    break;
+  }
+  for (auto _ : State)
+    for (const AccuracyQuery &Q : kSuite)
+      benchmark::DoNotOptimize(S.ask(*O, Q));
+  State.SetLabel(O->name());
+}
+BENCHMARK(BM_OracleSuite)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,159 @@
+//===- examples/compiler_pass.cpp - A loop-parallelization pass -----------===//
+//
+// Part of the APT project; shows the intended compiler integration: a
+// pass that parses a program in the mini pointer language, runs the
+// access-path analysis, and classifies every loop as parallelizable or
+// not using APT -- including the partial/full analysis split of §3.4
+// when structural modifications are present.
+//
+// Usage:   ./build/examples/compiler_pass [file]
+// Without a file, a built-in list/tree workload program is analyzed.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepQueries.h"
+#include "ir/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace apt;
+
+static const char *kDefaultProgram = R"(
+// A program over two dynamic structures: an acyclic work list and a
+// leaf-linked tree. Which of its loops may the compiler parallelize?
+type WorkList {
+  link: WorkList;
+  owner: WorkList;
+  f: int;
+  axiom forall p <> q: p.link <> q.link;
+  axiom forall p: p.link+ <> p.eps;
+}
+type LLTree {
+  L: LLTree;  R: LLTree;  N: LLTree;  d: int;
+  axiom forall p: p.L <> p.R;
+  axiom forall p <> q: p.(L|R) <> q.(L|R);
+  axiom forall p <> q: p.N <> q.N;
+  axiom forall p: p.(L|R|N)+ <> p.eps;
+}
+
+// The Figure 1 loop: updates every list cell. Parallelizable.
+fn update_list(head: WorkList) {
+  q = head;
+  while q {
+    U: q.f = fun();
+    q = q.link;
+  }
+}
+
+// Walks the leaf chain of the tree, writing each leaf. Parallelizable,
+// but only because axiom A3 orders the N edges (k-limited and
+// path-intersection tests cannot prove it).
+fn update_leaves(t: LLTree) {
+  leaf = t.L;
+  leaf = leaf.N;
+  while leaf {
+    S: leaf.d = fun();
+    leaf = leaf.N;
+  }
+}
+
+// A genuinely sequential loop: every iteration writes the list head.
+fn accumulate(head: WorkList) {
+  q = head;
+  while q {
+    A: head.f = fun();
+    q = q.link;
+  }
+}
+
+// A loop with a structural modification: inserts a node after every
+// cell. The simplistic analysis must refuse to parallelize it.
+fn expand(head: WorkList) {
+  q = head;
+  while q {
+    n = new WorkList;
+    W: n.link = q;
+    B: q.f = fun();
+    q = q.link;
+  }
+}
+
+// Writes a cross pointer in every cell: a structural write, but each
+// iteration touches a different cell (Theorem-T-style). The simplistic
+// analysis gives up at the modification; the invariant-preserving one
+// proves the loop parallel -- the paper's partial/full split (§3.4).
+fn link_back(head: WorkList) {
+  q = head;
+  while q {
+    M: q.owner = head;
+    B2: q.f = fun();
+    q = q.link;
+  }
+}
+)";
+
+static void analyzeAll(const Program &Prog, FieldTable &Fields,
+                       AnalyzerOptions Opts, const char *Mode) {
+  std::printf("--- analysis mode: %s ---\n", Mode);
+  for (const Function &F : Prog.Functions) {
+    DepQueryEngine Engine(Prog, F, Fields, Opts);
+    Prover P(Fields);
+    std::vector<int> Loops = Engine.loopIds();
+    if (Loops.empty()) {
+      std::printf("fn %-16s: no loops\n", F.Name.c_str());
+      continue;
+    }
+    for (int LoopId : Loops) {
+      LoopParallelism LP = Engine.analyzeLoopParallelism(LoopId, P);
+      std::printf("fn %-16s loop#%-3d: %s", F.Name.c_str(), LoopId,
+                  LP.Parallelizable ? "PARALLELIZABLE" : "sequential");
+      if (!LP.Parallelizable && !LP.BlockingPairs.empty()) {
+        std::printf("  (blocked by");
+        for (const auto &[A, B] : LP.BlockingPairs)
+          std::printf(" %s->%s", A.c_str(), B.c_str());
+        std::printf(")");
+      } else if (!LP.Parallelizable) {
+        std::printf("  (unanalyzable reference in body)");
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n");
+}
+
+int main(int Argc, char **Argv) {
+  std::string Source = kDefaultProgram;
+  if (Argc > 1) {
+    std::ifstream In(Argv[1]);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+      return EXIT_FAILURE;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
+  }
+
+  FieldTable Fields;
+  ProgramParseResult Parsed = parseProgram(Source, Fields);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
+    return EXIT_FAILURE;
+  }
+
+  std::printf("== APT loop-parallelization pass ==\n\n");
+
+  // The simplistic analysis drops everything at structural writes
+  // (paper: "partially parallel"); the invariant-preserving analysis
+  // models the sophisticated one ("fully parallel").
+  AnalyzerOptions Simple;
+  analyzeAll(Parsed.Value, Fields, Simple, "simplistic (partial)");
+  AnalyzerOptions Invariant;
+  Invariant.InvariantPreservingWrites = true;
+  analyzeAll(Parsed.Value, Fields, Invariant,
+             "invariant-preserving (full)");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,130 @@
+//===- examples/nbody_octree.cpp - Octrees and N-body loops ---------------===//
+//
+// Part of the APT project. The paper's introduction motivates APT with
+// "octrees ... in computational geometry and N-body simulations"
+// (Barnes-Hut). This example declares an octree whose leaves own body
+// lists -- using the shape-declaration sugar instead of hand-written
+// axioms -- and lets the compiler pass prove the Barnes-Hut update loops
+// parallelizable.
+//
+// Build and run:   ./build/examples/nbody_octree
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepQueries.h"
+#include "core/Prover.h"
+#include "ir/Parser.h"
+#include "regex/RegexParser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace apt;
+
+static const char *kProgram = R"(
+// An octree: eight child pointers per cell, plus a body list per cell.
+// Shape declarations generate the aliasing axioms.
+type Cell {
+  c0: Cell;  c1: Cell;  c2: Cell;  c3: Cell;
+  c4: Cell;  c5: Cell;  c6: Cell;  c7: Cell;
+  bodies: Body;
+  mass: int;
+  shape tree(c0, c1, c2, c3, c4, c5, c6, c7);
+  shape disjoint(bodies | bnext);
+}
+type Body {
+  bnext: Body;
+  force: int;
+  pos: int;
+  shape list(bnext);
+}
+
+// Barnes-Hut force phase: every body of every traversed cell gets a new
+// force. The outer loop threads a cell worklist via c0 (a degenerate
+// traversal standing in for the real tree walk); the inner loop walks a
+// cell's body list.
+fn compute_forces(root: Cell) {
+  cell = root;
+  while cell {
+    b = cell.bodies;
+    while b {
+      F: b.force = fun();
+      b = b.bnext;
+    }
+    cell = cell.c0;
+  }
+}
+
+// Position integration: a flat pass over one body list.
+fn integrate(bs: Body) {
+  b = bs;
+  while b {
+    P: b.pos = fun();
+    b = b.bnext;
+  }
+}
+
+// Center-of-mass accumulation INTO THE ROOT: genuinely sequential.
+fn accumulate_mass(root: Cell) {
+  cell = root.c0;
+  while cell {
+    M: root.mass = fun();
+    cell = cell.c0;
+  }
+}
+)";
+
+int main() {
+  FieldTable Fields;
+  ProgramParseResult Parsed = parseProgram(kProgram, Fields);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
+    return EXIT_FAILURE;
+  }
+  const Program &Prog = Parsed.Value;
+
+  std::printf("== N-body octree: shape declarations ==\n\n");
+  const TypeDecl &Cell = *Prog.type("Cell");
+  std::printf("`shape tree(c0..c7)` and `shape disjoint(bodies; bnext)` "
+              "expanded to %zu axioms:\n%s\n",
+              Cell.Axioms.size(), Cell.Axioms.toString(Fields).c_str());
+
+  std::printf("== Loop classification ==\n");
+  bool AllExpected = true;
+  for (const Function &F : Prog.Functions) {
+    DepQueryEngine Engine(Prog, F, Fields);
+    Prover P(Fields);
+    for (int LoopId : Engine.loopIds()) {
+      LoopParallelism LP = Engine.analyzeLoopParallelism(LoopId, P);
+      std::printf("fn %-16s loop#%-3d %s\n", F.Name.c_str(), LoopId,
+                  LP.Parallelizable ? "PARALLELIZABLE" : "sequential");
+      bool Expected =
+          F.Name == "accumulate_mass" ? !LP.Parallelizable
+                                      : LP.Parallelizable;
+      AllExpected &= Expected;
+    }
+  }
+  if (!AllExpected) {
+    std::fprintf(stderr, "unexpected classification!\n");
+    return EXIT_FAILURE;
+  }
+
+  // The key cross-cell fact: bodies of different cells never alias, so
+  // the force phase may process whole cells concurrently.
+  std::printf("\n== Cross-cell independence ==\n");
+  Prover P(Fields);
+  RegexRef A =
+      parseRegex("c0.bodies.bnext*", Fields).Value;
+  RegexRef B =
+      parseRegex("c1.bodies.bnext*", Fields).Value;
+  if (!P.proveDisjoint(Cell.Axioms, A, B)) {
+    std::fprintf(stderr, "expected a proof!\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("Proved: forall x: x.c0.bodies.bnext* <> "
+              "x.c1.bodies.bnext*\n%s\n",
+              P.proofText().c_str());
+  std::printf("Cells can be distributed over processors; each owns its "
+              "bodies exclusively.\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,91 @@
+//===- examples/quickstart.cpp - The §3.3 worked example, end to end ------===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+// This example walks the exact scenario of paper §3.3: a leaf-linked
+// binary tree (Figure 3), the `subr` code fragment, the access path
+// matrices the analysis computes at statements S and T, and the
+// automatically derived proof that T does not depend on S.
+//
+// Build and run:   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepQueries.h"
+#include "ir/Parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace apt;
+
+static const char *kProgram = R"(
+// Figure 3: a leaf-linked binary tree. The axioms are part of the type.
+type LLBinaryTree {
+  L: LLBinaryTree;
+  R: LLBinaryTree;
+  N: LLBinaryTree;
+  d: int;
+  axiom A1: forall p: p.L <> p.R;
+  axiom A2: forall p <> q: p.(L|R) <> q.(L|R);
+  axiom A3: forall p <> q: p.N <> q.N;
+  axiom A4: forall p: p.(L|R|N)+ <> p.eps;
+}
+
+// Section 3.3's subr: is statement T dependent on statement S?
+fn subr(root: LLBinaryTree) {
+  root = root.L;
+  p = root.L;
+  p = p.N;
+  S: p.d = 100;
+  p = root;
+  q = root.R;
+  q = q.N;
+  T: x = q.d;
+}
+)";
+
+int main() {
+  FieldTable Fields;
+
+  std::printf("== APT quickstart: the paper's section 3.3 example ==\n\n");
+  std::printf("%s\n", kProgram);
+
+  ProgramParseResult Parsed = parseProgram(kProgram, Fields);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s\n", Parsed.Error.c_str());
+    return EXIT_FAILURE;
+  }
+  const Program &Prog = Parsed.Value;
+  const Function &Subr = *Prog.function("subr");
+
+  // Run the access-path analysis and show the APMs the paper shows.
+  AnalysisResult Analysis = analyzeFunction(Prog, Subr, Fields);
+  const Stmt *S = findLabeled(Subr.Body, "S");
+  const Stmt *T = findLabeled(Subr.Body, "T");
+
+  std::printf("Access path matrix before S (compare paper, first APM):\n%s\n",
+              Analysis.Before.at(S->Id).toString(Fields).c_str());
+  std::printf("Access path matrix before T (compare paper, third APM):\n%s\n",
+              Analysis.Before.at(T->Id).toString(Fields).c_str());
+
+  // Ask the dependence question the paper asks.
+  DepQueryEngine Engine(Prog, Subr, Fields);
+  Prover P(Fields);
+  DepTestResult R = Engine.testStatementPair("S", "T", P);
+
+  std::printf("deptest(S, T) = %s  (%s)\n\n", depVerdictName(R.Verdict),
+              R.Reason.c_str());
+  if (!R.ProofText.empty())
+    std::printf("Derived proof (compare the paper's paraphrased proof):\n%s\n",
+                R.ProofText.c_str());
+
+  if (R.Verdict != DepVerdict::No) {
+    std::fprintf(stderr, "unexpected verdict!\n");
+    return EXIT_FAILURE;
+  }
+  std::printf("No dependence: the compiler may reorder or overlap S and T.\n");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,134 @@
+//===- analysis/Apm.cpp ---------------------------------------------------===//
+//
+// Part of the APT project; see Apm.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Apm.h"
+
+#include <algorithm>
+
+using namespace apt;
+
+void Apm::set(const std::string &Handle, const std::string &Var,
+              RegexRef Path) {
+  Entries[Handle][Var] = std::move(Path);
+}
+
+std::optional<RegexRef> Apm::path(const std::string &Handle,
+                                  const std::string &Var) const {
+  auto HIt = Entries.find(Handle);
+  if (HIt == Entries.end())
+    return std::nullopt;
+  auto VIt = HIt->second.find(Var);
+  if (VIt == HIt->second.end())
+    return std::nullopt;
+  return VIt->second;
+}
+
+std::vector<std::pair<std::string, RegexRef>>
+Apm::pathsOf(const std::string &Var) const {
+  std::vector<std::pair<std::string, RegexRef>> Out;
+  for (const auto &[Handle, Vars] : Entries) {
+    auto It = Vars.find(Var);
+    if (It != Vars.end())
+      Out.emplace_back(Handle, It->second);
+  }
+  return Out;
+}
+
+void Apm::killVar(const std::string &Var) {
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    It->second.erase(Var);
+    if (It->second.empty())
+      It = Entries.erase(It); // Handle anchors nothing: destroy it.
+    else
+      ++It;
+  }
+}
+
+void Apm::copyVar(const std::string &Dst, const std::string &Src) {
+  if (Dst == Src)
+    return;
+  killVar(Dst);
+  for (auto &[Handle, Vars] : Entries) {
+    auto It = Vars.find(Src);
+    if (It != Vars.end())
+      Vars[Dst] = It->second;
+  }
+}
+
+void Apm::extendVar(const std::string &Var, const RegexRef &Suffix) {
+  for (auto &[Handle, Vars] : Entries) {
+    auto It = Vars.find(Var);
+    if (It != Vars.end())
+      It->second = Regex::concat(It->second, Suffix);
+  }
+}
+
+Apm Apm::join(const Apm &A, const Apm &B) {
+  Apm Out;
+  for (const auto &[Handle, Vars] : A.Entries) {
+    auto HIt = B.Entries.find(Handle);
+    if (HIt == B.Entries.end())
+      continue;
+    for (const auto &[Var, Path] : Vars) {
+      auto VIt = HIt->second.find(Var);
+      if (VIt == HIt->second.end())
+        continue;
+      Out.set(Handle, Var, Regex::alt(Path, VIt->second));
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> Apm::handles() const {
+  std::vector<std::string> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Handle, Vars] : Entries)
+    Out.push_back(Handle);
+  return Out;
+}
+
+std::string Apm::toString(const FieldTable &Fields) const {
+  // Collect the variable columns.
+  std::vector<std::string> Vars;
+  for (const auto &[Handle, VarMap] : Entries)
+    for (const auto &[Var, Path] : VarMap)
+      if (std::find(Vars.begin(), Vars.end(), Var) == Vars.end())
+        Vars.push_back(Var);
+  std::sort(Vars.begin(), Vars.end());
+
+  // Render all cells, then pad columns.
+  std::vector<std::vector<std::string>> Rows;
+  Rows.push_back({std::string("APM")});
+  for (const std::string &V : Vars)
+    Rows.front().push_back(V);
+  for (const auto &[Handle, VarMap] : Entries) {
+    std::vector<std::string> Row{Handle};
+    for (const std::string &V : Vars) {
+      auto It = VarMap.find(V);
+      Row.push_back(It == VarMap.end() ? ""
+                    : It->second->isEpsilon()
+                        ? "eps"
+                        : It->second->toString(Fields));
+    }
+    Rows.push_back(std::move(Row));
+  }
+
+  std::vector<size_t> Widths(Vars.size() + 1, 0);
+  for (const std::vector<std::string> &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  std::string Out;
+  for (const std::vector<std::string> &Row : Rows) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Out += "| ";
+      Out += Row[I];
+      Out += std::string(Widths[I] - Row[I].size() + 1, ' ');
+    }
+    Out += "|\n";
+  }
+  return Out;
+}

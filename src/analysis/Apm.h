@@ -1,0 +1,81 @@
+//===- analysis/Apm.h - Access path matrices (paper §3.3) -------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The access path matrix (APM): at each program point, a table mapping
+/// (handle, pointer variable) to the set of paths the program may have
+/// traversed from the handle's vertex to the variable's target, expressed
+/// as a regular expression. Handles name fixed vertices; a fresh handle
+/// `_hp` is created whenever p is assigned (except self-relative
+/// assignments such as `p = p.f`, the induction-variable case), and
+/// handles anchoring no path are garbage-collected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_APM_H
+#define APT_ANALYSIS_APM_H
+
+#include "regex/Regex.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// One access path matrix.
+class Apm {
+public:
+  /// Sets the path for (handle, var), replacing any existing entry.
+  void set(const std::string &Handle, const std::string &Var, RegexRef Path);
+
+  /// The path for (handle, var), or std::nullopt when absent.
+  std::optional<RegexRef> path(const std::string &Handle,
+                               const std::string &Var) const;
+
+  /// All (handle, path) pairs for \p Var, sorted by handle name.
+  std::vector<std::pair<std::string, RegexRef>>
+  pathsOf(const std::string &Var) const;
+
+  /// Removes every entry of \p Var (it was reassigned or nulled);
+  /// garbage-collects handles left without entries.
+  void killVar(const std::string &Var);
+
+  /// Copies \p Src's column to \p Dst (same handles, same paths).
+  void copyVar(const std::string &Dst, const std::string &Src);
+
+  /// Appends \p Suffix to every path of \p Var (self-relative update).
+  void extendVar(const std::string &Var, const RegexRef &Suffix);
+
+  /// Join at a control-flow merge: entries present on both sides are
+  /// joined by alternation; one-sided entries are dropped (their value on
+  /// the other path is unknown).
+  static Apm join(const Apm &A, const Apm &B);
+
+  /// Handle names currently present, sorted.
+  std::vector<std::string> handles() const;
+
+  bool empty() const { return Entries.empty(); }
+
+  /// Renders the matrix as an aligned table (like the paper's figures).
+  std::string toString(const FieldTable &Fields) const;
+
+  const std::map<std::string, std::map<std::string, RegexRef>> &
+  entries() const {
+    return Entries;
+  }
+
+private:
+  /// Handle name -> (variable -> path).
+  std::map<std::string, std::map<std::string, RegexRef>> Entries;
+};
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_APM_H

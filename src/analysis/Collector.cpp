@@ -1,0 +1,448 @@
+//===- analysis/Collector.cpp ---------------------------------------------===//
+//
+// Part of the APT project; see Collector.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Collector.h"
+
+#include "core/AccessPath.h"
+#include "support/Strings.h"
+
+#include <cassert>
+
+using namespace apt;
+
+namespace {
+
+/// Forward flow analysis over a function body. Blocks are walked up to
+/// three times per loop: a symbolic pass (induction detection), the real
+/// pass (APMs + refs), and an iteration-probe pass (loop-carried refs).
+class Analyzer {
+public:
+  Analyzer(const Program &Prog, FieldTable &Fields,
+           const AnalyzerOptions &Opts)
+      : Prog(Prog), Fields(Fields), Opts(Opts) {}
+
+  AnalysisResult run(const Function &F) {
+    for (const auto &[Name, Type] : F.Params) {
+      VarTypes[Name] = Type;
+      State.set(freshHandle(Name), Name, Regex::epsilon());
+    }
+    Mode = PassMode::Real;
+    transferBlock(F.Body);
+    Result.NumEpochs = Epoch + 1;
+    return std::move(Result);
+  }
+
+private:
+  enum class PassMode { Real, Symbolic, IterProbe };
+
+  const Program &Prog;
+  FieldTable &Fields;
+  AnalyzerOptions Opts;
+  AnalysisResult Result;
+  Apm State;
+  std::map<std::string, std::string> VarTypes;
+  std::map<std::string, int> HandleCount;
+  int Epoch = 0;
+  PassMode Mode = PassMode::Real;
+  LoopSummary *ProbeSummary = nullptr; ///< Target of IterProbe recording.
+
+  bool isPointerVar(const std::string &V) const {
+    auto It = VarTypes.find(V);
+    return It != VarTypes.end() && !It->second.empty();
+  }
+
+  std::string freshHandle(const std::string &Var) {
+    int &C = HandleCount[Var];
+    ++C;
+    return "_h" + Var + (C > 1 ? std::to_string(C) : "");
+  }
+
+  const FieldDecl *fieldDecl(const std::string &Var,
+                             const std::string &FieldName) const {
+    auto It = VarTypes.find(Var);
+    if (It == VarTypes.end() || It->second.empty())
+      return nullptr;
+    const TypeDecl *T = Prog.type(It->second);
+    return T ? T->field(FieldName) : nullptr;
+  }
+
+  void transferBlock(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body)
+      transferStmt(*S);
+  }
+
+  void transferStmt(const Stmt &S) {
+    if (Mode == PassMode::Real)
+      Result.Before[S.Id] = State;
+
+    switch (S.Kind) {
+    case StmtKind::PtrAssign:
+      transferPtrAssign(S);
+      return;
+    case StmtKind::DataRead:
+      recordRef(S, S.Base, S.FieldName, /*IsWrite=*/false);
+      return;
+    case StmtKind::DataWrite:
+      recordRef(S, S.Base, S.FieldName, /*IsWrite=*/true);
+      return;
+    case StmtKind::StructWrite:
+      recordRef(S, S.Base, S.FieldName, /*IsWrite=*/true);
+      if (Mode == PassMode::Real)
+        Result.StructWriteIds.push_back(S.Id);
+      ++Epoch;
+      // §3.4: a structural modification may invalidate collected paths.
+      // The simplistic analysis re-anchors every pointer variable at a
+      // fresh handle, deliberately losing all relational information --
+      // "access paths for structurally read-only portions of the code"
+      // only. The invariant-preserving mode keeps the paths, modeling
+      // the paper's sophisticated analysis.
+      if (!Opts.InvariantPreservingWrites)
+        reanchorAllPointers();
+      return;
+    case StmtKind::Call:
+      // An opaque callee may modify anything reachable from its pointer
+      // arguments; treat it like a structural modification unless the
+      // analysis assumes invariant-preserving mutators.
+      if (Mode == PassMode::Real)
+        Result.StructWriteIds.push_back(S.Id);
+      ++Epoch;
+      if (!Opts.InvariantPreservingWrites)
+        reanchorAllPointers();
+      return;
+    case StmtKind::While:
+      transferLoop(S);
+      return;
+    case StmtKind::If: {
+      Apm Saved = State;
+      transferBlock(S.Body);
+      Apm ThenState = std::move(State);
+      State = std::move(Saved);
+      transferBlock(S.Else);
+      State = Apm::join(ThenState, State);
+      return;
+    }
+    }
+    assert(false && "unknown statement kind");
+  }
+
+  void transferPtrAssign(const Stmt &S) {
+    const std::string &Dst = S.Dst;
+    switch (S.Rhs) {
+    case PtrRhsKind::Var: {
+      if (Dst == S.RhsVar)
+        return;
+      VarTypes[Dst] = VarTypes.count(S.RhsVar) ? VarTypes[S.RhsVar] : "";
+      if (!isPointerVar(Dst))
+        return;
+      std::vector<std::pair<std::string, RegexRef>> Parents =
+          State.pathsOf(S.RhsVar);
+      State.copyVar(Dst, S.RhsVar);
+      std::string H = freshHandle(Dst);
+      State.set(H, Dst, Regex::epsilon());
+      if (Mode == PassMode::Real)
+        Result.HandleParents[H] = std::move(Parents);
+      return;
+    }
+    case PtrRhsKind::VarField: {
+      // p = q.f reads the pointer field q->f.
+      recordRef(S, S.RhsVar, S.RhsField, /*IsWrite=*/false);
+      const FieldDecl *FD = fieldDecl(S.RhsVar, S.RhsField);
+      assert(FD && FD->isPointer() && "parser guarantees a pointer field");
+      RegexRef Step = Regex::symbol(FD->Id);
+      if (Dst == S.RhsVar) {
+        // Self-relative: extend in place, keep the handles (the
+        // induction-variable case of §3.3).
+        State.extendVar(Dst, Step);
+        return;
+      }
+      VarTypes[Dst] = FD->PointeeType;
+      State.killVar(Dst);
+      std::vector<std::pair<std::string, RegexRef>> Parents;
+      for (const auto &[Handle, Path] : State.pathsOf(S.RhsVar)) {
+        RegexRef Extended = Regex::concat(Path, Step);
+        State.set(Handle, Dst, Extended);
+        Parents.emplace_back(Handle, Extended);
+      }
+      std::string H = freshHandle(Dst);
+      State.set(H, Dst, Regex::epsilon());
+      if (Mode == PassMode::Real)
+        Result.HandleParents[H] = std::move(Parents);
+      return;
+    }
+    case PtrRhsKind::New:
+      VarTypes[Dst] = S.RhsType;
+      State.killVar(Dst);
+      // Fresh memory: reachable from no existing handle.
+      State.set(freshHandle(Dst), Dst, Regex::epsilon());
+      return;
+    case PtrRhsKind::Null:
+      if (isPointerVar(Dst))
+        State.killVar(Dst);
+      return;
+    }
+    assert(false && "unknown rhs kind");
+  }
+
+  void reanchorAllPointers() {
+    for (const auto &[Var, Type] : VarTypes) {
+      if (Type.empty())
+        continue;
+      State.killVar(Var);
+      State.set(freshHandle(Var), Var, Regex::epsilon());
+    }
+  }
+
+  void recordRef(const Stmt &S, const std::string &Base,
+                 const std::string &FieldName, bool IsWrite) {
+    if (S.Label.empty())
+      return;
+    const FieldDecl *FD = fieldDecl(Base, FieldName);
+    assert(FD && "parser guarantees the field exists");
+
+    if (Mode == PassMode::IterProbe && ProbeSummary) {
+      // Record the path re-anchored at an induction variable's
+      // start-of-iteration value, if one anchors this reference.
+      for (const auto &[Handle, Path] : State.pathsOf(Base)) {
+        if (Handle.rfind("@iter:", 0) != 0)
+          continue;
+        ProbeSummary->IterRefs[S.Label] = {Handle.substr(6), Path};
+        break;
+      }
+      return;
+    }
+    if (Mode != PassMode::Real)
+      return;
+
+    CollectedRef R;
+    R.StmtId = S.Id;
+    R.Label = S.Label;
+    R.TypeName = VarTypes[Base];
+    R.Field = FD->Id;
+    R.IsWrite = IsWrite;
+    R.Epoch = Epoch;
+    for (const auto &[Handle, Path] : State.pathsOf(Base))
+      R.Paths[Handle] = Path;
+    Result.Refs[S.Label] = std::move(R);
+  }
+
+  void transferLoop(const Stmt &S) {
+    // Pass 1 (symbolic): detect the body's net effect on each pointer
+    // variable. Every variable starts as `v -> eps` from pseudo-handle
+    // @v; afterwards, a sole entry (@v, w) means `v := v.w` per
+    // iteration (an induction variable), (@v, eps) means untouched, and
+    // anything else means clobbered.
+    LoopSummary Sum;
+    Sum.StmtId = S.Id;
+    std::vector<std::string> Clobbered;
+    {
+      Apm SavedState = State;
+      PassMode SavedMode = Mode;
+      int SavedEpoch = Epoch;
+      auto SavedTypes = VarTypes;
+      State = Apm();
+      for (const auto &[Var, Type] : VarTypes)
+        if (!Type.empty())
+          State.set("@" + Var, Var, Regex::epsilon());
+      Mode = PassMode::Symbolic;
+      transferBlock(S.Body);
+      Sum.HasStructWrite = Epoch != SavedEpoch;
+
+      for (const auto &[Var, Type] : SavedTypes) {
+        if (Type.empty())
+          continue;
+        std::vector<std::pair<std::string, RegexRef>> Paths =
+            State.pathsOf(Var);
+        if (Paths.size() == 1 && Paths.front().first == "@" + Var) {
+          if (Paths.front().second->isEpsilon())
+            Sum.Invariant.insert(Var); // Same vertex every iteration.
+          else
+            Sum.Induction[Var] = Paths.front().second;
+        } else {
+          Clobbered.push_back(Var);
+        }
+      }
+      State = std::move(SavedState);
+      Mode = SavedMode;
+      Epoch = SavedEpoch;
+      VarTypes = std::move(SavedTypes);
+    }
+
+    // Pass 2: summarize onto the current state. At the head of any
+    // iteration, an induction variable has advanced by (w)*; clobbered
+    // variables are iteration-local and get fresh (per-iteration)
+    // handles.
+    for (const auto &[Var, Inc] : Sum.Induction)
+      State.extendVar(Var, Regex::star(Inc));
+    for (const std::string &Var : Clobbered) {
+      State.killVar(Var);
+      State.set(freshHandle(Var), Var, Regex::epsilon());
+    }
+
+    // Pass 3 (real): walk the body once from the summarized head state,
+    // recording APMs and refs. The post-loop state is the head state
+    // itself (it covers "after any number of iterations", including
+    // zero).
+    Apm HeadState = State;
+    int EpochAtHead = Epoch;
+    transferBlock(S.Body);
+    State = std::move(HeadState);
+    // Structural writes in the body advanced the epoch; keep the
+    // advanced value so later refs are in a later epoch, but restore the
+    // head APM (conservatively re-anchored if the body modified).
+    if (Epoch != EpochAtHead && Mode == PassMode::Real &&
+        !Opts.InvariantPreservingWrites)
+      reanchorAllPointers();
+
+    // Pass 4 (iteration probe): collect per-iteration access paths
+    // anchored at the induction and invariant variables for loop-carried
+    // queries.
+    if (Mode == PassMode::Real &&
+        (!Sum.Induction.empty() || !Sum.Invariant.empty())) {
+      Apm SavedState = std::move(State);
+      PassMode SavedMode = Mode;
+      int SavedEpoch = Epoch;
+      auto SavedTypes = VarTypes;
+      LoopSummary *SavedProbe = ProbeSummary;
+
+      State = Apm();
+      for (const auto &[Var, Inc] : Sum.Induction)
+        State.set("@iter:" + Var, Var, Regex::epsilon());
+      for (const std::string &Var : Sum.Invariant)
+        State.set("@iter:" + Var, Var, Regex::epsilon());
+      Mode = PassMode::IterProbe;
+      ProbeSummary = &Sum;
+      transferBlock(S.Body);
+
+      State = std::move(SavedState);
+      Mode = SavedMode;
+      Epoch = SavedEpoch;
+      VarTypes = std::move(SavedTypes);
+      ProbeSummary = SavedProbe;
+    }
+
+    if (Mode == PassMode::Real)
+      Result.Loops[S.Id] = std::move(Sum);
+  }
+};
+
+} // namespace
+
+AnalysisResult apt::analyzeFunction(const Program &Prog, const Function &F,
+                                    FieldTable &Fields,
+                                    const AnalyzerOptions &Opts) {
+  return Analyzer(Prog, Fields, Opts).run(F);
+}
+
+//===----------------------------------------------------------------------===//
+// dumpAnalysis
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One-line rendering of a statement for the dump (no nesting).
+std::string stmtHeadline(const Stmt &S) {
+  std::string Out = "#" + std::to_string(S.Id);
+  if (!S.Label.empty())
+    Out += " [" + S.Label + "]";
+  switch (S.Kind) {
+  case StmtKind::PtrAssign:
+    Out += " " + S.Dst + " = ...";
+    break;
+  case StmtKind::DataWrite:
+    Out += " " + S.Base + "." + S.FieldName + " = <data>";
+    break;
+  case StmtKind::DataRead:
+    Out += " " + S.DataVar + " = " + S.Base + "." + S.FieldName;
+    break;
+  case StmtKind::StructWrite:
+    Out += " " + S.Base + "." + S.FieldName + " = <ptr>";
+    break;
+  case StmtKind::While:
+    Out += " while " + S.CondVar;
+    break;
+  case StmtKind::If:
+    Out += " if " + S.CondVar;
+    break;
+  case StmtKind::Call:
+    Out += " call " + S.Callee + "(...)";
+    break;
+  }
+  return Out;
+}
+
+void dumpBlock(const std::vector<StmtPtr> &Body, const AnalysisResult &R,
+               const FieldTable &Fields, unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  for (const StmtPtr &S : Body) {
+    Out += Pad + stmtHeadline(*S) + "\n";
+    auto It = R.Before.find(S->Id);
+    if (It != R.Before.end() && !It->second.empty()) {
+      for (const std::string &Line :
+           splitNonEmpty(It->second.toString(Fields), '\n'))
+        Out += Pad + "  " + Line + "\n";
+    }
+    dumpBlock(S->Body, R, Fields, Indent + 1, Out);
+    if (!S->Else.empty()) {
+      Out += Pad + "else:\n";
+      dumpBlock(S->Else, R, Fields, Indent + 1, Out);
+    }
+  }
+}
+
+} // namespace
+
+std::string apt::dumpAnalysis(const AnalysisResult &R, const Function &F,
+                              const FieldTable &Fields) {
+  std::string Out = "== analysis of fn " + F.Name + " ==\n";
+  Out += "epochs: " + std::to_string(R.NumEpochs) + "; structural writes:";
+  if (R.StructWriteIds.empty())
+    Out += " none";
+  for (int Id : R.StructWriteIds)
+    Out += " #" + std::to_string(Id);
+  Out += "\n\nstatements (APM shown before each):\n";
+  dumpBlock(F.Body, R, Fields, 1, Out);
+
+  if (!R.Refs.empty()) {
+    Out += "\nlabeled references:\n";
+    for (const auto &[Label, Ref] : R.Refs) {
+      Out += "  " + Label + ": " + Ref.TypeName + "." +
+             Fields.name(Ref.Field) + (Ref.IsWrite ? " write" : " read") +
+             " (epoch " + std::to_string(Ref.Epoch) + ")";
+      for (const auto &[Handle, Path] : Ref.Paths)
+        Out += "  " + AccessPath(Handle, Path).toString(Fields);
+      Out += "\n";
+    }
+  }
+
+  if (!R.Loops.empty()) {
+    Out += "\nloops:\n";
+    for (const auto &[Id, Sum] : R.Loops) {
+      Out += "  loop #" + std::to_string(Id) + ":";
+      for (const auto &[Var, Inc] : Sum.Induction)
+        Out += " " + Var + " += " + Inc->toString(Fields);
+      for (const std::string &Var : Sum.Invariant)
+        Out += " " + Var + " (invariant)";
+      if (Sum.HasStructWrite)
+        Out += " [modifies structure]";
+      Out += "\n";
+      for (const auto &[Label, VP] : Sum.IterRefs)
+        Out += "    iter-ref " + Label + ": " +
+               AccessPath("@" + VP.first, VP.second).toString(Fields) +
+               "\n";
+    }
+  }
+
+  if (!R.HandleParents.empty()) {
+    Out += "\nhandle provenance:\n";
+    for (const auto &[Handle, Parents] : R.HandleParents) {
+      Out += "  " + Handle + " =";
+      for (const auto &[Parent, Path] : Parents)
+        Out += " " + AccessPath(Parent, Path).toString(Fields);
+      Out += "\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,120 @@
+//===- analysis/Collector.h - Access-path collection ------------*- C++ -*-===//
+//
+// Part of the APT project; see Apm.h for the matrices this flow analysis
+// computes.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-reference analysis of paper §3.2-§3.4: a forward flow
+/// analysis over the mini pointer language that
+///
+///  * maintains an access path matrix per program point (fresh handle per
+///    assignment, self-relative updates extend in place, dead handles
+///    collected),
+///  * detects loop induction variables (`p = p.f...` net effects) and
+///    summarizes loops by appending `(w)*` to the induction variable's
+///    paths,
+///  * records every *labeled* memory reference with its candidate access
+///    paths, and
+///  * tracks structural modifications (pointer-field writes) by stamping
+///    every reference with an epoch, so dependence queries that span a
+///    modification can intersect axiom sets (§3.4).
+///
+/// Handles created inside a loop body denote iteration-local vertices;
+/// queries between different iterations must use the loop's induction
+/// summary (see DepQueries.h) rather than those handles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_COLLECTOR_H
+#define APT_ANALYSIS_COLLECTOR_H
+
+#include "analysis/Apm.h"
+#include "ir/Ast.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// A labeled memory reference `base.field` with the access paths that may
+/// describe `base` at that point.
+struct CollectedRef {
+  int StmtId = -1;
+  std::string Label;
+  std::string TypeName;  ///< Declared structure type of the base pointer.
+  FieldId Field = 0;     ///< Field accessed.
+  bool IsWrite = false;
+  int Epoch = 0;         ///< Structural-modification epoch (§3.4).
+  /// Candidate (handle -> path) pairs for the base pointer.
+  std::map<std::string, RegexRef> Paths;
+};
+
+/// Summary of one loop.
+struct LoopSummary {
+  int StmtId = -1;
+  /// Induction variables: per-iteration increment regex (w in `p := p.w`).
+  std::map<std::string, RegexRef> Induction;
+  /// Pointer variables the body provably never changes (their "increment"
+  /// is epsilon: every iteration sees the same vertex).
+  std::set<std::string> Invariant;
+  /// Whether the body performs structural modifications.
+  bool HasStructWrite = false;
+  /// Labeled refs inside the body, re-anchored at the loop's induction
+  /// variables: label -> (induction var, path from the var's value at the
+  /// start of the iteration). Used for loop-carried queries.
+  std::map<std::string, std::pair<std::string, RegexRef>> IterRefs;
+};
+
+/// Everything the analysis produced for one function.
+struct AnalysisResult {
+  /// APM holding *before* each statement id executes.
+  std::map<int, Apm> Before;
+  /// Labeled refs, keyed by label.
+  std::map<std::string, CollectedRef> Refs;
+  /// Loop summaries keyed by the while-statement id.
+  std::map<int, LoopSummary> Loops;
+  /// Statement ids of structural modifications, in program order.
+  std::vector<int> StructWriteIds;
+  /// Final epoch count (number of structural-modification boundaries + 1).
+  int NumEpochs = 1;
+  /// Handle provenance: at its creation, each handle's vertex was
+  /// reachable from these parent handles along these paths (the paper's
+  /// "relationship between the two handles", §4.1). Fresh-allocation and
+  /// post-modification handles have no parents.
+  std::map<std::string, std::vector<std::pair<std::string, RegexRef>>>
+      HandleParents;
+};
+
+/// Knobs for the collector, mirroring the two analyses of §5.
+struct AnalyzerOptions {
+  /// When true, structural writes are assumed to preserve the declared
+  /// data-structure invariants and previously collected access paths
+  /// (the paper's "more sophisticated analysis capable of handling
+  /// modifications" -- the *fully parallel* configuration). When false,
+  /// every structural write re-anchors all pointer variables, losing
+  /// relational information (the "simplistic analysis" -- *partially
+  /// parallel*).
+  bool InvariantPreservingWrites = false;
+};
+
+/// Runs the access-path analysis over \p F. \p Prog supplies the type
+/// declarations (field kinds and per-type axioms).
+AnalysisResult analyzeFunction(const Program &Prog, const Function &F,
+                               FieldTable &Fields,
+                               const AnalyzerOptions &Opts = {});
+
+/// Renders a human-readable report of \p R: per-statement APMs, labeled
+/// references with their candidate paths, loop summaries (induction and
+/// invariant variables, iteration-anchored refs), handle provenance and
+/// modification epochs. Used by `aptc dump` and by tests as a golden
+/// view of the analysis.
+std::string dumpAnalysis(const AnalysisResult &R, const Function &F,
+                         const FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_COLLECTOR_H

@@ -1,0 +1,236 @@
+//===- analysis/DepQueries.cpp --------------------------------------------===//
+//
+// Part of the APT project; see DepQueries.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepQueries.h"
+
+#include <cassert>
+
+using namespace apt;
+
+DepQueryEngine::DepQueryEngine(const Program &Prog, const Function &F,
+                               FieldTable &Fields, AnalyzerOptions Opts)
+    : Prog(Prog), Func(F), Fields(Fields), Opts(Opts),
+      Result(analyzeFunction(Prog, F, Fields, Opts)) {}
+
+/// Depth-first search for the statement with id \p Id.
+static const Stmt *findById(const std::vector<StmtPtr> &Body, int Id) {
+  for (const StmtPtr &S : Body) {
+    if (S->Id == Id)
+      return S.get();
+    if (const Stmt *Hit = findById(S->Body, Id))
+      return Hit;
+    if (const Stmt *Hit = findById(S->Else, Id))
+      return Hit;
+  }
+  return nullptr;
+}
+
+bool DepQueryEngine::refInsideLoopBody(int LoopId,
+                                       const CollectedRef &Ref) const {
+  const Stmt *Loop = findById(Func.Body, LoopId);
+  if (!Loop)
+    return false;
+  return findById(Loop->Body, Ref.StmtId) != nullptr;
+}
+
+AxiomSet DepQueryEngine::axiomsFor(const CollectedRef &A,
+                                   const CollectedRef &B) const {
+  if (A.Epoch != B.Epoch && !Opts.InvariantPreservingWrites) {
+    // The query spans a structural modification and nothing guarantees
+    // the invariants were re-established: the intersection of "declared
+    // axioms" with "no axioms" is empty (§3.4).
+    return AxiomSet();
+  }
+  // Axioms are properties of the whole heap structure; multi-type
+  // structures (e.g. the sparse matrix's root/header/element types)
+  // spread their axioms over several declarations, so pool them. Field
+  // names are unique across type declarations (§4.1 footnote), which
+  // keeps the union sound.
+  AxiomSet All;
+  for (const TypeDecl &T : Prog.Types)
+    All = All.unionWith(T.Axioms);
+  return All;
+}
+
+static DepTestResult maybeResult(std::string Reason) {
+  DepTestResult Out;
+  Out.Verdict = DepVerdict::Maybe;
+  Out.Reason = std::move(Reason);
+  return Out;
+}
+
+/// Extends a ref's (handle -> path) set with entries rebased onto
+/// ancestor handles via the recorded provenance: if h = a.R, an access
+/// h.P is also an access within a.R.P. Fixpoint over the (acyclic)
+/// provenance graph; existing/shorter entries win.
+static std::map<std::string, RegexRef>
+rebaseOntoAncestors(const std::map<std::string, RegexRef> &Paths,
+                    const AnalysisResult &Analysis) {
+  std::map<std::string, RegexRef> Out = Paths;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &[Handle, Path] : std::map<std::string, RegexRef>(Out)) {
+      auto It = Analysis.HandleParents.find(Handle);
+      if (It == Analysis.HandleParents.end())
+        continue;
+      for (const auto &[Parent, Rel] : It->second) {
+        if (Out.count(Parent))
+          continue;
+        Out[Parent] = Regex::concat(Rel, Path);
+        Changed = true;
+      }
+    }
+  }
+  return Out;
+}
+
+DepTestResult DepQueryEngine::testStatementPair(const std::string &LabelS,
+                                                const std::string &LabelT,
+                                                Prover &P) {
+  auto SIt = Result.Refs.find(LabelS);
+  auto TIt = Result.Refs.find(LabelT);
+  if (SIt == Result.Refs.end() || TIt == Result.Refs.end())
+    return maybeResult("no labeled memory reference '" +
+                       (SIt == Result.Refs.end() ? LabelS : LabelT) + "'");
+  const CollectedRef &S = SIt->second, &T = TIt->second;
+
+  // Scan the two path sets for a common handle (§3.3); prefer the one
+  // with the structurally smallest combined paths for cheaper proofs.
+  // When the sets are disjoint, handle provenance rebases both onto
+  // common ancestors (the distinct-handle case of §4.1).
+  std::map<std::string, RegexRef> SPaths = S.Paths, TPaths = T.Paths;
+  auto FindBest = [&]() -> const std::string * {
+    const std::string *Best = nullptr;
+    size_t BestSize = SIZE_MAX;
+    for (const auto &[Handle, PathS] : SPaths) {
+      auto It = TPaths.find(Handle);
+      if (It == TPaths.end())
+        continue;
+      size_t Size = PathS->key().size() + It->second->key().size();
+      if (Size < BestSize) {
+        BestSize = Size;
+        Best = &Handle;
+      }
+    }
+    return Best;
+  };
+  const std::string *BestHandle = FindBest();
+  if (!BestHandle) {
+    SPaths = rebaseOntoAncestors(SPaths, Result);
+    TPaths = rebaseOntoAncestors(TPaths, Result);
+    BestHandle = FindBest();
+  }
+  if (!BestHandle) {
+    // Without a common handle the paths cannot be compared, but the
+    // type/field screens of deptest still apply; hand it distinct
+    // handles so it answers No for non-overlapping references and Maybe
+    // otherwise.
+    MemRef MS{S.TypeName, S.Field, AccessPath("_s", Regex::epsilon()),
+              S.IsWrite};
+    MemRef MT{T.TypeName, T.Field, AccessPath("_t", Regex::epsilon()),
+              T.IsWrite};
+    return dependenceTest(axiomsFor(S, T), MS, MT, P);
+  }
+
+  MemRef MS{S.TypeName, S.Field, AccessPath(*BestHandle,
+                                            SPaths.at(*BestHandle)),
+            S.IsWrite};
+  MemRef MT{T.TypeName, T.Field, AccessPath(*BestHandle,
+                                            TPaths.at(*BestHandle)),
+            T.IsWrite};
+  return dependenceTest(axiomsFor(S, T), MS, MT, P);
+}
+
+std::vector<int> DepQueryEngine::loopIds() const {
+  std::vector<int> Out;
+  for (const auto &[Id, Sum] : Result.Loops)
+    Out.push_back(Id);
+  return Out;
+}
+
+DepTestResult DepQueryEngine::testLoopCarried(int LoopId,
+                                              const std::string &LabelS,
+                                              const std::string &LabelT,
+                                              Prover &P) {
+  auto LIt = Result.Loops.find(LoopId);
+  if (LIt == Result.Loops.end())
+    return maybeResult("no loop with id " + std::to_string(LoopId));
+  const LoopSummary &Loop = LIt->second;
+
+  auto SIt = Loop.IterRefs.find(LabelS);
+  auto TIt = Loop.IterRefs.find(LabelT);
+  if (SIt == Loop.IterRefs.end() || TIt == Loop.IterRefs.end())
+    return maybeResult(
+        "reference not anchored at an induction variable of this loop");
+  const auto &[VarS, PathS] = SIt->second;
+  const auto &[VarT, PathT] = TIt->second;
+  if (VarS != VarT)
+    return maybeResult("references anchored at different induction "
+                       "variables ('" + VarS + "' vs '" + VarT + "')");
+
+  auto RS = Result.Refs.find(LabelS);
+  auto RT = Result.Refs.find(LabelT);
+  assert(RS != Result.Refs.end() && RT != Result.Refs.end() &&
+         "iteration refs exist only for recorded labels");
+
+  // Iteration i's reference is PathS from the induction variable's value
+  // at the start of iteration i; iteration j > i has advanced by w+
+  // (w = the per-iteration increment), so its reference is w+.PathT from
+  // the same vertex. This is exactly the §5 construction
+  // (hr.ncolE.ncolE* vs hr.nrowE+.ncolE.ncolE*). Loop-invariant anchors
+  // advance by epsilon: every iteration sees the same vertex.
+  auto IncIt = Loop.Induction.find(VarS);
+  RegexRef Inc =
+      IncIt != Loop.Induction.end() ? IncIt->second : Regex::epsilon();
+  MemRef MS{RS->second.TypeName, RS->second.Field,
+            AccessPath("_iter", PathS), RS->second.IsWrite};
+  MemRef MT{RT->second.TypeName, RT->second.Field,
+            AccessPath("_iter", Regex::concat(Regex::plus(Inc), PathT)),
+            RT->second.IsWrite};
+  return dependenceTest(axiomsFor(RS->second, RT->second), MS, MT, P);
+}
+
+LoopParallelism DepQueryEngine::analyzeLoopParallelism(int LoopId,
+                                                       Prover &P) {
+  LoopParallelism Out;
+  auto LIt = Result.Loops.find(LoopId);
+  if (LIt == Result.Loops.end())
+    return Out;
+  const LoopSummary &Loop = LIt->second;
+
+  // Labels of refs inside this loop, from the recorded real refs.
+  std::vector<std::string> Labels;
+  for (const auto &[Label, VP] : Loop.IterRefs)
+    Labels.push_back(Label);
+
+  // Every labeled ref of the body must be anchored for the verdict to be
+  // meaningful: a body ref missing from IterRefs is an unanalyzable
+  // access, so the loop cannot be declared parallel.
+  bool AllAnchored = true;
+  for (const auto &[Label, Ref] : Result.Refs) {
+    if (!Loop.IterRefs.count(Label) && refInsideLoopBody(LoopId, Ref))
+      AllAnchored = false;
+  }
+
+  Out.Parallelizable = AllAnchored;
+  for (const std::string &A : Labels) {
+    for (const std::string &B : Labels) {
+      const CollectedRef &RA = Result.Refs.at(A);
+      const CollectedRef &RB = Result.Refs.at(B);
+      if (!RA.IsWrite && !RB.IsWrite)
+        continue;
+      DepTestResult R = testLoopCarried(LoopId, A, B, P);
+      if (R.Verdict == DepVerdict::No) {
+        ++Out.RefutedPairs;
+      } else {
+        Out.Parallelizable = false;
+        Out.BlockingPairs.emplace_back(A, B);
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- analysis/DepQueries.h - Program-level dependence queries -*- C++ -*-===//
+//
+// Part of the APT project; see Collector.h for the analysis feeding these
+// queries and core/DepTest.h for the underlying test.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The query layer tying the pieces of Figure 4 together: given an
+/// analyzed function, answer dependence questions between labeled memory
+/// references -- straight-line statement pairs (the §3.3 example) and
+/// loop-carried self/cross dependences (the §5 factorization loops) --
+/// and classify whole loops as parallelizable.
+///
+/// Axiom scoping follows §3.4: a query between references in different
+/// structural-modification epochs uses the intersection of the axiom sets
+/// valid in each epoch. In the simplistic configuration nothing is known
+/// after a modification (the intersection is empty); in the
+/// invariant-preserving configuration the declared axioms hold in every
+/// epoch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_DEPQUERIES_H
+#define APT_ANALYSIS_DEPQUERIES_H
+
+#include "analysis/Collector.h"
+#include "core/DepTest.h"
+#include "core/Prover.h"
+#include "ir/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Verdict for a whole loop.
+struct LoopParallelism {
+  bool Parallelizable = false;
+  /// Ref-label pairs whose loop-carried dependence could not be refuted
+  /// (empty iff Parallelizable).
+  std::vector<std::pair<std::string, std::string>> BlockingPairs;
+  /// Number of loop-carried queries answered No.
+  int RefutedPairs = 0;
+};
+
+/// Dependence query engine for one analyzed function.
+class DepQueryEngine {
+public:
+  /// Analyzes \p F immediately. \p Prog and \p Fields must outlive the
+  /// engine.
+  DepQueryEngine(const Program &Prog, const Function &F, FieldTable &Fields,
+                 AnalyzerOptions Opts = {});
+
+  const AnalysisResult &analysis() const { return Result; }
+
+  /// Tests whether the statement labeled \p LabelT depends on the one
+  /// labeled \p LabelS (S precedes T on a common control path). Uses a
+  /// common handle between the two reference's path sets.
+  DepTestResult testStatementPair(const std::string &LabelS,
+                                  const std::string &LabelT, Prover &P);
+
+  /// Tests the loop-carried dependence of \p LabelT on \p LabelS at the
+  /// level of the loop with statement id \p LoopId: iteration i executes
+  /// S, a later iteration j > i executes T.
+  DepTestResult testLoopCarried(int LoopId, const std::string &LabelS,
+                                const std::string &LabelT, Prover &P);
+
+  /// Statement ids of all loops, outermost first.
+  std::vector<int> loopIds() const;
+
+  /// Runs loop-carried tests over every pair of labeled refs in the loop
+  /// (both directions); the loop parallelizes iff every pair involving a
+  /// write is refuted.
+  LoopParallelism analyzeLoopParallelism(int LoopId, Prover &P);
+
+private:
+  /// Axioms applicable to a query between \p A and \p B (§3.4 epoch
+  /// intersection).
+  AxiomSet axiomsFor(const CollectedRef &A, const CollectedRef &B) const;
+
+  /// True if \p Ref's statement lies (transitively) inside the body of
+  /// the loop with statement id \p LoopId.
+  bool refInsideLoopBody(int LoopId, const CollectedRef &Ref) const;
+
+  const Program &Prog;
+  const Function &Func;
+  FieldTable &Fields;
+  AnalyzerOptions Opts;
+  AnalysisResult Result;
+};
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_DEPQUERIES_H

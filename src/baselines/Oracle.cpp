@@ -1,0 +1,282 @@
+//===- baselines/Oracle.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Oracle.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Oracle.h"
+
+#include "graph/HeapGraph.h"
+#include "regex/Dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace apt;
+
+/// Yes-screen shared by all oracles: identical singleton paths always
+/// denote the same vertex.
+static bool definitelySameVertex(const RegexRef &P, const RegexRef &Q) {
+  std::optional<Word> WP = P->singletonWord();
+  std::optional<Word> WQ = Q->singletonWord();
+  return WP && WQ && *WP == *WQ;
+}
+
+//===----------------------------------------------------------------------===//
+// TypeBasedOracle
+//===----------------------------------------------------------------------===//
+
+DepVerdict TypeBasedOracle::mayAlias(const StructureInfo &, const RegexRef &P,
+                                     const RegexRef &Q) {
+  // The oracle interface poses same-type, same-field queries, which this
+  // test cannot screen out; its wins all happen at the declaration level
+  // before paths are even consulted.
+  if (definitelySameVertex(P, Q))
+    return DepVerdict::Yes;
+  return DepVerdict::Maybe;
+}
+
+//===----------------------------------------------------------------------===//
+// KLimitedOracle
+//===----------------------------------------------------------------------===//
+
+void KLimitedOracle::setModel(const HeapGraph *G, uint32_t Handle_) {
+  Model = G;
+  Handle = Handle_;
+}
+
+namespace {
+
+/// Abstract locations under k-limited naming on a concrete model: the
+/// node ids within distance < k of the handle, plus the one summary node
+/// standing for everything deeper.
+struct KAbstraction {
+  std::set<uint32_t> Exact;
+  bool Summary = false;
+};
+
+/// BFS distances from \p Handle over all fields; UINT32_MAX = unreachable.
+std::vector<uint32_t> distancesFrom(const HeapGraph &G, uint32_t Handle) {
+  std::vector<uint32_t> Dist(G.numNodes(), UINT32_MAX);
+  std::deque<uint32_t> Work{Handle};
+  Dist[Handle] = 0;
+  while (!Work.empty()) {
+    uint32_t N = Work.front();
+    Work.pop_front();
+    for (const auto &[F, T] : G.out(N))
+      if (Dist[T] == UINT32_MAX) {
+        Dist[T] = Dist[N] + 1;
+        Work.push_back(T);
+      }
+  }
+  return Dist;
+}
+
+KAbstraction kAbstract(const HeapGraph &G, uint32_t Handle,
+                       const std::vector<uint32_t> &Dist, size_t K,
+                       const RegexRef &R) {
+  KAbstraction Out;
+  for (uint32_t N : G.evalRegex(Handle, R)) {
+    if (Dist[N] < K)
+      Out.Exact.insert(N);
+    else
+      Out.Summary = true;
+  }
+  return Out;
+}
+
+} // namespace
+
+DepVerdict KLimitedOracle::mayAlias(const StructureInfo &, const RegexRef &P,
+                                    const RegexRef &Q) {
+  if (definitelySameVertex(P, Q))
+    return DepVerdict::Yes;
+  assert(Model && "KLimitedOracle needs a concrete model (setModel)");
+  std::vector<uint32_t> Dist = distancesFrom(*Model, Handle);
+  KAbstraction AP = kAbstract(*Model, Handle, Dist, K, P);
+  KAbstraction AQ = kAbstract(*Model, Handle, Dist, K, Q);
+  // Overlap iff an exact node is shared, or both touch the summary node
+  // (all locations deeper than k have the same name).
+  std::vector<uint32_t> Inter;
+  std::set_intersection(AP.Exact.begin(), AP.Exact.end(), AQ.Exact.begin(),
+                        AQ.Exact.end(), std::back_inserter(Inter));
+  if (Inter.empty() && !(AP.Summary && AQ.Summary))
+    return DepVerdict::No;
+  return DepVerdict::Maybe;
+}
+
+DepVerdict KLimitedOracle::mayAliasLoopCarried(const StructureInfo &,
+                                               const RegexRef &Access,
+                                               const RegexRef &Inc) {
+  // Iteration i touches the locations Inc^i.Access. Words of length >= K
+  // all map to the summary node, so if two different iterations can both
+  // produce a word at all beyond the horizon, they collide there. Since
+  // |Inc^i.Access| >= i, every iteration i >= K is entirely summary;
+  // with an unbounded iteration space, two such iterations always exist
+  // unless the language is empty.
+  if (Inc->isEmpty() || Access->isEmpty())
+    return DepVerdict::No; // No accesses happen at all.
+  // The iteration space is unbounded, so iterations K and K+1 both lie
+  // entirely beyond the horizon and collide on the summary node; only
+  // the first K iterations can ever be told apart. The per-iteration
+  // abstraction is still exposed via mayAlias for bounded comparisons
+  // (e.g. iteration 0 vs iteration 1).
+  return DepVerdict::Maybe;
+}
+
+//===----------------------------------------------------------------------===//
+// LarusOracle
+//===----------------------------------------------------------------------===//
+
+bool LarusOracle::axiomsCertifyTree(const StructureInfo &Info) {
+  if (Info.PointerFields.empty())
+    return false;
+  LangQuery Lang;
+
+  // Build the single-step alternation over all fields.
+  std::vector<RegexRef> Parts;
+  for (FieldId F : Info.PointerFields)
+    Parts.push_back(Regex::symbol(F));
+  RegexRef AnyField = Regex::alt(Parts);
+
+  // (1) Acyclicity: some same-origin axiom separates (F..)+ from eps.
+  bool Acyclic = false;
+  for (const Axiom &A : Info.Axioms.axioms()) {
+    if (A.Form != AxiomForm::SameOriginDisjoint)
+      continue;
+    if ((A.Rhs->isEpsilon() && Lang.subsetOf(Regex::plus(AnyField), A.Lhs)) ||
+        (A.Lhs->isEpsilon() && Lang.subsetOf(Regex::plus(AnyField), A.Rhs)))
+      Acyclic = true;
+  }
+  if (!Acyclic)
+    return false;
+
+  // (2) Injectivity: a distinct-origin axiom covering every single step.
+  bool Injective = false;
+  for (const Axiom &A : Info.Axioms.axioms()) {
+    if (A.Form != AxiomForm::DiffOriginDisjoint)
+      continue;
+    if (Lang.subsetOf(AnyField, A.Lhs) && Lang.subsetOf(AnyField, A.Rhs))
+      Injective = true;
+  }
+  if (!Injective)
+    return false;
+
+  // (3) Pairwise same-origin distinctness of all fields.
+  for (size_t I = 0; I < Info.PointerFields.size(); ++I) {
+    for (size_t J = I + 1; J < Info.PointerFields.size(); ++J) {
+      RegexRef FI = Regex::symbol(Info.PointerFields[I]);
+      RegexRef FJ = Regex::symbol(Info.PointerFields[J]);
+      bool Separated = false;
+      for (const Axiom &A : Info.Axioms.axioms()) {
+        if (A.Form != AxiomForm::SameOriginDisjoint)
+          continue;
+        if ((Lang.subsetOf(FI, A.Lhs) && Lang.subsetOf(FJ, A.Rhs)) ||
+            (Lang.subsetOf(FI, A.Rhs) && Lang.subsetOf(FJ, A.Lhs)))
+          Separated = true;
+      }
+      if (!Separated)
+        return false;
+    }
+  }
+  return true;
+}
+
+/// True if some axiom certifies acyclicity over all of \p Info's fields.
+static bool axiomsCertifyAcyclic(const StructureInfo &Info) {
+  LangQuery Lang;
+  std::vector<RegexRef> Parts;
+  for (FieldId F : Info.PointerFields)
+    Parts.push_back(Regex::symbol(F));
+  RegexRef AnyPlus = Regex::plus(Regex::alt(Parts));
+  for (const Axiom &A : Info.Axioms.axioms()) {
+    if (A.Form != AxiomForm::SameOriginDisjoint)
+      continue;
+    if ((A.Rhs->isEpsilon() && Lang.subsetOf(AnyPlus, A.Lhs)) ||
+        (A.Lhs->isEpsilon() && Lang.subsetOf(AnyPlus, A.Rhs)))
+      return true;
+  }
+  return false;
+}
+
+RegexRef LarusOracle::conservativeMap(const StructureInfo &Info,
+                                      const RegexRef &Path) {
+  // Fields targeting the same node population may be confluent; group
+  // them and widen each group run into (group)+. Fields without a
+  // declared target share one anonymous population.
+  std::map<FieldId, std::string> Group;
+  for (FieldId F : Info.PointerFields) {
+    auto It = Info.FieldTarget.find(F);
+    Group[F] = It == Info.FieldTarget.end() ? "?" : It->second;
+  }
+  std::map<std::string, RegexRef> GroupAlt;
+  for (FieldId F : Info.PointerFields) {
+    RegexRef Sym = Regex::symbol(F);
+    auto [It, New] = GroupAlt.try_emplace(Group[F], Sym);
+    if (!New)
+      It->second = Regex::alt(It->second, Sym);
+  }
+
+  // Map the component sequence to a group sequence, collapsing runs.
+  std::vector<RegexRef> Mapped;
+  std::string LastGroup;
+  for (const RegexRef &C : pathComponents(Path)) {
+    std::set<FieldId> Syms;
+    C->collectSymbols(Syms);
+    // Group of this component: the union of its fields' groups; mixed
+    // components widen to the union alternation of all involved groups.
+    std::set<std::string> Groups;
+    for (FieldId F : Syms)
+      Groups.insert(Group.count(F) ? Group[F] : "?");
+    std::string GroupKey;
+    std::vector<RegexRef> Alts;
+    for (const std::string &G : Groups) {
+      GroupKey += G + "|";
+      Alts.push_back(GroupAlt.at(G));
+    }
+    if (Alts.empty())
+      continue; // Pure-epsilon component.
+    RegexRef Widened = Regex::plus(Regex::alt(Alts));
+    if (GroupKey == LastGroup)
+      continue; // Run of the same group: already covered by the plus.
+    LastGroup = GroupKey;
+    Mapped.push_back(Widened);
+  }
+  return Regex::concat(Mapped);
+}
+
+DepVerdict LarusOracle::mayAlias(const StructureInfo &Info, const RegexRef &P,
+                                 const RegexRef &Q) {
+  if (definitelySameVertex(P, Q))
+    return DepVerdict::Yes;
+  LangQuery Lang;
+  if (axiomsCertifyTree(Info)) {
+    // Trees: label words determine vertices, so plain language
+    // intersection is precise.
+    return Lang.disjoint(P, Q) ? DepVerdict::No : DepVerdict::Maybe;
+  }
+  if (!axiomsCertifyAcyclic(Info)) {
+    // Cycles make even epsilon vs. (f)+ aliasable; path expressions give
+    // no separation.
+    return DepVerdict::Maybe;
+  }
+  RegexRef MP = conservativeMap(Info, P);
+  RegexRef MQ = conservativeMap(Info, Q);
+  return Lang.disjoint(MP, MQ) ? DepVerdict::No : DepVerdict::Maybe;
+}
+
+//===----------------------------------------------------------------------===//
+// AptOracle
+//===----------------------------------------------------------------------===//
+
+DepVerdict AptOracle::mayAlias(const StructureInfo &Info, const RegexRef &P_,
+                               const RegexRef &Q) {
+  if (P.proveEqualPaths(Info.Axioms, P_, Q))
+    return DepVerdict::Yes;
+  if (P.proveDisjoint(Info.Axioms, P_, Q))
+    return DepVerdict::No;
+  return DepVerdict::Maybe;
+}

@@ -1,0 +1,156 @@
+//===- baselines/Oracle.h - Dependence-test baselines -----------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A common interface for the dependence tests the paper positions APT
+/// against (§2), answering the core question: may the access paths x.P
+/// and x.Q (same handle, same structure type, same field) denote the same
+/// vertex?
+///
+///  * TypeBasedOracle    -- declaration-level screening only (always
+///                          Maybe for same-type/field queries).
+///  * KLimitedOracle     -- store-based k-limited naming (Jones-Muchnick
+///                          style, §2.3): exact locations for words
+///                          shorter than k, a single summary node beyond.
+///  * LarusOracle        -- path-expression intersection (Larus-Hilfinger,
+///                          §2.4): precise when the axioms certify the
+///                          whole structure is a tree, otherwise paths are
+///                          first mapped to conservative group-closure
+///                          expressions (the paper's (L|R)+N+ example).
+///  * AptOracle          -- the paper's contribution, wrapping Prover.
+///
+/// The accuracy experiment (bench/table_accuracy) runs all four over a
+/// shared query suite with ground truth from concrete heap graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_BASELINES_ORACLE_H
+#define APT_BASELINES_ORACLE_H
+
+#include "core/DepTest.h"
+#include "core/Prelude.h"
+#include "core/Prover.h"
+
+#include <memory>
+#include <string>
+
+namespace apt {
+
+/// Interface shared by APT and the baselines.
+class DependenceOracle {
+public:
+  virtual ~DependenceOracle() = default;
+
+  /// Short display name, e.g. "k-limited(2)".
+  virtual std::string name() const = 0;
+
+  /// May x.P and x.Q denote the same vertex of \p Info's structure?
+  virtual DepVerdict mayAlias(const StructureInfo &Info, const RegexRef &P,
+                              const RegexRef &Q) = 0;
+
+  /// Loop-carried form: iteration i accesses x.Inc^i.Access; may two
+  /// *different* iterations touch the same vertex? Handle-relative tests
+  /// (APT, path intersection) anchor x at iteration i's position and
+  /// compare Access against Inc+.Access; store-based tests override this
+  /// (they cannot anchor relative to an iteration).
+  virtual DepVerdict mayAliasLoopCarried(const StructureInfo &Info,
+                                         const RegexRef &Access,
+                                         const RegexRef &Inc) {
+    return mayAlias(Info, Access,
+                    Regex::concat(Regex::plus(Inc), Access));
+  }
+};
+
+/// Screens only on declarations; always Maybe for same-type/field pairs
+/// (identical singleton paths are still Yes).
+class TypeBasedOracle : public DependenceOracle {
+public:
+  std::string name() const override { return "type-based"; }
+  DepVerdict mayAlias(const StructureInfo &Info, const RegexRef &P,
+                      const RegexRef &Q) override;
+};
+
+class HeapGraph;
+
+/// Store-based k-limited naming (idealized): the analysis is granted a
+/// perfect shape graph of the concrete heap, truncated at depth k -- heap
+/// nodes within distance < k of the handle keep their identity, and
+/// every deeper node collapses into a single summary node. This is the
+/// most generous reading of a k-limited analysis; it still fails exactly
+/// where §2.3 says: anything past the horizon, and unbounded loops.
+///
+/// A representative concrete structure must be installed with setModel
+/// before queries (the accuracy experiments use the same model as the
+/// ground-truth oracle).
+class KLimitedOracle : public DependenceOracle {
+public:
+  explicit KLimitedOracle(size_t K) : K(K) {}
+  std::string name() const override {
+    return "k-limited(" + std::to_string(K) + ")";
+  }
+
+  /// Installs the concrete heap whose k-truncated shape graph names
+  /// memory; \p Handle is the vertex paths are anchored at.
+  void setModel(const HeapGraph *G, uint32_t Handle);
+
+  DepVerdict mayAlias(const StructureInfo &Info, const RegexRef &P,
+                      const RegexRef &Q) override;
+
+  /// Store-based naming cannot anchor at "iteration i": it names the
+  /// locations Inc^i.Access for every i, so any two iterations past the
+  /// k horizon share the summary node -- "at best the dependence test
+  /// will prove that only the first k iterations are independent" (§2.3).
+  DepVerdict mayAliasLoopCarried(const StructureInfo &Info,
+                                 const RegexRef &Access,
+                                 const RegexRef &Inc) override;
+
+private:
+  size_t K;
+  const HeapGraph *Model = nullptr;
+  uint32_t Handle = 0;
+};
+
+/// Path-expression intersection in the style of Larus & Hilfinger:
+/// precise (plain language intersection) when the axioms certify the
+/// structure is globally a tree; otherwise paths are widened to
+/// field-group closure expressions before intersecting.
+class LarusOracle : public DependenceOracle {
+public:
+  std::string name() const override { return "path-intersection"; }
+  DepVerdict mayAlias(const StructureInfo &Info, const RegexRef &P,
+                      const RegexRef &Q) override;
+
+  /// True if \p Info's axioms certify that every field of the structure
+  /// participates in a global tree shape: pairwise same-origin
+  /// distinctness, distinct-origin injectivity and acyclicity.
+  static bool axiomsCertifyTree(const StructureInfo &Info);
+
+  /// The conservative mapping: each component's fields are widened to
+  /// their group's alternation, and adjacent same-group components
+  /// collapse into one Kleene-plus (e.g. L.L.N -> (L|R)+.N+).
+  static RegexRef conservativeMap(const StructureInfo &Info,
+                                  const RegexRef &Path);
+};
+
+/// The paper's test, wrapping a Prover instance.
+class AptOracle : public DependenceOracle {
+public:
+  explicit AptOracle(const FieldTable &Fields, ProverOptions Opts = {})
+      : P(Fields, Opts) {}
+  std::string name() const override { return "APT"; }
+  DepVerdict mayAlias(const StructureInfo &Info, const RegexRef &P_,
+                      const RegexRef &Q) override;
+  Prover &prover() { return P; }
+
+private:
+  Prover P;
+};
+
+} // namespace apt
+
+#endif // APT_BASELINES_ORACLE_H

@@ -1,0 +1,45 @@
+//===- core/AccessPath.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see AccessPath.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AccessPath.h"
+
+using namespace apt;
+
+static void appendComponents(const RegexRef &R, std::vector<RegexRef> &Out) {
+  switch (R->kind()) {
+  case RegexKind::Epsilon:
+    return;
+  case RegexKind::Concat:
+    for (const RegexRef &C : R->children())
+      appendComponents(C, Out);
+    return;
+  case RegexKind::Plus:
+    // a+ == a.a*; expanding here lets the prover treat every loop as a
+    // star while reproducing the paper's '+' cases.
+    appendComponents(R->child(), Out);
+    Out.push_back(Regex::star(R->child()));
+    return;
+  default:
+    Out.push_back(R);
+    return;
+  }
+}
+
+std::vector<RegexRef> apt::pathComponents(const RegexRef &R) {
+  std::vector<RegexRef> Out;
+  appendComponents(R, Out);
+  return Out;
+}
+
+RegexRef apt::componentsToRegex(const std::vector<RegexRef> &Components) {
+  return Regex::concat(Components);
+}
+
+std::string AccessPath::toString(const FieldTable &Fields) const {
+  if (Path->isEpsilon())
+    return Handle;
+  return Handle + "." + Path->toString(Fields);
+}

@@ -1,0 +1,65 @@
+//===- core/AccessPath.h - Handle-anchored access paths ---------*- C++ -*-===//
+//
+// Part of the APT project; see Axiom.h for the axiom half of the prover's
+// inputs.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Access paths (paper §3.1/§3.3): a *handle* naming a fixed vertex of the
+/// data structure plus a regular expression describing the set of paths the
+/// program may have traversed from that vertex. The dependence test receives
+/// two access paths anchored at a common handle.
+///
+/// For the prover, a path is decomposed into *components*: the elements of
+/// its top-level concatenation (paper §4.1, "a regular expression consists
+/// of zero or more components"). Kleene-plus components are expanded to
+/// `x.x*` so that the induction machinery only ever deals with stars; the
+/// paper's `a+` cases are recovered exactly (it presents them with '+' "to
+/// simplify the presentation").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_ACCESSPATH_H
+#define APT_CORE_ACCESSPATH_H
+
+#include "regex/Regex.h"
+
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Splits \p R into its top-level concatenation components, expanding
+/// Plus(x) into {x, Star(x)}. Epsilon yields no components; a non-concat
+/// node is a single component.
+std::vector<RegexRef> pathComponents(const RegexRef &R);
+
+/// Reassembles components into a single regex (inverse of pathComponents
+/// up to Plus-normalization).
+RegexRef componentsToRegex(const std::vector<RegexRef> &Components);
+
+/// A handle-anchored access path, e.g. `_hroot.L.L.N`.
+struct AccessPath {
+  std::string Handle; ///< Name of the anchoring vertex, e.g. "_hroot".
+  RegexRef Path;      ///< Paths traversed from the handle; never null.
+
+  AccessPath() : Path(Regex::epsilon()) {}
+  AccessPath(std::string Handle, RegexRef Path)
+      : Handle(std::move(Handle)), Path(std::move(Path)) {}
+
+  /// The path's top-level components (Plus expanded; see pathComponents).
+  std::vector<RegexRef> components() const { return pathComponents(Path); }
+
+  /// Renders as "handle.regex" ("handle" alone for the epsilon path).
+  std::string toString(const FieldTable &Fields) const;
+
+  /// This path extended by one more traversal.
+  AccessPath extended(const RegexRef &Suffix) const {
+    return AccessPath(Handle, Regex::concat(Path, Suffix));
+  }
+};
+
+} // namespace apt
+
+#endif // APT_CORE_ACCESSPATH_H

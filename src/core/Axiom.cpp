@@ -1,0 +1,228 @@
+//===- core/Axiom.cpp -----------------------------------------------------===//
+//
+// Part of the APT project; see Axiom.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Axiom.h"
+
+#include "regex/RegexParser.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace apt;
+
+/// Renders one axiom side, parenthesizing top-level alternations so the
+/// output reads unambiguously after the "p." prefix.
+static std::string sideToString(const RegexRef &R, const FieldTable &Fields) {
+  std::string Out = R->toString(Fields);
+  if (R->kind() == RegexKind::Alt)
+    return "(" + Out + ")";
+  return Out;
+}
+
+std::string Axiom::toString(const FieldTable &Fields) const {
+  std::string Prefix = !Name.empty() ? Name + ": " : std::string();
+  switch (Form) {
+  case AxiomForm::SameOriginDisjoint:
+    return Prefix + "forall p: p." + sideToString(Lhs, Fields) + " <> p." +
+           sideToString(Rhs, Fields);
+  case AxiomForm::DiffOriginDisjoint:
+    return Prefix + "forall p <> q: p." + sideToString(Lhs, Fields) +
+           " <> q." + sideToString(Rhs, Fields);
+  case AxiomForm::Equal:
+    return Prefix + "forall p: p." + sideToString(Lhs, Fields) + " = p." +
+           sideToString(Rhs, Fields);
+  }
+  assert(false && "unknown axiom form");
+  return "";
+}
+
+const Axiom *AxiomSet::byName(std::string_view Name) const {
+  for (const Axiom &A : Axioms)
+    if (A.Name == Name)
+      return &A;
+  return nullptr;
+}
+
+/// Structural identity key of an axiom (used for set operations). The two
+/// disjointness forms are symmetric in their expressions, so sides are
+/// ordered canonically.
+static std::string axiomKey(const Axiom &A) {
+  // All three forms are symmetric in their two expressions (form 2 by
+  // renaming p <-> q), so the sides are ordered canonically.
+  const std::string &L = A.Lhs->key(), &R = A.Rhs->key();
+  char Tag = A.Form == AxiomForm::SameOriginDisjoint   ? 'S'
+             : A.Form == AxiomForm::DiffOriginDisjoint ? 'D'
+                                                       : 'E';
+  return Tag + std::min(L, R) + "\x1f" + std::max(L, R);
+}
+
+AxiomSet AxiomSet::intersectWith(const AxiomSet &Other) const {
+  std::set<std::string> Keys;
+  for (const Axiom &A : Other.Axioms)
+    Keys.insert(axiomKey(A));
+  AxiomSet Out;
+  for (const Axiom &A : Axioms)
+    if (Keys.count(axiomKey(A)))
+      Out.add(A);
+  return Out;
+}
+
+AxiomSet AxiomSet::unionWith(const AxiomSet &Other) const {
+  AxiomSet Out = *this;
+  std::set<std::string> Keys;
+  for (const Axiom &A : Axioms)
+    Keys.insert(axiomKey(A));
+  for (const Axiom &A : Other.Axioms)
+    if (Keys.insert(axiomKey(A)).second)
+      Out.add(A);
+  return Out;
+}
+
+std::string AxiomSet::toString(const FieldTable &Fields) const {
+  std::string Out;
+  for (const Axiom &A : Axioms) {
+    Out += A.toString(Fields);
+    Out += '\n';
+  }
+  return Out;
+}
+
+Axiom AxiomSet::acyclicity(const std::vector<FieldId> &StructFields,
+                           std::string Name) {
+  assert(!StructFields.empty() && "acyclicity over an empty field set");
+  std::vector<RegexRef> Parts;
+  Parts.reserve(StructFields.size());
+  for (FieldId F : StructFields)
+    Parts.push_back(Regex::symbol(F));
+  RegexRef AnyField = Regex::alt(std::move(Parts));
+  return Axiom(AxiomForm::SameOriginDisjoint, Regex::plus(AnyField),
+               Regex::epsilon(), std::move(Name));
+}
+
+//===----------------------------------------------------------------------===//
+// Axiom parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Scans an identifier at the front of \p S, returning it and advancing.
+std::string_view takeIdent(std::string_view &S) {
+  S = trim(S);
+  size_t I = 0;
+  while (I < S.size() &&
+         (std::isalnum(static_cast<unsigned char>(S[I])) || S[I] == '_'))
+    ++I;
+  std::string_view Ident = S.substr(0, I);
+  S = S.substr(I);
+  return Ident;
+}
+
+/// Parses "var" or "var.RE" where `var` must equal \p ExpectedVar; returns
+/// the RE (epsilon when the dot part is absent).
+RegexParseResult parseSide(std::string_view Side, std::string_view ExpectedVar,
+                           FieldTable &Fields, std::string &Error) {
+  Side = trim(Side);
+  std::string_view Var = takeIdent(Side);
+  RegexParseResult Out;
+  if (Var != ExpectedVar) {
+    Error = "expected bound variable '" + std::string(ExpectedVar) +
+            "', found '" + std::string(Var) + "'";
+    return Out;
+  }
+  Side = trim(Side);
+  if (Side.empty()) {
+    Out.Value = Regex::epsilon();
+    return Out;
+  }
+  if (Side.front() != '.') {
+    Error = "expected '.' after bound variable";
+    return Out;
+  }
+  Out = parseRegex(Side.substr(1), Fields);
+  if (!Out)
+    Error = "bad regular expression: " + Out.Error;
+  return Out;
+}
+
+} // namespace
+
+AxiomParseResult apt::parseAxiom(std::string_view Text, FieldTable &Fields,
+                                 std::string Name) {
+  AxiomParseResult Out;
+  std::string_view S = trim(Text);
+
+  auto Fail = [&](std::string Message) {
+    Out.Error = std::move(Message);
+    return Out;
+  };
+
+  std::string_view Kw = takeIdent(S);
+  if (Kw != "forall")
+    return Fail("axiom must start with 'forall'");
+
+  std::string_view VarP = takeIdent(S);
+  if (VarP.empty())
+    return Fail("expected bound variable after 'forall'");
+
+  S = trim(S);
+  bool TwoVars = false;
+  std::string_view VarQ;
+  if (S.size() >= 2 && (S.substr(0, 2) == "<>" || S.substr(0, 2) == "!=")) {
+    S = S.substr(2);
+    VarQ = takeIdent(S);
+    if (VarQ.empty() || VarQ == VarP)
+      return Fail("expected a second, distinct bound variable");
+    TwoVars = true;
+    S = trim(S);
+  }
+  if (S.empty() || S.front() != ':')
+    return Fail("expected ':' after the quantifier");
+  S = S.substr(1);
+
+  // Find the top-level relation token. '<', '>', '=' and '!' never occur
+  // inside regular expressions, so a plain scan suffices.
+  size_t RelPos = std::string_view::npos;
+  bool IsEquality = false;
+  for (size_t I = 0; I + 1 <= S.size(); ++I) {
+    if (I + 1 < S.size() &&
+        (S.substr(I, 2) == "<>" || S.substr(I, 2) == "!=")) {
+      RelPos = I;
+      break;
+    }
+    if (S[I] == '=') {
+      RelPos = I;
+      IsEquality = true;
+      break;
+    }
+  }
+  if (RelPos == std::string_view::npos)
+    return Fail("expected '<>' or '=' between the two access paths");
+
+  std::string_view LhsText = S.substr(0, RelPos);
+  std::string_view RhsText = S.substr(RelPos + (IsEquality ? 1 : 2));
+
+  std::string Error;
+  RegexParseResult Lhs = parseSide(LhsText, VarP, Fields, Error);
+  if (!Lhs)
+    return Fail(Error);
+  RegexParseResult Rhs =
+      parseSide(RhsText, TwoVars ? VarQ : VarP, Fields, Error);
+  if (!Rhs)
+    return Fail(Error);
+
+  if (IsEquality && TwoVars)
+    return Fail("equality axioms take the one-variable form");
+
+  Out.Value =
+      Axiom(TwoVars ? AxiomForm::DiffOriginDisjoint
+                    : (IsEquality ? AxiomForm::Equal
+                                  : AxiomForm::SameOriginDisjoint),
+            Lhs.Value, Rhs.Value, std::move(Name));
+  Out.Ok = true;
+  return Out;
+}

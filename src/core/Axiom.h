@@ -1,0 +1,117 @@
+//===- core/Axiom.h - Aliasing axioms (paper section 3.1) -------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aliasing axioms describe uniform properties of a data structure viewed
+/// as a directed graph with field-labeled edges. An axiom takes one of the
+/// paper's three forms (§3.1):
+///
+///   1. forall p:      p.RE1 <> p.RE2   (same-origin disjointness)
+///   2. forall p <> q: p.RE1 <> q.RE2   (distinct-origin disjointness)
+///   3. forall p:      p.RE1 =  p.RE2   (set equality; describes cycles)
+///
+/// where `p.RE` denotes the set of vertices reached from vertex p along any
+/// path whose label word is in L(RE).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_AXIOM_H
+#define APT_CORE_AXIOM_H
+
+#include "regex/Regex.h"
+
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// The three axiom forms of paper §3.1.
+enum class AxiomForm {
+  SameOriginDisjoint, ///< forall p:      p.RE1 <> p.RE2
+  DiffOriginDisjoint, ///< forall p <> q: p.RE1 <> q.RE2
+  Equal,              ///< forall p:      p.RE1 = p.RE2
+};
+
+/// One aliasing axiom.
+struct Axiom {
+  AxiomForm Form = AxiomForm::SameOriginDisjoint;
+  RegexRef Lhs;     ///< RE1
+  RegexRef Rhs;     ///< RE2
+  std::string Name; ///< Optional label such as "A1" (used in proofs).
+
+  Axiom() = default;
+  Axiom(AxiomForm Form, RegexRef Lhs, RegexRef Rhs, std::string Name = "")
+      : Form(Form), Lhs(std::move(Lhs)), Rhs(std::move(Rhs)),
+        Name(std::move(Name)) {}
+
+  /// Renders the axiom in the paper's notation, e.g.
+  /// "forall p <> q: p.ncolE <> q.ncolE".
+  std::string toString(const FieldTable &Fields) const;
+};
+
+/// A set of axioms valid at some program region.
+///
+/// Supports intersection (paper §3.4: when a dependence test spans a
+/// structural modification, the applicable axioms are the intersection of
+/// the sets valid before and after the modifying statement).
+class AxiomSet {
+public:
+  AxiomSet() = default;
+
+  void add(Axiom A) { Axioms.push_back(std::move(A)); }
+
+  const std::vector<Axiom> &axioms() const { return Axioms; }
+  size_t size() const { return Axioms.size(); }
+  bool empty() const { return Axioms.empty(); }
+
+  /// Finds an axiom by name; returns nullptr if absent.
+  const Axiom *byName(std::string_view Name) const;
+
+  /// Axioms present (structurally) in both sets.
+  AxiomSet intersectWith(const AxiomSet &Other) const;
+
+  /// Union of both sets (structural duplicates removed).
+  AxiomSet unionWith(const AxiomSet &Other) const;
+
+  std::string toString(const FieldTable &Fields) const;
+
+  /// Convenience: the acyclicity axiom "forall p: p.(f1|...|fk)+ <> p.eps"
+  /// over the given fields (paper Figure 3's A4, Appendix A's last axiom).
+  static Axiom acyclicity(const std::vector<FieldId> &StructFields,
+                          std::string Name = "");
+
+private:
+  std::vector<Axiom> Axioms;
+};
+
+/// Result of parsing an axiom from text.
+struct AxiomParseResult {
+  Axiom Value;
+  bool Ok = false;
+  std::string Error; ///< Non-empty on failure.
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses the paper's concrete axiom syntax:
+///
+/// \code
+///   forall p: p.L <> p.R
+///   forall p <> q: p.(L|R) <> q.(L|R)
+///   forall p: p.next.prev = p.eps
+/// \endcode
+///
+/// `!=` is accepted for `<>`; the bound variable names are arbitrary
+/// identifiers but must be used consistently; `p` alone abbreviates
+/// `p.eps`. Field names are interned into \p Fields.
+AxiomParseResult parseAxiom(std::string_view Text, FieldTable &Fields,
+                            std::string Name = "");
+
+} // namespace apt
+
+#endif // APT_CORE_AXIOM_H

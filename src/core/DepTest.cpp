@@ -1,0 +1,140 @@
+//===- core/DepTest.cpp ---------------------------------------------------===//
+//
+// Part of the APT project; see DepTest.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepTest.h"
+
+#include <cassert>
+
+using namespace apt;
+
+const char *apt::depVerdictName(DepVerdict V) {
+  switch (V) {
+  case DepVerdict::No:
+    return "No";
+  case DepVerdict::Maybe:
+    return "Maybe";
+  case DepVerdict::Yes:
+    return "Yes";
+  }
+  assert(false && "unknown verdict");
+  return "";
+}
+
+const char *apt::depKindName(DepKind K) {
+  switch (K) {
+  case DepKind::None:
+    return "none";
+  case DepKind::Flow:
+    return "flow";
+  case DepKind::Anti:
+    return "anti";
+  case DepKind::Output:
+    return "output";
+  }
+  assert(false && "unknown kind");
+  return "";
+}
+
+static DepKind classify(const MemRef &S, const MemRef &T) {
+  if (S.IsWrite && T.IsWrite)
+    return DepKind::Output;
+  if (S.IsWrite)
+    return DepKind::Flow;
+  if (T.IsWrite)
+    return DepKind::Anti;
+  return DepKind::None;
+}
+
+DepTestResult apt::dependenceTest(const AxiomSet &Axioms, const MemRef &S,
+                                  const MemRef &T, Prover &P) {
+  DepTestResult Out;
+  Out.Kind = classify(S, T);
+
+  // Two reads never conflict.
+  if (Out.Kind == DepKind::None) {
+    Out.Verdict = DepVerdict::No;
+    Out.Reason = "neither reference writes";
+    return Out;
+  }
+
+  // Pointers are not cast freely between data-structure types and point to
+  // the start of a vertex (safe in ANSI C; see §4.1), so references into
+  // different structure types, or to non-overlapping fields, cannot alias.
+  if (S.TypeName != T.TypeName) {
+    Out.Verdict = DepVerdict::No;
+    Out.Kind = DepKind::None;
+    Out.Reason = "pointers have different data-structure types ('" +
+                 S.TypeName + "' vs '" + T.TypeName + "')";
+    return Out;
+  }
+  if (S.Field != T.Field) {
+    Out.Verdict = DepVerdict::No;
+    Out.Kind = DepKind::None;
+    Out.Reason = "accessed fields do not overlap";
+    return Out;
+  }
+
+  // The core test assumes a common handle. Without a relation between two
+  // distinct handles, be conservative (the paper notes the distinct-handle
+  // test additionally needs that relationship).
+  if (S.Path.Handle != T.Path.Handle) {
+    Out.Verdict = DepVerdict::Maybe;
+    Out.Reason = "access paths are anchored at unrelated handles ('" +
+                 S.Path.Handle + "' vs '" + T.Path.Handle + "')";
+    return Out;
+  }
+
+  // Definite dependence: both paths always denote the same single vertex.
+  // Identical singleton paths are the paper's |Path|=1 check; equality
+  // axioms extend it to provably equal vertices (e.g. around a cycle).
+  if (P.proveEqualPaths(Axioms, S.Path.Path, T.Path.Path)) {
+    Out.Verdict = DepVerdict::Yes;
+    Out.Reason = "paths provably denote the same vertex";
+    return Out;
+  }
+
+  if (P.proveDisjoint(Axioms, S.Path.Path, T.Path.Path)) {
+    Out.Verdict = DepVerdict::No;
+    Out.Kind = DepKind::None;
+    Out.Reason = "proved: forall x, x." +
+                 S.Path.Path->toString(P.fields()) + " <> x." +
+                 T.Path.Path->toString(P.fields());
+    Out.ProofText = P.proofText();
+    return Out;
+  }
+
+  Out.Verdict = DepVerdict::Maybe;
+  Out.Reason = "no proof of independence found";
+  return Out;
+}
+
+DepTestResult
+apt::dependenceTest(const AxiomSet &Axioms, const MemRef &S, const MemRef &T,
+                    Prover &P,
+                    const std::vector<HandleRelation> &Relations) {
+  if (S.Path.Handle == T.Path.Handle || Relations.empty())
+    return dependenceTest(Axioms, S, T, P);
+
+  // Try to rebase one reference onto the other's handle: a relation
+  // To = From.Path turns an access To.Q into From.Path.Q. One hop is
+  // tried in both directions; chains can be pre-composed by the caller.
+  for (const HandleRelation &R : Relations) {
+    assert(R.Path && "relation with a null path");
+    if (R.From == S.Path.Handle && R.To == T.Path.Handle) {
+      MemRef T2 = T;
+      T2.Path = AccessPath(S.Path.Handle,
+                           Regex::concat(R.Path, T.Path.Path));
+      return dependenceTest(Axioms, S, T2, P);
+    }
+    if (R.From == T.Path.Handle && R.To == S.Path.Handle) {
+      MemRef S2 = S;
+      S2.Path = AccessPath(T.Path.Handle,
+                           Regex::concat(R.Path, S.Path.Path));
+      return dependenceTest(Axioms, S2, T, P);
+    }
+  }
+  return dependenceTest(Axioms, S, T, P);
+}

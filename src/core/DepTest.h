@@ -1,0 +1,100 @@
+//===- core/DepTest.h - The deptest entry point (paper §4.1) ----*- C++ -*-===//
+//
+// Part of the APT project; see Prover.h for the proveDisj engine this
+// wraps.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dependence-test driver of paper §4.1. Given two statement
+/// executions
+///
+///     S:  ... p->f ...        T:  ... q->g ...
+///
+/// with at least one of them writing, `deptest` answers whether a data
+/// dependence S -> T may exist:
+///
+///  * `No` if p and q have different (data-structure) types, or f and g do
+///    not overlap, or the prover shows the access paths can never reach
+///    the same vertex;
+///  * `Yes` if the paths provably always reach the same vertex (identical
+///    singleton paths, possibly via equality axioms);
+///  * `Maybe` otherwise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_DEPTEST_H
+#define APT_CORE_DEPTEST_H
+
+#include "core/AccessPath.h"
+#include "core/Axiom.h"
+#include "core/Prover.h"
+
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// The three possible answers of the dependence test.
+enum class DepVerdict {
+  No,    ///< Provably independent.
+  Maybe, ///< Dependence neither proven nor refuted.
+  Yes,   ///< Provably dependent.
+};
+
+const char *depVerdictName(DepVerdict V);
+
+/// Classification of a found/possible dependence by access kinds.
+enum class DepKind {
+  None,   ///< No dependence (verdict No, or neither side writes).
+  Flow,   ///< S writes, T reads.
+  Anti,   ///< S reads, T writes.
+  Output, ///< Both write.
+};
+
+const char *depKindName(DepKind K);
+
+/// One side of a dependence query: the memory reference `ptr->Field`
+/// where `ptr` is described by an access path.
+struct MemRef {
+  std::string TypeName; ///< Data-structure type of the pointer.
+  FieldId Field = 0;    ///< Field accessed relative to the pointer.
+  AccessPath Path;      ///< Where the pointer may point.
+  bool IsWrite = false; ///< Whether the access stores.
+};
+
+/// Result of a dependence test, with an explanation for reporting.
+struct DepTestResult {
+  DepVerdict Verdict = DepVerdict::Maybe;
+  DepKind Kind = DepKind::None;
+  std::string Reason;    ///< One-line human-readable justification.
+  std::string ProofText; ///< Prover proof tree for No verdicts (optional).
+};
+
+/// Known relationship between two handles: the vertex named by \p To is
+/// reached from the vertex named by \p From along \p Path (a singleton
+/// word, since a handle names one vertex).
+struct HandleRelation {
+  std::string From;
+  std::string To;
+  RegexRef Path;
+};
+
+/// Runs the paper's deptest: S precedes T; at least one must write for a
+/// dependence to be possible. \p Axioms must be valid over the whole
+/// region between S and T (see AxiomSet::intersectWith for regions that
+/// span structural modifications).
+DepTestResult dependenceTest(const AxiomSet &Axioms, const MemRef &S,
+                             const MemRef &T, Prover &P);
+
+/// The distinct-handle variant the paper sketches in §4.1: when S and T
+/// are anchored at different handles, a known relation rebases one path
+/// onto the other's handle and the common-handle test proceeds. Without
+/// an applicable relation the result is a conservative Maybe.
+DepTestResult dependenceTest(const AxiomSet &Axioms, const MemRef &S,
+                             const MemRef &T, Prover &P,
+                             const std::vector<HandleRelation> &Relations);
+
+} // namespace apt
+
+#endif // APT_CORE_DEPTEST_H

@@ -1,0 +1,217 @@
+//===- core/Prelude.cpp ---------------------------------------------------===//
+//
+// Part of the APT project; see Prelude.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prelude.h"
+
+#include "core/Shapes.h"
+
+#include <cassert>
+
+using namespace apt;
+
+/// Parses one axiom, asserting success (all prelude axioms are constants).
+static Axiom mustParse(std::string_view Text, FieldTable &Fields,
+                       std::string Name) {
+  AxiomParseResult R = parseAxiom(Text, Fields, std::move(Name));
+  assert(R && "prelude axiom failed to parse");
+  (void)R.Ok;
+  return R.Value;
+}
+
+static std::vector<FieldId> internAll(FieldTable &Fields,
+                                      std::initializer_list<const char *> Names) {
+  std::vector<FieldId> Out;
+  for (const char *N : Names)
+    Out.push_back(Fields.intern(N));
+  return Out;
+}
+
+/// Declares the node population each field points at (see
+/// StructureInfo::FieldTarget).
+static void setTargets(
+    StructureInfo &S, FieldTable &Fields,
+    std::initializer_list<std::pair<const char *, const char *>> Pairs) {
+  for (const auto &[Field, Target] : Pairs)
+    S.FieldTarget[Fields.intern(Field)] = Target;
+}
+
+StructureInfo apt::preludeLinkedList(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "LinkedList";
+  S.PointerFields = internAll(Fields, {"next"});
+  S.Axioms.add(mustParse("forall p <> q: p.next <> q.next", Fields, "L1"));
+  S.Axioms.add(mustParse("forall p: p.next+ <> p.eps", Fields, "L2"));
+  setTargets(S, Fields, {{"next", "node"}});
+  return S;
+}
+
+StructureInfo apt::preludeCircularList(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "CircularList";
+  S.PointerFields = internAll(Fields, {"next"});
+  // Injectivity only: the last node's next may close the cycle.
+  S.Axioms.add(mustParse("forall p <> q: p.next <> q.next", Fields, "C1"));
+  setTargets(S, Fields, {{"next", "node"}});
+  return S;
+}
+
+StructureInfo apt::preludeDoublyLinkedRing(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "DoublyLinkedRing";
+  S.PointerFields = internAll(Fields, {"next", "prev"});
+  S.Axioms.add(mustParse("forall p <> q: p.next <> q.next", Fields, "D1"));
+  S.Axioms.add(mustParse("forall p <> q: p.prev <> q.prev", Fields, "D2"));
+  S.Axioms.add(mustParse("forall p: p.next.prev = p.eps", Fields, "D3"));
+  S.Axioms.add(mustParse("forall p: p.prev.next = p.eps", Fields, "D4"));
+  // Rings of length >= 2: no node is its own neighbor.
+  S.Axioms.add(mustParse("forall p: p.next <> p.eps", Fields, "D5"));
+  S.Axioms.add(mustParse("forall p: p.prev <> p.eps", Fields, "D6"));
+  setTargets(S, Fields, {{"next", "node"}, {"prev", "node"}});
+  return S;
+}
+
+StructureInfo apt::preludeBinaryTree(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "BinaryTree";
+  S.PointerFields = internAll(Fields, {"L", "R"});
+  S.Axioms.add(mustParse("forall p: p.L <> p.R", Fields, "T1"));
+  S.Axioms.add(mustParse("forall p <> q: p.(L|R) <> q.(L|R)", Fields, "T2"));
+  S.Axioms.add(mustParse("forall p: p.(L|R)+ <> p.eps", Fields, "T3"));
+  setTargets(S, Fields, {{"L", "node"}, {"R", "node"}});
+  return S;
+}
+
+StructureInfo apt::preludeLeafLinkedTree(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "LLBinaryTree";
+  S.PointerFields = internAll(Fields, {"L", "R", "N"});
+  // The four axioms of Figure 3.
+  S.Axioms.add(mustParse("forall p: p.L <> p.R", Fields, "A1"));
+  S.Axioms.add(mustParse("forall p <> q: p.(L|R) <> q.(L|R)", Fields, "A2"));
+  S.Axioms.add(mustParse("forall p <> q: p.N <> q.N", Fields, "A3"));
+  S.Axioms.add(mustParse("forall p: p.(L|R|N)+ <> p.eps", Fields, "A4"));
+  setTargets(S, Fields,
+             {{"L", "node"}, {"R", "node"}, {"N", "node"}});
+  return S;
+}
+
+StructureInfo apt::preludeSparseMatrixMinimal(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "SparseMatrix";
+  S.PointerFields = internAll(Fields, {"rows", "cols", "nrowH", "ncolH",
+                                       "relem", "celem", "nrowE", "ncolE"});
+  // The three axioms of §5, sufficient to prove Theorem T.
+  S.Axioms.add(
+      mustParse("forall p <> q: p.ncolE <> q.ncolE", Fields, "A1"));
+  S.Axioms.add(mustParse("forall p: p.ncolE+ <> p.nrowE+", Fields, "A2"));
+  S.Axioms.add(
+      mustParse("forall p: p.(ncolE|nrowE)+ <> p.eps", Fields, "A3"));
+  setTargets(S, Fields,
+             {{"rows", "rowh"}, {"nrowH", "rowh"}, {"cols", "colh"},
+              {"ncolH", "colh"}, {"relem", "elem"}, {"celem", "elem"},
+              {"nrowE", "elem"}, {"ncolE", "elem"}});
+  return S;
+}
+
+StructureInfo apt::preludeSparseMatrixFull(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "SparseMatrix";
+  S.PointerFields = internAll(Fields, {"rows", "cols", "nrowH", "ncolH",
+                                       "relem", "celem", "nrowE", "ncolE"});
+  // The twelve axioms of Appendix A.
+  // Rows and columns are linked lists; successors within a row and within
+  // a column are distinct.
+  S.Axioms.add(
+      mustParse("forall p <> q: p.nrowE <> q.nrowE", Fields, "M1"));
+  S.Axioms.add(
+      mustParse("forall p <> q: p.ncolE <> q.ncolE", Fields, "M2"));
+  S.Axioms.add(mustParse("forall p: p.nrowE <> p.ncolE", Fields, "M3"));
+  // Rows are disjoint, likewise columns.
+  S.Axioms.add(
+      mustParse("forall p: p.ncolE* <> p.nrowE+.ncolE*", Fields, "M4"));
+  S.Axioms.add(
+      mustParse("forall p: p.nrowE* <> p.ncolE+.nrowE*", Fields, "M5"));
+  // Row and column headers form linked lists.
+  S.Axioms.add(
+      mustParse("forall p <> q: p.nrowH <> q.nrowH", Fields, "M6"));
+  S.Axioms.add(
+      mustParse("forall p <> q: p.ncolH <> q.ncolH", Fields, "M7"));
+  // Rows (columns) are disjoint from the headers' perspective.
+  S.Axioms.add(mustParse(
+      "forall p <> q: p.relem.ncolE* <> q.relem.ncolE*", Fields, "M8"));
+  S.Axioms.add(mustParse(
+      "forall p <> q: p.celem.nrowE* <> q.celem.nrowE*", Fields, "M9"));
+  // The root belongs to the header lists.
+  S.Axioms.add(mustParse("forall p <> q: p.rows <> q.nrowH", Fields, "M10"));
+  S.Axioms.add(mustParse("forall p <> q: p.cols <> q.ncolH", Fields, "M11"));
+  // The whole structure is acyclic.
+  S.Axioms.add(mustParse(
+      "forall p: p.(rows|cols|relem|celem|nrowH|ncolH|nrowE|ncolE)+ <> p.eps",
+      Fields, "M12"));
+  setTargets(S, Fields,
+             {{"rows", "rowh"}, {"nrowH", "rowh"}, {"cols", "colh"},
+              {"ncolH", "colh"}, {"relem", "elem"}, {"celem", "elem"},
+              {"nrowE", "elem"}, {"ncolE", "elem"}});
+  return S;
+}
+
+StructureInfo apt::preludeRangeTree2D(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "RangeTree2D";
+  S.PointerFields =
+      internAll(Fields, {"L", "R", "N", "sub", "yL", "yR", "yN"});
+  // The x-tree is a leaf-linked tree.
+  S.Axioms.add(mustParse("forall p: p.L <> p.R", Fields, "X1"));
+  S.Axioms.add(mustParse("forall p <> q: p.(L|R) <> q.(L|R)", Fields, "X2"));
+  S.Axioms.add(mustParse("forall p <> q: p.N <> q.N", Fields, "X3"));
+  // Each y-tree is a leaf-linked tree.
+  S.Axioms.add(mustParse("forall p: p.yL <> p.yR", Fields, "Y1"));
+  S.Axioms.add(
+      mustParse("forall p <> q: p.(yL|yR) <> q.(yL|yR)", Fields, "Y2"));
+  S.Axioms.add(mustParse("forall p <> q: p.yN <> q.yN", Fields, "Y3"));
+  // Distinct x-nodes own distinct, disjoint y-trees.
+  S.Axioms.add(mustParse("forall p <> q: p.sub <> q.sub", Fields, "S1"));
+  S.Axioms.add(mustParse(
+      "forall p <> q: p.sub.(yL|yR|yN)* <> q.sub.(yL|yR|yN)*", Fields,
+      "S2"));
+  // x-nodes are never y-nodes: pure x-paths and sub-crossing paths from
+  // a common origin land in disjoint node populations.
+  S.Axioms.add(mustParse(
+      "forall p: p.(L|R|N)* <> p.(L|R|N)*.sub.(L|R|N|sub|yL|yR|yN)*",
+      Fields, "S3"));
+  // The whole structure is acyclic.
+  S.Axioms.add(mustParse(
+      "forall p: p.(L|R|N|sub|yL|yR|yN)+ <> p.eps", Fields, "S4"));
+  setTargets(S, Fields,
+             {{"L", "xnode"}, {"R", "xnode"}, {"N", "xnode"},
+              {"sub", "ynode"}, {"yL", "ynode"}, {"yR", "ynode"},
+              {"yN", "ynode"}});
+  return S;
+}
+
+StructureInfo apt::preludeOctree(FieldTable &Fields) {
+  StructureInfo S;
+  S.Name = "Octree";
+  S.PointerFields = internAll(Fields, {"c0", "c1", "c2", "c3", "c4", "c5",
+                                       "c6", "c7", "bodies", "bnext"});
+  // Built from shape declarations: the cell tree, per-cell disjoint body
+  // lists, and list-ness of the body chain.
+  std::vector<FieldId> Children(S.PointerFields.begin(),
+                                S.PointerFields.begin() + 8);
+  for (Axiom &A : shapeTree(Children))
+    S.Axioms.add(std::move(A));
+  for (Axiom &A : shapeDisjoint(Fields.intern("bodies"),
+                                {Fields.intern("bnext")}))
+    S.Axioms.add(std::move(A));
+  for (Axiom &A : shapeList(Fields.intern("bnext")))
+    S.Axioms.add(std::move(A));
+  setTargets(S, Fields,
+             {{"c0", "cell"}, {"c1", "cell"}, {"c2", "cell"},
+              {"c3", "cell"}, {"c4", "cell"}, {"c5", "cell"},
+              {"c6", "cell"}, {"c7", "cell"}, {"bodies", "body"},
+              {"bnext", "body"}});
+  return S;
+}

@@ -1,0 +1,77 @@
+//===- core/Prelude.h - Canned structures from the paper --------*- C++ -*-===//
+//
+// Part of the APT project; see Axiom.h for the axiom representation.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ready-made field sets and axiom sets for the data structures the paper
+/// uses: the leaf-linked binary tree of Figure 3, the orthogonal-list
+/// sparse matrix of Figure 6 / Appendix A (both the minimal three-axiom
+/// set of §5 and the full twelve-axiom set), plus the common structures
+/// the related-work comparison needs (lists, trees, cyclic lists, 2-D
+/// range trees). Tests, benchmarks and examples all share these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_PRELUDE_H
+#define APT_CORE_PRELUDE_H
+
+#include "core/Axiom.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// A named data structure: its pointer fields and aliasing axioms.
+struct StructureInfo {
+  std::string Name;
+  std::vector<FieldId> PointerFields;
+  AxiomSet Axioms;
+  /// Which node population each field targets (e.g. the sparse matrix's
+  /// nrowE/ncolE/relem/celem all point at element nodes). Used by the
+  /// Larus-style baseline to group potentially confluent fields; fields
+  /// missing from the map are treated as one shared population.
+  std::map<FieldId, std::string> FieldTarget;
+};
+
+/// Singly-linked acyclic list over field `next`.
+StructureInfo preludeLinkedList(FieldTable &Fields);
+
+/// Circular singly-linked list over `next` (injective next, no
+/// acyclicity).
+StructureInfo preludeCircularList(FieldTable &Fields);
+
+/// Circular doubly-linked list over `next`/`prev`, with the equality
+/// axioms `p.next.prev = p` and `p.prev.next = p`.
+StructureInfo preludeDoublyLinkedRing(FieldTable &Fields);
+
+/// Plain binary tree over `L`/`R`.
+StructureInfo preludeBinaryTree(FieldTable &Fields);
+
+/// The leaf-linked binary tree of Figure 3: `L`/`R` form a tree, `N` links
+/// the leaves, the whole structure is acyclic (axioms A1-A4).
+StructureInfo preludeLeafLinkedTree(FieldTable &Fields);
+
+/// The sparse matrix of Figure 6 with only the three axioms of §5 (enough
+/// to prove Theorem T).
+StructureInfo preludeSparseMatrixMinimal(FieldTable &Fields);
+
+/// The sparse matrix with the full twelve axioms of Appendix A.
+StructureInfo preludeSparseMatrixFull(FieldTable &Fields);
+
+/// A two-dimensional range tree (§3.1): a leaf-linked tree of leaf-linked
+/// trees, the x-tree over `L`/`R`/`N` with a `sub` pointer to per-node
+/// y-trees over `yL`/`yR`/`yN`.
+StructureInfo preludeRangeTree2D(FieldTable &Fields);
+
+/// A Barnes-Hut octree (the paper's motivating N-body structure): an
+/// 8-ary tree over `c0`..`c7`, each cell owning a disjoint `bodies` list
+/// chained by `bnext`.
+StructureInfo preludeOctree(FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_CORE_PRELUDE_H

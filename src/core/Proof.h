@@ -1,0 +1,90 @@
+//===- core/Proof.h - Recorded proof trees ----------------------*- C++ -*-===//
+//
+// Part of the APT project; see Prover.h for the engine that builds these.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A proof tree recording how the prover discharged a disjointness goal.
+/// Each node carries the goal statement in the paper's notation plus the
+/// rule that closed it; children are the subgoals the rule demanded. The
+/// quickstart example prints these trees in the style of the paper's §3.3
+/// worked proof.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_PROOF_H
+#define APT_CORE_PROOF_H
+
+#include "core/Axiom.h"
+#include "regex/Regex.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Machine-checkable payload of one proof step, consumed by the
+/// independent checker in ProofChecker.h. GoalP/GoalQ are always set;
+/// the remaining fields depend on Kind.
+struct ProofJustification {
+  enum class Rule {
+    None,             ///< No structured record (recording disabled).
+    Vacuous,          ///< A goal side denotes the empty language.
+    Hypothesis,       ///< Matches an active induction hypothesis.
+    DirectT1T2,       ///< Suffix split closed by a T1 and a T2 axiom.
+    T1PrefixEqual,    ///< T1 axiom + prefixes denote the same vertex.
+    T2PrefixDisjoint, ///< T2 axiom + recursively disjoint prefixes.
+    AltSplit,         ///< Alternation case split (children = branches).
+    Induction,        ///< Single-star induction (eps / one / step).
+    SevenCase,        ///< The paper's double-Kleene seven-case rule.
+    Cached,           ///< Goal proven earlier in the same session.
+  };
+
+  Rule Kind = Rule::None;
+  RegexRef GoalP, GoalQ; ///< The goal: forall x, x.GoalP <> x.GoalQ.
+  RegexRef SufP, SufQ;   ///< Suffixes of the split (T1/T2 rules).
+  RegexRef PreP, PreQ;   ///< Prefixes of the split (T1/T2 rules).
+  Axiom T1, T2;          ///< Applied axioms (valid per HasT1/HasT2).
+  bool HasT1 = false, HasT2 = false;
+  RegexRef HypP, HypQ;   ///< Installed hypothesis (induction rules).
+  bool SplitOnP = false; ///< AltSplit: which side was split.
+};
+
+/// One step of a recorded proof.
+struct ProofNode {
+  std::string Statement; ///< E.g. "forall x: x.L.L.N <> x.L.R.N".
+  std::string Rule;      ///< How it was discharged, e.g. "T2 by A3; ...".
+  ProofJustification J;  ///< Structured payload for the proof checker.
+  std::vector<std::unique_ptr<ProofNode>> Children;
+
+  ProofNode() = default;
+  explicit ProofNode(std::string Statement)
+      : Statement(std::move(Statement)) {}
+
+  /// Adds and returns a fresh child node.
+  ProofNode *addChild(std::string ChildStatement) {
+    Children.push_back(
+        std::make_unique<ProofNode>(std::move(ChildStatement)));
+    return Children.back().get();
+  }
+
+  /// Renders the subtree, two spaces of indent per level.
+  std::string toString(unsigned Indent = 0) const {
+    std::string Out(Indent * 2, ' ');
+    Out += Statement;
+    if (!Rule.empty()) {
+      Out += "  -- ";
+      Out += Rule;
+    }
+    Out += '\n';
+    for (const std::unique_ptr<ProofNode> &C : Children)
+      Out += C->toString(Indent + 1);
+    return Out;
+  }
+};
+
+} // namespace apt
+
+#endif // APT_CORE_PROOF_H

@@ -1,0 +1,57 @@
+//===- core/ProofChecker.h - Independent proof validation -------*- C++ -*-===//
+//
+// Part of the APT project; see Proof.h for the structured justifications
+// validated here.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent checker for recorded proof trees: every leaf claim the
+/// prover made (axiom applications, suffix-split algebra, prefix
+/// equality, hypothesis usage, cache references) is re-verified with
+/// fresh regular-language queries, without consulting the prover. A
+/// passing check means the proof is self-contained evidence for the
+/// disjointness theorem, modulo two structurally-generated facts it
+/// trusts: that alternation splits and Kleene-induction case lists cover
+/// their parent goals (both are produced by construction, and the case
+/// *contents* are still re-verified).
+///
+/// A proof is self-contained only when produced by a single
+/// proveDisjoint call on a fresh (or cache-reset) Prover: goal-cache
+/// references into *earlier queries* of the same Prover are rejected,
+/// because the referenced subproof is not part of this tree.
+///
+/// Used by tests as a second line of defense behind the concrete-graph
+/// soundness oracle, and available to library users who want auditable
+/// verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_PROOFCHECKER_H
+#define APT_CORE_PROOFCHECKER_H
+
+#include "core/Axiom.h"
+#include "core/Proof.h"
+#include "regex/LangOps.h"
+
+#include <string>
+
+namespace apt {
+
+/// Outcome of checking a proof tree.
+struct ProofCheckResult {
+  bool Ok = false;
+  std::string Error; ///< First failure, with the offending statement.
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Re-verifies \p Proof against \p Axioms. \p Lang supplies the
+/// regular-language decision procedures (its caches make repeated
+/// checking cheap).
+ProofCheckResult checkProof(const ProofNode &Proof, const AxiomSet &Axioms,
+                            LangQuery &Lang);
+
+} // namespace apt
+
+#endif // APT_CORE_PROOFCHECKER_H

@@ -1,0 +1,707 @@
+//===- core/Prover.cpp - The APT theorem prover ---------------------------===//
+//
+// Part of the APT project; see Prover.h for the algorithm overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prover.h"
+
+#include "regex/Simplify.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace apt;
+
+namespace {
+// Defined with proveEqualPaths below; also used by path normalization.
+std::vector<std::pair<Word, Word>> equalityRules(const AxiomSet &Axioms);
+Word canonicalWord(const std::vector<std::pair<Word, Word>> &Rules,
+                   const Word &Start);
+} // namespace
+
+Prover::Prover(const FieldTable &Fields, ProverOptions Opts)
+    : Fields(Fields), Opts(Opts), Lang(Opts.Engine, /*EnableCache=*/true) {}
+
+void Prover::resetCaches() {
+  GoalCache.clear();
+  InProgress.clear();
+  ActiveHyps.clear();
+  Stats = ProverStats();
+}
+
+//===----------------------------------------------------------------------===//
+// Goal bookkeeping
+//===----------------------------------------------------------------------===//
+
+std::string Prover::goalKey(const Goal &G) const {
+  // Disjointness is symmetric; canonicalize side order so G(P,Q) and
+  // G(Q,P) share one cache entry.
+  std::string KP = componentsToRegex(G.P)->key();
+  std::string KQ = componentsToRegex(G.Q)->key();
+  if (KQ < KP)
+    std::swap(KP, KQ);
+  return KP + "\x1f" + KQ;
+}
+
+std::string Prover::goalStatement(const Goal &G) const {
+  return "forall x: x." + componentsToRegex(G.P)->toString(Fields) +
+         " <> x." + componentsToRegex(G.Q)->toString(Fields);
+}
+
+bool Prover::matchesHypothesis(const Goal &G) {
+  if (ActiveHyps.empty())
+    return false;
+  std::string Key = goalKey(G);
+  RegexRef RP = componentsToRegex(G.P), RQ = componentsToRegex(G.Q);
+  for (const Hypothesis &H : ActiveHyps) {
+    if (H.Key == Key) {
+      ++Stats.HypothesisHits;
+      return true;
+    }
+    // Structural keys can differ for equal languages (e.g. a.a* vs a*.a);
+    // fall back to language equivalence.
+    if ((Lang.equivalent(RP, H.P) && Lang.equivalent(RQ, H.Q)) ||
+        (Lang.equivalent(RP, H.Q) && Lang.equivalent(RQ, H.P))) {
+      ++Stats.HypothesisHits;
+      return true;
+    }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Axiom application (the paper's T1/T2 computations)
+//===----------------------------------------------------------------------===//
+
+const Axiom *Prover::findFormA(const AxiomSet &Axioms, const RegexRef &Sp,
+                               const RegexRef &Sq) {
+  for (const Axiom &A : Axioms.axioms()) {
+    if (A.Form != AxiomForm::SameOriginDisjoint)
+      continue;
+    if ((Lang.subsetOf(Sp, A.Lhs) && Lang.subsetOf(Sq, A.Rhs)) ||
+        (Lang.subsetOf(Sp, A.Rhs) && Lang.subsetOf(Sq, A.Lhs)))
+      return &A;
+  }
+  return nullptr;
+}
+
+const Axiom *Prover::findFormB(const AxiomSet &Axioms, const RegexRef &Sp,
+                               const RegexRef &Sq) {
+  for (const Axiom &A : Axioms.axioms()) {
+    if (A.Form != AxiomForm::DiffOriginDisjoint)
+      continue;
+    if ((Lang.subsetOf(Sp, A.Lhs) && Lang.subsetOf(Sq, A.Rhs)) ||
+        (Lang.subsetOf(Sp, A.Rhs) && Lang.subsetOf(Sq, A.Lhs)))
+      return &A;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Public entry points
+//===----------------------------------------------------------------------===//
+
+size_t Prover::axiomSetFingerprint(const AxiomSet &Axioms) {
+  std::vector<std::string> Keys;
+  Keys.reserve(Axioms.size());
+  for (const Axiom &A : Axioms.axioms())
+    Keys.push_back(std::string(1, static_cast<char>('0' + static_cast<int>(
+                                      A.Form))) +
+                   A.Lhs->key() + "\x1f" + A.Rhs->key());
+  std::sort(Keys.begin(), Keys.end());
+  size_t Seed = Keys.size();
+  for (const std::string &K : Keys)
+    hashCombine(Seed, std::hash<std::string>()(K));
+  return Seed;
+}
+
+bool Prover::proveDisjoint(const AxiomSet &Axioms, const RegexRef &P,
+                           const RegexRef &Q) {
+  assert(P && Q && "null access path regex");
+  RegexRef NP = P, NQ = Q;
+  if (Opts.NormalizePaths) {
+    // Language-preserving shrinking, then canonicalization of
+    // singleton-word paths through the equality axioms (so that e.g.
+    // ring paths crossing next.prev reduce before the suffix machinery
+    // runs -- it only knows the disjointness axiom forms).
+    NP = simplifyRegex(NP, Lang);
+    NQ = simplifyRegex(NQ, Lang);
+    std::vector<std::pair<Word, Word>> Rules = equalityRules(Axioms);
+    if (!Rules.empty()) {
+      if (std::optional<Word> W = NP->singletonWord())
+        NP = Regex::word(canonicalWord(Rules, *W));
+      if (std::optional<Word> W = NQ->singletonWord())
+        NQ = Regex::word(canonicalWord(Rules, *W));
+    }
+  }
+  Goal G{pathComponents(NP), pathComponents(NQ)};
+  CurrentAxiomFp = axiomSetFingerprint(Axioms);
+  StepsLeft = Opts.MaxSteps;
+  Root.reset();
+  InductionDepth = 0;
+  Poisoned = false;
+  std::unique_ptr<ProofNode> Node;
+  if (Opts.RecordProof)
+    Node = std::make_unique<ProofNode>();
+  bool Ok = prove(Axioms, std::move(G), Node.get(), /*Depth=*/0);
+  if (Ok && Node)
+    Root = std::move(Node);
+  return Ok;
+}
+
+namespace {
+
+/// Bidirectional rewrite rules from the form-3 equality axioms whose
+/// sides are single words (e.g. forall p: p.next.prev = p.eps describes
+/// a doubly-linked cycle and rewrites ...next.prev... to ...).
+std::vector<std::pair<Word, Word>> equalityRules(const AxiomSet &Axioms) {
+  std::vector<std::pair<Word, Word>> Rules;
+  for (const Axiom &A : Axioms.axioms()) {
+    if (A.Form != AxiomForm::Equal)
+      continue;
+    std::optional<Word> L = A.Lhs->singletonWord();
+    std::optional<Word> R = A.Rhs->singletonWord();
+    if (!L || !R || *L == *R)
+      continue;
+    Rules.emplace_back(*L, *R);
+    Rules.emplace_back(*R, *L);
+  }
+  return Rules;
+}
+
+/// Canonical representative of \p Start's rewrite-equivalence class:
+/// the shortest (then lexicographically smallest) word reachable by
+/// bounded rewriting. Words denoting the same vertex share a canonical
+/// form whenever the bounded exploration connects them.
+Word canonicalWord(const std::vector<std::pair<Word, Word>> &Rules,
+                   const Word &Start) {
+  if (Rules.empty())
+    return Start;
+  constexpr size_t MaxVisited = 512;
+  Word Best = Start;
+  std::set<Word> Visited{Start};
+  std::deque<Word> Worklist{Start};
+  auto Better = [](const Word &A, const Word &B) {
+    return A.size() != B.size() ? A.size() < B.size() : A < B;
+  };
+  while (!Worklist.empty() && Visited.size() < MaxVisited) {
+    Word Cur = std::move(Worklist.front());
+    Worklist.pop_front();
+    if (Better(Cur, Best))
+      Best = Cur;
+    for (const auto &[From, To] : Rules) {
+      if (From.size() > Cur.size())
+        continue;
+      for (size_t At = 0; At + From.size() <= Cur.size(); ++At) {
+        if (!std::equal(From.begin(), From.end(), Cur.begin() + At))
+          continue;
+        Word Next(Cur.begin(), Cur.begin() + At);
+        Next.insert(Next.end(), To.begin(), To.end());
+        Next.insert(Next.end(), Cur.begin() + At + From.size(), Cur.end());
+        if (Visited.insert(Next).second)
+          Worklist.push_back(Next);
+      }
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+bool Prover::proveEqualPaths(const AxiomSet &Axioms, const RegexRef &P,
+                             const RegexRef &Q) {
+  // Only singleton-word paths denote single vertices (fields are
+  // functions), so only those can be proven pointwise equal.
+  std::optional<Word> WP = P->singletonWord();
+  std::optional<Word> WQ = Q->singletonWord();
+  if (!WP || !WQ)
+    return false;
+  if (*WP == *WQ)
+    return true;
+  std::vector<std::pair<Word, Word>> Rules = equalityRules(Axioms);
+  if (Rules.empty())
+    return false;
+  // Equal vertices share a canonical form (rewriting is symmetric); the
+  // bounded search makes a differing canonical form a conservative "not
+  // proven equal".
+  return canonicalWord(Rules, *WP) == canonicalWord(Rules, *WQ);
+}
+
+//===----------------------------------------------------------------------===//
+// The proveDisj core
+//===----------------------------------------------------------------------===//
+
+bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
+                   size_t Depth) {
+  if (StepsLeft == 0) {
+    ++Stats.BudgetExhausted;
+    Poisoned = true;
+    return false;
+  }
+  --StepsLeft;
+  ++Stats.GoalsExplored;
+
+  if (Out) {
+    Out->Statement = goalStatement(G);
+    Out->J.GoalP = componentsToRegex(G.P);
+    Out->J.GoalQ = componentsToRegex(G.Q);
+  }
+
+  if (Depth > Opts.MaxDepth ||
+      G.P.size() + G.Q.size() > Opts.MaxGoalComponents) {
+    // This failure reflects a cutoff, not the goal itself; it must not be
+    // cached as a definitive "no proof".
+    Poisoned = true;
+    return false;
+  }
+
+  // The cache result depends on the axiom set and on which induction
+  // hypotheses are active.
+  std::string Key = goalKey(G);
+  std::string FullKey = std::to_string(CurrentAxiomFp) + "\x1d" + Key;
+  if (!ActiveHyps.empty()) {
+    std::vector<std::string> HypKeys;
+    for (const Hypothesis &H : ActiveHyps)
+      HypKeys.push_back(H.Key);
+    std::sort(HypKeys.begin(), HypKeys.end());
+    FullKey += "\x1e";
+    FullKey += join(HypKeys, "\x1e");
+  }
+
+  if (Opts.EnableGoalCache) {
+    auto It = GoalCache.find(FullKey);
+    if (It != GoalCache.end()) {
+      ++Stats.GoalCacheHits;
+      if (Out && It->second) {
+        Out->Rule = "previously proven (cache)";
+        Out->J.Kind = ProofJustification::Rule::Cached;
+      }
+      return It->second;
+    }
+  }
+
+  // A goal currently being proven higher up the stack must not close
+  // itself; failing the re-entry keeps the search finite. The failure is
+  // context-dependent, so it poisons caching like a cutoff does.
+  if (std::find(InProgress.begin(), InProgress.end(), FullKey) !=
+      InProgress.end()) {
+    Poisoned = true;
+    return false;
+  }
+
+  InProgress.push_back(FullKey);
+  bool SavedPoison = Poisoned;
+  Poisoned = false;
+  bool Result = proveCore(Axioms, G, Out, Depth);
+  bool MyPoison = Poisoned;
+  Poisoned = SavedPoison || MyPoison;
+  InProgress.pop_back();
+
+  // Successful proofs are always cacheable (under the hypothesis
+  // signature baked into the key); failures only when no cutoff or cycle
+  // cut influenced the subtree.
+  if (Opts.EnableGoalCache && (Result || !MyPoison))
+    GoalCache.emplace(std::move(FullKey), Result);
+  return Result;
+}
+
+bool Prover::proveCore(const AxiomSet &Axioms, const Goal &G, ProofNode *Out,
+                       size_t Depth) {
+  RegexRef RP = componentsToRegex(G.P);
+  RegexRef RQ = componentsToRegex(G.Q);
+
+  // A side with no path at all reaches no vertex.
+  if (RP->isEmpty() || RQ->isEmpty()) {
+    if (Out) {
+      Out->Rule = "vacuous: a side denotes no path";
+      Out->J.Kind = ProofJustification::Rule::Vacuous;
+    }
+    return true;
+  }
+
+  if (matchesHypothesis(G)) {
+    if (Out) {
+      Out->Rule = "by the induction hypothesis";
+      Out->J.Kind = ProofJustification::Rule::Hypothesis;
+    }
+    return true;
+  }
+
+  if (structurallyEqual(RP, RQ))
+    return false;
+
+  // If the two languages share a word w, the vertex x.w witnesses an
+  // overlap in any model where that path exists; no proof can be found,
+  // so do not search for one.
+  if (Opts.PruneIntersectingLanguages && !Lang.disjoint(RP, RQ))
+    return false;
+
+  if (trySuffixSplits(Axioms, G, Out, Depth))
+    return true;
+  if (tryAlternationSplit(Axioms, G, Out, Depth))
+    return true;
+  if (tryKleeneInduction(Axioms, G, Out, Depth))
+    return true;
+  return false;
+}
+
+bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
+                             ProofNode *Out, size_t Depth) {
+  const size_t N = G.P.size(), M = G.Q.size();
+
+  // Enumerate suffix splits shortest-first: the paper's recursive suffix
+  // generation ((1,1) then (1,0)/(0,1), repeated) visits exactly the pairs
+  // (i, j) != (0, 0) of suffix component counts.
+  for (size_t Total = 1; Total <= N + M; ++Total) {
+    for (size_t I = Total >= M ? Total - M : 0; I <= std::min(Total, N);
+         ++I) {
+      size_t J = Total - I;
+      RegexRef Sp = componentsToRegex(
+          std::vector<RegexRef>(G.P.begin() + (N - I), G.P.end()));
+      RegexRef Sq = componentsToRegex(
+          std::vector<RegexRef>(G.Q.begin() + (M - J), G.Q.end()));
+      std::vector<RegexRef> PrefP(G.P.begin(), G.P.end() - I);
+      std::vector<RegexRef> PrefQ(G.Q.begin(), G.Q.end() - J);
+
+      const Axiom *T1 = findFormA(Axioms, Sp, Sq);
+      const Axiom *T2 = findFormB(Axioms, Sp, Sq);
+      if (!T1 && !T2)
+        continue;
+
+      std::string SplitDesc = "suffixes (" + Sp->toString(Fields) + ", " +
+                              Sq->toString(Fields) + ")";
+      auto AxName = [this](const Axiom *A) {
+        return A->Name.empty() ? "[" + A->toString(Fields) + "]" : A->Name;
+      };
+
+      // Steps A+B: suffixes disjoint whether the prefixes lead to the
+      // same vertex (T1) or to distinct vertices (T2).
+      if (T1 && T2) {
+        if (Out) {
+          Out->Rule = SplitDesc + ": T1 by " + AxName(T1) + " and T2 by " +
+                      AxName(T2);
+          Out->J.Kind = ProofJustification::Rule::DirectT1T2;
+          Out->J.SufP = Sp;
+          Out->J.SufQ = Sq;
+          Out->J.PreP = componentsToRegex(PrefP);
+          Out->J.PreQ = componentsToRegex(PrefQ);
+          Out->J.T1 = *T1;
+          Out->J.HasT1 = true;
+          Out->J.T2 = *T2;
+          Out->J.HasT2 = true;
+        }
+        return true;
+      }
+
+      // Step C: same-origin disjointness suffices when the prefixes
+      // provably name the same single vertex.
+      if (T1) {
+        RegexRef RPrefP = componentsToRegex(PrefP);
+        RegexRef RPrefQ = componentsToRegex(PrefQ);
+        if (proveEqualPaths(Axioms, RPrefP, RPrefQ)) {
+          if (Out) {
+            Out->Rule = SplitDesc + ": T1 by " + AxName(T1) +
+                        "; prefixes denote the same vertex";
+            Out->J.Kind = ProofJustification::Rule::T1PrefixEqual;
+            Out->J.SufP = Sp;
+            Out->J.SufQ = Sq;
+            Out->J.PreP = RPrefP;
+            Out->J.PreQ = RPrefQ;
+            Out->J.T1 = *T1;
+            Out->J.HasT1 = true;
+          }
+          return true;
+        }
+      }
+
+      // Step D: distinct-origin disjointness suffices when the prefixes
+      // are recursively provably disjoint.
+      if (T2 && !(PrefP.empty() && PrefQ.empty())) {
+        ProofNode Sub;
+        if (prove(Axioms, Goal{PrefP, PrefQ}, Out ? &Sub : nullptr,
+                  Depth + 1)) {
+          if (Out) {
+            Out->Rule =
+                SplitDesc + ": T2 by " + AxName(T2) + "; prefixes disjoint";
+            Out->J.Kind = ProofJustification::Rule::T2PrefixDisjoint;
+            Out->J.SufP = Sp;
+            Out->J.SufQ = Sq;
+            Out->J.PreP = componentsToRegex(PrefP);
+            Out->J.PreQ = componentsToRegex(PrefQ);
+            Out->J.T2 = *T2;
+            Out->J.HasT2 = true;
+            Out->Children.push_back(
+                std::make_unique<ProofNode>(std::move(Sub)));
+          }
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+bool Prover::tryAlternationSplit(const AxiomSet &Axioms, const Goal &G,
+                                 ProofNode *Out, size_t Depth) {
+  // Try alternation components right-to-left on each side; every branch
+  // must be proven for the split to succeed.
+  for (int Side = 0; Side < 2; ++Side) {
+    const std::vector<RegexRef> &Comps = Side == 0 ? G.P : G.Q;
+    for (size_t RevIdx = Comps.size(); RevIdx-- > 0;) {
+      const RegexRef &C = Comps[RevIdx];
+      if (C->kind() != RegexKind::Alt)
+        continue;
+      ++Stats.AltSplits;
+
+      std::vector<std::unique_ptr<ProofNode>> BranchProofs;
+      bool AllProven = true;
+      for (const RegexRef &Branch : C->children()) {
+        // Substitute the branch and re-normalize the component list (the
+        // branch may itself be a concatenation or a plus).
+        std::vector<RegexRef> NewComps;
+        for (size_t K = 0; K < Comps.size(); ++K) {
+          if (K == RevIdx) {
+            for (const RegexRef &Sub : pathComponents(Branch))
+              NewComps.push_back(Sub);
+          } else {
+            NewComps.push_back(Comps[K]);
+          }
+        }
+        Goal Sub = Side == 0 ? Goal{NewComps, G.Q} : Goal{G.P, NewComps};
+        auto Node = Out ? std::make_unique<ProofNode>() : nullptr;
+        if (!prove(Axioms, std::move(Sub), Node.get(), Depth + 1)) {
+          AllProven = false;
+          break;
+        }
+        if (Node)
+          BranchProofs.push_back(std::move(Node));
+      }
+      if (AllProven) {
+        if (Out) {
+          Out->Rule = "case split on alternation " + C->toString(Fields) +
+                      " (all branches proven)";
+          Out->J.Kind = ProofJustification::Rule::AltSplit;
+          Out->J.SplitOnP = Side == 0;
+          Out->Children = std::move(BranchProofs);
+        }
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool Prover::tryKleeneInduction(const AxiomSet &Axioms, const Goal &G,
+                                ProofNode *Out, size_t Depth) {
+  if (InductionDepth >= Opts.MaxInductionDepth) {
+    Poisoned = true;
+    return false;
+  }
+  ++InductionDepth;
+  bool Ok = tryKleeneInductionImpl(Axioms, G, Out, Depth);
+  --InductionDepth;
+  return Ok;
+}
+
+bool Prover::tryKleeneInductionImpl(const AxiomSet &Axioms, const Goal &G,
+                                    ProofNode *Out, size_t Depth) {
+  bool PEndsStar = !G.P.empty() && G.P.back()->kind() == RegexKind::Star;
+  bool QEndsStar = !G.Q.empty() && G.Q.back()->kind() == RegexKind::Star;
+
+  if (Opts.PaperStyleDoubleKleene && PEndsStar && QEndsStar &&
+      trySevenCaseInduction(Axioms, G, Out, Depth))
+    return true;
+
+  // Single-star induction on the rightmost star of either side (the
+  // seven-case form above is the composition of two of these; running the
+  // single form afterwards also covers stars that are not path-final).
+  // Sides whose star is the final component are tried first, matching the
+  // paper's prefix-final formulation.
+  auto StarIdx = [](const std::vector<RegexRef> &Comps) -> int {
+    for (size_t RevIdx = Comps.size(); RevIdx-- > 0;)
+      if (Comps[RevIdx]->kind() == RegexKind::Star)
+        return static_cast<int>(RevIdx);
+    return -1;
+  };
+  int IdxP = StarIdx(G.P), IdxQ = StarIdx(G.Q);
+  bool PFirst = PEndsStar || !QEndsStar;
+  for (int Attempt = 0; Attempt < 2; ++Attempt) {
+    bool OnP = (Attempt == 0) == PFirst;
+    int Idx = OnP ? IdxP : IdxQ;
+    if (Idx < 0)
+      continue;
+    if (trySingleStarInduction(Axioms, G, OnP, static_cast<size_t>(Idx),
+                               Out, Depth))
+      return true;
+  }
+  return false;
+}
+
+/// Replaces component \p Idx of \p Comps with \p Replacement (flattened),
+/// returning the new component list.
+static std::vector<RegexRef>
+replaceComponent(const std::vector<RegexRef> &Comps, size_t Idx,
+                 const std::vector<RegexRef> &Replacement) {
+  std::vector<RegexRef> Out;
+  Out.reserve(Comps.size() + Replacement.size());
+  for (size_t K = 0; K < Comps.size(); ++K) {
+    if (K == Idx) {
+      for (const RegexRef &R : Replacement)
+        Out.push_back(R);
+    } else {
+      Out.push_back(Comps[K]);
+    }
+  }
+  return Out;
+}
+
+bool Prover::trySingleStarInduction(const AxiomSet &Axioms, const Goal &G,
+                                    bool OnP, size_t StarIdx, ProofNode *Out,
+                                    size_t Depth) {
+  ++Stats.Inductions;
+  const std::vector<RegexRef> &Comps = OnP ? G.P : G.Q;
+  RegexRef Star = Comps[StarIdx];
+  RegexRef Inner = Star->child();
+  std::vector<RegexRef> InnerComps = pathComponents(Inner);
+
+  auto MakeGoal = [&](std::vector<RegexRef> NewSide) {
+    return OnP ? Goal{std::move(NewSide), G.Q} : Goal{G.P, std::move(NewSide)};
+  };
+
+  // Base case 1: a* replaced by eps.
+  Goal BaseEps = MakeGoal(replaceComponent(Comps, StarIdx, {}));
+  auto NodeEps = Out ? std::make_unique<ProofNode>() : nullptr;
+  if (!prove(Axioms, BaseEps, NodeEps.get(), Depth + 1))
+    return false;
+
+  // Base case 2: a* replaced by a.
+  Goal BaseOne = MakeGoal(replaceComponent(Comps, StarIdx, InnerComps));
+  auto NodeOne = Out ? std::make_unique<ProofNode>() : nullptr;
+  if (!prove(Axioms, BaseOne, NodeOne.get(), Depth + 1))
+    return false;
+
+  // Inductive step: assume the a*.a instance, prove the a*.a.a instance.
+  std::vector<RegexRef> HypRepl{Star};
+  HypRepl.insert(HypRepl.end(), InnerComps.begin(), InnerComps.end());
+  std::vector<RegexRef> StepRepl = HypRepl;
+  StepRepl.insert(StepRepl.end(), InnerComps.begin(), InnerComps.end());
+
+  Goal HypGoal = MakeGoal(replaceComponent(Comps, StarIdx, HypRepl));
+  Goal StepGoal = MakeGoal(replaceComponent(Comps, StarIdx, StepRepl));
+
+  Hypothesis H;
+  H.Key = goalKey(HypGoal);
+  H.P = componentsToRegex(HypGoal.P);
+  H.Q = componentsToRegex(HypGoal.Q);
+  H.Label = goalStatement(HypGoal);
+  ActiveHyps.push_back(H);
+  auto NodeStep = Out ? std::make_unique<ProofNode>() : nullptr;
+  bool StepOk = prove(Axioms, StepGoal, NodeStep.get(), Depth + 1);
+  ActiveHyps.pop_back();
+  if (!StepOk)
+    return false;
+
+  if (Out) {
+    Out->Rule = "induction on " + Star->toString(Fields) +
+                (OnP ? " (left path)" : " (right path)");
+    Out->J.Kind = ProofJustification::Rule::Induction;
+    Out->J.HypP = H.P;
+    Out->J.HypQ = H.Q;
+    NodeEps->Statement = "[base eps] " + NodeEps->Statement;
+    NodeOne->Statement = "[base one] " + NodeOne->Statement;
+    NodeStep->Statement = "[step, assuming " + H.Label + "] " +
+                          NodeStep->Statement;
+    Out->Children.push_back(std::move(NodeEps));
+    Out->Children.push_back(std::move(NodeOne));
+    Out->Children.push_back(std::move(NodeStep));
+  }
+  return true;
+}
+
+bool Prover::trySevenCaseInduction(const AxiomSet &Axioms, const Goal &G,
+                                   ProofNode *Out, size_t Depth) {
+  ++Stats.Inductions;
+  // P = P'.a*, Q = Q'.b*; the paper's seven cases when both paths end in
+  // Kleene components (§4.1), with a+ written as a*.a.
+  std::vector<RegexRef> PPrefix(G.P.begin(), G.P.end() - 1);
+  std::vector<RegexRef> QPrefix(G.Q.begin(), G.Q.end() - 1);
+  RegexRef StarA = G.P.back(), StarB = G.Q.back();
+  std::vector<RegexRef> A = pathComponents(StarA->child());
+  std::vector<RegexRef> B = pathComponents(StarB->child());
+
+  auto WithSuffix = [](const std::vector<RegexRef> &Prefix,
+                       std::initializer_list<const std::vector<RegexRef> *>
+                           Suffixes) {
+    std::vector<RegexRef> Out = Prefix;
+    for (const std::vector<RegexRef> *S : Suffixes)
+      Out.insert(Out.end(), S->begin(), S->end());
+    return Out;
+  };
+  std::vector<RegexRef> StarAOnly{StarA}, StarBOnly{StarB};
+
+  struct Case {
+    const char *Label;
+    Goal G;
+  };
+  // Cases 1-3 plus subcases 4.1-4.3; 4.4 is handled separately because it
+  // installs the hypothesis.
+  Case Cases[] = {
+      {"(eps, eps)", Goal{PPrefix, QPrefix}},
+      {"(eps, b+)", Goal{PPrefix, WithSuffix(QPrefix, {&StarBOnly, &B})}},
+      {"(a+, eps)", Goal{WithSuffix(PPrefix, {&StarAOnly, &A}), QPrefix}},
+      {"(a, b)",
+       Goal{WithSuffix(PPrefix, {&A}), WithSuffix(QPrefix, {&B})}},
+      {"(a+, b)",
+       Goal{WithSuffix(PPrefix, {&StarAOnly, &A}), WithSuffix(QPrefix, {&B})}},
+      {"(a, b+)",
+       Goal{WithSuffix(PPrefix, {&A}), WithSuffix(QPrefix, {&StarBOnly, &B})}},
+  };
+
+  std::vector<std::unique_ptr<ProofNode>> CaseProofs;
+  for (Case &C : Cases) {
+    auto Node = Out ? std::make_unique<ProofNode>() : nullptr;
+    if (!prove(Axioms, C.G, Node.get(), Depth + 1))
+      return false;
+    if (Node) {
+      Node->Statement = "[case " + std::string(C.Label) + "] " +
+                        Node->Statement;
+      CaseProofs.push_back(std::move(Node));
+    }
+  }
+
+  // Case 4.4: assume (a+, b+), prove (a+.a, b+.b).
+  Goal HypGoal{WithSuffix(PPrefix, {&StarAOnly, &A}),
+               WithSuffix(QPrefix, {&StarBOnly, &B})};
+  Goal StepGoal{WithSuffix(PPrefix, {&StarAOnly, &A, &A}),
+                WithSuffix(QPrefix, {&StarBOnly, &B, &B})};
+
+  Hypothesis H;
+  H.Key = goalKey(HypGoal);
+  H.P = componentsToRegex(HypGoal.P);
+  H.Q = componentsToRegex(HypGoal.Q);
+  H.Label = goalStatement(HypGoal);
+  ActiveHyps.push_back(H);
+  auto NodeStep = Out ? std::make_unique<ProofNode>() : nullptr;
+  bool StepOk = prove(Axioms, StepGoal, NodeStep.get(), Depth + 1);
+  ActiveHyps.pop_back();
+  if (!StepOk)
+    return false;
+
+  if (Out) {
+    Out->Rule = "seven-case double-Kleene induction on (" +
+                StarA->toString(Fields) + ", " + StarB->toString(Fields) +
+                ")";
+    Out->J.Kind = ProofJustification::Rule::SevenCase;
+    Out->J.HypP = H.P;
+    Out->J.HypQ = H.Q;
+    NodeStep->Statement = "[case (a+.a, b+.b), assuming " + H.Label + "] " +
+                          NodeStep->Statement;
+    Out->Children = std::move(CaseProofs);
+    Out->Children.push_back(std::move(NodeStep));
+  }
+  return true;
+}

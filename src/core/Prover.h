@@ -1,0 +1,212 @@
+//===- core/Prover.h - The APT theorem prover (paper section 4) -*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The core of APT: a decidable theorem prover that, given a set of
+/// aliasing axioms, attempts to prove theorems of the form
+///
+///     forall vertices x:  x.P <> x.Q
+///
+/// i.e. that two access paths anchored at the same vertex can never reach
+/// the same vertex in any data structure satisfying the axioms. This is
+/// the paper's `proveDisj` (§4.1), organized as follows:
+///
+///  * Suffix enumeration: every component-granularity split P = Pp.Sp,
+///    Q = Pq.Sq is tried (the paper's (1,1)/(1,0)/(0,1) recursive suffix
+///    generation produces exactly this set).
+///  * For each split, T1 (same-origin) axioms and T2 (distinct-origin)
+///    axioms are applied to the suffixes by regular-language subset tests.
+///    T1 && T2 closes the goal outright; T1 plus provably equal prefixes
+///    (step C) or T2 plus recursively provably disjoint prefixes (step D)
+///    also close it.
+///  * Alternation components are first treated whole; if the proof fails
+///    they are split, and every branch must be proven (step E).
+///  * Kleene components are first treated whole; if the proof fails the
+///    prover performs induction (step E): base cases eps and a, then an
+///    inductive step that assumes the a*a instance and proves the a*aa
+///    instance. When both paths end in stars the paper's seven-case
+///    combined induction is used. The inductive hypothesis is installed as
+///    an assumed goal (matched by identity or language equivalence), which
+///    keeps the induction sound: a hypothesis can only discharge a goal
+///    whose words are strictly shorter than the step goal's.
+///  * All goals are memoized; in-progress goals fail their recursive
+///    re-entries, making the search finite, and explicit depth/step
+///    budgets implement the paper's "pruned heuristically and cutoff
+///    points set" remark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_PROVER_H
+#define APT_CORE_PROVER_H
+
+#include "core/AccessPath.h"
+#include "core/Axiom.h"
+#include "core/Proof.h"
+#include "regex/LangOps.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace apt {
+
+/// Tuning knobs for the prover (the paper's user-controllable cutoffs).
+struct ProverOptions {
+  /// Which regular-language decision engine answers subset queries.
+  LangEngine Engine = LangEngine::Dfa;
+
+  /// Memoize goals (paper §4.2 assumes intermediate proofs are cached).
+  bool EnableGoalCache = true;
+
+  /// Fail fast when the two path languages intersect: a shared word w
+  /// means the single vertex x.w would witness a dependence in any model
+  /// where the w-path exists, so no proof is sought.
+  bool PruneIntersectingLanguages = true;
+
+  /// Use the paper's seven-case combined induction when both paths end in
+  /// Kleene components (otherwise nested single-star inductions run).
+  bool PaperStyleDoubleKleene = true;
+
+  /// Recursion depth cutoff.
+  size_t MaxDepth = 48;
+
+  /// Maximum nesting of Kleene inductions. Each induction unrolls star
+  /// components, growing goals, so unbounded nesting makes failing
+  /// searches explode; real proofs rarely need more than a handful.
+  size_t MaxInductionDepth = 6;
+
+  /// Total goal budget; exhausting it fails the remaining goals.
+  size_t MaxSteps = 200000;
+
+  /// Goals with more components than this fail immediately.
+  size_t MaxGoalComponents = 64;
+
+  /// Record a proof tree for successful proofs.
+  bool RecordProof = true;
+
+  /// Preprocess query paths: language-preserving simplification
+  /// (regex/Simplify.h) plus canonicalization of singleton-word paths
+  /// via the form-3 equality axioms, so that e.g. `next.next.prev`
+  /// enters the proof as `next` and cycle-crossing queries succeed.
+  bool NormalizePaths = true;
+};
+
+/// Aggregate counters exposed for tests and the complexity benchmarks.
+struct ProverStats {
+  uint64_t GoalsExplored = 0;
+  uint64_t GoalCacheHits = 0;
+  uint64_t HypothesisHits = 0;
+  uint64_t AltSplits = 0;
+  uint64_t Inductions = 0;
+  uint64_t BudgetExhausted = 0;
+};
+
+/// The APT theorem prover. One instance holds the language-query caches
+/// and may be reused across many queries against the same field table.
+class Prover {
+public:
+  explicit Prover(const FieldTable &Fields, ProverOptions Opts = {});
+
+  /// Attempts to prove `forall x: x.P <> x.Q` from \p Axioms. Returns
+  /// true iff a proof was found (false means "no proof", not "false").
+  bool proveDisjoint(const AxiomSet &Axioms, const RegexRef &P,
+                     const RegexRef &Q);
+
+  /// Attempts to prove that two same-handle paths denote the *same single
+  /// vertex* (used for step C and for the dependence test's Yes answers):
+  /// singleton-word identity, or a chain of form-3 equality axioms.
+  bool proveEqualPaths(const AxiomSet &Axioms, const RegexRef &P,
+                       const RegexRef &Q);
+
+  /// Proof tree of the last successful proveDisjoint (null if none or if
+  /// recording is disabled). Valid until the next proveDisjoint call.
+  const ProofNode *proof() const { return Root ? Root.get() : nullptr; }
+
+  /// Renders the last proof; empty string if there is none.
+  std::string proofText() const { return Root ? Root->toString() : ""; }
+
+  const ProverStats &stats() const { return Stats; }
+  LangQuery &langQuery() { return Lang; }
+  const ProverOptions &options() const { return Opts; }
+  const FieldTable &fields() const { return Fields; }
+
+  /// Clears goal caches and statistics (language caches survive).
+  void resetCaches();
+
+private:
+  /// A disjointness goal: prove forall x, x.concat(P) <> x.concat(Q).
+  struct Goal {
+    std::vector<RegexRef> P, Q;
+  };
+
+  bool prove(const AxiomSet &Axioms, Goal G, ProofNode *Out, size_t Depth);
+  bool proveCore(const AxiomSet &Axioms, const Goal &G, ProofNode *Out,
+                 size_t Depth);
+  bool trySuffixSplits(const AxiomSet &Axioms, const Goal &G, ProofNode *Out,
+                       size_t Depth);
+  bool tryAlternationSplit(const AxiomSet &Axioms, const Goal &G,
+                           ProofNode *Out, size_t Depth);
+  bool tryKleeneInduction(const AxiomSet &Axioms, const Goal &G,
+                          ProofNode *Out, size_t Depth);
+  bool tryKleeneInductionImpl(const AxiomSet &Axioms, const Goal &G,
+                              ProofNode *Out, size_t Depth);
+  bool trySingleStarInduction(const AxiomSet &Axioms, const Goal &G,
+                              bool OnP, size_t StarIdx, ProofNode *Out,
+                              size_t Depth);
+  bool trySevenCaseInduction(const AxiomSet &Axioms, const Goal &G,
+                             ProofNode *Out, size_t Depth);
+
+  /// Searches \p Axioms for a same-origin (form 1) axiom whose sides cover
+  /// the two suffix languages; returns its name or empty on failure.
+  const Axiom *findFormA(const AxiomSet &Axioms, const RegexRef &Sp,
+                         const RegexRef &Sq);
+  /// Likewise for distinct-origin (form 2) axioms.
+  const Axiom *findFormB(const AxiomSet &Axioms, const RegexRef &Sp,
+                         const RegexRef &Sq);
+
+  /// True if goal \p G matches an active induction hypothesis.
+  bool matchesHypothesis(const Goal &G);
+
+  std::string goalKey(const Goal &G) const;
+  std::string goalStatement(const Goal &G) const;
+
+  /// Structural fingerprint of an axiom set; cached results are scoped
+  /// to the axiom set they were derived under.
+  static size_t axiomSetFingerprint(const AxiomSet &Axioms);
+
+  const FieldTable &Fields;
+  ProverOptions Opts;
+  LangQuery Lang;
+  ProverStats Stats;
+
+  std::unordered_map<std::string, bool> GoalCache;
+  std::vector<std::string> InProgress;
+
+  /// Active induction hypotheses: canonical key plus the two sides for
+  /// language-equivalence matching.
+  struct Hypothesis {
+    std::string Key;
+    RegexRef P, Q;
+    std::string Label;
+  };
+  std::vector<Hypothesis> ActiveHyps;
+
+  size_t StepsLeft = 0;
+  size_t InductionDepth = 0;
+  size_t CurrentAxiomFp = 0;
+  /// Set when a cutoff (depth, steps, induction depth, goal size) or a
+  /// cycle cut influenced the current subtree; such failures are
+  /// context-dependent and are not cached.
+  bool Poisoned = false;
+  std::unique_ptr<ProofNode> Root;
+};
+
+} // namespace apt
+
+#endif // APT_CORE_PROVER_H

@@ -1,0 +1,205 @@
+//===- core/Shapes.cpp ----------------------------------------------------===//
+//
+// Part of the APT project; see Shapes.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Shapes.h"
+
+#include "support/Strings.h"
+
+#include <cassert>
+#include <cctype>
+
+using namespace apt;
+
+static RegexRef altOfFields(const std::vector<FieldId> &Fields) {
+  std::vector<RegexRef> Parts;
+  Parts.reserve(Fields.size());
+  for (FieldId F : Fields)
+    Parts.push_back(Regex::symbol(F));
+  return Regex::alt(std::move(Parts));
+}
+
+std::vector<Axiom> apt::shapeTree(const std::vector<FieldId> &Fields,
+                                  const std::string &Prefix) {
+  assert(!Fields.empty() && "a tree needs at least one child field");
+  std::vector<Axiom> Out;
+  int N = 0;
+  // Children of one node are pairwise distinct.
+  for (size_t I = 0; I < Fields.size(); ++I)
+    for (size_t J = I + 1; J < Fields.size(); ++J)
+      Out.emplace_back(AxiomForm::SameOriginDisjoint,
+                       Regex::symbol(Fields[I]), Regex::symbol(Fields[J]),
+                       Prefix + std::to_string(++N));
+  // No two nodes share a child.
+  RegexRef Any = altOfFields(Fields);
+  Out.emplace_back(AxiomForm::DiffOriginDisjoint, Any, Any,
+                   Prefix + std::to_string(++N));
+  // No cycles.
+  Out.emplace_back(AxiomForm::SameOriginDisjoint, Regex::plus(Any),
+                   Regex::epsilon(), Prefix + std::to_string(++N));
+  return Out;
+}
+
+std::vector<Axiom> apt::shapeList(FieldId F, const std::string &Prefix) {
+  std::vector<Axiom> Out;
+  RegexRef S = Regex::symbol(F);
+  Out.emplace_back(AxiomForm::DiffOriginDisjoint, S, S, Prefix + "1");
+  Out.emplace_back(AxiomForm::SameOriginDisjoint, Regex::plus(S),
+                   Regex::epsilon(), Prefix + "2");
+  return Out;
+}
+
+std::vector<Axiom> apt::shapeRing(FieldId F, const std::string &Prefix) {
+  std::vector<Axiom> Out;
+  RegexRef S = Regex::symbol(F);
+  Out.emplace_back(AxiomForm::DiffOriginDisjoint, S, S, Prefix + "1");
+  Out.emplace_back(AxiomForm::SameOriginDisjoint, S, Regex::epsilon(),
+                   Prefix + "2");
+  return Out;
+}
+
+std::vector<Axiom> apt::shapeInverse(FieldId F, FieldId G,
+                                     const std::string &Prefix) {
+  std::vector<Axiom> Out;
+  Out.emplace_back(AxiomForm::Equal, Regex::word({F, G}), Regex::epsilon(),
+                   Prefix + "1");
+  Out.emplace_back(AxiomForm::Equal, Regex::word({G, F}), Regex::epsilon(),
+                   Prefix + "2");
+  return Out;
+}
+
+std::vector<Axiom> apt::shapeAcyclic(const std::vector<FieldId> &Fields,
+                                     const std::string &Prefix) {
+  std::vector<Axiom> Out;
+  Out.push_back(AxiomSet::acyclicity(Fields, Prefix + "1"));
+  return Out;
+}
+
+std::vector<Axiom> apt::shapeDisjoint(FieldId Entry,
+                                      const std::vector<FieldId> &Span,
+                                      const std::string &Prefix) {
+  std::vector<Axiom> Out;
+  RegexRef E = Regex::symbol(Entry);
+  Out.emplace_back(AxiomForm::DiffOriginDisjoint, E, E, Prefix + "1");
+  RegexRef Reach = Regex::concat(E, Regex::star(altOfFields(Span)));
+  Out.emplace_back(AxiomForm::DiffOriginDisjoint, Reach, Reach,
+                   Prefix + "2");
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Concrete syntax
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Splits "name(arg, arg | arg, ...)" into the name and argument groups
+/// (groups separated by '|', items by ',').
+bool splitCall(std::string_view Text, std::string &Name,
+               std::vector<std::vector<std::string>> &Groups,
+               std::string &Error) {
+  Text = trim(Text);
+  size_t Open = Text.find('(');
+  if (Open == std::string_view::npos || Text.back() != ')') {
+    Error = "expected 'shape-name(field, ...)'";
+    return false;
+  }
+  Name = std::string(trim(Text.substr(0, Open)));
+  std::string_view Args = Text.substr(Open + 1, Text.size() - Open - 2);
+  Groups.emplace_back();
+  std::string Current;
+  for (char C : Args) {
+    if (C == ',' || C == '|') {
+      std::string_view T = trim(Current);
+      if (T.empty()) {
+        Error = "empty field name in shape arguments";
+        return false;
+      }
+      Groups.back().emplace_back(T);
+      Current.clear();
+      if (C == '|')
+        Groups.emplace_back();
+      continue;
+    }
+    Current += C;
+  }
+  std::string_view T = trim(Current);
+  if (!T.empty())
+    Groups.back().emplace_back(T);
+  if (Groups.back().empty()) {
+    Error = "shape declaration needs at least one field";
+    return false;
+  }
+  return true;
+}
+
+std::vector<FieldId> internGroup(const std::vector<std::string> &Names,
+                                 FieldTable &Fields) {
+  std::vector<FieldId> Out;
+  Out.reserve(Names.size());
+  for (const std::string &N : Names)
+    Out.push_back(Fields.intern(N));
+  return Out;
+}
+
+} // namespace
+
+std::vector<Axiom> apt::parseShape(std::string_view Text,
+                                   FieldTable &Fields, std::string &Error) {
+  std::string Name;
+  std::vector<std::vector<std::string>> Groups;
+  if (!splitCall(Text, Name, Groups, Error))
+    return {};
+
+  auto WantGroups = [&](size_t N) {
+    if (Groups.size() == N)
+      return true;
+    Error = "shape '" + Name + "' takes " + std::to_string(N) +
+            " argument group(s)";
+    return false;
+  };
+  auto WantFields = [&](size_t GroupIdx, size_t N) {
+    if (Groups[GroupIdx].size() == N)
+      return true;
+    Error = "shape '" + Name + "' takes " + std::to_string(N) + " field(s)";
+    return false;
+  };
+
+  if (Name == "tree") {
+    if (!WantGroups(1))
+      return {};
+    return shapeTree(internGroup(Groups[0], Fields));
+  }
+  if (Name == "list") {
+    if (!WantGroups(1) || !WantFields(0, 1))
+      return {};
+    return shapeList(Fields.intern(Groups[0][0]));
+  }
+  if (Name == "ring") {
+    if (!WantGroups(1) || !WantFields(0, 1))
+      return {};
+    return shapeRing(Fields.intern(Groups[0][0]));
+  }
+  if (Name == "inverse") {
+    if (!WantGroups(1) || !WantFields(0, 2))
+      return {};
+    return shapeInverse(Fields.intern(Groups[0][0]),
+                        Fields.intern(Groups[0][1]));
+  }
+  if (Name == "acyclic") {
+    if (!WantGroups(1))
+      return {};
+    return shapeAcyclic(internGroup(Groups[0], Fields));
+  }
+  if (Name == "disjoint") {
+    if (!WantGroups(2) || !WantFields(0, 1))
+      return {};
+    return shapeDisjoint(Fields.intern(Groups[0][0]),
+                         internGroup(Groups[1], Fields));
+  }
+  Error = "unknown shape '" + Name +
+          "' (known: tree, list, ring, inverse, acyclic, disjoint)";
+  return {};
+}

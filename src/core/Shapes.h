@@ -1,0 +1,81 @@
+//===- core/Shapes.h - Shape declarations that generate axioms --*- C++ -*-===//
+//
+// Part of the APT project; see Axiom.h for the axioms generated here.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §3.2 notes that axioms "can be specified indirectly using a higher
+/// level of abstraction, e.g. the ADDS data structure description
+/// language". This module is that abstraction layer: common shape
+/// declarations expand into the canonical axiom sets the paper writes by
+/// hand, so a type can say `shape tree(L, R)` instead of spelling out
+/// treeness.
+///
+/// Generated axioms are exactly the prelude patterns:
+///
+///   tree(f1..fk)      pairwise same-origin distinctness of the fields,
+///                     distinct-origin injectivity of their union, and
+///                     acyclicity over them (a rooted k-ary tree).
+///   list(f)           injectivity of f plus acyclicity (an acyclic
+///                     singly-linked chain).
+///   ring(f)           injectivity of f and no self-loop (a cycle of
+///                     length >= 2 is permitted).
+///   inverse(f, g)     f and g are mutually inverse: p.f.g = p = p.g.f.
+///   acyclic(f1..fk)   no path over the fields returns to its origin.
+///   disjoint(entry | f1..fk)
+///                     distinct `entry` edges lead into disjoint
+///                     substructures spanned by the fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_SHAPES_H
+#define APT_CORE_SHAPES_H
+
+#include "core/Axiom.h"
+
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Axioms making f1..fk a k-ary tree: per-node children distinct, no
+/// sharing between nodes, no cycles. Axiom names get \p Prefix.
+std::vector<Axiom> shapeTree(const std::vector<FieldId> &Fields,
+                             const std::string &Prefix = "tree");
+
+/// Axioms making \p F an acyclic singly-linked list field.
+std::vector<Axiom> shapeList(FieldId F, const std::string &Prefix = "list");
+
+/// Axioms making \p F a cyclic chain of length >= 2 (injective,
+/// no self-loop, cycles allowed).
+std::vector<Axiom> shapeRing(FieldId F, const std::string &Prefix = "ring");
+
+/// Axioms making \p F and \p G mutual inverses (doubly-linked
+/// structures): forall p: p.F.G = p and p.G.F = p.
+std::vector<Axiom> shapeInverse(FieldId F, FieldId G,
+                                const std::string &Prefix = "inv");
+
+/// The acyclicity axiom over the given fields.
+std::vector<Axiom> shapeAcyclic(const std::vector<FieldId> &Fields,
+                                const std::string &Prefix = "acyclic");
+
+/// Distinct \p Entry edges lead to disjoint substructures spanned by
+/// \p Span: forall p<>q: p.Entry.(Span)* <> q.Entry.(Span)*.
+std::vector<Axiom> shapeDisjoint(FieldId Entry,
+                                 const std::vector<FieldId> &Span,
+                                 const std::string &Prefix = "disj");
+
+/// Parses a shape declaration in the concrete syntax used by the
+/// mini-language's `shape ...;` sugar:
+///
+///   tree(L, R) | list(next) | ring(next) | inverse(next, prev)
+///   | acyclic(L, R, N) | disjoint(sub | yL, yR, yN)
+///
+/// Returns the generated axioms, or an empty vector plus \p Error.
+std::vector<Axiom> parseShape(std::string_view Text, FieldTable &Fields,
+                              std::string &Error);
+
+} // namespace apt
+
+#endif // APT_CORE_SHAPES_H

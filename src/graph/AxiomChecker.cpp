@@ -1,0 +1,79 @@
+//===- graph/AxiomChecker.cpp ---------------------------------------------===//
+//
+// Part of the APT project; see AxiomChecker.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/AxiomChecker.h"
+
+#include <algorithm>
+
+using namespace apt;
+
+static std::optional<AxiomViolation>
+violationAt(const HeapGraph &G, const Axiom &A, const FieldTable &Fields,
+            HeapGraph::NodeId P, HeapGraph::NodeId Q) {
+  std::vector<HeapGraph::NodeId> SetL = G.evalRegex(P, A.Lhs);
+  std::vector<HeapGraph::NodeId> SetR = G.evalRegex(Q, A.Rhs);
+
+  if (A.Form == AxiomForm::Equal) {
+    if (SetL == SetR)
+      return std::nullopt;
+    AxiomViolation V;
+    V.AxiomText = A.toString(Fields);
+    V.P = P;
+    V.Q = Q;
+    V.V = SetL.size() > SetR.size()
+              ? (SetL.empty() ? P : SetL.front())
+              : (SetR.empty() ? Q : SetR.front());
+    V.Message = "equality axiom violated: p." +
+                A.Lhs->toString(Fields) + " and p." +
+                A.Rhs->toString(Fields) + " differ at node " +
+                std::to_string(P);
+    return V;
+  }
+
+  std::vector<HeapGraph::NodeId> Inter;
+  std::set_intersection(SetL.begin(), SetL.end(), SetR.begin(), SetR.end(),
+                        std::back_inserter(Inter));
+  if (Inter.empty())
+    return std::nullopt;
+  AxiomViolation V;
+  V.AxiomText = A.toString(Fields);
+  V.P = P;
+  V.Q = Q;
+  V.V = Inter.front();
+  V.Message = "disjointness axiom violated: node " + std::to_string(V.V) +
+              " (" + G.label(V.V) + ") reachable both ways";
+  return V;
+}
+
+std::optional<AxiomViolation> apt::checkAxiom(const HeapGraph &G,
+                                              const Axiom &A,
+                                              const FieldTable &Fields) {
+  const size_t N = G.numNodes();
+  if (A.Form == AxiomForm::DiffOriginDisjoint) {
+    for (HeapGraph::NodeId P = 0; P < N; ++P)
+      for (HeapGraph::NodeId Q = 0; Q < N; ++Q) {
+        if (P == Q)
+          continue;
+        if (std::optional<AxiomViolation> V =
+                violationAt(G, A, Fields, P, Q))
+          return V;
+      }
+    return std::nullopt;
+  }
+  for (HeapGraph::NodeId P = 0; P < N; ++P)
+    if (std::optional<AxiomViolation> V = violationAt(G, A, Fields, P, P))
+      return V;
+  return std::nullopt;
+}
+
+std::optional<AxiomViolation> apt::checkAxioms(const HeapGraph &G,
+                                               const AxiomSet &Axioms,
+                                               const FieldTable &Fields) {
+  for (const Axiom &A : Axioms.axioms())
+    if (std::optional<AxiomViolation> V = checkAxiom(G, A, Fields))
+      return V;
+  return std::nullopt;
+}

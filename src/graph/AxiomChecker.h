@@ -1,0 +1,48 @@
+//===- graph/AxiomChecker.h - Model-check axioms on graphs ------*- C++ -*-===//
+//
+// Part of the APT project; see Axiom.h for the axiom forms checked here.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies that a concrete heap graph satisfies a set of aliasing axioms.
+/// The paper (§3.2) notes that programmer-supplied axioms could be
+/// "automatically verified"; this module is that verifier for concrete
+/// structures (it is also how the test suite guards the prelude axiom
+/// sets and how the ground-truth experiments certify their models).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_GRAPH_AXIOMCHECKER_H
+#define APT_GRAPH_AXIOMCHECKER_H
+
+#include "core/Axiom.h"
+#include "graph/HeapGraph.h"
+
+#include <optional>
+#include <string>
+
+namespace apt {
+
+/// A concrete violation of an axiom, for diagnostics.
+struct AxiomViolation {
+  std::string AxiomText;
+  HeapGraph::NodeId P = 0; ///< Witness origin p.
+  HeapGraph::NodeId Q = 0; ///< Witness origin q (== P for one-var forms).
+  HeapGraph::NodeId V = 0; ///< The shared/differing vertex.
+  std::string Message;
+};
+
+/// Checks one axiom against every node (pair) of \p G; returns the first
+/// violation found, or std::nullopt if the axiom holds.
+std::optional<AxiomViolation> checkAxiom(const HeapGraph &G, const Axiom &A,
+                                         const FieldTable &Fields);
+
+/// Checks every axiom in \p Axioms; returns the first violation.
+std::optional<AxiomViolation> checkAxioms(const HeapGraph &G,
+                                          const AxiomSet &Axioms,
+                                          const FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_GRAPH_AXIOMCHECKER_H

@@ -1,0 +1,229 @@
+//===- graph/GraphBuilders.cpp --------------------------------------------===//
+//
+// Part of the APT project; see GraphBuilders.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/GraphBuilders.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace apt;
+
+BuiltStructure apt::buildLinkedList(FieldTable &Fields, size_t Length) {
+  assert(Length > 0 && "a list needs at least one node");
+  FieldId Next = Fields.intern("next");
+  BuiltStructure Out;
+  std::vector<HeapGraph::NodeId> Ns;
+  for (size_t I = 0; I < Length; ++I)
+    Ns.push_back(Out.Graph.addNode("n" + std::to_string(I)));
+  for (size_t I = 0; I + 1 < Length; ++I)
+    Out.Graph.setField(Ns[I], Next, Ns[I + 1]);
+  Out.Root = Ns.front();
+  return Out;
+}
+
+BuiltStructure apt::buildCircularList(FieldTable &Fields, size_t Length) {
+  FieldId Next = Fields.intern("next");
+  BuiltStructure Out = buildLinkedList(Fields, Length);
+  Out.Graph.setField(static_cast<HeapGraph::NodeId>(Length - 1), Next,
+                     Out.Root);
+  return Out;
+}
+
+BuiltStructure apt::buildDoublyLinkedRing(FieldTable &Fields,
+                                          size_t Length) {
+  assert(Length > 0 && "a ring needs at least one node");
+  FieldId Next = Fields.intern("next");
+  FieldId Prev = Fields.intern("prev");
+  BuiltStructure Out;
+  std::vector<HeapGraph::NodeId> Ns;
+  for (size_t I = 0; I < Length; ++I)
+    Ns.push_back(Out.Graph.addNode("n" + std::to_string(I)));
+  for (size_t I = 0; I < Length; ++I) {
+    Out.Graph.setField(Ns[I], Next, Ns[(I + 1) % Length]);
+    Out.Graph.setField(Ns[(I + 1) % Length], Prev, Ns[I]);
+  }
+  Out.Root = Ns.front();
+  return Out;
+}
+
+namespace {
+
+/// Recursive helper: builds a complete L/R subtree, appending leaves
+/// left-to-right into \p Leaves.
+HeapGraph::NodeId buildTreeRec(HeapGraph &G, FieldId L, FieldId R,
+                               size_t Depth, std::string Prefix,
+                               std::vector<HeapGraph::NodeId> *Leaves) {
+  HeapGraph::NodeId N = G.addNode(Prefix.empty() ? "root" : Prefix);
+  if (Depth == 0) {
+    if (Leaves)
+      Leaves->push_back(N);
+    return N;
+  }
+  G.setField(N, L, buildTreeRec(G, L, R, Depth - 1, Prefix + "L", Leaves));
+  G.setField(N, R, buildTreeRec(G, L, R, Depth - 1, Prefix + "R", Leaves));
+  return N;
+}
+
+} // namespace
+
+BuiltStructure apt::buildBinaryTree(FieldTable &Fields, size_t Depth) {
+  FieldId L = Fields.intern("L"), R = Fields.intern("R");
+  BuiltStructure Out;
+  Out.Root = buildTreeRec(Out.Graph, L, R, Depth, "", nullptr);
+  return Out;
+}
+
+BuiltStructure apt::buildLeafLinkedTree(FieldTable &Fields, size_t Depth) {
+  FieldId L = Fields.intern("L"), R = Fields.intern("R");
+  FieldId N = Fields.intern("N");
+  BuiltStructure Out;
+  std::vector<HeapGraph::NodeId> Leaves;
+  Out.Root = buildTreeRec(Out.Graph, L, R, Depth, "", &Leaves);
+  for (size_t I = 0; I + 1 < Leaves.size(); ++I)
+    Out.Graph.setField(Leaves[I], N, Leaves[I + 1]);
+  return Out;
+}
+
+BuiltStructure apt::buildSparseMatrixGraph(
+    FieldTable &Fields,
+    const std::vector<std::pair<unsigned, unsigned>> &Coordinates) {
+  FieldId Rows = Fields.intern("rows"), Cols = Fields.intern("cols");
+  FieldId NRowH = Fields.intern("nrowH"), NColH = Fields.intern("ncolH");
+  FieldId RElem = Fields.intern("relem"), CElem = Fields.intern("celem");
+  FieldId NRowE = Fields.intern("nrowE"), NColE = Fields.intern("ncolE");
+
+  BuiltStructure Out;
+  HeapGraph &G = Out.Graph;
+  Out.Root = G.addNode("matrix");
+
+  // Deduplicate and sort coordinates; collect the row/column indices that
+  // actually occur.
+  std::set<std::pair<unsigned, unsigned>> Coords(Coordinates.begin(),
+                                                 Coordinates.end());
+  std::set<unsigned> RowIdx, ColIdx;
+  for (const auto &[Rw, Cl] : Coords) {
+    RowIdx.insert(Rw);
+    ColIdx.insert(Cl);
+  }
+
+  // Element nodes.
+  std::map<std::pair<unsigned, unsigned>, HeapGraph::NodeId> Elem;
+  for (const auto &RC : Coords)
+    Elem[RC] = G.addNode("e" + std::to_string(RC.first) + "_" +
+                         std::to_string(RC.second));
+
+  // Row headers, chained by nrowH, each pointing at its first element via
+  // relem; elements within a row chained by ncolE.
+  HeapGraph::NodeId PrevHeader = Out.Root;
+  FieldId PrevLink = Rows;
+  for (unsigned Rw : RowIdx) {
+    HeapGraph::NodeId H = G.addNode("rh" + std::to_string(Rw));
+    G.setField(PrevHeader, PrevLink, H);
+    PrevHeader = H;
+    PrevLink = NRowH;
+    HeapGraph::NodeId PrevElem = H;
+    FieldId Link = RElem;
+    for (const auto &RC : Coords) {
+      if (RC.first != Rw)
+        continue;
+      G.setField(PrevElem, Link, Elem[RC]);
+      PrevElem = Elem[RC];
+      Link = NColE;
+    }
+  }
+
+  // Column headers, chained by ncolH, pointing at their first element via
+  // celem; elements within a column chained by nrowE.
+  PrevHeader = Out.Root;
+  PrevLink = Cols;
+  for (unsigned Cl : ColIdx) {
+    HeapGraph::NodeId H = G.addNode("ch" + std::to_string(Cl));
+    G.setField(PrevHeader, PrevLink, H);
+    PrevHeader = H;
+    PrevLink = NColH;
+    HeapGraph::NodeId PrevElem = H;
+    FieldId Link = CElem;
+    for (const auto &RC : Coords) {
+      if (RC.second != Cl)
+        continue;
+      G.setField(PrevElem, Link, Elem[RC]);
+      PrevElem = Elem[RC];
+      Link = NRowE;
+    }
+  }
+  return Out;
+}
+
+BuiltStructure apt::buildRangeTree2D(FieldTable &Fields, size_t Depth,
+                                     size_t SubDepth) {
+  FieldId L = Fields.intern("L"), R = Fields.intern("R");
+  FieldId N = Fields.intern("N");
+  FieldId Sub = Fields.intern("sub");
+  FieldId YL = Fields.intern("yL"), YR = Fields.intern("yR");
+  FieldId YN = Fields.intern("yN");
+
+  BuiltStructure Out;
+  std::vector<HeapGraph::NodeId> Leaves;
+  Out.Root = buildTreeRec(Out.Graph, L, R, Depth, "", &Leaves);
+  for (size_t I = 0; I + 1 < Leaves.size(); ++I)
+    Out.Graph.setField(Leaves[I], N, Leaves[I + 1]);
+
+  // Every x-node gets its own leaf-linked y-tree.
+  size_t NumXNodes = Out.Graph.numNodes();
+  for (HeapGraph::NodeId X = 0; X < NumXNodes; ++X) {
+    std::vector<HeapGraph::NodeId> YLeaves;
+    HeapGraph::NodeId YRoot = buildTreeRec(Out.Graph, YL, YR, SubDepth,
+                                           "y" + std::to_string(X),
+                                           &YLeaves);
+    for (size_t I = 0; I + 1 < YLeaves.size(); ++I)
+      Out.Graph.setField(YLeaves[I], YN, YLeaves[I + 1]);
+    Out.Graph.setField(X, Sub, YRoot);
+  }
+  return Out;
+}
+
+BuiltStructure apt::buildOctree(FieldTable &Fields, size_t Depth,
+                                size_t BodiesPerCell) {
+  std::vector<FieldId> Children;
+  for (int I = 0; I < 8; ++I)
+    Children.push_back(Fields.intern("c" + std::to_string(I)));
+  FieldId Bodies = Fields.intern("bodies");
+  FieldId BNext = Fields.intern("bnext");
+
+  BuiltStructure Out;
+  HeapGraph &G = Out.Graph;
+
+  // Build the cell tree breadth-first, attaching a body list per cell.
+  struct Item {
+    HeapGraph::NodeId Cell;
+    size_t Level;
+  };
+  Out.Root = G.addNode("cell0");
+  std::vector<Item> Worklist{{Out.Root, 0}};
+  while (!Worklist.empty()) {
+    Item It = Worklist.back();
+    Worklist.pop_back();
+    if (BodiesPerCell > 0) {
+      HeapGraph::NodeId Prev = It.Cell;
+      FieldId Link = Bodies;
+      for (size_t B = 0; B < BodiesPerCell; ++B) {
+        HeapGraph::NodeId Body = G.addNode("body");
+        G.setField(Prev, Link, Body);
+        Prev = Body;
+        Link = BNext;
+      }
+    }
+    if (It.Level >= Depth)
+      continue;
+    for (FieldId C : Children) {
+      HeapGraph::NodeId Child = G.addNode("cell");
+      G.setField(It.Cell, C, Child);
+      Worklist.push_back({Child, It.Level + 1});
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===- graph/GraphBuilders.h - Canonical concrete structures ----*- C++ -*-===//
+//
+// Part of the APT project; see HeapGraph.h for the graph these construct.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for concrete instances of the structures the paper discusses.
+/// Field names match core/Prelude.h so that the prelude axiom sets can be
+/// model-checked directly against these graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_GRAPH_GRAPHBUILDERS_H
+#define APT_GRAPH_GRAPHBUILDERS_H
+
+#include "graph/HeapGraph.h"
+#include "support/FieldTable.h"
+
+#include <vector>
+
+namespace apt {
+
+/// A built structure: the graph plus the natural root/handle node.
+struct BuiltStructure {
+  HeapGraph Graph;
+  HeapGraph::NodeId Root = 0;
+};
+
+/// Acyclic singly-linked list of \p Length nodes over `next`.
+BuiltStructure buildLinkedList(FieldTable &Fields, size_t Length);
+
+/// Circular singly-linked list of \p Length nodes over `next`.
+BuiltStructure buildCircularList(FieldTable &Fields, size_t Length);
+
+/// Circular doubly-linked list of \p Length nodes over `next`/`prev`.
+BuiltStructure buildDoublyLinkedRing(FieldTable &Fields, size_t Length);
+
+/// Complete binary tree of \p Depth levels below the root over `L`/`R`
+/// (Depth 0 is a single node).
+BuiltStructure buildBinaryTree(FieldTable &Fields, size_t Depth);
+
+/// Complete leaf-linked binary tree (Figure 3): `L`/`R` tree of \p Depth
+/// levels, leaves chained left-to-right by `N`.
+BuiltStructure buildLeafLinkedTree(FieldTable &Fields, size_t Depth);
+
+/// Orthogonal-list sparse matrix (Figure 6) with an element at every
+/// coordinate in \p Coordinates (row, col pairs; duplicates ignored).
+/// Uses fields rows/cols/nrowH/ncolH/relem/celem/nrowE/ncolE.
+BuiltStructure
+buildSparseMatrixGraph(FieldTable &Fields,
+                       const std::vector<std::pair<unsigned, unsigned>>
+                           &Coordinates);
+
+/// Two-dimensional range tree: an x-side leaf-linked tree of \p Depth
+/// levels where every node owns a `sub` leaf-linked y-tree of
+/// \p SubDepth levels over yL/yR/yN.
+BuiltStructure buildRangeTree2D(FieldTable &Fields, size_t Depth,
+                                size_t SubDepth);
+
+/// Barnes-Hut octree: a complete 8-ary cell tree of \p Depth levels over
+/// c0..c7, each cell owning a `bodies` list of \p BodiesPerCell nodes
+/// chained by `bnext`.
+BuiltStructure buildOctree(FieldTable &Fields, size_t Depth,
+                           size_t BodiesPerCell);
+
+} // namespace apt
+
+#endif // APT_GRAPH_GRAPHBUILDERS_H

@@ -1,0 +1,93 @@
+//===- graph/HeapGraph.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see HeapGraph.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/HeapGraph.h"
+
+#include "regex/Dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace apt;
+
+HeapGraph::NodeId HeapGraph::addNode(std::string Label) {
+  Nodes.push_back(Node{{}, std::move(Label)});
+  return static_cast<NodeId>(Nodes.size() - 1);
+}
+
+void HeapGraph::setField(NodeId From, FieldId F, NodeId To) {
+  assert(From < Nodes.size() && To < Nodes.size() && "invalid node id");
+  Nodes[From].Out[F] = To;
+}
+
+void HeapGraph::clearField(NodeId From, FieldId F) {
+  assert(From < Nodes.size() && "invalid node id");
+  Nodes[From].Out.erase(F);
+}
+
+std::optional<HeapGraph::NodeId> HeapGraph::field(NodeId From,
+                                                  FieldId F) const {
+  assert(From < Nodes.size() && "invalid node id");
+  auto It = Nodes[From].Out.find(F);
+  if (It == Nodes[From].Out.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<HeapGraph::NodeId> HeapGraph::walk(NodeId From,
+                                                 const Word &W) const {
+  NodeId Cur = From;
+  for (FieldId F : W) {
+    std::optional<NodeId> Next = field(Cur, F);
+    if (!Next)
+      return std::nullopt;
+    Cur = *Next;
+  }
+  return Cur;
+}
+
+std::vector<HeapGraph::NodeId>
+HeapGraph::evalRegex(NodeId From, const RegexRef &RE) const {
+  assert(From < Nodes.size() && "invalid node id");
+  std::set<FieldId> Syms;
+  RE->collectSymbols(Syms);
+  std::vector<FieldId> Alphabet(Syms.begin(), Syms.end());
+  Dfa D = Dfa::fromRegex(*RE, Alphabet);
+
+  // Product BFS over (graph node, DFA state).
+  std::set<std::pair<NodeId, uint32_t>> Seen;
+  std::deque<std::pair<NodeId, uint32_t>> Worklist;
+  std::set<NodeId> Hits;
+  Worklist.emplace_back(From, D.start());
+  Seen.insert({From, D.start()});
+  while (!Worklist.empty()) {
+    auto [N, S] = Worklist.front();
+    Worklist.pop_front();
+    if (D.isAccepting(S))
+      Hits.insert(N);
+    for (const auto &[F, Target] : Nodes[N].Out) {
+      int SymIdx = D.alphabetIndex(F);
+      if (SymIdx < 0)
+        continue; // Field not mentioned by RE: no word uses it.
+      uint32_t S2 = D.step(S, static_cast<size_t>(SymIdx));
+      if (Seen.insert({Target, S2}).second)
+        Worklist.emplace_back(Target, S2);
+    }
+  }
+  return std::vector<NodeId>(Hits.begin(), Hits.end());
+}
+
+bool HeapGraph::pathsOverlap(NodeId From, const RegexRef &A,
+                             const RegexRef &B) const {
+  std::vector<NodeId> SA = evalRegex(From, A);
+  std::vector<NodeId> SB = evalRegex(From, B);
+  std::vector<NodeId> Inter;
+  std::set_intersection(SA.begin(), SA.end(), SB.begin(), SB.end(),
+                        std::back_inserter(Inter));
+  return !Inter.empty();
+}

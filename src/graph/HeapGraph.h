@@ -1,0 +1,83 @@
+//===- graph/HeapGraph.h - Concrete heap structures -------------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete model of a dynamic, pointer-based data structure: a directed
+/// graph whose vertices are heap nodes and whose edges are labeled with
+/// pointer-field names. Each node has at most one outgoing edge per field
+/// (fields are functions), matching the paper's semantics of access paths.
+///
+/// The graph substrate serves three validation roles:
+///  * model-checking aliasing axioms against concrete structures
+///    (AxiomChecker.h),
+///  * providing a ground-truth dependence oracle against which APT and the
+///    baseline tests are compared (the accuracy experiment E4), and
+///  * building the example structures of the paper (GraphBuilders.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_GRAPH_HEAPGRAPH_H
+#define APT_GRAPH_HEAPGRAPH_H
+
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// A field-labeled directed graph with functional edges.
+class HeapGraph {
+public:
+  using NodeId = uint32_t;
+
+  /// Adds a node with an optional debugging label; returns its id.
+  NodeId addNode(std::string Label = "");
+
+  /// Sets `From.F = To`, replacing any previous target.
+  void setField(NodeId From, FieldId F, NodeId To);
+
+  /// Removes `From.F` (making the pointer null).
+  void clearField(NodeId From, FieldId F);
+
+  /// Target of `From.F`, or std::nullopt when the field is null/unset.
+  std::optional<NodeId> field(NodeId From, FieldId F) const;
+
+  /// Follows a whole word of fields; std::nullopt if any hop is null.
+  std::optional<NodeId> walk(NodeId From, const Word &W) const;
+
+  /// All nodes reachable from \p From along some existing path whose label
+  /// word is in L(RE). Computed by a product BFS of the graph with the
+  /// regex's DFA; exact because the graph is finite.
+  std::vector<NodeId> evalRegex(NodeId From, const RegexRef &RE) const;
+
+  /// True if evalRegex(From, A) and evalRegex(From, B) share a node.
+  bool pathsOverlap(NodeId From, const RegexRef &A, const RegexRef &B) const;
+
+  size_t numNodes() const { return Nodes.size(); }
+  const std::string &label(NodeId N) const { return Nodes[N].Label; }
+
+  /// The (field, target) pairs leaving \p N, sorted by field.
+  const std::map<FieldId, NodeId> &out(NodeId N) const {
+    return Nodes[N].Out;
+  }
+
+private:
+  struct Node {
+    std::map<FieldId, NodeId> Out;
+    std::string Label;
+  };
+  std::vector<Node> Nodes;
+};
+
+} // namespace apt
+
+#endif // APT_GRAPH_HEAPGRAPH_H

@@ -1,0 +1,145 @@
+//===- ir/Ast.h - A small pointer language ----------------------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax of a small pointer language, just rich enough to
+/// express the paper's code fragments: type declarations carrying aliasing
+/// axioms (like Figure 3's LLBinaryTree_t), pointer assignments, data
+/// field reads/writes, structural (pointer-field) writes, loops and
+/// branches. The access-path collector in src/analysis runs over this
+/// representation.
+///
+/// Statements are deliberately three-address-ish: every memory reference
+/// is `p.f` for a variable p (the paper assumes complex expressions were
+/// simplified this way by the front end, citing the McCAT IR).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_IR_AST_H
+#define APT_IR_AST_H
+
+#include "core/Axiom.h"
+#include "support/FieldTable.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// A field of a declared structure type.
+struct FieldDecl {
+  std::string Name;
+  FieldId Id = 0;            ///< Interned id (valid for pointer and data).
+  std::string PointeeType;   ///< Empty for data ("int") fields.
+  bool isPointer() const { return !PointeeType.empty(); }
+};
+
+/// A structure type declaration with its aliasing axioms.
+struct TypeDecl {
+  std::string Name;
+  std::vector<FieldDecl> Fields;
+  AxiomSet Axioms;
+
+  const FieldDecl *field(std::string_view FieldName) const {
+    for (const FieldDecl &F : Fields)
+      if (F.Name == FieldName)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Statement discriminator.
+enum class StmtKind {
+  PtrAssign,   ///< p = q | p = q.f | p = new T | p = null
+  DataWrite,   ///< p.f = <data>      (f is a data field)
+  DataRead,    ///< x = p.f           (f is a data field; x is scalar)
+  StructWrite, ///< p.f = q           (f is a pointer field: modification)
+  While,       ///< while p { body }
+  If,          ///< if p { then } else { otherwise }
+  Call,        ///< call f(a, b);     (opaque: conservatively clobbers)
+};
+
+/// Source of a pointer assignment's right-hand side.
+enum class PtrRhsKind {
+  Var,     ///< p = q
+  VarField, ///< p = q.f
+  New,     ///< p = new T
+  Null,    ///< p = null
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One statement. Field usage depends on Kind (a tagged struct keeps the
+/// parser and analyses straightforward for a language this small).
+struct Stmt {
+  StmtKind Kind;
+  int Id = -1;        ///< Unique program-wide id, assigned by the parser.
+  std::string Label;  ///< Optional user label ("S:", "T:").
+
+  // PtrAssign: Dst = <Rhs>.
+  std::string Dst;
+  PtrRhsKind Rhs = PtrRhsKind::Var;
+  std::string RhsVar;       ///< q for Var/VarField.
+  std::string RhsField;     ///< f for VarField.
+  std::string RhsType;      ///< T for New.
+
+  // DataWrite / DataRead / StructWrite: Base.FieldName (= / from) ...
+  std::string Base;       ///< p in p.f.
+  std::string FieldName;  ///< f.
+  std::string DataVar;    ///< x for DataRead (destination scalar).
+  std::string SrcVar;     ///< q for StructWrite.
+
+  // While / If.
+  std::string CondVar; ///< Loop/branch condition: `while p`, `if p`.
+  std::vector<StmtPtr> Body;
+  std::vector<StmtPtr> Else; ///< If only.
+
+  // Call.
+  std::string Callee;
+  std::vector<std::string> Args; ///< Pointer arguments passed.
+};
+
+/// A function: typed pointer parameters and a statement list.
+struct Function {
+  std::string Name;
+  std::vector<std::pair<std::string, std::string>> Params; ///< (name, type)
+  std::vector<StmtPtr> Body;
+};
+
+/// A whole program: type declarations plus functions.
+struct Program {
+  std::vector<TypeDecl> Types;
+  std::vector<Function> Functions;
+
+  const TypeDecl *type(std::string_view Name) const {
+    for (const TypeDecl &T : Types)
+      if (T.Name == Name)
+        return &T;
+    return nullptr;
+  }
+  const Function *function(std::string_view Name) const {
+    for (const Function &F : Functions)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// Renders \p P in the concrete syntax accepted by parseProgram.
+std::string printProgram(const Program &P, const FieldTable &Fields);
+
+/// Finds the statement labeled \p Label anywhere in \p Body (recursing
+/// into loops and branches); returns nullptr when absent.
+const Stmt *findLabeled(const std::vector<StmtPtr> &Body,
+                        std::string_view Label);
+
+} // namespace apt
+
+#endif // APT_IR_AST_H

@@ -1,0 +1,535 @@
+//===- ir/Parser.cpp ------------------------------------------------------===//
+//
+// Part of the APT project; see Parser.h for the grammar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "core/Shapes.h"
+#include "support/Strings.h"
+
+#include <cassert>
+#include <cctype>
+#include <map>
+
+using namespace apt;
+
+namespace {
+
+/// Token kinds for the tiny lexer.
+enum class TokKind {
+  Eof,
+  Ident,
+  Number,
+  Punct, ///< One of { } ( ) , ; : . =
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int Line = 1;
+};
+
+/// On-demand lexer with one token of lookahead.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) { advance(); }
+
+  const Token &peek() const { return Current; }
+
+  Token take() {
+    Token T = Current;
+    advance();
+    return T;
+  }
+
+  /// Raw text from the current position up to (not including) \p Stop;
+  /// consumes through the Stop character. Used for axiom bodies.
+  std::string rawUntil(char Stop) {
+    // Re-lex from the position of the current token.
+    size_t Begin = CurrentStart;
+    size_t End = Begin;
+    while (End < Source.size() && Source[End] != Stop) {
+      if (Source[End] == '\n')
+        ++LineAfter;
+      ++End;
+    }
+    std::string Out(trim(Source.substr(Begin, End - Begin)));
+    Pos = End < Source.size() ? End + 1 : End;
+    advance();
+    return Out;
+  }
+
+private:
+  void advance() {
+    // Skip whitespace and // comments.
+    for (;;) {
+      while (Pos < Source.size() &&
+             std::isspace(static_cast<unsigned char>(Source[Pos]))) {
+        if (Source[Pos] == '\n')
+          ++LineAfter;
+        ++Pos;
+      }
+      if (Pos + 1 < Source.size() && Source[Pos] == '/' &&
+          Source[Pos + 1] == '/') {
+        while (Pos < Source.size() && Source[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      break;
+    }
+    CurrentStart = Pos;
+    Current.Line = LineAfter;
+    if (Pos >= Source.size()) {
+      Current.Kind = TokKind::Eof;
+      Current.Text.clear();
+      return;
+    }
+    char C = Source[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[Pos])) ||
+              Source[Pos] == '_'))
+        ++Pos;
+      Current.Kind = TokKind::Ident;
+      Current.Text = std::string(Source.substr(Start, Pos - Start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      while (Pos < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[Pos])))
+        ++Pos;
+      Current.Kind = TokKind::Number;
+      Current.Text = std::string(Source.substr(Start, Pos - Start));
+      return;
+    }
+    Current.Kind = TokKind::Punct;
+    Current.Text = std::string(1, C);
+    ++Pos;
+  }
+
+  std::string_view Source;
+  size_t Pos = 0;
+  size_t CurrentStart = 0;
+  int LineAfter = 1;
+  Token Current;
+};
+
+/// The recursive-descent parser proper.
+class ProgParser {
+public:
+  ProgParser(std::string_view Source, FieldTable &Fields)
+      : Lex(Source), Fields(Fields) {}
+
+  ProgramParseResult run() {
+    while (Lex.peek().Kind != TokKind::Eof && Err.empty()) {
+      if (peekIdent("type"))
+        parseTypeDecl();
+      else if (peekIdent("fn"))
+        parseFunction();
+      else
+        fail("expected 'type' or 'fn' at top level");
+    }
+    ProgramParseResult Out;
+    if (!Err.empty()) {
+      Out.Error = Err;
+      return Out;
+    }
+    Out.Value = std::move(Prog);
+    Out.Ok = true;
+    return Out;
+  }
+
+private:
+  Lexer Lex;
+  FieldTable &Fields;
+  Program Prog;
+  std::string Err;
+  int NextStmtId = 0;
+
+  /// Per-function: variable name -> structure type name ("" = scalar).
+  std::map<std::string, std::string> VarTypes;
+
+  void fail(std::string Message) {
+    if (Err.empty())
+      Err = "line " + std::to_string(Lex.peek().Line) + ": " +
+            std::move(Message);
+  }
+
+  bool peekIdent(std::string_view Text) {
+    return Lex.peek().Kind == TokKind::Ident && Lex.peek().Text == Text;
+  }
+
+  bool peekPunct(char C) {
+    return Lex.peek().Kind == TokKind::Punct && Lex.peek().Text[0] == C;
+  }
+
+  bool consumePunct(char C) {
+    if (!peekPunct(C))
+      return false;
+    Lex.take();
+    return true;
+  }
+
+  void expectPunct(char C) {
+    if (!consumePunct(C))
+      fail(std::string("expected '") + C + "'");
+  }
+
+  std::string expectIdent(const char *What) {
+    if (Lex.peek().Kind != TokKind::Ident) {
+      fail(std::string("expected ") + What);
+      return "";
+    }
+    return Lex.take().Text;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Type declarations
+  //===--------------------------------------------------------------===//
+
+  void parseTypeDecl() {
+    Lex.take(); // 'type'
+    TypeDecl T;
+    T.Name = expectIdent("a type name");
+    expectPunct('{');
+    int AxiomCount = 0;
+    while (!peekPunct('}') && Err.empty()) {
+      if (peekIdent("axiom")) {
+        Lex.take();
+        std::string Raw = Lex.rawUntil(';');
+        // Optional leading "NAME:" label (NAME != 'forall').
+        std::string Name = "Ax" + std::to_string(++AxiomCount);
+        size_t Colon = Raw.find(':');
+        if (Colon != std::string::npos) {
+          std::string_view Head = trim(std::string_view(Raw).substr(0, Colon));
+          bool IsIdent = !Head.empty() && Head != "forall";
+          for (char C : Head)
+            if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+              IsIdent = false;
+          if (IsIdent) {
+            Name = std::string(Head);
+            Raw = Raw.substr(Colon + 1);
+          }
+        }
+        AxiomParseResult A = parseAxiom(Raw, Fields, Name);
+        if (!A) {
+          fail("bad axiom: " + A.Error);
+          return;
+        }
+        T.Axioms.add(A.Value);
+        continue;
+      }
+      if (peekIdent("shape")) {
+        // Sugar: `shape tree(L, R);` expands to the canonical axioms
+        // (the §3.2 "higher level of abstraction").
+        Lex.take();
+        std::string Raw = Lex.rawUntil(';');
+        std::string Error;
+        std::vector<Axiom> Generated = parseShape(Raw, Fields, Error);
+        if (Generated.empty()) {
+          fail("bad shape: " + Error);
+          return;
+        }
+        for (Axiom &A : Generated)
+          T.Axioms.add(std::move(A));
+        continue;
+      }
+      FieldDecl F;
+      F.Name = expectIdent("a field name");
+      expectPunct(':');
+      std::string FieldType = expectIdent("a field type");
+      if (FieldType != "int")
+        F.PointeeType = FieldType;
+      F.Id = Fields.intern(F.Name);
+      expectPunct(';');
+      T.Fields.push_back(std::move(F));
+    }
+    expectPunct('}');
+    if (Err.empty())
+      Prog.Types.push_back(std::move(T));
+  }
+
+  //===--------------------------------------------------------------===//
+  // Functions and statements
+  //===--------------------------------------------------------------===//
+
+  void parseFunction() {
+    Lex.take(); // 'fn'
+    Function F;
+    F.Name = expectIdent("a function name");
+    expectPunct('(');
+    VarTypes.clear();
+    if (!peekPunct(')')) {
+      do {
+        std::string PName = expectIdent("a parameter name");
+        expectPunct(':');
+        std::string PType = expectIdent("a parameter type");
+        if (!Prog.type(PType)) {
+          fail("unknown parameter type '" + PType + "'");
+          return;
+        }
+        VarTypes[PName] = PType;
+        F.Params.emplace_back(PName, PType);
+      } while (consumePunct(','));
+    }
+    expectPunct(')');
+    F.Body = parseBlock();
+    if (Err.empty())
+      Prog.Functions.push_back(std::move(F));
+  }
+
+  std::vector<StmtPtr> parseBlock() {
+    std::vector<StmtPtr> Out;
+    expectPunct('{');
+    while (!peekPunct('}') && Err.empty())
+      if (StmtPtr S = parseStmt())
+        Out.push_back(std::move(S));
+    expectPunct('}');
+    return Out;
+  }
+
+  StmtPtr parseStmt() {
+    std::string Label;
+    std::string First = expectIdent("a statement");
+    if (Err.empty() && peekPunct(':')) {
+      Lex.take();
+      Label = First;
+      First = expectIdent("a statement after the label");
+    }
+    if (!Err.empty())
+      return nullptr;
+
+    StmtPtr S;
+    if (First == "while")
+      S = parseWhile();
+    else if (First == "if")
+      S = parseIf();
+    else if (First == "call")
+      S = parseCall();
+    else
+      S = parseSimple(First);
+    if (S) {
+      S->Label = std::move(Label);
+      S->Id = NextStmtId++;
+    }
+    return S;
+  }
+
+  StmtPtr parseWhile() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::While;
+    S->CondVar = expectIdent("a loop condition variable");
+    S->Body = parseBlock();
+    return S;
+  }
+
+  /// `call f(a, b);` -- an opaque callee; the analysis treats it as
+  /// potentially modifying anything reachable from the arguments.
+  StmtPtr parseCall() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::Call;
+    S->Callee = expectIdent("a function name");
+    expectPunct('(');
+    if (!peekPunct(')')) {
+      do {
+        std::string Arg = expectIdent("an argument variable");
+        if (!Err.empty())
+          return nullptr;
+        if (!VarTypes.count(Arg)) {
+          fail("unknown variable '" + Arg + "'");
+          return nullptr;
+        }
+        S->Args.push_back(std::move(Arg));
+      } while (consumePunct(','));
+    }
+    expectPunct(')');
+    expectPunct(';');
+    return S;
+  }
+
+  StmtPtr parseIf() {
+    auto S = std::make_unique<Stmt>();
+    S->Kind = StmtKind::If;
+    S->CondVar = expectIdent("a branch condition variable");
+    S->Body = parseBlock();
+    if (peekIdent("else")) {
+      Lex.take();
+      S->Else = parseBlock();
+    }
+    return S;
+  }
+
+  /// Statements starting with an identifier: `v = rhs` or `v.f = rhs`.
+  StmtPtr parseSimple(const std::string &First) {
+    auto S = std::make_unique<Stmt>();
+    if (consumePunct('.')) {
+      // p.f = <rhs>: a data write or a structural write.
+      S->Base = First;
+      S->FieldName = expectIdent("a field name");
+      expectPunct('=');
+      const FieldDecl *FD = fieldOf(S->Base, S->FieldName);
+      if (!FD)
+        return nullptr;
+      if (FD->isPointer()) {
+        S->Kind = StmtKind::StructWrite;
+        if (peekIdent("null")) {
+          Lex.take();
+          S->SrcVar.clear();
+        } else {
+          S->SrcVar = expectIdent("a pointer variable or 'null'");
+          if (Err.empty() && !VarTypes.count(S->SrcVar)) {
+            fail("unknown pointer variable '" + S->SrcVar + "'");
+            return nullptr;
+          }
+        }
+      } else {
+        S->Kind = StmtKind::DataWrite;
+        // Data sources are opaque: a number, fun(), or a scalar variable.
+        if (Lex.peek().Kind == TokKind::Number) {
+          Lex.take();
+        } else {
+          std::string Src = expectIdent("a data value");
+          if (Src == "fun") {
+            expectPunct('(');
+            expectPunct(')');
+          }
+        }
+      }
+      expectPunct(';');
+      return S;
+    }
+
+    // v = <rhs>.
+    expectPunct('=');
+    if (!Err.empty())
+      return nullptr;
+    S->Dst = First;
+
+    if (peekIdent("new")) {
+      Lex.take();
+      S->Kind = StmtKind::PtrAssign;
+      S->Rhs = PtrRhsKind::New;
+      S->RhsType = expectIdent("a type name");
+      if (Err.empty() && !Prog.type(S->RhsType)) {
+        fail("unknown type '" + S->RhsType + "'");
+        return nullptr;
+      }
+      VarTypes[S->Dst] = S->RhsType;
+      expectPunct(';');
+      return S;
+    }
+    if (peekIdent("null")) {
+      Lex.take();
+      S->Kind = StmtKind::PtrAssign;
+      S->Rhs = PtrRhsKind::Null;
+      expectPunct(';');
+      return S;
+    }
+    if (Lex.peek().Kind == TokKind::Number) {
+      // Scalar constant assignment: harmless to the pointer analysis.
+      Lex.take();
+      S->Kind = StmtKind::PtrAssign;
+      S->Rhs = PtrRhsKind::Null;
+      VarTypes[S->Dst] = "";
+      expectPunct(';');
+      return S;
+    }
+
+    std::string Src = expectIdent("a variable");
+    if (!Err.empty())
+      return nullptr;
+    if (Src == "fun") {
+      expectPunct('(');
+      expectPunct(')');
+      S->Kind = StmtKind::PtrAssign;
+      S->Rhs = PtrRhsKind::Null;
+      VarTypes[S->Dst] = "";
+      expectPunct(';');
+      return S;
+    }
+
+    if (consumePunct('.')) {
+      // v = q.f: pointer chase or data read, depending on f.
+      std::string FieldName = expectIdent("a field name");
+      const FieldDecl *FD = fieldOf(Src, FieldName);
+      if (!FD)
+        return nullptr;
+      if (FD->isPointer()) {
+        S->Kind = StmtKind::PtrAssign;
+        S->Rhs = PtrRhsKind::VarField;
+        S->RhsVar = Src;
+        S->RhsField = FieldName;
+        VarTypes[S->Dst] = FD->PointeeType;
+      } else {
+        S->Kind = StmtKind::DataRead;
+        S->DataVar = S->Dst;
+        S->Base = Src;
+        S->FieldName = FieldName;
+        S->Dst.clear();
+        VarTypes[S->DataVar] = "";
+      }
+      expectPunct(';');
+      return S;
+    }
+
+    // v = q: plain copy (pointer if q is a pointer).
+    S->Kind = StmtKind::PtrAssign;
+    S->Rhs = PtrRhsKind::Var;
+    S->RhsVar = Src;
+    auto It = VarTypes.find(Src);
+    if (It == VarTypes.end()) {
+      fail("unknown variable '" + Src + "'");
+      return nullptr;
+    }
+    VarTypes[S->Dst] = It->second;
+    expectPunct(';');
+    return S;
+  }
+
+  /// Looks up field \p FieldName on the declared type of variable
+  /// \p Var, reporting precise errors.
+  const FieldDecl *fieldOf(const std::string &Var,
+                           const std::string &FieldName) {
+    auto It = VarTypes.find(Var);
+    if (It == VarTypes.end() || It->second.empty()) {
+      fail("'" + Var + "' is not a known pointer variable");
+      return nullptr;
+    }
+    const TypeDecl *T = Prog.type(It->second);
+    assert(T && "variable typed with an undeclared type");
+    const FieldDecl *FD = T->field(FieldName);
+    if (!FD) {
+      fail("type '" + T->Name + "' has no field '" + FieldName + "'");
+      return nullptr;
+    }
+    return FD;
+  }
+};
+
+} // namespace
+
+ProgramParseResult apt::parseProgram(std::string_view Source,
+                                     FieldTable &Fields) {
+  return ProgParser(Source, Fields).run();
+}
+
+//===----------------------------------------------------------------------===//
+// findLabeled
+//===----------------------------------------------------------------------===//
+
+const Stmt *apt::findLabeled(const std::vector<StmtPtr> &Body,
+                             std::string_view Label) {
+  for (const StmtPtr &S : Body) {
+    if (S->Label == Label)
+      return S.get();
+    if (const Stmt *Hit = findLabeled(S->Body, Label))
+      return Hit;
+    if (const Stmt *Hit = findLabeled(S->Else, Label))
+      return Hit;
+  }
+  return nullptr;
+}

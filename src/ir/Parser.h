@@ -1,0 +1,57 @@
+//===- ir/Parser.h - Parser for the pointer language ------------*- C++ -*-===//
+//
+// Part of the APT project; see Ast.h for the syntax tree produced here.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the concrete syntax of the mini pointer
+/// language:
+///
+/// \code
+///   type LLBinaryTree {
+///     L: LLBinaryTree;  R: LLBinaryTree;  N: LLBinaryTree;  d: int;
+///     axiom A1: forall p: p.L <> p.R;
+///     axiom A2: forall p <> q: p.(L|R) <> q.(L|R);
+///   }
+///   fn subr(root: LLBinaryTree) {
+///     p = root.L;
+///     p = p.N;
+///     S: p.d = 100;
+///     q = root.R;
+///     q = q.N;
+///     T: x = q.d;
+///   }
+/// \endcode
+///
+/// `while p { ... }` iterates while p is non-null; `if p { ... } else
+/// { ... }` branches on non-nullness. Statement labels (`S:`) name the
+/// memory references dependence queries talk about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_IR_PARSER_H
+#define APT_IR_PARSER_H
+
+#include "ir/Ast.h"
+
+#include <string>
+#include <string_view>
+
+namespace apt {
+
+/// Outcome of parsing a program.
+struct ProgramParseResult {
+  Program Value;
+  bool Ok = false;
+  std::string Error; ///< "line N: message" on failure.
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses \p Source, interning field names into \p Fields.
+ProgramParseResult parseProgram(std::string_view Source, FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_IR_PARSER_H

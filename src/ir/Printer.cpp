@@ -1,0 +1,104 @@
+//===- ir/Printer.cpp - Concrete-syntax printer ---------------------------===//
+//
+// Part of the APT project; see Ast.h for the syntax tree printed here.
+// The output re-parses via parseProgram (modulo opaque data sources,
+// which print as `fun()`).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ast.h"
+
+#include <cassert>
+
+using namespace apt;
+
+static void printStmt(const Stmt &S, unsigned Indent, std::string &Out) {
+  std::string Pad(Indent * 2, ' ');
+  Out += Pad;
+  if (!S.Label.empty()) {
+    Out += S.Label;
+    Out += ": ";
+  }
+  switch (S.Kind) {
+  case StmtKind::PtrAssign:
+    Out += S.Dst + " = ";
+    switch (S.Rhs) {
+    case PtrRhsKind::Var:
+      Out += S.RhsVar;
+      break;
+    case PtrRhsKind::VarField:
+      Out += S.RhsVar + "." + S.RhsField;
+      break;
+    case PtrRhsKind::New:
+      Out += "new " + S.RhsType;
+      break;
+    case PtrRhsKind::Null:
+      Out += "null";
+      break;
+    }
+    Out += ";\n";
+    return;
+  case StmtKind::DataWrite:
+    Out += S.Base + "." + S.FieldName + " = fun();\n";
+    return;
+  case StmtKind::DataRead:
+    Out += S.DataVar + " = " + S.Base + "." + S.FieldName + ";\n";
+    return;
+  case StmtKind::StructWrite:
+    Out += S.Base + "." + S.FieldName + " = " +
+           (S.SrcVar.empty() ? "null" : S.SrcVar) + ";\n";
+    return;
+  case StmtKind::Call: {
+    Out += "call " + S.Callee + "(";
+    for (size_t I = 0; I < S.Args.size(); ++I) {
+      if (I > 0)
+        Out += ", ";
+      Out += S.Args[I];
+    }
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::While:
+  case StmtKind::If:
+    Out += (S.Kind == StmtKind::While ? "while " : "if ") + S.CondVar +
+           " {\n";
+    for (const StmtPtr &C : S.Body)
+      printStmt(*C, Indent + 1, Out);
+    Out += Pad + "}";
+    if (!S.Else.empty()) {
+      Out += " else {\n";
+      for (const StmtPtr &C : S.Else)
+        printStmt(*C, Indent + 1, Out);
+      Out += Pad + "}";
+    }
+    Out += "\n";
+    return;
+  }
+  assert(false && "unknown statement kind");
+}
+
+std::string apt::printProgram(const Program &P, const FieldTable &Fields) {
+  std::string Out;
+  for (const TypeDecl &T : P.Types) {
+    Out += "type " + T.Name + " {\n";
+    for (const FieldDecl &F : T.Fields)
+      Out += "  " + F.Name + ": " +
+             (F.isPointer() ? F.PointeeType : std::string("int")) + ";\n";
+    for (const Axiom &A : T.Axioms.axioms())
+      Out += "  axiom " + A.toString(Fields) + ";\n";
+    Out += "}\n";
+  }
+  for (const Function &F : P.Functions) {
+    Out += "fn " + F.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      if (I > 0)
+        Out += ", ";
+      Out += F.Params[I].first + ": " + F.Params[I].second;
+    }
+    Out += ") {\n";
+    for (const StmtPtr &S : F.Body)
+      printStmt(*S, 1, Out);
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- parallel/ExecutionModel.cpp ----------------------------------------===//
+//
+// Part of the APT project; see ExecutionModel.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ExecutionModel.h"
+
+#include <algorithm>
+#include <queue>
+
+using namespace apt;
+
+void PeSimulator::parallel(const std::vector<uint64_t> &Tasks) {
+  if (Tasks.empty())
+    return;
+  Elapsed += BarrierCost;
+  // Longest-processing-time list scheduling onto NumPes machines.
+  std::vector<uint64_t> Sorted(Tasks);
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<uint64_t>());
+  std::priority_queue<uint64_t, std::vector<uint64_t>,
+                      std::greater<uint64_t>>
+      Loads;
+  for (unsigned I = 0; I < NumPes; ++I)
+    Loads.push(0);
+  uint64_t Makespan = 0;
+  for (uint64_t T : Sorted) {
+    uint64_t L = Loads.top();
+    Loads.pop();
+    L += T;
+    Makespan = std::max(Makespan, L);
+    Loads.push(L);
+    TotalWork += T;
+  }
+  Elapsed += Makespan;
+}

@@ -1,0 +1,97 @@
+//===- parallel/ExecutionModel.h - Cost-accounted execution -----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Figure 7 measures speedups of parallelized sparse-matrix
+/// code on an 8-PE Sequent. This machine has one core, so wall-clock
+/// thread speedups are unmeasurable; instead, the sparse kernels report
+/// their work through this interface, and the PeSimulator replays it on P
+/// virtual processing elements (list scheduling), yielding deterministic
+/// simulated speedups. See DESIGN.md §4 for the substitution rationale.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_PARALLEL_EXECUTIONMODEL_H
+#define APT_PARALLEL_EXECUTIONMODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace apt {
+
+/// Receives the work performed by an instrumented kernel. Costs are in
+/// elementary element-operations (loads/stores/multiply-adds on matrix
+/// elements), the natural unit for the factorization kernels.
+class ExecutionModel {
+public:
+  virtual ~ExecutionModel() = default;
+
+  /// A segment that must run on one PE (sequential semantics).
+  virtual void sequential(uint64_t Cost) = 0;
+
+  /// A phase of independent tasks that may run concurrently; \p Tasks
+  /// holds one cost per task (e.g. one per matrix row).
+  virtual void parallel(const std::vector<uint64_t> &Tasks) = 0;
+};
+
+/// Counts raw work without any notion of parallelism (used to obtain the
+/// one-PE baseline time and for unit tests of the instrumentation).
+class WorkCounter : public ExecutionModel {
+public:
+  void sequential(uint64_t Cost) override { Work += Cost; }
+  void parallel(const std::vector<uint64_t> &Tasks) override {
+    for (uint64_t T : Tasks)
+      Work += T;
+  }
+  uint64_t work() const { return Work; }
+
+private:
+  uint64_t Work = 0;
+};
+
+/// Simulates execution on \p NumPes identical PEs. Sequential segments
+/// occupy one PE while the others idle; parallel phases are greedily list
+/// scheduled (each task goes to the least-loaded PE, longest task first),
+/// with a barrier at the end of each phase -- the natural model for the
+/// paper's manually applied loop-level transformations.
+///
+/// \p BarrierCost is the fork/join synchronization price of one parallel
+/// phase, in the same element-operation units as task costs. It elapses
+/// wall-clock time without contributing useful work (so it never inflates
+/// the one-PE baseline, which runs the sequential policy and forks
+/// nothing). Calibrated once per simulated machine; see EXPERIMENTS.md.
+class PeSimulator : public ExecutionModel {
+public:
+  explicit PeSimulator(unsigned NumPes, uint64_t BarrierCost = 0)
+      : NumPes(NumPes ? NumPes : 1), BarrierCost(BarrierCost) {}
+
+  void sequential(uint64_t Cost) override {
+    Elapsed += Cost;
+    TotalWork += Cost;
+  }
+
+  void parallel(const std::vector<uint64_t> &Tasks) override;
+
+  /// Simulated elapsed time so far.
+  uint64_t elapsed() const { return Elapsed; }
+
+  /// Total work executed (equals the one-PE time of the same run).
+  uint64_t totalWork() const { return TotalWork; }
+
+  unsigned numPes() const { return NumPes; }
+
+private:
+  unsigned NumPes;
+  uint64_t BarrierCost;
+  uint64_t Elapsed = 0;
+  uint64_t TotalWork = 0;
+};
+
+} // namespace apt
+
+#endif // APT_PARALLEL_EXECUTIONMODEL_H

@@ -1,0 +1,82 @@
+//===- parallel/ThreadPool.cpp --------------------------------------------===//
+//
+// Part of the APT project; see ThreadPool.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+using namespace apt;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads == 0)
+    NumThreads = 1;
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeWorkers.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeWorkers.wait(Lock,
+                       [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty()) {
+        if (ShuttingDown)
+          return;
+        continue;
+      }
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      assert(Outstanding > 0 && "task completion imbalance");
+      --Outstanding;
+      if (Outstanding == 0)
+        WakeMaster.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  if (Count == 0)
+    return;
+  const size_t NumChunks = std::min<size_t>(Count, Workers.size());
+  const size_t ChunkSize = (Count + NumChunks - 1) / NumChunks;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t C = 0; C < NumChunks; ++C) {
+      size_t Begin = C * ChunkSize;
+      size_t End = std::min(Count, Begin + ChunkSize);
+      if (Begin >= End)
+        break;
+      ++Outstanding;
+      Tasks.push([Begin, End, &Body] {
+        for (size_t I = Begin; I < End; ++I)
+          Body(I);
+      });
+    }
+  }
+  WakeWorkers.notify_all();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WakeMaster.wait(Lock, [this] { return Outstanding == 0; });
+}

@@ -1,0 +1,59 @@
+//===- parallel/ThreadPool.h - Real-thread execution ------------*- C++ -*-===//
+//
+// Part of the APT project; see ExecutionModel.h for the simulated
+// counterpart used by the Figure 7 benchmark.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool with a parallel-for helper. The sparse
+/// kernels use it to execute the value-update phases that APT proved
+/// independent with real threads; tests verify bit-identical results
+/// against the sequential code. (On this one-core container it brings no
+/// wall-clock speedup -- speedups are measured with the PeSimulator.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_PARALLEL_THREADPOOL_H
+#define APT_PARALLEL_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace apt {
+
+/// Fixed-size worker pool.
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Runs Body(I) for every I in [0, Count), distributing chunks over the
+  /// workers; blocks until all iterations finish. Body must not throw.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable WakeMaster;
+  std::queue<std::function<void()>> Tasks;
+  size_t Outstanding = 0;
+  bool ShuttingDown = false;
+};
+
+} // namespace apt
+
+#endif // APT_PARALLEL_THREADPOOL_H

@@ -1,0 +1,124 @@
+//===- regex/Derivative.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Derivative.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Derivative.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+#include <unordered_set>
+
+using namespace apt;
+
+RegexRef apt::derivative(const RegexRef &R, FieldId F) {
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+    return Regex::empty();
+  case RegexKind::Symbol:
+    return R->symbol() == F ? Regex::epsilon() : Regex::empty();
+  case RegexKind::Concat: {
+    // d(r1 r2 ... rn) = d(r1) r2..rn  |  [r1 nullable] d(r2 ... rn).
+    const std::vector<RegexRef> &Cs = R->children();
+    std::vector<RegexRef> Tail(Cs.begin() + 1, Cs.end());
+    RegexRef TailRe = Regex::concat(Tail);
+    RegexRef First = Regex::concat(derivative(Cs.front(), F), TailRe);
+    if (!Cs.front()->nullable())
+      return First;
+    return Regex::alt(std::move(First), derivative(TailRe, F));
+  }
+  case RegexKind::Alt: {
+    std::vector<RegexRef> Parts;
+    Parts.reserve(R->children().size());
+    for (const RegexRef &C : R->children())
+      Parts.push_back(derivative(C, F));
+    return Regex::alt(std::move(Parts));
+  }
+  case RegexKind::Star:
+    return Regex::concat(derivative(R->child(), F), R);
+  case RegexKind::Plus:
+    return Regex::concat(derivative(R->child(), F),
+                         Regex::star(R->child()));
+  }
+  assert(false && "unknown regex kind");
+  return Regex::empty();
+}
+
+RegexRef apt::derivativeWord(const RegexRef &R, const Word &W) {
+  RegexRef Cur = R;
+  for (FieldId F : W) {
+    Cur = derivative(Cur, F);
+    if (Cur->isEmpty())
+      break;
+  }
+  return Cur;
+}
+
+bool apt::derivMatches(const RegexRef &R, const Word &W) {
+  return derivativeWord(R, W)->nullable();
+}
+
+namespace {
+
+/// Union of the symbols of two regexes, sorted.
+std::vector<FieldId> unionAlphabet(const RegexRef &A, const RegexRef &B) {
+  std::set<FieldId> Syms;
+  A->collectSymbols(Syms);
+  B->collectSymbols(Syms);
+  return std::vector<FieldId>(Syms.begin(), Syms.end());
+}
+
+} // namespace
+
+bool apt::derivSubsetOf(const RegexRef &A, const RegexRef &B) {
+  std::vector<FieldId> Alphabet = unionAlphabet(A, B);
+  std::unordered_set<std::string> Seen;
+  std::deque<std::pair<RegexRef, RegexRef>> Worklist;
+
+  auto Push = [&](RegexRef DA, RegexRef DB) {
+    if (DA->isEmpty())
+      return; // L(DA) empty: trivially contained from here on.
+    std::string Key = DA->key() + "\x1f" + DB->key();
+    if (Seen.insert(std::move(Key)).second)
+      Worklist.emplace_back(std::move(DA), std::move(DB));
+  };
+
+  Push(A, B);
+  while (!Worklist.empty()) {
+    auto [DA, DB] = Worklist.front();
+    Worklist.pop_front();
+    if (DA->nullable() && !DB->nullable())
+      return false;
+    for (FieldId F : Alphabet)
+      Push(derivative(DA, F), derivative(DB, F));
+  }
+  return true;
+}
+
+bool apt::derivDisjoint(const RegexRef &A, const RegexRef &B) {
+  std::vector<FieldId> Alphabet = unionAlphabet(A, B);
+  std::unordered_set<std::string> Seen;
+  std::deque<std::pair<RegexRef, RegexRef>> Worklist;
+
+  auto Push = [&](RegexRef DA, RegexRef DB) {
+    if (DA->isEmpty() || DB->isEmpty())
+      return; // No common word can start from an empty side.
+    std::string Key = DA->key() + "\x1f" + DB->key();
+    if (Seen.insert(std::move(Key)).second)
+      Worklist.emplace_back(std::move(DA), std::move(DB));
+  };
+
+  Push(A, B);
+  while (!Worklist.empty()) {
+    auto [DA, DB] = Worklist.front();
+    Worklist.pop_front();
+    if (DA->nullable() && DB->nullable())
+      return false;
+    for (FieldId F : Alphabet)
+      Push(derivative(DA, F), derivative(DB, F));
+  }
+  return true;
+}

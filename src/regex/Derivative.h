@@ -1,0 +1,49 @@
+//===- regex/Derivative.h - Brzozowski-derivative engine --------*- C++ -*-===//
+//
+// Part of the APT project; see Dfa.h for the primary (automaton) engine.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A second decision procedure for the regular-language queries the prover
+/// needs, based on Brzozowski derivatives instead of explicit automata.
+/// The smart constructors in Regex.h normalize modulo ACI of alternation,
+/// which bounds the number of distinct derivatives and guarantees the
+/// pair-exploration below terminates.
+///
+/// This engine exists for two reasons: it cross-checks the DFA engine in
+/// property tests, and it is the subject of the engine-ablation benchmark
+/// (bench/ablation_engines).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_DERIVATIVE_H
+#define APT_REGEX_DERIVATIVE_H
+
+#include "regex/Regex.h"
+
+namespace apt {
+
+/// The Brzozowski derivative of \p R with respect to field \p F:
+/// a regex whose language is { w | F.w in L(R) }.
+RegexRef derivative(const RegexRef &R, FieldId F);
+
+/// Derivative of \p R with respect to a whole word.
+RegexRef derivativeWord(const RegexRef &R, const Word &W);
+
+/// True if W is in L(R), by walking derivatives.
+bool derivMatches(const RegexRef &R, const Word &W);
+
+/// True if L(A) is a subset of L(B), by joint derivative-pair exploration.
+bool derivSubsetOf(const RegexRef &A, const RegexRef &B);
+
+/// True if L(A) and L(B) have no common word.
+bool derivDisjoint(const RegexRef &A, const RegexRef &B);
+
+/// True if L(R) is the empty language. With normalized construction this
+/// is a constant-time structural check.
+inline bool derivLanguageEmpty(const RegexRef &R) { return R->isEmpty(); }
+
+} // namespace apt
+
+#endif // APT_REGEX_DERIVATIVE_H

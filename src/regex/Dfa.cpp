@@ -1,0 +1,287 @@
+//===- regex/Dfa.cpp ------------------------------------------------------===//
+//
+// Part of the APT project; see Dfa.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Dfa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <numeric>
+
+using namespace apt;
+
+int Dfa::alphabetIndex(FieldId F) const {
+  auto It = std::lower_bound(Alphabet.begin(), Alphabet.end(), F);
+  if (It == Alphabet.end() || *It != F)
+    return -1;
+  return static_cast<int>(It - Alphabet.begin());
+}
+
+Dfa Dfa::fromRegex(const Regex &R, const std::vector<FieldId> &Alphabet) {
+  return fromNfa(Nfa::build(R), Alphabet);
+}
+
+Dfa Dfa::fromNfa(const Nfa &N, const std::vector<FieldId> &Alphabet) {
+  assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
+         "alphabet must be sorted");
+  Dfa Out;
+  Out.Alphabet = Alphabet;
+  const size_t NumSyms = Alphabet.size();
+
+  // Subset construction. State sets are sorted vectors used as map keys.
+  std::map<std::vector<uint32_t>, uint32_t> StateIds;
+  std::deque<std::vector<uint32_t>> Worklist;
+
+  auto InternState = [&](std::vector<uint32_t> Set) -> uint32_t {
+    auto It = StateIds.find(Set);
+    if (It != StateIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(StateIds.size());
+    StateIds.emplace(Set, Id);
+    bool Accepts = std::binary_search(Set.begin(), Set.end(), N.Accept);
+    Out.Accepting.push_back(Accepts);
+    Out.Transitions.resize(Out.Accepting.size() * NumSyms, 0);
+    Worklist.push_back(std::move(Set));
+    return Id;
+  };
+
+  std::vector<uint32_t> StartSet{N.Start};
+  N.epsilonClosure(StartSet);
+  Out.Start = InternState(std::move(StartSet));
+
+  // The empty set acts as the sink; it is interned lazily like any other
+  // subset (it naturally has self-loops on every symbol).
+  while (!Worklist.empty()) {
+    std::vector<uint32_t> Set = std::move(Worklist.front());
+    Worklist.pop_front();
+    uint32_t Id = StateIds.at(Set);
+    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx) {
+      FieldId Sym = Alphabet[SymIdx];
+      std::vector<uint32_t> Next;
+      for (uint32_t S : Set)
+        for (const auto &[Label, Target] : N.States[S].Transitions)
+          if (Label == Sym)
+            Next.push_back(Target);
+      std::sort(Next.begin(), Next.end());
+      Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+      N.epsilonClosure(Next);
+      uint32_t NextId = InternState(std::move(Next));
+      Out.Transitions[Id * NumSyms + SymIdx] = NextId;
+    }
+  }
+
+  // Interning while iterating grew Transitions; rows for states interned
+  // last may still be unfilled only if they never left the worklist, which
+  // cannot happen (the loop drains it). Sanity-check in debug builds.
+  assert(Out.Transitions.size() == Out.Accepting.size() * NumSyms);
+  return Out;
+}
+
+Dfa Dfa::product(const Dfa &A, const Dfa &B, bool RequireBoth) {
+  assert(A.Alphabet == B.Alphabet && "product requires a shared alphabet");
+  Dfa Out;
+  Out.Alphabet = A.Alphabet;
+  const size_t NumSyms = Out.Alphabet.size();
+  const size_t BStates = B.numStates();
+
+  // Reachable-pairs construction keeps the product small in practice.
+  std::vector<uint32_t> PairId(A.numStates() * BStates, UINT32_MAX);
+  std::deque<std::pair<uint32_t, uint32_t>> Worklist;
+
+  auto Intern = [&](uint32_t SA, uint32_t SB) -> uint32_t {
+    uint32_t &Slot = PairId[SA * BStates + SB];
+    if (Slot != UINT32_MAX)
+      return Slot;
+    Slot = static_cast<uint32_t>(Out.Accepting.size());
+    bool AccA = A.isAccepting(SA), AccB = B.isAccepting(SB);
+    Out.Accepting.push_back(RequireBoth ? (AccA && AccB) : (AccA || AccB));
+    Out.Transitions.resize(Out.Accepting.size() * NumSyms, 0);
+    Worklist.emplace_back(SA, SB);
+    return Slot;
+  };
+
+  Out.Start = Intern(A.start(), B.start());
+  while (!Worklist.empty()) {
+    auto [SA, SB] = Worklist.front();
+    Worklist.pop_front();
+    uint32_t Id = PairId[SA * BStates + SB];
+    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx) {
+      uint32_t Next = Intern(A.step(SA, SymIdx), B.step(SB, SymIdx));
+      Out.Transitions[Id * NumSyms + SymIdx] = Next;
+    }
+  }
+  return Out;
+}
+
+Dfa Dfa::complemented() const {
+  Dfa Out(*this);
+  for (size_t I = 0; I < Out.Accepting.size(); ++I)
+    Out.Accepting[I] = !Out.Accepting[I];
+  return Out;
+}
+
+bool Dfa::languageEmpty() const {
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<uint32_t> Worklist{Start};
+  Seen[Start] = true;
+  const size_t NumSyms = Alphabet.size();
+  while (!Worklist.empty()) {
+    uint32_t S = Worklist.front();
+    Worklist.pop_front();
+    if (Accepting[S])
+      return false;
+    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx) {
+      uint32_t T = step(S, SymIdx);
+      if (!Seen[T]) {
+        Seen[T] = true;
+        Worklist.push_back(T);
+      }
+    }
+  }
+  return true;
+}
+
+bool Dfa::accepts(const Word &W) const {
+  uint32_t S = Start;
+  for (FieldId F : W) {
+    int SymIdx = alphabetIndex(F);
+    if (SymIdx < 0)
+      return false;
+    S = step(S, static_cast<size_t>(SymIdx));
+  }
+  return Accepting[S];
+}
+
+std::optional<Word> Dfa::shortestAcceptedWord() const {
+  // BFS recording the (symbol, predecessor) that first reached each state.
+  std::vector<int> PredState(numStates(), -1);
+  std::vector<int> PredSym(numStates(), -1);
+  std::vector<bool> Seen(numStates(), false);
+  std::deque<uint32_t> Worklist{Start};
+  Seen[Start] = true;
+  const size_t NumSyms = Alphabet.size();
+  while (!Worklist.empty()) {
+    uint32_t S = Worklist.front();
+    Worklist.pop_front();
+    if (Accepting[S]) {
+      Word Out;
+      uint32_t Cur = S;
+      while (PredState[Cur] >= 0) {
+        Out.push_back(Alphabet[PredSym[Cur]]);
+        Cur = static_cast<uint32_t>(PredState[Cur]);
+      }
+      std::reverse(Out.begin(), Out.end());
+      return Out;
+    }
+    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx) {
+      uint32_t T = step(S, SymIdx);
+      if (!Seen[T]) {
+        Seen[T] = true;
+        PredState[T] = static_cast<int>(S);
+        PredSym[T] = static_cast<int>(SymIdx);
+        Worklist.push_back(T);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Dfa Dfa::minimized() const {
+  const size_t N = numStates();
+  const size_t NumSyms = Alphabet.size();
+  if (N == 0)
+    return *this;
+
+  // Hopcroft's algorithm. Start from the accepting / non-accepting split
+  // and refine with preimage splits until stable.
+  std::vector<int> BlockOf(N);
+  std::vector<std::vector<uint32_t>> Blocks;
+  {
+    std::vector<uint32_t> Acc, Rej;
+    for (uint32_t S = 0; S < N; ++S)
+      (Accepting[S] ? Acc : Rej).push_back(S);
+    if (!Rej.empty()) {
+      for (uint32_t S : Rej)
+        BlockOf[S] = static_cast<int>(Blocks.size());
+      Blocks.push_back(std::move(Rej));
+    }
+    if (!Acc.empty()) {
+      for (uint32_t S : Acc)
+        BlockOf[S] = static_cast<int>(Blocks.size());
+      Blocks.push_back(std::move(Acc));
+    }
+  }
+
+  // Precompute inverse transitions: for each (state, sym), its preimage.
+  std::vector<std::vector<uint32_t>> Preimage(N * NumSyms);
+  for (uint32_t S = 0; S < N; ++S)
+    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx)
+      Preimage[step(S, SymIdx) * NumSyms + SymIdx].push_back(S);
+
+  std::deque<std::pair<int, size_t>> Worklist;
+  for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx)
+    for (int B = 0; B < static_cast<int>(Blocks.size()); ++B)
+      Worklist.emplace_back(B, SymIdx);
+
+  std::vector<char> InSplitter(N, 0);
+  while (!Worklist.empty()) {
+    auto [SplitBlock, SymIdx] = Worklist.front();
+    Worklist.pop_front();
+
+    // States whose SymIdx-successor lies in SplitBlock.
+    std::vector<uint32_t> X;
+    for (uint32_t T : Blocks[SplitBlock])
+      for (uint32_t S : Preimage[T * NumSyms + SymIdx])
+        X.push_back(S);
+    if (X.empty())
+      continue;
+    for (uint32_t S : X)
+      InSplitter[S] = 1;
+
+    // Partition every block intersecting X.
+    std::vector<int> Touched;
+    for (uint32_t S : X) {
+      int B = BlockOf[S];
+      if (Touched.empty() || Touched.back() != B)
+        Touched.push_back(B);
+    }
+    std::sort(Touched.begin(), Touched.end());
+    Touched.erase(std::unique(Touched.begin(), Touched.end()), Touched.end());
+
+    for (int B : Touched) {
+      std::vector<uint32_t> In, Outside;
+      for (uint32_t S : Blocks[B])
+        (InSplitter[S] ? In : Outside).push_back(S);
+      if (In.empty() || Outside.empty())
+        continue;
+      // Replace block B with `In`; append `Outside` as a new block.
+      Blocks[B] = std::move(In);
+      int NewB = static_cast<int>(Blocks.size());
+      for (uint32_t S : Outside)
+        BlockOf[S] = NewB;
+      Blocks.push_back(std::move(Outside));
+      for (size_t Sym2 = 0; Sym2 < NumSyms; ++Sym2)
+        Worklist.emplace_back(NewB, Sym2);
+    }
+    for (uint32_t S : X)
+      InSplitter[S] = 0;
+  }
+
+  Dfa Out;
+  Out.Alphabet = Alphabet;
+  Out.Accepting.assign(Blocks.size(), false);
+  Out.Transitions.assign(Blocks.size() * NumSyms, 0);
+  for (size_t B = 0; B < Blocks.size(); ++B) {
+    uint32_t Rep = Blocks[B].front();
+    Out.Accepting[B] = Accepting[Rep];
+    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx)
+      Out.Transitions[B * NumSyms + SymIdx] =
+          static_cast<uint32_t>(BlockOf[step(Rep, SymIdx)]);
+  }
+  Out.Start = static_cast<uint32_t>(BlockOf[Start]);
+  return Out;
+}

@@ -1,0 +1,89 @@
+//===- regex/Dfa.h - Complete DFAs and language algebra ---------*- C++ -*-===//
+//
+// Part of the APT project; see Regex.h / Nfa.h for the pipeline feeding
+// this module.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic finite automata over an explicit field alphabet. DFAs here
+/// are always *complete* (every state has a transition on every alphabet
+/// symbol, with a non-accepting sink absorbing dead paths), which makes
+/// complementation a simple flip of the accepting set and lets subset tests
+/// run as `L(A) ∩ complement(L(B)) = ∅`, exactly the HU79 recipe the paper
+/// cites in §4.1.
+///
+/// The alphabet is an explicit, sorted list of FieldIds. Language operations
+/// (product, containment) require both operands to share the alphabet; the
+/// LangQuery facade in LangOps.h takes care of choosing the union alphabet
+/// per query.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_DFA_H
+#define APT_REGEX_DFA_H
+
+#include "regex/Nfa.h"
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace apt {
+
+/// A complete deterministic finite automaton over a fixed field alphabet.
+class Dfa {
+public:
+  /// Builds the complete DFA for \p R over \p Alphabet (sorted, unique).
+  /// Every symbol of \p R must be in \p Alphabet.
+  static Dfa fromRegex(const Regex &R, const std::vector<FieldId> &Alphabet);
+
+  /// Subset construction from \p N over \p Alphabet.
+  static Dfa fromNfa(const Nfa &N, const std::vector<FieldId> &Alphabet);
+
+  /// Product automaton over the (shared) alphabet. Accepting states are the
+  /// pairs where both (\p RequireBoth) or either operand accepts.
+  static Dfa product(const Dfa &A, const Dfa &B, bool RequireBoth);
+
+  /// The complement automaton (same alphabet, accepting set flipped).
+  Dfa complemented() const;
+
+  /// Hopcroft partition-refinement minimization.
+  Dfa minimized() const;
+
+  /// True if no accepting state is reachable from the start state.
+  bool languageEmpty() const;
+
+  /// True if the automaton accepts \p W. Symbols outside the alphabet make
+  /// the word rejected.
+  bool accepts(const Word &W) const;
+
+  /// Shortest accepted word, or std::nullopt for the empty language. Used
+  /// by tests and for producing witnesses in diagnostics.
+  std::optional<Word> shortestAcceptedWord() const;
+
+  size_t numStates() const { return Accepting.size(); }
+  uint32_t start() const { return Start; }
+  bool isAccepting(uint32_t State) const { return Accepting[State]; }
+  const std::vector<FieldId> &alphabet() const { return Alphabet; }
+
+  /// Index of \p F in the alphabet, or -1 if absent.
+  int alphabetIndex(FieldId F) const;
+
+  /// Successor of \p State on the symbol with alphabet index \p SymIdx.
+  uint32_t step(uint32_t State, size_t SymIdx) const {
+    return Transitions[State * Alphabet.size() + SymIdx];
+  }
+
+private:
+  Dfa() = default;
+
+  std::vector<FieldId> Alphabet;     ///< Sorted, unique.
+  std::vector<uint32_t> Transitions; ///< Row-major [state][symIdx].
+  std::vector<bool> Accepting;
+  uint32_t Start = 0;
+};
+
+} // namespace apt
+
+#endif // APT_REGEX_DFA_H

@@ -1,0 +1,97 @@
+//===- regex/LangOps.cpp --------------------------------------------------===//
+//
+// Part of the APT project; see LangOps.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/LangOps.h"
+
+#include "regex/Derivative.h"
+#include "regex/Dfa.h"
+
+#include <set>
+
+using namespace apt;
+
+static std::vector<FieldId> unionAlphabet(const RegexRef &A,
+                                          const RegexRef &B) {
+  std::set<FieldId> Syms;
+  A->collectSymbols(Syms);
+  B->collectSymbols(Syms);
+  return std::vector<FieldId>(Syms.begin(), Syms.end());
+}
+
+bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
+  ++Counters.SubsetQueries;
+  if (A->isEmpty())
+    return true;
+  if (structurallyEqual(A, B))
+    return true;
+  if (!EnableCache)
+    return subsetOfUncached(A, B);
+  std::string Key = A->key() + "\x1f" + B->key();
+  auto It = SubsetCache.find(Key);
+  if (It != SubsetCache.end()) {
+    ++Counters.CacheHits;
+    return It->second;
+  }
+  bool Result = subsetOfUncached(A, B);
+  SubsetCache.emplace(std::move(Key), Result);
+  return Result;
+}
+
+bool LangQuery::subsetOfUncached(const RegexRef &A, const RegexRef &B) {
+  if (Engine == LangEngine::Derivative)
+    return derivSubsetOf(A, B);
+  // L(A) subset of L(B)  iff  L(A) & complement(L(B)) is empty, taken over
+  // the union alphabet (words using symbols outside it cannot be in L(A)).
+  std::vector<FieldId> Alphabet = unionAlphabet(A, B);
+  Dfa DA = Dfa::fromRegex(*A, Alphabet);
+  Dfa DB = Dfa::fromRegex(*B, Alphabet);
+  Counters.DfaBuilt += 2;
+  Counters.DfaStatesBuilt += DA.numStates() + DB.numStates();
+  return Dfa::product(DA, DB.complemented(), /*RequireBoth=*/true)
+      .languageEmpty();
+}
+
+bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
+  ++Counters.DisjointQueries;
+  if (A->isEmpty() || B->isEmpty())
+    return true;
+  if (structurallyEqual(A, B))
+    return false; // Both non-empty and identical: they share every word.
+  if (!EnableCache)
+    return disjointUncached(A, B);
+  // Disjointness is symmetric; canonicalize the key order.
+  std::string Key = A->key() <= B->key() ? A->key() + "\x1f" + B->key()
+                                         : B->key() + "\x1f" + A->key();
+  auto It = DisjointCache.find(Key);
+  if (It != DisjointCache.end()) {
+    ++Counters.CacheHits;
+    return It->second;
+  }
+  bool Result = disjointUncached(A, B);
+  DisjointCache.emplace(std::move(Key), Result);
+  return Result;
+}
+
+bool LangQuery::disjointUncached(const RegexRef &A, const RegexRef &B) {
+  if (Engine == LangEngine::Derivative)
+    return derivDisjoint(A, B);
+  std::vector<FieldId> Alphabet = unionAlphabet(A, B);
+  Dfa DA = Dfa::fromRegex(*A, Alphabet);
+  Dfa DB = Dfa::fromRegex(*B, Alphabet);
+  Counters.DfaBuilt += 2;
+  Counters.DfaStatesBuilt += DA.numStates() + DB.numStates();
+  return Dfa::product(DA, DB, /*RequireBoth=*/true).languageEmpty();
+}
+
+bool LangQuery::equivalent(const RegexRef &A, const RegexRef &B) {
+  if (structurallyEqual(A, B))
+    return true;
+  return subsetOf(A, B) && subsetOf(B, A);
+}
+
+bool LangQuery::matches(const RegexRef &R, const Word &W) {
+  return derivMatches(R, W);
+}

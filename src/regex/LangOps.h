@@ -1,0 +1,85 @@
+//===- regex/LangOps.h - Cached language-query facade -----------*- C++ -*-===//
+//
+// Part of the APT project; see Dfa.h and Derivative.h for the engines.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LangQuery is the single entry point the dependence tester uses for
+/// regular-language questions (subset, disjointness, equivalence,
+/// membership). It:
+///
+///  * chooses a per-query union alphabet so that complements are taken
+///    over exactly the fields both expressions can mention,
+///  * memoizes query results keyed on canonical regex keys (the paper's
+///    §4.2 assumes "results of intermediate proofs are cached"; the same
+///    applies one level down to the language queries), and
+///  * can be switched between the DFA engine and the Brzozowski-derivative
+///    engine for the ablation benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_LANGOPS_H
+#define APT_REGEX_LANGOPS_H
+
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace apt {
+
+/// Which decision procedure answers language queries.
+enum class LangEngine {
+  Dfa,        ///< Thompson NFA -> subset-construction DFA -> product.
+  Derivative, ///< Brzozowski-derivative pair exploration.
+};
+
+/// Cached facade over the regular-language decision procedures.
+class LangQuery {
+public:
+  /// Aggregate counters, exposed for benchmarks and tests.
+  struct Stats {
+    uint64_t SubsetQueries = 0;
+    uint64_t DisjointQueries = 0;
+    uint64_t CacheHits = 0;
+    uint64_t DfaBuilt = 0;
+    uint64_t DfaStatesBuilt = 0;
+  };
+
+  explicit LangQuery(LangEngine Engine = LangEngine::Dfa,
+                     bool EnableCache = true)
+      : Engine(Engine), EnableCache(EnableCache) {}
+
+  /// True if L(A) is a subset of L(B).
+  bool subsetOf(const RegexRef &A, const RegexRef &B);
+
+  /// True if L(A) and L(B) share no word.
+  bool disjoint(const RegexRef &A, const RegexRef &B);
+
+  /// True if L(A) == L(B).
+  bool equivalent(const RegexRef &A, const RegexRef &B);
+
+  /// True if L(R) is empty (structural with normalized regexes).
+  bool languageEmpty(const RegexRef &R) const { return R->isEmpty(); }
+
+  /// True if W is a member of L(R).
+  bool matches(const RegexRef &R, const Word &W);
+
+  const Stats &stats() const { return Counters; }
+  LangEngine engine() const { return Engine; }
+
+private:
+  bool subsetOfUncached(const RegexRef &A, const RegexRef &B);
+  bool disjointUncached(const RegexRef &A, const RegexRef &B);
+
+  LangEngine Engine;
+  bool EnableCache;
+  Stats Counters;
+  std::unordered_map<std::string, bool> SubsetCache;
+  std::unordered_map<std::string, bool> DisjointCache;
+};
+
+} // namespace apt
+
+#endif // APT_REGEX_LANGOPS_H

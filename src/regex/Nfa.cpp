@@ -1,0 +1,120 @@
+//===- regex/Nfa.cpp ------------------------------------------------------===//
+//
+// Part of the APT project; see Nfa.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Nfa.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace apt;
+
+namespace {
+
+/// Incremental Thompson builder; returns (entry, exit) state pairs.
+class Builder {
+public:
+  explicit Builder(Nfa &Out) : Out(Out) {}
+
+  std::pair<uint32_t, uint32_t> build(const Regex &R) {
+    switch (R.kind()) {
+    case RegexKind::Empty: {
+      // Two states with no connection: nothing is accepted.
+      uint32_t In = newState(), OutSt = newState();
+      return {In, OutSt};
+    }
+    case RegexKind::Epsilon: {
+      uint32_t In = newState(), OutSt = newState();
+      addEps(In, OutSt);
+      return {In, OutSt};
+    }
+    case RegexKind::Symbol: {
+      uint32_t In = newState(), OutSt = newState();
+      Out.States[In].Transitions.emplace_back(R.symbol(), OutSt);
+      return {In, OutSt};
+    }
+    case RegexKind::Concat: {
+      std::pair<uint32_t, uint32_t> Acc = build(*R.children().front());
+      for (size_t I = 1; I < R.children().size(); ++I) {
+        std::pair<uint32_t, uint32_t> Next = build(*R.children()[I]);
+        addEps(Acc.second, Next.first);
+        Acc.second = Next.second;
+      }
+      return Acc;
+    }
+    case RegexKind::Alt: {
+      uint32_t In = newState(), OutSt = newState();
+      for (const RegexRef &C : R.children()) {
+        std::pair<uint32_t, uint32_t> Sub = build(*C);
+        addEps(In, Sub.first);
+        addEps(Sub.second, OutSt);
+      }
+      return {In, OutSt};
+    }
+    case RegexKind::Star: {
+      uint32_t In = newState(), OutSt = newState();
+      std::pair<uint32_t, uint32_t> Sub = build(*R.child());
+      addEps(In, Sub.first);
+      addEps(Sub.second, OutSt);
+      addEps(In, OutSt);
+      addEps(Sub.second, Sub.first);
+      return {In, OutSt};
+    }
+    case RegexKind::Plus: {
+      uint32_t In = newState(), OutSt = newState();
+      std::pair<uint32_t, uint32_t> Sub = build(*R.child());
+      addEps(In, Sub.first);
+      addEps(Sub.second, OutSt);
+      addEps(Sub.second, Sub.first);
+      return {In, OutSt};
+    }
+    }
+    assert(false && "unknown regex kind");
+    return {0, 0};
+  }
+
+private:
+  Nfa &Out;
+
+  uint32_t newState() {
+    Out.States.emplace_back();
+    return static_cast<uint32_t>(Out.States.size() - 1);
+  }
+
+  void addEps(uint32_t From, uint32_t To) {
+    Out.States[From].EpsilonMoves.push_back(To);
+  }
+};
+
+} // namespace
+
+Nfa Nfa::build(const Regex &R) {
+  Nfa Out;
+  Builder B(Out);
+  std::pair<uint32_t, uint32_t> Ends = B.build(R);
+  Out.Start = Ends.first;
+  Out.Accept = Ends.second;
+  return Out;
+}
+
+void Nfa::epsilonClosure(std::vector<uint32_t> &Seed) const {
+  std::vector<uint32_t> Stack(Seed);
+  std::vector<bool> Seen(States.size(), false);
+  for (uint32_t S : Seed)
+    Seen[S] = true;
+  while (!Stack.empty()) {
+    uint32_t S = Stack.back();
+    Stack.pop_back();
+    for (uint32_t T : States[S].EpsilonMoves) {
+      if (Seen[T])
+        continue;
+      Seen[T] = true;
+      Seed.push_back(T);
+      Stack.push_back(T);
+    }
+  }
+  std::sort(Seed.begin(), Seed.end());
+  Seed.erase(std::unique(Seed.begin(), Seed.end()), Seed.end());
+}

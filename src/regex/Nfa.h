@@ -1,0 +1,51 @@
+//===- regex/Nfa.h - Thompson NFA construction ------------------*- C++ -*-===//
+//
+// Part of the APT project; see Regex.h for the expressions compiled here.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nondeterministic finite automata built from regular expressions via
+/// Thompson's construction (Hopcroft & Ullman 1979, the reference the paper
+/// cites for its subset tests). The NFA is an intermediate step on the way
+/// to the complete DFAs in Dfa.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_NFA_H
+#define APT_REGEX_NFA_H
+
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace apt {
+
+/// An epsilon-NFA with a single start and single accept state, as produced
+/// by Thompson's construction.
+struct Nfa {
+  /// One NFA state: labeled transitions plus epsilon moves.
+  struct State {
+    std::vector<std::pair<FieldId, uint32_t>> Transitions;
+    std::vector<uint32_t> EpsilonMoves;
+  };
+
+  std::vector<State> States;
+  uint32_t Start = 0;
+  uint32_t Accept = 0;
+
+  size_t size() const { return States.size(); }
+
+  /// Computes the epsilon-closure of \p Seed in-place: on return \p Seed is
+  /// the sorted, deduplicated closure.
+  void epsilonClosure(std::vector<uint32_t> &Seed) const;
+
+  /// Builds the Thompson NFA for \p R.
+  static Nfa build(const Regex &R);
+};
+
+} // namespace apt
+
+#endif // APT_REGEX_NFA_H

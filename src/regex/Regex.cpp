@@ -1,0 +1,355 @@
+//===- regex/Regex.cpp ----------------------------------------------------===//
+//
+// Part of the APT project; see Regex.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace apt;
+
+//===----------------------------------------------------------------------===//
+// Construction and normalization
+//===----------------------------------------------------------------------===//
+
+static bool computeNullable(RegexKind Kind,
+                            const std::vector<RegexRef> &Children) {
+  switch (Kind) {
+  case RegexKind::Empty:
+    return false;
+  case RegexKind::Epsilon:
+    return true;
+  case RegexKind::Symbol:
+    return false;
+  case RegexKind::Concat:
+    return std::all_of(Children.begin(), Children.end(),
+                       [](const RegexRef &C) { return C->nullable(); });
+  case RegexKind::Alt:
+    return std::any_of(Children.begin(), Children.end(),
+                       [](const RegexRef &C) { return C->nullable(); });
+  case RegexKind::Star:
+    return true;
+  case RegexKind::Plus:
+    return Children.front()->nullable();
+  }
+  assert(false && "unknown regex kind");
+  return false;
+}
+
+static std::string computeKey(RegexKind Kind, FieldId Sym,
+                              const std::vector<RegexRef> &Children) {
+  switch (Kind) {
+  case RegexKind::Empty:
+    return "0";
+  case RegexKind::Epsilon:
+    return "e";
+  case RegexKind::Symbol:
+    return "s" + std::to_string(Sym);
+  case RegexKind::Concat:
+  case RegexKind::Alt:
+  case RegexKind::Star:
+  case RegexKind::Plus: {
+    std::string Out;
+    Out += Kind == RegexKind::Concat  ? "(."
+           : Kind == RegexKind::Alt   ? "(|"
+           : Kind == RegexKind::Star  ? "(*"
+                                      : "(+";
+    for (const RegexRef &C : Children) {
+      Out += ' ';
+      Out += C->key();
+    }
+    Out += ')';
+    return Out;
+  }
+  }
+  assert(false && "unknown regex kind");
+  return "";
+}
+
+Regex::Regex(RegexKind Kind, FieldId Sym, std::vector<RegexRef> Children)
+    : Kind(Kind), Sym(Sym), Children(std::move(Children)) {
+  Nullable = computeNullable(Kind, this->Children);
+  Key = computeKey(Kind, Sym, this->Children);
+}
+
+RegexRef Regex::make(RegexKind Kind, FieldId Sym,
+                     std::vector<RegexRef> Children) {
+  return RegexRef(new Regex(Kind, Sym, std::move(Children)));
+}
+
+FieldId Regex::symbol() const {
+  assert(Kind == RegexKind::Symbol && "not a symbol node");
+  return Sym;
+}
+
+const RegexRef &Regex::child() const {
+  assert((Kind == RegexKind::Star || Kind == RegexKind::Plus) &&
+         "not a star/plus node");
+  return Children.front();
+}
+
+RegexRef Regex::empty() {
+  static const RegexRef Instance = make(RegexKind::Empty, 0, {});
+  return Instance;
+}
+
+RegexRef Regex::epsilon() {
+  static const RegexRef Instance = make(RegexKind::Epsilon, 0, {});
+  return Instance;
+}
+
+RegexRef Regex::symbol(FieldId Field) {
+  return make(RegexKind::Symbol, Field, {});
+}
+
+RegexRef Regex::concat(std::vector<RegexRef> Parts) {
+  std::vector<RegexRef> Flat;
+  for (RegexRef &P : Parts) {
+    assert(P && "null regex part");
+    if (P->isEmpty())
+      return empty();
+    if (P->isEpsilon())
+      continue;
+    if (P->kind() == RegexKind::Concat) {
+      for (const RegexRef &C : P->children())
+        Flat.push_back(C);
+      continue;
+    }
+    Flat.push_back(std::move(P));
+  }
+  if (Flat.empty())
+    return epsilon();
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make(RegexKind::Concat, 0, std::move(Flat));
+}
+
+RegexRef Regex::concat(RegexRef A, RegexRef B) {
+  std::vector<RegexRef> Parts;
+  Parts.push_back(std::move(A));
+  Parts.push_back(std::move(B));
+  return concat(std::move(Parts));
+}
+
+RegexRef Regex::alt(std::vector<RegexRef> Parts) {
+  std::vector<RegexRef> Flat;
+  for (RegexRef &P : Parts) {
+    assert(P && "null regex part");
+    if (P->isEmpty())
+      continue;
+    if (P->kind() == RegexKind::Alt) {
+      for (const RegexRef &C : P->children())
+        Flat.push_back(C);
+      continue;
+    }
+    Flat.push_back(std::move(P));
+  }
+  if (Flat.empty())
+    return empty();
+  std::sort(Flat.begin(), Flat.end(), RegexKeyLess());
+  Flat.erase(std::unique(Flat.begin(), Flat.end(),
+                         [](const RegexRef &A, const RegexRef &B) {
+                           return A->key() == B->key();
+                         }),
+             Flat.end());
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make(RegexKind::Alt, 0, std::move(Flat));
+}
+
+RegexRef Regex::alt(RegexRef A, RegexRef B) {
+  std::vector<RegexRef> Parts;
+  Parts.push_back(std::move(A));
+  Parts.push_back(std::move(B));
+  return alt(std::move(Parts));
+}
+
+RegexRef Regex::star(RegexRef Inner) {
+  assert(Inner && "null regex");
+  if (Inner->isEmpty() || Inner->isEpsilon())
+    return epsilon();
+  if (Inner->kind() == RegexKind::Star)
+    return Inner;
+  if (Inner->kind() == RegexKind::Plus)
+    return star(Inner->child());
+  return make(RegexKind::Star, 0, {std::move(Inner)});
+}
+
+RegexRef Regex::plus(RegexRef Inner) {
+  assert(Inner && "null regex");
+  if (Inner->isEmpty())
+    return empty();
+  if (Inner->isEpsilon())
+    return epsilon();
+  if (Inner->kind() == RegexKind::Star || Inner->kind() == RegexKind::Plus)
+    return Inner;
+  return make(RegexKind::Plus, 0, {std::move(Inner)});
+}
+
+RegexRef Regex::optional(RegexRef Inner) {
+  return alt(std::move(Inner), epsilon());
+}
+
+RegexRef Regex::word(const Word &W) {
+  std::vector<RegexRef> Parts;
+  Parts.reserve(W.size());
+  for (FieldId F : W)
+    Parts.push_back(symbol(F));
+  return concat(std::move(Parts));
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+void Regex::collectSymbols(std::set<FieldId> &Out) const {
+  if (Kind == RegexKind::Symbol) {
+    Out.insert(Sym);
+    return;
+  }
+  for (const RegexRef &C : Children)
+    C->collectSymbols(Out);
+}
+
+std::optional<Word> Regex::singletonWord() const {
+  switch (Kind) {
+  case RegexKind::Empty:
+    return std::nullopt;
+  case RegexKind::Epsilon:
+    return Word{};
+  case RegexKind::Symbol:
+    return Word{Sym};
+  case RegexKind::Concat: {
+    Word Out;
+    for (const RegexRef &C : Children) {
+      std::optional<Word> Part = C->singletonWord();
+      if (!Part)
+        return std::nullopt;
+      Out.insert(Out.end(), Part->begin(), Part->end());
+    }
+    return Out;
+  }
+  case RegexKind::Alt: {
+    // Normalization removed duplicates, so >= 2 distinct branches remain.
+    // Distinct normalized branches can still denote equal singleton
+    // languages only if they are structurally different ways to write the
+    // same word; compare the branch words directly.
+    std::optional<Word> First = Children.front()->singletonWord();
+    if (!First)
+      return std::nullopt;
+    for (size_t I = 1; I < Children.size(); ++I) {
+      std::optional<Word> Other = Children[I]->singletonWord();
+      if (!Other || *Other != *First)
+        return std::nullopt;
+    }
+    return First;
+  }
+  case RegexKind::Star:
+  case RegexKind::Plus:
+    // Normalization guarantees the child is neither empty nor epsilon, so
+    // the language contains words of at least two different lengths.
+    return std::nullopt;
+  }
+  assert(false && "unknown regex kind");
+  return std::nullopt;
+}
+
+std::optional<size_t> Regex::shortestWordLength() const {
+  switch (Kind) {
+  case RegexKind::Empty:
+    return std::nullopt;
+  case RegexKind::Epsilon:
+    return 0;
+  case RegexKind::Symbol:
+    return 1;
+  case RegexKind::Concat: {
+    size_t Total = 0;
+    for (const RegexRef &C : Children) {
+      std::optional<size_t> Part = C->shortestWordLength();
+      if (!Part)
+        return std::nullopt;
+      Total += *Part;
+    }
+    return Total;
+  }
+  case RegexKind::Alt: {
+    std::optional<size_t> Best;
+    for (const RegexRef &C : Children) {
+      std::optional<size_t> Part = C->shortestWordLength();
+      if (Part && (!Best || *Part < *Best))
+        Best = Part;
+    }
+    return Best;
+  }
+  case RegexKind::Star:
+    return 0;
+  case RegexKind::Plus:
+    return child()->shortestWordLength();
+  }
+  assert(false && "unknown regex kind");
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Binding strength used to decide where parentheses are needed.
+enum class Prec { Alt = 0, Concat = 1, Postfix = 2 };
+} // namespace
+
+static void print(const Regex &R, const FieldTable &Fields, Prec Ctx,
+                  std::string &Out) {
+  switch (R.kind()) {
+  case RegexKind::Empty:
+    Out += "never";
+    return;
+  case RegexKind::Epsilon:
+    Out += "eps";
+    return;
+  case RegexKind::Symbol:
+    Out += Fields.name(R.symbol());
+    return;
+  case RegexKind::Concat: {
+    bool Paren = Ctx > Prec::Concat;
+    if (Paren)
+      Out += '(';
+    for (size_t I = 0; I < R.children().size(); ++I) {
+      if (I > 0)
+        Out += '.';
+      print(*R.children()[I], Fields, Prec::Concat, Out);
+    }
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case RegexKind::Alt: {
+    bool Paren = Ctx > Prec::Alt;
+    if (Paren)
+      Out += '(';
+    for (size_t I = 0; I < R.children().size(); ++I) {
+      if (I > 0)
+        Out += '|';
+      print(*R.children()[I], Fields, Prec::Alt, Out);
+    }
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case RegexKind::Star:
+  case RegexKind::Plus:
+    print(*R.child(), Fields, Prec::Postfix, Out);
+    Out += R.kind() == RegexKind::Star ? '*' : '+';
+    return;
+  }
+}
+
+std::string Regex::toString(const FieldTable &Fields) const {
+  std::string Out;
+  print(*this, Fields, Prec::Alt, Out);
+  return Out;
+}

@@ -1,0 +1,158 @@
+//===- regex/Regex.h - Regular expressions over field names -----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regular expressions whose alphabet is the set of pointer-field names of a
+/// data structure. Access paths (paper §3.1) and the regular expressions
+/// inside aliasing axioms are both built from this AST.
+///
+/// Nodes are immutable and shared; the smart constructors perform light
+/// ACI-style normalization (flattening, identity/annihilator elimination,
+/// duplicate-branch removal, canonical ordering of alternations) so that
+/// structurally equal languages usually have equal canonical keys. Full
+/// language equivalence is decided by the automata in Dfa.h / Derivative.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_REGEX_H
+#define APT_REGEX_REGEX_H
+
+#include "support/FieldTable.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Discriminator for regular-expression AST nodes.
+enum class RegexKind {
+  Empty,   ///< The empty language (no paths at all).
+  Epsilon, ///< The empty word: stay at the current vertex.
+  Symbol,  ///< A single pointer-field traversal.
+  Concat,  ///< Sequential composition of >= 2 subexpressions.
+  Alt,     ///< Alternation (set union) of >= 2 subexpressions.
+  Star,    ///< Kleene star: zero or more repetitions.
+  Plus,    ///< Kleene plus: one or more repetitions.
+};
+
+class Regex;
+
+/// Shared immutable handle to a regular-expression node.
+using RegexRef = std::shared_ptr<const Regex>;
+
+/// An immutable regular expression over pointer-field names.
+///
+/// Construct only via the static factory functions, which normalize as they
+/// build. Two RegexRefs with the same key() are structurally identical (and
+/// therefore denote the same language; the converse does not hold).
+class Regex {
+public:
+  RegexKind kind() const { return Kind; }
+
+  /// Field of a Symbol node. Only valid when kind() == RegexKind::Symbol.
+  FieldId symbol() const;
+
+  /// Children of a Concat/Alt (>= 2) or Star/Plus (exactly 1) node.
+  const std::vector<RegexRef> &children() const { return Children; }
+
+  /// Child of a Star or Plus node.
+  const RegexRef &child() const;
+
+  /// True if the empty word belongs to this expression's language.
+  bool nullable() const { return Nullable; }
+
+  /// True if this is the Empty node (language {}).
+  bool isEmpty() const { return Kind == RegexKind::Empty; }
+
+  /// True if this is the Epsilon node (language {eps}).
+  bool isEpsilon() const { return Kind == RegexKind::Epsilon; }
+
+  /// Canonical structural key; equal keys imply structural equality.
+  const std::string &key() const { return Key; }
+
+  /// Inserts every field mentioned by this expression into \p Out.
+  void collectSymbols(std::set<FieldId> &Out) const;
+
+  /// Renders the expression with human-readable field names, using the
+  /// paper's notation: juxtaposed-with-dots concatenation, '|', '*', '+',
+  /// and "eps" / "never" for the constants. The output re-parses to a
+  /// structurally identical expression.
+  std::string toString(const FieldTable &Fields) const;
+
+  /// \name Factory functions (the only way to create nodes).
+  /// @{
+  static RegexRef empty();
+  static RegexRef epsilon();
+  static RegexRef symbol(FieldId Field);
+
+  /// Concatenation; drops epsilons, collapses to empty() if any part is
+  /// empty, flattens nested concats, and unwraps singleton results.
+  static RegexRef concat(std::vector<RegexRef> Parts);
+  static RegexRef concat(RegexRef A, RegexRef B);
+
+  /// Alternation; drops empty() branches, flattens nested alts, removes
+  /// duplicate branches, orders branches canonically, and unwraps singleton
+  /// results.
+  static RegexRef alt(std::vector<RegexRef> Parts);
+  static RegexRef alt(RegexRef A, RegexRef B);
+
+  /// Kleene star; star(empty) == star(eps) == eps, star(star(x)) == star(x),
+  /// star(plus(x)) == star(x).
+  static RegexRef star(RegexRef Inner);
+
+  /// Kleene plus; plus(empty) == empty, plus(eps) == eps,
+  /// plus(star(x)) == star(x), plus(plus(x)) == plus(x).
+  static RegexRef plus(RegexRef Inner);
+
+  /// Zero-or-one: sugar for alt(Inner, eps).
+  static RegexRef optional(RegexRef Inner);
+
+  /// The single-word language {W}.
+  static RegexRef word(const Word &W);
+  /// @}
+
+  /// If this expression's language is exactly one word, returns that word.
+  /// Decided structurally (sound and complete thanks to normalization of
+  /// Star-of-epsilon etc. — a Star/Plus survivor always has a non-epsilon
+  /// child and so never denotes a singleton).
+  std::optional<Word> singletonWord() const;
+
+  /// Length of the shortest word in the language, or std::nullopt for the
+  /// empty language.
+  std::optional<size_t> shortestWordLength() const;
+
+private:
+  Regex(RegexKind Kind, FieldId Sym, std::vector<RegexRef> Children);
+
+  static RegexRef make(RegexKind Kind, FieldId Sym,
+                       std::vector<RegexRef> Children);
+
+  RegexKind Kind;
+  FieldId Sym = 0;
+  std::vector<RegexRef> Children;
+  bool Nullable = false;
+  std::string Key;
+};
+
+/// Ordering of RegexRefs by canonical key (for deterministic containers).
+struct RegexKeyLess {
+  bool operator()(const RegexRef &A, const RegexRef &B) const {
+    return A->key() < B->key();
+  }
+};
+
+/// True if \p A and \p B are structurally identical.
+inline bool structurallyEqual(const RegexRef &A, const RegexRef &B) {
+  return A->key() == B->key();
+}
+
+} // namespace apt
+
+#endif // APT_REGEX_REGEX_H

@@ -1,0 +1,190 @@
+//===- regex/RegexParser.cpp ----------------------------------------------===//
+//
+// Part of the APT project; see RegexParser.h for the grammar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/RegexParser.h"
+
+#include <cctype>
+
+using namespace apt;
+
+namespace {
+
+/// Recursive-descent parser over a flat character buffer.
+///
+/// In compact mode every alphanumeric character is a one-letter field; in
+/// normal mode identifiers are maximal [A-Za-z_][A-Za-z0-9_]* runs with the
+/// reserved words `eps` and `never`.
+class Parser {
+public:
+  Parser(std::string_view Text, FieldTable &Fields, bool Compact)
+      : Text(Text), Fields(Fields), Compact(Compact) {}
+
+  RegexParseResult run() {
+    RegexRef R = parseAlt();
+    if (!R)
+      return fail();
+    skipSpace();
+    if (Pos != Text.size())
+      return error("unexpected character '" + std::string(1, Text[Pos]) +
+                   "'");
+    RegexParseResult Out;
+    Out.Value = std::move(R);
+    return Out;
+  }
+
+private:
+  std::string_view Text;
+  FieldTable &Fields;
+  bool Compact;
+  size_t Pos = 0;
+  std::string Err;
+  size_t ErrPos = 0;
+
+  RegexParseResult fail() {
+    RegexParseResult Out;
+    Out.Error = Err.empty() ? "parse error" : Err;
+    Out.ErrorOffset = ErrPos;
+    return Out;
+  }
+
+  RegexParseResult error(std::string Message) {
+    Err = std::move(Message);
+    ErrPos = Pos;
+    return fail();
+  }
+
+  RegexRef setError(std::string Message) {
+    if (Err.empty()) {
+      Err = std::move(Message);
+      ErrPos = Pos;
+    }
+    return nullptr;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool peekIs(char C) {
+    skipSpace();
+    return Pos < Text.size() && Text[Pos] == C;
+  }
+
+  bool consume(char C) {
+    if (!peekIs(C))
+      return false;
+    ++Pos;
+    return true;
+  }
+
+  /// True if an atom can start at the current position (used to detect
+  /// juxtaposition-style concatenation).
+  bool atAtomStart() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return false;
+    char C = Text[Pos];
+    return C == '(' || std::isalpha(static_cast<unsigned char>(C)) ||
+           C == '_';
+  }
+
+  RegexRef parseAlt() {
+    RegexRef Lhs = parseCat();
+    if (!Lhs)
+      return nullptr;
+    std::vector<RegexRef> Parts{Lhs};
+    while (consume('|')) {
+      RegexRef Rhs = parseCat();
+      if (!Rhs)
+        return nullptr;
+      Parts.push_back(std::move(Rhs));
+    }
+    return Regex::alt(std::move(Parts));
+  }
+
+  RegexRef parseCat() {
+    RegexRef First = parsePostfix();
+    if (!First)
+      return nullptr;
+    std::vector<RegexRef> Parts{First};
+    for (;;) {
+      bool Dot = consume('.');
+      if (!Dot && !atAtomStart())
+        break;
+      RegexRef Next = parsePostfix();
+      if (!Next)
+        return nullptr;
+      Parts.push_back(std::move(Next));
+    }
+    return Regex::concat(std::move(Parts));
+  }
+
+  RegexRef parsePostfix() {
+    RegexRef R = parseAtom();
+    if (!R)
+      return nullptr;
+    for (;;) {
+      if (consume('*')) {
+        R = Regex::star(std::move(R));
+        continue;
+      }
+      if (consume('+')) {
+        R = Regex::plus(std::move(R));
+        continue;
+      }
+      if (consume('?')) {
+        R = Regex::optional(std::move(R));
+        continue;
+      }
+      return R;
+    }
+  }
+
+  RegexRef parseAtom() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return setError("expected a field name, 'eps', 'never' or '('");
+    if (consume('(')) {
+      RegexRef Inner = parseAlt();
+      if (!Inner)
+        return nullptr;
+      if (!consume(')'))
+        return setError("expected ')'");
+      return Inner;
+    }
+    char C = Text[Pos];
+    if (!std::isalpha(static_cast<unsigned char>(C)) && C != '_')
+      return setError("expected a field name, 'eps', 'never' or '('");
+    if (Compact) {
+      ++Pos;
+      return Regex::symbol(Fields.intern(std::string_view(&C, 1)));
+    }
+    size_t Start = Pos;
+    while (Pos < Text.size() &&
+           (std::isalnum(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '_'))
+      ++Pos;
+    std::string_view Name = Text.substr(Start, Pos - Start);
+    if (Name == "eps")
+      return Regex::epsilon();
+    if (Name == "never")
+      return Regex::empty();
+    return Regex::symbol(Fields.intern(Name));
+  }
+};
+
+} // namespace
+
+RegexParseResult apt::parseRegex(std::string_view Text, FieldTable &Fields) {
+  return Parser(Text, Fields, /*Compact=*/false).run();
+}
+
+RegexParseResult apt::parseCompactRegex(std::string_view Text,
+                                        FieldTable &Fields) {
+  return Parser(Text, Fields, /*Compact=*/true).run();
+}

@@ -1,0 +1,56 @@
+//===- regex/RegexParser.h - Textual regex syntax ---------------*- C++ -*-===//
+//
+// Part of the APT project; see Regex.h for the AST this parses into.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the textual regular-expression syntax used by axioms and
+/// access paths. The grammar mirrors the paper's notation:
+///
+/// \code
+///   regex   := alt
+///   alt     := cat ('|' cat)*
+///   cat     := postfix (('.')? postfix)*        -- '.' optional
+///   postfix := atom ('*' | '+' | '?')*
+///   atom    := FIELD | 'eps' | 'never' | '(' regex ')'
+/// \endcode
+///
+/// FIELD is an identifier ([A-Za-z_][A-Za-z0-9_]*); `eps` is the empty word
+/// and `never` the empty language. Whitespace separates juxtaposed fields,
+/// so both `L.L.N` and `L L N` parse as the path LLN from the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_REGEXPARSER_H
+#define APT_REGEX_REGEXPARSER_H
+
+#include "regex/Regex.h"
+
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace apt {
+
+/// Outcome of a parse: either a regex or a diagnostic.
+struct RegexParseResult {
+  RegexRef Value;      ///< Non-null on success.
+  std::string Error;   ///< Non-empty on failure (starts lowercase).
+  size_t ErrorOffset = 0;
+
+  explicit operator bool() const { return Value != nullptr; }
+};
+
+/// Parses \p Text, interning any field names it mentions into \p Fields.
+RegexParseResult parseRegex(std::string_view Text, FieldTable &Fields);
+
+/// Parses \p Text treating every alphanumeric character as its own
+/// single-letter field, matching the paper's compact notation (e.g. "LLN"
+/// is the three-field path L.L.N). Operators |, *, +, ?, parentheses and
+/// 'ε'-as-'e'? are NOT special-cased here beyond |, *, +, ( and ).
+RegexParseResult parseCompactRegex(std::string_view Text, FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_REGEX_REGEXPARSER_H

@@ -1,0 +1,144 @@
+//===- regex/Simplify.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see Simplify.h for the rewrite inventory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Simplify.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace apt;
+
+namespace {
+
+RegexRef simplifyOnce(const RegexRef &R, LangQuery &Q);
+
+RegexRef simplifyAlt(const RegexRef &R, LangQuery &Q) {
+  // Simplify branches, then drop subsumed ones.
+  std::vector<RegexRef> Branches;
+  Branches.reserve(R->children().size());
+  for (const RegexRef &C : R->children())
+    Branches.push_back(simplifyOnce(C, Q));
+
+  std::vector<RegexRef> Kept;
+  for (size_t I = 0; I < Branches.size(); ++I) {
+    bool Subsumed = false;
+    for (size_t J = 0; J < Branches.size() && !Subsumed; ++J) {
+      if (I == J)
+        continue;
+      if (!Q.subsetOf(Branches[I], Branches[J]))
+        continue;
+      // L(I) within L(J): drop I -- unless they are mutually equal, in
+      // which case keep only the first.
+      if (Q.subsetOf(Branches[J], Branches[I]) && I < J)
+        continue;
+      Subsumed = true;
+    }
+    if (!Subsumed)
+      Kept.push_back(Branches[I]);
+  }
+  return Regex::alt(std::move(Kept));
+}
+
+RegexRef simplifyConcat(const RegexRef &R, LangQuery &Q) {
+  std::vector<RegexRef> Parts;
+  Parts.reserve(R->children().size());
+  for (const RegexRef &C : R->children())
+    Parts.push_back(simplifyOnce(C, Q));
+
+  // Absorb nullable neighbors into adjacent stars, and fuse x.x* / x*.x
+  // into x+.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I + 1 < Parts.size(); ++I) {
+      const RegexRef &A = Parts[I], &B = Parts[I + 1];
+      bool AStar = A->kind() == RegexKind::Star;
+      bool BStar = B->kind() == RegexKind::Star;
+      if (BStar && A->nullable() && Q.subsetOf(A, B)) {
+        Parts.erase(Parts.begin() + I); // A absorbed by B = X*.
+        Changed = true;
+        break;
+      }
+      if (AStar && B->nullable() && Q.subsetOf(B, A)) {
+        Parts.erase(Parts.begin() + I + 1);
+        Changed = true;
+        break;
+      }
+      if (BStar && structurallyEqual(A, B->child())) {
+        Parts[I] = Regex::plus(B->child()); // x.x* -> x+.
+        Parts.erase(Parts.begin() + I + 1);
+        Changed = true;
+        break;
+      }
+      if (AStar && structurallyEqual(B, A->child())) {
+        Parts[I] = Regex::plus(A->child()); // x*.x -> x+.
+        Parts.erase(Parts.begin() + I + 1);
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Regex::concat(std::move(Parts));
+}
+
+RegexRef simplifyStarLike(const RegexRef &R, LangQuery &Q) {
+  RegexRef Child = simplifyOnce(R->child(), Q);
+  bool IsStar = R->kind() == RegexKind::Star;
+  // Inside a star, an epsilon alternative is redundant; a nullable child
+  // makes plus equivalent to star.
+  if (Child->kind() == RegexKind::Alt) {
+    std::vector<RegexRef> Branches;
+    bool DroppedEps = false;
+    for (const RegexRef &B : Child->children()) {
+      if (B->isEpsilon()) {
+        DroppedEps = true;
+        continue;
+      }
+      Branches.push_back(B);
+    }
+    if (DroppedEps) {
+      Child = Regex::alt(std::move(Branches));
+      return Regex::star(Child); // (A|eps)* == A*; likewise for plus.
+    }
+  }
+  if (!IsStar && Child->nullable())
+    return Regex::star(Child); // plus of a nullable == star.
+  return IsStar ? Regex::star(Child) : Regex::plus(Child);
+}
+
+RegexRef simplifyOnce(const RegexRef &R, LangQuery &Q) {
+  switch (R->kind()) {
+  case RegexKind::Empty:
+  case RegexKind::Epsilon:
+  case RegexKind::Symbol:
+    return R;
+  case RegexKind::Alt:
+    return simplifyAlt(R, Q);
+  case RegexKind::Concat:
+    return simplifyConcat(R, Q);
+  case RegexKind::Star:
+  case RegexKind::Plus:
+    return simplifyStarLike(R, Q);
+  }
+  assert(false && "unknown regex kind");
+  return R;
+}
+
+} // namespace
+
+RegexRef apt::simplifyRegex(const RegexRef &R, LangQuery &Q) {
+  RegexRef Cur = R;
+  // Iterate to fixpoint; each round strictly shrinks the key or stops.
+  for (int Round = 0; Round < 8; ++Round) {
+    RegexRef Next = simplifyOnce(Cur, Q);
+    if (Next->key() == Cur->key())
+      break;
+    if (Next->key().size() > Cur->key().size())
+      break; // Never grow.
+    Cur = Next;
+  }
+  return Cur;
+}

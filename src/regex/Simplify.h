@@ -1,0 +1,40 @@
+//===- regex/Simplify.h - Semantic regex simplification ---------*- C++ -*-===//
+//
+// Part of the APT project; see Regex.h for the AST and LangOps.h for the
+// language queries used to justify rewrites.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Language-preserving simplification beyond the smart constructors'
+/// structural normalization. Loop summaries and rebased access paths
+/// accumulate shapes like `(L|eps).L*` or `a*.a*`; shrinking them keeps
+/// prover goals small (fewer suffix splits, smaller DFAs).
+///
+/// Every rewrite is justified by a decidable language query, so
+/// simplification is exactly language-preserving; a property test checks
+/// equivalence on randomized expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_SIMPLIFY_H
+#define APT_REGEX_SIMPLIFY_H
+
+#include "regex/LangOps.h"
+#include "regex/Regex.h"
+
+namespace apt {
+
+/// Returns a regex denoting the same language as \p R, no larger than
+/// \p R (by structural key length). Applies, bottom-up and to fixpoint:
+///
+///  * alternation-branch subsumption: drop B from A|B when L(B) ⊆ L(A);
+///  * star-adjacent absorption in concatenations: drop a nullable part C
+///    adjacent to X* when L(C) ⊆ L(X*) (covers a*.a* and (a|eps).a*);
+///  * nullable-star flattening: (A|eps)* -> A*, (A+)* -> A* and friends;
+///  * x.x* / x*.x to x+.
+RegexRef simplifyRegex(const RegexRef &R, LangQuery &Q);
+
+} // namespace apt
+
+#endif // APT_REGEX_SIMPLIFY_H

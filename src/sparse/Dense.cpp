@@ -1,0 +1,83 @@
+//===- sparse/Dense.cpp ---------------------------------------------------===//
+//
+// Part of the APT project; see Dense.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/Dense.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace apt;
+
+std::optional<std::vector<double>>
+apt::denseSolve(std::vector<double> A, unsigned N, std::vector<double> B) {
+  assert(A.size() == static_cast<size_t>(N) * N && B.size() == N);
+  std::vector<unsigned> Perm(N);
+  for (unsigned I = 0; I < N; ++I)
+    Perm[I] = I;
+
+  auto At = [&](unsigned R, unsigned C) -> double & {
+    return A[static_cast<size_t>(Perm[R]) * N + C];
+  };
+
+  // Perm maps logical row -> physical row; B stays physically indexed,
+  // so row exchanges never move B entries.
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned Best = K;
+    for (unsigned R = K + 1; R < N; ++R)
+      if (std::fabs(At(R, K)) > std::fabs(At(Best, K)))
+        Best = R;
+    if (std::fabs(At(Best, K)) < 1e-300)
+      return std::nullopt;
+    std::swap(Perm[K], Perm[Best]);
+
+    for (unsigned R = K + 1; R < N; ++R) {
+      double M = At(R, K) / At(K, K);
+      if (M == 0.0)
+        continue;
+      At(R, K) = 0.0;
+      for (unsigned C = K + 1; C < N; ++C)
+        At(R, C) -= M * At(K, C);
+      B[Perm[R]] -= M * B[Perm[K]];
+    }
+  }
+
+  std::vector<double> X(N, 0.0);
+  for (unsigned K = N; K-- > 0;) {
+    double Acc = B[Perm[K]];
+    for (unsigned C = K + 1; C < N; ++C)
+      Acc -= At(K, C) * X[C];
+    X[K] = Acc / At(K, K);
+  }
+  return X;
+}
+
+std::optional<std::vector<double>> apt::denseSolve(const SparseMatrix &M,
+                                                   std::vector<double> B) {
+  return denseSolve(M.toDense(), M.size(), std::move(B));
+}
+
+double apt::maxAbsDiff(const std::vector<double> &A,
+                       const std::vector<double> &B) {
+  assert(A.size() == B.size());
+  double Out = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Out = std::max(Out, std::fabs(A[I] - B[I]));
+  return Out;
+}
+
+double apt::residualNorm(const std::vector<SparseMatrix::Triplet> &A,
+                         [[maybe_unused]] unsigned N,
+                         const std::vector<double> &X,
+                         const std::vector<double> &B) {
+  assert(X.size() == N && B.size() == N);
+  std::vector<double> R(B);
+  for (const SparseMatrix::Triplet &T : A)
+    R[T.Row] -= T.Value * X[T.Col];
+  double Out = 0.0;
+  for (double V : R)
+    Out = std::max(Out, std::fabs(V));
+  return Out;
+}

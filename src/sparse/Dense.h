@@ -1,0 +1,45 @@
+//===- sparse/Dense.h - Dense reference solver ------------------*- C++ -*-===//
+//
+// Part of the APT project; used to verify the sparse kernels on small
+// systems.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain dense Gaussian-elimination solver with partial pivoting. The
+/// sparse factor/solve pipeline is validated against it in the test
+/// suite (same solutions up to rounding).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SPARSE_DENSE_H
+#define APT_SPARSE_DENSE_H
+
+#include "sparse/SparseMatrix.h"
+
+#include <optional>
+#include <vector>
+
+namespace apt {
+
+/// Solves A x = b densely (A given row-major, size N*N). Returns
+/// std::nullopt for (numerically) singular systems.
+std::optional<std::vector<double>>
+denseSolve(std::vector<double> A, unsigned N, std::vector<double> B);
+
+/// Dense solve of a sparse matrix (converts, then denseSolve).
+std::optional<std::vector<double>> denseSolve(const SparseMatrix &M,
+                                              std::vector<double> B);
+
+/// Maximum absolute componentwise difference.
+double maxAbsDiff(const std::vector<double> &A, const std::vector<double> &B);
+
+/// Residual max-norm |A x - b| of a proposed solution against the
+/// original (pre-factorization) triplets.
+double residualNorm(const std::vector<SparseMatrix::Triplet> &A, unsigned N,
+                    const std::vector<double> &X,
+                    const std::vector<double> &B);
+
+} // namespace apt
+
+#endif // APT_SPARSE_DENSE_H

@@ -1,0 +1,340 @@
+//===- sparse/Factor.cpp - LU factorization with Markowitz pivoting -------===//
+//
+// Part of the APT project; see Kernels.h for the phase structure and
+// parallelization policies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/Kernels.h"
+
+#include "parallel/ThreadPool.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace apt;
+
+const char *apt::parallelPolicyName(ParallelPolicy P) {
+  switch (P) {
+  case ParallelPolicy::Sequential:
+    return "sequential";
+  case ParallelPolicy::Partial:
+    return "partial";
+  case ParallelPolicy::Full:
+    return "full";
+  }
+  assert(false && "unknown policy");
+  return "";
+}
+
+namespace {
+
+/// Reports one phase's task costs to the execution model, as a parallel
+/// phase when the policy managed to parallelize it.
+void emitPhase(const KernelOptions &Opts, bool Parallelized,
+               const std::vector<uint64_t> &Tasks, uint64_t &Tally) {
+  uint64_t Sum = 0;
+  for (uint64_t T : Tasks)
+    Sum += T;
+  Tally += Sum;
+  if (!Opts.Model)
+    return;
+  if (Parallelized && Opts.Policy != ParallelPolicy::Sequential)
+    Opts.Model->parallel(Tasks);
+  else
+    Opts.Model->sequential(Sum);
+}
+
+void emitSequential(const KernelOptions &Opts, uint64_t Cost,
+                    uint64_t &Tally) {
+  Tally += Cost;
+  if (Opts.Model)
+    Opts.Model->sequential(Cost);
+}
+
+/// Per-row pivot candidate from the heuristic pass.
+struct Candidate {
+  SparseMatrix::Element *Elem = nullptr;
+  uint64_t Product = std::numeric_limits<uint64_t>::max();
+  double Magnitude = 0.0;
+};
+
+} // namespace
+
+FactorResult apt::factor(SparseMatrix &M, const KernelOptions &Opts) {
+  const unsigned N = M.size();
+  FactorResult Out;
+  Out.RowOrder.assign(N, N);
+  Out.ColOrder.assign(N, N);
+
+  std::vector<char> RowDone(N, 0), ColDone(N, 0);
+  std::vector<unsigned> RowCount(N, 0), ColCount(N, 0);
+  for (unsigned R = 0; R < N; ++R)
+    for (SparseMatrix::Element *E = M.rowBegin(R); E; E = E->NColE) {
+      ++RowCount[R];
+      ++ColCount[E->Col];
+    }
+
+  std::vector<Candidate> BestInRow(N);
+  std::vector<uint64_t> TaskCosts;
+  std::vector<SparseMatrix::Element *> ColPivotElems;
+
+  for (unsigned Step = 0; Step < N; ++Step) {
+    // -- Phase 1: compute the fill-in heuristic for each submatrix
+    //    element (per active row, keeping the row's best candidate).
+    TaskCosts.clear();
+    std::vector<unsigned> ActiveRows;
+    for (unsigned R = 0; R < N; ++R) {
+      if (RowDone[R])
+        continue;
+      ActiveRows.push_back(R);
+      Candidate Best;
+      uint64_t Cost = 0;
+      for (SparseMatrix::Element *E = M.rowBegin(R); E; E = E->NColE) {
+        ++Cost;
+        if (ColDone[E->Col])
+          continue;
+        double Mag = std::fabs(E->Value);
+        if (Mag < Opts.PivotEpsilon)
+          continue;
+        uint64_t Product =
+            static_cast<uint64_t>(RowCount[R] - 1) * (ColCount[E->Col] - 1);
+        bool Better = !Opts.MarkowitzPivoting
+                          ? (!Best.Elem)
+                          : (Product < Best.Product ||
+                             (Product == Best.Product &&
+                              Mag > Best.Magnitude));
+        if (!Best.Elem || Better) {
+          Best.Elem = E;
+          Best.Product = Product;
+          Best.Magnitude = Mag;
+        }
+      }
+      BestInRow[R] = Best;
+      TaskCosts.push_back(Cost);
+    }
+    emitPhase(Opts, /*Parallelized=*/true, TaskCosts, Out.HeuristicOps);
+
+    // -- Phase 2: search the submatrix for the best pivot (reduction
+    //    over the per-row candidates).
+    TaskCosts.assign(ActiveRows.size(), 1);
+    Candidate Pivot;
+    for (unsigned R : ActiveRows) {
+      const Candidate &C = BestInRow[R];
+      if (!C.Elem)
+        continue;
+      if (!Pivot.Elem ||
+          (Opts.MarkowitzPivoting &&
+           (C.Product < Pivot.Product ||
+            (C.Product == Pivot.Product && C.Magnitude > Pivot.Magnitude))))
+        Pivot = C;
+    }
+    emitPhase(Opts, /*Parallelized=*/true, TaskCosts, Out.SearchOps);
+
+    if (!Pivot.Elem) {
+      Out.Singular = true;
+      return Out;
+    }
+    const unsigned PR = Pivot.Elem->Row, PC = Pivot.Elem->Col;
+    const double PivotVal = Pivot.Elem->Value;
+    Out.PivRow.push_back(PR);
+    Out.PivCol.push_back(PC);
+    Out.RowOrder[PR] = Step;
+    Out.ColOrder[PC] = Step;
+
+    // -- Phase 3: adjust M to bring the pivot into pivot position.
+    //    Logically exchanging rows/columns costs a walk over the pivot
+    //    row and column; it serializes every configuration (§5: "one of
+    //    the factorization steps ... is inherently sequential").
+    //    While walking the column, collect the rows to eliminate.
+    ColPivotElems.clear();
+    {
+      uint64_t Cost = RowCount[PR] + 4;
+      for (SparseMatrix::Element *E = M.colBegin(PC); E; E = E->NRowE) {
+        ++Cost;
+        if (!RowDone[E->Row] && E->Row != PR &&
+            std::fabs(E->Value) != 0.0)
+          ColPivotElems.push_back(E);
+      }
+      emitSequential(Opts, Cost, Out.AdjustOps);
+    }
+
+    // -- Phase 4: add fill-ins (structural modification; parallel only
+    //    under the Full policy, and always executed serially with real
+    //    threads because insertion links both a row and a column list).
+    TaskCosts.clear();
+    size_t NnzBefore = M.nonzeros();
+    for (SparseMatrix::Element *A : ColPivotElems) {
+      const unsigned I = A->Row;
+      size_t Steps = 0;
+      // Merged walk: advance a cursor along row I while scanning the
+      // pivot row, inserting missing targets in place.
+      SparseMatrix::Element *Prev = nullptr;
+      SparseMatrix::Element *T = M.rowBegin(I);
+      for (SparseMatrix::Element *U = M.rowBegin(PR); U; U = U->NColE) {
+        ++Steps;
+        if (ColDone[U->Col] || U->Col == PC)
+          continue;
+        while (T && T->Col < U->Col) {
+          Prev = T;
+          T = T->NColE;
+          ++Steps;
+        }
+        if (!T || T->Col > U->Col) {
+          size_t Before = M.nonzeros();
+          SparseMatrix::Element &Fresh =
+              M.atWithRowHint(Prev, I, U->Col, &Steps);
+          assert(M.nonzeros() == Before + 1 && "hint found a duplicate");
+          (void)Before;
+          ++RowCount[I];
+          ++ColCount[U->Col];
+          Prev = &Fresh;
+          T = Fresh.NColE;
+        }
+      }
+      TaskCosts.push_back(Steps);
+    }
+    Out.Fillins += M.nonzeros() - NnzBefore;
+    emitPhase(Opts, /*Parallelized=*/Opts.Policy == ParallelPolicy::Full,
+              TaskCosts, Out.FillinOps);
+
+    // -- Phase 5: eliminate each submatrix row (pure value updates on
+    //    disjoint rows: the loop Theorem T legitimizes). Real threads
+    //    may execute it when a pool is supplied.
+    TaskCosts.assign(ColPivotElems.size(), 0);
+    auto EliminateRow = [&](size_t Idx) {
+      SparseMatrix::Element *A = ColPivotElems[Idx];
+      const unsigned I = A->Row;
+      uint64_t Cost = 2;
+      const double Mult = A->Value / PivotVal;
+      A->Value = Mult; // A now stores the L multiplier.
+      // Merged walk along the pivot row and row I (both column-sorted;
+      // phase 4 guaranteed every target exists).
+      SparseMatrix::Element *T = M.rowBegin(I);
+      for (SparseMatrix::Element *U = M.rowBegin(PR); U; U = U->NColE) {
+        ++Cost;
+        if (ColDone[U->Col] || U->Col == PC)
+          continue;
+        while (T && T->Col < U->Col) {
+          T = T->NColE;
+          ++Cost;
+        }
+        assert(T && T->Col == U->Col && "fill-in phase missed a target");
+        T->Value -= Mult * U->Value;
+        ++Cost;
+      }
+      TaskCosts[Idx] = Cost;
+    };
+    bool UseThreads = Opts.Pool && Opts.Policy != ParallelPolicy::Sequential;
+    if (UseThreads)
+      Opts.Pool->parallelFor(ColPivotElems.size(), EliminateRow);
+    else
+      for (size_t Idx = 0; Idx < ColPivotElems.size(); ++Idx)
+        EliminateRow(Idx);
+    emitPhase(Opts, /*Parallelized=*/true, TaskCosts, Out.ElimOps);
+
+    // Retire the pivot row and column from the active submatrix.
+    {
+      uint64_t Cost = 0;
+      RowDone[PR] = 1;
+      ColDone[PC] = 1;
+      for (SparseMatrix::Element *E = M.rowBegin(PR); E; E = E->NColE) {
+        ++Cost;
+        if (!ColDone[E->Col])
+          --ColCount[E->Col];
+      }
+      for (SparseMatrix::Element *E = M.colBegin(PC); E; E = E->NRowE) {
+        ++Cost;
+        if (!RowDone[E->Row])
+          --RowCount[E->Row];
+      }
+      emitSequential(Opts, Cost, Out.AdjustOps);
+    }
+  }
+  return Out;
+}
+
+void apt::scaleRows(SparseMatrix &M, const std::vector<double> &Factors,
+                    const KernelOptions &Opts) {
+  assert(Factors.size() == M.size() && "one factor per row");
+  std::vector<uint64_t> Tasks(M.size(), 0);
+  auto ScaleRow = [&](size_t R) {
+    uint64_t Cost = 0;
+    for (SparseMatrix::Element *E = M.rowBegin(static_cast<unsigned>(R)); E;
+         E = E->NColE) {
+      E->Value *= Factors[R];
+      ++Cost;
+    }
+    Tasks[R] = Cost;
+  };
+  if (Opts.Pool && Opts.Policy != ParallelPolicy::Sequential)
+    Opts.Pool->parallelFor(M.size(), ScaleRow);
+  else
+    for (size_t R = 0; R < M.size(); ++R)
+      ScaleRow(R);
+  uint64_t Tally = 0;
+  emitPhase(Opts, /*Parallelized=*/true, Tasks, Tally);
+}
+
+std::vector<double> apt::luSolve(const SparseMatrix &LU,
+                                 const FactorResult &F,
+                                 std::vector<double> B,
+                                 const KernelOptions &Opts) {
+  const unsigned N = LU.size();
+  assert(B.size() == N && "right-hand side size mismatch");
+  assert(F.PivRow.size() == N && !F.Singular && "factorization incomplete");
+  uint64_t Tally = 0;
+  std::vector<uint64_t> Tasks;
+
+  // Forward substitution: apply the stored L multipliers in pivot order.
+  for (unsigned K = 0; K < N; ++K) {
+    const unsigned PR = F.PivRow[K], PC = F.PivCol[K];
+    Tasks.clear();
+    for (const SparseMatrix::Element *E = LU.colBegin(PC); E;
+         E = E->NRowE) {
+      if (F.RowOrder[E->Row] > K) {
+        B[E->Row] -= E->Value * B[PR];
+        Tasks.push_back(2);
+      }
+    }
+    emitPhase(Opts, /*Parallelized=*/true, Tasks, Tally);
+  }
+
+  // Back substitution in reverse pivot order.
+  std::vector<double> X(N, 0.0);
+  for (unsigned K = N; K-- > 0;) {
+    const unsigned PR = F.PivRow[K], PC = F.PivCol[K];
+    double Acc = B[PR];
+    double Diag = 0.0;
+    Tasks.clear();
+    for (const SparseMatrix::Element *E = LU.rowBegin(PR); E;
+         E = E->NColE) {
+      if (E->Col == PC) {
+        Diag = E->Value;
+      } else if (F.ColOrder[E->Col] > K) {
+        Acc -= E->Value * X[E->Col];
+      }
+      Tasks.push_back(2);
+    }
+    assert(Diag != 0.0 && "pivot vanished after elimination");
+    X[PC] = Acc / Diag;
+    emitPhase(Opts, /*Parallelized=*/true, Tasks, Tally);
+  }
+  return X;
+}
+
+std::vector<double> apt::scaleFactorSolve(SparseMatrix &M,
+                                          const std::vector<double> &RowScale,
+                                          const std::vector<double> &B,
+                                          const KernelOptions &Opts) {
+  scaleRows(M, RowScale, Opts);
+  FactorResult F = factor(M, Opts);
+  if (F.Singular)
+    return {};
+  // The right-hand side must be scaled consistently with the rows.
+  std::vector<double> Scaled(B);
+  for (size_t I = 0; I < Scaled.size(); ++I)
+    Scaled[I] *= RowScale[I];
+  return luSolve(M, F, std::move(Scaled), Opts);
+}

@@ -1,0 +1,107 @@
+//===- sparse/Kernels.h - Scale / factor / solve (paper §5) -----*- C++ -*-===//
+//
+// Part of the APT project; see SparseMatrix.h for the data structure.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three fundamental sparse-matrix operations of §5: scaling and
+/// solving (linear in the structure size) and LU factorization
+/// (quadratic), the latter via Gaussian elimination with Markowitz pivot
+/// selection and fill-in insertion, following the paper's five-step
+/// `factor` pseudocode:
+///
+///   for each successive pivot step:
+///     1. compute the fill-in heuristic for each submatrix element
+///     2. search the submatrix for the best pivot
+///     3. adjust M to bring the pivot into position    (sequential)
+///     4. add fill-ins to the submatrix
+///     5. perform the elimination on each submatrix row
+///
+/// Every kernel reports its work through an ExecutionModel and honors a
+/// ParallelPolicy describing which steps the dependence analysis managed
+/// to parallelize:
+///
+///  * Sequential -- everything on one PE.
+///  * Partial    -- only structurally read-only steps (1, 2, 5, plus
+///                  scale and solve) run in parallel; fill-in insertion
+///                  is a structural modification the simplistic analysis
+///                  cannot handle (§3.4 / Figure 7 "partial").
+///  * Full       -- steps 1, 2, 4 and 5 run in parallel; only the
+///                  inherently sequential pivot adjustment (step 3)
+///                  remains serial (Figure 7 "full").
+///
+/// A ThreadPool may be supplied to execute the value-update phases with
+/// real threads (verified against the sequential results in tests); the
+/// Figure 7 speedups themselves come from the PeSimulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SPARSE_KERNELS_H
+#define APT_SPARSE_KERNELS_H
+
+#include "parallel/ExecutionModel.h"
+#include "sparse/SparseMatrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace apt {
+
+class ThreadPool;
+
+/// Which loops the dependence analysis parallelized (see file comment).
+enum class ParallelPolicy { Sequential, Partial, Full };
+
+const char *parallelPolicyName(ParallelPolicy P);
+
+/// Options shared by the kernels.
+struct KernelOptions {
+  ParallelPolicy Policy = ParallelPolicy::Sequential;
+  ExecutionModel *Model = nullptr; ///< Optional cost accounting.
+  ThreadPool *Pool = nullptr;      ///< Optional real-thread execution.
+  double PivotEpsilon = 1e-12;     ///< Minimum acceptable |pivot|.
+  bool MarkowitzPivoting = true;   ///< False: first acceptable element.
+};
+
+/// Result of a factorization: the pivot sequence plus statistics.
+struct FactorResult {
+  /// Step k eliminated row PivRow[k] and column PivCol[k].
+  std::vector<unsigned> PivRow, PivCol;
+  /// RowOrder[r] = step at which row r was pivotal (likewise columns).
+  std::vector<unsigned> RowOrder, ColOrder;
+  bool Singular = false;
+  size_t Fillins = 0;
+  /// Work per phase, in element operations.
+  uint64_t HeuristicOps = 0, SearchOps = 0, AdjustOps = 0, FillinOps = 0,
+           ElimOps = 0;
+
+  uint64_t totalOps() const {
+    return HeuristicOps + SearchOps + AdjustOps + FillinOps + ElimOps;
+  }
+};
+
+/// Scales row i by Factors[i] (Factors.size() == M.size()).
+void scaleRows(SparseMatrix &M, const std::vector<double> &Factors,
+               const KernelOptions &Opts = {});
+
+/// LU-factorizes \p M in place: after the call, element (i, PivCol[k])
+/// for rows eliminated later than step k holds the L multiplier, and the
+/// pivot row holds the U row.
+FactorResult factor(SparseMatrix &M, const KernelOptions &Opts = {});
+
+/// Solves A x = b given the in-place LU factorization of A.
+std::vector<double> luSolve(const SparseMatrix &LU, const FactorResult &F,
+                            std::vector<double> B,
+                            const KernelOptions &Opts = {});
+
+/// Convenience: scale + factor + solve, as timed by Figure 7's second
+/// row group. Returns the solution (empty on singularity).
+std::vector<double> scaleFactorSolve(SparseMatrix &M,
+                                     const std::vector<double> &RowScale,
+                                     const std::vector<double> &B,
+                                     const KernelOptions &Opts = {});
+
+} // namespace apt
+
+#endif // APT_SPARSE_KERNELS_H

@@ -1,0 +1,146 @@
+//===- sparse/SparseMatrix.cpp --------------------------------------------===//
+//
+// Part of the APT project; see SparseMatrix.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/SparseMatrix.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace apt;
+
+SparseMatrix::SparseMatrix(unsigned N)
+    : N(N), RowHead(N, nullptr), ColHead(N, nullptr) {}
+
+SparseMatrix::Element *SparseMatrix::find(unsigned R, unsigned C) {
+  assert(R < N && C < N && "index out of range");
+  for (Element *E = RowHead[R]; E && E->Col <= C; E = E->NColE)
+    if (E->Col == C)
+      return E;
+  return nullptr;
+}
+
+const SparseMatrix::Element *SparseMatrix::find(unsigned R,
+                                                unsigned C) const {
+  return const_cast<SparseMatrix *>(this)->find(R, C);
+}
+
+double SparseMatrix::get(unsigned R, unsigned C) const {
+  const Element *E = find(R, C);
+  return E ? E->Value : 0.0;
+}
+
+SparseMatrix::Element &SparseMatrix::at(unsigned R, unsigned C,
+                                        size_t *LinkSteps) {
+  assert(R < N && C < N && "index out of range");
+  size_t Steps = 0;
+
+  // Find the row predecessor (last element with a smaller column).
+  Element *RowPrev = nullptr;
+  Element *E = RowHead[R];
+  while (E && E->Col < C) {
+    RowPrev = E;
+    E = E->NColE;
+    ++Steps;
+  }
+  if (LinkSteps)
+    *LinkSteps += Steps;
+  return atWithRowHint(RowPrev, R, C, LinkSteps);
+}
+
+SparseMatrix::Element &SparseMatrix::atWithRowHint(Element *RowPrev,
+                                                   unsigned R, unsigned C,
+                                                   size_t *LinkSteps) {
+  assert(R < N && C < N && "index out of range");
+  assert((!RowPrev || (RowPrev->Row == R && RowPrev->Col < C)) &&
+         "bad row hint");
+  size_t Steps = 0;
+
+  Element *E = RowPrev ? RowPrev->NColE : RowHead[R];
+  assert((!E || E->Col >= C) && "row hint is not the predecessor");
+  if (E && E->Col == C) {
+    if (LinkSteps)
+      *LinkSteps += 1;
+    return *E;
+  }
+
+  // Find the column predecessor.
+  Element *ColPrev = nullptr;
+  Element *F = ColHead[C];
+  while (F && F->Row < R) {
+    ColPrev = F;
+    F = F->NRowE;
+    ++Steps;
+  }
+
+  Pool.push_back(Element{R, C, 0.0, nullptr, nullptr});
+  Element &Fresh = Pool.back();
+  ++NumElements;
+
+  Fresh.NColE = RowPrev ? RowPrev->NColE : RowHead[R];
+  (RowPrev ? RowPrev->NColE : RowHead[R]) = &Fresh;
+  Fresh.NRowE = ColPrev ? ColPrev->NRowE : ColHead[C];
+  (ColPrev ? ColPrev->NRowE : ColHead[C]) = &Fresh;
+
+  if (LinkSteps)
+    *LinkSteps += Steps + 4; // The four pointer writes above.
+  return Fresh;
+}
+
+bool SparseMatrix::structureValid() const {
+  size_t ViaRows = 0, ViaCols = 0;
+  for (unsigned R = 0; R < N; ++R) {
+    unsigned LastCol = 0;
+    bool First = true;
+    for (const Element *E = RowHead[R]; E; E = E->NColE) {
+      if (E->Row != R)
+        return false;
+      if (!First && E->Col <= LastCol)
+        return false;
+      LastCol = E->Col;
+      First = false;
+      ++ViaRows;
+    }
+  }
+  for (unsigned C = 0; C < N; ++C) {
+    unsigned LastRow = 0;
+    bool First = true;
+    for (const Element *E = ColHead[C]; E; E = E->NRowE) {
+      if (E->Col != C)
+        return false;
+      if (!First && E->Row <= LastRow)
+        return false;
+      LastRow = E->Row;
+      First = false;
+      ++ViaCols;
+    }
+  }
+  return ViaRows == NumElements && ViaCols == NumElements;
+}
+
+std::vector<double> SparseMatrix::toDense() const {
+  std::vector<double> Out(static_cast<size_t>(N) * N, 0.0);
+  for (unsigned R = 0; R < N; ++R)
+    for (const Element *E = RowHead[R]; E; E = E->NColE)
+      Out[static_cast<size_t>(R) * N + E->Col] = E->Value;
+  return Out;
+}
+
+std::vector<SparseMatrix::Triplet> SparseMatrix::toTriplets() const {
+  std::vector<Triplet> Out;
+  Out.reserve(NumElements);
+  for (unsigned R = 0; R < N; ++R)
+    for (const Element *E = RowHead[R]; E; E = E->NColE)
+      Out.push_back(Triplet{E->Row, E->Col, E->Value});
+  return Out;
+}
+
+SparseMatrix SparseMatrix::fromTriplets(unsigned N,
+                                        const std::vector<Triplet> &Ts) {
+  SparseMatrix M(N);
+  for (const Triplet &T : Ts)
+    M.at(T.Row, T.Col).Value += T.Value;
+  return M;
+}

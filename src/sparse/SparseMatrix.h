@@ -1,0 +1,111 @@
+//===- sparse/SparseMatrix.h - Orthogonal-list sparse matrix ----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sparse-matrix data structure of the paper's evaluation (§5,
+/// Figure 6): elements live on two orthogonal singly-linked lists, one
+/// along their row (`ncolE`, increasing column) and one along their
+/// column (`nrowE`, increasing row), with per-row and per-column header
+/// lists hanging off a root -- the classic circuit-simulation layout
+/// (Kundert). The pointer-field names intentionally match the Appendix A
+/// axioms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SPARSE_SPARSEMATRIX_H
+#define APT_SPARSE_SPARSEMATRIX_H
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace apt {
+
+/// An N x N sparse matrix over orthogonal element lists.
+class SparseMatrix {
+public:
+  /// One stored (possibly zero after fill-in) element.
+  struct Element {
+    unsigned Row = 0;
+    unsigned Col = 0;
+    double Value = 0.0;
+    Element *NColE = nullptr; ///< Next element in this row (higher col).
+    Element *NRowE = nullptr; ///< Next element in this column (higher row).
+  };
+
+  /// A (row, col, value) input/output record.
+  struct Triplet {
+    unsigned Row = 0;
+    unsigned Col = 0;
+    double Value = 0.0;
+  };
+
+  explicit SparseMatrix(unsigned N);
+
+  SparseMatrix(SparseMatrix &&) = default;
+  SparseMatrix &operator=(SparseMatrix &&) = default;
+  SparseMatrix(const SparseMatrix &) = delete;
+  SparseMatrix &operator=(const SparseMatrix &) = delete;
+
+  unsigned size() const { return N; }
+  size_t nonzeros() const { return NumElements; }
+
+  /// First element of row \p R (the header's `relem`), or nullptr.
+  Element *rowBegin(unsigned R) { return RowHead[R]; }
+  const Element *rowBegin(unsigned R) const { return RowHead[R]; }
+
+  /// First element of column \p C (the header's `celem`), or nullptr.
+  Element *colBegin(unsigned C) { return ColHead[C]; }
+  const Element *colBegin(unsigned C) const { return ColHead[C]; }
+
+  /// The element at (R, C), or nullptr if not stored.
+  Element *find(unsigned R, unsigned C);
+  const Element *find(unsigned R, unsigned C) const;
+
+  /// Value at (R, C); absent elements read as 0.
+  double get(unsigned R, unsigned C) const;
+
+  /// The element at (R, C), inserted (with value 0) if absent.
+  /// \p LinkSteps, when non-null, accumulates the number of pointer hops
+  /// performed (used for execution-cost accounting).
+  Element &at(unsigned R, unsigned C, size_t *LinkSteps = nullptr);
+
+  /// Insert/find for callers already walking row \p R: \p RowPrev must be
+  /// the row-R element with the largest column < \p C (nullptr when C
+  /// precedes the whole row). Avoids re-scanning the row from its head;
+  /// the column list is still scanned for the insertion point, as in any
+  /// orthogonally linked implementation.
+  Element &atWithRowHint(Element *RowPrev, unsigned R, unsigned C,
+                         size_t *LinkSteps = nullptr);
+
+  /// Sets (R, C) to \p V, inserting if needed.
+  void set(unsigned R, unsigned C, double V) { at(R, C).Value = V; }
+
+  /// Verifies the orthogonal-list invariants: row lists sorted by column
+  /// and column lists sorted by row, mutually consistent, with matching
+  /// element counts. Used by tests and after factorization.
+  bool structureValid() const;
+
+  /// Dense row-major copy (N*N doubles); for small-matrix verification.
+  std::vector<double> toDense() const;
+
+  std::vector<Triplet> toTriplets() const;
+  static SparseMatrix fromTriplets(unsigned N,
+                                   const std::vector<Triplet> &Ts);
+
+private:
+  unsigned N;
+  std::deque<Element> Pool; ///< Stable storage for all elements.
+  std::vector<Element *> RowHead;
+  std::vector<Element *> ColHead;
+  size_t NumElements = 0;
+};
+
+} // namespace apt
+
+#endif // APT_SPARSE_SPARSEMATRIX_H

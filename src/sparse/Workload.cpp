@@ -1,0 +1,104 @@
+//===- sparse/Workload.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see Workload.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sparse/Workload.h"
+
+#include <cassert>
+#include <cmath>
+#include <random>
+#include <set>
+
+using namespace apt;
+
+std::vector<SparseMatrix::Triplet>
+apt::randomCircuitTriplets(unsigned N, size_t TargetNnz, uint32_t Seed) {
+  assert(TargetNnz >= N && "need at least the diagonal");
+  std::mt19937 Rng(Seed);
+  std::uniform_int_distribution<unsigned> Node(0, N - 1);
+  std::uniform_real_distribution<double> Mag(0.1, 1.0);
+
+  // Symmetric off-diagonal pattern.
+  std::set<std::pair<unsigned, unsigned>> Off;
+  size_t WantedOff = (TargetNnz - N) / 2;
+  size_t Guard = 0;
+  while (Off.size() < WantedOff && ++Guard < TargetNnz * 20) {
+    unsigned R = Node(Rng), C = Node(Rng);
+    if (R == C)
+      continue;
+    Off.insert({std::min(R, C), std::max(R, C)});
+  }
+
+  std::vector<SparseMatrix::Triplet> Out;
+  Out.reserve(N + Off.size() * 2);
+  std::vector<double> RowSum(N, 0.0);
+  for (const auto &[R, C] : Off) {
+    double V = -Mag(Rng);
+    Out.push_back({R, C, V});
+    Out.push_back({C, R, V});
+    RowSum[R] += std::fabs(V);
+    RowSum[C] += std::fabs(V);
+  }
+  // Diagonal dominance: diag = row sum of |offdiag| + margin.
+  for (unsigned I = 0; I < N; ++I)
+    Out.push_back({I, I, RowSum[I] + 1.0 + Mag(Rng)});
+  return Out;
+}
+
+std::vector<SparseMatrix::Triplet>
+apt::resistorGridTriplets(unsigned Rows, unsigned Cols,
+                          bool EightNeighbors) {
+  auto Id = [Cols](unsigned R, unsigned C) { return R * Cols + C; };
+  std::vector<SparseMatrix::Triplet> Out;
+  for (unsigned R = 0; R < Rows; ++R) {
+    for (unsigned C = 0; C < Cols; ++C) {
+      unsigned Me = Id(R, C);
+      double Degree = 0.0;
+      auto Couple = [&](unsigned OtherR, unsigned OtherC, double G) {
+        Out.push_back({Me, Id(OtherR, OtherC), -G});
+        Degree += G;
+      };
+      if (R > 0)
+        Couple(R - 1, C, 1.0);
+      if (R + 1 < Rows)
+        Couple(R + 1, C, 1.0);
+      if (C > 0)
+        Couple(R, C - 1, 1.0);
+      if (C + 1 < Cols)
+        Couple(R, C + 1, 1.0);
+      if (EightNeighbors) {
+        if (R > 0 && C > 0)
+          Couple(R - 1, C - 1, 0.5);
+        if (R > 0 && C + 1 < Cols)
+          Couple(R - 1, C + 1, 0.5);
+        if (R + 1 < Rows && C > 0)
+          Couple(R + 1, C - 1, 0.5);
+        if (R + 1 < Rows && C + 1 < Cols)
+          Couple(R + 1, C + 1, 0.5);
+      }
+      // Grounding leak keeps the system nonsingular.
+      Out.push_back({Me, Me, Degree + 0.05});
+    }
+  }
+  return Out;
+}
+
+std::vector<double> apt::randomVector(unsigned N, uint32_t Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> Val(-1.0, 1.0);
+  std::vector<double> Out(N);
+  for (double &V : Out)
+    V = Val(Rng);
+  return Out;
+}
+
+std::vector<double> apt::randomScaling(unsigned N, uint32_t Seed) {
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> Val(0.5, 1.5);
+  std::vector<double> Out(N);
+  for (double &V : Out)
+    V = Val(Rng);
+  return Out;
+}

@@ -1,0 +1,55 @@
+//===- sparse/Workload.h - Synthetic sparse workloads -----------*- C++ -*-===//
+//
+// Part of the APT project; see Kernels.h for the kernels these feed.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workload generators for the Figure 7 experiment. The paper factors a
+/// 1000 x 1000 sparse matrix with N = 10,000 nonzeros from a circuit
+/// simulation; lacking the authors' netlists, we generate
+///
+///  * random structurally-symmetric, diagonally dominant matrices with a
+///    target nonzero count (the shape typical of modified-nodal-analysis
+///    circuit matrices), and
+///  * resistor-grid matrices (the classic regular circuit benchmark).
+///
+/// Diagonal dominance keeps Markowitz-pivoted elimination numerically
+/// well behaved, so verification against the dense solver is meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SPARSE_WORKLOAD_H
+#define APT_SPARSE_WORKLOAD_H
+
+#include "sparse/SparseMatrix.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace apt {
+
+/// Random circuit-style triplets: full diagonal plus symmetric random
+/// off-diagonal pairs until ~TargetNnz entries, diagonally dominant.
+std::vector<SparseMatrix::Triplet>
+randomCircuitTriplets(unsigned N, size_t TargetNnz, uint32_t Seed);
+
+/// Nodal-analysis matrix of a Rows x Cols resistor grid with unit
+/// conductances and a grounding leak on every node (size Rows*Cols).
+/// With \p EightNeighbors, diagonal neighbors are also coupled, giving
+/// ~9 nonzeros per row -- the density of the paper's 1000x1000 / 10,000
+/// nonzero circuit matrix while keeping circuit-like locality (random
+/// patterns of that size fill catastrophically under elimination).
+std::vector<SparseMatrix::Triplet>
+resistorGridTriplets(unsigned Rows, unsigned Cols,
+                     bool EightNeighbors = false);
+
+/// A deterministic right-hand side with entries in [-1, 1].
+std::vector<double> randomVector(unsigned N, uint32_t Seed);
+
+/// A deterministic row-scaling vector with entries in [0.5, 1.5].
+std::vector<double> randomScaling(unsigned N, uint32_t Seed);
+
+} // namespace apt
+
+#endif // APT_SPARSE_WORKLOAD_H

@@ -1,0 +1,46 @@
+//===- support/FieldTable.cpp ---------------------------------------------===//
+//
+// Part of the APT project; see FieldTable.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FieldTable.h"
+
+#include <cassert>
+
+using namespace apt;
+
+FieldId FieldTable::intern(std::string_view Name) {
+  assert(!Name.empty() && "field names must be non-empty");
+  auto It = Ids.find(std::string(Name));
+  if (It != Ids.end())
+    return It->second;
+  FieldId Id = static_cast<FieldId>(Names.size());
+  Names.emplace_back(Name);
+  Ids.emplace(Names.back(), Id);
+  return Id;
+}
+
+std::optional<FieldId> FieldTable::lookup(std::string_view Name) const {
+  auto It = Ids.find(std::string(Name));
+  if (It == Ids.end())
+    return std::nullopt;
+  return It->second;
+}
+
+const std::string &FieldTable::name(FieldId Id) const {
+  assert(Id < Names.size() && "invalid field id");
+  return Names[Id];
+}
+
+std::string apt::wordToString(const Word &W, const FieldTable &Fields) {
+  if (W.empty())
+    return "<eps>";
+  std::string Out;
+  for (size_t I = 0; I < W.size(); ++I) {
+    if (I > 0)
+      Out += '.';
+    Out += Fields.name(W[I]);
+  }
+  return Out;
+}

@@ -1,0 +1,70 @@
+//===- support/FieldTable.h - Interned pointer-field names ------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interning table mapping pointer-field names (the edge labels of a data
+/// structure viewed as a directed graph) to dense integer ids. Regular
+/// expressions, automata, heap graphs and axioms all refer to fields by
+/// FieldId so that comparisons are O(1) and alphabets are dense bit sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_FIELDTABLE_H
+#define APT_SUPPORT_FIELDTABLE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace apt {
+
+/// Dense id of an interned pointer-field name.
+using FieldId = uint32_t;
+
+/// Interning table for pointer-field names.
+///
+/// A FieldTable is shared by every component that talks about the same
+/// universe of field names (one per analysis session is typical). Ids are
+/// assigned densely in interning order, so they can index vectors directly.
+class FieldTable {
+public:
+  FieldTable() = default;
+
+  /// Interns \p Name, returning its id (existing or freshly assigned).
+  FieldId intern(std::string_view Name);
+
+  /// Returns the id of \p Name if it has been interned, and std::nullopt
+  /// otherwise. Never allocates a new id.
+  std::optional<FieldId> lookup(std::string_view Name) const;
+
+  /// Returns the name of an interned field. \p Id must be valid.
+  const std::string &name(FieldId Id) const;
+
+  /// Number of interned fields; valid ids are [0, size()).
+  size_t size() const { return Names.size(); }
+
+  /// True if no field has been interned yet.
+  bool empty() const { return Names.empty(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, FieldId> Ids;
+};
+
+/// A concrete path through a data structure: a finite word of field names.
+using Word = std::vector<FieldId>;
+
+/// Renders \p W as dotted field names, or "<eps>" for the empty word.
+std::string wordToString(const Word &W, const FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_SUPPORT_FIELDTABLE_H

@@ -1,0 +1,44 @@
+//===- support/Strings.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see Strings.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Strings.h"
+
+#include <cctype>
+
+using namespace apt;
+
+std::string_view apt::trim(std::string_view S) {
+  size_t B = 0, E = S.size();
+  while (B < E && std::isspace(static_cast<unsigned char>(S[B])))
+    ++B;
+  while (E > B && std::isspace(static_cast<unsigned char>(S[E - 1])))
+    --E;
+  return S.substr(B, E - B);
+}
+
+std::string apt::join(const std::vector<std::string> &Parts,
+                      std::string_view Sep) {
+  std::string Out;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I > 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+std::vector<std::string> apt::splitNonEmpty(std::string_view S, char Sep) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      if (I > Start)
+        Out.emplace_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- support/Strings.h - Small string helpers -----------------*- C++ -*-===//
+//
+// Part of the APT project; see DESIGN.md for the system overview.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String utilities shared across the project: trimming, joining and a hash
+/// combiner for composite cache keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_STRINGS_H
+#define APT_SUPPORT_STRINGS_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apt {
+
+/// Returns \p S without leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Splits \p S on \p Sep, dropping empty pieces.
+std::vector<std::string> splitNonEmpty(std::string_view S, char Sep);
+
+/// Mixes \p Value into \p Seed (boost::hash_combine recipe).
+inline void hashCombine(size_t &Seed, size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+} // namespace apt
+
+#endif // APT_SUPPORT_STRINGS_H

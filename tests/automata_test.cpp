@@ -1,0 +1,316 @@
+//===- tests/automata_test.cpp - NFA/DFA/derivative engine tests ----------===//
+//
+// Part of the APT project; covers src/regex/{Nfa,Dfa,Derivative,LangOps}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Derivative.h"
+#include "regex/Dfa.h"
+#include "regex/LangOps.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace apt;
+
+namespace {
+
+class AutomataTest : public ::testing::Test {
+protected:
+  FieldTable Fields;
+
+  RegexRef parse(std::string_view Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    EXPECT_TRUE(R) << "parse of '" << Text << "' failed: " << R.Error;
+    return R.Value;
+  }
+
+  Word word(std::string_view Dotted) {
+    Word W;
+    size_t Start = 0;
+    std::string S(Dotted);
+    if (S.empty())
+      return W;
+    for (size_t I = 0; I <= S.size(); ++I) {
+      if (I == S.size() || S[I] == '.') {
+        W.push_back(Fields.intern(S.substr(Start, I - Start)));
+        Start = I + 1;
+      }
+    }
+    return W;
+  }
+
+  std::vector<FieldId> alphabetOf(const RegexRef &R) {
+    std::set<FieldId> Syms;
+    R->collectSymbols(Syms);
+    return {Syms.begin(), Syms.end()};
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DFA basics
+//===----------------------------------------------------------------------===//
+
+TEST_F(AutomataTest, DfaAccepts) {
+  RegexRef R = parse("a.(b|c)*.d");
+  Dfa D = Dfa::fromRegex(*R, alphabetOf(R));
+  EXPECT_TRUE(D.accepts(word("a.d")));
+  EXPECT_TRUE(D.accepts(word("a.b.d")));
+  EXPECT_TRUE(D.accepts(word("a.c.b.c.d")));
+  EXPECT_FALSE(D.accepts(word("a")));
+  EXPECT_FALSE(D.accepts(word("a.d.d")));
+  EXPECT_FALSE(D.accepts(Word{}));
+}
+
+TEST_F(AutomataTest, DfaEmptyLanguage) {
+  RegexRef R = parse("never");
+  Dfa D = Dfa::fromRegex(*R, {});
+  EXPECT_TRUE(D.languageEmpty());
+  RegexRef E = parse("eps");
+  EXPECT_FALSE(Dfa::fromRegex(*E, {}).languageEmpty());
+}
+
+TEST_F(AutomataTest, DfaComplement) {
+  RegexRef R = parse("a.a");
+  Dfa D = Dfa::fromRegex(*R, alphabetOf(R));
+  Dfa C = D.complemented();
+  EXPECT_FALSE(C.accepts(word("a.a")));
+  EXPECT_TRUE(C.accepts(word("a")));
+  EXPECT_TRUE(C.accepts(Word{}));
+  EXPECT_TRUE(C.accepts(word("a.a.a")));
+}
+
+TEST_F(AutomataTest, DfaProductIntersection) {
+  RegexRef A = parse("a*.b");
+  RegexRef B = parse("a.a.(a|b)");
+  std::vector<FieldId> Alpha = alphabetOf(parse("a|b"));
+  Dfa DA = Dfa::fromRegex(*A, Alpha);
+  Dfa DB = Dfa::fromRegex(*B, Alpha);
+  Dfa P = Dfa::product(DA, DB, /*RequireBoth=*/true);
+  // Intersection is exactly { a.a.b }.
+  EXPECT_TRUE(P.accepts(word("a.a.b")));
+  EXPECT_FALSE(P.accepts(word("a.b")));
+  EXPECT_FALSE(P.accepts(word("a.a.a")));
+  EXPECT_FALSE(P.languageEmpty());
+}
+
+TEST_F(AutomataTest, DfaProductUnion) {
+  RegexRef A = parse("a.a");
+  RegexRef B = parse("b");
+  std::vector<FieldId> Alpha = alphabetOf(parse("a|b"));
+  Dfa P = Dfa::product(Dfa::fromRegex(*A, Alpha),
+                       Dfa::fromRegex(*B, Alpha),
+                       /*RequireBoth=*/false);
+  EXPECT_TRUE(P.accepts(word("a.a")));
+  EXPECT_TRUE(P.accepts(word("b")));
+  EXPECT_FALSE(P.accepts(word("a")));
+  EXPECT_FALSE(P.accepts(word("a.b")));
+}
+
+TEST_F(AutomataTest, AlphabetIndexOutsideAlphabet) {
+  RegexRef R = parse("a");
+  Dfa D = Dfa::fromRegex(*R, alphabetOf(R));
+  FieldId Z = Fields.intern("zzz");
+  EXPECT_EQ(D.alphabetIndex(Z), -1);
+  EXPECT_FALSE(D.accepts({Z}));
+}
+
+TEST_F(AutomataTest, ShortestAcceptedWord) {
+  RegexRef R = parse("a.a.a|a.b");
+  Dfa D = Dfa::fromRegex(*R, alphabetOf(R));
+  std::optional<Word> W = D.shortestAcceptedWord();
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(W->size(), 2u);
+  EXPECT_EQ(Dfa::fromRegex(*parse("never"), {}).shortestAcceptedWord(),
+            std::nullopt);
+}
+
+TEST_F(AutomataTest, MinimizationPreservesLanguageAndShrinks) {
+  RegexRef R = parse("(a|b).(a|b).(a|b)*");
+  std::vector<FieldId> Alpha = alphabetOf(R);
+  Dfa D = Dfa::fromRegex(*R, Alpha);
+  Dfa M = D.minimized();
+  EXPECT_LE(M.numStates(), D.numStates());
+  std::mt19937 Rng(7);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    Word W;
+    size_t Len = Rng() % 6;
+    for (size_t I = 0; I < Len; ++I)
+      W.push_back(Alpha[Rng() % Alpha.size()]);
+    EXPECT_EQ(D.accepts(W), M.accepts(W));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Derivatives
+//===----------------------------------------------------------------------===//
+
+TEST_F(AutomataTest, DerivativeBasics) {
+  FieldId A = Fields.intern("a"), B = Fields.intern("b");
+  RegexRef R = parse("a.b");
+  EXPECT_TRUE(structurallyEqual(derivative(R, A), Regex::symbol(B)));
+  EXPECT_TRUE(derivative(R, B)->isEmpty());
+  EXPECT_TRUE(derivMatches(parse("a*"), word("a.a.a")));
+  EXPECT_TRUE(derivMatches(parse("a*"), Word{}));
+  EXPECT_FALSE(derivMatches(parse("a+"), Word{}));
+}
+
+TEST_F(AutomataTest, DerivativeOfStarAndPlus) {
+  FieldId A = Fields.intern("a");
+  RegexRef Star = parse("a*");
+  // d_a(a*) = a*, up to normalization.
+  EXPECT_TRUE(structurallyEqual(derivative(Star, A), Star));
+  RegexRef Plus = parse("a+");
+  EXPECT_TRUE(structurallyEqual(derivative(Plus, A), Star));
+}
+
+TEST_F(AutomataTest, DerivSubset) {
+  EXPECT_TRUE(derivSubsetOf(parse("a.b"), parse("a.(b|c)")));
+  EXPECT_TRUE(derivSubsetOf(parse("a.a"), parse("a+")));
+  EXPECT_FALSE(derivSubsetOf(parse("a*"), parse("a+")));
+  EXPECT_TRUE(derivSubsetOf(parse("a+"), parse("a*")));
+  EXPECT_TRUE(derivSubsetOf(parse("never"), parse("a")));
+  EXPECT_FALSE(derivSubsetOf(parse("a|b"), parse("a")));
+}
+
+TEST_F(AutomataTest, DerivDisjoint) {
+  EXPECT_TRUE(derivDisjoint(parse("a+"), parse("b+")));
+  EXPECT_FALSE(derivDisjoint(parse("a*"), parse("b*"))); // both contain eps
+  EXPECT_TRUE(derivDisjoint(parse("a.b"), parse("a.c")));
+  EXPECT_FALSE(derivDisjoint(parse("a.(b|c)"), parse("a.c")));
+}
+
+//===----------------------------------------------------------------------===//
+// LangQuery facade and engine agreement
+//===----------------------------------------------------------------------===//
+
+TEST_F(AutomataTest, LangQuerySubset) {
+  LangQuery Q;
+  // Sparse-matrix style: c+ subset of c+, and c c* subset of c+.
+  EXPECT_TRUE(Q.subsetOf(parse("c.c*"), parse("c+")));
+  EXPECT_TRUE(Q.subsetOf(parse("c+"), parse("(c|r)+")));
+  EXPECT_FALSE(Q.subsetOf(parse("c*"), parse("c+")));
+  EXPECT_TRUE(Q.subsetOf(parse("r.r*.c"), parse("(c|r)+")));
+}
+
+TEST_F(AutomataTest, LangQueryEquivalence) {
+  LangQuery Q;
+  EXPECT_TRUE(Q.equivalent(parse("a.a*"), parse("a+")));
+  EXPECT_TRUE(Q.equivalent(parse("(a|b)*"), parse("(a*.b*)*")));
+  EXPECT_FALSE(Q.equivalent(parse("(a.b)*"), parse("a*.b*")));
+  EXPECT_TRUE(Q.equivalent(parse("a.(b.a)*"), parse("(a.b)*.a")));
+}
+
+TEST_F(AutomataTest, LangQueryCacheHits) {
+  LangQuery Q;
+  RegexRef A = parse("a+"), B = parse("(a|b)+");
+  EXPECT_TRUE(Q.subsetOf(A, B));
+  uint64_t Hits = Q.stats().CacheHits;
+  EXPECT_TRUE(Q.subsetOf(A, B));
+  EXPECT_EQ(Q.stats().CacheHits, Hits + 1);
+}
+
+/// Parameterized cross-check: both engines must agree on subset and
+/// disjointness for a pool of structured regex pairs.
+class EngineAgreementTest
+    : public ::testing::TestWithParam<std::tuple<const char *, const char *>> {
+};
+
+TEST_P(EngineAgreementTest, SubsetAndDisjointAgree) {
+  FieldTable Fields;
+  auto [TextA, TextB] = GetParam();
+  RegexParseResult A = parseRegex(TextA, Fields);
+  RegexParseResult B = parseRegex(TextB, Fields);
+  ASSERT_TRUE(A) << A.Error;
+  ASSERT_TRUE(B) << B.Error;
+  LangQuery DfaQ(LangEngine::Dfa);
+  LangQuery DerQ(LangEngine::Derivative);
+  EXPECT_EQ(DfaQ.subsetOf(A.Value, B.Value),
+            DerQ.subsetOf(A.Value, B.Value))
+      << TextA << " <= " << TextB;
+  EXPECT_EQ(DfaQ.subsetOf(B.Value, A.Value),
+            DerQ.subsetOf(B.Value, A.Value))
+      << TextB << " <= " << TextA;
+  EXPECT_EQ(DfaQ.disjoint(A.Value, B.Value),
+            DerQ.disjoint(A.Value, B.Value))
+      << TextA << " /\\ " << TextB;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, EngineAgreementTest,
+    ::testing::Values(
+        std::make_tuple("a", "a"), std::make_tuple("a", "b"),
+        std::make_tuple("a.b", "a.(b|c)"), std::make_tuple("a*", "a+"),
+        std::make_tuple("a.a*", "a+"), std::make_tuple("(a|b)*", "a*.b*"),
+        std::make_tuple("c.c*", "r.r*.c.c*"),
+        std::make_tuple("c+", "r+.c+"),
+        std::make_tuple("(c|r)+", "eps"),
+        std::make_tuple("L.L.N", "L.R.N"),
+        std::make_tuple("(L|R)+.N+", "N+"),
+        std::make_tuple("(a.b)+", "a.(b.a)*.b"),
+        std::make_tuple("a.(b|c)*.d", "a.d"),
+        std::make_tuple("(a|b).(a|b).(a|b)", "a.a.a|b.b.b"),
+        std::make_tuple("never", "a*"),
+        std::make_tuple("eps", "a*"),
+        std::make_tuple("a?", "a|eps"),
+        std::make_tuple("(a|b)+.(c|d)", "b+.d")));
+
+/// Randomized property test: generate random regex pairs, compare engines,
+/// and validate subset answers against random word sampling.
+TEST(EngineAgreementRandom, RandomRegexPairs) {
+  FieldTable Fields;
+  std::vector<FieldId> Alpha = {Fields.intern("a"), Fields.intern("b"),
+                                Fields.intern("c")};
+  std::mt19937 Rng(12345);
+
+  // Random regex generator with bounded size.
+  std::function<RegexRef(int)> Gen = [&](int Depth) -> RegexRef {
+    int Pick = Rng() % (Depth <= 0 ? 2 : 6);
+    switch (Pick) {
+    case 0:
+      return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+    case 1:
+      return Rng() % 4 == 0 ? Regex::epsilon()
+                            : Regex::symbol(Alpha[Rng() % Alpha.size()]);
+    case 2:
+      return Regex::concat(Gen(Depth - 1), Gen(Depth - 1));
+    case 3:
+      return Regex::alt(Gen(Depth - 1), Gen(Depth - 1));
+    case 4:
+      return Regex::star(Gen(Depth - 1));
+    default:
+      return Regex::plus(Gen(Depth - 1));
+    }
+  };
+
+  LangQuery DfaQ(LangEngine::Dfa);
+  LangQuery DerQ(LangEngine::Derivative);
+  for (int Trial = 0; Trial < 150; ++Trial) {
+    RegexRef A = Gen(3), B = Gen(3);
+    bool Sub = DfaQ.subsetOf(A, B);
+    EXPECT_EQ(Sub, DerQ.subsetOf(A, B))
+        << A->toString(Fields) << " <= " << B->toString(Fields);
+    bool Dis = DfaQ.disjoint(A, B);
+    EXPECT_EQ(Dis, DerQ.disjoint(A, B))
+        << A->toString(Fields) << " /\\ " << B->toString(Fields);
+
+    // Sample random words; membership must respect subset/disjoint claims.
+    for (int WTrial = 0; WTrial < 20; ++WTrial) {
+      Word W;
+      size_t Len = Rng() % 5;
+      for (size_t I = 0; I < Len; ++I)
+        W.push_back(Alpha[Rng() % Alpha.size()]);
+      bool InA = derivMatches(A, W), InB = derivMatches(B, W);
+      if (Sub && InA) {
+        EXPECT_TRUE(InB) << "subset violated by witness";
+      }
+      if (Dis) {
+        EXPECT_FALSE(InA && InB) << "disjointness violated by witness";
+      }
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,207 @@
+//===- tests/axiom_test.cpp - Axiom parsing/printing/set operations -------===//
+//
+// Part of the APT project; covers src/core/{Axiom,AccessPath,Prelude}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AccessPath.h"
+#include "core/Axiom.h"
+#include "core/Prelude.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+TEST(AxiomParse, SameOriginForm) {
+  FieldTable Fields;
+  AxiomParseResult R = parseAxiom("forall p: p.L <> p.R", Fields);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Value.Form, AxiomForm::SameOriginDisjoint);
+  EXPECT_EQ(R.Value.Lhs->toString(Fields), "L");
+  EXPECT_EQ(R.Value.Rhs->toString(Fields), "R");
+}
+
+TEST(AxiomParse, DiffOriginForm) {
+  FieldTable Fields;
+  AxiomParseResult R =
+      parseAxiom("forall p <> q: p.(L|R) <> q.(L|R)", Fields);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Value.Form, AxiomForm::DiffOriginDisjoint);
+}
+
+TEST(AxiomParse, EqualityForm) {
+  FieldTable Fields;
+  AxiomParseResult R = parseAxiom("forall p: p.next.prev = p.eps", Fields);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Value.Form, AxiomForm::Equal);
+  EXPECT_TRUE(R.Value.Rhs->isEpsilon());
+}
+
+TEST(AxiomParse, BareVariableMeansEpsilon) {
+  FieldTable Fields;
+  AxiomParseResult R = parseAxiom("forall p: p.(L|R)+ <> p", Fields);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_TRUE(R.Value.Rhs->isEpsilon());
+}
+
+TEST(AxiomParse, BangEqualsAccepted) {
+  FieldTable Fields;
+  AxiomParseResult R = parseAxiom("forall p != q: p.N != q.N", Fields);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Value.Form, AxiomForm::DiffOriginDisjoint);
+}
+
+TEST(AxiomParse, ArbitraryVariableNames) {
+  FieldTable Fields;
+  AxiomParseResult R =
+      parseAxiom("forall u <> v: u.next <> v.next", Fields);
+  ASSERT_TRUE(R) << R.Error;
+  EXPECT_EQ(R.Value.Form, AxiomForm::DiffOriginDisjoint);
+}
+
+TEST(AxiomParse, Errors) {
+  FieldTable Fields;
+  EXPECT_FALSE(parseAxiom("p.L <> p.R", Fields));
+  EXPECT_FALSE(parseAxiom("forall p p.L <> p.R", Fields));
+  EXPECT_FALSE(parseAxiom("forall p: q.L <> p.R", Fields));
+  EXPECT_FALSE(parseAxiom("forall p: p.L ~ p.R", Fields));
+  EXPECT_FALSE(parseAxiom("forall p <> p: p.L <> p.R", Fields));
+  EXPECT_FALSE(parseAxiom("forall p <> q: p.L = q.R", Fields))
+      << "equality axioms take the one-variable form";
+  EXPECT_FALSE(parseAxiom("forall p: p.( <> p.R", Fields));
+}
+
+TEST(AxiomPrint, RoundTripsThroughParser) {
+  FieldTable Fields;
+  const char *Texts[] = {
+      "forall p: p.L <> p.R",
+      "forall p <> q: p.(L|R) <> q.(L|R)",
+      "forall p: p.next.prev = p.eps",
+      "forall p: p.(ncolE|nrowE)+ <> p.eps",
+  };
+  for (const char *T : Texts) {
+    AxiomParseResult First = parseAxiom(T, Fields);
+    ASSERT_TRUE(First) << First.Error;
+    AxiomParseResult Again =
+        parseAxiom(First.Value.toString(Fields), Fields);
+    ASSERT_TRUE(Again) << "reprint '" << First.Value.toString(Fields)
+                       << "': " << Again.Error;
+    EXPECT_EQ(Again.Value.Form, First.Value.Form);
+    EXPECT_TRUE(structurallyEqual(Again.Value.Lhs, First.Value.Lhs));
+    EXPECT_TRUE(structurallyEqual(Again.Value.Rhs, First.Value.Rhs));
+  }
+}
+
+TEST(AxiomSetOps, IntersectAndUnion) {
+  FieldTable Fields;
+  AxiomSet A, B;
+  A.add(parseAxiom("forall p: p.L <> p.R", Fields, "A1").Value);
+  A.add(parseAxiom("forall p <> q: p.N <> q.N", Fields, "A2").Value);
+  B.add(parseAxiom("forall p: p.L <> p.R", Fields, "B1").Value);
+
+  AxiomSet Inter = A.intersectWith(B);
+  EXPECT_EQ(Inter.size(), 1u);
+  EXPECT_EQ(Inter.axioms().front().Name, "A1");
+
+  AxiomSet Uni = A.unionWith(B);
+  EXPECT_EQ(Uni.size(), 2u) << "structural duplicate must collapse";
+}
+
+TEST(AxiomSetOps, IntersectIsSymmetricInContent) {
+  FieldTable Fields;
+  AxiomSet A, B;
+  // forall p: p.X <> p.Y is symmetric; swapping sides must still match.
+  A.add(parseAxiom("forall p: p.L <> p.R", Fields).Value);
+  B.add(parseAxiom("forall p: p.R <> p.L", Fields).Value);
+  EXPECT_EQ(A.intersectWith(B).size(), 1u);
+}
+
+TEST(AxiomSetOps, AcyclicityHelper) {
+  FieldTable Fields;
+  FieldId L = Fields.intern("L"), R = Fields.intern("R");
+  Axiom A = AxiomSet::acyclicity({L, R}, "acyc");
+  EXPECT_EQ(A.Form, AxiomForm::SameOriginDisjoint);
+  EXPECT_EQ(A.toString(Fields), "acyc: forall p: p.(L|R)+ <> p.eps");
+}
+
+TEST(AxiomSetOps, ByName) {
+  FieldTable Fields;
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  ASSERT_NE(LLT.Axioms.byName("A3"), nullptr);
+  EXPECT_EQ(LLT.Axioms.byName("A3")->Form, AxiomForm::DiffOriginDisjoint);
+  EXPECT_EQ(LLT.Axioms.byName("nope"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Access paths
+//===----------------------------------------------------------------------===//
+
+TEST(AccessPathTest, ComponentsSplitTopLevelConcat) {
+  FieldTable Fields;
+  RegexRef R = parseAxiom("forall p: p.L.L.N <> p.eps", Fields).Value.Lhs;
+  std::vector<RegexRef> Comps = pathComponents(R);
+  ASSERT_EQ(Comps.size(), 3u);
+  EXPECT_EQ(Comps[0]->toString(Fields), "L");
+  EXPECT_EQ(Comps[2]->toString(Fields), "N");
+}
+
+TEST(AccessPathTest, PlusExpandsToStarPair) {
+  FieldTable Fields;
+  RegexRef R =
+      parseAxiom("forall p: p.ncolE+ <> p.eps", Fields).Value.Lhs;
+  std::vector<RegexRef> Comps = pathComponents(R);
+  ASSERT_EQ(Comps.size(), 2u);
+  EXPECT_EQ(Comps[0]->kind(), RegexKind::Symbol);
+  EXPECT_EQ(Comps[1]->kind(), RegexKind::Star);
+}
+
+TEST(AccessPathTest, EpsilonHasNoComponents) {
+  EXPECT_TRUE(pathComponents(Regex::epsilon()).empty());
+}
+
+TEST(AccessPathTest, RoundTrip) {
+  FieldTable Fields;
+  RegexRef R =
+      parseAxiom("forall p: p.a.(b|c)*.d <> p.eps", Fields).Value.Lhs;
+  std::vector<RegexRef> Comps = pathComponents(R);
+  EXPECT_TRUE(structurallyEqual(componentsToRegex(Comps), R));
+}
+
+TEST(AccessPathTest, Printing) {
+  FieldTable Fields;
+  FieldId L = Fields.intern("L");
+  AccessPath P("_hroot", Regex::word({L, L}));
+  EXPECT_EQ(P.toString(Fields), "_hroot.L.L");
+  AccessPath E("_hp", Regex::epsilon());
+  EXPECT_EQ(E.toString(Fields), "_hp");
+  AccessPath X = E.extended(Regex::symbol(L));
+  EXPECT_EQ(X.toString(Fields), "_hp.L");
+}
+
+//===----------------------------------------------------------------------===//
+// Prelude sanity
+//===----------------------------------------------------------------------===//
+
+TEST(PreludeTest, AllStructuresBuild) {
+  FieldTable Fields;
+  EXPECT_EQ(preludeLinkedList(Fields).Axioms.size(), 2u);
+  EXPECT_EQ(preludeCircularList(Fields).Axioms.size(), 1u);
+  EXPECT_EQ(preludeDoublyLinkedRing(Fields).Axioms.size(), 6u);
+  EXPECT_EQ(preludeBinaryTree(Fields).Axioms.size(), 3u);
+  EXPECT_EQ(preludeLeafLinkedTree(Fields).Axioms.size(), 4u);
+  EXPECT_EQ(preludeSparseMatrixMinimal(Fields).Axioms.size(), 3u);
+  EXPECT_EQ(preludeSparseMatrixFull(Fields).Axioms.size(), 12u);
+  EXPECT_EQ(preludeRangeTree2D(Fields).Axioms.size(), 10u);
+  EXPECT_EQ(preludeOctree(Fields).Axioms.size(), 34u);
+}
+
+TEST(PreludeTest, SharedFieldTableReusesIds) {
+  FieldTable Fields;
+  StructureInfo A = preludeSparseMatrixMinimal(Fields);
+  StructureInfo B = preludeSparseMatrixFull(Fields);
+  EXPECT_EQ(A.PointerFields, B.PointerFields);
+}
+
+} // namespace

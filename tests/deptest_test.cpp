@@ -1,0 +1,202 @@
+//===- tests/deptest_test.cpp - The deptest driver (§4.1) -----------------===//
+//
+// Part of the APT project; covers src/core/DepTest directly (the screens
+// before the prover, verdict classification, and result reporting).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepTest.h"
+#include "core/Prelude.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+class DepTestTest : public ::testing::Test {
+protected:
+  FieldTable Fields;
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+
+  RegexRef parse(std::string_view Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    EXPECT_TRUE(R) << R.Error;
+    return R.Value;
+  }
+
+  MemRef ref(const char *Type, const char *Field, const char *Handle,
+             const char *Path, bool Write) {
+    return MemRef{Type, Fields.intern(Field),
+                  AccessPath(Handle, parse(Path)), Write};
+  }
+};
+
+TEST_F(DepTestTest, TwoReadsNeverConflict) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L", false);
+  MemRef T = ref("T", "d", "_h", "L", false);
+  DepTestResult R = dependenceTest(LLT.Axioms, S, T, P);
+  EXPECT_EQ(R.Verdict, DepVerdict::No);
+  EXPECT_EQ(R.Kind, DepKind::None);
+}
+
+TEST_F(DepTestTest, DifferentTypesScreenedOut) {
+  Prover P(Fields);
+  MemRef S = ref("TreeA", "d", "_h", "L", true);
+  MemRef T = ref("TreeB", "d", "_h", "L", true);
+  EXPECT_EQ(dependenceTest(LLT.Axioms, S, T, P).Verdict, DepVerdict::No);
+}
+
+TEST_F(DepTestTest, DifferentFieldsScreenedOut) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L", true);
+  MemRef T = ref("T", "e", "_h", "L", true);
+  EXPECT_EQ(dependenceTest(LLT.Axioms, S, T, P).Verdict, DepVerdict::No);
+}
+
+TEST_F(DepTestTest, DistinctHandlesAreConservative) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h1", "L", true);
+  MemRef T = ref("T", "d", "_h2", "R", false);
+  DepTestResult R = dependenceTest(LLT.Axioms, S, T, P);
+  EXPECT_EQ(R.Verdict, DepVerdict::Maybe);
+  EXPECT_NE(R.Reason.find("handle"), std::string::npos);
+}
+
+TEST_F(DepTestTest, IdenticalSingletonPathIsYes) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L.L", true);
+  MemRef T = ref("T", "d", "_h", "L.L", false);
+  DepTestResult R = dependenceTest(LLT.Axioms, S, T, P);
+  EXPECT_EQ(R.Verdict, DepVerdict::Yes);
+  EXPECT_EQ(R.Kind, DepKind::Flow);
+}
+
+TEST_F(DepTestTest, EqualityAxiomGivesYes) {
+  FieldTable F2;
+  StructureInfo Ring = preludeDoublyLinkedRing(F2);
+  Prover P(F2);
+  RegexParseResult A = parseRegex("next.next.prev", F2);
+  RegexParseResult B = parseRegex("next", F2);
+  MemRef S{"Ring", F2.intern("val"), AccessPath("_h", A.Value), true};
+  MemRef T{"Ring", F2.intern("val"), AccessPath("_h", B.Value), true};
+  DepTestResult R = dependenceTest(Ring.Axioms, S, T, P);
+  EXPECT_EQ(R.Verdict, DepVerdict::Yes);
+  EXPECT_EQ(R.Kind, DepKind::Output);
+}
+
+TEST_F(DepTestTest, ProvenNoCarriesProof) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L.L.N", true);
+  MemRef T = ref("T", "d", "_h", "L.R.N", false);
+  DepTestResult R = dependenceTest(LLT.Axioms, S, T, P);
+  EXPECT_EQ(R.Verdict, DepVerdict::No);
+  EXPECT_FALSE(R.ProofText.empty());
+  EXPECT_NE(R.Reason.find("L.L.N"), std::string::npos);
+}
+
+TEST_F(DepTestTest, KindClassification) {
+  Prover P(Fields);
+  // Same possibly-aliasing location, all three kinds.
+  MemRef W = ref("T", "d", "_h", "L.(L|R)", true);
+  MemRef Rd = ref("T", "d", "_h", "(L|R).L", false);
+  EXPECT_EQ(dependenceTest(LLT.Axioms, W, Rd, P).Kind, DepKind::Flow);
+  EXPECT_EQ(dependenceTest(LLT.Axioms, Rd, W, P).Kind, DepKind::Anti);
+  EXPECT_EQ(dependenceTest(LLT.Axioms, W, W, P).Kind, DepKind::Output);
+}
+
+TEST_F(DepTestTest, MaybeWhenNoProofExists) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L.L.N.N", true);
+  MemRef T = ref("T", "d", "_h", "L.R.N", false);
+  DepTestResult R = dependenceTest(LLT.Axioms, S, T, P);
+  EXPECT_EQ(R.Verdict, DepVerdict::Maybe);
+  EXPECT_TRUE(R.ProofText.empty());
+}
+
+TEST_F(DepTestTest, EmptyAxiomSetStillScreens) {
+  Prover P(Fields);
+  AxiomSet Empty;
+  MemRef S = ref("A", "d", "_h", "L", true);
+  MemRef T = ref("B", "d", "_h", "L", true);
+  EXPECT_EQ(dependenceTest(Empty, S, T, P).Verdict, DepVerdict::No);
+  MemRef U = ref("A", "d", "_h", "L", true);
+  MemRef V = ref("A", "d", "_h", "R", true);
+  EXPECT_EQ(dependenceTest(Empty, U, V, P).Verdict, DepVerdict::Maybe);
+}
+
+TEST_F(DepTestTest, IntersectedAxiomsLoseTheProof) {
+  // §3.4: a query across a structural modification intersects axiom
+  // sets; intersecting with an empty set yields Maybe.
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L.L.N", true);
+  MemRef T = ref("T", "d", "_h", "L.R.N", false);
+  AxiomSet Intersected = LLT.Axioms.intersectWith(AxiomSet());
+  EXPECT_TRUE(Intersected.empty());
+  EXPECT_EQ(dependenceTest(Intersected, S, T, P).Verdict,
+            DepVerdict::Maybe);
+  // Intersecting with itself preserves it.
+  AxiomSet Same = LLT.Axioms.intersectWith(LLT.Axioms);
+  EXPECT_EQ(dependenceTest(Same, S, T, P).Verdict, DepVerdict::No);
+}
+
+TEST_F(DepTestTest, HandleRelationRebasesThePath) {
+  // _hp = _ht.L: an access _hp.L.N rebases to _ht.L.L.N and the usual
+  // common-handle proof applies against _ht.L.R.N.
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_hp", "L.N", true);
+  MemRef T = ref("T", "d", "_ht", "L.R.N", false);
+  std::vector<HandleRelation> Rel{{"_ht", "_hp", parse("L")}};
+  DepTestResult R = dependenceTest(LLT.Axioms, S, T, P, Rel);
+  EXPECT_EQ(R.Verdict, DepVerdict::No) << R.Reason;
+}
+
+TEST_F(DepTestTest, HandleRelationWorksInBothDirections) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_ht", "L.R.N", true);
+  MemRef T = ref("T", "d", "_hp", "L.N", false);
+  std::vector<HandleRelation> Rel{{"_ht", "_hp", parse("L")}};
+  EXPECT_EQ(dependenceTest(LLT.Axioms, S, T, P, Rel).Verdict,
+            DepVerdict::No);
+}
+
+TEST_F(DepTestTest, HandleRelationCanProveYes) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_hp", "N", true);
+  MemRef T = ref("T", "d", "_ht", "L.N", false);
+  std::vector<HandleRelation> Rel{{"_ht", "_hp", parse("L")}};
+  EXPECT_EQ(dependenceTest(LLT.Axioms, S, T, P, Rel).Verdict,
+            DepVerdict::Yes);
+}
+
+TEST_F(DepTestTest, UnrelatedHandlesStayMaybe) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_hp", "L", true);
+  MemRef T = ref("T", "d", "_hq", "R", false);
+  std::vector<HandleRelation> Rel{{"_ht", "_hp", parse("L")}};
+  EXPECT_EQ(dependenceTest(LLT.Axioms, S, T, P, Rel).Verdict,
+            DepVerdict::Maybe);
+}
+
+TEST_F(DepTestTest, RelationsIgnoredForCommonHandles) {
+  Prover P(Fields);
+  MemRef S = ref("T", "d", "_h", "L", true);
+  MemRef T = ref("T", "d", "_h", "R", false);
+  std::vector<HandleRelation> Rel{{"_h", "_h", parse("L")}};
+  EXPECT_EQ(dependenceTest(LLT.Axioms, S, T, P, Rel).Verdict,
+            DepVerdict::No);
+}
+
+TEST_F(DepTestTest, VerdictAndKindNames) {
+  EXPECT_STREQ(depVerdictName(DepVerdict::No), "No");
+  EXPECT_STREQ(depVerdictName(DepVerdict::Maybe), "Maybe");
+  EXPECT_STREQ(depVerdictName(DepVerdict::Yes), "Yes");
+  EXPECT_STREQ(depKindName(DepKind::Flow), "flow");
+  EXPECT_STREQ(depKindName(DepKind::Anti), "anti");
+  EXPECT_STREQ(depKindName(DepKind::Output), "output");
+  EXPECT_STREQ(depKindName(DepKind::None), "none");
+}
+
+} // namespace

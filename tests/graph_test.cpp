@@ -1,0 +1,347 @@
+//===- tests/graph_test.cpp - Heap graphs, builders, axiom checker --------===//
+//
+// Part of the APT project; covers src/graph. The headline tests
+// model-check every prelude axiom set against concrete instances and
+// validate prover verdicts against the ground-truth oracle.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prelude.h"
+#include "core/Prover.h"
+#include "graph/AxiomChecker.h"
+#include "graph/GraphBuilders.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace apt;
+
+namespace {
+
+RegexRef parseOrDie(std::string_view Text, FieldTable &Fields) {
+  RegexParseResult R = parseRegex(Text, Fields);
+  EXPECT_TRUE(R) << "parse of '" << Text << "': " << R.Error;
+  return R.Value;
+}
+
+std::vector<std::pair<unsigned, unsigned>> demoMatrixCoords() {
+  // A small irregular sparsity pattern with several rows and columns.
+  return {{0, 0}, {0, 2}, {0, 5}, {1, 1}, {1, 2}, {2, 0}, {2, 3},
+          {3, 3}, {3, 4}, {3, 5}, {4, 1}, {4, 4}, {5, 0}, {5, 5}};
+}
+
+//===----------------------------------------------------------------------===//
+// HeapGraph basics
+//===----------------------------------------------------------------------===//
+
+TEST(HeapGraphTest, FieldsAreFunctional) {
+  FieldTable Fields;
+  FieldId F = Fields.intern("f");
+  HeapGraph G;
+  HeapGraph::NodeId A = G.addNode("a"), B = G.addNode("b"),
+                    C = G.addNode("c");
+  G.setField(A, F, B);
+  EXPECT_EQ(G.field(A, F), B);
+  G.setField(A, F, C); // Re-assignment replaces the edge.
+  EXPECT_EQ(G.field(A, F), C);
+  G.clearField(A, F);
+  EXPECT_EQ(G.field(A, F), std::nullopt);
+}
+
+TEST(HeapGraphTest, WalkFollowsWords) {
+  FieldTable Fields;
+  BuiltStructure LL = buildLinkedList(Fields, 4);
+  FieldId Next = *Fields.lookup("next");
+  EXPECT_EQ(LL.Graph.walk(LL.Root, {Next, Next}), 2u);
+  EXPECT_EQ(LL.Graph.walk(LL.Root, {Next, Next, Next, Next}), std::nullopt)
+      << "walking off the end is a null pointer";
+  EXPECT_EQ(LL.Graph.walk(LL.Root, {}), LL.Root);
+}
+
+TEST(HeapGraphTest, EvalRegexOnList) {
+  FieldTable Fields;
+  BuiltStructure LL = buildLinkedList(Fields, 5);
+  RegexRef NextPlus = parseOrDie("next+", Fields);
+  std::vector<HeapGraph::NodeId> Reached =
+      LL.Graph.evalRegex(LL.Root, NextPlus);
+  EXPECT_EQ(Reached.size(), 4u) << "next+ reaches all strict successors";
+  RegexRef NextStar = parseOrDie("next*", Fields);
+  EXPECT_EQ(LL.Graph.evalRegex(LL.Root, NextStar).size(), 5u);
+}
+
+TEST(HeapGraphTest, EvalRegexOnCycleTerminates) {
+  FieldTable Fields;
+  BuiltStructure CL = buildCircularList(Fields, 6);
+  RegexRef NextPlus = parseOrDie("next+", Fields);
+  // next+ from the root of a 6-cycle reaches all 6 nodes (incl. itself).
+  EXPECT_EQ(CL.Graph.evalRegex(CL.Root, NextPlus).size(), 6u);
+}
+
+TEST(HeapGraphTest, PathsOverlapMatchesFigure3) {
+  // Figure 3's instance has leaves at depth 2, so L.L is the leftmost
+  // leaf and the N chain starts there.
+  FieldTable Fields;
+  BuiltStructure LLT = buildLeafLinkedTree(Fields, 2);
+  // The paper's own example: root.LLNN and root.LRN collide; root.LLN and
+  // root.LRN never do.
+  EXPECT_TRUE(LLT.Graph.pathsOverlap(LLT.Root,
+                                     parseOrDie("L.L.N.N", Fields),
+                                     parseOrDie("L.R.N", Fields)));
+  EXPECT_FALSE(LLT.Graph.pathsOverlap(LLT.Root, parseOrDie("L.L.N", Fields),
+                                      parseOrDie("L.R.N", Fields)));
+}
+
+//===----------------------------------------------------------------------===//
+// Builders satisfy their prelude axiom sets (model checking)
+//===----------------------------------------------------------------------===//
+
+TEST(AxiomCheckerTest, LinkedListModelsItsAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeLinkedList(Fields);
+  BuiltStructure B = buildLinkedList(Fields, 8);
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, CircularListModelsItsAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeCircularList(Fields);
+  BuiltStructure B = buildCircularList(Fields, 8);
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, CircularListViolatesAcyclicity) {
+  FieldTable Fields;
+  BuiltStructure B = buildCircularList(Fields, 5);
+  AxiomParseResult Acyc =
+      parseAxiom("forall p: p.next+ <> p.eps", Fields, "acyc");
+  ASSERT_TRUE(Acyc);
+  EXPECT_TRUE(checkAxiom(B.Graph, Acyc.Value, Fields).has_value())
+      << "the checker must detect the cycle";
+}
+
+TEST(AxiomCheckerTest, DoublyLinkedRingModelsItsAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeDoublyLinkedRing(Fields);
+  BuiltStructure B = buildDoublyLinkedRing(Fields, 6);
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, BinaryTreeModelsItsAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeBinaryTree(Fields);
+  BuiltStructure B = buildBinaryTree(Fields, 4);
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, LeafLinkedTreeModelsFigure3Axioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeLeafLinkedTree(Fields);
+  for (size_t Depth : {1u, 2u, 3u, 4u}) {
+    BuiltStructure B = buildLeafLinkedTree(Fields, Depth);
+    std::optional<AxiomViolation> V =
+        checkAxioms(B.Graph, Info.Axioms, Fields);
+    EXPECT_FALSE(V.has_value())
+        << "depth " << Depth << ": " << V->AxiomText << ": " << V->Message;
+  }
+}
+
+TEST(AxiomCheckerTest, SparseMatrixModelsAppendixAAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeSparseMatrixFull(Fields);
+  BuiltStructure B = buildSparseMatrixGraph(Fields, demoMatrixCoords());
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, SparseMatrixModelsMinimalAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeSparseMatrixMinimal(Fields);
+  BuiltStructure B = buildSparseMatrixGraph(Fields, demoMatrixCoords());
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, RangeTreeModelsItsAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeRangeTree2D(Fields);
+  BuiltStructure B = buildRangeTree2D(Fields, 2, 2);
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+}
+
+TEST(AxiomCheckerTest, OctreeModelsItsAxioms) {
+  FieldTable Fields;
+  StructureInfo Info = preludeOctree(Fields);
+  BuiltStructure B = buildOctree(Fields, 1, 2);
+  std::optional<AxiomViolation> V =
+      checkAxioms(B.Graph, Info.Axioms, Fields);
+  EXPECT_FALSE(V.has_value()) << V->AxiomText << ": " << V->Message;
+  // 1 + 8 cells, 2 bodies each.
+  EXPECT_EQ(B.Graph.numNodes(), 9u + 18u);
+}
+
+TEST(AxiomCheckerTest, OctreeProverMatchesModel) {
+  FieldTable Fields;
+  StructureInfo Info = preludeOctree(Fields);
+  BuiltStructure B = buildOctree(Fields, 1, 2);
+  Prover P(Fields);
+  RegexRef A = parseOrDie("c0.bodies.bnext*", Fields);
+  RegexRef C = parseOrDie("c1.bodies.bnext*", Fields);
+  ASSERT_TRUE(P.proveDisjoint(Info.Axioms, A, C));
+  for (HeapGraph::NodeId N = 0; N < B.Graph.numNodes(); ++N)
+    EXPECT_FALSE(B.Graph.pathsOverlap(N, A, C));
+  // Bodies of the same cell genuinely overlap across list positions.
+  EXPECT_FALSE(P.proveDisjoint(Info.Axioms,
+                               parseOrDie("bodies.bnext*", Fields),
+                               parseOrDie("bodies.bnext.bnext*", Fields)));
+}
+
+TEST(AxiomCheckerTest, DetectsTreenessViolation) {
+  FieldTable Fields;
+  StructureInfo Info = preludeBinaryTree(Fields);
+  BuiltStructure B = buildBinaryTree(Fields, 2);
+  // Make two nodes share a child: breaks A2 (diff-origin disjointness).
+  FieldId L = *Fields.lookup("L"), R = *Fields.lookup("R");
+  HeapGraph::NodeId LChild = *B.Graph.field(B.Root, L);
+  HeapGraph::NodeId RChild = *B.Graph.field(B.Root, R);
+  B.Graph.setField(RChild, L, *B.Graph.field(LChild, L));
+  EXPECT_TRUE(checkAxioms(B.Graph, Info.Axioms, Fields).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Soundness of the prover against the ground-truth oracle
+//===----------------------------------------------------------------------===//
+
+/// Whenever the prover claims forall x: x.P <> x.Q under axioms that a
+/// concrete graph satisfies, the concrete path sets from every node must
+/// be disjoint. This is the central soundness property of the paper.
+void expectSoundOnModel(const StructureInfo &Info, const BuiltStructure &B,
+                        FieldTable &Fields,
+                        const std::vector<std::string> &PathPool) {
+  ASSERT_FALSE(checkAxioms(B.Graph, Info.Axioms, Fields).has_value())
+      << "model must satisfy the axioms";
+  Prover Pr(Fields);
+  int Proven = 0;
+  for (const std::string &PT : PathPool) {
+    for (const std::string &QT : PathPool) {
+      RegexRef P = parseOrDie(PT, Fields), Q = parseOrDie(QT, Fields);
+      if (!Pr.proveDisjoint(Info.Axioms, P, Q))
+        continue;
+      ++Proven;
+      for (HeapGraph::NodeId N = 0; N < B.Graph.numNodes(); ++N)
+        ASSERT_FALSE(B.Graph.pathsOverlap(N, P, Q))
+            << "UNSOUND: proved x." << PT << " <> x." << QT
+            << " but they overlap from node " << N;
+    }
+  }
+  EXPECT_GT(Proven, 0) << "the pool should contain provable pairs";
+}
+
+TEST(SoundnessTest, LeafLinkedTreeDepth3) {
+  FieldTable Fields;
+  StructureInfo Info = preludeLeafLinkedTree(Fields);
+  BuiltStructure B = buildLeafLinkedTree(Fields, 3);
+  expectSoundOnModel(Info, B, Fields,
+                     {"eps", "L", "R", "N", "L.L", "L.R", "L.N", "R.N",
+                      "L.L.N", "L.R.N", "L.L.N.N", "N.N", "(L|R)+",
+                      "(L|R)*.N", "L.(L|R)*", "R.(L|R)*", "N+",
+                      "(L|R|N)+"});
+}
+
+TEST(SoundnessTest, SparseMatrixAppendixA) {
+  FieldTable Fields;
+  StructureInfo Info = preludeSparseMatrixFull(Fields);
+  BuiltStructure B = buildSparseMatrixGraph(Fields, demoMatrixCoords());
+  expectSoundOnModel(
+      Info, B, Fields,
+      {"eps", "rows", "cols", "rows.relem", "cols.celem", "ncolE+",
+       "nrowE+", "nrowE+.ncolE+", "ncolE+.nrowE+", "relem.ncolE*",
+       "nrowH.relem.ncolE*", "rows.nrowH*", "cols.ncolH*", "ncolE.ncolE",
+       "nrowE.ncolE"});
+}
+
+TEST(SoundnessTest, DoublyLinkedRing) {
+  FieldTable Fields;
+  StructureInfo Info = preludeDoublyLinkedRing(Fields);
+  BuiltStructure B = buildDoublyLinkedRing(Fields, 6);
+  expectSoundOnModel(Info, B, Fields,
+                     {"eps", "next", "prev", "next.next", "prev.prev",
+                      "next.prev", "next+", "prev+", "next.next.prev"});
+}
+
+TEST(SoundnessTest, RandomTreeShapesWithRandomPaths) {
+  // Random non-complete trees still satisfy the binary-tree axioms;
+  // random path pairs must never be proven disjoint yet overlap.
+  FieldTable Fields;
+  StructureInfo Info = preludeBinaryTree(Fields);
+  FieldId L = *Fields.lookup("L"), R = *Fields.lookup("R");
+  std::mt19937 Rng(99);
+  Prover Pr(Fields);
+
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    // Grow a random tree by attaching nodes at random free slots.
+    HeapGraph G;
+    std::vector<HeapGraph::NodeId> Nodes{G.addNode("root")};
+    for (int I = 0; I < 15; ++I) {
+      HeapGraph::NodeId Parent = Nodes[Rng() % Nodes.size()];
+      FieldId Side = Rng() % 2 == 0 ? L : R;
+      if (G.field(Parent, Side))
+        continue;
+      HeapGraph::NodeId Child = G.addNode();
+      G.setField(Parent, Side, Child);
+      Nodes.push_back(Child);
+    }
+    ASSERT_FALSE(checkAxioms(G, Info.Axioms, Fields).has_value());
+
+    auto RandomPath = [&]() {
+      std::string Out;
+      size_t Len = Rng() % 4;
+      for (size_t I = 0; I < Len; ++I) {
+        if (!Out.empty())
+          Out += '.';
+        Out += (Rng() % 2 == 0) ? "L" : "R";
+      }
+      if (Out.empty())
+        return std::string("eps");
+      if (Rng() % 4 == 0)
+        Out += ".(L|R)*";
+      return Out;
+    };
+    for (int Pair = 0; Pair < 30; ++Pair) {
+      RegexRef P = parseOrDie(RandomPath(), Fields);
+      RegexRef Q = parseOrDie(RandomPath(), Fields);
+      if (!Pr.proveDisjoint(Info.Axioms, P, Q))
+        continue;
+      for (HeapGraph::NodeId N = 0; N < G.numNodes(); ++N)
+        ASSERT_FALSE(G.pathsOverlap(N, P, Q))
+            << "UNSOUND on random tree: " << P->toString(Fields) << " vs "
+            << Q->toString(Fields);
+    }
+  }
+}
+
+TEST(SoundnessTest, TheoremTHoldsOnConcreteMatrix) {
+  // The concrete counterpart of Theorem T: distinct factorization
+  // iterations touch disjoint element sets.
+  FieldTable Fields;
+  BuiltStructure B = buildSparseMatrixGraph(Fields, demoMatrixCoords());
+  RegexRef Iter1 = parseOrDie("ncolE+", Fields);
+  RegexRef Later = parseOrDie("nrowE+.ncolE+", Fields);
+  for (HeapGraph::NodeId N = 0; N < B.Graph.numNodes(); ++N)
+    EXPECT_FALSE(B.Graph.pathsOverlap(N, Iter1, Later));
+}
+
+} // namespace

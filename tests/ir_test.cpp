@@ -1,0 +1,269 @@
+//===- tests/ir_test.cpp - Mini-language lexer/parser/printer tests -------===//
+//
+// Part of the APT project; covers src/ir.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ast.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace apt;
+
+namespace {
+
+const char *kTreeProgram = R"(
+// The leaf-linked tree of Figure 3 with the subr example of section 3.3.
+type LLBinaryTree {
+  L: LLBinaryTree;
+  R: LLBinaryTree;
+  N: LLBinaryTree;
+  d: int;
+  axiom A1: forall p: p.L <> p.R;
+  axiom A2: forall p <> q: p.(L|R) <> q.(L|R);
+  axiom A3: forall p <> q: p.N <> q.N;
+  axiom A4: forall p: p.(L|R|N)+ <> p.eps;
+}
+
+fn subr(root: LLBinaryTree) {
+  root = root.L;
+  p = root.L;
+  p = p.N;
+  S: p.d = 100;
+  p = root;
+  q = root.R;
+  q = q.N;
+  T: x = q.d;
+}
+)";
+
+TEST(IrParser, ParsesFigure3Program) {
+  FieldTable Fields;
+  ProgramParseResult R = parseProgram(kTreeProgram, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  ASSERT_EQ(R.Value.Types.size(), 1u);
+  const TypeDecl &T = R.Value.Types.front();
+  EXPECT_EQ(T.Name, "LLBinaryTree");
+  EXPECT_EQ(T.Fields.size(), 4u);
+  EXPECT_TRUE(T.field("L")->isPointer());
+  EXPECT_FALSE(T.field("d")->isPointer());
+  EXPECT_EQ(T.Axioms.size(), 4u);
+  EXPECT_NE(T.Axioms.byName("A2"), nullptr);
+
+  ASSERT_EQ(R.Value.Functions.size(), 1u);
+  const Function &F = R.Value.Functions.front();
+  EXPECT_EQ(F.Name, "subr");
+  EXPECT_EQ(F.Params.size(), 1u);
+  EXPECT_EQ(F.Body.size(), 8u);
+}
+
+TEST(IrParser, LabelsAndKinds) {
+  FieldTable Fields;
+  ProgramParseResult R = parseProgram(kTreeProgram, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  const Function &F = R.Value.Functions.front();
+  const Stmt *S = findLabeled(F.Body, "S");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Kind, StmtKind::DataWrite);
+  EXPECT_EQ(S->Base, "p");
+  EXPECT_EQ(S->FieldName, "d");
+  const Stmt *T = findLabeled(F.Body, "T");
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->Kind, StmtKind::DataRead);
+  EXPECT_EQ(T->DataVar, "x");
+  EXPECT_EQ(findLabeled(F.Body, "U"), nullptr);
+}
+
+TEST(IrParser, StatementIdsAreUnique) {
+  FieldTable Fields;
+  ProgramParseResult R = parseProgram(kTreeProgram, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  std::set<int> Ids;
+  for (const StmtPtr &S : R.Value.Functions.front().Body) {
+    EXPECT_TRUE(Ids.insert(S->Id).second);
+  }
+}
+
+TEST(IrParser, WhileAndNesting) {
+  FieldTable Fields;
+  const char *Src = R"(
+type List { next: List; val: int; }
+fn walk(h: List) {
+  p = h;
+  while p {
+    S: p.val = 1;
+    p = p.next;
+  }
+}
+)";
+  ProgramParseResult R = parseProgram(Src, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  const Function &F = R.Value.Functions.front();
+  ASSERT_EQ(F.Body.size(), 2u);
+  EXPECT_EQ(F.Body[1]->Kind, StmtKind::While);
+  EXPECT_EQ(F.Body[1]->CondVar, "p");
+  EXPECT_EQ(F.Body[1]->Body.size(), 2u);
+  EXPECT_NE(findLabeled(F.Body, "S"), nullptr);
+}
+
+TEST(IrParser, IfElse) {
+  FieldTable Fields;
+  const char *Src = R"(
+type Tree { L: Tree; R: Tree; v: int; }
+fn pick(t: Tree) {
+  if t {
+    p = t.L;
+  } else {
+    p = t.R;
+  }
+  S: p.v = 3;
+}
+)";
+  ProgramParseResult R = parseProgram(Src, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  const Stmt &If = *R.Value.Functions.front().Body.front();
+  EXPECT_EQ(If.Kind, StmtKind::If);
+  EXPECT_EQ(If.Body.size(), 1u);
+  EXPECT_EQ(If.Else.size(), 1u);
+}
+
+TEST(IrParser, StructuralWriteAndNew) {
+  FieldTable Fields;
+  const char *Src = R"(
+type List { next: List; val: int; }
+fn insert(h: List) {
+  n = new List;
+  M: n.next = h;
+  h.next = n;
+  q = null;
+}
+)";
+  ProgramParseResult R = parseProgram(Src, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  const Function &F = R.Value.Functions.front();
+  EXPECT_EQ(F.Body[0]->Kind, StmtKind::PtrAssign);
+  EXPECT_EQ(F.Body[0]->Rhs, PtrRhsKind::New);
+  EXPECT_EQ(F.Body[1]->Kind, StmtKind::StructWrite);
+  EXPECT_EQ(F.Body[1]->Label, "M");
+  EXPECT_EQ(F.Body[2]->Kind, StmtKind::StructWrite);
+}
+
+TEST(IrParser, Errors) {
+  FieldTable Fields;
+  // Unknown type in a parameter.
+  EXPECT_FALSE(parseProgram("fn f(p: Nope) { }", Fields));
+  // Unknown field.
+  EXPECT_FALSE(parseProgram(
+      "type T { next: T; } fn f(p: T) { q = p.prev; }", Fields));
+  // Unknown variable.
+  EXPECT_FALSE(
+      parseProgram("type T { next: T; } fn f(p: T) { q = r; }", Fields));
+  // Bad axiom.
+  EXPECT_FALSE(parseProgram("type T { next: T; axiom nonsense; }", Fields));
+  // Missing semicolon.
+  EXPECT_FALSE(
+      parseProgram("type T { next: T; } fn f(p: T) { q = p }", Fields));
+  // Error messages carry the line number.
+  ProgramParseResult R =
+      parseProgram("type T { next: T; }\nfn f(p: T) {\n  q = zz;\n}", Fields);
+  ASSERT_FALSE(R);
+  EXPECT_NE(R.Error.find("line 3"), std::string::npos) << R.Error;
+}
+
+TEST(IrParser, CallStatements) {
+  FieldTable Fields;
+  const char *Src = R"(
+type List { next: List; val: int; }
+fn helper(p: List) { q = p.next; }
+fn f(h: List) {
+  p = h.next;
+  call helper(h);
+  call helper(p);
+  S: p.val = 1;
+}
+)";
+  ProgramParseResult R = parseProgram(Src, Fields);
+  ASSERT_TRUE(R) << R.Error;
+  const Function &F = *R.Value.function("f");
+  EXPECT_EQ(F.Body[1]->Kind, StmtKind::Call);
+  EXPECT_EQ(F.Body[1]->Callee, "helper");
+  ASSERT_EQ(F.Body[2]->Args.size(), 1u);
+  EXPECT_EQ(F.Body[2]->Args[0], "p");
+  // Unknown argument variable is an error.
+  EXPECT_FALSE(parseProgram(
+      "type T { n: T; } fn g(p: T) { call foo(zz); }", Fields));
+}
+
+TEST(IrPrinter, CallRoundTrips) {
+  FieldTable Fields;
+  const char *Src = R"(
+type List { next: List; val: int; }
+fn f(h: List) {
+  call visit(h);
+  call reset();
+}
+)";
+  ProgramParseResult First = parseProgram(Src, Fields);
+  ASSERT_TRUE(First) << First.Error;
+  std::string Printed = printProgram(First.Value, Fields);
+  ProgramParseResult Again = parseProgram(Printed, Fields);
+  ASSERT_TRUE(Again) << Again.Error << "\n" << Printed;
+  EXPECT_EQ(printProgram(Again.Value, Fields), Printed);
+}
+
+TEST(IrPrinter, RoundTrips) {
+  FieldTable Fields;
+  ProgramParseResult First = parseProgram(kTreeProgram, Fields);
+  ASSERT_TRUE(First) << First.Error;
+  std::string Printed = printProgram(First.Value, Fields);
+  ProgramParseResult Again = parseProgram(Printed, Fields);
+  ASSERT_TRUE(Again) << "reparse failed: " << Again.Error << "\n" << Printed;
+  EXPECT_EQ(Again.Value.Types.size(), First.Value.Types.size());
+  EXPECT_EQ(Again.Value.Functions.front().Body.size(),
+            First.Value.Functions.front().Body.size());
+  // Printing the reparsed program is a fixpoint.
+  EXPECT_EQ(printProgram(Again.Value, Fields), Printed);
+}
+
+TEST(IrParser, FuzzNeverCrashes) {
+  // Random token soup: the parser must always return cleanly (usually
+  // with an error), never crash or hang.
+  const char *Tokens[] = {"type",  "fn",   "while", "if",   "else",
+                          "axiom", "shape", "call",  "new",  "null",
+                          "{",     "}",    "(",     ")",    ";",
+                          ":",     ".",    "=",     ",",    "x",
+                          "T",     "L",    "42",    "<>",   "forall",
+                          "eps",   "|",    "*",     "+"};
+  std::mt19937 Rng(13);
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    std::string Src;
+    size_t Len = Rng() % 40;
+    for (size_t I = 0; I < Len; ++I) {
+      Src += Tokens[Rng() % (sizeof(Tokens) / sizeof(Tokens[0]))];
+      Src += ' ';
+    }
+    FieldTable Fields;
+    ProgramParseResult R = parseProgram(Src, Fields);
+    if (!R) {
+      EXPECT_FALSE(R.Error.empty());
+    }
+  }
+}
+
+TEST(IrParser, CommentsAreSkipped) {
+  FieldTable Fields;
+  const char *Src = R"(
+// leading comment
+type T { next: T; } // trailing
+fn f(p: T) {
+  // inside
+  q = p.next;
+}
+)";
+  EXPECT_TRUE(parseProgram(Src, Fields));
+}
+
+} // namespace

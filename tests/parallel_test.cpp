@@ -1,0 +1,112 @@
+//===- tests/parallel_test.cpp - Execution model and thread pool ----------===//
+//
+// Part of the APT project; covers src/parallel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ExecutionModel.h"
+#include "parallel/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+using namespace apt;
+
+namespace {
+
+TEST(WorkCounterTest, SumsEverything) {
+  WorkCounter W;
+  W.sequential(10);
+  W.parallel({1, 2, 3});
+  EXPECT_EQ(W.work(), 16u);
+}
+
+TEST(PeSimulatorTest, SequentialSegmentsSerialize) {
+  PeSimulator Sim(8);
+  Sim.sequential(100);
+  Sim.sequential(50);
+  EXPECT_EQ(Sim.elapsed(), 150u);
+  EXPECT_EQ(Sim.totalWork(), 150u);
+}
+
+TEST(PeSimulatorTest, PerfectlyParallelPhase) {
+  PeSimulator Sim(4);
+  Sim.parallel({10, 10, 10, 10});
+  EXPECT_EQ(Sim.elapsed(), 10u);
+  EXPECT_EQ(Sim.totalWork(), 40u);
+}
+
+TEST(PeSimulatorTest, ImbalanceLimitsSpeedup) {
+  PeSimulator Sim(4);
+  // One long task dominates the makespan.
+  Sim.parallel({100, 1, 1, 1});
+  EXPECT_EQ(Sim.elapsed(), 100u);
+}
+
+TEST(PeSimulatorTest, LptScheduling) {
+  PeSimulator Sim(2);
+  // LPT packs {8} vs {5, 4}: makespan 9 (greedy-in-order would give 12).
+  Sim.parallel({5, 4, 8});
+  EXPECT_EQ(Sim.elapsed(), 9u);
+}
+
+TEST(PeSimulatorTest, MorePesNeverSlower) {
+  std::vector<uint64_t> Tasks{7, 3, 9, 2, 8, 4, 6, 1, 5};
+  uint64_t Last = UINT64_MAX;
+  for (unsigned Pes : {1u, 2u, 4u, 7u, 16u}) {
+    PeSimulator Sim(Pes);
+    Sim.parallel(Tasks);
+    EXPECT_LE(Sim.elapsed(), Last) << Pes << " PEs";
+    Last = Sim.elapsed();
+  }
+  // 1 PE time equals the total work.
+  PeSimulator One(1);
+  One.parallel(Tasks);
+  EXPECT_EQ(One.elapsed(),
+            std::accumulate(Tasks.begin(), Tasks.end(), uint64_t(0)));
+}
+
+TEST(PeSimulatorTest, AmdahlCeiling) {
+  // 50% sequential work caps speedup at 2 regardless of PEs.
+  PeSimulator Sim(64);
+  Sim.sequential(1000);
+  Sim.parallel(std::vector<uint64_t>(1000, 1));
+  double Speedup =
+      static_cast<double>(Sim.totalWork()) / static_cast<double>(Sim.elapsed());
+  EXPECT_LT(Speedup, 2.01);
+  EXPECT_GT(Speedup, 1.9);
+}
+
+TEST(PeSimulatorTest, ZeroPesClampsToOne) {
+  PeSimulator Sim(0);
+  Sim.parallel({5, 5});
+  EXPECT_EQ(Sim.elapsed(), 10u);
+}
+
+TEST(ThreadPoolTest, RunsEveryIteration) {
+  ThreadPool Pool(3);
+  std::vector<std::atomic<int>> Hits(100);
+  Pool.parallelFor(100, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (const std::atomic<int> &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndRepeatedUse) {
+  ThreadPool Pool(2);
+  Pool.parallelFor(0, [](size_t) { FAIL() << "no iterations expected"; });
+  std::atomic<size_t> Sum{0};
+  for (int Round = 0; Round < 10; ++Round)
+    Pool.parallelFor(10, [&](size_t I) { Sum.fetch_add(I); });
+  EXPECT_EQ(Sum.load(), 45u * 10);
+}
+
+TEST(ThreadPoolTest, MoreIterationsThanThreads) {
+  ThreadPool Pool(2);
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(1000, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 1000u);
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/proof_checker_test.cpp - Independent proof validation --------===//
+//
+// Part of the APT project; covers src/core/ProofChecker: every proof the
+// prover produces must re-verify, and tampered proofs must be rejected.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prelude.h"
+#include "core/ProofChecker.h"
+#include "core/Prover.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+class ProofCheckerTest : public ::testing::Test {
+protected:
+  FieldTable Fields;
+  LangQuery Lang;
+
+  RegexRef parse(std::string_view Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    EXPECT_TRUE(R) << R.Error;
+    return R.Value;
+  }
+
+  /// Proves P <> Q under Axioms and returns the checked result of the
+  /// recorded proof.
+  ProofCheckResult proveAndCheck(const AxiomSet &Axioms,
+                                 std::string_view P, std::string_view Q) {
+    Prover Pr(Fields);
+    ProofCheckResult Out;
+    if (!Pr.proveDisjoint(Axioms, parse(P), parse(Q))) {
+      Out.Error = "prover failed to prove the goal";
+      return Out;
+    }
+    return checkProof(*Pr.proof(), Axioms, Lang);
+  }
+};
+
+TEST_F(ProofCheckerTest, Section33ProofChecks) {
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  ProofCheckResult R = proveAndCheck(LLT.Axioms, "L.L.N", "L.R.N");
+  EXPECT_TRUE(R) << R.Error;
+}
+
+TEST_F(ProofCheckerTest, TheoremTProofChecks) {
+  // The full induction machinery: bases, seven cases, hypothesis uses
+  // and cache references all re-verify.
+  StructureInfo SM = preludeSparseMatrixMinimal(Fields);
+  ProofCheckResult R = proveAndCheck(SM.Axioms, "ncolE+", "nrowE+.ncolE+");
+  EXPECT_TRUE(R) << R.Error;
+}
+
+TEST_F(ProofCheckerTest, WholeSuiteOfProofsChecks) {
+  struct Case {
+    const char *Structure;
+    const char *P, *Q;
+  } Cases[] = {
+      {"llt", "L", "R"},
+      {"llt", "L.N", "R.N"},
+      {"llt", "eps", "(L|R|N)+"},
+      {"llt", "N", "N.N"},
+      {"sm", "relem.ncolE*", "nrowH.relem.ncolE*"},
+      {"sm", "nrowE+", "ncolE+.nrowE+"},
+      {"rt", "L.sub.(yL|yR|yN)*", "R.sub.(yL|yR|yN)*"},
+      {"rt", "L.L", "L.sub.yL"},
+  };
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  StructureInfo SM = preludeSparseMatrixFull(Fields);
+  StructureInfo RT = preludeRangeTree2D(Fields);
+  for (const Case &C : Cases) {
+    const AxiomSet &Axioms = C.Structure[0] == 'l'   ? LLT.Axioms
+                             : C.Structure[0] == 's' ? SM.Axioms
+                                                     : RT.Axioms;
+    ProofCheckResult R = proveAndCheck(Axioms, C.P, C.Q);
+    EXPECT_TRUE(R) << C.P << " vs " << C.Q << ": " << R.Error;
+  }
+}
+
+TEST_F(ProofCheckerTest, RejectsWrongAxiomSet) {
+  // A proof from the leaf-linked tree axioms must not check under the
+  // (unrelated) sparse-matrix axioms.
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  StructureInfo SM = preludeSparseMatrixFull(Fields);
+  Prover Pr(Fields);
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, parse("L.L.N"), parse("L.R.N")));
+  ProofCheckResult R = checkProof(*Pr.proof(), SM.Axioms, Lang);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+}
+
+TEST_F(ProofCheckerTest, RejectsTamperedGoal) {
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  Prover Pr(Fields);
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, parse("L.L.N"), parse("L.R.N")));
+  // Forge the root goal into something the cited split cannot justify.
+  ProofNode Forged;
+  Forged.Statement = Pr.proof()->Statement;
+  Forged.Rule = Pr.proof()->Rule;
+  Forged.J = Pr.proof()->J;
+  Forged.J.GoalP = parse("L.L.N.N"); // The true collision pair!
+  for (const std::unique_ptr<ProofNode> &C : Pr.proof()->Children) {
+    Forged.Children.push_back(std::make_unique<ProofNode>());
+    Forged.Children.back()->Statement = C->Statement;
+    Forged.Children.back()->J = C->J;
+  }
+  ProofCheckResult R = checkProof(Forged, LLT.Axioms, Lang);
+  EXPECT_FALSE(R.Ok) << "a forged goal must not re-verify";
+}
+
+TEST_F(ProofCheckerTest, RejectsForgedAxiom) {
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  Prover Pr(Fields);
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, parse("L"), parse("R")));
+  ProofNode Forged;
+  Forged.J = Pr.proof()->J;
+  Forged.Statement = Pr.proof()->Statement;
+  // Swap the cited T1 axiom for one that is not in the set.
+  AxiomParseResult Fake =
+      parseAxiom("forall p: p.L <> p.N", Fields, "FAKE");
+  ASSERT_TRUE(Fake);
+  if (Forged.J.HasT1)
+    Forged.J.T1 = Fake.Value;
+  ProofCheckResult R = checkProof(Forged, LLT.Axioms, Lang);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(ProofCheckerTest, RejectsUnjustifiedNode) {
+  ProofNode Bare;
+  Bare.Statement = "forall x: x.L <> x.R";
+  AxiomSet Empty;
+  EXPECT_FALSE(checkProof(Bare, Empty, Lang).Ok);
+}
+
+TEST_F(ProofCheckerTest, RejectsHypothesisOutsideInduction) {
+  // A node claiming "by hypothesis" with no active induction must fail.
+  ProofNode Node;
+  Node.J.Kind = ProofJustification::Rule::Hypothesis;
+  Node.J.GoalP = parse("L");
+  Node.J.GoalQ = parse("R");
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  EXPECT_FALSE(checkProof(Node, LLT.Axioms, Lang).Ok);
+}
+
+TEST_F(ProofCheckerTest, ChecksRingEqualityProofs) {
+  StructureInfo Ring = preludeDoublyLinkedRing(Fields);
+  ProofCheckResult R = proveAndCheck(Ring.Axioms, "eps", "next");
+  EXPECT_TRUE(R) << R.Error;
+  // Step C with rewriting-based prefix equality.
+  ProofCheckResult R2 =
+      proveAndCheck(Ring.Axioms, "next.prev.next", "eps");
+  EXPECT_TRUE(R2) << R2.Error;
+}
+
+} // namespace

@@ -1,0 +1,380 @@
+//===- tests/property_test.cpp - Randomized invariant sweeps --------------===//
+//
+// Part of the APT project. Property-based tests over randomized inputs:
+// regular-language algebra, engine agreement, automata minimization,
+// prover soundness on random axiom-satisfying structures, APM join laws
+// and cache-scoping regressions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Apm.h"
+#include "core/Prelude.h"
+#include "core/ProofChecker.h"
+#include "core/Prover.h"
+#include "graph/AxiomChecker.h"
+#include "graph/GraphBuilders.h"
+#include "regex/Derivative.h"
+#include "regex/Dfa.h"
+#include "regex/LangOps.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+using namespace apt;
+
+namespace {
+
+/// Random regex generator over a fixed alphabet.
+struct RegexGen {
+  FieldTable &Fields;
+  std::vector<FieldId> Alphabet;
+  std::mt19937 Rng;
+
+  RegexGen(FieldTable &Fields, unsigned Seed) : Fields(Fields), Rng(Seed) {
+    for (const char *Name : {"a", "b", "c"})
+      Alphabet.push_back(Fields.intern(Name));
+  }
+
+  RegexRef gen(int Depth) {
+    unsigned Pick = Rng() % (Depth <= 0 ? 2 : 7);
+    switch (Pick) {
+    case 0:
+      return Regex::symbol(Alphabet[Rng() % Alphabet.size()]);
+    case 1:
+      return Rng() % 5 == 0 ? Regex::epsilon()
+                            : Regex::symbol(Alphabet[Rng() % Alphabet.size()]);
+    case 2:
+    case 3:
+      return Regex::concat(gen(Depth - 1), gen(Depth - 1));
+    case 4:
+      return Regex::alt(gen(Depth - 1), gen(Depth - 1));
+    case 5:
+      return Regex::star(gen(Depth - 1));
+    default:
+      return Regex::plus(gen(Depth - 1));
+    }
+  }
+
+  Word word(size_t MaxLen) {
+    Word W;
+    size_t Len = Rng() % (MaxLen + 1);
+    for (size_t I = 0; I < Len; ++I)
+      W.push_back(Alphabet[Rng() % Alphabet.size()]);
+    return W;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Regular-language algebra
+//===----------------------------------------------------------------------===//
+
+TEST(RegexAlgebra, DistributionAndStarLaws) {
+  FieldTable Fields;
+  RegexGen G(Fields, 2024);
+  LangQuery Q;
+  for (int Trial = 0; Trial < 80; ++Trial) {
+    RegexRef A = G.gen(3), B = G.gen(3), C = G.gen(2);
+    // (A|B).C == A.C | B.C
+    EXPECT_TRUE(Q.equivalent(
+        Regex::concat(Regex::alt(A, B), C),
+        Regex::alt(Regex::concat(A, C), Regex::concat(B, C))));
+    // A.(B|C) == A.B | A.C
+    EXPECT_TRUE(Q.equivalent(
+        Regex::concat(A, Regex::alt(B, C)),
+        Regex::alt(Regex::concat(A, B), Regex::concat(A, C))));
+    // A* == eps | A.A*
+    EXPECT_TRUE(Q.equivalent(
+        Regex::star(A),
+        Regex::alt(Regex::epsilon(), Regex::concat(A, Regex::star(A)))));
+    // A+ == A.A*
+    EXPECT_TRUE(Q.equivalent(Regex::plus(A),
+                             Regex::concat(A, Regex::star(A))));
+    // (A*)* == A*  (by construction, but must also hold semantically)
+    EXPECT_TRUE(Q.equivalent(Regex::star(Regex::star(A)), Regex::star(A)));
+  }
+}
+
+TEST(RegexAlgebra, SubsetIsAPartialOrder) {
+  FieldTable Fields;
+  RegexGen G(Fields, 7);
+  LangQuery Q;
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    RegexRef A = G.gen(3), B = G.gen(3), C = G.gen(3);
+    // Reflexivity.
+    EXPECT_TRUE(Q.subsetOf(A, A));
+    // Transitivity (when the premises hold).
+    if (Q.subsetOf(A, B) && Q.subsetOf(B, C)) {
+      EXPECT_TRUE(Q.subsetOf(A, C));
+    }
+    // Antisymmetry = equivalence.
+    if (Q.subsetOf(A, B) && Q.subsetOf(B, A)) {
+      EXPECT_TRUE(Q.equivalent(A, B));
+    }
+    // Union is an upper bound.
+    EXPECT_TRUE(Q.subsetOf(A, Regex::alt(A, B)));
+    EXPECT_TRUE(Q.subsetOf(B, Regex::alt(A, B)));
+  }
+}
+
+TEST(RegexAlgebra, MembershipConsistency) {
+  FieldTable Fields;
+  RegexGen G(Fields, 99);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    RegexRef A = G.gen(3);
+    std::set<FieldId> Syms;
+    A->collectSymbols(Syms);
+    std::vector<FieldId> Alpha(Syms.begin(), Syms.end());
+    Dfa D = Dfa::fromRegex(*A, Alpha);
+    Dfa Min = D.minimized();
+    for (int WTrial = 0; WTrial < 20; ++WTrial) {
+      Word W = G.word(5);
+      bool ViaDeriv = derivMatches(A, W);
+      EXPECT_EQ(ViaDeriv, D.accepts(W)) << A->toString(Fields);
+      EXPECT_EQ(ViaDeriv, Min.accepts(W)) << "minimized disagreed";
+    }
+    // Shortest-word length agrees with the structural computation.
+    std::optional<Word> Shortest = D.shortestAcceptedWord();
+    std::optional<size_t> Len = A->shortestWordLength();
+    ASSERT_EQ(Shortest.has_value(), Len.has_value());
+    if (Shortest) {
+      EXPECT_EQ(Shortest->size(), *Len);
+      EXPECT_TRUE(derivMatches(A, *Shortest));
+    }
+  }
+}
+
+TEST(RegexAlgebra, SingletonWordAgreesWithLanguage) {
+  FieldTable Fields;
+  RegexGen G(Fields, 5150);
+  LangQuery Q;
+  for (int Trial = 0; Trial < 120; ++Trial) {
+    RegexRef A = G.gen(3);
+    std::optional<Word> W = A->singletonWord();
+    if (!W)
+      continue;
+    EXPECT_TRUE(derivMatches(A, *W));
+    EXPECT_TRUE(Q.equivalent(A, Regex::word(*W)))
+        << A->toString(Fields) << " claimed singleton";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Prover soundness on randomized structures
+//===----------------------------------------------------------------------===//
+
+/// Builds a random leaf-linked tree shape (incomplete trees included) and
+/// checks that every prover `No` is disjoint in the model from every
+/// node. The axioms are first model-checked, making the test
+/// self-validating.
+TEST(ProverSoundness, RandomLeafLinkedShapes) {
+  FieldTable Fields;
+  StructureInfo Info = preludeLeafLinkedTree(Fields);
+  FieldId L = *Fields.lookup("L"), R = *Fields.lookup("R"),
+          N = *Fields.lookup("N");
+  std::mt19937 Rng(4242);
+
+  const char *Pool[] = {"eps",    "L",       "R",     "N",      "L.L",
+                        "L.R",    "R.L",     "L.N",   "N.N",    "L.L.N",
+                        "L.R.N",  "(L|R)+",  "N+",    "(L|R)*.N",
+                        "L.(L|R)*", "(L|R|N)+"};
+
+  for (int Shape = 0; Shape < 8; ++Shape) {
+    HeapGraph G;
+    std::vector<HeapGraph::NodeId> Internal{G.addNode("root")};
+    std::vector<HeapGraph::NodeId> Leaves;
+    // Random incomplete binary tree.
+    for (int I = 0; I < 12; ++I) {
+      HeapGraph::NodeId P = Internal[Rng() % Internal.size()];
+      FieldId Side = Rng() % 2 ? L : R;
+      if (G.field(P, Side))
+        continue;
+      HeapGraph::NodeId C = G.addNode();
+      G.setField(P, Side, C);
+      Internal.push_back(C);
+    }
+    // Leaves = nodes without children; link them left to right by N.
+    for (HeapGraph::NodeId Node = 0; Node < G.numNodes(); ++Node)
+      if (!G.field(Node, L) && !G.field(Node, R))
+        Leaves.push_back(Node);
+    for (size_t I = 0; I + 1 < Leaves.size(); ++I)
+      G.setField(Leaves[I], N, Leaves[I + 1]);
+
+    ASSERT_FALSE(checkAxioms(G, Info.Axioms, Fields).has_value())
+        << "random shape must satisfy Figure 3's axioms";
+
+    FieldTable &F = Fields;
+    LangQuery CheckerLang;
+    for (const char *PT : Pool) {
+      for (const char *QT : Pool) {
+        RegexRef P = parseRegex(PT, F).Value;
+        RegexRef Q = parseRegex(QT, F).Value;
+        // A fresh prover per query keeps each recorded proof
+        // self-contained (cross-query cache references are rejected by
+        // the checker by design).
+        Prover Pr(Fields);
+        if (!Pr.proveDisjoint(Info.Axioms, P, Q))
+          continue;
+        // Every proof must re-verify under the independent checker...
+        ProofCheckResult Checked =
+            checkProof(*Pr.proof(), Info.Axioms, CheckerLang);
+        ASSERT_TRUE(Checked.Ok)
+            << PT << " vs " << QT << ": " << Checked.Error;
+        // ...and the verdict must hold on the concrete model.
+        for (HeapGraph::NodeId Node = 0; Node < G.numNodes(); ++Node)
+          ASSERT_FALSE(G.pathsOverlap(Node, P, Q))
+              << "UNSOUND on shape " << Shape << ": " << PT << " vs "
+              << QT;
+      }
+    }
+  }
+}
+
+TEST(ProverSoundness, RandomSparseMatrixPatterns) {
+  FieldTable Fields;
+  StructureInfo Info = preludeSparseMatrixFull(Fields);
+  std::mt19937 Rng(31337);
+
+  const char *Pool[] = {"eps",
+                        "rows",
+                        "rows.relem",
+                        "ncolE+",
+                        "nrowE+",
+                        "nrowE+.ncolE+",
+                        "relem.ncolE*",
+                        "nrowH.relem.ncolE*",
+                        "celem.nrowE*",
+                        "(ncolE|nrowE)+"};
+
+  for (int Pattern = 0; Pattern < 6; ++Pattern) {
+    std::vector<std::pair<unsigned, unsigned>> Coords;
+    unsigned Dim = 4 + Pattern;
+    for (unsigned I = 0; I < Dim; ++I)
+      Coords.push_back({I, I});
+    for (unsigned K = 0; K < Dim * 2; ++K)
+      Coords.push_back({static_cast<unsigned>(Rng() % Dim),
+                        static_cast<unsigned>(Rng() % Dim)});
+    BuiltStructure B = buildSparseMatrixGraph(Fields, Coords);
+    ASSERT_FALSE(checkAxioms(B.Graph, Info.Axioms, Fields).has_value());
+
+    LangQuery CheckerLang;
+    for (const char *PT : Pool) {
+      for (const char *QT : Pool) {
+        RegexRef P = parseRegex(PT, Fields).Value;
+        RegexRef Q = parseRegex(QT, Fields).Value;
+        Prover Pr(Fields);
+        if (!Pr.proveDisjoint(Info.Axioms, P, Q))
+          continue;
+        ProofCheckResult Checked =
+            checkProof(*Pr.proof(), Info.Axioms, CheckerLang);
+        ASSERT_TRUE(Checked.Ok)
+            << PT << " vs " << QT << ": " << Checked.Error;
+        for (HeapGraph::NodeId Node = 0; Node < B.Graph.numNodes();
+             ++Node)
+          ASSERT_FALSE(B.Graph.pathsOverlap(Node, P, Q))
+              << "UNSOUND on pattern " << Pattern << ": " << PT << " vs "
+              << QT;
+      }
+    }
+  }
+}
+
+TEST(ProverMonotonicity, MoreAxiomsNeverLoseProofs) {
+  // Adding axioms only widens what findFormA/findFormB can apply, so a
+  // provable goal must stay provable (budgets permitting).
+  FieldTable Fields;
+  StructureInfo Minimal = preludeSparseMatrixMinimal(Fields);
+  StructureInfo Full = preludeSparseMatrixFull(Fields);
+  AxiomSet Superset = Minimal.Axioms.unionWith(Full.Axioms);
+
+  const char *Pool[] = {"ncolE+", "nrowE+.ncolE+", "eps", "nrowE+",
+                        "relem.ncolE*"};
+  Prover Pr(Fields);
+  for (const char *PT : Pool) {
+    for (const char *QT : Pool) {
+      RegexRef P = parseRegex(PT, Fields).Value;
+      RegexRef Q = parseRegex(QT, Fields).Value;
+      if (Pr.proveDisjoint(Minimal.Axioms, P, Q)) {
+        EXPECT_TRUE(Pr.proveDisjoint(Superset, P, Q))
+            << PT << " vs " << QT << " lost under the superset";
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Regressions
+//===----------------------------------------------------------------------===//
+
+TEST(ProverRegression, GoalCacheIsScopedToTheAxiomSet) {
+  // A Maybe computed under an empty axiom set must not shadow the same
+  // goal under the real axioms (and vice versa) within one Prover.
+  FieldTable Fields;
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  RegexRef P = parseRegex("L.L.N", Fields).Value;
+  RegexRef Q = parseRegex("L.R.N", Fields).Value;
+  Prover Pr(Fields);
+  AxiomSet Empty;
+  EXPECT_FALSE(Pr.proveDisjoint(Empty, P, Q));
+  EXPECT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  EXPECT_FALSE(Pr.proveDisjoint(Empty, P, Q));
+  EXPECT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+}
+
+TEST(ProverRegression, ProofsStableUnderRepetition) {
+  FieldTable Fields;
+  StructureInfo SM = preludeSparseMatrixMinimal(Fields);
+  RegexRef P = parseRegex("ncolE+", Fields).Value;
+  RegexRef Q = parseRegex("nrowE+.ncolE+", Fields).Value;
+  Prover Pr(Fields);
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(Pr.proveDisjoint(SM.Axioms, P, Q)) << "iteration " << I;
+}
+
+//===----------------------------------------------------------------------===//
+// APM join laws
+//===----------------------------------------------------------------------===//
+
+TEST(ApmProperties, JoinLaws) {
+  FieldTable Fields;
+  FieldId L = Fields.intern("L"), R = Fields.intern("R");
+  Apm A, B;
+  A.set("_h", "p", Regex::symbol(L));
+  A.set("_h", "q", Regex::word({L, R}));
+  A.set("_g", "p", Regex::epsilon());
+  B.set("_h", "p", Regex::symbol(R));
+  B.set("_h", "r", Regex::symbol(R)); // One-sided: must be dropped.
+
+  Apm AB = Apm::join(A, B);
+  Apm BA = Apm::join(B, A);
+
+  // Common entries joined by alternation; order-insensitive.
+  ASSERT_TRUE(AB.path("_h", "p").has_value());
+  EXPECT_EQ((*AB.path("_h", "p"))->toString(Fields), "L|R");
+  EXPECT_TRUE(structurallyEqual(*AB.path("_h", "p"), *BA.path("_h", "p")));
+  // One-sided entries dropped.
+  EXPECT_FALSE(AB.path("_h", "q").has_value());
+  EXPECT_FALSE(AB.path("_h", "r").has_value());
+  EXPECT_FALSE(AB.path("_g", "p").has_value());
+  // Idempotence.
+  Apm AA = Apm::join(A, A);
+  EXPECT_TRUE(structurallyEqual(*AA.path("_h", "p"), *A.path("_h", "p")));
+  EXPECT_TRUE(structurallyEqual(*AA.path("_h", "q"), *A.path("_h", "q")));
+}
+
+TEST(ApmProperties, KillAndGc) {
+  FieldTable Fields;
+  FieldId L = Fields.intern("L");
+  Apm A;
+  A.set("_h", "p", Regex::symbol(L));
+  A.set("_h", "q", Regex::symbol(L));
+  A.killVar("p");
+  EXPECT_FALSE(A.path("_h", "p").has_value());
+  EXPECT_TRUE(A.path("_h", "q").has_value());
+  A.killVar("q");
+  EXPECT_TRUE(A.empty()) << "empty handles must be garbage-collected";
+}
+
+} // namespace

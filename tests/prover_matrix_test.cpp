@@ -1,0 +1,209 @@
+//===- tests/prover_matrix_test.cpp - Configuration-matrix sweeps ---------===//
+//
+// Part of the APT project. Parameterized sweeps running a canonical
+// query suite under every prover configuration (engine x caching x
+// normalization x induction style): verdicts must be identical in all
+// sound configurations, since the options trade speed, not answers
+// (except the documented seven-case-rule dependency of Theorem T).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Prelude.h"
+#include "core/Prover.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+using namespace apt;
+
+namespace {
+
+struct SuiteQuery {
+  const char *Structure; ///< llt | sm-min | sm-full | ring | rt
+  const char *P, *Q;
+  bool Provable;
+};
+
+const SuiteQuery kSuite[] = {
+    {"llt", "L.L.N", "L.R.N", true},
+    {"llt", "L.N", "R.N", true},
+    {"llt", "eps", "(L|R|N)+", true},
+    {"llt", "N", "N.N", true},
+    {"llt", "L.L.N.N", "L.R.N", false},
+    {"llt", "L.L", "L.L", false},
+    {"sm-full", "ncolE+", "nrowE+.ncolE+", true},
+    {"sm-full", "relem.ncolE*", "nrowH.relem.ncolE*", true},
+    {"sm-full", "ncolE+", "ncolE+", false},
+    {"ring", "eps", "next", true},
+    {"ring", "next.next.prev", "eps", true},
+    {"ring", "next", "prev", false},
+    {"rt", "L.sub.(yL|yR|yN)*", "R.sub.(yL|yR|yN)*", true},
+    {"rt", "sub.(yL|yR)*", "sub.(yL|yR)*.yN.yN", false},
+};
+
+/// (engine, goal-cache, normalize) configuration tuple.
+using Config = std::tuple<int, bool, bool>;
+
+class ProverMatrix : public ::testing::TestWithParam<Config> {};
+
+TEST_P(ProverMatrix, VerdictsAreConfigurationInvariant) {
+  auto [EngineIdx, Cache, Normalize] = GetParam();
+  ProverOptions Opts;
+  Opts.Engine = EngineIdx ? LangEngine::Derivative : LangEngine::Dfa;
+  Opts.EnableGoalCache = Cache;
+  Opts.NormalizePaths = Normalize;
+
+  FieldTable Fields;
+  std::map<std::string, StructureInfo> Infos;
+  Infos["llt"] = preludeLeafLinkedTree(Fields);
+  Infos["sm-full"] = preludeSparseMatrixFull(Fields);
+  Infos["ring"] = preludeDoublyLinkedRing(Fields);
+  Infos["rt"] = preludeRangeTree2D(Fields);
+
+  Prover P(Fields, Opts);
+  for (const SuiteQuery &Q : kSuite) {
+    // Ring-crossing proofs depend on normalization by design; skip them
+    // when it is disabled (they become conservative Maybe).
+    bool NeedsNormalization =
+        std::string(Q.Structure) == "ring" && std::string(Q.P) != "eps" &&
+        std::string(Q.P) != "next";
+    if (!Normalize && NeedsNormalization)
+      continue;
+    RegexRef RP = parseRegex(Q.P, Fields).Value;
+    RegexRef RQ = parseRegex(Q.Q, Fields).Value;
+    EXPECT_EQ(P.proveDisjoint(Infos.at(Q.Structure).Axioms, RP, RQ),
+              Q.Provable)
+        << Q.Structure << ": " << Q.P << " vs " << Q.Q;
+  }
+}
+
+std::string configName(const ::testing::TestParamInfo<Config> &Info) {
+  return std::string(std::get<0>(Info.param) ? "Derivative" : "Dfa") +
+         (std::get<1>(Info.param) ? "_Cache" : "_NoCache") +
+         (std::get<2>(Info.param) ? "_Norm" : "_NoNorm");
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ProverMatrix,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Bool(),
+                                            ::testing::Bool()),
+                         configName);
+
+/// Budget robustness: every cutoff knob set very low must still yield
+/// conservative (never unsound) answers on the whole suite.
+class TightBudget : public ::testing::TestWithParam<int> {};
+
+TEST_P(TightBudget, LowBudgetsAreConservativeNotWrong) {
+  ProverOptions Opts;
+  switch (GetParam()) {
+  case 0:
+    Opts.MaxSteps = 5;
+    break;
+  case 1:
+    Opts.MaxDepth = 2;
+    break;
+  case 2:
+    Opts.MaxInductionDepth = 0;
+    break;
+  default:
+    Opts.MaxGoalComponents = 3;
+    break;
+  }
+  FieldTable Fields;
+  StructureInfo SM = preludeSparseMatrixFull(Fields);
+  Prover P(Fields, Opts);
+  // Unprovable queries must remain unproven no matter the budget.
+  EXPECT_FALSE(P.proveDisjoint(SM.Axioms,
+                               parseRegex("ncolE+", Fields).Value,
+                               parseRegex("ncolE+", Fields).Value));
+  EXPECT_FALSE(P.proveDisjoint(SM.Axioms,
+                               parseRegex("ncolE*", Fields).Value,
+                               parseRegex("ncolE+", Fields).Value));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cutoffs, TightBudget, ::testing::Range(0, 4));
+
+/// Documentation-grade sweep: for every prelude structure, the canonical
+/// facts a user would expect APT to establish (and the near-misses it
+/// must refuse). One parameterized test per structure.
+struct StructureFacts {
+  const char *Name;
+  StructureInfo (*Make)(FieldTable &);
+  /// {P, Q, provable} triples.
+  std::vector<std::tuple<const char *, const char *, bool>> Facts;
+};
+
+const StructureFacts kFacts[] = {
+    {"LinkedList",
+     preludeLinkedList,
+     {{"eps", "next", true},
+      {"next", "next.next", true},
+      {"eps", "next+", true},
+      {"next*", "next+.next*", false}}},
+    {"CircularList",
+     preludeCircularList,
+     {{"eps", "next", false}, // The cycle may close immediately.
+      {"next", "next", false}}},
+    {"BinaryTree",
+     preludeBinaryTree,
+     {{"L", "R", true},
+      {"L.(L|R)*", "R.(L|R)*", true},
+      {"eps", "(L|R)+", true},
+      {"(L|R)", "(L|R)", false}}},
+    {"LLBinaryTree",
+     preludeLeafLinkedTree,
+     {{"L.L.N", "L.R.N", true},
+      {"L.L.N.N", "L.R.N", false},
+      {"N", "N.N", true},
+      {"L.N", "R.N", true}}},
+    {"SparseMatrixFull",
+     preludeSparseMatrixFull,
+     {{"ncolE+", "nrowE+.ncolE+", true},
+      {"nrowE+", "ncolE+.nrowE+", true},
+      {"relem.ncolE*", "nrowH.relem.ncolE*", true},
+      {"ncolE+", "ncolE+", false},
+      // No Appendix A axiom separates the two header-list heads: the
+      // row-header and column-header populations are never related.
+      {"rows", "cols", false}}},
+    {"DoublyLinkedRing",
+     preludeDoublyLinkedRing,
+     {{"eps", "next", true},
+      {"next.next.prev", "eps", true},
+      {"next", "prev", false}}},
+    {"RangeTree2D",
+     preludeRangeTree2D,
+     {{"L.sub.(yL|yR|yN)*", "R.sub.(yL|yR|yN)*", true},
+      {"L.L", "L.sub.yL", true},
+      {"sub.(yL|yR)*", "sub.(yL|yR)*.yN.yN", false}}},
+    {"Octree",
+     preludeOctree,
+     {{"c0.bodies.bnext*", "c1.bodies.bnext*", true},
+      {"eps", "(c0|c1|c2|c3|c4|c5|c6|c7)+", true},
+      {"bodies.bnext*", "bodies.bnext.bnext*", false}}},
+};
+
+class StructureFactSheet : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(StructureFactSheet, CanonicalVerdicts) {
+  const StructureFacts &Sheet = kFacts[GetParam()];
+  FieldTable Fields;
+  StructureInfo Info = Sheet.Make(Fields);
+  Prover P(Fields);
+  for (const auto &[PT, QT, Provable] : Sheet.Facts) {
+    RegexRef RP = parseRegex(PT, Fields).Value;
+    RegexRef RQ = parseRegex(QT, Fields).Value;
+    EXPECT_EQ(P.proveDisjoint(Info.Axioms, RP, RQ), Provable)
+        << Sheet.Name << ": " << PT << " vs " << QT;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStructures, StructureFactSheet,
+    ::testing::Range<size_t>(0, sizeof(kFacts) / sizeof(kFacts[0])),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      return std::string(kFacts[Info.param].Name);
+    });
+
+} // namespace

@@ -1,0 +1,198 @@
+//===- tests/regex_test.cpp - Regex AST, parser and printer tests ---------===//
+//
+// Part of the APT project; covers src/regex/{Regex,RegexParser}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Regex.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+class RegexTest : public ::testing::Test {
+protected:
+  FieldTable Fields;
+
+  RegexRef parse(std::string_view Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    EXPECT_TRUE(R) << "parse of '" << Text << "' failed: " << R.Error;
+    return R.Value;
+  }
+
+  std::string roundTrip(std::string_view Text) {
+    return parse(Text)->toString(Fields);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Smart-constructor normalization
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegexTest, ConstantsAreSingletons) {
+  EXPECT_EQ(Regex::empty().get(), Regex::empty().get());
+  EXPECT_EQ(Regex::epsilon().get(), Regex::epsilon().get());
+  EXPECT_TRUE(Regex::empty()->isEmpty());
+  EXPECT_TRUE(Regex::epsilon()->isEpsilon());
+}
+
+TEST_F(RegexTest, ConcatDropsEpsilonAndPropagatesEmpty) {
+  FieldId L = Fields.intern("L");
+  RegexRef Sym = Regex::symbol(L);
+  EXPECT_TRUE(structurallyEqual(Regex::concat(Regex::epsilon(), Sym), Sym));
+  EXPECT_TRUE(structurallyEqual(Regex::concat(Sym, Regex::epsilon()), Sym));
+  EXPECT_TRUE(Regex::concat(Sym, Regex::empty())->isEmpty());
+  EXPECT_TRUE(Regex::concat(Regex::empty(), Sym)->isEmpty());
+}
+
+TEST_F(RegexTest, ConcatFlattens) {
+  RegexRef A = parse("a"), B = parse("b"), C = parse("c");
+  RegexRef Nested = Regex::concat(Regex::concat(A, B), C);
+  RegexRef Flat = Regex::concat({A, B, C});
+  EXPECT_TRUE(structurallyEqual(Nested, Flat));
+  EXPECT_EQ(Nested->children().size(), 3u);
+}
+
+TEST_F(RegexTest, AltDropsEmptyFlattensAndDedups) {
+  RegexRef A = parse("a"), B = parse("b");
+  EXPECT_TRUE(structurallyEqual(Regex::alt(A, Regex::empty()), A));
+  RegexRef Dup = Regex::alt(Regex::alt(A, B), Regex::alt(B, A));
+  EXPECT_EQ(Dup->children().size(), 2u);
+  EXPECT_TRUE(Regex::alt(Regex::empty(), Regex::empty())->isEmpty());
+}
+
+TEST_F(RegexTest, AltIsOrderCanonical) {
+  RegexRef A = parse("a"), B = parse("b");
+  EXPECT_TRUE(structurallyEqual(Regex::alt(A, B), Regex::alt(B, A)));
+}
+
+TEST_F(RegexTest, StarNormalization) {
+  RegexRef A = parse("a");
+  EXPECT_TRUE(Regex::star(Regex::epsilon())->isEpsilon());
+  EXPECT_TRUE(Regex::star(Regex::empty())->isEpsilon());
+  EXPECT_TRUE(
+      structurallyEqual(Regex::star(Regex::star(A)), Regex::star(A)));
+  EXPECT_TRUE(
+      structurallyEqual(Regex::star(Regex::plus(A)), Regex::star(A)));
+}
+
+TEST_F(RegexTest, PlusNormalization) {
+  RegexRef A = parse("a");
+  EXPECT_TRUE(Regex::plus(Regex::empty())->isEmpty());
+  EXPECT_TRUE(Regex::plus(Regex::epsilon())->isEpsilon());
+  EXPECT_TRUE(
+      structurallyEqual(Regex::plus(Regex::star(A)), Regex::star(A)));
+  EXPECT_TRUE(
+      structurallyEqual(Regex::plus(Regex::plus(A)), Regex::plus(A)));
+}
+
+TEST_F(RegexTest, Nullability) {
+  EXPECT_FALSE(parse("a")->nullable());
+  EXPECT_TRUE(parse("a*")->nullable());
+  EXPECT_FALSE(parse("a+")->nullable());
+  EXPECT_TRUE(parse("a|eps")->nullable());
+  EXPECT_FALSE(parse("a.b")->nullable());
+  EXPECT_TRUE(parse("a*.b*")->nullable());
+  EXPECT_TRUE(parse("eps")->nullable());
+  EXPECT_FALSE(parse("never")->nullable());
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegexTest, ParsesPaperNotation) {
+  // The sparse-matrix axioms from Appendix A use exactly this shape.
+  RegexRef R = parse("(rows|cols)(relems|celems|nrowH|ncolH|nrowE|ncolE)*");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->kind(), RegexKind::Concat);
+  std::set<FieldId> Syms;
+  R->collectSymbols(Syms);
+  EXPECT_EQ(Syms.size(), 8u);
+}
+
+TEST_F(RegexTest, DotAndJuxtapositionAreEquivalent) {
+  EXPECT_TRUE(structurallyEqual(parse("L.L.N"), parse("L L N")));
+  EXPECT_TRUE(structurallyEqual(parse("a.(b|c)*"), parse("a (b|c)*")));
+}
+
+TEST_F(RegexTest, CompactModeSplitsLetters) {
+  RegexParseResult R = parseCompactRegex("LLN", Fields);
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R.Value->kind(), RegexKind::Concat);
+  EXPECT_EQ(R.Value->children().size(), 3u);
+  EXPECT_TRUE(structurallyEqual(R.Value, parse("L.L.N")));
+}
+
+TEST_F(RegexTest, OptionalSugar) {
+  EXPECT_TRUE(structurallyEqual(parse("a?"), parse("a|eps")));
+}
+
+TEST_F(RegexTest, ParseErrors) {
+  FieldTable F;
+  EXPECT_FALSE(parseRegex("", F));
+  EXPECT_FALSE(parseRegex("(a", F));
+  EXPECT_FALSE(parseRegex("a)", F));
+  EXPECT_FALSE(parseRegex("|a", F));
+  EXPECT_FALSE(parseRegex("a||b", F));
+  EXPECT_FALSE(parseRegex("*", F));
+  EXPECT_FALSE(parseRegex("a | ", F));
+}
+
+TEST_F(RegexTest, PrinterRoundTrips) {
+  // toString must parse back to a structurally identical regex.
+  const char *Cases[] = {
+      "a",      "a.b.c",          "a|b",       "(a|b).c", "a*",
+      "a+.b*",  "(a|b)+.c.(d|e)", "a.b|c.d",   "eps",     "never",
+      "a|eps",  "((a.b)|c)*",     "a.(b.c).d",
+  };
+  for (const char *Text : Cases) {
+    RegexRef R = parse(Text);
+    RegexParseResult Again = parseRegex(R->toString(Fields), Fields);
+    ASSERT_TRUE(Again) << "reparse of '" << R->toString(Fields) << "'";
+    EXPECT_TRUE(structurallyEqual(R, Again.Value))
+        << Text << " printed as " << R->toString(Fields);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Structural queries
+//===----------------------------------------------------------------------===//
+
+TEST_F(RegexTest, SingletonWord) {
+  EXPECT_EQ(parse("eps")->singletonWord(), Word{});
+  ASSERT_TRUE(parse("a.b.c")->singletonWord().has_value());
+  EXPECT_EQ(parse("a.b.c")->singletonWord()->size(), 3u);
+  EXPECT_FALSE(parse("a|b")->singletonWord().has_value());
+  EXPECT_FALSE(parse("a*")->singletonWord().has_value());
+  EXPECT_FALSE(parse("a+")->singletonWord().has_value());
+  EXPECT_FALSE(parse("never")->singletonWord().has_value());
+  // Alternation of equal words is a singleton.
+  EXPECT_TRUE(parse("a.b|a.b")->singletonWord().has_value());
+}
+
+TEST_F(RegexTest, ShortestWordLength) {
+  EXPECT_EQ(parse("a.b.c")->shortestWordLength(), 3u);
+  EXPECT_EQ(parse("a*")->shortestWordLength(), 0u);
+  EXPECT_EQ(parse("a+")->shortestWordLength(), 1u);
+  EXPECT_EQ(parse("a.b|c")->shortestWordLength(), 1u);
+  EXPECT_EQ(parse("never")->shortestWordLength(), std::nullopt);
+  EXPECT_EQ(parse("a.(b|eps).c")->shortestWordLength(), 2u);
+}
+
+TEST_F(RegexTest, CollectSymbols) {
+  std::set<FieldId> Syms;
+  parse("a.(b|c)*.a")->collectSymbols(Syms);
+  EXPECT_EQ(Syms.size(), 3u);
+}
+
+TEST_F(RegexTest, KeyDistinguishesStructure) {
+  EXPECT_NE(parse("a.b")->key(), parse("b.a")->key());
+  EXPECT_NE(parse("a*")->key(), parse("a+")->key());
+  EXPECT_EQ(parse("a|b")->key(), parse("b|a")->key());
+}
+
+} // namespace

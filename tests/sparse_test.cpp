@@ -1,0 +1,354 @@
+//===- tests/sparse_test.cpp - Orthogonal-list sparse matrix kernels ------===//
+//
+// Part of the APT project; covers src/sparse: structure invariants,
+// factorization correctness against the dense reference, fill-in
+// accounting, and the parallel policies' numerical equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "parallel/ThreadPool.h"
+#include "sparse/Dense.h"
+#include "sparse/Kernels.h"
+#include "sparse/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Structure
+//===----------------------------------------------------------------------===//
+
+TEST(SparseMatrixTest, InsertAndFind) {
+  SparseMatrix M(5);
+  M.set(1, 2, 3.5);
+  M.set(1, 4, 1.0);
+  M.set(1, 0, -2.0);
+  M.set(3, 2, 7.0);
+  EXPECT_EQ(M.nonzeros(), 4u);
+  EXPECT_DOUBLE_EQ(M.get(1, 2), 3.5);
+  EXPECT_DOUBLE_EQ(M.get(0, 0), 0.0);
+  EXPECT_EQ(M.find(2, 2), nullptr);
+  EXPECT_TRUE(M.structureValid());
+}
+
+TEST(SparseMatrixTest, RowListsSortedByColumn) {
+  SparseMatrix M(4);
+  M.set(0, 3, 1);
+  M.set(0, 1, 1);
+  M.set(0, 2, 1);
+  M.set(0, 0, 1);
+  std::vector<unsigned> Cols;
+  for (const SparseMatrix::Element *E = M.rowBegin(0); E; E = E->NColE)
+    Cols.push_back(E->Col);
+  EXPECT_EQ(Cols, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(SparseMatrixTest, ColumnListsSortedByRow) {
+  SparseMatrix M(4);
+  M.set(3, 1, 1);
+  M.set(0, 1, 1);
+  M.set(2, 1, 1);
+  std::vector<unsigned> Rows;
+  for (const SparseMatrix::Element *E = M.colBegin(1); E; E = E->NRowE)
+    Rows.push_back(E->Row);
+  EXPECT_EQ(Rows, (std::vector<unsigned>{0, 2, 3}));
+  EXPECT_TRUE(M.structureValid());
+}
+
+TEST(SparseMatrixTest, AtIsIdempotent) {
+  SparseMatrix M(3);
+  M.at(1, 1).Value = 5;
+  M.at(1, 1).Value += 1;
+  EXPECT_EQ(M.nonzeros(), 1u);
+  EXPECT_DOUBLE_EQ(M.get(1, 1), 6.0);
+}
+
+TEST(SparseMatrixTest, TripletsRoundTrip) {
+  std::vector<SparseMatrix::Triplet> Ts = resistorGridTriplets(3, 3);
+  SparseMatrix M = SparseMatrix::fromTriplets(9, Ts);
+  EXPECT_TRUE(M.structureValid());
+  std::vector<SparseMatrix::Triplet> Back = M.toTriplets();
+  SparseMatrix M2 = SparseMatrix::fromTriplets(9, Back);
+  EXPECT_EQ(maxAbsDiff(M.toDense(), M2.toDense()), 0.0);
+}
+
+TEST(SparseMatrixTest, DuplicateTripletsAccumulate) {
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(M.get(0, 0), 3.0);
+  EXPECT_EQ(M.nonzeros(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Factor + solve correctness
+//===----------------------------------------------------------------------===//
+
+class FactorCorrectness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FactorCorrectness, MatchesDenseSolveOnRandomCircuits) {
+  unsigned N = GetParam();
+  std::vector<SparseMatrix::Triplet> Ts =
+      randomCircuitTriplets(N, N * 4, /*Seed=*/1000 + N);
+  std::vector<double> B = randomVector(N, 7);
+
+  std::optional<std::vector<double>> Expected =
+      denseSolve(SparseMatrix::fromTriplets(N, Ts), B);
+  ASSERT_TRUE(Expected.has_value());
+
+  SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+  FactorResult F = factor(M);
+  ASSERT_FALSE(F.Singular);
+  EXPECT_TRUE(M.structureValid()) << "fill-ins must keep lists consistent";
+  std::vector<double> X = luSolve(M, F, B);
+  EXPECT_LT(maxAbsDiff(X, *Expected), 1e-8) << "N=" << N;
+  EXPECT_LT(residualNorm(Ts, N, X, B), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactorCorrectness,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+TEST(FactorTest, ResistorGrid) {
+  std::vector<SparseMatrix::Triplet> Ts = resistorGridTriplets(6, 7);
+  unsigned N = 42;
+  std::vector<double> B = randomVector(N, 3);
+  SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+  FactorResult F = factor(M);
+  ASSERT_FALSE(F.Singular);
+  std::vector<double> X = luSolve(M, F, B);
+  EXPECT_LT(residualNorm(Ts, N, X, B), 1e-8);
+}
+
+TEST(FactorTest, SingularMatrixDetected) {
+  // A zero row is structurally singular.
+  SparseMatrix M = SparseMatrix::fromTriplets(3, {{0, 0, 1.0},
+                                                  {1, 1, 1.0},
+                                                  {0, 2, 2.0}});
+  FactorResult F = factor(M);
+  EXPECT_TRUE(F.Singular);
+}
+
+TEST(FactorTest, PivotSequenceIsAPermutation) {
+  unsigned N = 20;
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      N, randomCircuitTriplets(N, 80, 42));
+  FactorResult F = factor(M);
+  ASSERT_FALSE(F.Singular);
+  ASSERT_EQ(F.PivRow.size(), N);
+  std::vector<char> SeenR(N, 0), SeenC(N, 0);
+  for (unsigned K = 0; K < N; ++K) {
+    EXPECT_FALSE(SeenR[F.PivRow[K]]);
+    EXPECT_FALSE(SeenC[F.PivCol[K]]);
+    SeenR[F.PivRow[K]] = SeenC[F.PivCol[K]] = 1;
+    EXPECT_EQ(F.RowOrder[F.PivRow[K]], K);
+    EXPECT_EQ(F.ColOrder[F.PivCol[K]], K);
+  }
+}
+
+TEST(FactorTest, MarkowitzReducesFillinsVsFirstPivot) {
+  // Markowitz selection exists to curb fill-ins; on an arrow matrix the
+  // difference is dramatic (first-pivot order fills the whole matrix).
+  unsigned N = 30;
+  std::vector<SparseMatrix::Triplet> Ts;
+  for (unsigned I = 0; I < N; ++I) {
+    Ts.push_back({I, I, 4.0});
+    if (I > 0) {
+      Ts.push_back({0, I, -1.0});
+      Ts.push_back({I, 0, -1.0});
+    }
+  }
+  SparseMatrix MSmart = SparseMatrix::fromTriplets(N, Ts);
+  KernelOptions Smart;
+  FactorResult FSmart = factor(MSmart, Smart);
+
+  SparseMatrix MNaive = SparseMatrix::fromTriplets(N, Ts);
+  KernelOptions Naive;
+  Naive.MarkowitzPivoting = false;
+  FactorResult FNaive = factor(MNaive, Naive);
+
+  ASSERT_FALSE(FSmart.Singular);
+  ASSERT_FALSE(FNaive.Singular);
+  EXPECT_LT(FSmart.Fillins, FNaive.Fillins);
+  EXPECT_EQ(FSmart.Fillins, 0u) << "diagonal-first order fills nothing";
+}
+
+TEST(FactorTest, FillinsAreCounted) {
+  // Eliminating the (0,0) pivot of a dense first row/column creates
+  // fill-ins in the trailing block.
+  SparseMatrix M = SparseMatrix::fromTriplets(3, {{0, 0, 10.0},
+                                                  {0, 1, 1.0},
+                                                  {0, 2, 1.0},
+                                                  {1, 0, 1.0},
+                                                  {2, 0, 1.0},
+                                                  {1, 1, 5.0},
+                                                  {2, 2, 5.0}});
+  KernelOptions Opts;
+  Opts.MarkowitzPivoting = false; // Take (0,0) first.
+  FactorResult F = factor(M, Opts);
+  ASSERT_FALSE(F.Singular);
+  EXPECT_GE(F.Fillins, 2u);
+  EXPECT_TRUE(M.structureValid());
+}
+
+TEST(ScaleTest, ScalesRowsOnly) {
+  SparseMatrix M = SparseMatrix::fromTriplets(
+      2, {{0, 0, 2.0}, {0, 1, 4.0}, {1, 1, 10.0}});
+  scaleRows(M, {0.5, 2.0});
+  EXPECT_DOUBLE_EQ(M.get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(M.get(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(M.get(1, 1), 20.0);
+}
+
+TEST(SolveTest, ScaleFactorSolvePipeline) {
+  unsigned N = 25;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 100, 5);
+  std::vector<double> B = randomVector(N, 11);
+  std::vector<double> S = randomScaling(N, 13);
+
+  SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+  std::vector<double> X = scaleFactorSolve(M, S, B);
+  ASSERT_FALSE(X.empty());
+  // Scaling rows of A and b identically leaves the solution unchanged.
+  EXPECT_LT(residualNorm(Ts, N, X, B), 1e-8);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel policies: same numbers, different schedules
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelFactorTest, PoliciesProduceIdenticalResults) {
+  unsigned N = 40;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 160, 77);
+  std::vector<double> B = randomVector(N, 3);
+
+  SparseMatrix MSeq = SparseMatrix::fromTriplets(N, Ts);
+  FactorResult FSeq = factor(MSeq);
+  std::vector<double> XSeq = luSolve(MSeq, FSeq, B);
+
+  for (ParallelPolicy Policy :
+       {ParallelPolicy::Partial, ParallelPolicy::Full}) {
+    ThreadPool Pool(4);
+    KernelOptions Opts;
+    Opts.Policy = Policy;
+    Opts.Pool = &Pool;
+    SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+    FactorResult F = factor(M, Opts);
+    ASSERT_FALSE(F.Singular);
+    EXPECT_EQ(F.Fillins, FSeq.Fillins);
+    EXPECT_EQ(F.PivRow, FSeq.PivRow);
+    EXPECT_EQ(maxAbsDiff(M.toDense(), MSeq.toDense()), 0.0)
+        << parallelPolicyName(Policy)
+        << ": parallel elimination must be bit-identical";
+    std::vector<double> X = luSolve(M, F, B, Opts);
+    EXPECT_EQ(maxAbsDiff(X, XSeq), 0.0);
+  }
+}
+
+TEST(ParallelFactorTest, SimulatedSpeedupOrdering) {
+  // The Figure 7 shape in miniature: full >= partial >= sequential, and
+  // more PEs never hurt.
+  unsigned N = 60;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 300, 9);
+
+  auto SimulatedTime = [&](ParallelPolicy Policy, unsigned Pes) {
+    PeSimulator Sim(Pes);
+    KernelOptions Opts;
+    Opts.Policy = Policy;
+    Opts.Model = &Sim;
+    SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+    FactorResult F = factor(M, Opts);
+    EXPECT_FALSE(F.Singular);
+    return Sim.elapsed();
+  };
+
+  uint64_t Seq = SimulatedTime(ParallelPolicy::Sequential, 4);
+  uint64_t Partial = SimulatedTime(ParallelPolicy::Partial, 4);
+  uint64_t Full = SimulatedTime(ParallelPolicy::Full, 4);
+  EXPECT_LT(Full, Partial);
+  EXPECT_LT(Partial, Seq);
+
+  uint64_t Full2 = SimulatedTime(ParallelPolicy::Full, 2);
+  uint64_t Full7 = SimulatedTime(ParallelPolicy::Full, 7);
+  EXPECT_LE(Full7, Full2);
+  EXPECT_LE(Full2, Seq);
+}
+
+TEST(ParallelFactorTest, WorkIsPolicyInvariant) {
+  // Policies change the schedule, never the amount of work.
+  unsigned N = 30;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 120, 21);
+  uint64_t Works[3];
+  int Idx = 0;
+  for (ParallelPolicy Policy :
+       {ParallelPolicy::Sequential, ParallelPolicy::Partial,
+        ParallelPolicy::Full}) {
+    PeSimulator Sim(5);
+    KernelOptions Opts;
+    Opts.Policy = Policy;
+    Opts.Model = &Sim;
+    SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+    factor(M, Opts);
+    Works[Idx++] = Sim.totalWork();
+  }
+  EXPECT_EQ(Works[0], Works[1]);
+  EXPECT_EQ(Works[1], Works[2]);
+}
+
+TEST(SolveTest, SolveAndScaleReportWork) {
+  unsigned N = 20;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 80, 8);
+  SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+  FactorResult F = factor(M);
+  ASSERT_FALSE(F.Singular);
+
+  WorkCounter W;
+  KernelOptions Opts;
+  Opts.Model = &W;
+  std::vector<double> B = randomVector(N, 1);
+  luSolve(M, F, B, Opts);
+  uint64_t SolveWork = W.work();
+  EXPECT_GT(SolveWork, 0u);
+
+  scaleRows(M, randomScaling(N, 2), Opts);
+  EXPECT_GT(W.work(), SolveWork) << "scale must add its own work";
+}
+
+TEST(SolveTest, SolveSpeedupOrderingUnderSimulation) {
+  // Forward/back substitution parallelizes per pivot step; more PEs
+  // never make the simulated schedule longer.
+  unsigned N = 40;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 160, 6);
+  SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+  FactorResult F = factor(M);
+  ASSERT_FALSE(F.Singular);
+  std::vector<double> B = randomVector(N, 1);
+
+  uint64_t Last = UINT64_MAX;
+  for (unsigned Pes : {1u, 2u, 4u, 8u}) {
+    PeSimulator Sim(Pes);
+    KernelOptions Opts;
+    Opts.Policy = ParallelPolicy::Full;
+    Opts.Model = &Sim;
+    luSolve(M, F, B, Opts);
+    EXPECT_LE(Sim.elapsed(), Last);
+    Last = Sim.elapsed();
+  }
+}
+
+TEST(ParallelFactorTest, PhaseOpsSumToModelWork) {
+  unsigned N = 30;
+  std::vector<SparseMatrix::Triplet> Ts = randomCircuitTriplets(N, 120, 31);
+  WorkCounter W;
+  KernelOptions Opts;
+  Opts.Model = &W;
+  SparseMatrix M = SparseMatrix::fromTriplets(N, Ts);
+  FactorResult F = factor(M, Opts);
+  ASSERT_FALSE(F.Singular);
+  EXPECT_EQ(F.totalOps(), W.work());
+  EXPECT_GT(F.ElimOps, 0u);
+  EXPECT_GT(F.HeuristicOps, 0u);
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/support_test.cpp - Support utilities -------------------------===//
+//
+// Part of the APT project; covers src/support.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FieldTable.h"
+#include "support/Strings.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+TEST(FieldTableTest, InternIsIdempotent) {
+  FieldTable T;
+  FieldId A = T.intern("next");
+  FieldId B = T.intern("prev");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.intern("next"), A);
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(FieldTableTest, LookupNeverAllocates) {
+  FieldTable T;
+  EXPECT_EQ(T.lookup("nope"), std::nullopt);
+  EXPECT_TRUE(T.empty());
+  FieldId A = T.intern("f");
+  EXPECT_EQ(T.lookup("f"), A);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(FieldTableTest, NamesRoundTrip) {
+  FieldTable T;
+  FieldId A = T.intern("ncolE");
+  EXPECT_EQ(T.name(A), "ncolE");
+}
+
+TEST(FieldTableTest, IdsAreDense) {
+  FieldTable T;
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(T.intern("f" + std::to_string(I)), static_cast<FieldId>(I));
+}
+
+TEST(WordTest, ToStringFormats) {
+  FieldTable T;
+  Word W{T.intern("a"), T.intern("b")};
+  EXPECT_EQ(wordToString(W, T), "a.b");
+  EXPECT_EQ(wordToString({}, T), "<eps>");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a \n"), "a");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, SplitNonEmpty) {
+  EXPECT_EQ(splitNonEmpty("a.b.c", '.'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(splitNonEmpty("..a..b..", '.'),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(splitNonEmpty("", '.').empty());
+  EXPECT_TRUE(splitNonEmpty("...", '.').empty());
+}
+
+TEST(StringsTest, HashCombineMixes) {
+  size_t A = 1, B = 1;
+  hashCombine(A, 42);
+  hashCombine(B, 43);
+  EXPECT_NE(A, B);
+  size_t C = 2;
+  hashCombine(C, 42);
+  EXPECT_NE(A, C) << "seed must matter";
+}
+
+} // namespace

@@ -1,0 +1,256 @@
+//===- tools/aptc.cpp - APT command-line driver ---------------------------===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+// A small driver exposing the library from the shell:
+//
+//   aptc prove <axioms-file> <pathP> <pathQ>
+//       Prove `forall x: x.P <> x.Q` from the axioms (one per line,
+//       optional `NAME:` prefixes, '#' comments); prints the proof.
+//
+//   aptc deps <program-file> <labelS> <labelT> [--invariant-writes]
+//       Parse a mini-language program, run the access-path analysis and
+//       answer the dependence query between two labeled statements.
+//
+//   aptc loops <program-file> [--invariant-writes]
+//       Classify every loop of every function as parallelizable or not.
+//
+//   aptc dump <program-file> [--invariant-writes]
+//       Print the full analysis: per-statement access path matrices,
+//       labeled references, loop summaries and handle provenance.
+//
+// Exit code: 0 = No/parallelizable, 1 = Maybe/blocked, 2 = usage or
+// input error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepQueries.h"
+#include "core/ProofChecker.h"
+#include "core/Prover.h"
+#include "ir/Parser.h"
+#include "regex/RegexParser.h"
+#include "support/Strings.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace apt;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aptc prove <axioms-file> <pathP> <pathQ>\n"
+               "       aptc deps <program> <labelS> <labelT> "
+               "[--invariant-writes]\n"
+               "       aptc loops <program> [--invariant-writes]\n"
+               "       aptc dump <program> [--invariant-writes]\n");
+  return 2;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+/// Parses an axioms file: one axiom per line, blank lines and lines
+/// starting with '#' skipped, optional "NAME:" prefix.
+bool readAxioms(const char *Path, FieldTable &Fields, AxiomSet &Out) {
+  std::string Text;
+  if (!readFile(Path, Text))
+    return false;
+  int LineNo = 0, AutoName = 0;
+  std::stringstream Lines(Text);
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed.front() == '#')
+      continue;
+    std::string Name = "A" + std::to_string(++AutoName);
+    size_t Colon = Trimmed.find(':');
+    if (Colon != std::string::npos) {
+      std::string_view Head = trim(Trimmed.substr(0, Colon));
+      bool IsName = !Head.empty() && Head != "forall";
+      for (char C : Head)
+        if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+          IsName = false;
+      if (IsName) {
+        Name = std::string(Head);
+        Trimmed = trim(Trimmed.substr(Colon + 1));
+      }
+    }
+    AxiomParseResult A = parseAxiom(Trimmed, Fields, Name);
+    if (!A) {
+      std::fprintf(stderr, "%s:%d: %s\n", Path, LineNo, A.Error.c_str());
+      return false;
+    }
+    Out.add(A.Value);
+  }
+  return true;
+}
+
+int cmdProve(int Argc, char **Argv) {
+  if (Argc != 3)
+    return usage();
+  FieldTable Fields;
+  AxiomSet Axioms;
+  if (!readAxioms(Argv[0], Fields, Axioms))
+    return 2;
+  RegexParseResult P = parseRegex(Argv[1], Fields);
+  RegexParseResult Q = parseRegex(Argv[2], Fields);
+  if (!P || !Q) {
+    std::fprintf(stderr, "error: bad path: %s\n",
+                 (!P ? P.Error : Q.Error).c_str());
+    return 2;
+  }
+
+  std::printf("axioms:\n%s\n", Axioms.toString(Fields).c_str());
+  Prover Prover(Fields);
+  if (Prover.proveDisjoint(Axioms, P.Value, Q.Value)) {
+    std::printf("PROVED: forall x: x.%s <> x.%s\n\n%s",
+                P.Value->toString(Fields).c_str(),
+                Q.Value->toString(Fields).c_str(),
+                Prover.proofText().c_str());
+    LangQuery CheckerLang;
+    ProofCheckResult Checked =
+        checkProof(*Prover.proof(), Axioms, CheckerLang);
+    if (!Checked.Ok) {
+      std::fprintf(stderr, "INTERNAL: proof failed re-verification: %s\n",
+                   Checked.Error.c_str());
+      return 2;
+    }
+    std::printf("\n(proof independently re-verified)\n");
+    return 0;
+  }
+  std::printf("NO PROOF (verdict: Maybe): forall x: x.%s <> x.%s\n",
+              P.Value->toString(Fields).c_str(),
+              Q.Value->toString(Fields).c_str());
+  return 1;
+}
+
+bool parseFlags(int &Argc, char **Argv, AnalyzerOptions &Opts) {
+  for (int I = 0; I < Argc;) {
+    if (std::strcmp(Argv[I], "--invariant-writes") == 0) {
+      Opts.InvariantPreservingWrites = true;
+      for (int J = I; J + 1 < Argc; ++J)
+        Argv[J] = Argv[J + 1];
+      --Argc;
+    } else {
+      ++I;
+    }
+  }
+  return true;
+}
+
+int cmdDeps(int Argc, char **Argv) {
+  AnalyzerOptions Opts;
+  parseFlags(Argc, Argv, Opts);
+  if (Argc != 3)
+    return usage();
+  FieldTable Fields;
+  std::string Source;
+  if (!readFile(Argv[0], Source))
+    return 2;
+  ProgramParseResult Prog = parseProgram(Source, Fields);
+  if (!Prog) {
+    std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
+    return 2;
+  }
+
+  for (const Function &F : Prog.Value.Functions) {
+    if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
+      continue;
+    DepQueryEngine Engine(Prog.Value, F, Fields, Opts);
+    Prover P(Fields);
+    DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
+    std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
+                Argv[1], Argv[2], depVerdictName(R.Verdict),
+                depKindName(R.Kind), R.Reason.c_str());
+    if (!R.ProofText.empty())
+      std::printf("%s", R.ProofText.c_str());
+    return R.Verdict == DepVerdict::No ? 0 : 1;
+  }
+  std::fprintf(stderr,
+               "error: no function contains both labels '%s' and '%s'\n",
+               Argv[1], Argv[2]);
+  return 2;
+}
+
+int cmdLoops(int Argc, char **Argv) {
+  AnalyzerOptions Opts;
+  parseFlags(Argc, Argv, Opts);
+  if (Argc != 1)
+    return usage();
+  FieldTable Fields;
+  std::string Source;
+  if (!readFile(Argv[0], Source))
+    return 2;
+  ProgramParseResult Prog = parseProgram(Source, Fields);
+  if (!Prog) {
+    std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
+    return 2;
+  }
+
+  bool AllParallel = true;
+  for (const Function &F : Prog.Value.Functions) {
+    DepQueryEngine Engine(Prog.Value, F, Fields, Opts);
+    Prover P(Fields);
+    for (int LoopId : Engine.loopIds()) {
+      LoopParallelism LP = Engine.analyzeLoopParallelism(LoopId, P);
+      std::printf("fn %-20s loop#%-3d %s\n", F.Name.c_str(), LoopId,
+                  LP.Parallelizable ? "PARALLELIZABLE" : "sequential");
+      AllParallel &= LP.Parallelizable;
+    }
+  }
+  return AllParallel ? 0 : 1;
+}
+
+int cmdDump(int Argc, char **Argv) {
+  AnalyzerOptions Opts;
+  parseFlags(Argc, Argv, Opts);
+  if (Argc != 1)
+    return usage();
+  FieldTable Fields;
+  std::string Source;
+  if (!readFile(Argv[0], Source))
+    return 2;
+  ProgramParseResult Prog = parseProgram(Source, Fields);
+  if (!Prog) {
+    std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
+    return 2;
+  }
+  for (const Function &F : Prog.Value.Functions) {
+    AnalysisResult R = analyzeFunction(Prog.Value, F, Fields, Opts);
+    std::printf("%s\n", dumpAnalysis(R, F, Fields).c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  if (std::strcmp(Argv[1], "prove") == 0)
+    return cmdProve(Argc - 2, Argv + 2);
+  if (std::strcmp(Argv[1], "deps") == 0)
+    return cmdDeps(Argc - 2, Argv + 2);
+  if (std::strcmp(Argv[1], "loops") == 0)
+    return cmdLoops(Argc - 2, Argv + 2);
+  if (std::strcmp(Argv[1], "dump") == 0)
+    return cmdDump(Argc - 2, Argv + 2);
+  return usage();
+}
