@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pivoting.dir/ablation_pivoting.cpp.o"
+  "CMakeFiles/ablation_pivoting.dir/ablation_pivoting.cpp.o.d"
+  "ablation_pivoting"
+  "ablation_pivoting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pivoting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_llt_prover.dir/fig3_llt_prover.cpp.o"
+  "CMakeFiles/fig3_llt_prover.dir/fig3_llt_prover.cpp.o.d"
+  "fig3_llt_prover"
+  "fig3_llt_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_llt_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

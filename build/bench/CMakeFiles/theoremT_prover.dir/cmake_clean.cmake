@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theoremT_prover.dir/theoremT_prover.cpp.o"
+  "CMakeFiles/theoremT_prover.dir/theoremT_prover.cpp.o.d"
+  "theoremT_prover"
+  "theoremT_prover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theoremT_prover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_octree.dir/nbody_octree.cpp.o"
+  "CMakeFiles/nbody_octree.dir/nbody_octree.cpp.o.d"
+  "nbody_octree"
+  "nbody_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

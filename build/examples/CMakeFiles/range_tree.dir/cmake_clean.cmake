@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_tree.dir/range_tree.cpp.o"
+  "CMakeFiles/range_tree.dir/range_tree.cpp.o.d"
+  "range_tree"
+  "range_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_matrix_parallel.dir/sparse_matrix_parallel.cpp.o"
+  "CMakeFiles/sparse_matrix_parallel.dir/sparse_matrix_parallel.cpp.o.d"
+  "sparse_matrix_parallel"
+  "sparse_matrix_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_matrix_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_analysis.dir/Apm.cpp.o"
+  "CMakeFiles/apt_analysis.dir/Apm.cpp.o.d"
+  "CMakeFiles/apt_analysis.dir/Collector.cpp.o"
+  "CMakeFiles/apt_analysis.dir/Collector.cpp.o.d"
+  "CMakeFiles/apt_analysis.dir/DepQueries.cpp.o"
+  "CMakeFiles/apt_analysis.dir/DepQueries.cpp.o.d"
+  "libapt_analysis.a"
+  "libapt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

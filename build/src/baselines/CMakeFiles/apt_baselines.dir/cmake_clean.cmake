@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_baselines.dir/Oracle.cpp.o"
+  "CMakeFiles/apt_baselines.dir/Oracle.cpp.o.d"
+  "libapt_baselines.a"
+  "libapt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AccessPath.cpp" "src/core/CMakeFiles/apt_core.dir/AccessPath.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/AccessPath.cpp.o.d"
+  "/root/repo/src/core/Axiom.cpp" "src/core/CMakeFiles/apt_core.dir/Axiom.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/Axiom.cpp.o.d"
+  "/root/repo/src/core/DepTest.cpp" "src/core/CMakeFiles/apt_core.dir/DepTest.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/DepTest.cpp.o.d"
+  "/root/repo/src/core/Prelude.cpp" "src/core/CMakeFiles/apt_core.dir/Prelude.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/Prelude.cpp.o.d"
+  "/root/repo/src/core/ProofChecker.cpp" "src/core/CMakeFiles/apt_core.dir/ProofChecker.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/ProofChecker.cpp.o.d"
+  "/root/repo/src/core/Prover.cpp" "src/core/CMakeFiles/apt_core.dir/Prover.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/Prover.cpp.o.d"
+  "/root/repo/src/core/Shapes.cpp" "src/core/CMakeFiles/apt_core.dir/Shapes.cpp.o" "gcc" "src/core/CMakeFiles/apt_core.dir/Shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/regex/CMakeFiles/apt_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/apt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_core.dir/AccessPath.cpp.o"
+  "CMakeFiles/apt_core.dir/AccessPath.cpp.o.d"
+  "CMakeFiles/apt_core.dir/Axiom.cpp.o"
+  "CMakeFiles/apt_core.dir/Axiom.cpp.o.d"
+  "CMakeFiles/apt_core.dir/DepTest.cpp.o"
+  "CMakeFiles/apt_core.dir/DepTest.cpp.o.d"
+  "CMakeFiles/apt_core.dir/Prelude.cpp.o"
+  "CMakeFiles/apt_core.dir/Prelude.cpp.o.d"
+  "CMakeFiles/apt_core.dir/ProofChecker.cpp.o"
+  "CMakeFiles/apt_core.dir/ProofChecker.cpp.o.d"
+  "CMakeFiles/apt_core.dir/Prover.cpp.o"
+  "CMakeFiles/apt_core.dir/Prover.cpp.o.d"
+  "CMakeFiles/apt_core.dir/Shapes.cpp.o"
+  "CMakeFiles/apt_core.dir/Shapes.cpp.o.d"
+  "libapt_core.a"
+  "libapt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

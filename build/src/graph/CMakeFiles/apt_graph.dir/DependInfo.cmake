@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/AxiomChecker.cpp" "src/graph/CMakeFiles/apt_graph.dir/AxiomChecker.cpp.o" "gcc" "src/graph/CMakeFiles/apt_graph.dir/AxiomChecker.cpp.o.d"
+  "/root/repo/src/graph/GraphBuilders.cpp" "src/graph/CMakeFiles/apt_graph.dir/GraphBuilders.cpp.o" "gcc" "src/graph/CMakeFiles/apt_graph.dir/GraphBuilders.cpp.o.d"
+  "/root/repo/src/graph/HeapGraph.cpp" "src/graph/CMakeFiles/apt_graph.dir/HeapGraph.cpp.o" "gcc" "src/graph/CMakeFiles/apt_graph.dir/HeapGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/apt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/apt_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/apt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_graph.dir/AxiomChecker.cpp.o"
+  "CMakeFiles/apt_graph.dir/AxiomChecker.cpp.o.d"
+  "CMakeFiles/apt_graph.dir/GraphBuilders.cpp.o"
+  "CMakeFiles/apt_graph.dir/GraphBuilders.cpp.o.d"
+  "CMakeFiles/apt_graph.dir/HeapGraph.cpp.o"
+  "CMakeFiles/apt_graph.dir/HeapGraph.cpp.o.d"
+  "libapt_graph.a"
+  "libapt_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_ir.dir/Parser.cpp.o"
+  "CMakeFiles/apt_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/apt_ir.dir/Printer.cpp.o"
+  "CMakeFiles/apt_ir.dir/Printer.cpp.o.d"
+  "libapt_ir.a"
+  "libapt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

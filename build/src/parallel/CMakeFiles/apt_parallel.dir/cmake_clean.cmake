@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_parallel.dir/ExecutionModel.cpp.o"
+  "CMakeFiles/apt_parallel.dir/ExecutionModel.cpp.o.d"
+  "CMakeFiles/apt_parallel.dir/ThreadPool.cpp.o"
+  "CMakeFiles/apt_parallel.dir/ThreadPool.cpp.o.d"
+  "libapt_parallel.a"
+  "libapt_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

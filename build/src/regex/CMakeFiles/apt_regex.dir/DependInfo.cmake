@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/Derivative.cpp" "src/regex/CMakeFiles/apt_regex.dir/Derivative.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/Derivative.cpp.o.d"
+  "/root/repo/src/regex/Dfa.cpp" "src/regex/CMakeFiles/apt_regex.dir/Dfa.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/Dfa.cpp.o.d"
+  "/root/repo/src/regex/LangOps.cpp" "src/regex/CMakeFiles/apt_regex.dir/LangOps.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/LangOps.cpp.o.d"
+  "/root/repo/src/regex/Nfa.cpp" "src/regex/CMakeFiles/apt_regex.dir/Nfa.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/Nfa.cpp.o.d"
+  "/root/repo/src/regex/Regex.cpp" "src/regex/CMakeFiles/apt_regex.dir/Regex.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/Regex.cpp.o.d"
+  "/root/repo/src/regex/RegexParser.cpp" "src/regex/CMakeFiles/apt_regex.dir/RegexParser.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/RegexParser.cpp.o.d"
+  "/root/repo/src/regex/Simplify.cpp" "src/regex/CMakeFiles/apt_regex.dir/Simplify.cpp.o" "gcc" "src/regex/CMakeFiles/apt_regex.dir/Simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/apt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_regex.dir/Derivative.cpp.o"
+  "CMakeFiles/apt_regex.dir/Derivative.cpp.o.d"
+  "CMakeFiles/apt_regex.dir/Dfa.cpp.o"
+  "CMakeFiles/apt_regex.dir/Dfa.cpp.o.d"
+  "CMakeFiles/apt_regex.dir/LangOps.cpp.o"
+  "CMakeFiles/apt_regex.dir/LangOps.cpp.o.d"
+  "CMakeFiles/apt_regex.dir/Nfa.cpp.o"
+  "CMakeFiles/apt_regex.dir/Nfa.cpp.o.d"
+  "CMakeFiles/apt_regex.dir/Regex.cpp.o"
+  "CMakeFiles/apt_regex.dir/Regex.cpp.o.d"
+  "CMakeFiles/apt_regex.dir/RegexParser.cpp.o"
+  "CMakeFiles/apt_regex.dir/RegexParser.cpp.o.d"
+  "CMakeFiles/apt_regex.dir/Simplify.cpp.o"
+  "CMakeFiles/apt_regex.dir/Simplify.cpp.o.d"
+  "libapt_regex.a"
+  "libapt_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

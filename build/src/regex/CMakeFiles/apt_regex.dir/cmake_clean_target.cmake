@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapt_regex.a"
+)

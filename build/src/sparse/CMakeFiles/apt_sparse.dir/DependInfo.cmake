@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/Dense.cpp" "src/sparse/CMakeFiles/apt_sparse.dir/Dense.cpp.o" "gcc" "src/sparse/CMakeFiles/apt_sparse.dir/Dense.cpp.o.d"
+  "/root/repo/src/sparse/Factor.cpp" "src/sparse/CMakeFiles/apt_sparse.dir/Factor.cpp.o" "gcc" "src/sparse/CMakeFiles/apt_sparse.dir/Factor.cpp.o.d"
+  "/root/repo/src/sparse/SparseMatrix.cpp" "src/sparse/CMakeFiles/apt_sparse.dir/SparseMatrix.cpp.o" "gcc" "src/sparse/CMakeFiles/apt_sparse.dir/SparseMatrix.cpp.o.d"
+  "/root/repo/src/sparse/Workload.cpp" "src/sparse/CMakeFiles/apt_sparse.dir/Workload.cpp.o" "gcc" "src/sparse/CMakeFiles/apt_sparse.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/apt_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

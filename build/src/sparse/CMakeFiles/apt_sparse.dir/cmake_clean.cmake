@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_sparse.dir/Dense.cpp.o"
+  "CMakeFiles/apt_sparse.dir/Dense.cpp.o.d"
+  "CMakeFiles/apt_sparse.dir/Factor.cpp.o"
+  "CMakeFiles/apt_sparse.dir/Factor.cpp.o.d"
+  "CMakeFiles/apt_sparse.dir/SparseMatrix.cpp.o"
+  "CMakeFiles/apt_sparse.dir/SparseMatrix.cpp.o.d"
+  "CMakeFiles/apt_sparse.dir/Workload.cpp.o"
+  "CMakeFiles/apt_sparse.dir/Workload.cpp.o.d"
+  "libapt_sparse.a"
+  "libapt_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

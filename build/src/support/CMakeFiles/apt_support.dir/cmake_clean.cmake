@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apt_support.dir/FieldTable.cpp.o"
+  "CMakeFiles/apt_support.dir/FieldTable.cpp.o.d"
+  "CMakeFiles/apt_support.dir/Strings.cpp.o"
+  "CMakeFiles/apt_support.dir/Strings.cpp.o.d"
+  "libapt_support.a"
+  "libapt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axiom_test.dir/axiom_test.cpp.o"
+  "CMakeFiles/axiom_test.dir/axiom_test.cpp.o.d"
+  "axiom_test"
+  "axiom_test.pdb"
+  "axiom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axiom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for axiom_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deptest_test.dir/deptest_test.cpp.o"
+  "CMakeFiles/deptest_test.dir/deptest_test.cpp.o.d"
+  "deptest_test"
+  "deptest_test.pdb"
+  "deptest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deptest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proof_checker_test.dir/proof_checker_test.cpp.o"
+  "CMakeFiles/proof_checker_test.dir/proof_checker_test.cpp.o.d"
+  "proof_checker_test"
+  "proof_checker_test.pdb"
+  "proof_checker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proof_checker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

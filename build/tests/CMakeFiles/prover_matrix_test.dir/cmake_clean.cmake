@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prover_matrix_test.dir/prover_matrix_test.cpp.o"
+  "CMakeFiles/prover_matrix_test.dir/prover_matrix_test.cpp.o.d"
+  "prover_matrix_test"
+  "prover_matrix_test.pdb"
+  "prover_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prover_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

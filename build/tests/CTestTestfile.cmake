@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/regex_test[1]_include.cmake")
+include("/root/repo/build/tests/automata_test[1]_include.cmake")
+include("/root/repo/build/tests/axiom_test[1]_include.cmake")
+include("/root/repo/build/tests/prover_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/ir_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_test[1]_include.cmake")
+include("/root/repo/build/tests/deptest_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/simplify_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/prover_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/proof_checker_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptc.dir/aptc.cpp.o"
+  "CMakeFiles/aptc.dir/aptc.cpp.o.d"
+  "aptc"
+  "aptc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

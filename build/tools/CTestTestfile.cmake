@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(aptc_prove_figure3 "/root/repo/build/tools/aptc" "prove" "/root/repo/tools/samples/leaf_linked_tree.axioms" "L.L.N" "L.R.N")
+set_tests_properties(aptc_prove_figure3 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aptc_prove_theoremT "/root/repo/build/tools/aptc" "prove" "/root/repo/tools/samples/sparse_matrix.axioms" "ncolE+" "nrowE+.ncolE+")
+set_tests_properties(aptc_prove_theoremT PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aptc_prove_unprovable "/root/repo/build/tools/aptc" "prove" "/root/repo/tools/samples/leaf_linked_tree.axioms" "L.L.N.N" "L.R.N")
+set_tests_properties(aptc_prove_unprovable PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aptc_loops "/root/repo/build/tools/aptc" "loops" "/root/repo/tools/samples/worklist.apt")
+set_tests_properties(aptc_loops PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aptc_deps "/root/repo/build/tools/aptc" "deps" "/root/repo/tools/samples/worklist.apt" "S" "T")
+set_tests_properties(aptc_deps PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aptc_usage "/root/repo/build/tools/aptc" "frobnicate")
+set_tests_properties(aptc_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(aptc_dump "/root/repo/build/tools/aptc" "dump" "/root/repo/tools/samples/worklist.apt")
+set_tests_properties(aptc_dump PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
