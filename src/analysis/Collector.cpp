@@ -236,7 +236,6 @@ private:
     // anything else means clobbered.
     LoopSummary Sum;
     Sum.StmtId = S.Id;
-    std::vector<std::string> Clobbered;
     {
       Apm SavedState = State;
       PassMode SavedMode = Mode;
@@ -261,7 +260,7 @@ private:
           else
             Sum.Induction[Var] = Paths.front().second;
         } else {
-          Clobbered.push_back(Var);
+          Sum.Clobbered.insert(Var);
         }
       }
       State = std::move(SavedState);
@@ -276,7 +275,7 @@ private:
     // handles.
     for (const auto &[Var, Inc] : Sum.Induction)
       State.extendVar(Var, Regex::star(Inc));
-    for (const std::string &Var : Clobbered) {
+    for (const std::string &Var : Sum.Clobbered) {
       State.killVar(Var);
       State.set(freshHandle(Var), Var, Regex::epsilon());
     }

@@ -61,6 +61,11 @@ struct LoopSummary {
   /// Pointer variables the body provably never changes (their "increment"
   /// is epsilon: every iteration sees the same vertex).
   std::set<std::string> Invariant;
+  /// Pointer variables the body modifies in a way that has no `p := p.w`
+  /// net effect (reanchored or control-dependent): the loop carries no
+  /// computable summary for them, so loop-carried queries about them are
+  /// answered Maybe. Front-end lint warns when a loop has only these.
+  std::set<std::string> Clobbered;
   /// Whether the body performs structural modifications.
   bool HasStructWrite = false;
   /// Labeled refs inside the body, re-anchored at the loop's induction

@@ -43,6 +43,9 @@ struct Axiom {
   RegexRef Lhs;     ///< RE1
   RegexRef Rhs;     ///< RE2
   std::string Name; ///< Optional label such as "A1" (used in proofs).
+  int Line = 0;     ///< 1-based source line when parsed from a file
+                    ///< (0 = unknown). Diagnostics only; not part of the
+                    ///< structural identity used by set operations.
 
   Axiom() = default;
   Axiom(AxiomForm Form, RegexRef Lhs, RegexRef Rhs, std::string Name = "")

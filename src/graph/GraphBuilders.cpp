@@ -227,3 +227,33 @@ BuiltStructure apt::buildOctree(FieldTable &Fields, size_t Depth,
   }
   return Out;
 }
+
+bool apt::enumerateHeapGraphs(
+    const std::vector<FieldId> &Alphabet, size_t NumNodes,
+    const std::function<bool(const HeapGraph &)> &Visit) {
+  // One odometer digit per (node, field) pair: 0 = null, v >= 1 = node
+  // v-1. Rebuilding the graph per combination keeps HeapGraph free of a
+  // mutation API it does not otherwise need; the graphs are tiny.
+  const size_t Slots = NumNodes * Alphabet.size();
+  std::vector<unsigned> Digits(Slots, 0);
+  for (;;) {
+    HeapGraph G;
+    for (size_t N = 0; N < NumNodes; ++N)
+      G.addNode("n" + std::to_string(N));
+    for (size_t S = 0; S < Slots; ++S)
+      if (Digits[S] != 0)
+        G.setField(static_cast<HeapGraph::NodeId>(S / Alphabet.size()),
+                   Alphabet[S % Alphabet.size()],
+                   static_cast<HeapGraph::NodeId>(Digits[S] - 1));
+    if (!Visit(G))
+      return false;
+    size_t S = 0;
+    while (S < Slots && Digits[S] == NumNodes) {
+      Digits[S] = 0;
+      ++S;
+    }
+    if (S == Slots)
+      return true;
+    ++Digits[S];
+  }
+}

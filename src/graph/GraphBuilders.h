@@ -17,6 +17,7 @@
 #include "graph/HeapGraph.h"
 #include "support/FieldTable.h"
 
+#include <functional>
 #include <vector>
 
 namespace apt {
@@ -63,6 +64,17 @@ BuiltStructure buildRangeTree2D(FieldTable &Fields, size_t Depth,
 /// chained by `bnext`.
 BuiltStructure buildOctree(FieldTable &Fields, size_t Depth,
                            size_t BodiesPerCell);
+
+/// Enumerates every heap graph with exactly \p NumNodes nodes whose edges
+/// carry labels drawn from \p Alphabet (each node independently points
+/// each field at one of the nodes or at null), invoking \p Visit on each.
+/// There are (NumNodes+1)^(NumNodes*|Alphabet|) such graphs; the caller
+/// bounds the walk by returning false from \p Visit, which stops the
+/// enumeration immediately. Returns true iff every graph was visited.
+/// Used by the lint subsystem's bounded model check of axiom sets.
+bool enumerateHeapGraphs(const std::vector<FieldId> &Alphabet,
+                         size_t NumNodes,
+                         const std::function<bool(const HeapGraph &)> &Visit);
 
 } // namespace apt
 

@@ -40,11 +40,23 @@ struct FieldDecl {
   bool isPointer() const { return !PointeeType.empty(); }
 };
 
+/// A `shape kind(args)` declaration as written in a type body, kept (in
+/// addition to the axioms it expanded to) so front-end passes can check
+/// the declarations themselves for shadowing and conflicts.
+struct ShapeDecl {
+  std::string Kind;                     ///< "tree", "list", "ring", ...
+  std::vector<std::string> FieldNames;  ///< Arguments in written order.
+  std::string Text;                     ///< Raw source, e.g. "list(link)".
+  int Line = 0;                         ///< 1-based source line.
+};
+
 /// A structure type declaration with its aliasing axioms.
 struct TypeDecl {
   std::string Name;
   std::vector<FieldDecl> Fields;
   AxiomSet Axioms;
+  std::vector<ShapeDecl> Shapes; ///< Shape sugar the axioms came from.
+  int Line = 0;                  ///< 1-based source line of the decl.
 
   const FieldDecl *field(std::string_view FieldName) const {
     for (const FieldDecl &F : Fields)
@@ -81,6 +93,7 @@ using StmtPtr = std::unique_ptr<Stmt>;
 struct Stmt {
   StmtKind Kind;
   int Id = -1;        ///< Unique program-wide id, assigned by the parser.
+  int Line = 0;       ///< 1-based source line (0 = synthesized).
   std::string Label;  ///< Optional user label ("S:", "T:").
 
   // PtrAssign: Dst = <Rhs>.

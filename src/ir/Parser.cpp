@@ -9,6 +9,7 @@
 #include "core/Shapes.h"
 #include "support/Strings.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cctype>
 #include <map>
@@ -118,6 +119,29 @@ private:
   Token Current;
 };
 
+/// Splits an already-validated shape body such as "disjoint(sub | yL, yR)"
+/// into its kind and argument identifiers for the ShapeDecl record.
+ShapeDecl makeShapeDecl(const std::string &Raw, int Line) {
+  ShapeDecl D;
+  D.Text = Raw;
+  D.Line = Line;
+  size_t Paren = Raw.find('(');
+  D.Kind = std::string(
+      trim(std::string_view(Raw).substr(0, std::min(Paren, Raw.size()))));
+  if (Paren != std::string::npos) {
+    size_t Close = Raw.rfind(')');
+    std::string Args =
+        Raw.substr(Paren + 1,
+                   (Close == std::string::npos ? Raw.size() : Close) -
+                       Paren - 1);
+    for (char &C : Args)
+      if (C == '|' || C == ',' || C == '\t')
+        C = ' ';
+    D.FieldNames = splitNonEmpty(Args, ' ');
+  }
+  return D;
+}
+
 /// The recursive-descent parser proper.
 class ProgParser {
 public:
@@ -192,13 +216,16 @@ private:
   //===--------------------------------------------------------------===//
 
   void parseTypeDecl() {
+    int DeclLine = Lex.peek().Line;
     Lex.take(); // 'type'
     TypeDecl T;
+    T.Line = DeclLine;
     T.Name = expectIdent("a type name");
     expectPunct('{');
     int AxiomCount = 0;
     while (!peekPunct('}') && Err.empty()) {
       if (peekIdent("axiom")) {
+        int AxiomLine = Lex.peek().Line;
         Lex.take();
         std::string Raw = Lex.rawUntil(';');
         // Optional leading "NAME:" label (NAME != 'forall').
@@ -220,12 +247,14 @@ private:
           fail("bad axiom: " + A.Error);
           return;
         }
+        A.Value.Line = AxiomLine;
         T.Axioms.add(A.Value);
         continue;
       }
       if (peekIdent("shape")) {
         // Sugar: `shape tree(L, R);` expands to the canonical axioms
         // (the §3.2 "higher level of abstraction").
+        int ShapeLine = Lex.peek().Line;
         Lex.take();
         std::string Raw = Lex.rawUntil(';');
         std::string Error;
@@ -234,8 +263,11 @@ private:
           fail("bad shape: " + Error);
           return;
         }
-        for (Axiom &A : Generated)
+        for (Axiom &A : Generated) {
+          A.Line = ShapeLine;
           T.Axioms.add(std::move(A));
+        }
+        T.Shapes.push_back(makeShapeDecl(Raw, ShapeLine));
         continue;
       }
       FieldDecl F;
@@ -293,6 +325,7 @@ private:
   }
 
   StmtPtr parseStmt() {
+    int Line = Lex.peek().Line;
     std::string Label;
     std::string First = expectIdent("a statement");
     if (Err.empty() && peekPunct(':')) {
@@ -315,6 +348,7 @@ private:
     if (S) {
       S->Label = std::move(Label);
       S->Id = NextStmtId++;
+      S->Line = Line;
     }
     return S;
   }

@@ -1,0 +1,90 @@
+//===- lint/AxiomFile.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see AxiomFile.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/AxiomFile.h"
+
+#include "support/Strings.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace apt;
+
+static bool isIdent(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
+      return false;
+  return true;
+}
+
+AxiomFileContents apt::parseAxiomFile(std::string_view Text,
+                                      std::string_view FileName,
+                                      FieldTable &Fields,
+                                      DiagnosticEngine &Diags) {
+  AxiomFileContents Out;
+  std::map<std::string, int> NameLines; // first definition of each name
+  int LineNo = 0, AutoName = 0;
+  std::stringstream Lines{std::string(Text)};
+  std::string Line;
+  while (std::getline(Lines, Line)) {
+    ++LineNo;
+    SourceLoc Loc(std::string(FileName), LineNo);
+    std::string_view Trimmed = trim(Line);
+    if (Trimmed.empty() || Trimmed.front() == '#')
+      continue;
+
+    // `fields: L, R, N` declares the structure's pointer-field alphabet.
+    if (Trimmed.substr(0, 7) == "fields:") {
+      std::string Args(Trimmed.substr(7));
+      for (char &C : Args)
+        if (C == ',' || C == '\t')
+          C = ' ';
+      if (!Out.DeclaredFields)
+        Out.DeclaredFields.emplace();
+      for (const std::string &Name : splitNonEmpty(Args, ' ')) {
+        if (!isIdent(Name)) {
+          Diags.error("APT-E007", Loc,
+                      "bad field name '" + Name + "' in fields directive");
+          Out.Ok = false;
+          continue;
+        }
+        Out.DeclaredFields->insert(Fields.intern(Name));
+      }
+      continue;
+    }
+
+    // Optional "NAME:" label (NAME a plain identifier other than forall).
+    std::string Name = "A" + std::to_string(++AutoName);
+    size_t Colon = Trimmed.find(':');
+    if (Colon != std::string::npos) {
+      std::string_view Head = trim(Trimmed.substr(0, Colon));
+      if (Head != "forall" && isIdent(Head)) {
+        Name = std::string(Head);
+        Trimmed = trim(Trimmed.substr(Colon + 1));
+      }
+    }
+
+    AxiomParseResult A = parseAxiom(Trimmed, Fields, Name);
+    if (!A) {
+      Diags.error("APT-E007", Loc, A.Error).note("while parsing axiom '" +
+                                                 Name + "'");
+      Out.Ok = false;
+      continue;
+    }
+    auto [It, Fresh] = NameLines.emplace(Name, LineNo);
+    if (!Fresh)
+      Diags.warning("APT-W008", Loc,
+                    "axiom name '" + Name + "' is already in use")
+          .note("first defined at line " + std::to_string(It->second) +
+                "; duplicate names make proof references ambiguous");
+    A.Value.Line = LineNo;
+    Out.Axioms.add(std::move(A.Value));
+  }
+  return Out;
+}

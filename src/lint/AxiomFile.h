@@ -1,0 +1,54 @@
+//===- lint/AxiomFile.h - Axiom-file loader with diagnostics ----*- C++ -*-===//
+//
+// Part of the APT project; see Diagnostics.h for the reporting substrate
+// and core/Axiom.h for the per-axiom grammar.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loader for `.axioms` files, shared by `aptc prove` and `aptc lint`:
+///
+///   # comment
+///   fields: L, R, N              -- optional declared alphabet
+///   A1: forall p: p.L <> p.R     -- optional NAME: label
+///   forall p <> q: p.N <> q.N    -- auto-named A<k> otherwise
+///
+/// Parse failures are reported through the DiagnosticEngine (APT-E007)
+/// with file/line locations instead of aborting at the first bad line, so
+/// a single run surfaces every defect. The optional `fields:` directive
+/// declares the structure's pointer-field alphabet; when present, the
+/// lint pass checks every axiom against it (APT-E004).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_LINT_AXIOMFILE_H
+#define APT_LINT_AXIOMFILE_H
+
+#include "core/Axiom.h"
+#include "lint/Diagnostics.h"
+
+#include <optional>
+#include <set>
+#include <string_view>
+
+namespace apt {
+
+/// Result of loading an axiom file.
+struct AxiomFileContents {
+  AxiomSet Axioms; ///< Every axiom that parsed (lines are recorded).
+  /// Alphabet from `fields:` directives, or nullopt when absent.
+  std::optional<std::set<FieldId>> DeclaredFields;
+  bool Ok = true; ///< False if any line failed to parse (APT-E007).
+};
+
+/// Parses \p Text (the contents of \p FileName, used only for locations),
+/// interning field names into \p Fields and reporting problems to
+/// \p Diags.
+AxiomFileContents parseAxiomFile(std::string_view Text,
+                                 std::string_view FileName,
+                                 FieldTable &Fields,
+                                 DiagnosticEngine &Diags);
+
+} // namespace apt
+
+#endif // APT_LINT_AXIOMFILE_H

@@ -1,0 +1,88 @@
+//===- lint/Diagnostics.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Diagnostics.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Diagnostics.h"
+
+using namespace apt;
+
+const char *apt::severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+std::string SourceLoc::toString() const {
+  if (File.empty())
+    return Line > 0 ? "<input>:" + std::to_string(Line) : "<input>";
+  std::string Out = File;
+  if (Line > 0) {
+    Out += ":" + std::to_string(Line);
+    if (Col > 0)
+      Out += ":" + std::to_string(Col);
+  }
+  return Out;
+}
+
+std::string Diagnostic::toString() const {
+  std::string Out = Loc.toString() + ": " + severityName(Severity) + ": " +
+                    Message + " [" + Code + "]";
+  for (const std::string &N : Notes)
+    Out += "\n  note: " + N;
+  if (Fix)
+    Out += "\n  fix-it: " + Fix->Note + " -> `" + Fix->Replacement + "`";
+  return Out;
+}
+
+Diagnostic &DiagnosticEngine::report(std::string Code, DiagSeverity Severity,
+                                     SourceLoc Loc, std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  else if (Severity == DiagSeverity::Warning)
+    ++NumWarnings;
+  Diags.push_back(Diagnostic{std::move(Code), Severity, std::move(Loc),
+                             std::move(Message), {}, std::nullopt});
+  return Diags.back();
+}
+
+bool DiagnosticEngine::has(std::string_view Code) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Code == Code)
+      return true;
+  return false;
+}
+
+size_t DiagnosticEngine::count(std::string_view Code) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Code == Code;
+  return N;
+}
+
+std::string DiagnosticEngine::render() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.toString();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string DiagnosticEngine::summary() const {
+  return std::to_string(NumErrors) + " error(s), " +
+         std::to_string(NumWarnings) + " warning(s)";
+}
+
+void DiagnosticEngine::clear() {
+  Diags.clear();
+  NumErrors = 0;
+  NumWarnings = 0;
+}

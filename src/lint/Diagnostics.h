@@ -1,0 +1,131 @@
+//===- lint/Diagnostics.h - Structured front-end diagnostics ----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured diagnostics substrate shared by every front-end pass:
+/// each finding carries a stable code (see docs/DIAGNOSTICS.md), a
+/// severity, a source location, free-form notes, and an optional fix-it.
+/// The lint passes (Lint.h), the axiom-file loader (AxiomFile.h) and the
+/// `aptc` driver all report through a DiagnosticEngine; severities decide
+/// the process exit code, codes let tests and tooling match findings
+/// without parsing prose.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_LINT_DIAGNOSTICS_H
+#define APT_LINT_DIAGNOSTICS_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apt {
+
+/// Severity of a diagnostic. Errors make `aptc lint` exit non-zero;
+/// warnings and notes never do.
+enum class DiagSeverity {
+  Note,
+  Warning,
+  Error,
+};
+
+/// "note" / "warning" / "error".
+const char *severityName(DiagSeverity S);
+
+/// A source position. Line 0 means "whole file" (or unknown); column 0
+/// means "whole line".
+struct SourceLoc {
+  std::string File;
+  int Line = 0; ///< 1-based.
+  int Col = 0;  ///< 1-based.
+
+  SourceLoc() = default;
+  explicit SourceLoc(std::string File, int Line = 0, int Col = 0)
+      : File(std::move(File)), Line(Line), Col(Col) {}
+
+  /// "file:line:col", degrading to "file:line", "file", or "<input>".
+  std::string toString() const;
+};
+
+/// A suggested textual repair attached to a diagnostic.
+struct FixIt {
+  std::string Replacement; ///< Proposed new text for the flagged entity.
+  std::string Note;        ///< Human explanation ("did you mean 'N'?").
+};
+
+/// One finding.
+struct Diagnostic {
+  std::string Code; ///< Stable identifier, e.g. "APT-E001".
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+  std::vector<std::string> Notes; ///< Secondary explanatory lines.
+  std::optional<FixIt> Fix;
+
+  /// Fluent helpers so report sites read as one expression.
+  Diagnostic &note(std::string Text) {
+    Notes.push_back(std::move(Text));
+    return *this;
+  }
+  Diagnostic &fixit(std::string Replacement, std::string Note) {
+    Fix = FixIt{std::move(Replacement), std::move(Note)};
+    return *this;
+  }
+
+  /// Renders "loc: severity: message [code]" plus indented notes and the
+  /// fix-it, one finding per block.
+  std::string toString() const;
+};
+
+/// Collects diagnostics from one front-end run.
+class DiagnosticEngine {
+public:
+  /// Reports a finding; returns a reference valid until the next report,
+  /// for attaching notes and fix-its.
+  Diagnostic &report(std::string Code, DiagSeverity Severity, SourceLoc Loc,
+                     std::string Message);
+
+  Diagnostic &error(std::string Code, SourceLoc Loc, std::string Message) {
+    return report(std::move(Code), DiagSeverity::Error, std::move(Loc),
+                  std::move(Message));
+  }
+  Diagnostic &warning(std::string Code, SourceLoc Loc, std::string Message) {
+    return report(std::move(Code), DiagSeverity::Warning, std::move(Loc),
+                  std::move(Message));
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  size_t errorCount() const { return NumErrors; }
+  size_t warningCount() const { return NumWarnings; }
+  bool hasErrors() const { return NumErrors > 0; }
+  bool empty() const { return Diags.empty(); }
+
+  /// True if some finding carries \p Code.
+  bool has(std::string_view Code) const;
+
+  /// Number of findings carrying \p Code.
+  size_t count(std::string_view Code) const;
+
+  /// All findings rendered in report order, one block per finding.
+  std::string render() const;
+
+  /// "N error(s), M warning(s)".
+  std::string summary() const;
+
+  void clear();
+
+private:
+  std::vector<Diagnostic> Diags;
+  size_t NumErrors = 0;
+  size_t NumWarnings = 0;
+};
+
+} // namespace apt
+
+#endif // APT_LINT_DIAGNOSTICS_H

@@ -1,0 +1,430 @@
+//===- lint/Lint.cpp ------------------------------------------------------===//
+//
+// Part of the APT project; see Lint.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+
+#include "analysis/Collector.h"
+#include "graph/AxiomChecker.h"
+#include "graph/GraphBuilders.h"
+#include "support/Strings.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+using namespace apt;
+
+namespace {
+
+/// Language-query facade for the lint passes: answers through the
+/// configured primary engine and, when cross-checking is on, re-answers
+/// through the other engine and reports any disagreement (which would be
+/// an engine bug, not a user error).
+class LangOracle {
+public:
+  LangOracle(const LintOptions &Opts, const FieldTable &Fields,
+             DiagnosticEngine &Diags, std::string File)
+      : Primary(Opts.Engine), Fields(Fields), Diags(Diags),
+        File(std::move(File)) {
+    if (Opts.CrossCheckEngines)
+      Secondary.emplace(Opts.Engine == LangEngine::Dfa
+                            ? LangEngine::Derivative
+                            : LangEngine::Dfa);
+  }
+
+  bool subsetOf(const RegexRef &A, const RegexRef &B) {
+    bool Got = Primary.subsetOf(A, B);
+    if (Secondary)
+      crossCheck(Got, Secondary->subsetOf(A, B), "subset", A, B);
+    return Got;
+  }
+
+  bool disjoint(const RegexRef &A, const RegexRef &B) {
+    bool Got = Primary.disjoint(A, B);
+    if (Secondary)
+      crossCheck(Got, Secondary->disjoint(A, B), "disjointness", A, B);
+    return Got;
+  }
+
+  bool equivalent(const RegexRef &A, const RegexRef &B) {
+    return subsetOf(A, B) && subsetOf(B, A);
+  }
+
+  bool containsEpsilon(const RegexRef &R) {
+    return subsetOf(Regex::epsilon(), R);
+  }
+
+private:
+  void crossCheck(bool Got, bool Other, const char *What, const RegexRef &A,
+                  const RegexRef &B) {
+    if (Got == Other)
+      return;
+    Diags.error("APT-X999", SourceLoc(File),
+                std::string("internal: DFA and derivative engines disagree "
+                            "on the ") +
+                    What + " query for '" + A->toString(Fields) + "' vs '" +
+                    B->toString(Fields) + "'");
+  }
+
+  LangQuery Primary;
+  std::optional<LangQuery> Secondary;
+  const FieldTable &Fields;
+  DiagnosticEngine &Diags;
+  std::string File;
+};
+
+/// A copy of \p R with the empty word removed, when that is expressible
+/// by a small syntactic edit (X* -> X+, dropping an eps alternative);
+/// nullptr when there is no such edit.
+RegexRef withoutEpsilon(const RegexRef &R) {
+  if (R->kind() == RegexKind::Star && !R->child()->nullable())
+    return Regex::plus(R->child());
+  if (R->kind() == RegexKind::Alt) {
+    std::vector<RegexRef> Keep;
+    for (const RegexRef &C : R->children())
+      if (!C->isEpsilon())
+        Keep.push_back(C);
+    if (Keep.size() < R->children().size()) {
+      RegexRef Fixed = Regex::alt(std::move(Keep));
+      if (!Fixed->nullable())
+        return Fixed;
+    }
+  }
+  return nullptr;
+}
+
+/// Display name of an axiom for messages: its label, or its full text.
+std::string axiomName(const Axiom &A, const FieldTable &Fields) {
+  return A.Name.empty() ? "'" + A.toString(Fields) + "'"
+                        : "'" + A.Name + "'";
+}
+
+/// True if disjointness axiom \p I follows from same-form axiom \p J:
+/// shrinking either language of a disjointness fact preserves it, and
+/// both axiom forms are symmetric in their two sides.
+bool disjointnessImplied(const Axiom &I, const Axiom &J, LangOracle &L) {
+  return (L.subsetOf(I.Lhs, J.Lhs) && L.subsetOf(I.Rhs, J.Rhs)) ||
+         (L.subsetOf(I.Lhs, J.Rhs) && L.subsetOf(I.Rhs, J.Lhs));
+}
+
+/// True if equality axiom \p I is a restatement of \p J (same language
+/// pair, possibly swapped).
+bool equalityImplied(const Axiom &I, const Axiom &J, LangOracle &L) {
+  return (L.equivalent(I.Lhs, J.Lhs) && L.equivalent(I.Rhs, J.Rhs)) ||
+         (L.equivalent(I.Lhs, J.Rhs) && L.equivalent(I.Rhs, J.Lhs));
+}
+
+/// Walks every statement of \p Body, recursing into loop and branch
+/// bodies.
+void walkStmts(const std::vector<StmtPtr> &Body,
+               const std::function<void(const Stmt &)> &Visit) {
+  for (const StmtPtr &S : Body) {
+    Visit(*S);
+    walkStmts(S->Body, Visit);
+    walkStmts(S->Else, Visit);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded model check (APT-E006)
+//===----------------------------------------------------------------------===//
+
+void checkSmallModels(const AxiomLintInput &In, const FieldTable &Fields,
+                      DiagnosticEngine &Diags, const LintOptions &Opts) {
+  const AxiomSet &AS = *In.Axioms;
+  std::set<FieldId> FieldSet;
+  for (const Axiom &A : AS.axioms()) {
+    A.Lhs->collectSymbols(FieldSet);
+    A.Rhs->collectSymbols(FieldSet);
+  }
+  std::vector<FieldId> Alphabet(FieldSet.begin(), FieldSet.end());
+
+  size_t Budget = Opts.ModelBudget;
+  bool Found = false, Complete = true, HaveBest = false;
+  size_t BestSatisfied = 0, BestNodes = 0;
+  std::string BestViolation;
+
+  for (size_t N = 1; N <= Opts.ModelMaxNodes && !Found && Complete; ++N) {
+    enumerateHeapGraphs(Alphabet, N, [&](const HeapGraph &G) {
+      if (Budget == 0) {
+        Complete = false;
+        return false;
+      }
+      --Budget;
+      size_t Satisfied = 0;
+      for (const Axiom &A : AS.axioms()) {
+        if (std::optional<AxiomViolation> V = checkAxiom(G, A, Fields)) {
+          if (!HaveBest || Satisfied > BestSatisfied) {
+            HaveBest = true;
+            BestSatisfied = Satisfied;
+            BestNodes = N;
+            BestViolation = "a best-scoring candidate graph (" +
+                            std::to_string(N) + " node(s)) violates axiom " +
+                            axiomName(A, Fields) + ": " + V->Message;
+          }
+          return true; // Violated: keep searching.
+        }
+        ++Satisfied;
+      }
+      Found = true;
+      return false;
+    });
+  }
+
+  if (Found || !Complete)
+    return; // Satisfiable, or bound too small to conclude anything.
+
+  std::vector<std::string> Names;
+  for (FieldId F : Alphabet)
+    Names.push_back(Fields.name(F));
+  Diagnostic &D = Diags.error(
+      "APT-E006", SourceLoc(In.File),
+      "axiom set is unsatisfiable on every heap graph with at most " +
+          std::to_string(Opts.ModelMaxNodes) + " node(s) over {" +
+          join(Names, ", ") + "}");
+  D.note("the axioms admit no small model: the set is contradictory, or "
+         "holds only of structures larger than the search bound");
+  if (HaveBest)
+    D.note(BestViolation + " (" + std::to_string(BestSatisfied) + "/" +
+           std::to_string(AS.size()) + " axioms hold there)");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Axiom-set lint
+//===----------------------------------------------------------------------===//
+
+void apt::lintAxiomSet(const AxiomLintInput &In, const FieldTable &Fields,
+                       DiagnosticEngine &Diags, const LintOptions &Opts) {
+  const AxiomSet &AS = *In.Axioms;
+  LangOracle Lang(Opts, Fields, Diags, In.File);
+  auto LocOf = [&](const Axiom &A) { return SourceLoc(In.File, A.Line); };
+
+  const size_t N = AS.size();
+  std::vector<bool> Degenerate(N, false); // empty side or contradictory
+  bool AnyContradiction = false;
+
+  for (size_t I = 0; I < N; ++I) {
+    const Axiom &A = AS.axioms()[I];
+
+    // Vacuity: a side denoting the empty language makes the axiom
+    // trivially true and therefore useless (APT-W003).
+    bool LhsEmpty = A.Lhs->isEmpty(), RhsEmpty = A.Rhs->isEmpty();
+    if (LhsEmpty || RhsEmpty) {
+      Degenerate[I] = true;
+      Diags.warning("APT-W003", LocOf(A),
+                    "axiom " + axiomName(A, Fields) +
+                        " is vacuously true: its " +
+                        (LhsEmpty ? "left" : "right") +
+                        " side denotes the empty language")
+          .fixit("", "delete the axiom; it constrains nothing");
+    }
+
+    // Unknown fields: with a declared alphabet, a field no axiom target
+    // can ever traverse is almost certainly a typo (APT-E004).
+    if (In.Alphabet) {
+      std::set<FieldId> Used;
+      A.Lhs->collectSymbols(Used);
+      A.Rhs->collectSymbols(Used);
+      for (FieldId F : Used) {
+        if (In.Alphabet->count(F))
+          continue;
+        const std::string &Bad = Fields.name(F);
+        Diagnostic &D = Diags.error(
+            "APT-E004", LocOf(A),
+            "axiom " + axiomName(A, Fields) + " mentions '" + Bad +
+                "', which is not a declared pointer field");
+        std::string Best;
+        size_t BestDist = 3; // Suggest only close names (distance <= 2).
+        for (FieldId Candidate : *In.Alphabet) {
+          size_t Dist = editDistance(Bad, Fields.name(Candidate));
+          if (Dist < BestDist) {
+            BestDist = Dist;
+            Best = Fields.name(Candidate);
+          }
+        }
+        if (!Best.empty())
+          D.fixit(Best, "did you mean '" + Best + "'?");
+      }
+    }
+
+    // Contradiction and overlap apply to same-origin disjointness only:
+    // for form B the origins differ, so shared words are harmless.
+    if (A.Form != AxiomForm::SameOriginDisjoint || LhsEmpty || RhsEmpty)
+      continue;
+    if (Lang.containsEpsilon(A.Lhs) && Lang.containsEpsilon(A.Rhs)) {
+      // p belongs to both p.RE1 and p.RE2, so the axiom asserts p <> p.
+      Degenerate[I] = true;
+      AnyContradiction = true;
+      Diagnostic &D = Diags.error(
+          "APT-E001", LocOf(A),
+          "axiom " + axiomName(A, Fields) +
+              " is contradictory: both sides accept the empty word, so "
+              "it asserts p <> p for every p");
+      RegexRef FixL = withoutEpsilon(A.Lhs);
+      RegexRef FixR = FixL ? nullptr : withoutEpsilon(A.Rhs);
+      if (FixL || FixR) {
+        Axiom Fixed(A.Form, FixL ? FixL : A.Lhs, FixR ? FixR : A.Rhs,
+                    A.Name);
+        D.fixit(Fixed.toString(Fields),
+                "remove the empty word from one side");
+      }
+    } else if (!Lang.disjoint(A.Lhs, A.Rhs)) {
+      Diags.warning("APT-W002", LocOf(A),
+                    "axiom " + axiomName(A, Fields) +
+                        " has overlapping sides: they share a non-empty "
+                        "word w, so the axiom outlaws every w path")
+          .note("satisfiable, but only by structures in which no such "
+                "path exists; this is usually an over-strong axiom");
+    }
+  }
+
+  // Redundancy: axiom I is flagged when some other axiom J of the same
+  // form implies it -- strictly stronger J always wins; among equivalent
+  // axioms every one after the first is flagged (APT-W005).
+  for (size_t I = 0; I < N; ++I) {
+    if (Degenerate[I])
+      continue;
+    const Axiom &A = AS.axioms()[I];
+    for (size_t J = 0; J < N; ++J) {
+      if (J == I || Degenerate[J])
+        continue;
+      const Axiom &B = AS.axioms()[J];
+      if (B.Form != A.Form)
+        continue;
+      bool Implied = A.Form == AxiomForm::Equal
+                         ? equalityImplied(A, B, Lang)
+                         : disjointnessImplied(A, B, Lang);
+      if (!Implied)
+        continue;
+      bool Mutual = A.Form == AxiomForm::Equal
+                        ? true // Equality subsumption is already mutual.
+                        : disjointnessImplied(B, A, Lang);
+      if (Mutual && J > I)
+        continue; // The earlier of two equivalent axioms survives.
+      Diags.warning("APT-W005", LocOf(A),
+                    "axiom " + axiomName(A, Fields) + " is implied by " +
+                        axiomName(B, Fields) +
+                        (Mutual ? " (they are equivalent)"
+                                : " (its languages are contained in the "
+                                  "stronger axiom's)"))
+          .note(axiomName(B, Fields) + " is " + B.toString(Fields) +
+                (B.Line > 0 ? " (line " + std::to_string(B.Line) + ")"
+                            : std::string()))
+          .fixit("", "delete the redundant axiom");
+      break; // One witness per redundant axiom is enough.
+    }
+  }
+
+  // Bounded model check. Skipped when a contradiction was already
+  // reported: an E001 set has no models at any size, so E006 would only
+  // repeat the finding.
+  if (Opts.CheckModels && !AS.empty() && !AnyContradiction)
+    checkSmallModels(In, Fields, Diags, Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// Program lint
+//===----------------------------------------------------------------------===//
+
+void apt::lintProgram(const Program &Prog, std::string_view File,
+                      FieldTable &Fields, DiagnosticEngine &Diags,
+                      const LintOptions &Opts) {
+  // The declared alphabet is the union across types: Figure-3-style
+  // axioms attached to one type legitimately mention fields of the other
+  // types making up the same structure.
+  std::set<FieldId> PointerFields;
+  for (const TypeDecl &T : Prog.Types)
+    for (const FieldDecl &F : T.Fields)
+      if (F.isPointer())
+        PointerFields.insert(F.Id);
+
+  for (const TypeDecl &T : Prog.Types) {
+    AxiomLintInput In;
+    In.Axioms = &T.Axioms;
+    In.File = std::string(File);
+    In.Alphabet = PointerFields;
+    lintAxiomSet(In, Fields, Diags, Opts);
+
+    // Shape declarations: an identical redeclaration is shadowing
+    // (APT-W103); `list` and `ring` over the same chain field assert
+    // contradictory cyclicity (APT-E104).
+    std::map<std::string, int> Seen;            // canonical key -> line
+    std::map<std::string, std::pair<std::string, int>> ChainKind;
+    for (const ShapeDecl &S : T.Shapes) {
+      std::vector<std::string> Sorted = S.FieldNames;
+      std::sort(Sorted.begin(), Sorted.end());
+      std::string Key = S.Kind + "(" + join(Sorted, ",") + ")";
+      auto [It, Fresh] = Seen.emplace(Key, S.Line);
+      if (!Fresh)
+        Diags.warning("APT-W103", SourceLoc(In.File, S.Line),
+                      "shape '" + S.Text + "' of type '" + T.Name +
+                          "' shadows an identical declaration")
+            .note("first declared at line " + std::to_string(It->second))
+            .fixit("", "delete the duplicate declaration");
+      if ((S.Kind == "list" || S.Kind == "ring") && !S.FieldNames.empty()) {
+        const std::string &Chain = S.FieldNames.front();
+        auto [CK, FreshChain] =
+            ChainKind.emplace(Chain, std::make_pair(S.Kind, S.Line));
+        if (!FreshChain && CK->second.first != S.Kind)
+          Diags.error("APT-E104", SourceLoc(In.File, S.Line),
+                      "shape '" + S.Text + "' conflicts with '" +
+                          CK->second.first + "(" + Chain + ")' at line " +
+                          std::to_string(CK->second.second) +
+                          ": a field cannot chain both an acyclic list "
+                          "and a ring");
+      }
+    }
+  }
+
+  for (const Function &F : Prog.Functions) {
+    // Opaque calls throw away every collected access path (the language
+    // has no interprocedural analysis), so queries spanning one always
+    // degrade to Maybe (APT-W101).
+    walkStmts(F.Body, [&](const Stmt &S) {
+      if (S.Kind == StmtKind::Call)
+        Diags.warning("APT-W101", SourceLoc(std::string(File), S.Line),
+                      "opaque call to '" + S.Callee + "' in fn '" + F.Name +
+                          "' clobbers every collected access path")
+            .note("dependence queries that span this call answer Maybe; "
+                  "inline the callee or move it out of the queried "
+                  "region");
+    });
+
+    // Loops whose body modifies pointers without any `p := p.w` net
+    // effect have no induction summary: no loop-carried query about them
+    // can ever be refuted (APT-W102).
+    AnalysisResult R = analyzeFunction(Prog, F, Fields);
+    std::map<int, const Stmt *> LoopStmts;
+    walkStmts(F.Body, [&](const Stmt &S) {
+      if (S.Kind == StmtKind::While)
+        LoopStmts[S.Id] = &S;
+    });
+    for (const auto &[LoopId, Sum] : R.Loops) {
+      if (!Sum.Induction.empty() || Sum.Clobbered.empty())
+        continue;
+      const Stmt *Loop = LoopStmts.count(LoopId) ? LoopStmts[LoopId]
+                                                 : nullptr;
+      std::vector<std::string> Vars(Sum.Clobbered.begin(),
+                                    Sum.Clobbered.end());
+      Diags.warning("APT-W102",
+                    SourceLoc(std::string(File),
+                              Loop ? Loop->Line : 0),
+                    "loop" +
+                        (Loop ? " over '" + Loop->CondVar + "'"
+                              : std::string()) +
+                        " in fn '" + F.Name +
+                        "' has no computable `p := p.w*` summary: " +
+                        join(Vars, ", ") +
+                        (Vars.size() == 1 ? " changes" : " change") +
+                        " unpredictably between iterations")
+          .note("loop-carried dependence queries in this loop answer "
+                "Maybe; rewrite the update as a chain of field walks "
+                "from the loop variable");
+    }
+  }
+}

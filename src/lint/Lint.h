@@ -1,0 +1,98 @@
+//===- lint/Lint.h - Static verification of axioms and programs -*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `aptlint`: static checks that run over axiom sets, shape declarations
+/// and mini-language programs *before* the prover consumes them. APT's
+/// verdicts are only as trustworthy as the user's axioms (§3.1-3.2): a
+/// contradictory axiom makes every No unsound, a vacuous one silently
+/// weakens the test to Maybe. Checks (codes in docs/DIAGNOSTICS.md):
+///
+///  * contradiction  - a form-A axiom `forall p: p.RE1 <> p.RE2` whose two
+///                     languages both contain the empty word asserts
+///                     `p <> p` (APT-E001); overlapping non-empty
+///                     languages are suspicious but satisfiable
+///                     (APT-W002).
+///  * vacuity        - empty-language sides (APT-W003) and axioms over
+///                     fields outside the declared alphabet (APT-E004).
+///  * redundancy     - an axiom implied by another via regular-language
+///                     subset tests on the DFA engine, optionally
+///                     cross-checked against the Brzozowski-derivative
+///                     engine (APT-W005, APT-X999).
+///  * consistency    - bounded model checking: exhaustively enumerate
+///                     small heap graphs over the axioms' alphabet and
+///                     report when none satisfies the whole set
+///                     (APT-E006), citing the axiom the best candidate
+///                     violates.
+///  * program checks - opaque calls that clobber all handles (APT-W101),
+///                     loops with no computable `p := p.w*` summary
+///                     (APT-W102), shadowed or conflicting shape
+///                     declarations (APT-W103 / APT-E104).
+///
+/// `aptc lint` exposes the passes from the shell and `aptc prove`/`deps`
+/// run them warn-only up front.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_LINT_LINT_H
+#define APT_LINT_LINT_H
+
+#include "core/Axiom.h"
+#include "ir/Ast.h"
+#include "lint/Diagnostics.h"
+#include "regex/LangOps.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace apt {
+
+/// Knobs for the lint passes.
+struct LintOptions {
+  /// Engine answering the subset/disjointness queries behind the
+  /// contradiction, overlap and subsumption verdicts.
+  LangEngine Engine = LangEngine::Dfa;
+  /// When set, every language query is answered by both engines and a
+  /// disagreement is itself reported (APT-X999). Used by the test suite.
+  bool CrossCheckEngines = false;
+  /// Run the bounded model check (APT-E006).
+  bool CheckModels = true;
+  /// Model check bound: graphs of 1..ModelMaxNodes nodes are enumerated.
+  size_t ModelMaxNodes = 3;
+  /// Model check budget: give up (silently, without a verdict) once this
+  /// many graphs have been examined, so wide alphabets stay cheap.
+  size_t ModelBudget = 50000;
+};
+
+/// One axiom set to lint, with everything needed for good locations.
+struct AxiomLintInput {
+  const AxiomSet *Axioms = nullptr;
+  /// File name for diagnostics (axiom lines come from Axiom::Line).
+  std::string File;
+  /// Declared pointer-field alphabet, when one exists (the `fields:`
+  /// directive of an axiom file, or the union of pointer fields declared
+  /// by a program's types). nullopt disables the unknown-field check.
+  std::optional<std::set<FieldId>> Alphabet;
+};
+
+/// Runs the axiom-set checks, appending findings to \p Diags.
+void lintAxiomSet(const AxiomLintInput &In, const FieldTable &Fields,
+                  DiagnosticEngine &Diags, const LintOptions &Opts = {});
+
+/// Runs the whole-program checks: every type's axiom set (against the
+/// union of declared pointer fields), shape-declaration shadowing and
+/// conflicts, opaque calls, and unsummarizable loops. \p Fields is
+/// non-const because the underlying flow analysis may intern handles.
+void lintProgram(const Program &Prog, std::string_view File,
+                 FieldTable &Fields, DiagnosticEngine &Diags,
+                 const LintOptions &Opts = {});
+
+} // namespace apt
+
+#endif // APT_LINT_LINT_H

@@ -6,6 +6,7 @@
 
 #include "support/Strings.h"
 
+#include <algorithm>
 #include <cctype>
 
 using namespace apt;
@@ -28,6 +29,23 @@ std::string apt::join(const std::vector<std::string> &Parts,
     Out += Parts[I];
   }
   return Out;
+}
+
+size_t apt::editDistance(std::string_view A, std::string_view B) {
+  std::vector<size_t> Row(B.size() + 1);
+  for (size_t J = 0; J <= B.size(); ++J)
+    Row[J] = J;
+  for (size_t I = 1; I <= A.size(); ++I) {
+    size_t Diag = Row[0];
+    Row[0] = I;
+    for (size_t J = 1; J <= B.size(); ++J) {
+      size_t Prev = Row[J];
+      size_t Sub = Diag + (A[I - 1] == B[J - 1] ? 0 : 1);
+      Row[J] = std::min({Row[J] + 1, Row[J - 1] + 1, Sub});
+      Diag = Prev;
+    }
+  }
+  return Row[B.size()];
 }
 
 std::vector<std::string> apt::splitNonEmpty(std::string_view S, char Sep) {

@@ -29,6 +29,10 @@ std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
 /// Splits \p S on \p Sep, dropping empty pieces.
 std::vector<std::string> splitNonEmpty(std::string_view S, char Sep);
 
+/// Levenshtein edit distance between \p A and \p B (insert/delete/replace
+/// all cost 1). Used for "did you mean ...?" fix-it suggestions.
+size_t editDistance(std::string_view A, std::string_view B);
+
 /// Mixes \p Value into \p Seed (boost::hash_combine recipe).
 inline void hashCombine(size_t &Seed, size_t Value) {
   Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);

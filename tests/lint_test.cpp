@@ -1,0 +1,419 @@
+//===- tests/lint_test.cpp - Static axiom/program verifier ----------------===//
+//
+// Part of the APT project; covers src/lint/{Diagnostics,AxiomFile,Lint}.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lint/AxiomFile.h"
+#include "lint/Lint.h"
+
+#include "core/Shapes.h"
+#include "ir/Parser.h"
+#include "regex/Derivative.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace apt;
+
+namespace {
+
+/// Parses a multi-line axiom file; fails the test on parse errors.
+AxiomFileContents mustParse(std::string_view Text, FieldTable &Fields) {
+  DiagnosticEngine Diags;
+  AxiomFileContents C = parseAxiomFile(Text, "test.axioms", Fields, Diags);
+  EXPECT_TRUE(C.Ok) << Diags.render();
+  return C;
+}
+
+/// Runs the axiom-set lint and returns the diagnostics.
+DiagnosticEngine lintText(std::string_view Text, FieldTable &Fields,
+                          LintOptions Opts = {}) {
+  AxiomFileContents C = mustParse(Text, Fields);
+  DiagnosticEngine Diags;
+  AxiomLintInput In;
+  In.Axioms = &C.Axioms;
+  In.File = "test.axioms";
+  In.Alphabet = C.DeclaredFields;
+  lintAxiomSet(In, Fields, Diags, Opts);
+  return Diags;
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics engine
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, RenderCarriesCodeLocationAndFixIt) {
+  DiagnosticEngine D;
+  D.error("APT-E001", SourceLoc("f.axioms", 3), "boom")
+      .note("why it matters")
+      .fixit("forall p: p.L+ <> p.R", "use plus");
+  D.warning("APT-W005", SourceLoc("f.axioms"), "meh");
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.warningCount(), 1u);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_TRUE(D.has("APT-E001"));
+  EXPECT_FALSE(D.has("APT-E006"));
+  std::string Text = D.render();
+  EXPECT_NE(Text.find("f.axioms:3: error: boom [APT-E001]"),
+            std::string::npos);
+  EXPECT_NE(Text.find("fix-it: use plus"), std::string::npos);
+  EXPECT_EQ(D.summary(), "1 error(s), 1 warning(s)");
+}
+
+//===----------------------------------------------------------------------===//
+// Axiom-file loader
+//===----------------------------------------------------------------------===//
+
+TEST(AxiomFile, LoadsNamesLinesAndFieldsDirective) {
+  FieldTable Fields;
+  AxiomFileContents C = mustParse("# comment\n"
+                                  "fields: L, R\n"
+                                  "A1: forall p: p.L <> p.R\n"
+                                  "\n"
+                                  "forall p <> q: p.L <> q.L\n",
+                                  Fields);
+  ASSERT_EQ(C.Axioms.size(), 2u);
+  ASSERT_TRUE(C.DeclaredFields.has_value());
+  EXPECT_EQ(C.DeclaredFields->size(), 2u);
+  EXPECT_EQ(C.Axioms.axioms()[0].Name, "A1");
+  EXPECT_EQ(C.Axioms.axioms()[0].Line, 3);
+  EXPECT_EQ(C.Axioms.axioms()[1].Line, 5);
+}
+
+TEST(AxiomFile, ParseErrorIsStructuredAndNonFatal) {
+  FieldTable Fields;
+  DiagnosticEngine Diags;
+  AxiomFileContents C = parseAxiomFile("forall p: p.L <> p.R\n"
+                                       "this is not an axiom\n"
+                                       "forall p: p.a <> p.b\n",
+                                       "bad.axioms", Fields, Diags);
+  EXPECT_FALSE(C.Ok);
+  EXPECT_EQ(C.Axioms.size(), 2u) << "good lines must still load";
+  ASSERT_TRUE(Diags.has("APT-E007"));
+  EXPECT_EQ(Diags.diagnostics()[0].Loc.Line, 2);
+}
+
+TEST(AxiomFile, DuplicateNameWarns) {
+  FieldTable Fields;
+  DiagnosticEngine Diags;
+  parseAxiomFile("X: forall p: p.L <> p.R\n"
+                 "X: forall p: p.L.L <> p.R\n",
+                 "dup.axioms", Fields, Diags);
+  EXPECT_TRUE(Diags.has("APT-W008"));
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// Contradiction / overlap / vacuity / unknown fields
+//===----------------------------------------------------------------------===//
+
+TEST(LintAxioms, FlagsEpsilonContradiction) {
+  FieldTable Fields;
+  DiagnosticEngine D = lintText("C1: forall p: p.L* <> p.(R|eps)\n", Fields);
+  ASSERT_TRUE(D.has("APT-E001")) << D.render();
+  // The suggested repair must itself be contradiction-free.
+  const Diagnostic &Diag = D.diagnostics()[0];
+  ASSERT_TRUE(Diag.Fix.has_value());
+  FieldTable F2;
+  DiagnosticEngine D2 = lintText(Diag.Fix->Replacement + "\n", F2);
+  EXPECT_FALSE(D2.has("APT-E001")) << Diag.Fix->Replacement;
+}
+
+TEST(LintAxioms, FormBMayAcceptEpsilonOnBothSides) {
+  FieldTable Fields;
+  // For p <> q, {p} and {q} are disjoint: not a contradiction.
+  DiagnosticEngine D =
+      lintText("forall p <> q: p.L* <> q.L*\n", Fields);
+  EXPECT_FALSE(D.has("APT-E001")) << D.render();
+}
+
+TEST(LintAxioms, FlagsNonEpsilonOverlapAsWarning) {
+  FieldTable Fields;
+  DiagnosticEngine D =
+      lintText("forall p: p.L.L* <> p.L+\n", Fields);
+  EXPECT_TRUE(D.has("APT-W002")) << D.render();
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(LintAxioms, FlagsEmptyLanguageSide) {
+  FieldTable Fields;
+  DiagnosticEngine D = lintText("forall p: p.never <> p.L\n", Fields);
+  EXPECT_TRUE(D.has("APT-W003")) << D.render();
+}
+
+TEST(LintAxioms, FlagsUnknownFieldWithSuggestion) {
+  FieldTable Fields;
+  DiagnosticEngine D = lintText("fields: L, R, N\n"
+                                "forall p <> q: p.NN <> q.NN\n",
+                                Fields);
+  ASSERT_EQ(D.count("APT-E004"), 1u) << D.render();
+  const Diagnostic &Diag = D.diagnostics()[0];
+  ASSERT_TRUE(Diag.Fix.has_value());
+  EXPECT_EQ(Diag.Fix->Replacement, "N");
+}
+
+TEST(LintAxioms, NoAlphabetMeansNoUnknownFieldCheck) {
+  FieldTable Fields;
+  DiagnosticEngine D = lintText("forall p: p.whatever <> p.other\n", Fields);
+  EXPECT_FALSE(D.has("APT-E004"));
+}
+
+//===----------------------------------------------------------------------===//
+// Redundancy / subsumption
+//===----------------------------------------------------------------------===//
+
+TEST(LintAxioms, FlagsStrictlyWeakerAxiom) {
+  FieldTable Fields;
+  // A1's languages are contained in A2's, so A1 is implied -- wherever
+  // the two axioms appear in the file.
+  DiagnosticEngine D = lintText("A1: forall p: p.L.L <> p.R\n"
+                                "A2: forall p: p.L+ <> p.R\n",
+                                Fields);
+  ASSERT_EQ(D.count("APT-W005"), 1u) << D.render();
+  EXPECT_NE(D.render().find("'A1' is implied by 'A2'"), std::string::npos)
+      << D.render();
+}
+
+TEST(LintAxioms, EquivalentPairKeepsTheFirst) {
+  FieldTable Fields;
+  DiagnosticEngine D = lintText("A1: forall p: p.L <> p.R\n"
+                                "A2: forall p: p.R <> p.L\n",
+                                Fields);
+  ASSERT_EQ(D.count("APT-W005"), 1u) << D.render();
+  EXPECT_NE(D.render().find("'A2' is implied by 'A1'"), std::string::npos)
+      << D.render();
+}
+
+TEST(LintAxioms, IndependentAxiomsAreNotFlagged) {
+  FieldTable Fields;
+  DiagnosticEngine D = lintText("A1: forall p: p.L <> p.R\n"
+                                "A2: forall p <> q: p.(L|R) <> q.(L|R)\n"
+                                "A3: forall p: p.(L|R)+ <> p.eps\n",
+                                Fields);
+  EXPECT_EQ(D.count("APT-W005"), 0u) << D.render();
+  EXPECT_TRUE(D.empty()) << D.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded model check
+//===----------------------------------------------------------------------===//
+
+TEST(LintModels, FiniteHeapUnsatisfiableSetIsFlagged) {
+  FieldTable Fields;
+  // inverse(next, prev) forces every node to have a successor; acyclicity
+  // of next forbids the cycle any finite successor-total graph must have.
+  DiagnosticEngine D = lintText("S1: forall p: p.next.prev = p.eps\n"
+                                "S2: forall p: p.prev.next = p.eps\n"
+                                "S3: forall p: p.next+ <> p.eps\n",
+                                Fields);
+  ASSERT_TRUE(D.has("APT-E006")) << D.render();
+  // The witness note must name a violated axiom.
+  EXPECT_NE(D.render().find("violates axiom"), std::string::npos);
+}
+
+TEST(LintModels, SatisfiableSetsPassAndPreludeShapesAreConsistent) {
+  FieldTable Fields;
+  FieldId L = Fields.intern("L"), R = Fields.intern("R");
+  AxiomSet Tree;
+  for (Axiom &A : shapeTree({L, R}))
+    Tree.add(std::move(A));
+  DiagnosticEngine Diags;
+  AxiomLintInput In;
+  In.Axioms = &Tree;
+  In.File = "shape.tree";
+  lintAxiomSet(In, Fields, Diags);
+  EXPECT_FALSE(Diags.has("APT-E006")) << Diags.render();
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.render();
+}
+
+TEST(LintModels, BudgetExhaustionStaysSilent) {
+  FieldTable Fields;
+  LintOptions Opts;
+  Opts.ModelBudget = 1; // Cannot conclude anything from one graph.
+  DiagnosticEngine D = lintText("S1: forall p: p.next.prev = p.eps\n"
+                                "S2: forall p: p.prev.next = p.eps\n"
+                                "S3: forall p: p.next+ <> p.eps\n",
+                                Fields, Opts);
+  EXPECT_FALSE(D.has("APT-E006")) << D.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Program-level lint
+//===----------------------------------------------------------------------===//
+
+DiagnosticEngine lintProgramText(std::string_view Source) {
+  FieldTable Fields;
+  ProgramParseResult Prog = parseProgram(Source, Fields);
+  EXPECT_TRUE(Prog) << Prog.Error;
+  DiagnosticEngine Diags;
+  lintProgram(Prog.Value, "test.apt", Fields, Diags);
+  return Diags;
+}
+
+TEST(LintProgram, FlagsOpaqueCall) {
+  DiagnosticEngine D = lintProgramText("type T { next: T; d: int; }\n"
+                                       "fn f(p: T) {\n"
+                                       "  S: p.d = 1;\n"
+                                       "  call helper(p);\n"
+                                       "  T: x = p.d;\n"
+                                       "}\n");
+  ASSERT_EQ(D.count("APT-W101"), 1u) << D.render();
+  EXPECT_EQ(D.diagnostics()[0].Loc.Line, 4);
+}
+
+TEST(LintProgram, FlagsUnsummarizableLoop) {
+  // The loop restarts its cursor from the root whenever fun() says so:
+  // q's net effect is neither invariant nor q := q.w.
+  DiagnosticEngine D = lintProgramText("type T { next: T; d: int; }\n"
+                                       "fn f(root: T) {\n"
+                                       "  q = root;\n"
+                                       "  c = 0;\n"
+                                       "  while q {\n"
+                                       "    if c { q = q.next; }\n"
+                                       "    else { q = root; }\n"
+                                       "  }\n"
+                                       "}\n");
+  ASSERT_EQ(D.count("APT-W102"), 1u) << D.render();
+  EXPECT_EQ(D.diagnostics()[0].Loc.Line, 5);
+}
+
+TEST(LintProgram, SummarizableLoopIsClean) {
+  DiagnosticEngine D = lintProgramText("type T { next: T; d: int; }\n"
+                                       "fn f(root: T) {\n"
+                                       "  q = root;\n"
+                                       "  while q {\n"
+                                       "    U: q.d = 1;\n"
+                                       "    q = q.next;\n"
+                                       "  }\n"
+                                       "}\n");
+  EXPECT_EQ(D.count("APT-W102"), 0u) << D.render();
+}
+
+TEST(LintProgram, FlagsShadowedAndConflictingShapes) {
+  DiagnosticEngine D =
+      lintProgramText("type T { next: T; d: int;\n"
+                      "  shape list(next);\n"
+                      "  shape list(next);\n"
+                      "}\n");
+  EXPECT_EQ(D.count("APT-W103"), 1u) << D.render();
+
+  DiagnosticEngine D2 =
+      lintProgramText("type T { next: T; d: int;\n"
+                      "  shape list(next);\n"
+                      "  shape ring(next);\n"
+                      "}\n");
+  EXPECT_EQ(D2.count("APT-E104"), 1u) << D2.render();
+  EXPECT_TRUE(D2.hasErrors());
+}
+
+TEST(LintProgram, AxiomOverUndeclaredFieldIsFlagged) {
+  DiagnosticEngine D =
+      lintProgramText("type T { next: T; d: int;\n"
+                      "  axiom A1: forall p <> q: p.nxt <> q.nxt;\n"
+                      "}\n"
+                      "fn f(p: T) { S: p.d = 1; }\n");
+  ASSERT_EQ(D.count("APT-E004"), 1u) << D.render();
+  const Diagnostic &Diag = D.diagnostics()[0];
+  EXPECT_EQ(Diag.Loc.Line, 2);
+  ASSERT_TRUE(Diag.Fix.has_value());
+  EXPECT_EQ(Diag.Fix->Replacement, "next");
+}
+
+TEST(LintProgram, CleanWorklistProgramHasNoFindings) {
+  DiagnosticEngine D = lintProgramText("type WorkList {\n"
+                                       "  link: WorkList;\n"
+                                       "  f: int;\n"
+                                       "  shape list(link);\n"
+                                       "}\n"
+                                       "fn update(head: WorkList) {\n"
+                                       "  q = head;\n"
+                                       "  while q {\n"
+                                       "    U: q.f = fun();\n"
+                                       "    q = q.link;\n"
+                                       "  }\n"
+                                       "}\n");
+  EXPECT_TRUE(D.empty()) << D.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Engine agreement: every subsumption/contradiction verdict must be
+// identical under the DFA and the Brzozowski-derivative engines.
+//===----------------------------------------------------------------------===//
+
+RegexRef randomRegex(std::mt19937 &Rng, const std::vector<FieldId> &Alpha,
+                     int Depth) {
+  std::uniform_int_distribution<int> Pick(0, Depth <= 0 ? 1 : 5);
+  switch (Pick(Rng)) {
+  case 0:
+    return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+  case 1:
+    return Regex::epsilon();
+  case 2:
+    return Regex::concat(randomRegex(Rng, Alpha, Depth - 1),
+                         randomRegex(Rng, Alpha, Depth - 1));
+  case 3:
+    return Regex::alt(randomRegex(Rng, Alpha, Depth - 1),
+                      randomRegex(Rng, Alpha, Depth - 1));
+  case 4:
+    return Regex::star(randomRegex(Rng, Alpha, Depth - 1));
+  default:
+    return Regex::plus(randomRegex(Rng, Alpha, Depth - 1));
+  }
+}
+
+TEST(LintEngines, SubsetVerdictsAgreeAcrossEngines) {
+  FieldTable Fields;
+  std::vector<FieldId> Alpha{Fields.intern("L"), Fields.intern("R"),
+                             Fields.intern("N")};
+  std::mt19937 Rng(94); // Deterministic: PLDI '94.
+  for (int Iter = 0; Iter < 300; ++Iter) {
+    RegexRef A = randomRegex(Rng, Alpha, 3);
+    RegexRef B = randomRegex(Rng, Alpha, 3);
+    LangQuery Dfa(LangEngine::Dfa);
+    EXPECT_EQ(Dfa.subsetOf(A, B), derivSubsetOf(A, B))
+        << A->toString(Fields) << " vs " << B->toString(Fields);
+    EXPECT_EQ(Dfa.disjoint(A, B), derivDisjoint(A, B))
+        << A->toString(Fields) << " vs " << B->toString(Fields);
+  }
+}
+
+TEST(LintEngines, LintVerdictsIdenticalUnderEitherEngine) {
+  std::mt19937 Rng(1994);
+  std::vector<std::string> FieldNames{"L", "R", "N"};
+  for (int Iter = 0; Iter < 40; ++Iter) {
+    // Assemble a random axiom set (as text, so each engine run starts
+    // from an identical, independent parse).
+    FieldTable Gen;
+    std::vector<FieldId> Alpha;
+    for (const std::string &F : FieldNames)
+      Alpha.push_back(Gen.intern(F));
+    std::string Text;
+    std::uniform_int_distribution<int> NumAxioms(1, 4);
+    int N = NumAxioms(Rng);
+    for (int I = 0; I < N; ++I) {
+      RegexRef Lhs = randomRegex(Rng, Alpha, 2);
+      RegexRef Rhs = randomRegex(Rng, Alpha, 2);
+      bool FormB = Rng() % 2;
+      Text += "A" + std::to_string(I) + ": forall p" +
+              (FormB ? " <> q" : "") + ": p." + Lhs->toString(Gen) +
+              " <> " + (FormB ? "q." : "p.") + Rhs->toString(Gen) + "\n";
+    }
+
+    std::vector<std::string> Rendered;
+    for (LangEngine Engine : {LangEngine::Dfa, LangEngine::Derivative}) {
+      FieldTable Fields;
+      LintOptions Opts;
+      Opts.Engine = Engine;
+      Opts.CrossCheckEngines = true;
+      Opts.CheckModels = false; // Model checking is engine-independent.
+      DiagnosticEngine D = lintText(Text, Fields, Opts);
+      EXPECT_FALSE(D.has("APT-X999")) << Text << D.render();
+      Rendered.push_back(D.render());
+    }
+    EXPECT_EQ(Rendered[0], Rendered[1]) << Text;
+  }
+}
+
+} // namespace

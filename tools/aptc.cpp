@@ -21,8 +21,15 @@
 //       Print the full analysis: per-statement access path matrices,
 //       labeled references, loop summaries and handle provenance.
 //
-// Exit code: 0 = No/parallelizable, 1 = Maybe/blocked, 2 = usage or
-// input error.
+//   aptc lint <axioms-or-program-file> [--no-models]
+//       Statically verify an axiom file or a program: contradictory,
+//       vacuous, redundant and unsatisfiable axioms, unknown fields,
+//       opaque calls, unsummarizable loops, shape conflicts. Exits
+//       non-zero iff an error-severity finding was reported. The same
+//       checks run warn-only at the front of `prove` and `deps`.
+//
+// Exit code: 0 = No/parallelizable/lint-clean, 1 = Maybe/blocked/lint
+// errors, 2 = usage or input error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -30,10 +37,13 @@
 #include "core/ProofChecker.h"
 #include "core/Prover.h"
 #include "ir/Parser.h"
+#include "lint/AxiomFile.h"
+#include "lint/Lint.h"
 #include "regex/RegexParser.h"
 #include "support/Strings.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -49,7 +59,8 @@ int usage() {
                "       aptc deps <program> <labelS> <labelT> "
                "[--invariant-writes]\n"
                "       aptc loops <program> [--invariant-writes]\n"
-               "       aptc dump <program> [--invariant-writes]\n");
+               "       aptc dump <program> [--invariant-writes]\n"
+               "       aptc lint <axioms-or-program> [--no-models]\n");
   return 2;
 }
 
@@ -65,50 +76,48 @@ bool readFile(const char *Path, std::string &Out) {
   return true;
 }
 
-/// Parses an axioms file: one axiom per line, blank lines and lines
-/// starting with '#' skipped, optional "NAME:" prefix.
-bool readAxioms(const char *Path, FieldTable &Fields, AxiomSet &Out) {
+/// Parses an axioms file through the shared lint loader (which handles
+/// comments, "NAME:" prefixes and the `fields:` directive); parse errors
+/// are printed as structured diagnostics.
+bool readAxioms(const char *Path, FieldTable &Fields,
+                AxiomFileContents &Out) {
   std::string Text;
   if (!readFile(Path, Text))
     return false;
-  int LineNo = 0, AutoName = 0;
-  std::stringstream Lines(Text);
-  std::string Line;
-  while (std::getline(Lines, Line)) {
-    ++LineNo;
-    std::string_view Trimmed = trim(Line);
-    if (Trimmed.empty() || Trimmed.front() == '#')
-      continue;
-    std::string Name = "A" + std::to_string(++AutoName);
-    size_t Colon = Trimmed.find(':');
-    if (Colon != std::string::npos) {
-      std::string_view Head = trim(Trimmed.substr(0, Colon));
-      bool IsName = !Head.empty() && Head != "forall";
-      for (char C : Head)
-        if (!std::isalnum(static_cast<unsigned char>(C)) && C != '_')
-          IsName = false;
-      if (IsName) {
-        Name = std::string(Head);
-        Trimmed = trim(Trimmed.substr(Colon + 1));
-      }
-    }
-    AxiomParseResult A = parseAxiom(Trimmed, Fields, Name);
-    if (!A) {
-      std::fprintf(stderr, "%s:%d: %s\n", Path, LineNo, A.Error.c_str());
-      return false;
-    }
-    Out.add(A.Value);
-  }
-  return true;
+  DiagnosticEngine Diags;
+  Out = parseAxiomFile(Text, Path, Fields, Diags);
+  if (!Diags.empty())
+    std::fprintf(stderr, "%s", Diags.render().c_str());
+  return Out.Ok;
+}
+
+/// Runs a lint pass whose findings must not change the command's
+/// behavior: everything is reported to stderr and forgotten (the
+/// "warn-only at the front of prove/deps" mode).
+void warnOnlyLint(const DiagnosticEngine &Diags) {
+  if (Diags.empty())
+    return;
+  std::fprintf(stderr, "%s(lint: %s; use `aptc lint` to gate on these)\n",
+               Diags.render().c_str(), Diags.summary().c_str());
 }
 
 int cmdProve(int Argc, char **Argv) {
   if (Argc != 3)
     return usage();
   FieldTable Fields;
-  AxiomSet Axioms;
-  if (!readAxioms(Argv[0], Fields, Axioms))
+  AxiomFileContents Contents;
+  if (!readAxioms(Argv[0], Fields, Contents))
     return 2;
+  const AxiomSet &Axioms = Contents.Axioms;
+  {
+    DiagnosticEngine LintDiags;
+    AxiomLintInput In;
+    In.Axioms = &Axioms;
+    In.File = Argv[0];
+    In.Alphabet = Contents.DeclaredFields;
+    lintAxiomSet(In, Fields, LintDiags);
+    warnOnlyLint(LintDiags);
+  }
   RegexParseResult P = parseRegex(Argv[1], Fields);
   RegexParseResult Q = parseRegex(Argv[2], Fields);
   if (!P || !Q) {
@@ -169,6 +178,11 @@ int cmdDeps(int Argc, char **Argv) {
     std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
     return 2;
   }
+  {
+    DiagnosticEngine LintDiags;
+    lintProgram(Prog.Value, Argv[0], Fields, LintDiags);
+    warnOnlyLint(LintDiags);
+  }
 
   for (const Function &F : Prog.Value.Functions) {
     if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
@@ -218,6 +232,69 @@ int cmdLoops(int Argc, char **Argv) {
   return AllParallel ? 0 : 1;
 }
 
+/// `aptc lint <file>`: program mode for `.apt` files (or anything
+/// declaring a `fn`), axiom-file mode otherwise. Exit 0 = no errors
+/// (warnings allowed), 1 = error findings, 2 = unreadable input.
+int cmdLint(int Argc, char **Argv) {
+  LintOptions Opts;
+  for (int I = 0; I < Argc;) {
+    if (std::strcmp(Argv[I], "--no-models") == 0) {
+      Opts.CheckModels = false;
+      for (int J = I; J + 1 < Argc; ++J)
+        Argv[J] = Argv[J + 1];
+      --Argc;
+    } else {
+      ++I;
+    }
+  }
+  if (Argc != 1)
+    return usage();
+  const char *Path = Argv[0];
+  std::string Text;
+  if (!readFile(Path, Text))
+    return 2;
+
+  FieldTable Fields;
+  DiagnosticEngine Diags;
+  std::string_view PathView(Path);
+  bool IsProgram =
+      PathView.size() >= 4 &&
+      PathView.substr(PathView.size() - 4) == ".apt";
+  if (!IsProgram && Text.find("fn ") != std::string::npos)
+    IsProgram = true;
+
+  if (IsProgram) {
+    ProgramParseResult Prog = parseProgram(Text, Fields);
+    if (!Prog) {
+      // Parser errors arrive as "line N: message"; re-home them in the
+      // structured diagnostics stream.
+      int Line = 0;
+      std::string Message = Prog.Error;
+      if (Message.substr(0, 5) == "line ") {
+        size_t Colon = Message.find(':');
+        if (Colon != std::string::npos) {
+          Line = std::atoi(Message.c_str() + 5);
+          Message = std::string(trim(Message.substr(Colon + 1)));
+        }
+      }
+      Diags.error("APT-E007", SourceLoc(Path, Line), Message);
+    } else {
+      lintProgram(Prog.Value, Path, Fields, Diags, Opts);
+    }
+  } else {
+    AxiomFileContents Contents = parseAxiomFile(Text, Path, Fields, Diags);
+    AxiomLintInput In;
+    In.Axioms = &Contents.Axioms;
+    In.File = Path;
+    In.Alphabet = Contents.DeclaredFields;
+    lintAxiomSet(In, Fields, Diags, Opts);
+  }
+
+  std::printf("%s", Diags.render().c_str());
+  std::printf("lint: %s: %s\n", Path, Diags.summary().c_str());
+  return Diags.hasErrors() ? 1 : 0;
+}
+
 int cmdDump(int Argc, char **Argv) {
   AnalyzerOptions Opts;
   parseFlags(Argc, Argv, Opts);
@@ -252,5 +329,7 @@ int main(int Argc, char **Argv) {
     return cmdLoops(Argc - 2, Argv + 2);
   if (std::strcmp(Argv[1], "dump") == 0)
     return cmdDump(Argc - 2, Argv + 2);
+  if (std::strcmp(Argv[1], "lint") == 0)
+    return cmdLint(Argc - 2, Argv + 2);
   return usage();
 }
