@@ -88,14 +88,19 @@ rebaseOntoAncestors(const std::map<std::string, RegexRef> &Paths,
   return Out;
 }
 
-DepTestResult DepQueryEngine::testStatementPair(const std::string &LabelS,
-                                                const std::string &LabelT,
-                                                Prover &P) {
+PreparedQuery
+DepQueryEngine::prepareStatementPair(const std::string &LabelS,
+                                     const std::string &LabelT) const {
+  PreparedQuery Out;
   auto SIt = Result.Refs.find(LabelS);
   auto TIt = Result.Refs.find(LabelT);
-  if (SIt == Result.Refs.end() || TIt == Result.Refs.end())
-    return maybeResult("no labeled memory reference '" +
-                       (SIt == Result.Refs.end() ? LabelS : LabelT) + "'");
+  if (SIt == Result.Refs.end() || TIt == Result.Refs.end()) {
+    Out.Direct = true;
+    Out.Immediate = maybeResult(
+        "no labeled memory reference '" +
+        (SIt == Result.Refs.end() ? LabelS : LabelT) + "'");
+    return Out;
+  }
   const CollectedRef &S = SIt->second, &T = TIt->second;
 
   // Scan the two path sets for a common handle (§3.3); prefer the one
@@ -129,20 +134,29 @@ DepTestResult DepQueryEngine::testStatementPair(const std::string &LabelS,
     // type/field screens of deptest still apply; hand it distinct
     // handles so it answers No for non-overlapping references and Maybe
     // otherwise.
-    MemRef MS{S.TypeName, S.Field, AccessPath("_s", Regex::epsilon()),
-              S.IsWrite};
-    MemRef MT{T.TypeName, T.Field, AccessPath("_t", Regex::epsilon()),
-              T.IsWrite};
-    return dependenceTest(axiomsFor(S, T), MS, MT, P);
+    Out.S = MemRef{S.TypeName, S.Field, AccessPath("_s", Regex::epsilon()),
+                   S.IsWrite};
+    Out.T = MemRef{T.TypeName, T.Field, AccessPath("_t", Regex::epsilon()),
+                   T.IsWrite};
+    Out.Axioms = axiomsFor(S, T);
+    return Out;
   }
 
-  MemRef MS{S.TypeName, S.Field, AccessPath(*BestHandle,
-                                            SPaths.at(*BestHandle)),
-            S.IsWrite};
-  MemRef MT{T.TypeName, T.Field, AccessPath(*BestHandle,
-                                            TPaths.at(*BestHandle)),
-            T.IsWrite};
-  return dependenceTest(axiomsFor(S, T), MS, MT, P);
+  Out.S = MemRef{S.TypeName, S.Field,
+                 AccessPath(*BestHandle, SPaths.at(*BestHandle)), S.IsWrite};
+  Out.T = MemRef{T.TypeName, T.Field,
+                 AccessPath(*BestHandle, TPaths.at(*BestHandle)), T.IsWrite};
+  Out.Axioms = axiomsFor(S, T);
+  return Out;
+}
+
+DepTestResult DepQueryEngine::testStatementPair(const std::string &LabelS,
+                                                const std::string &LabelT,
+                                                Prover &P) {
+  PreparedQuery Q = prepareStatementPair(LabelS, LabelT);
+  if (Q.Direct)
+    return Q.Immediate;
+  return dependenceTest(Q.Axioms, Q.S, Q.T, P);
 }
 
 std::vector<int> DepQueryEngine::loopIds() const {

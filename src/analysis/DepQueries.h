@@ -44,6 +44,20 @@ struct LoopParallelism {
   int RefutedPairs = 0;
 };
 
+/// A statement-pair query reduced to the exact inputs of the core
+/// dependence test. Exposed so the batch engine (QueryEngine.h) can
+/// deduplicate structurally equal queries -- same scoped axiom set, same
+/// memrefs -- before spending prover time, and so its workers can run
+/// the prover step on whichever thread claims the query.
+struct PreparedQuery {
+  /// True when the query was answered during preparation (missing label)
+  /// and the prover is not consulted; \p Immediate holds the answer.
+  bool Direct = false;
+  DepTestResult Immediate;
+  AxiomSet Axioms; ///< §3.4 epoch-scoped axioms for this pair.
+  MemRef S, T;     ///< The two sides handed to dependenceTest.
+};
+
 /// Dependence query engine for one analyzed function.
 class DepQueryEngine {
 public:
@@ -54,9 +68,17 @@ public:
 
   const AnalysisResult &analysis() const { return Result; }
 
+  /// Reduces the (LabelS, LabelT) statement pair to a PreparedQuery:
+  /// common-handle selection (with provenance rebasing), §3.4 axiom
+  /// scoping, and the no-common-handle fallback. Pure with respect to
+  /// the engine's state, so it is safe to call concurrently.
+  PreparedQuery prepareStatementPair(const std::string &LabelS,
+                                     const std::string &LabelT) const;
+
   /// Tests whether the statement labeled \p LabelT depends on the one
   /// labeled \p LabelS (S precedes T on a common control path). Uses a
-  /// common handle between the two reference's path sets.
+  /// common handle between the two reference's path sets. Equivalent to
+  /// preparing the pair and running dependenceTest on the result.
   DepTestResult testStatementPair(const std::string &LabelS,
                                   const std::string &LabelT, Prover &P);
 

@@ -1,0 +1,252 @@
+//===- analysis/QueryEngine.cpp -------------------------------------------===//
+//
+// Part of the APT project; see QueryEngine.h for the threading model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QueryEngine.h"
+
+#include "parallel/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <thread>
+#include <unordered_map>
+
+using namespace apt;
+
+BatchQueryEngine::BatchQueryEngine(const Program &Prog, FieldTable &Fields,
+                                   BatchOptions Opts)
+    : Prog(Prog), Fields(Fields), Opts(Opts),
+      // Shard counts sized for tens of threads; see ShardedCache.h.
+      SharedGoals(32), SharedLang(64) {
+  for (const Function &F : Prog.Functions)
+    Engines.emplace_back(F.Name, std::make_unique<DepQueryEngine>(
+                                     Prog, F, Fields, Opts.Analyzer));
+}
+
+BatchQueryEngine::~BatchQueryEngine() = default;
+
+unsigned BatchQueryEngine::jobs() const {
+  if (Opts.Jobs > 0)
+    return Opts.Jobs;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW > 0 ? HW : 1;
+}
+
+const DepQueryEngine *
+BatchQueryEngine::engineFor(const std::string &Func) const {
+  for (const auto &[Name, Engine] : Engines)
+    if (Name == Func)
+      return Engine.get();
+  return nullptr;
+}
+
+std::vector<BatchQuery> BatchQueryEngine::plan() const {
+  std::vector<BatchQuery> Out;
+  for (const auto &[Name, Engine] : Engines) {
+    // Order labels by program position (statement id), then by label so
+    // two labels on one statement still order deterministically.
+    std::vector<std::pair<int, std::string>> Labels;
+    for (const auto &[Label, Ref] : Engine->analysis().Refs)
+      Labels.emplace_back(Ref.StmtId, Label);
+    std::sort(Labels.begin(), Labels.end());
+    for (size_t I = 0; I < Labels.size(); ++I)
+      for (size_t J = I + 1; J < Labels.size(); ++J)
+        Out.push_back({Name, Labels[I].second, Labels[J].second});
+  }
+  return Out;
+}
+
+namespace {
+
+/// Number of Kleene (Star/Plus) nodes in \p R. The scheduling weight of
+/// a query: every star can trigger a 3-case or 7-case induction, so
+/// star-heavy queries dominate wall time and must start first.
+size_t kleeneWeight(const RegexRef &R) {
+  size_t N = (R->kind() == RegexKind::Star || R->kind() == RegexKind::Plus)
+                 ? 1
+                 : 0;
+  for (const RegexRef &C : R->children())
+    N += kleeneWeight(C);
+  return N;
+}
+
+/// Structural identity key of a prepared query: two queries with equal
+/// keys produce byte-identical DepTestResults (up to ProofText, which
+/// may legally cite the goal cache), so one prover run answers both.
+std::string queryKey(const PreparedQuery &Q) {
+  std::string Key = std::to_string(Prover::axiomSetFingerprint(Q.Axioms));
+  for (const MemRef *M : {&Q.S, &Q.T}) {
+    Key += "\x1f" + M->TypeName;
+    Key += "\x1f" + std::to_string(M->Field);
+    Key += "\x1f" + M->Path.Handle;
+    Key += "\x1f" + M->Path.Path->key();
+    Key += M->IsWrite ? "\x1fw" : "\x1fr";
+  }
+  return Key;
+}
+
+struct Task {
+  PreparedQuery Prepared;
+  size_t Weight = 0;    ///< Combined Kleene weight of both paths.
+  size_t FirstSlot = 0; ///< Earliest result index, for stable ordering.
+  std::vector<size_t> Slots; ///< Result indices this task answers.
+  DepTestResult Result;
+};
+
+} // namespace
+
+std::vector<BatchResult>
+BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
+  std::vector<BatchResult> Results(Queries.size());
+  Stats.Queries += Queries.size();
+
+  // Phase 1 (sequential): prepare and deduplicate.
+  std::vector<Task> Tasks;
+  std::unordered_map<std::string, size_t> TaskIndex;
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    const BatchQuery &Q = Queries[I];
+    Results[I].Query = Q;
+    const DepQueryEngine *Engine = engineFor(Q.Func);
+    PreparedQuery P;
+    if (!Engine) {
+      P.Direct = true;
+      P.Immediate.Verdict = DepVerdict::Maybe;
+      P.Immediate.Reason = "no function named '" + Q.Func + "'";
+    } else {
+      P = Engine->prepareStatementPair(Q.LabelS, Q.LabelT);
+    }
+    if (P.Direct) {
+      ++Stats.DirectQueries;
+      Results[I].Result = P.Immediate;
+      continue;
+    }
+    std::string Key = queryKey(P);
+    auto [It, Inserted] = TaskIndex.emplace(Key, Tasks.size());
+    if (Inserted) {
+      Task T;
+      T.Weight =
+          kleeneWeight(P.S.Path.Path) + kleeneWeight(P.T.Path.Path);
+      T.FirstSlot = I;
+      T.Prepared = std::move(P);
+      Tasks.push_back(std::move(T));
+    } else {
+      ++Stats.DedupSaved;
+    }
+    Tasks[It->second].Slots.push_back(I);
+  }
+  Stats.UniqueQueries += Tasks.size();
+
+  // Phase 2: fan the unique queries out, heaviest first.
+  std::vector<size_t> Order(Tasks.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    if (Tasks[A].Weight != Tasks[B].Weight)
+      return Tasks[A].Weight > Tasks[B].Weight;
+    return Tasks[A].FirstSlot < Tasks[B].FirstSlot;
+  });
+
+  const unsigned Jobs = jobs();
+  Stats.Jobs = Jobs;
+  auto WallStart = std::chrono::steady_clock::now();
+  std::clock_t CpuStart = std::clock();
+
+  auto RunTask = [&](Prover &P, Task &T) {
+    T.Result = dependenceTest(T.Prepared.Axioms, T.Prepared.S,
+                              T.Prepared.T, P);
+  };
+  auto MergeWorker = [&](Prover &P) {
+    Stats.Prover += P.stats();
+    const LangQuery::Stats &L = P.langQuery().stats();
+    Stats.LangQueries += L.SubsetQueries + L.DisjointQueries;
+    Stats.LangCacheHits += L.CacheHits;
+    Stats.LangSharedHits += L.SharedCacheHits;
+    Stats.DfaBuilt += L.DfaBuilt;
+  };
+  auto MakeProver = [&]() {
+    Prover P(Fields, Opts.Prover);
+    P.attachSharedGoalCache(&SharedGoals);
+    P.langQuery().attachSharedCache(&SharedLang);
+    return P;
+  };
+
+  if (Jobs <= 1 || Tasks.size() <= 1) {
+    // Sequential path: one prover, plan order (the heaviest-first order
+    // only matters for multi-thread tail latency).
+    Prover P = MakeProver();
+    for (Task &T : Tasks)
+      RunTask(P, T);
+    MergeWorker(P);
+  } else {
+    ThreadPool Pool(Jobs);
+    std::vector<Prover> WorkerProvers;
+    size_t NumSlots = std::min<size_t>(Jobs, Tasks.size());
+    WorkerProvers.reserve(NumSlots);
+    for (size_t I = 0; I < NumSlots; ++I)
+      WorkerProvers.push_back(MakeProver());
+    Pool.parallelForDynamic(Order.size(), [&](size_t Slot, size_t I) {
+      RunTask(WorkerProvers[Slot], Tasks[Order[I]]);
+    });
+    for (Prover &P : WorkerProvers)
+      MergeWorker(P);
+  }
+
+  Stats.WallMs +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - WallStart)
+          .count();
+  Stats.CpuMs += 1000.0 * static_cast<double>(std::clock() - CpuStart) /
+                 CLOCKS_PER_SEC;
+  Stats.GoalCache = SharedGoals.stats();
+  Stats.LangCache = SharedLang.stats();
+  Stats.GoalCacheEntries = SharedGoals.size();
+  Stats.LangCacheEntries = SharedLang.size();
+
+  // Phase 3 (sequential): broadcast each unique verdict to its
+  // duplicates, restoring plan order.
+  for (const Task &T : Tasks)
+    for (size_t Slot : T.Slots)
+      Results[Slot].Result = T.Result;
+  return Results;
+}
+
+std::string BatchStats::toString() const {
+  char Buf[1024];
+  double Parallelism = WallMs > 0 ? CpuMs / WallMs : 0.0;
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "batch stats:\n"
+      "  queries:    %llu (direct %llu, unique %llu, dedup-saved %llu, "
+      "dedup ratio %.1f%%)\n"
+      "  jobs:       %u; wall %.2f ms, cpu %.2f ms (parallelism %.2fx)\n"
+      "  prover:     %llu goals, %llu cache hits (%llu shared), "
+      "%llu inductions, %llu alt splits\n"
+      "  goal cache: %llu entries; %llu hits, %llu misses, %llu inserts\n"
+      "  lang cache: %llu entries; %llu hits, %llu misses, %llu inserts "
+      "(%llu lang queries, %llu DFAs built)\n",
+      static_cast<unsigned long long>(Queries),
+      static_cast<unsigned long long>(DirectQueries),
+      static_cast<unsigned long long>(UniqueQueries),
+      static_cast<unsigned long long>(DedupSaved), 100.0 * dedupRatio(),
+      Jobs, WallMs, CpuMs, Parallelism,
+      static_cast<unsigned long long>(Prover.GoalsExplored),
+      static_cast<unsigned long long>(Prover.GoalCacheHits),
+      static_cast<unsigned long long>(Prover.SharedGoalHits),
+      static_cast<unsigned long long>(Prover.Inductions),
+      static_cast<unsigned long long>(Prover.AltSplits),
+      static_cast<unsigned long long>(GoalCacheEntries),
+      static_cast<unsigned long long>(GoalCache.Hits),
+      static_cast<unsigned long long>(GoalCache.Misses),
+      static_cast<unsigned long long>(GoalCache.Insertions),
+      static_cast<unsigned long long>(LangCacheEntries),
+      static_cast<unsigned long long>(LangCache.Hits),
+      static_cast<unsigned long long>(LangCache.Misses),
+      static_cast<unsigned long long>(LangCache.Insertions),
+      static_cast<unsigned long long>(LangQueries),
+      static_cast<unsigned long long>(DfaBuilt));
+  return Buf;
+}

@@ -1,0 +1,167 @@
+//===- analysis/QueryEngine.h - Parallel batch dependence queries -*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch dependence-query engine: answer *every* statement-pair
+/// query of a program in one run, on as many threads as the host offers.
+///
+/// The paper's pitch is that APT is cheap enough to run on all statement
+/// pairs of a loop body (§6 reports sub-second totals for whole
+/// benchmarks on an 8-PE Sequent); this engine is the compiler-facing
+/// realization of that claim:
+///
+///  1. **Plan** -- enumerate the labeled statement pairs of every
+///     function, in deterministic program order.
+///  2. **Prepare** -- reduce each pair to the exact inputs of the core
+///     dependence test (common-handle selection, §3.4 axiom scoping) via
+///     DepQueryEngine::prepareStatementPair. This phase is sequential
+///     and cheap.
+///  3. **Deduplicate** -- structurally equal prepared queries (same
+///     axiom-set fingerprint, types, fields, handles, path keys, access
+///     kinds) are proven once and their verdict broadcast. Different
+///     labels frequently collapse: every read of `e.val` inside a loop
+///     body produces the same prepared query.
+///  4. **Fan out** -- unique queries are sorted by descending Kleene
+///     weight (stars make proofs expensive: each one may trigger a
+///     3-case or 7-case induction) and claimed one at a time from a
+///     shared counter by the ThreadPool workers, so the expensive
+///     queries start first and a worker finishing a cheap query steals
+///     the next unclaimed one (LPT-style self-scheduling,
+///     ThreadPool::parallelForDynamic).
+///  5. **Share** -- each worker runs a private Prover (its search state
+///     is inherently sequential) attached to two cross-thread sharded
+///     caches (support/ShardedCache.h): proven/refuted goals and
+///     language-query answers settled by one worker are free for all
+///     others. Worker counters are merged into BatchStats on quiesce.
+///
+/// Results are returned in plan order, independent of the thread count;
+/// verdicts are identical to a sequential run (the caches store only
+/// order-independent facts -- see Prover::attachSharedGoalCache).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_QUERYENGINE_H
+#define APT_ANALYSIS_QUERYENGINE_H
+
+#include "analysis/DepQueries.h"
+#include "support/ShardedCache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// One statement-pair dependence question of a batch.
+struct BatchQuery {
+  std::string Func;   ///< Function containing both labels.
+  std::string LabelS; ///< Earlier statement (program order).
+  std::string LabelT; ///< Later statement.
+};
+
+/// Answer to one BatchQuery, in the same order as the request.
+struct BatchResult {
+  BatchQuery Query;
+  DepTestResult Result;
+};
+
+/// Per-run instrumentation of the batch engine. All counters are
+/// cumulative over the engine's lifetime (every run() call adds to
+/// them), so they are monotone -- tests and dashboards may assert that.
+struct BatchStats {
+  uint64_t Queries = 0;       ///< Pairs answered (incl. duplicates).
+  uint64_t UniqueQueries = 0; ///< Distinct prepared queries proven.
+  uint64_t DirectQueries = 0; ///< Answered during preparation.
+  uint64_t DedupSaved = 0;    ///< Prover runs avoided by deduplication.
+
+  /// Merged per-worker prover counters (GoalsExplored, GoalCacheHits,
+  /// SharedGoalHits, ...).
+  ProverStats Prover;
+  /// Merged per-worker language-query counters.
+  uint64_t LangQueries = 0;
+  uint64_t LangCacheHits = 0;
+  uint64_t LangSharedHits = 0;
+  uint64_t DfaBuilt = 0;
+
+  /// Snapshots of the two cross-thread caches (lifetime-monotone).
+  ShardedBoolCache::Stats GoalCache;
+  ShardedBoolCache::Stats LangCache;
+  uint64_t GoalCacheEntries = 0;
+  uint64_t LangCacheEntries = 0;
+
+  double WallMs = 0; ///< Elapsed time of the proving phases.
+  double CpuMs = 0;  ///< Process CPU time of the proving phases.
+  unsigned Jobs = 1; ///< Worker threads used by the last run.
+
+  /// Fraction of prover-bound queries answered by deduplication.
+  double dedupRatio() const {
+    uint64_t Provable = Queries - DirectQueries;
+    return Provable ? static_cast<double>(DedupSaved) / Provable : 0.0;
+  }
+
+  /// Multi-line human-readable block (the `aptc deps --stats` output).
+  std::string toString() const;
+};
+
+/// Options for a batch run.
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  /// Jobs == 1 runs on the calling thread with no pool.
+  unsigned Jobs = 0;
+  AnalyzerOptions Analyzer;
+  ProverOptions Prover;
+};
+
+/// Whole-program batch engine. Analyzes every function up front (the
+/// sequential phase) and then answers dependence queries in parallel.
+/// The shared caches live as long as the engine, so successive run()
+/// calls start warm.
+class BatchQueryEngine {
+public:
+  /// Analyzes every function of \p Prog immediately. \p Prog and
+  /// \p Fields must outlive the engine. No field interning happens after
+  /// construction, which is what makes the parallel phase safe.
+  BatchQueryEngine(const Program &Prog, FieldTable &Fields,
+                   BatchOptions Opts = {});
+  ~BatchQueryEngine();
+
+  /// Every labeled statement pair of every function: functions in
+  /// program order, labels ordered by (statement id, label), all pairs
+  /// (i, j) with i < j. Deterministic.
+  std::vector<BatchQuery> plan() const;
+
+  /// Answers \p Queries; the result vector is index-aligned with the
+  /// request and identical for every Jobs value.
+  std::vector<BatchResult> run(const std::vector<BatchQuery> &Queries);
+
+  /// run(plan()).
+  std::vector<BatchResult> runAll() { return run(plan()); }
+
+  /// Number of worker threads the next run will use.
+  unsigned jobs() const;
+
+  const BatchStats &stats() const { return Stats; }
+
+  /// Per-function analyses, e.g. for rendering dumps alongside verdicts.
+  const DepQueryEngine *engineFor(const std::string &Func) const;
+
+private:
+  const Program &Prog;
+  FieldTable &Fields;
+  BatchOptions Opts;
+  /// One analyzed engine per function, in program order.
+  std::vector<std::pair<std::string, std::unique_ptr<DepQueryEngine>>>
+      Engines;
+  ShardedBoolCache SharedGoals;
+  ShardedBoolCache SharedLang;
+  BatchStats Stats;
+};
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_QUERYENGINE_H

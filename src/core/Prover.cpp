@@ -282,6 +282,22 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
       }
       return It->second;
     }
+    // A goal another prover instance settled first (same axiom set and
+    // hypothesis signature, so the verdict is an order-independent
+    // fact). Sound even for a goal on our own in-progress stack: the
+    // publisher's proof completed without assuming it.
+    if (SharedGoals) {
+      if (std::optional<bool> Hit = SharedGoals->lookup(FullKey)) {
+        ++Stats.GoalCacheHits;
+        ++Stats.SharedGoalHits;
+        GoalCache.emplace(FullKey, *Hit);
+        if (Out && *Hit) {
+          Out->Rule = "previously proven (cache)";
+          Out->J.Kind = ProofJustification::Rule::Cached;
+        }
+        return *Hit;
+      }
+    }
   }
 
   // A goal currently being proven higher up the stack must not close
@@ -303,9 +319,13 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
 
   // Successful proofs are always cacheable (under the hypothesis
   // signature baked into the key); failures only when no cutoff or cycle
-  // cut influenced the subtree.
-  if (Opts.EnableGoalCache && (Result || !MyPoison))
+  // cut influenced the subtree (those depend on budgets and the search
+  // context, which is also why they must never reach the shared cache).
+  if (Opts.EnableGoalCache && (Result || !MyPoison)) {
+    if (SharedGoals)
+      SharedGoals->insert(FullKey, Result);
     GoalCache.emplace(std::move(FullKey), Result);
+  }
   return Result;
 }
 

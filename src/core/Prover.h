@@ -48,6 +48,7 @@
 #include "core/Axiom.h"
 #include "core/Proof.h"
 #include "regex/LangOps.h"
+#include "support/ShardedCache.h"
 
 #include <cstdint>
 #include <string>
@@ -101,10 +102,26 @@ struct ProverOptions {
 struct ProverStats {
   uint64_t GoalsExplored = 0;
   uint64_t GoalCacheHits = 0;
+  /// Subset of GoalCacheHits answered by the attached cross-thread cache
+  /// (a goal another prover instance settled first).
+  uint64_t SharedGoalHits = 0;
   uint64_t HypothesisHits = 0;
   uint64_t AltSplits = 0;
   uint64_t Inductions = 0;
   uint64_t BudgetExhausted = 0;
+
+  /// Component-wise sum, used by the batch engine to merge per-worker
+  /// prover counters on quiesce.
+  ProverStats &operator+=(const ProverStats &O) {
+    GoalsExplored += O.GoalsExplored;
+    GoalCacheHits += O.GoalCacheHits;
+    SharedGoalHits += O.SharedGoalHits;
+    HypothesisHits += O.HypothesisHits;
+    AltSplits += O.AltSplits;
+    Inductions += O.Inductions;
+    BudgetExhausted += O.BudgetExhausted;
+    return *this;
+  }
 };
 
 /// The APT theorem prover. One instance holds the language-query caches
@@ -138,6 +155,24 @@ public:
 
   /// Clears goal caches and statistics (language caches survive).
   void resetCaches();
+
+  /// Attaches a cross-thread goal-verdict cache (see ShardedCache.h).
+  /// Each Prover instance remains single-threaded -- its search state
+  /// (in-progress stack, hypotheses, budgets) is untouched -- but proven
+  /// goals and definitive (non-poisoned) failures are published to and
+  /// read from \p Shared, so concurrent provers share subproofs. Keys
+  /// embed the axiom-set fingerprint and the active-hypothesis
+  /// signature, making entries order-independent facts; see
+  /// docs/ARCHITECTURE.md for the full threading model. Pass nullptr to
+  /// detach. The caller keeps ownership.
+  void attachSharedGoalCache(ShardedBoolCache *Shared) {
+    SharedGoals = Shared;
+  }
+
+  /// Structural fingerprint of an axiom set; cached goal verdicts are
+  /// scoped to the axiom set they were derived under. Public so the
+  /// batch engine can deduplicate structurally equal queries.
+  static size_t axiomSetFingerprint(const AxiomSet &Axioms);
 
 private:
   /// A disjointness goal: prove forall x, x.concat(P) <> x.concat(Q).
@@ -176,16 +211,13 @@ private:
   std::string goalKey(const Goal &G) const;
   std::string goalStatement(const Goal &G) const;
 
-  /// Structural fingerprint of an axiom set; cached results are scoped
-  /// to the axiom set they were derived under.
-  static size_t axiomSetFingerprint(const AxiomSet &Axioms);
-
   const FieldTable &Fields;
   ProverOptions Opts;
   LangQuery Lang;
   ProverStats Stats;
 
   std::unordered_map<std::string, bool> GoalCache;
+  ShardedBoolCache *SharedGoals = nullptr;
   std::vector<std::string> InProgress;
 
   /// Active induction hypotheses: canonical key plus the two sides for

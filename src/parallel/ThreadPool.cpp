@@ -80,3 +80,28 @@ void ThreadPool::parallelFor(size_t Count,
   std::unique_lock<std::mutex> Lock(Mutex);
   WakeMaster.wait(Lock, [this] { return Outstanding == 0; });
 }
+
+void ThreadPool::parallelForDynamic(
+    size_t Count, const std::function<void(size_t, size_t)> &Body) {
+  if (Count == 0)
+    return;
+  // One long-lived task per worker slot; each loops claiming the next
+  // unclaimed index. shared_ptr keeps the counter alive until the last
+  // task drains it (the blocking wait below makes &Body safe to capture).
+  auto Next = std::make_shared<std::atomic<size_t>>(0);
+  const size_t NumSlots = std::min<size_t>(Count, Workers.size());
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t Slot = 0; Slot < NumSlots; ++Slot) {
+      ++Outstanding;
+      Tasks.push([Slot, Next, Count, &Body] {
+        for (size_t I = Next->fetch_add(1); I < Count;
+             I = Next->fetch_add(1))
+          Body(Slot, I);
+      });
+    }
+  }
+  WakeWorkers.notify_all();
+  std::unique_lock<std::mutex> Lock(Mutex);
+  WakeMaster.wait(Lock, [this] { return Outstanding == 0; });
+}

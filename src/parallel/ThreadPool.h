@@ -17,6 +17,7 @@
 #ifndef APT_PARALLEL_THREADPOOL_H
 #define APT_PARALLEL_THREADPOOL_H
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -41,6 +42,20 @@ public:
   /// Runs Body(I) for every I in [0, Count), distributing chunks over the
   /// workers; blocks until all iterations finish. Body must not throw.
   void parallelFor(size_t Count, const std::function<void(size_t)> &Body);
+
+  /// Self-scheduling variant for irregular work: indices are claimed one
+  /// at a time from a shared atomic counter, so a worker that finishes a
+  /// cheap item immediately steals the next unclaimed one instead of
+  /// idling behind a static chunk boundary. Body receives
+  /// (Slot, Index): Slot in [0, min(Count, size())) identifies the
+  /// claiming task and is stable for its lifetime -- callers use it to
+  /// index per-worker state (e.g. one Prover per slot) without locking.
+  /// Blocks until all indices finish; Body must not throw. Iteration
+  /// order is unspecified; sort the work items largest-first beforehand
+  /// to minimize the tail (LPT scheduling, as ExecutionModel.h does for
+  /// simulated PEs).
+  void parallelForDynamic(size_t Count,
+                          const std::function<void(size_t, size_t)> &Body);
 
 private:
   void workerLoop();

@@ -29,13 +29,25 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
     return true;
   if (!EnableCache)
     return subsetOfUncached(A, B);
-  std::string Key = A->key() + "\x1f" + B->key();
+  // The leading tag keeps subset and disjoint keys distinct inside the
+  // shared cross-thread cache, where both kinds share one key space.
+  std::string Key = "S\x1f" + A->key() + "\x1f" + B->key();
   auto It = SubsetCache.find(Key);
   if (It != SubsetCache.end()) {
     ++Counters.CacheHits;
     return It->second;
   }
+  if (SharedCache) {
+    if (std::optional<bool> Hit = SharedCache->lookup(Key)) {
+      ++Counters.CacheHits;
+      ++Counters.SharedCacheHits;
+      SubsetCache.emplace(std::move(Key), *Hit);
+      return *Hit;
+    }
+  }
   bool Result = subsetOfUncached(A, B);
+  if (SharedCache)
+    SharedCache->insert(Key, Result);
   SubsetCache.emplace(std::move(Key), Result);
   return Result;
 }
@@ -63,14 +75,25 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
   if (!EnableCache)
     return disjointUncached(A, B);
   // Disjointness is symmetric; canonicalize the key order.
-  std::string Key = A->key() <= B->key() ? A->key() + "\x1f" + B->key()
-                                         : B->key() + "\x1f" + A->key();
+  std::string Key = A->key() <= B->key()
+                        ? "D\x1f" + A->key() + "\x1f" + B->key()
+                        : "D\x1f" + B->key() + "\x1f" + A->key();
   auto It = DisjointCache.find(Key);
   if (It != DisjointCache.end()) {
     ++Counters.CacheHits;
     return It->second;
   }
+  if (SharedCache) {
+    if (std::optional<bool> Hit = SharedCache->lookup(Key)) {
+      ++Counters.CacheHits;
+      ++Counters.SharedCacheHits;
+      DisjointCache.emplace(std::move(Key), *Hit);
+      return *Hit;
+    }
+  }
   bool Result = disjointUncached(A, B);
+  if (SharedCache)
+    SharedCache->insert(Key, Result);
   DisjointCache.emplace(std::move(Key), Result);
   return Result;
 }

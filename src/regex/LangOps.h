@@ -23,6 +23,7 @@
 #define APT_REGEX_LANGOPS_H
 
 #include "regex/Regex.h"
+#include "support/ShardedCache.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -43,6 +44,7 @@ public:
     uint64_t SubsetQueries = 0;
     uint64_t DisjointQueries = 0;
     uint64_t CacheHits = 0;
+    uint64_t SharedCacheHits = 0; ///< Answered by another thread's work.
     uint64_t DfaBuilt = 0;
     uint64_t DfaStatesBuilt = 0;
   };
@@ -69,6 +71,15 @@ public:
   const Stats &stats() const { return Counters; }
   LangEngine engine() const { return Engine; }
 
+  /// Attaches a cross-thread result cache (see ShardedCache.h). Lookups
+  /// consult the per-instance maps first, then \p Shared; computed
+  /// answers are published to both. The caller keeps ownership and must
+  /// only share one cache between LangQuery instances running the same
+  /// engine (keys do not encode the engine; the two engines agree on
+  /// answers, but mixing them would blur the ablation counters).
+  /// Pass nullptr to detach.
+  void attachSharedCache(ShardedBoolCache *Shared) { SharedCache = Shared; }
+
 private:
   bool subsetOfUncached(const RegexRef &A, const RegexRef &B);
   bool disjointUncached(const RegexRef &A, const RegexRef &B);
@@ -78,6 +89,7 @@ private:
   Stats Counters;
   std::unordered_map<std::string, bool> SubsetCache;
   std::unordered_map<std::string, bool> DisjointCache;
+  ShardedBoolCache *SharedCache = nullptr;
 };
 
 } // namespace apt

@@ -1,0 +1,57 @@
+//===- support/ShardedCache.cpp -------------------------------------------===//
+//
+// Part of the APT project; see ShardedCache.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ShardedCache.h"
+
+using namespace apt;
+
+ShardedBoolCache::ShardedBoolCache(size_t RequestedShards) {
+  size_t N = 1;
+  while (N < RequestedShards && N < 1024)
+    N <<= 1;
+  Shards = std::make_unique<Shard[]>(N);
+  Mask = N - 1;
+}
+
+ShardedBoolCache::Shard &ShardedBoolCache::shardFor(const std::string &Key) {
+  return Shards[std::hash<std::string>()(Key) & Mask];
+}
+
+std::optional<bool> ShardedBoolCache::lookup(const std::string &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(Key);
+  if (It == S.Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void ShardedBoolCache::insert(const std::string &Key, bool Value) {
+  Insertions.fetch_add(1, std::memory_order_relaxed);
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.M);
+  S.Map.emplace(Key, Value); // first writer wins
+}
+
+ShardedBoolCache::Stats ShardedBoolCache::stats() const {
+  Stats Out;
+  Out.Hits = Hits.load(std::memory_order_relaxed);
+  Out.Misses = Misses.load(std::memory_order_relaxed);
+  Out.Insertions = Insertions.load(std::memory_order_relaxed);
+  return Out;
+}
+
+size_t ShardedBoolCache::size() const {
+  size_t Total = 0;
+  for (size_t I = 0; I <= Mask; ++I) {
+    std::lock_guard<std::mutex> Lock(Shards[I].M);
+    Total += Shards[I].Map.size();
+  }
+  return Total;
+}

@@ -1,0 +1,86 @@
+//===- support/ShardedCache.h - Thread-safe sharded memo table --*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, mutex-per-shard map from canonical string keys to boolean
+/// verdicts. This is the concurrency substrate of the batch dependence-
+/// query engine (analysis/QueryEngine.h): worker threads each run their
+/// own Prover, but all provers publish proven/refuted goals and language-
+/// query answers here, so a subset test or subgoal settled on one thread
+/// is free on every other.
+///
+/// Only *order-independent facts* may be stored: a key must determine its
+/// value regardless of which thread computes it first (proved goals,
+/// definitive non-poisoned failures, language-query answers). Entries are
+/// never evicted or overwritten, so a reader can act on any hit without
+/// revalidation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_SHARDEDCACHE_H
+#define APT_SUPPORT_SHARDEDCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace apt {
+
+/// Thread-safe string -> bool memo table, sharded to keep lock contention
+/// proportional to 1/NumShards rather than to the thread count.
+class ShardedBoolCache {
+public:
+  /// \p RequestedShards is rounded up to a power of two (so the shard
+  /// index is a mask, not a modulo).
+  explicit ShardedBoolCache(size_t RequestedShards = 16);
+
+  ShardedBoolCache(const ShardedBoolCache &) = delete;
+  ShardedBoolCache &operator=(const ShardedBoolCache &) = delete;
+
+  /// Returns the cached verdict for \p Key, or nullopt on a miss.
+  std::optional<bool> lookup(const std::string &Key);
+
+  /// Publishes \p Key -> \p Value. The first writer wins; concurrent
+  /// inserts of the same key must carry the same value (see file
+  /// comment), so dropping the loser is harmless.
+  void insert(const std::string &Key, bool Value);
+
+  /// Counter snapshot. Counters are monotone over the cache's lifetime.
+  struct Stats {
+    uint64_t Hits = 0;       ///< lookups that found an entry
+    uint64_t Misses = 0;     ///< lookups that found nothing
+    uint64_t Insertions = 0; ///< insert calls (including first-writer losses)
+  };
+  Stats stats() const;
+
+  /// Number of distinct keys stored (takes every shard lock; intended for
+  /// stats reporting, not hot paths).
+  size_t size() const;
+
+  size_t numShards() const { return Mask + 1; }
+
+private:
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<std::string, bool> Map;
+  };
+
+  Shard &shardFor(const std::string &Key);
+
+  std::unique_ptr<Shard[]> Shards;
+  size_t Mask;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Insertions{0};
+};
+
+} // namespace apt
+
+#endif // APT_SUPPORT_SHARDEDCACHE_H

@@ -1,0 +1,265 @@
+//===- tests/query_engine_test.cpp - Batch query engine -------------------===//
+//
+// Part of the APT project. Covers the parallel batch dependence-query
+// engine (analysis/QueryEngine.h):
+//
+//  * determinism -- any --jobs N run produces verdicts identical to
+//    --jobs 1, on every sample program;
+//  * instrumentation -- BatchStats counters are cumulative/monotone, and
+//    structural deduplication fires on the sparse-matrix program;
+//  * thread safety -- a many-jobs hammer over the shared sharded caches;
+//    built with APT_SANITIZE=thread this is the TSan witness in ctest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QueryEngine.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace apt;
+
+namespace {
+
+/// The §5 factorization skeleton with duplicated loop-body labels: the
+/// extra statements add statement pairs but no new unique proofs, so the
+/// deduplicator must fire.
+const char *kSparseProgram = R"(
+type SparseMatrix {
+  rows: RowHeader;
+  v: int;
+  axiom forall p <> q: p.rows <> q.nrowH;
+  axiom forall p: p.(rows|nrowH|relem|ncolE|nrowE)+ <> p.eps;
+}
+type RowHeader {
+  nrowH: RowHeader;
+  relem: Element;
+  h: int;
+  axiom forall p <> q: p.nrowH <> q.nrowH;
+  axiom forall p <> q: p.relem.ncolE* <> q.relem.ncolE*;
+}
+type Element {
+  ncolE: Element;
+  nrowE: Element;
+  val: int;
+  axiom forall p <> q: p.ncolE <> q.ncolE;
+  axiom forall p <> q: p.nrowE <> q.nrowE;
+  axiom forall p: p.ncolE+ <> p.nrowE+;
+}
+fn scale_rows(m: SparseMatrix) {
+  r = m.rows;
+  while r {
+    e = r.relem;
+    while e {
+      S0: e.val = fun();
+      S1: e.val = fun();
+      S2: e.val = fun();
+      e = e.ncolE;
+    }
+    r = r.nrowH;
+  }
+}
+fn eliminate_row(pivot: Element) {
+  a = pivot.nrowE;
+  while a {
+    u = pivot.ncolE;
+    t = a.ncolE;
+    while t {
+      E0: t.val = fun();
+      E1: t.val = fun();
+      t = t.ncolE;
+    }
+    a = a.nrowE;
+  }
+}
+)";
+
+/// A second shape: the singly linked worklist (tools/samples/worklist.apt
+/// keeps the canonical copy; inlined here so the test has no run-time
+/// file dependency).
+const char *kWorklistProgram = R"(
+type WorkList {
+  next: WorkList;
+  item: int;
+  axiom forall p <> q: p.next <> q.next;
+  axiom forall p: p.next+ <> p.eps;
+}
+fn drain(w: WorkList) {
+  p = w;
+  while p {
+    U: p.item = fun();
+    S: p.item = fun();
+    q = p.next;
+    T: q.item = fun();
+    p = p.next;
+  }
+}
+)";
+
+Program parseOrDie(const char *Text, FieldTable &Fields) {
+  ProgramParseResult Parsed = parseProgram(Text, Fields);
+  EXPECT_TRUE(Parsed) << Parsed.Error;
+  return std::move(Parsed.Value);
+}
+
+/// Everything of a batch result that must not depend on the thread
+/// count. ProofText is excluded by design: a proof may legally cite the
+/// shared goal cache instead of re-deriving a subgoal.
+void expectSameVerdicts(const std::vector<BatchResult> &A,
+                        const std::vector<BatchResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Query.Func, B[I].Query.Func) << I;
+    EXPECT_EQ(A[I].Query.LabelS, B[I].Query.LabelS) << I;
+    EXPECT_EQ(A[I].Query.LabelT, B[I].Query.LabelT) << I;
+    EXPECT_EQ(A[I].Result.Verdict, B[I].Result.Verdict)
+        << A[I].Query.Func << " " << A[I].Query.LabelS << " "
+        << A[I].Query.LabelT;
+    EXPECT_EQ(A[I].Result.Kind, B[I].Result.Kind) << I;
+    EXPECT_EQ(A[I].Result.Reason, B[I].Result.Reason) << I;
+  }
+}
+
+std::vector<BatchResult> runWithJobs(const char *Text, unsigned Jobs) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Text, Fields);
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  return Engine.runAll();
+}
+
+TEST(BatchDeterminism, JobsNMatchesJobs1OnAllSamples) {
+  for (const char *Text : {kSparseProgram, kWorklistProgram}) {
+    std::vector<BatchResult> Seq = runWithJobs(Text, 1);
+    ASSERT_FALSE(Seq.empty());
+    for (unsigned Jobs : {2u, 4u, 8u})
+      expectSameVerdicts(Seq, runWithJobs(Text, Jobs));
+  }
+}
+
+TEST(BatchDeterminism, RepeatedRunsOnOneEngineAgree) {
+  // Warm shared caches must not flip any verdict.
+  FieldTable Fields;
+  Program Prog = parseOrDie(kSparseProgram, Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 4;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  std::vector<BatchResult> Cold = Engine.runAll();
+  std::vector<BatchResult> Warm = Engine.runAll();
+  expectSameVerdicts(Cold, Warm);
+}
+
+TEST(BatchPlan, CoversEveryOrderedPairOncePerFunction) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kSparseProgram, Fields);
+  BatchQueryEngine Engine(Prog, Fields);
+  std::vector<BatchQuery> Plan = Engine.plan();
+  // scale_rows has 3 labels (3 pairs), eliminate_row has 2 (1 pair).
+  ASSERT_EQ(Plan.size(), 4u);
+  EXPECT_EQ(Plan[0].Func, "scale_rows");
+  EXPECT_EQ(Plan[0].LabelS, "S0");
+  EXPECT_EQ(Plan[0].LabelT, "S1");
+  EXPECT_EQ(Plan[3].Func, "eliminate_row");
+  EXPECT_EQ(Plan[3].LabelS, "E0");
+  EXPECT_EQ(Plan[3].LabelT, "E1");
+}
+
+TEST(BatchStatsTest, DedupFiresOnSparseMatrixProgram) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kSparseProgram, Fields);
+  BatchQueryEngine Engine(Prog, Fields);
+  Engine.runAll();
+  const BatchStats &S = Engine.stats();
+  // S0/S1/S2 all write e.val through the same prepared query, likewise
+  // E0/E1: dedup must have saved at least the redundant sparse pairs.
+  EXPECT_EQ(S.Queries, 4u);
+  EXPECT_GT(S.DedupSaved, 0u);
+  EXPECT_LT(S.UniqueQueries, S.Queries);
+  EXPECT_GT(S.dedupRatio(), 0.0);
+  EXPECT_GT(S.Prover.GoalsExplored, 0u);
+  // toString renders without truncation markers.
+  std::string Text = S.toString();
+  EXPECT_NE(Text.find("dedup"), std::string::npos);
+  EXPECT_NE(Text.find("goal cache"), std::string::npos);
+}
+
+TEST(BatchStatsTest, CountersAreMonotoneAcrossRuns) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kSparseProgram, Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 2;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+
+  Engine.runAll();
+  BatchStats First = Engine.stats();
+  Engine.runAll();
+  const BatchStats &Second = Engine.stats();
+
+  EXPECT_EQ(Second.Queries, 2 * First.Queries);
+  EXPECT_GE(Second.UniqueQueries, First.UniqueQueries);
+  EXPECT_GE(Second.DedupSaved, First.DedupSaved);
+  EXPECT_GE(Second.Prover.GoalsExplored, First.Prover.GoalsExplored);
+  EXPECT_GE(Second.GoalCache.Hits, First.GoalCache.Hits);
+  EXPECT_GE(Second.GoalCache.Insertions, First.GoalCache.Insertions);
+  EXPECT_GE(Second.LangCache.Hits, First.LangCache.Hits);
+  EXPECT_GE(Second.GoalCacheEntries, First.GoalCacheEntries);
+  EXPECT_GE(Second.LangCacheEntries, First.LangCacheEntries);
+  EXPECT_GE(Second.WallMs, First.WallMs);
+  // The second run rides the warm shared caches: no new entries needed.
+  EXPECT_EQ(Second.GoalCacheEntries, First.GoalCacheEntries);
+  EXPECT_GT(Second.GoalCache.Hits, First.GoalCache.Hits);
+}
+
+TEST(BatchThreadSafety, ManyJobsHammerSharedCaches) {
+  // More workers than unique queries, repeated on one engine so every
+  // worker revisits hot shared-cache entries. Under APT_SANITIZE=thread
+  // this test is the data-race witness for ShardedBoolCache and the
+  // shared-cache paths in Prover/LangQuery.
+  FieldTable Fields;
+  Program Prog = parseOrDie(kSparseProgram, Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 8;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  std::vector<BatchResult> Ref = Engine.runAll();
+  for (int Round = 0; Round < 4; ++Round)
+    expectSameVerdicts(Ref, Engine.runAll());
+  EXPECT_EQ(Engine.stats().Jobs, 8u);
+}
+
+TEST(BatchEdgeCases, UnknownFunctionAndLabelAnswerDirectly) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kWorklistProgram, Fields);
+  BatchQueryEngine Engine(Prog, Fields);
+  std::vector<BatchQuery> Queries = {
+      {"nope", "U", "S"},
+      {"drain", "U", "missing"},
+      {"drain", "U", "S"},
+  };
+  std::vector<BatchResult> Results = Engine.run(Queries);
+  ASSERT_EQ(Results.size(), 3u);
+  EXPECT_EQ(Results[0].Result.Verdict, DepVerdict::Maybe);
+  EXPECT_NE(Results[0].Result.Reason.find("no function"),
+            std::string::npos);
+  EXPECT_EQ(Results[1].Result.Verdict, DepVerdict::Maybe);
+  EXPECT_EQ(Engine.stats().DirectQueries, 2u);
+  // The real pair still got a genuine answer.
+  EXPECT_NE(Results[2].Result.Reason, Results[1].Result.Reason);
+}
+
+TEST(BatchEdgeCases, EmptyBatchIsANoOp) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kWorklistProgram, Fields);
+  BatchQueryEngine Engine(Prog, Fields);
+  EXPECT_TRUE(Engine.run({}).empty());
+  EXPECT_EQ(Engine.stats().Queries, 0u);
+}
+
+TEST(BatchOptionsTest, JobsZeroResolvesToHardwareConcurrency) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kWorklistProgram, Fields);
+  BatchQueryEngine Engine(Prog, Fields);
+  EXPECT_GE(Engine.jobs(), 1u);
+}
+
+} // namespace

@@ -10,9 +10,16 @@
 //       Prove `forall x: x.P <> x.Q` from the axioms (one per line,
 //       optional `NAME:` prefixes, '#' comments); prints the proof.
 //
-//   aptc deps <program-file> <labelS> <labelT> [--invariant-writes]
+//   aptc deps <program-file> [<labelS> <labelT>] [--invariant-writes]
+//             [--jobs N] [--stats]
 //       Parse a mini-language program, run the access-path analysis and
-//       answer the dependence query between two labeled statements.
+//       answer dependence queries. With two labels, the single query
+//       between those statements (with its proof). Without labels, the
+//       batch engine answers every labeled statement pair of every
+//       function, deduplicated and fanned out over N worker threads
+//       (default: hardware concurrency; --jobs 1 is fully sequential and
+//       produces the same verdicts in the same order). --stats prints
+//       engine instrumentation to stderr.
 //
 //   aptc loops <program-file> [--invariant-writes]
 //       Classify every loop of every function as parallelizable or not.
@@ -34,6 +41,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DepQueries.h"
+#include "analysis/QueryEngine.h"
 #include "core/ProofChecker.h"
 #include "core/Prover.h"
 #include "ir/Parser.h"
@@ -56,8 +64,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: aptc prove <axioms-file> <pathP> <pathQ>\n"
-               "       aptc deps <program> <labelS> <labelT> "
-               "[--invariant-writes]\n"
+               "       aptc deps <program> [<labelS> <labelT>] "
+               "[--invariant-writes] [--jobs N] [--stats]\n"
                "       aptc loops <program> [--invariant-writes]\n"
                "       aptc dump <program> [--invariant-writes]\n"
                "       aptc lint <axioms-or-program> [--no-models]\n");
@@ -150,13 +158,40 @@ int cmdProve(int Argc, char **Argv) {
   return 1;
 }
 
-bool parseFlags(int &Argc, char **Argv, AnalyzerOptions &Opts) {
+/// Flags shared by the program-consuming subcommands. `deps` uses all of
+/// them; `loops` and `dump` only honor --invariant-writes.
+struct ProgramFlags {
+  AnalyzerOptions Analyzer;
+  unsigned Jobs = 0; ///< 0 = hardware concurrency.
+  bool Stats = false;
+};
+
+bool parseFlags(int &Argc, char **Argv, ProgramFlags &Flags) {
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
   for (int I = 0; I < Argc;) {
     if (std::strcmp(Argv[I], "--invariant-writes") == 0) {
-      Opts.InvariantPreservingWrites = true;
-      for (int J = I; J + 1 < Argc; ++J)
-        Argv[J] = Argv[J + 1];
-      --Argc;
+      Flags.Analyzer.InvariantPreservingWrites = true;
+      Remove(I, 1);
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Flags.Stats = true;
+      Remove(I, 1);
+    } else if (std::strcmp(Argv[I], "--jobs") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --jobs requires a thread count\n");
+        return false;
+      }
+      char *End = nullptr;
+      long N = std::strtol(Argv[I + 1], &End, 10);
+      if (End == Argv[I + 1] || *End != '\0' || N < 1) {
+        std::fprintf(stderr, "error: bad --jobs value '%s'\n", Argv[I + 1]);
+        return false;
+      }
+      Flags.Jobs = static_cast<unsigned>(N);
+      Remove(I, 2);
     } else {
       ++I;
     }
@@ -164,10 +199,35 @@ bool parseFlags(int &Argc, char **Argv, AnalyzerOptions &Opts) {
   return true;
 }
 
+/// Batch mode: every labeled statement pair of every function, answered
+/// by the parallel engine. Verdict lines go to stdout (identical for
+/// every --jobs value); --stats instrumentation goes to stderr so the
+/// verdict stream stays byte-comparable across runs.
+int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
+                 const ProgramFlags &Flags) {
+  BatchOptions Opts;
+  Opts.Analyzer = Flags.Analyzer;
+  Opts.Jobs = Flags.Jobs;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  std::vector<BatchResult> Results = Engine.runAll();
+  bool AllNo = true;
+  for (const BatchResult &R : Results) {
+    std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n",
+                R.Query.Func.c_str(), R.Query.LabelS.c_str(),
+                R.Query.LabelT.c_str(), depVerdictName(R.Result.Verdict),
+                depKindName(R.Result.Kind), R.Result.Reason.c_str());
+    AllNo &= R.Result.Verdict == DepVerdict::No;
+  }
+  if (Flags.Stats)
+    std::fprintf(stderr, "%s", Engine.stats().toString().c_str());
+  return AllNo ? 0 : 1;
+}
+
 int cmdDeps(int Argc, char **Argv) {
-  AnalyzerOptions Opts;
-  parseFlags(Argc, Argv, Opts);
-  if (Argc != 3)
+  ProgramFlags Flags;
+  if (!parseFlags(Argc, Argv, Flags))
+    return 2;
+  if (Argc != 1 && Argc != 3)
     return usage();
   FieldTable Fields;
   std::string Source;
@@ -184,10 +244,13 @@ int cmdDeps(int Argc, char **Argv) {
     warnOnlyLint(LintDiags);
   }
 
+  if (Argc == 1)
+    return cmdDepsBatch(Prog.Value, Fields, Flags);
+
   for (const Function &F : Prog.Value.Functions) {
     if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
       continue;
-    DepQueryEngine Engine(Prog.Value, F, Fields, Opts);
+    DepQueryEngine Engine(Prog.Value, F, Fields, Flags.Analyzer);
     Prover P(Fields);
     DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
     std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
@@ -195,6 +258,16 @@ int cmdDeps(int Argc, char **Argv) {
                 depKindName(R.Kind), R.Reason.c_str());
     if (!R.ProofText.empty())
       std::printf("%s", R.ProofText.c_str());
+    if (Flags.Stats) {
+      const ProverStats &S = P.stats();
+      std::fprintf(stderr,
+                   "prover stats: %llu goals, %llu cache hits, "
+                   "%llu inductions, %llu alt splits\n",
+                   static_cast<unsigned long long>(S.GoalsExplored),
+                   static_cast<unsigned long long>(S.GoalCacheHits),
+                   static_cast<unsigned long long>(S.Inductions),
+                   static_cast<unsigned long long>(S.AltSplits));
+    }
     return R.Verdict == DepVerdict::No ? 0 : 1;
   }
   std::fprintf(stderr,
@@ -204,8 +277,10 @@ int cmdDeps(int Argc, char **Argv) {
 }
 
 int cmdLoops(int Argc, char **Argv) {
-  AnalyzerOptions Opts;
-  parseFlags(Argc, Argv, Opts);
+  ProgramFlags Flags;
+  if (!parseFlags(Argc, Argv, Flags))
+    return 2;
+  AnalyzerOptions Opts = Flags.Analyzer;
   if (Argc != 1)
     return usage();
   FieldTable Fields;
@@ -296,8 +371,10 @@ int cmdLint(int Argc, char **Argv) {
 }
 
 int cmdDump(int Argc, char **Argv) {
-  AnalyzerOptions Opts;
-  parseFlags(Argc, Argv, Opts);
+  ProgramFlags Flags;
+  if (!parseFlags(Argc, Argv, Flags))
+    return 2;
+  AnalyzerOptions Opts = Flags.Analyzer;
   if (Argc != 1)
     return usage();
   FieldTable Fields;

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Docs reference checker: fail on dangling references in the documentation.
+
+Scans README.md and docs/*.md for
+
+  * repository file paths (src/..., tools/..., docs/..., tests/...,
+    bench/..., examples/..., and root-level *.md files) and verifies each
+    exists, expanding `Prover.{h,cpp}`-style brace lists and allowing
+    extensionless engine references like `src/regex/LangOps`;
+  * `--flag` tokens, which must be spelled in tools/aptc.cpp (so a
+    documented flag cannot silently outlive the CLI), except for a small
+    allowlist of flags belonging to other tools (ctest, cmake);
+  * `aptc <subcommand>` invocations, which must be subcommands the CLI
+    dispatch in tools/aptc.cpp actually recognizes.
+
+Exit status: 0 when every reference resolves, 1 otherwise (each dangling
+reference is reported with file and line). No third-party dependencies.
+
+Usage: tools/docs_check.py [repo_root]
+"""
+
+import glob
+import os
+import re
+import sys
+
+# Flags that legitimately appear in docs but belong to other tools.
+FOREIGN_FLAGS = {
+    "--output-on-failure",  # ctest
+    "--benchmark_min_time",  # google-benchmark
+    "--build",  # cmake
+    "--test-dir",  # ctest
+}
+
+PATH_RE = re.compile(
+    r"\b((?:src|tools|docs|tests|bench|examples)/[A-Za-z0-9_./{},*-]+"
+    r"|[A-Z][A-Z_]+\.md)")
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
+APTC_CMD_RE = re.compile(r"\baptc\s+([a-z]+)\b")
+
+
+def expand_braces(token):
+    """`a/b.{h,cpp}` -> [`a/b.h`, `a/b.cpp`]; plain tokens pass through."""
+    m = re.match(r"^(.*)\{([^{}]*)\}(.*)$", token)
+    if not m:
+        return [token]
+    out = []
+    for alt in m.group(2).split(","):
+        out.extend(expand_braces(m.group(1) + alt.strip() + m.group(3)))
+    return out
+
+
+def path_ok(root, token):
+    if "*" in token:  # wildcard examples like build/bench/*
+        return True
+    full = os.path.join(root, token)
+    if os.path.exists(full):
+        return True
+    # Extensionless references ("src/regex/LangOps") name a module file.
+    if not os.path.splitext(token)[1]:
+        return bool(glob.glob(full + ".*"))
+    return False
+
+
+def doc_files(root):
+    files = [os.path.join(root, "README.md")]
+    files += sorted(glob.glob(os.path.join(root, "docs", "*.md")))
+    return [f for f in files if os.path.exists(f)]
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    aptc_src_path = os.path.join(root, "tools", "aptc.cpp")
+    with open(aptc_src_path, encoding="utf-8") as f:
+        aptc_src = f.read()
+    known_flags = set(re.findall(r'"(--[a-z][a-z0-9-]*)"', aptc_src))
+    known_subcommands = set(
+        re.findall(r'strcmp\(Argv\[1\], "([a-z]+)"\)', aptc_src))
+
+    errors = []
+    for doc in doc_files(root):
+        rel = os.path.relpath(doc, root)
+        with open(doc, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                for token in PATH_RE.findall(line):
+                    token = token.rstrip(".,;:")
+                    for path in expand_braces(token):
+                        if not path_ok(root, path):
+                            errors.append("%s:%d: dangling path '%s'" %
+                                          (rel, lineno, path))
+                for flag in FLAG_RE.findall(line):
+                    if flag in FOREIGN_FLAGS:
+                        continue
+                    if flag not in known_flags:
+                        errors.append(
+                            "%s:%d: flag '%s' not found in tools/aptc.cpp" %
+                            (rel, lineno, flag))
+                for cmd in APTC_CMD_RE.findall(line):
+                    if cmd not in known_subcommands:
+                        errors.append(
+                            "%s:%d: 'aptc %s' is not a CLI subcommand" %
+                            (rel, lineno, cmd))
+
+    if errors:
+        for e in errors:
+            print(e)
+        print("docs_check: %d dangling reference(s)" % len(errors))
+        return 1
+    print("docs_check: all references resolve (%d docs scanned)" %
+          len(doc_files(root)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
