@@ -22,6 +22,7 @@
 
 #include "analysis/QueryEngine.h"
 #include "ir/Parser.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -144,6 +145,40 @@ void BM_BatchWarm(benchmark::State &State) {
                           State.iterations());
 }
 BENCHMARK(BM_BatchWarm)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// The warm run again with proof tracing live (collector installed,
+/// runtime switch on): the delta against BM_BatchWarm is the whole
+/// observability tax, which docs/OBSERVABILITY.md pins at <= 5%.
+void BM_BatchWarmTraced(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(State.range(0));
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  Engine.runAll();
+
+  trace::Collector Events;
+  trace::setCollector(&Events);
+  trace::setEnabled(true);
+  for (auto _ : State) {
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+  }
+  trace::setEnabled(false);
+  trace::flushThisThread();
+  trace::setCollector(nullptr);
+
+  uint64_t Recorded = 0;
+  for (const trace::Collector::ThreadBatch &B : Events.drain())
+    Recorded += B.Events.size() + B.Dropped;
+  State.counters["events"] =
+      static_cast<double>(Recorded) / State.iterations();
+}
+BENCHMARK(BM_BatchWarmTraced)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)

@@ -7,6 +7,8 @@
 #include "analysis/QueryEngine.h"
 
 #include "parallel/ThreadPool.h"
+#include "support/Metrics.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <chrono>
@@ -103,6 +105,8 @@ std::vector<BatchResult>
 BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   std::vector<BatchResult> Results(Queries.size());
   Stats.Queries += Queries.size();
+  uint64_t DirectBase = Stats.DirectQueries;
+  uint64_t DedupBase = Stats.DedupSaved;
 
   // Phase 1 (sequential): prepare and deduplicate.
   std::vector<Task> Tasks;
@@ -155,17 +159,33 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   auto WallStart = std::chrono::steady_clock::now();
   std::clock_t CpuStart = std::clock();
 
+  // Always-on per-query wall-time histogram: two steady_clock reads per
+  // unique query, noise next to even the cheapest proof.
+  metrics::Histogram &QueryWall =
+      metrics::Registry::global().histogram("apt.batch.query_wall_us");
   auto RunTask = [&](Prover &P, Task &T) {
+    auto T0 = std::chrono::steady_clock::now();
     T.Result = dependenceTest(T.Prepared.Axioms, T.Prepared.S,
                               T.Prepared.T, P);
+    QueryWall.observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count()));
   };
+  // Per-run delta accumulators: worker provers are created fresh for this
+  // run, so merging them here yields exactly this run's contribution —
+  // suitable both for the cumulative Stats and for monotone counter adds
+  // into the global metrics registry below.
+  ProverStats RunProver;
+  uint64_t RunLangQueries = 0, RunLangCacheHits = 0;
+  uint64_t RunLangSharedHits = 0, RunDfaBuilt = 0;
   auto MergeWorker = [&](Prover &P) {
-    Stats.Prover += P.stats();
+    RunProver += P.stats();
     const LangQuery::Stats &L = P.langQuery().stats();
-    Stats.LangQueries += L.SubsetQueries + L.DisjointQueries;
-    Stats.LangCacheHits += L.CacheHits;
-    Stats.LangSharedHits += L.SharedCacheHits;
-    Stats.DfaBuilt += L.DfaBuilt;
+    RunLangQueries += L.SubsetQueries + L.DisjointQueries;
+    RunLangCacheHits += L.CacheHits;
+    RunLangSharedHits += L.SharedCacheHits;
+    RunDfaBuilt += L.DfaBuilt;
   };
   auto MakeProver = [&]() {
     Prover P(Fields, Opts.Prover);
@@ -195,16 +215,50 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
       MergeWorker(P);
   }
 
-  Stats.WallMs +=
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - WallStart)
-          .count();
+  Stats.Prover += RunProver;
+  Stats.LangQueries += RunLangQueries;
+  Stats.LangCacheHits += RunLangCacheHits;
+  Stats.LangSharedHits += RunLangSharedHits;
+  Stats.DfaBuilt += RunDfaBuilt;
+
+  double RunWallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - WallStart)
+                         .count();
+  Stats.WallMs += RunWallMs;
   Stats.CpuMs += 1000.0 * static_cast<double>(std::clock() - CpuStart) /
                  CLOCKS_PER_SEC;
   Stats.GoalCache = SharedGoals.stats();
   Stats.LangCache = SharedLang.stats();
   Stats.GoalCacheEntries = SharedGoals.size();
   Stats.LangCacheEntries = SharedLang.size();
+
+  // Publish this run into the process-wide registry (the --metrics-json
+  // surface). Worker provers are fresh per run, so their merged counters
+  // are per-run deltas and add monotonically.
+  {
+    metrics::Registry &R = metrics::Registry::global();
+    R.counter("apt.batch.runs").add(1);
+    R.counter("apt.batch.queries").add(Queries.size());
+    R.counter("apt.batch.unique_queries").add(Tasks.size());
+    R.counter("apt.batch.direct_queries").add(Stats.DirectQueries - DirectBase);
+    R.counter("apt.batch.dedup_saved").add(Stats.DedupSaved - DedupBase);
+    R.counter("apt.prover.goals_explored").add(RunProver.GoalsExplored);
+    R.counter("apt.prover.goal_cache_hits").add(RunProver.GoalCacheHits);
+    R.counter("apt.prover.shared_goal_hits").add(RunProver.SharedGoalHits);
+    R.counter("apt.prover.hypothesis_hits").add(RunProver.HypothesisHits);
+    R.counter("apt.prover.alt_splits").add(RunProver.AltSplits);
+    R.counter("apt.prover.inductions").add(RunProver.Inductions);
+    R.counter("apt.prover.budget_exhausted").add(RunProver.BudgetExhausted);
+    R.counter("apt.lang.queries").add(RunLangQueries);
+    R.counter("apt.lang.cache_hits").add(RunLangCacheHits);
+    R.counter("apt.lang.shared_hits").add(RunLangSharedHits);
+    R.counter("apt.lang.dfa_built").add(RunDfaBuilt);
+    R.gauge("apt.batch.jobs").set(Jobs);
+    R.histogram("apt.batch.run_wall_ms")
+        .observe(static_cast<uint64_t>(RunWallMs));
+    SharedGoals.publishMetrics("apt.cache.goal");
+    SharedLang.publishMetrics("apt.cache.lang");
+  }
 
   // Phase 3 (sequential): broadcast each unique verdict to its
   // duplicates, restoring plan order.

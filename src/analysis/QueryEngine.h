@@ -147,6 +147,11 @@ public:
 
   const BatchStats &stats() const { return Stats; }
 
+  /// The options this engine was built with. Trace export uses these to
+  /// construct a matching fresh prover when re-proving No verdicts into
+  /// self-contained proof records.
+  const BatchOptions &options() const { return Opts; }
+
   /// Per-function analyses, e.g. for rendering dumps alongside verdicts.
   const DepQueryEngine *engineFor(const std::string &Func) const;
 

@@ -1,0 +1,297 @@
+//===- analysis/TraceExport.cpp -------------------------------------------===//
+//
+// Part of the APT project; see TraceExport.h for the record schema.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TraceExport.h"
+
+#include "core/ProofChecker.h"
+#include "core/ProofJson.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+using namespace apt;
+
+namespace {
+
+/// 64-bit hashes render as fixed-width hex strings: JSON integers are
+/// signed, and a top-bit hash must survive the round trip.
+std::string hex64(uint64_t V) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+void writeLine(std::ostream &OS, const JsonValue &V) {
+  OS << V.dump() << '\n';
+}
+
+JsonValue headerRecord(const char *Mode) {
+  JsonValue::Object O;
+  O.emplace("format", "apt-trace");
+  O.emplace("mode", Mode);
+  O.emplace("type", "header");
+  O.emplace("version", 1);
+  return JsonValue(std::move(O));
+}
+
+JsonValue verdictRecord(size_t Index, const DepTestResult &R) {
+  JsonValue::Object O;
+  O.emplace("index", static_cast<uint64_t>(Index));
+  O.emplace("kind", depKindName(R.Kind));
+  O.emplace("reason", R.Reason);
+  O.emplace("type", "verdict");
+  O.emplace("verdict", depVerdictName(R.Verdict));
+  return JsonValue(std::move(O));
+}
+
+JsonValue memRefToJson(const MemRef &M, const FieldTable &Fields) {
+  JsonValue::Object O;
+  O.emplace("field", Fields.name(M.Field));
+  O.emplace("handle", M.Path.Handle);
+  O.emplace("path", M.Path.Path->toString(Fields));
+  O.emplace("type_name", M.TypeName);
+  O.emplace("write", M.IsWrite);
+  return JsonValue(std::move(O));
+}
+
+/// Re-derives a self-contained proof for a prover-established No verdict
+/// and appends the proof record. The fresh prover has no shared caches
+/// attached, so Rule::Cached nodes can only reference goals inside this
+/// tree -- exactly what ProofChecker demands of a standalone proof.
+bool emitProofRecord(std::ostream &OS, size_t Index, const AxiomSet &Axioms,
+                     const MemRef &S, const MemRef &T,
+                     const FieldTable &Fields, ProverOptions Opts) {
+  Opts.RecordProof = true;
+  Prover Fresh(Fields, Opts);
+  DepTestResult R = dependenceTest(Axioms, S, T, Fresh);
+  if (R.Verdict != DepVerdict::No || !Fresh.proof())
+    return false;
+  JsonValue::Object O;
+  O.emplace("axioms", axiomSetToJson(Axioms, Fields));
+  O.emplace("index", static_cast<uint64_t>(Index));
+  O.emplace("proof", proofToJson(*Fresh.proof(), Fields));
+  O.emplace("s", memRefToJson(S, Fields));
+  O.emplace("t", memRefToJson(T, Fields));
+  O.emplace("type", "proof");
+  writeLine(OS, JsonValue(std::move(O)));
+  return true;
+}
+
+/// Drains \p Events into event records. Nondeterministic section of the
+/// trace; canonicalTrace removes it.
+void emitEvents(std::ostream &OS, trace::Collector *Events,
+                TraceWriteStats &Stats) {
+  if (!Events)
+    return;
+  for (trace::Collector::ThreadBatch &B : Events->drain()) {
+    Stats.Dropped += B.Dropped;
+    for (const trace::Event &E : B.Events) {
+      JsonValue::Object O;
+      if (E.Aux)
+        O.emplace("aux", hex64(E.Aux));
+      if (E.Depth)
+        O.emplace("depth", E.Depth);
+      if (E.Flag)
+        O.emplace("flag", static_cast<uint64_t>(E.Flag));
+      if (E.GoalHash)
+        O.emplace("goal", hex64(E.GoalHash));
+      O.emplace("kind", trace::eventKindName(E.Kind));
+      if (E.QueryId)
+        O.emplace("query", E.QueryId);
+      O.emplace("seq", E.Seq);
+      O.emplace("thread", B.ThreadTag);
+      O.emplace("type", "event");
+      writeLine(OS, JsonValue(std::move(O)));
+      ++Stats.Events;
+    }
+  }
+}
+
+void emitSummary(std::ostream &OS, const TraceWriteStats &Stats) {
+  JsonValue::Object O;
+  O.emplace("dropped", Stats.Dropped);
+  O.emplace("events", static_cast<uint64_t>(Stats.Events));
+  O.emplace("proofs", static_cast<uint64_t>(Stats.Proofs));
+  O.emplace("type", "summary");
+  O.emplace("verdicts", static_cast<uint64_t>(Stats.Verdicts));
+  writeLine(OS, JsonValue(std::move(O)));
+}
+
+} // namespace
+
+TraceWriteStats apt::writeBatchTrace(std::ostream &OS,
+                                     const BatchQueryEngine &Engine,
+                                     const std::vector<BatchResult> &Results,
+                                     const FieldTable &Fields,
+                                     trace::Collector *Events) {
+  TraceWriteStats Stats;
+  writeLine(OS, headerRecord("batch"));
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const BatchResult &BR = Results[I];
+    JsonValue V = verdictRecord(I, BR.Result);
+    V.asObject().emplace("func", BR.Query.Func);
+    V.asObject().emplace("s", BR.Query.LabelS);
+    V.asObject().emplace("t", BR.Query.LabelT);
+    writeLine(OS, V);
+    ++Stats.Verdicts;
+  }
+  // Proof records only exist for No verdicts the *prover* established;
+  // direct answers (type/field mismatches, missing labels) carry their
+  // whole justification in the verdict's reason already.
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const BatchResult &BR = Results[I];
+    if (BR.Result.Verdict != DepVerdict::No || BR.Result.ProofText.empty())
+      continue;
+    const DepQueryEngine *E = Engine.engineFor(BR.Query.Func);
+    if (!E)
+      continue;
+    PreparedQuery P =
+        E->prepareStatementPair(BR.Query.LabelS, BR.Query.LabelT);
+    if (P.Direct)
+      continue;
+    if (emitProofRecord(OS, I, P.Axioms, P.S, P.T, Fields,
+                        Engine.options().Prover))
+      ++Stats.Proofs;
+  }
+  emitEvents(OS, Events, Stats);
+  emitSummary(OS, Stats);
+  return Stats;
+}
+
+TraceWriteStats apt::writeProveTrace(std::ostream &OS, const AxiomSet &Axioms,
+                                     const RegexRef &P, const RegexRef &Q,
+                                     const FieldTable &Fields,
+                                     const ProverOptions &Opts,
+                                     trace::Collector *Events) {
+  TraceWriteStats Stats;
+  writeLine(OS, headerRecord("prove"));
+  ProverOptions Fresh = Opts;
+  Fresh.RecordProof = true;
+  Prover Prover_(Fields, Fresh);
+  bool Proved = Prover_.proveDisjoint(Axioms, P, Q);
+  {
+    JsonValue::Object O;
+    O.emplace("index", 0);
+    O.emplace("p", P->toString(Fields));
+    O.emplace("q", Q->toString(Fields));
+    O.emplace("type", "verdict");
+    O.emplace("verdict", Proved ? "No" : "Maybe");
+    O.emplace("reason", Proved ? "disjointness proved"
+                               : "no proof of independence found");
+    writeLine(OS, JsonValue(std::move(O)));
+    ++Stats.Verdicts;
+  }
+  if (Proved && Prover_.proof()) {
+    JsonValue::Object O;
+    O.emplace("axioms", axiomSetToJson(Axioms, Fields));
+    O.emplace("index", 0);
+    O.emplace("proof", proofToJson(*Prover_.proof(), Fields));
+    O.emplace("type", "proof");
+    writeLine(OS, JsonValue(std::move(O)));
+    ++Stats.Proofs;
+  }
+  emitEvents(OS, Events, Stats);
+  emitSummary(OS, Stats);
+  return Stats;
+}
+
+TraceWriteStats apt::writePairTrace(std::ostream &OS, const AxiomSet &Axioms,
+                                    const MemRef &S, const MemRef &T,
+                                    const DepTestResult &R,
+                                    const FieldTable &Fields,
+                                    const ProverOptions &Opts,
+                                    trace::Collector *Events) {
+  TraceWriteStats Stats;
+  writeLine(OS, headerRecord("pair"));
+  JsonValue V = verdictRecord(0, R);
+  V.asObject().emplace("s", memRefToJson(S, Fields));
+  V.asObject().emplace("t", memRefToJson(T, Fields));
+  writeLine(OS, V);
+  ++Stats.Verdicts;
+  if (R.Verdict == DepVerdict::No && !R.ProofText.empty() &&
+      emitProofRecord(OS, 0, Axioms, S, T, Fields, Opts))
+    ++Stats.Proofs;
+  emitEvents(OS, Events, Stats);
+  emitSummary(OS, Stats);
+  return Stats;
+}
+
+ReplayReport apt::replayTrace(std::istream &In, FieldTable &Fields) {
+  ReplayReport Report;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty())
+      continue;
+    ++Report.Lines;
+    JsonParseResult P = parseJson(Line);
+    if (!P) {
+      ++Report.Failed;
+      Report.Errors.push_back("line " + std::to_string(LineNo) + ": " +
+                              P.Error);
+      continue;
+    }
+    if (!P.Value["type"].isString() || P.Value["type"].asString() != "proof")
+      continue;
+    ++Report.ProofRecords;
+    auto Fail = [&](const std::string &Msg) {
+      ++Report.Failed;
+      Report.Errors.push_back("line " + std::to_string(LineNo) + ": " + Msg);
+    };
+    AxiomSet Axioms;
+    std::string Error;
+    if (!axiomSetFromJson(P.Value["axioms"], Fields, Axioms, Error)) {
+      Fail(Error);
+      continue;
+    }
+    ProofFromJsonResult Proof = proofFromJson(P.Value["proof"], Fields);
+    if (!Proof) {
+      Fail(Proof.Error);
+      continue;
+    }
+    LangQuery Lang;
+    ProofCheckResult Check = checkProof(*Proof.Value, Axioms, Lang);
+    if (!Check) {
+      Fail("proof rejected: " + Check.Error);
+      continue;
+    }
+    ++Report.Replayed;
+  }
+  return Report;
+}
+
+std::string apt::canonicalTrace(const std::string &TraceText) {
+  std::vector<std::string> Kept;
+  std::istringstream In(TraceText);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    JsonParseResult P = parseJson(Line);
+    if (!P)
+      continue;
+    const std::string &Type =
+        P.Value["type"].isString() ? P.Value["type"].asString() : "";
+    if (Type != "verdict" && Type != "proof")
+      continue;
+    // Re-dump rather than keep the raw line: field order and spacing
+    // normalize, so producers are free to format differently.
+    Kept.push_back(P.Value.dump());
+  }
+  std::sort(Kept.begin(), Kept.end());
+  std::string Out;
+  for (const std::string &L : Kept) {
+    Out += L;
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,110 @@
+//===- analysis/TraceExport.h - JSONL trace writing & replay ----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cold path of the observability layer: turns a finished dependence
+/// run plus the drained event rings (support/Trace.h) into a JSONL trace
+/// file, and replays such files. One JSON object per line; the "type"
+/// member selects the record shape (docs/OBSERVABILITY.md):
+///
+///   header   -- format/version/mode; always the first line.
+///   verdict  -- one per query, in plan order. Deterministic.
+///   proof    -- axioms + full structured proof tree for each No verdict
+///               the prover established. Deterministic, and
+///               *self-contained*: the proof is re-derived on a fresh
+///               prover with no attached caches, so ProofChecker accepts
+///               it without the producing session's goal cache.
+///   event    -- one per recorded ring event. NOT deterministic across
+///               thread counts (interleaving, cache races); excluded
+///               from canonicalization.
+///   summary  -- record counts and dropped-event totals; last line.
+///
+/// Replayability is the point: `replayTrace` re-validates every proof
+/// record with ProofChecker, and `canonicalTrace` projects a trace onto
+/// its deterministic records so traces from `--jobs 1` and `--jobs N`
+/// runs compare byte-equal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_TRACEEXPORT_H
+#define APT_ANALYSIS_TRACEEXPORT_H
+
+#include "analysis/QueryEngine.h"
+#include "support/Trace.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Per-trace record counts, returned by the writers.
+struct TraceWriteStats {
+  size_t Verdicts = 0; ///< verdict records written
+  size_t Proofs = 0;   ///< proof records written
+  size_t Events = 0;   ///< event records written
+  uint64_t Dropped = 0; ///< ring events lost to wrap-around
+};
+
+/// Writes the trace of a finished batch run. \p Results must come from
+/// \p Engine (verdict indices refer to their order). Proof records are
+/// re-derived: for every No verdict the prover established, the query is
+/// prepared again and proven on a fresh cache-free prover so the
+/// recorded tree is self-contained. \p Events, when non-null, is drained
+/// into event records.
+TraceWriteStats writeBatchTrace(std::ostream &OS,
+                                const BatchQueryEngine &Engine,
+                                const std::vector<BatchResult> &Results,
+                                const FieldTable &Fields,
+                                trace::Collector *Events = nullptr);
+
+/// Writes the trace of one raw disjointness query (`aptc prove`):
+/// proves `forall x: x.P <> x.Q` on a fresh prover and records the
+/// verdict plus (on success) the proof. Returns the write stats; whether
+/// the proof succeeded is visible as Proofs == 1.
+TraceWriteStats writeProveTrace(std::ostream &OS, const AxiomSet &Axioms,
+                                const RegexRef &P, const RegexRef &Q,
+                                const FieldTable &Fields,
+                                const ProverOptions &Opts,
+                                trace::Collector *Events = nullptr);
+
+/// Writes the trace of one prepared statement-pair query (`aptc deps`
+/// with an explicit pair). \p R is the already-computed verdict; the
+/// proof record, if any, is re-derived fresh as in writeBatchTrace.
+TraceWriteStats writePairTrace(std::ostream &OS, const AxiomSet &Axioms,
+                               const MemRef &S, const MemRef &T,
+                               const DepTestResult &R,
+                               const FieldTable &Fields,
+                               const ProverOptions &Opts,
+                               trace::Collector *Events = nullptr);
+
+/// Result of replaying a trace stream.
+struct ReplayReport {
+  size_t Lines = 0;        ///< Non-empty lines seen.
+  size_t ProofRecords = 0; ///< proof records encountered.
+  size_t Replayed = 0;     ///< Proofs ProofChecker re-validated.
+  size_t Failed = 0;       ///< Proofs rejected or unparseable.
+  std::vector<std::string> Errors; ///< One message per failure.
+
+  bool ok() const { return Failed == 0; }
+};
+
+/// Parses a JSONL trace from \p In and re-validates every proof record
+/// against its embedded axiom set with ProofChecker. Field names are
+/// interned into \p Fields.
+ReplayReport replayTrace(std::istream &In, FieldTable &Fields);
+
+/// Projects \p TraceText onto its deterministic records (verdict and
+/// proof lines), sorted lexicographically and newline-joined. Two runs
+/// of the same batch differ only in event interleaving, so their
+/// canonical forms are byte-equal regardless of --jobs.
+std::string canonicalTrace(const std::string &TraceText);
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_TRACEEXPORT_H

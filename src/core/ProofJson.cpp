@@ -1,0 +1,275 @@
+//===- core/ProofJson.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see ProofJson.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProofJson.h"
+
+#include "regex/RegexParser.h"
+
+using namespace apt;
+
+const char *apt::proofRuleName(ProofJustification::Rule R) {
+  switch (R) {
+  case ProofJustification::Rule::None:
+    return "none";
+  case ProofJustification::Rule::Vacuous:
+    return "vacuous";
+  case ProofJustification::Rule::Hypothesis:
+    return "hypothesis";
+  case ProofJustification::Rule::DirectT1T2:
+    return "direct_t1_t2";
+  case ProofJustification::Rule::T1PrefixEqual:
+    return "t1_prefix_equal";
+  case ProofJustification::Rule::T2PrefixDisjoint:
+    return "t2_prefix_disjoint";
+  case ProofJustification::Rule::AltSplit:
+    return "alt_split";
+  case ProofJustification::Rule::Induction:
+    return "induction";
+  case ProofJustification::Rule::SevenCase:
+    return "seven_case";
+  case ProofJustification::Rule::Cached:
+    return "cached";
+  }
+  return "none";
+}
+
+const char *apt::axiomFormName(AxiomForm F) {
+  switch (F) {
+  case AxiomForm::SameOriginDisjoint:
+    return "same_origin";
+  case AxiomForm::DiffOriginDisjoint:
+    return "diff_origin";
+  case AxiomForm::Equal:
+    return "equal";
+  }
+  return "same_origin";
+}
+
+static bool ruleFromName(const std::string &Name,
+                         ProofJustification::Rule &Out) {
+  using Rule = ProofJustification::Rule;
+  static const std::pair<const char *, Rule> Table[] = {
+      {"none", Rule::None},
+      {"vacuous", Rule::Vacuous},
+      {"hypothesis", Rule::Hypothesis},
+      {"direct_t1_t2", Rule::DirectT1T2},
+      {"t1_prefix_equal", Rule::T1PrefixEqual},
+      {"t2_prefix_disjoint", Rule::T2PrefixDisjoint},
+      {"alt_split", Rule::AltSplit},
+      {"induction", Rule::Induction},
+      {"seven_case", Rule::SevenCase},
+      {"cached", Rule::Cached},
+  };
+  for (const auto &[N, R] : Table)
+    if (Name == N) {
+      Out = R;
+      return true;
+    }
+  return false;
+}
+
+static bool formFromName(const std::string &Name, AxiomForm &Out) {
+  if (Name == "same_origin")
+    Out = AxiomForm::SameOriginDisjoint;
+  else if (Name == "diff_origin")
+    Out = AxiomForm::DiffOriginDisjoint;
+  else if (Name == "equal")
+    Out = AxiomForm::Equal;
+  else
+    return false;
+  return true;
+}
+
+JsonValue apt::axiomToJson(const Axiom &A, const FieldTable &Fields) {
+  JsonValue::Object O;
+  O.emplace("form", axiomFormName(A.Form));
+  O.emplace("lhs", A.Lhs ? A.Lhs->toString(Fields) : "never");
+  O.emplace("rhs", A.Rhs ? A.Rhs->toString(Fields) : "never");
+  if (!A.Name.empty())
+    O.emplace("name", A.Name);
+  return JsonValue(std::move(O));
+}
+
+JsonValue apt::axiomSetToJson(const AxiomSet &Axioms,
+                              const FieldTable &Fields) {
+  JsonValue::Array Arr;
+  for (const Axiom &A : Axioms.axioms())
+    Arr.push_back(axiomToJson(A, Fields));
+  return JsonValue(std::move(Arr));
+}
+
+/// Emits \p R under \p Key unless it is null.
+static void putRegex(JsonValue::Object &O, const char *Key,
+                     const RegexRef &R, const FieldTable &Fields) {
+  if (R)
+    O.emplace(Key, R->toString(Fields));
+}
+
+JsonValue apt::proofToJson(const ProofNode &N, const FieldTable &Fields) {
+  JsonValue::Object O;
+  O.emplace("statement", N.Statement);
+  if (!N.Rule.empty())
+    O.emplace("rule_text", N.Rule);
+  O.emplace("rule", proofRuleName(N.J.Kind));
+  putRegex(O, "goal_p", N.J.GoalP, Fields);
+  putRegex(O, "goal_q", N.J.GoalQ, Fields);
+  putRegex(O, "suf_p", N.J.SufP, Fields);
+  putRegex(O, "suf_q", N.J.SufQ, Fields);
+  putRegex(O, "pre_p", N.J.PreP, Fields);
+  putRegex(O, "pre_q", N.J.PreQ, Fields);
+  if (N.J.HasT1)
+    O.emplace("t1", axiomToJson(N.J.T1, Fields));
+  if (N.J.HasT2)
+    O.emplace("t2", axiomToJson(N.J.T2, Fields));
+  putRegex(O, "hyp_p", N.J.HypP, Fields);
+  putRegex(O, "hyp_q", N.J.HypQ, Fields);
+  if (N.J.Kind == ProofJustification::Rule::AltSplit)
+    O.emplace("split_on_p", N.J.SplitOnP);
+  if (!N.Children.empty()) {
+    JsonValue::Array Kids;
+    for (const std::unique_ptr<ProofNode> &C : N.Children)
+      Kids.push_back(proofToJson(*C, Fields));
+    O.emplace("children", JsonValue(std::move(Kids)));
+  }
+  return JsonValue(std::move(O));
+}
+
+/// Parses the regex at \p V[Key] into \p Out. Absent keys leave \p Out
+/// null (fine: absence encodes a null RegexRef). Returns false only on a
+/// present-but-invalid value.
+static bool getRegex(const JsonValue &V, const char *Key, FieldTable &Fields,
+                     RegexRef &Out, std::string &Error) {
+  if (!V.has(Key))
+    return true;
+  const JsonValue &S = V[Key];
+  if (!S.isString()) {
+    Error = std::string(Key) + ": expected a string";
+    return false;
+  }
+  RegexParseResult R = parseRegex(S.asString(), Fields);
+  if (!R) {
+    Error = std::string(Key) + ": " + R.Error;
+    return false;
+  }
+  Out = R.Value;
+  return true;
+}
+
+AxiomFromJsonResult apt::axiomFromJson(const JsonValue &V,
+                                       FieldTable &Fields) {
+  AxiomFromJsonResult Out;
+  if (!V.isObject()) {
+    Out.Error = "axiom: expected an object";
+    return Out;
+  }
+  if (!V["form"].isString() ||
+      !formFromName(V["form"].asString(), Out.Value.Form)) {
+    Out.Error = "axiom: bad or missing 'form'";
+    return Out;
+  }
+  if (!getRegex(V, "lhs", Fields, Out.Value.Lhs, Out.Error) ||
+      !getRegex(V, "rhs", Fields, Out.Value.Rhs, Out.Error))
+    return Out;
+  if (!Out.Value.Lhs || !Out.Value.Rhs) {
+    Out.Error = "axiom: missing 'lhs' or 'rhs'";
+    return Out;
+  }
+  if (V.has("name")) {
+    if (!V["name"].isString()) {
+      Out.Error = "axiom: 'name' must be a string";
+      return Out;
+    }
+    Out.Value.Name = V["name"].asString();
+  }
+  Out.Ok = true;
+  return Out;
+}
+
+bool apt::axiomSetFromJson(const JsonValue &V, FieldTable &Fields,
+                           AxiomSet &Out, std::string &Error) {
+  if (!V.isArray()) {
+    Error = "axioms: expected an array";
+    return false;
+  }
+  for (const JsonValue &E : V.asArray()) {
+    AxiomFromJsonResult A = axiomFromJson(E, Fields);
+    if (!A) {
+      Error = A.Error;
+      return false;
+    }
+    Out.add(std::move(A.Value));
+  }
+  return true;
+}
+
+static bool proofNodeFromJson(const JsonValue &V, FieldTable &Fields,
+                              ProofNode &Out, std::string &Error) {
+  if (!V.isObject()) {
+    Error = "proof node: expected an object";
+    return false;
+  }
+  if (V["statement"].isString())
+    Out.Statement = V["statement"].asString();
+  if (V["rule_text"].isString())
+    Out.Rule = V["rule_text"].asString();
+  if (!V["rule"].isString() ||
+      !ruleFromName(V["rule"].asString(), Out.J.Kind)) {
+    Error = "proof node: bad or missing 'rule'";
+    return false;
+  }
+  if (!getRegex(V, "goal_p", Fields, Out.J.GoalP, Error) ||
+      !getRegex(V, "goal_q", Fields, Out.J.GoalQ, Error) ||
+      !getRegex(V, "suf_p", Fields, Out.J.SufP, Error) ||
+      !getRegex(V, "suf_q", Fields, Out.J.SufQ, Error) ||
+      !getRegex(V, "pre_p", Fields, Out.J.PreP, Error) ||
+      !getRegex(V, "pre_q", Fields, Out.J.PreQ, Error) ||
+      !getRegex(V, "hyp_p", Fields, Out.J.HypP, Error) ||
+      !getRegex(V, "hyp_q", Fields, Out.J.HypQ, Error))
+    return false;
+  if (V.has("t1")) {
+    AxiomFromJsonResult A = axiomFromJson(V["t1"], Fields);
+    if (!A) {
+      Error = "t1: " + A.Error;
+      return false;
+    }
+    Out.J.T1 = std::move(A.Value);
+    Out.J.HasT1 = true;
+  }
+  if (V.has("t2")) {
+    AxiomFromJsonResult A = axiomFromJson(V["t2"], Fields);
+    if (!A) {
+      Error = "t2: " + A.Error;
+      return false;
+    }
+    Out.J.T2 = std::move(A.Value);
+    Out.J.HasT2 = true;
+  }
+  if (V["split_on_p"].isBool())
+    Out.J.SplitOnP = V["split_on_p"].asBool();
+  if (V.has("children")) {
+    if (!V["children"].isArray()) {
+      Error = "proof node: 'children' must be an array";
+      return false;
+    }
+    for (const JsonValue &C : V["children"].asArray()) {
+      auto Child = std::make_unique<ProofNode>();
+      if (!proofNodeFromJson(C, Fields, *Child, Error))
+        return false;
+      Out.Children.push_back(std::move(Child));
+    }
+  }
+  return true;
+}
+
+ProofFromJsonResult apt::proofFromJson(const JsonValue &V,
+                                       FieldTable &Fields) {
+  ProofFromJsonResult Out;
+  auto Root = std::make_unique<ProofNode>();
+  if (!proofNodeFromJson(V, Fields, *Root, Out.Error))
+    return Out;
+  Out.Value = std::move(Root);
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- core/ProofJson.h - Proof/axiom JSON (de)serialization ----*- C++ -*-===//
+//
+// Part of the APT project; see Proof.h for the trees serialized here.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON round-tripping for axioms and recorded proof trees, used by the
+/// trace-export layer (analysis/TraceExport.h): a `proof` record in a
+/// trace file carries the axiom set plus the full structured tree, so a
+/// reader can re-validate the prover's No verdict with ProofChecker
+/// without access to the original program.
+///
+/// Regexes are serialized through their textual form (Regex::toString)
+/// and parsed back with regex/RegexParser.h, which round-trips exactly:
+/// the printer emits the grammar the parser accepts. Rule and axiom-form
+/// names are stable snake_case strings; see docs/OBSERVABILITY.md for
+/// the schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_CORE_PROOFJSON_H
+#define APT_CORE_PROOFJSON_H
+
+#include "core/Axiom.h"
+#include "core/Proof.h"
+#include "support/Json.h"
+
+#include <memory>
+#include <string>
+
+namespace apt {
+
+/// Stable snake_case name of a justification rule ("direct_t1_t2", ...).
+const char *proofRuleName(ProofJustification::Rule R);
+
+/// Stable name of an axiom form: "same_origin", "diff_origin", "equal".
+const char *axiomFormName(AxiomForm F);
+
+/// Serializes one axiom as {"form","lhs","rhs"} plus "name" when set.
+JsonValue axiomToJson(const Axiom &A, const FieldTable &Fields);
+
+/// Serializes a whole set as a JSON array, preserving order.
+JsonValue axiomSetToJson(const AxiomSet &Axioms, const FieldTable &Fields);
+
+/// Serializes a proof tree. Null regex fields and unset axiom slots are
+/// omitted; children serialize recursively under "children".
+JsonValue proofToJson(const ProofNode &N, const FieldTable &Fields);
+
+/// Outcome of deserializing an axiom or a proof tree.
+struct AxiomFromJsonResult {
+  Axiom Value;
+  bool Ok = false;
+  std::string Error;
+
+  explicit operator bool() const { return Ok; }
+};
+
+struct ProofFromJsonResult {
+  std::unique_ptr<ProofNode> Value; ///< Non-null on success.
+  std::string Error;                ///< Non-empty on failure.
+
+  explicit operator bool() const { return Value != nullptr; }
+};
+
+/// Parses an axiom produced by axiomToJson, interning field names into
+/// \p Fields.
+AxiomFromJsonResult axiomFromJson(const JsonValue &V, FieldTable &Fields);
+
+/// Parses an array produced by axiomSetToJson into \p Out. Returns false
+/// and sets \p Error on the first malformed element.
+bool axiomSetFromJson(const JsonValue &V, FieldTable &Fields, AxiomSet &Out,
+                      std::string &Error);
+
+/// Parses a tree produced by proofToJson, interning field names into
+/// \p Fields.
+ProofFromJsonResult proofFromJson(const JsonValue &V, FieldTable &Fields);
+
+} // namespace apt
+
+#endif // APT_CORE_PROOFJSON_H

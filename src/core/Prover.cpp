@@ -8,10 +8,12 @@
 
 #include "regex/Simplify.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <functional>
 #include <set>
 
 using namespace apt;
@@ -30,6 +32,9 @@ void Prover::resetCaches() {
   GoalCache.clear();
   InProgress.clear();
   ActiveHyps.clear();
+  EqMemoValid = false;
+  EqRules.clear();
+  CanonMemo.clear();
   Stats = ProverStats();
 }
 
@@ -60,6 +65,8 @@ bool Prover::matchesHypothesis(const Goal &G) {
   for (const Hypothesis &H : ActiveHyps) {
     if (H.Key == Key) {
       ++Stats.HypothesisHits;
+      APT_TRACE_EVENT(trace::EventKind::HypothesisHit,
+                      std::hash<std::string>{}(Key), 0, /*ByKey=*/1);
       return true;
     }
     // Structural keys can differ for equal languages (e.g. a.a* vs a*.a);
@@ -67,6 +74,8 @@ bool Prover::matchesHypothesis(const Goal &G) {
     if ((Lang.equivalent(RP, H.P) && Lang.equivalent(RQ, H.Q)) ||
         (Lang.equivalent(RP, H.Q) && Lang.equivalent(RQ, H.P))) {
       ++Stats.HypothesisHits;
+      APT_TRACE_EVENT(trace::EventKind::HypothesisHit,
+                      std::hash<std::string>{}(Key), 0, /*ByKey=*/0);
       return true;
     }
   }
@@ -123,6 +132,7 @@ bool Prover::proveDisjoint(const AxiomSet &Axioms, const RegexRef &P,
                            const RegexRef &Q) {
   assert(P && Q && "null access path regex");
   RegexRef NP = P, NQ = Q;
+  CurrentAxiomFp = axiomSetFingerprint(Axioms);
   if (Opts.NormalizePaths) {
     // Language-preserving shrinking, then canonicalization of
     // singleton-word paths through the equality axioms (so that e.g.
@@ -130,26 +140,32 @@ bool Prover::proveDisjoint(const AxiomSet &Axioms, const RegexRef &P,
     // runs -- it only knows the disjointness axiom forms).
     NP = simplifyRegex(NP, Lang);
     NQ = simplifyRegex(NQ, Lang);
-    std::vector<std::pair<Word, Word>> Rules = equalityRules(Axioms);
-    if (!Rules.empty()) {
+    ensureEqualityMemo(Axioms, CurrentAxiomFp);
+    if (!EqRules.empty()) {
       if (std::optional<Word> W = NP->singletonWord())
-        NP = Regex::word(canonicalWord(Rules, *W));
+        NP = Regex::word(canonicalForm(*W));
       if (std::optional<Word> W = NQ->singletonWord())
-        NQ = Regex::word(canonicalWord(Rules, *W));
+        NQ = Regex::word(canonicalForm(*W));
     }
   }
   Goal G{pathComponents(NP), pathComponents(NQ)};
-  CurrentAxiomFp = axiomSetFingerprint(Axioms);
   StepsLeft = Opts.MaxSteps;
   Root.reset();
   InductionDepth = 0;
   Poisoned = false;
+  // One trace query scope per proveDisjoint call; the tag hashes the
+  // normalized query so traces correlate across job counts.
+  uint64_t TraceQuery = 0;
+  if (APT_TRACE_ENABLED && trace::enabled())
+    TraceQuery = trace::beginQuery(
+        std::hash<std::string>{}(NP->key() + "\x1f" + NQ->key()));
   std::unique_ptr<ProofNode> Node;
   if (Opts.RecordProof)
     Node = std::make_unique<ProofNode>();
   bool Ok = prove(Axioms, std::move(G), Node.get(), /*Depth=*/0);
   if (Ok && Node)
     Root = std::move(Node);
+  trace::endQuery(TraceQuery, Ok);
   return Ok;
 }
 
@@ -222,13 +238,29 @@ bool Prover::proveEqualPaths(const AxiomSet &Axioms, const RegexRef &P,
     return false;
   if (*WP == *WQ)
     return true;
-  std::vector<std::pair<Word, Word>> Rules = equalityRules(Axioms);
-  if (Rules.empty())
+  ensureEqualityMemo(Axioms, axiomSetFingerprint(Axioms));
+  if (EqRules.empty())
     return false;
   // Equal vertices share a canonical form (rewriting is symmetric); the
   // bounded search makes a differing canonical form a conservative "not
   // proven equal".
-  return canonicalWord(Rules, *WP) == canonicalWord(Rules, *WQ);
+  return canonicalForm(*WP) == canonicalForm(*WQ);
+}
+
+void Prover::ensureEqualityMemo(const AxiomSet &Axioms, size_t Fp) {
+  if (EqMemoValid && EqMemoFp == Fp)
+    return;
+  EqRules = equalityRules(Axioms);
+  CanonMemo.clear();
+  EqMemoFp = Fp;
+  EqMemoValid = true;
+}
+
+const Word &Prover::canonicalForm(const Word &W) {
+  auto It = CanonMemo.find(W);
+  if (It == CanonMemo.end())
+    It = CanonMemo.emplace(W, canonicalWord(EqRules, W)).first;
+  return It->second;
 }
 
 //===----------------------------------------------------------------------===//
@@ -240,6 +272,9 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
   if (StepsLeft == 0) {
     ++Stats.BudgetExhausted;
     Poisoned = true;
+    APT_TRACE_EVENT(trace::EventKind::BudgetExhausted, 0,
+                    static_cast<uint32_t>(Depth),
+                    static_cast<uint8_t>(trace::PoisonReason::StepBudget));
     return false;
   }
   --StepsLeft;
@@ -256,6 +291,9 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
     // This failure reflects a cutoff, not the goal itself; it must not be
     // cached as a definitive "no proof".
     Poisoned = true;
+    APT_TRACE_EVENT(trace::EventKind::CachePoisoned, 0,
+                    static_cast<uint32_t>(Depth),
+                    static_cast<uint8_t>(trace::PoisonReason::DepthCutoff));
     return false;
   }
 
@@ -272,10 +310,20 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
     FullKey += join(HypKeys, "\x1e");
   }
 
+  // Goal-key hash shared by this goal's events (computed only when a
+  // trace is being recorded; strings never enter the ring).
+  [[maybe_unused]] uint64_t GoalH = 0;
+  if (APT_TRACE_ENABLED && trace::enabled())
+    GoalH = std::hash<std::string>{}(FullKey);
+  APT_TRACE_EVENT(trace::EventKind::GoalBegin, GoalH,
+                  static_cast<uint32_t>(Depth));
+
   if (Opts.EnableGoalCache) {
     auto It = GoalCache.find(FullKey);
     if (It != GoalCache.end()) {
       ++Stats.GoalCacheHits;
+      APT_TRACE_EVENT(trace::EventKind::CacheHit, GoalH,
+                      static_cast<uint32_t>(Depth), It->second ? 1 : 0);
       if (Out && It->second) {
         Out->Rule = "previously proven (cache)";
         Out->J.Kind = ProofJustification::Rule::Cached;
@@ -290,6 +338,8 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
       if (std::optional<bool> Hit = SharedGoals->lookup(FullKey)) {
         ++Stats.GoalCacheHits;
         ++Stats.SharedGoalHits;
+        APT_TRACE_EVENT(trace::EventKind::SharedCacheHit, GoalH,
+                        static_cast<uint32_t>(Depth), *Hit ? 1 : 0);
         GoalCache.emplace(FullKey, *Hit);
         if (Out && *Hit) {
           Out->Rule = "previously proven (cache)";
@@ -306,6 +356,9 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
   if (std::find(InProgress.begin(), InProgress.end(), FullKey) !=
       InProgress.end()) {
     Poisoned = true;
+    APT_TRACE_EVENT(trace::EventKind::CachePoisoned, GoalH,
+                    static_cast<uint32_t>(Depth),
+                    static_cast<uint8_t>(trace::PoisonReason::CycleCut));
     return false;
   }
 
@@ -316,6 +369,9 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
   bool MyPoison = Poisoned;
   Poisoned = SavedPoison || MyPoison;
   InProgress.pop_back();
+  APT_TRACE_EVENT(trace::EventKind::GoalEnd, GoalH,
+                  static_cast<uint32_t>(Depth), Result ? 1 : 0,
+                  MyPoison ? 1 : 0);
 
   // Successful proofs are always cacheable (under the hypothesis
   // signature baked into the key); failures only when no cutoff or cycle
@@ -392,6 +448,19 @@ bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
       if (!T1 && !T2)
         continue;
 
+      // An applicable axiom was found: this split is a rule application
+      // (splits with no matching axiom are search, not application).
+      APT_TRACE_EVENT(trace::EventKind::SuffixSplit, 0,
+                      static_cast<uint32_t>(Depth),
+                      static_cast<uint8_t>((T1 ? 1 : 0) | (T2 ? 2 : 0)),
+                      (static_cast<uint64_t>(I) << 32) | J);
+      if (T1)
+        APT_TRACE_EVENT(trace::EventKind::FormAApplied, 0,
+                        static_cast<uint32_t>(Depth));
+      if (T2)
+        APT_TRACE_EVENT(trace::EventKind::FormBApplied, 0,
+                        static_cast<uint32_t>(Depth));
+
       std::string SplitDesc = "suffixes (" + Sp->toString(Fields) + ", " +
                               Sq->toString(Fields) + ")";
       auto AxName = [this](const Axiom *A) {
@@ -401,6 +470,8 @@ bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
       // Steps A+B: suffixes disjoint whether the prefixes lead to the
       // same vertex (T1) or to distinct vertices (T2).
       if (T1 && T2) {
+        APT_TRACE_EVENT(trace::EventKind::StepAB, 0,
+                        static_cast<uint32_t>(Depth));
         if (Out) {
           Out->Rule = SplitDesc + ": T1 by " + AxName(T1) + " and T2 by " +
                       AxName(T2);
@@ -423,6 +494,8 @@ bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
         RegexRef RPrefP = componentsToRegex(PrefP);
         RegexRef RPrefQ = componentsToRegex(PrefQ);
         if (proveEqualPaths(Axioms, RPrefP, RPrefQ)) {
+          APT_TRACE_EVENT(trace::EventKind::StepC, 0,
+                          static_cast<uint32_t>(Depth));
           if (Out) {
             Out->Rule = SplitDesc + ": T1 by " + AxName(T1) +
                         "; prefixes denote the same vertex";
@@ -444,6 +517,8 @@ bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
         ProofNode Sub;
         if (prove(Axioms, Goal{PrefP, PrefQ}, Out ? &Sub : nullptr,
                   Depth + 1)) {
+          APT_TRACE_EVENT(trace::EventKind::StepD, 0,
+                          static_cast<uint32_t>(Depth));
           if (Out) {
             Out->Rule =
                 SplitDesc + ": T2 by " + AxName(T2) + "; prefixes disjoint";
@@ -501,6 +576,8 @@ bool Prover::tryAlternationSplit(const AxiomSet &Axioms, const Goal &G,
           BranchProofs.push_back(std::move(Node));
       }
       if (AllProven) {
+        APT_TRACE_EVENT(trace::EventKind::AltSplit, 0,
+                        static_cast<uint32_t>(Depth), Side == 0 ? 1 : 0);
         if (Out) {
           Out->Rule = "case split on alternation " + C->toString(Fields) +
                       " (all branches proven)";
@@ -519,6 +596,9 @@ bool Prover::tryKleeneInduction(const AxiomSet &Axioms, const Goal &G,
                                 ProofNode *Out, size_t Depth) {
   if (InductionDepth >= Opts.MaxInductionDepth) {
     Poisoned = true;
+    APT_TRACE_EVENT(
+        trace::EventKind::CachePoisoned, 0, static_cast<uint32_t>(Depth),
+        static_cast<uint8_t>(trace::PoisonReason::InductionDepth));
     return false;
   }
   ++InductionDepth;
@@ -583,6 +663,9 @@ bool Prover::trySingleStarInduction(const AxiomSet &Axioms, const Goal &G,
                                     bool OnP, size_t StarIdx, ProofNode *Out,
                                     size_t Depth) {
   ++Stats.Inductions;
+  APT_TRACE_EVENT(trace::EventKind::StarInduction, 0,
+                  static_cast<uint32_t>(Depth), OnP ? 1 : 0,
+                  static_cast<uint64_t>(StarIdx));
   const std::vector<RegexRef> &Comps = OnP ? G.P : G.Q;
   RegexRef Star = Comps[StarIdx];
   RegexRef Inner = Star->child();
@@ -645,6 +728,8 @@ bool Prover::trySingleStarInduction(const AxiomSet &Axioms, const Goal &G,
 bool Prover::trySevenCaseInduction(const AxiomSet &Axioms, const Goal &G,
                                    ProofNode *Out, size_t Depth) {
   ++Stats.Inductions;
+  APT_TRACE_EVENT(trace::EventKind::SevenCaseInduction, 0,
+                  static_cast<uint32_t>(Depth));
   // P = P'.a*, Q = Q'.b*; the paper's seven cases when both paths end in
   // Kleene components (§4.1), with a+ written as a*.a.
   std::vector<RegexRef> PPrefix(G.P.begin(), G.P.end() - 1);

@@ -51,6 +51,7 @@
 #include "support/ShardedCache.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -211,6 +212,16 @@ private:
   std::string goalKey(const Goal &G) const;
   std::string goalStatement(const Goal &G) const;
 
+  /// Rebuilds the form-3 equality memo when the axiom set changes.
+  /// Rewrite rules are a pure function of the axiom set, so entries are
+  /// keyed by its fingerprint: step C probes path equality for every
+  /// prefix-pair candidate, and without the memo each probe re-derives
+  /// the rules and re-runs the bounded rewrite BFS, which dominates
+  /// whole proofs under ring-style equality axioms.
+  void ensureEqualityMemo(const AxiomSet &Axioms, size_t Fp);
+  /// Memoized canonicalWord over the current equality memo.
+  const Word &canonicalForm(const Word &W);
+
   const FieldTable &Fields;
   ProverOptions Opts;
   LangQuery Lang;
@@ -228,6 +239,11 @@ private:
     std::string Label;
   };
   std::vector<Hypothesis> ActiveHyps;
+
+  size_t EqMemoFp = 0;
+  bool EqMemoValid = false;
+  std::vector<std::pair<Word, Word>> EqRules;
+  std::map<Word, Word> CanonMemo;
 
   size_t StepsLeft = 0;
   size_t InductionDepth = 0;

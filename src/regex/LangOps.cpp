@@ -8,7 +8,9 @@
 
 #include "regex/Derivative.h"
 #include "regex/Dfa.h"
+#include "support/Trace.h"
 
+#include <functional>
 #include <set>
 
 using namespace apt;
@@ -35,17 +37,28 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
   auto It = SubsetCache.find(Key);
   if (It != SubsetCache.end()) {
     ++Counters.CacheHits;
+    APT_TRACE_EVENT(trace::EventKind::LangSubset,
+                    std::hash<std::string>{}(Key), 0,
+                    static_cast<uint8_t>((It->second ? trace::LangResult : 0) |
+                                         trace::LangCached));
     return It->second;
   }
   if (SharedCache) {
     if (std::optional<bool> Hit = SharedCache->lookup(Key)) {
       ++Counters.CacheHits;
       ++Counters.SharedCacheHits;
+      APT_TRACE_EVENT(trace::EventKind::LangSubset,
+                      std::hash<std::string>{}(Key), 0,
+                      static_cast<uint8_t>((*Hit ? trace::LangResult : 0) |
+                                           trace::LangShared));
       SubsetCache.emplace(std::move(Key), *Hit);
       return *Hit;
     }
   }
   bool Result = subsetOfUncached(A, B);
+  APT_TRACE_EVENT(trace::EventKind::LangSubset,
+                  std::hash<std::string>{}(Key), 0,
+                  static_cast<uint8_t>(Result ? trace::LangResult : 0));
   if (SharedCache)
     SharedCache->insert(Key, Result);
   SubsetCache.emplace(std::move(Key), Result);
@@ -81,17 +94,28 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
   auto It = DisjointCache.find(Key);
   if (It != DisjointCache.end()) {
     ++Counters.CacheHits;
+    APT_TRACE_EVENT(trace::EventKind::LangDisjoint,
+                    std::hash<std::string>{}(Key), 0,
+                    static_cast<uint8_t>((It->second ? trace::LangResult : 0) |
+                                         trace::LangCached));
     return It->second;
   }
   if (SharedCache) {
     if (std::optional<bool> Hit = SharedCache->lookup(Key)) {
       ++Counters.CacheHits;
       ++Counters.SharedCacheHits;
+      APT_TRACE_EVENT(trace::EventKind::LangDisjoint,
+                      std::hash<std::string>{}(Key), 0,
+                      static_cast<uint8_t>((*Hit ? trace::LangResult : 0) |
+                                           trace::LangShared));
       DisjointCache.emplace(std::move(Key), *Hit);
       return *Hit;
     }
   }
   bool Result = disjointUncached(A, B);
+  APT_TRACE_EVENT(trace::EventKind::LangDisjoint,
+                  std::hash<std::string>{}(Key), 0,
+                  static_cast<uint8_t>(Result ? trace::LangResult : 0));
   if (SharedCache)
     SharedCache->insert(Key, Result);
   DisjointCache.emplace(std::move(Key), Result);

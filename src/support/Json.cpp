@@ -1,0 +1,413 @@
+//===- support/Json.cpp ---------------------------------------------------===//
+//
+// Part of the APT project; see Json.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+using namespace apt;
+
+const JsonValue &JsonValue::operator[](const std::string &Key) const {
+  static const JsonValue Null;
+  if (!isObject())
+    return Null;
+  auto It = asObject().find(Key);
+  return It == asObject().end() ? Null : It->second;
+}
+
+std::string apt::jsonQuote(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+namespace {
+
+void dumpTo(const JsonValue &V, std::string &Out, int Indent, int Depth) {
+  auto NewlineIndent = [&](int D) {
+    if (Indent < 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  if (V.isNull()) {
+    Out += "null";
+  } else if (V.isBool()) {
+    Out += V.asBool() ? "true" : "false";
+  } else if (V.isInt()) {
+    Out += std::to_string(V.asInt());
+  } else if (V.isDouble()) {
+    double D = V.asDouble();
+    if (std::isfinite(D)) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    } else {
+      Out += "null"; // JSON has no inf/nan.
+    }
+  } else if (V.isString()) {
+    Out += jsonQuote(V.asString());
+  } else if (V.isArray()) {
+    const JsonValue::Array &A = V.asArray();
+    if (A.empty()) {
+      Out += "[]";
+      return;
+    }
+    Out += '[';
+    bool First = true;
+    for (const JsonValue &E : A) {
+      if (!First)
+        Out += ',';
+      First = false;
+      NewlineIndent(Depth + 1);
+      dumpTo(E, Out, Indent, Depth + 1);
+    }
+    NewlineIndent(Depth);
+    Out += ']';
+  } else {
+    const JsonValue::Object &O = V.asObject();
+    if (O.empty()) {
+      Out += "{}";
+      return;
+    }
+    Out += '{';
+    bool First = true;
+    for (const auto &[K, E] : O) {
+      if (!First)
+        Out += ',';
+      First = false;
+      NewlineIndent(Depth + 1);
+      Out += jsonQuote(K);
+      Out += Indent < 0 ? ":" : ": ";
+      dumpTo(E, Out, Indent, Depth + 1);
+    }
+    NewlineIndent(Depth);
+    Out += '}';
+  }
+}
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  JsonParseResult run() {
+    JsonParseResult R;
+    skipWs();
+    if (!parseValue(R.Value)) {
+      R.Error = "offset " + std::to_string(At) + ": " + Err;
+      return R;
+    }
+    skipWs();
+    if (At != Text.size()) {
+      R.Error = "offset " + std::to_string(At) + ": trailing characters";
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  bool fail(const char *Message) {
+    if (Err.empty())
+      Err = Message;
+    return false;
+  }
+
+  void skipWs() {
+    while (At < Text.size() &&
+           (Text[At] == ' ' || Text[At] == '\t' || Text[At] == '\n' ||
+            Text[At] == '\r'))
+      ++At;
+  }
+
+  bool lit(std::string_view S) {
+    if (Text.substr(At, S.size()) != S)
+      return false;
+    At += S.size();
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (At >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[At];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"') {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue(std::move(S));
+      return true;
+    }
+    if (lit("true")) {
+      Out = JsonValue(true);
+      return true;
+    }
+    if (lit("false")) {
+      Out = JsonValue(false);
+      return true;
+    }
+    if (lit("null")) {
+      Out = JsonValue(nullptr);
+      return true;
+    }
+    return parseNumber(Out);
+  }
+
+  bool parseObject(JsonValue &Out) {
+    ++At; // '{'
+    JsonValue::Object O;
+    skipWs();
+    if (At < Text.size() && Text[At] == '}') {
+      ++At;
+      Out = JsonValue(std::move(O));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!parseString(Key))
+        return fail("expected object key");
+      skipWs();
+      if (At >= Text.size() || Text[At] != ':')
+        return fail("expected ':'");
+      ++At;
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      O[std::move(Key)] = std::move(V);
+      skipWs();
+      if (At < Text.size() && Text[At] == ',') {
+        ++At;
+        continue;
+      }
+      if (At < Text.size() && Text[At] == '}') {
+        ++At;
+        Out = JsonValue(std::move(O));
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    ++At; // '['
+    JsonValue::Array A;
+    skipWs();
+    if (At < Text.size() && Text[At] == ']') {
+      ++At;
+      Out = JsonValue(std::move(A));
+      return true;
+    }
+    while (true) {
+      skipWs();
+      JsonValue V;
+      if (!parseValue(V))
+        return false;
+      A.push_back(std::move(V));
+      skipWs();
+      if (At < Text.size() && Text[At] == ',') {
+        ++At;
+        continue;
+      }
+      if (At < Text.size() && Text[At] == ']') {
+        ++At;
+        Out = JsonValue(std::move(A));
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (At >= Text.size() || Text[At] != '"')
+      return fail("expected string");
+    ++At;
+    while (At < Text.size()) {
+      char C = Text[At];
+      if (C == '"') {
+        ++At;
+        return true;
+      }
+      if (C == '\\') {
+        if (At + 1 >= Text.size())
+          return fail("bad escape");
+        char E = Text[At + 1];
+        At += 2;
+        switch (E) {
+        case '"':
+          Out += '"';
+          break;
+        case '\\':
+          Out += '\\';
+          break;
+        case '/':
+          Out += '/';
+          break;
+        case 'b':
+          Out += '\b';
+          break;
+        case 'f':
+          Out += '\f';
+          break;
+        case 'n':
+          Out += '\n';
+          break;
+        case 'r':
+          Out += '\r';
+          break;
+        case 't':
+          Out += '\t';
+          break;
+        case 'u': {
+          if (At + 4 > Text.size())
+            return fail("bad \\u escape");
+          unsigned Code = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[At + I];
+            Code <<= 4;
+            if (H >= '0' && H <= '9')
+              Code |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              Code |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              Code |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape");
+          }
+          At += 4;
+          // UTF-8 encode the BMP code point (we never emit surrogate
+          // pairs, and traces are ASCII; non-BMP input decodes as two
+          // separate 3-byte sequences, which round-trips our own output).
+          if (Code < 0x80) {
+            Out += static_cast<char>(Code);
+          } else if (Code < 0x800) {
+            Out += static_cast<char>(0xC0 | (Code >> 6));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          } else {
+            Out += static_cast<char>(0xE0 | (Code >> 12));
+            Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+            Out += static_cast<char>(0x80 | (Code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+        }
+        continue;
+      }
+      Out += C;
+      ++At;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = At;
+    if (At < Text.size() && Text[At] == '-')
+      ++At;
+    // JSON forbids leading zeros ("01"); a lone 0 or "0.x" is fine.
+    if (At + 1 < Text.size() && Text[At] == '0' &&
+        std::isdigit(static_cast<unsigned char>(Text[At + 1])))
+      return fail("leading zero in number");
+    while (At < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                   Text[At])))
+      ++At;
+    bool IsDouble = false;
+    if (At < Text.size() && Text[At] == '.') {
+      IsDouble = true;
+      ++At;
+      while (At < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                     Text[At])))
+        ++At;
+    }
+    if (At < Text.size() && (Text[At] == 'e' || Text[At] == 'E')) {
+      IsDouble = true;
+      ++At;
+      if (At < Text.size() && (Text[At] == '+' || Text[At] == '-'))
+        ++At;
+      while (At < Text.size() && std::isdigit(static_cast<unsigned char>(
+                                     Text[At])))
+        ++At;
+    }
+    if (At == Start)
+      return fail("expected value");
+    std::string_view Num = Text.substr(Start, At - Start);
+    if (!IsDouble) {
+      int64_t I = 0;
+      auto [P, Ec] = std::from_chars(Num.data(), Num.data() + Num.size(), I);
+      if (Ec == std::errc() && P == Num.data() + Num.size()) {
+        Out = JsonValue(I);
+        return true;
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double D = 0;
+    auto [P, Ec] = std::from_chars(Num.data(), Num.data() + Num.size(), D);
+    if (Ec != std::errc() || P != Num.data() + Num.size())
+      return fail("bad number");
+    Out = JsonValue(D);
+    return true;
+  }
+
+  std::string_view Text;
+  size_t At = 0;
+  std::string Err;
+};
+
+} // namespace
+
+std::string JsonValue::dump() const {
+  std::string Out;
+  dumpTo(*this, Out, /*Indent=*/-1, /*Depth=*/0);
+  return Out;
+}
+
+std::string JsonValue::dumpPretty() const {
+  std::string Out;
+  dumpTo(*this, Out, /*Indent=*/2, /*Depth=*/0);
+  return Out;
+}
+
+JsonParseResult apt::parseJson(std::string_view Text) {
+  return Parser(Text).run();
+}

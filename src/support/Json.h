@@ -1,0 +1,114 @@
+//===- support/Json.h - Minimal JSON value model ----------------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, dependency-free JSON value model with a writer and a strict
+/// recursive-descent parser. It exists for the observability layer
+/// (support/Metrics.h JSON export, the `aptc --trace` JSONL records and
+/// their replay in analysis/TraceExport.h) and is deliberately minimal:
+/// objects preserve *sorted* key order (std::map), so serializing the
+/// same value twice -- or on two different threads/job counts -- yields
+/// byte-identical text, which the trace canonicalization relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_JSON_H
+#define APT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace apt {
+
+/// One JSON value: null, bool, integer, double, string, array or object.
+/// Integers are kept distinct from doubles so counters round-trip
+/// exactly (a uint64 histogram sum does not fit a double losslessly).
+class JsonValue {
+public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : V(nullptr) {}
+  JsonValue(std::nullptr_t) : V(nullptr) {}
+  JsonValue(bool B) : V(B) {}
+  JsonValue(int64_t N) : V(N) {}
+  JsonValue(uint64_t N) : V(static_cast<int64_t>(N)) {}
+  JsonValue(int N) : V(static_cast<int64_t>(N)) {}
+  JsonValue(unsigned N) : V(static_cast<int64_t>(N)) {}
+  JsonValue(double D) : V(D) {}
+  JsonValue(std::string S) : V(std::move(S)) {}
+  JsonValue(const char *S) : V(std::string(S)) {}
+  JsonValue(Array A) : V(std::move(A)) {}
+  JsonValue(Object O) : V(std::move(O)) {}
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(V); }
+  bool isBool() const { return std::holds_alternative<bool>(V); }
+  bool isInt() const { return std::holds_alternative<int64_t>(V); }
+  bool isDouble() const { return std::holds_alternative<double>(V); }
+  /// isInt() || isDouble().
+  bool isNumber() const { return isInt() || isDouble(); }
+  bool isString() const { return std::holds_alternative<std::string>(V); }
+  bool isArray() const { return std::holds_alternative<Array>(V); }
+  bool isObject() const { return std::holds_alternative<Object>(V); }
+
+  bool asBool() const { return std::get<bool>(V); }
+  int64_t asInt() const { return std::get<int64_t>(V); }
+  /// Numeric value as double (works for both number kinds).
+  double asDouble() const {
+    return isInt() ? static_cast<double>(std::get<int64_t>(V))
+                   : std::get<double>(V);
+  }
+  const std::string &asString() const { return std::get<std::string>(V); }
+  const Array &asArray() const { return std::get<Array>(V); }
+  Array &asArray() { return std::get<Array>(V); }
+  const Object &asObject() const { return std::get<Object>(V); }
+  Object &asObject() { return std::get<Object>(V); }
+
+  /// Object member access; returns a shared null value for missing keys
+  /// (or non-objects), so lookups chain without exceptions.
+  const JsonValue &operator[](const std::string &Key) const;
+
+  /// True if this is an object with member \p Key.
+  bool has(const std::string &Key) const {
+    return isObject() && asObject().count(Key) > 0;
+  }
+
+  /// Serializes to compact JSON (no whitespace). Deterministic: object
+  /// keys are emitted in sorted order.
+  std::string dump() const;
+
+  /// Serializes with two-space indentation (for files meant for humans).
+  std::string dumpPretty() const;
+
+private:
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      V;
+};
+
+/// Result of parsing JSON text.
+struct JsonParseResult {
+  JsonValue Value;
+  bool Ok = false;
+  std::string Error; ///< "offset N: message" on failure.
+
+  explicit operator bool() const { return Ok; }
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+JsonParseResult parseJson(std::string_view Text);
+
+/// Escapes \p S as a JSON string literal including the quotes.
+std::string jsonQuote(std::string_view S);
+
+} // namespace apt
+
+#endif // APT_SUPPORT_JSON_H

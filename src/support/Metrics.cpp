@@ -1,0 +1,142 @@
+//===- support/Metrics.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see Metrics.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include <bit>
+#include <limits>
+
+using namespace apt;
+using namespace apt::metrics;
+
+void Histogram::observe(uint64_t Sample) {
+  // bit_width(0) = 0, bit_width(1) = 1, bit_width(2..3) = 2, ... so the
+  // bucket index is exactly the [2^(i-1), 2^i) rule from the header.
+  size_t Bucket = static_cast<size_t>(std::bit_width(Sample));
+  if (Bucket >= NumBuckets)
+    Bucket = NumBuckets - 1;
+  Buckets[Bucket].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+  uint64_t Cur = Max.load(std::memory_order_relaxed);
+  while (Sample > Cur &&
+         !Max.compare_exchange_weak(Cur, Sample, std::memory_order_relaxed))
+    ;
+}
+
+uint64_t Histogram::bucketUpperBound(size_t I) {
+  if (I + 1 >= NumBuckets)
+    return std::numeric_limits<uint64_t>::max();
+  return (uint64_t{1} << I) - 1; // bucket i holds samples <= 2^i - 1
+}
+
+Histogram::Snapshot &Histogram::Snapshot::operator+=(const Snapshot &O) {
+  Count += O.Count;
+  Sum += O.Sum;
+  if (O.Max > Max)
+    Max = O.Max;
+  for (size_t I = 0; I < NumBuckets; ++I)
+    Buckets[I] += O.Buckets[I];
+  return *this;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  S.Max = Max.load(std::memory_order_relaxed);
+  for (size_t I = 0; I < NumBuckets; ++I)
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+  return S;
+}
+
+void Histogram::reset() {
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+  for (auto &B : Buckets)
+    B.store(0, std::memory_order_relaxed);
+}
+
+Registry &Registry::global() {
+  static Registry *R = new Registry(); // leaked: outlive thread exits
+  return *R;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Gauge &Registry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Gauge> &Slot = Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<Gauge>();
+  return *Slot;
+}
+
+Histogram &Registry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Histogram> &Slot = Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+JsonValue Registry::toJson() const {
+  std::lock_guard<std::mutex> Lock(M);
+  JsonValue::Object Root;
+  Root["version"] = JsonValue(int64_t{1});
+
+  JsonValue::Object CountersJson;
+  for (const auto &[Name, C] : Counters)
+    CountersJson[Name] = JsonValue(C->value());
+  Root["counters"] = JsonValue(std::move(CountersJson));
+
+  JsonValue::Object GaugesJson;
+  for (const auto &[Name, G] : Gauges)
+    GaugesJson[Name] = JsonValue(G->value());
+  Root["gauges"] = JsonValue(std::move(GaugesJson));
+
+  JsonValue::Object HistogramsJson;
+  for (const auto &[Name, H] : Histograms) {
+    Histogram::Snapshot S = H->snapshot();
+    JsonValue::Object HJ;
+    HJ["count"] = JsonValue(S.Count);
+    HJ["sum"] = JsonValue(S.Sum);
+    HJ["max"] = JsonValue(S.Max);
+    JsonValue::Array BucketsJson;
+    for (size_t I = 0; I < Histogram::NumBuckets; ++I) {
+      if (S.Buckets[I] == 0)
+        continue; // sparse: empty buckets add noise, not information
+      JsonValue::Object B;
+      uint64_t Le = Histogram::bucketUpperBound(I);
+      B["le"] = Le == std::numeric_limits<uint64_t>::max()
+                    ? JsonValue("+inf")
+                    : JsonValue(Le);
+      B["count"] = JsonValue(S.Buckets[I]);
+      BucketsJson.push_back(JsonValue(std::move(B)));
+    }
+    HJ["buckets"] = JsonValue(std::move(BucketsJson));
+    HistogramsJson[Name] = JsonValue(std::move(HJ));
+  }
+  Root["histograms"] = JsonValue(std::move(HistogramsJson));
+  return JsonValue(std::move(Root));
+}
+
+void Registry::resetAll() {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}

@@ -1,0 +1,125 @@
+//===- support/Metrics.h - Process-wide metrics registry --------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small process-wide metrics registry: named counters (monotone adds),
+/// gauges (last-write-wins snapshots, e.g. cache entry counts) and
+/// log2-bucketed histograms (e.g. per-query wall time). The model follows
+/// `ProverStats::operator+=`: every instrument merges monotonically, so
+/// concurrent writers only ever need relaxed atomics, and a snapshot
+/// taken at any time is a valid (if slightly stale) lower bound.
+///
+/// `aptc --metrics-json=<file>` serializes Registry::global(); the JSON
+/// shape is pinned by docs/metrics_schema.json and validated by the
+/// `metrics_schema_check` ctest. Metric names are dotted lowercase
+/// ("apt.batch.query_wall_us"); the full inventory lives in
+/// docs/OBSERVABILITY.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_METRICS_H
+#define APT_SUPPORT_METRICS_H
+
+#include "support/Json.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace apt::metrics {
+
+/// Monotone counter. add() is wait-free.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-write-wins value (cache sizes, configured job counts).
+class Gauge {
+public:
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Histogram over uint64 samples with power-of-two buckets: bucket i
+/// counts samples in [2^(i-1), 2^i) (bucket 0 counts zeros and ones
+/// land in bucket 1), the last bucket is unbounded. Wait-free observe().
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 32;
+
+  void observe(uint64_t Sample);
+
+  /// Consistent-enough copy of the counters (each is read relaxed; the
+  /// set is monotone, so a snapshot is a valid lower bound).
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Max = 0;
+    std::array<uint64_t, NumBuckets> Buckets{};
+
+    /// Component-wise monotone merge (Max takes the larger side).
+    Snapshot &operator+=(const Snapshot &O);
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+  /// Inclusive upper bound of bucket \p I (UINT64_MAX for the last).
+  static uint64_t bucketUpperBound(size_t I);
+
+private:
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+};
+
+/// Name -> instrument registry. Instruments are created on first use and
+/// never destroyed (stable addresses, so hot paths may cache the
+/// reference). Lookup takes a mutex; cache the reference outside loops.
+class Registry {
+public:
+  /// The process-wide instance (what --metrics-json exports).
+  static Registry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// {"version":1,"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Deterministic (sorted names; see docs/metrics_schema.json).
+  JsonValue toJson() const;
+  std::string toJsonString() const { return toJson().dumpPretty(); }
+
+  /// Zeroes every registered instrument (registrations survive). Tests
+  /// only; not safe against concurrent writers that assume monotonicity.
+  void resetAll();
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+} // namespace apt::metrics
+
+#endif // APT_SUPPORT_METRICS_H

@@ -6,6 +6,8 @@
 
 #include "support/ShardedCache.h"
 
+#include "support/Metrics.h"
+
 using namespace apt;
 
 ShardedBoolCache::ShardedBoolCache(size_t RequestedShards) {
@@ -54,4 +56,13 @@ size_t ShardedBoolCache::size() const {
     Total += Shards[I].Map.size();
   }
   return Total;
+}
+
+void ShardedBoolCache::publishMetrics(const std::string &Prefix) const {
+  metrics::Registry &R = metrics::Registry::global();
+  Stats S = stats();
+  R.gauge(Prefix + ".hits").set(S.Hits);
+  R.gauge(Prefix + ".misses").set(S.Misses);
+  R.gauge(Prefix + ".insertions").set(S.Insertions);
+  R.gauge(Prefix + ".entries").set(size());
 }

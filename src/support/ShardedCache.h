@@ -66,6 +66,11 @@ public:
   /// stats reporting, not hot paths).
   size_t size() const;
 
+  /// Publishes this cache's current stats() and size() as gauges named
+  /// "<Prefix>.hits", ".misses", ".insertions" and ".entries" in the
+  /// global metrics registry (support/Metrics.h). Cold path only.
+  void publishMetrics(const std::string &Prefix) const;
+
   size_t numShards() const { return Mask + 1; }
 
 private:

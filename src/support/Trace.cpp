@@ -1,0 +1,208 @@
+//===- support/Trace.cpp --------------------------------------------------===//
+//
+// Part of the APT project; see Trace.h for the design constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Trace.h"
+
+#include <atomic>
+
+using namespace apt;
+using namespace apt::trace;
+
+const char *apt::trace::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::QueryBegin:
+    return "query_begin";
+  case EventKind::QueryEnd:
+    return "query_end";
+  case EventKind::GoalBegin:
+    return "goal_begin";
+  case EventKind::GoalEnd:
+    return "goal_end";
+  case EventKind::CacheHit:
+    return "cache_hit";
+  case EventKind::SharedCacheHit:
+    return "shared_cache_hit";
+  case EventKind::CachePoisoned:
+    return "cache_poisoned";
+  case EventKind::HypothesisHit:
+    return "hypothesis_hit";
+  case EventKind::SuffixSplit:
+    return "suffix_split";
+  case EventKind::FormAApplied:
+    return "form_a_applied";
+  case EventKind::FormBApplied:
+    return "form_b_applied";
+  case EventKind::StepAB:
+    return "step_ab";
+  case EventKind::StepC:
+    return "step_c";
+  case EventKind::StepD:
+    return "step_d";
+  case EventKind::AltSplit:
+    return "alt_split";
+  case EventKind::StarInduction:
+    return "star_induction";
+  case EventKind::SevenCaseInduction:
+    return "seven_case_induction";
+  case EventKind::BudgetExhausted:
+    return "budget_exhausted";
+  case EventKind::LangSubset:
+    return "lang_subset";
+  case EventKind::LangDisjoint:
+    return "lang_disjoint";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::atomic<bool> Enabled{false};
+std::atomic<Collector *> Sink{nullptr};
+std::atomic<uint64_t> NextQueryId{1};
+std::atomic<uint64_t> NextThreadTag{1};
+
+/// Per-thread fixed-capacity ring. The buffer is allocated on the
+/// thread's first record (so untraced threads cost nothing) and reused
+/// for the thread's lifetime; recording is wait-free from then on.
+struct Ring {
+  std::vector<Event> Buf;
+  size_t Head = 0;    ///< Next write position.
+  size_t Count = 0;   ///< Live events (<= RingCapacity).
+  uint64_t Seq = 0;   ///< Events ever recorded on this thread.
+  uint64_t Dropped = 0;
+  uint64_t ThreadTag = 0;
+  uint64_t CurrentQuery = 0;
+
+  /// First allocation; doubles up to RingCapacity as a thread actually
+  /// records. Short-lived worker threads (the batch engine spawns a
+  /// fresh pool per run) would otherwise pay the full ~1.3 MB ring on
+  /// their first event, which dominates small traced runs.
+  static constexpr size_t InitialCapacity = 256;
+
+  void push(EventKind Kind, uint64_t GoalHash, uint32_t Depth, uint8_t Flag,
+            uint64_t Aux) {
+    if (Buf.empty()) {
+      Buf.resize(InitialCapacity);
+      ThreadTag = NextThreadTag.fetch_add(1, std::memory_order_relaxed);
+    } else if (Count == Buf.size() && Buf.size() < RingCapacity) {
+      // Full but not yet at the cap: double, restoring recording order
+      // (when full, Head is both the write slot and the oldest event).
+      std::vector<Event> Bigger(Buf.size() * 2);
+      for (size_t I = 0; I < Count; ++I)
+        Bigger[I] = Buf[(Head + I) & (Buf.size() - 1)];
+      Buf = std::move(Bigger);
+      Head = Count;
+    }
+    Event &E = Buf[Head];
+    E.Seq = Seq++;
+    E.QueryId = CurrentQuery;
+    E.GoalHash = GoalHash;
+    E.Aux = Aux;
+    E.Depth = Depth;
+    E.Kind = Kind;
+    E.Flag = Flag;
+    Head = (Head + 1) & (Buf.size() - 1);
+    if (Count < Buf.size())
+      ++Count;
+    else
+      ++Dropped;
+  }
+
+  void flush() {
+    if (Count == 0 && Dropped == 0)
+      return;
+    Collector *C = Sink.load(std::memory_order_acquire);
+    if (C) {
+      Collector::ThreadBatch Batch;
+      Batch.ThreadTag = ThreadTag;
+      Batch.Dropped = Dropped;
+      Batch.Events.reserve(Count);
+      size_t Start = (Head + Buf.size() - Count) & (Buf.size() - 1);
+      for (size_t I = 0; I < Count; ++I)
+        Batch.Events.push_back(Buf[(Start + I) & (Buf.size() - 1)]);
+      C->take(std::move(Batch));
+    }
+    Head = 0;
+    Count = 0;
+    Dropped = 0;
+  }
+
+  ~Ring() { flush(); }
+};
+
+Ring &ring() {
+  thread_local Ring R;
+  return R;
+}
+
+static_assert((RingCapacity & (RingCapacity - 1)) == 0,
+              "ring indexing relies on a power-of-two capacity");
+
+} // namespace
+
+bool apt::trace::enabled() {
+  return Enabled.load(std::memory_order_relaxed);
+}
+
+void apt::trace::setEnabled(bool On) { Enabled.store(On); }
+
+void apt::trace::setCollector(Collector *C) {
+  Sink.store(C, std::memory_order_release);
+}
+
+Collector *apt::trace::collector() {
+  return Sink.load(std::memory_order_acquire);
+}
+
+void apt::trace::record(EventKind Kind, uint64_t GoalHash, uint32_t Depth,
+                        uint8_t Flag, uint64_t Aux) {
+  if (!enabled())
+    return;
+  ring().push(Kind, GoalHash, Depth, Flag, Aux);
+}
+
+uint64_t apt::trace::beginQuery(uint64_t Tag) {
+  if (!enabled())
+    return 0;
+  uint64_t Id = NextQueryId.fetch_add(1, std::memory_order_relaxed);
+  Ring &R = ring();
+  R.push(EventKind::QueryBegin, 0, 0, 0, Tag);
+  // QueryBegin itself carries the *enclosing* scope (0 at top level);
+  // everything after it belongs to the new scope.
+  R.CurrentQuery = Id;
+  return Id;
+}
+
+void apt::trace::endQuery(uint64_t Id, bool Proved) {
+  if (Id == 0)
+    return;
+  Ring &R = ring();
+  R.push(EventKind::QueryEnd, 0, 0, Proved ? 1 : 0, 0);
+  if (R.CurrentQuery == Id)
+    R.CurrentQuery = 0;
+}
+
+void apt::trace::flushThisThread() { ring().flush(); }
+
+void Collector::take(ThreadBatch Batch) {
+  std::lock_guard<std::mutex> Lock(M);
+  Batches.push_back(std::move(Batch));
+}
+
+std::vector<Collector::ThreadBatch> Collector::drain() {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<ThreadBatch> Out;
+  Out.swap(Batches);
+  return Out;
+}
+
+uint64_t Collector::droppedEvents() const {
+  std::lock_guard<std::mutex> Lock(M);
+  uint64_t N = 0;
+  for (const ThreadBatch &B : Batches)
+    N += B.Dropped;
+  return N;
+}

@@ -1,0 +1,183 @@
+//===- support/Trace.h - Per-thread ring-buffer proof tracing ---*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace substrate of the observability layer (docs/OBSERVABILITY.md):
+/// a structured event is recorded for every `proveDisj` rule application
+/// (suffix splits, form-A/form-B axiom hits, steps A-D, alternation
+/// splits, the 3-case and 7-case inductions, cache hits and cache
+/// poisoning) and for every language query, cheap enough to leave
+/// compiled in everywhere.
+///
+/// Design constraints, in order:
+///
+///  * **Zero allocation on the hot path.** Events are fixed-size PODs
+///    carrying enums, depths and 64-bit key hashes -- never strings --
+///    and are written into a pre-sized thread_local ring buffer. The
+///    ring wraps (oldest events are dropped and counted) rather than
+///    grow. Full regex/proof text is only materialized on the cold path
+///    (analysis/TraceExport.h), from the recorded ProofNode.
+///
+///  * **Off by default, free when off.** A single relaxed atomic load
+///    guards every APT_TRACE_EVENT site; with tracing disabled at
+///    runtime the cost is one predictable branch. Compiling with
+///    -DAPT_TRACE_DISABLED (CMake: -DAPT_TRACE=OFF) removes the sites
+///    entirely.
+///
+///  * **No locks on the hot path.** Worker threads never synchronize
+///    while recording; rings drain to a mutex-protected Collector on
+///    thread exit (the batch engine's pools join inside run(), so worker
+///    rings are always flushed before the trace is written) or via
+///    flushThisThread().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_TRACE_H
+#define APT_SUPPORT_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace apt::trace {
+
+/// What happened. Kept in sync with eventKindName(); the JSONL schema in
+/// docs/OBSERVABILITY.md documents each kind's Flag/Aux payload.
+enum class EventKind : uint8_t {
+  QueryBegin,         ///< proveDisjoint entered. Aux = caller tag.
+  QueryEnd,           ///< proveDisjoint returned. Flag = proved.
+  GoalBegin,          ///< A goal is explored. Aux = goal-key hash.
+  GoalEnd,            ///< The goal resolved. Flag = proved.
+  CacheHit,           ///< Goal answered by the per-prover cache.
+  SharedCacheHit,     ///< Goal answered by the cross-thread cache.
+  CachePoisoned,      ///< Failure not cached. Flag = PoisonReason.
+  HypothesisHit,      ///< Goal matched an induction hypothesis.
+  SuffixSplit,        ///< A suffix split found an axiom. Aux = (i<<32)|j.
+  FormAApplied,       ///< T1 (same-origin) axiom covered the suffixes.
+  FormBApplied,       ///< T2 (distinct-origin) axiom covered them.
+  StepAB,             ///< Steps A+B: T1 and T2 closed the goal outright.
+  StepC,              ///< Step C: T1 + provably equal prefixes.
+  StepD,              ///< Step D: T2 + recursively disjoint prefixes.
+  AltSplit,           ///< Alternation case split proven. Flag = on-P side.
+  StarInduction,      ///< 3-case single-star induction attempted.
+  SevenCaseInduction, ///< 7-case double-Kleene induction attempted.
+  BudgetExhausted,    ///< MaxSteps ran out.
+  LangSubset,         ///< Language subset query. Flag = LangFlags.
+  LangDisjoint,       ///< Language disjoint query. Flag = LangFlags.
+};
+
+constexpr size_t NumEventKinds =
+    static_cast<size_t>(EventKind::LangDisjoint) + 1;
+
+/// Stable lowercase identifier, e.g. "step_d" (used in the JSONL export).
+const char *eventKindName(EventKind K);
+
+/// CachePoisoned Flag values: why the failure must not be memoized.
+enum class PoisonReason : uint8_t {
+  DepthCutoff = 0,     ///< MaxDepth or MaxGoalComponents exceeded.
+  StepBudget = 1,      ///< MaxSteps exhausted.
+  InductionDepth = 2,  ///< MaxInductionDepth exceeded.
+  CycleCut = 3,        ///< Goal re-entered while in progress.
+};
+
+/// Bit layout of the Flag byte on LangSubset/LangDisjoint events.
+enum LangFlags : uint8_t {
+  LangResult = 1 << 0,    ///< The query's answer.
+  LangCached = 1 << 1,    ///< Served from the per-instance cache.
+  LangShared = 1 << 2,    ///< Served from the cross-thread cache.
+};
+
+/// One recorded event. Fixed-size POD; 40 bytes.
+struct Event {
+  uint64_t Seq = 0;      ///< Per-thread sequence number (monotone).
+  uint64_t QueryId = 0;  ///< Innermost query scope; 0 = outside any.
+  uint64_t GoalHash = 0; ///< Hash of the goal/query key; 0 = n/a.
+  uint64_t Aux = 0;      ///< Kind-specific payload.
+  uint32_t Depth = 0;    ///< Prover recursion depth; 0 = n/a.
+  EventKind Kind = EventKind::QueryBegin;
+  uint8_t Flag = 0;      ///< Kind-specific payload.
+};
+
+/// Events a ring can hold before wrapping (per thread; the buffer starts
+/// small on the thread's first record and doubles up to this cap, so a
+/// short-lived worker never pays the full ~1.3 MB at 40 B/event).
+constexpr size_t RingCapacity = 1 << 15;
+
+/// Receives drained rings. Thread-safe; one instance is typically
+/// installed for the duration of a traced run (setCollector) and drained
+/// after its worker pool has joined.
+class Collector {
+public:
+  /// Events of one thread's ring, in recording order.
+  struct ThreadBatch {
+    uint64_t ThreadTag = 0; ///< Small per-thread id (first-use order).
+    uint64_t Dropped = 0;   ///< Events lost to ring wrap-around.
+    std::vector<Event> Events;
+  };
+
+  /// Appends one drained ring. Called by the recording machinery.
+  void take(ThreadBatch Batch);
+
+  /// Removes and returns everything collected so far.
+  std::vector<ThreadBatch> drain();
+
+  /// Sum of Dropped across batches currently held.
+  uint64_t droppedEvents() const;
+
+private:
+  mutable std::mutex M;
+  std::vector<ThreadBatch> Batches;
+};
+
+/// Runtime switch. Disabled rings record nothing; enabling mid-run only
+/// affects events recorded after the (seq_cst) store becomes visible.
+bool enabled();
+void setEnabled(bool On);
+
+/// Installs the collector drained rings flush into (nullptr detaches).
+/// Not thread-safe against concurrent recording threads exiting; install
+/// before spawning traced work and detach after joining it.
+void setCollector(Collector *C);
+Collector *collector();
+
+/// Records one event into this thread's ring (no-op when disabled).
+void record(EventKind Kind, uint64_t GoalHash = 0, uint32_t Depth = 0,
+            uint8_t Flag = 0, uint64_t Aux = 0);
+
+/// Opens a query scope: allocates a process-unique id, records
+/// QueryBegin (Aux = \p Tag) and makes the id the thread's current scope.
+/// Returns 0 when tracing is disabled.
+uint64_t beginQuery(uint64_t Tag = 0);
+
+/// Closes the scope opened by beginQuery (no-op for id 0).
+void endQuery(uint64_t Id, bool Proved);
+
+/// Pushes this thread's ring to the installed collector and clears it.
+/// Also happens automatically when a thread exits.
+void flushThisThread();
+
+} // namespace apt::trace
+
+/// Statement-shaped hot-path macro; arguments are not evaluated unless
+/// tracing is both compiled in and runtime-enabled.
+#if defined(APT_TRACE_DISABLED)
+#define APT_TRACE_ENABLED 0
+#define APT_TRACE_EVENT(...)                                                 \
+  do {                                                                       \
+  } while (false)
+#else
+#define APT_TRACE_ENABLED 1
+#define APT_TRACE_EVENT(...)                                                 \
+  do {                                                                       \
+    if (::apt::trace::enabled())                                             \
+      ::apt::trace::record(__VA_ARGS__);                                     \
+  } while (false)
+#endif
+
+#endif // APT_SUPPORT_TRACE_H

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 
 using namespace apt;
@@ -250,6 +251,215 @@ TEST(IrParser, FuzzNeverCrashes) {
     if (!R) {
       EXPECT_FALSE(R.Error.empty());
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Randomized print/parse fixpoint
+//===----------------------------------------------------------------------===//
+
+/// Builds random but well-formed programs directly as ASTs, so the fuzz
+/// below exercises the printer/parser agreement on the whole grammar
+/// (nesting, labels, every statement kind, all three axiom forms), not
+/// just the shapes the hand-written samples happen to use.
+struct ProgramGen {
+  std::mt19937 Rng;
+  FieldTable &Fields;
+  FieldId F, G, D;
+  int NextLabel = 0;
+
+  ProgramGen(unsigned Seed, FieldTable &Fields)
+      : Rng(Seed), Fields(Fields), F(Fields.intern("f")),
+        G(Fields.intern("g")), D(Fields.intern("d")) {}
+
+  size_t pick(size_t N) { return Rng() % N; }
+
+  /// Variables visible at the generation point; the parser rejects uses
+  /// of undefined variables, so every read picks from this set and only
+  /// pointer assignments introduce new names.
+  std::vector<std::string> Defined{"p", "q"};
+
+  const std::string &var() { return Defined[pick(Defined.size())]; }
+
+  RegexRef side(int Depth) {
+    switch (Depth <= 0 ? pick(2) : pick(6)) {
+    case 0:
+      return Regex::symbol(pick(2) ? F : G);
+    case 1:
+      return pick(4) == 0 ? Regex::epsilon() : Regex::symbol(pick(2) ? F : G);
+    case 2:
+    case 3:
+      return Regex::concat(side(Depth - 1), side(Depth - 1));
+    case 4:
+      return Regex::alt(side(Depth - 1), side(Depth - 1));
+    default:
+      return pick(2) ? Regex::star(side(Depth - 1))
+                     : Regex::plus(side(Depth - 1));
+    }
+  }
+
+  StmtPtr stmt(int Depth) {
+    auto S = std::make_unique<Stmt>();
+    if (pick(4) == 0)
+      S->Label = "L" + std::to_string(NextLabel++);
+    switch (Depth <= 0 ? pick(6) : pick(8)) {
+    case 0: {
+      S->Kind = StmtKind::PtrAssign;
+      switch (pick(4)) {
+      case 0:
+        S->Rhs = PtrRhsKind::Var;
+        S->RhsVar = var();
+        break;
+      case 1:
+        S->Rhs = PtrRhsKind::VarField;
+        S->RhsVar = var();
+        S->RhsField = pick(2) ? "f" : "g";
+        break;
+      case 2:
+        S->Rhs = PtrRhsKind::New;
+        S->RhsType = "T";
+        break;
+      default:
+        S->Rhs = PtrRhsKind::Null;
+        break;
+      }
+      // A fresh name needs a typed right-hand side; `v = null` alone
+      // does not introduce a variable.
+      if (S->Rhs != PtrRhsKind::Null && pick(3) == 0) {
+        S->Dst = "v" + std::to_string(Defined.size());
+        Defined.push_back(S->Dst);
+      } else {
+        S->Dst = var();
+      }
+      break;
+    }
+    case 1:
+      S->Kind = StmtKind::DataWrite;
+      S->Base = var();
+      S->FieldName = "d";
+      break;
+    case 2:
+      S->Kind = StmtKind::DataRead;
+      S->DataVar = "x";
+      S->Base = var();
+      S->FieldName = "d";
+      break;
+    case 3:
+      S->Kind = StmtKind::StructWrite;
+      S->Base = var();
+      S->FieldName = pick(2) ? "f" : "g";
+      if (pick(3))
+        S->SrcVar = var();
+      break;
+    case 4:
+    case 5:
+      S->Kind = StmtKind::Call;
+      S->Callee = "ext";
+      for (size_t I = 0, N = pick(3); I < N; ++I)
+        S->Args.push_back(var());
+      break;
+    case 6: {
+      S->Kind = StmtKind::While;
+      S->CondVar = var();
+      // Names introduced inside a branch may not dominate later uses;
+      // keep them local to the nested block.
+      std::vector<std::string> Saved = Defined;
+      for (size_t I = 0, N = 1 + pick(3); I < N; ++I)
+        S->Body.push_back(stmt(Depth - 1));
+      Defined = std::move(Saved);
+      break;
+    }
+    default: {
+      S->Kind = StmtKind::If;
+      S->CondVar = var();
+      std::vector<std::string> Saved = Defined;
+      for (size_t I = 0, N = 1 + pick(3); I < N; ++I)
+        S->Body.push_back(stmt(Depth - 1));
+      Defined = Saved;
+      if (pick(2))
+        for (size_t I = 0, N = 1 + pick(2); I < N; ++I)
+          S->Else.push_back(stmt(Depth - 1));
+      Defined = std::move(Saved);
+      break;
+    }
+    }
+    return S;
+  }
+
+  Program program() {
+    Program P;
+    TypeDecl T;
+    T.Name = "T";
+    T.Fields.push_back({"f", F, "T"});
+    T.Fields.push_back({"g", G, "T"});
+    T.Fields.push_back({"d", D, ""});
+    for (size_t I = 0, N = 1 + pick(4); I < N; ++I) {
+      Axiom A;
+      A.Name = "A" + std::to_string(I);
+      switch (pick(3)) {
+      case 0:
+        A.Form = AxiomForm::SameOriginDisjoint;
+        break;
+      case 1:
+        A.Form = AxiomForm::DiffOriginDisjoint;
+        break;
+      default:
+        A.Form = AxiomForm::Equal;
+        break;
+      }
+      A.Lhs = side(2);
+      A.Rhs = side(2);
+      T.Axioms.add(std::move(A));
+    }
+    P.Types.push_back(std::move(T));
+
+    Function Fn;
+    Fn.Name = "main";
+    Fn.Params = {{"p", "T"}, {"q", "T"}};
+    for (size_t I = 0, N = 2 + pick(6); I < N; ++I)
+      Fn.Body.push_back(stmt(2));
+    P.Functions.push_back(std::move(Fn));
+    return P;
+  }
+};
+
+TEST(IrPrinter, RandomProgramsReachPrintParseFixpoint) {
+  for (unsigned Trial = 0; Trial < 60; ++Trial) {
+    FieldTable Fields;
+    ProgramGen Gen(20260805 + Trial, Fields);
+    Program Prog = Gen.program();
+
+    std::string First = printProgram(Prog, Fields);
+    ProgramParseResult R1 = parseProgram(First, Fields);
+    ASSERT_TRUE(R1) << R1.Error << "\n" << First;
+    std::string Second = printProgram(R1.Value, Fields);
+    EXPECT_EQ(Second, First) << "print(parse(print(ast))) diverged";
+
+    ProgramParseResult R2 = parseProgram(Second, Fields);
+    ASSERT_TRUE(R2) << R2.Error << "\n" << Second;
+    EXPECT_EQ(printProgram(R2.Value, Fields), Second);
+  }
+}
+
+TEST(IrPrinter, RandomAxiomTextRoundTrips) {
+  // Axiom text is the printer/parser interface used inside type bodies;
+  // parse(toString(A)) must reproduce A exactly (form, name, both sides).
+  FieldTable Fields;
+  ProgramGen Gen(4242, Fields);
+  for (unsigned Trial = 0; Trial < 200; ++Trial) {
+    Axiom A; // unnamed: parseAxiom takes the label separately
+    A.Form = Trial % 3 == 0   ? AxiomForm::SameOriginDisjoint
+             : Trial % 3 == 1 ? AxiomForm::DiffOriginDisjoint
+                              : AxiomForm::Equal;
+    A.Lhs = Gen.side(3);
+    A.Rhs = Gen.side(3);
+    std::string Text = A.toString(Fields);
+    AxiomParseResult Back = parseAxiom(Text, Fields);
+    ASSERT_TRUE(Back) << Back.Error << "\n" << Text;
+    EXPECT_EQ(Back.Value.Form, A.Form);
+    EXPECT_EQ(Back.Value.Lhs->key(), A.Lhs->key()) << Text;
+    EXPECT_EQ(Back.Value.Rhs->key(), A.Rhs->key()) << Text;
+    EXPECT_EQ(Back.Value.toString(Fields), Text);
   }
 }
 

@@ -5,9 +5,16 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/FieldTable.h"
+#include "support/Json.h"
+#include "support/Metrics.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
 
 using namespace apt;
 
@@ -81,6 +88,230 @@ TEST(StringsTest, HashCombineMixes) {
   size_t C = 2;
   hashCombine(C, 42);
   EXPECT_NE(A, C) << "seed must matter";
+}
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, DumpIsDeterministicAndSorted) {
+  JsonValue::Object O;
+  O["zebra"] = 1;
+  O["alpha"] = JsonValue(std::string("x\"\\\n"));
+  O["mid"] = JsonValue::Array{JsonValue(true), JsonValue(nullptr),
+                              JsonValue(int64_t(-7))};
+  JsonValue V{std::move(O)};
+  EXPECT_EQ(V.dump(),
+            "{\"alpha\":\"x\\\"\\\\\\n\",\"mid\":[true,null,-7],\"zebra\":1}");
+  EXPECT_EQ(V.dump(), V.dump());
+}
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const char *Texts[] = {
+      "null", "true", "false", "0", "-12", "\"\"", "[]", "{}",
+      "{\"a\":[1,2,{\"b\":\"c\"}],\"d\":null}",
+      "\"\\u0041\\t\"",
+  };
+  for (const char *Text : Texts) {
+    JsonParseResult R = parseJson(Text);
+    ASSERT_TRUE(R) << Text << ": " << R.Error;
+    JsonParseResult Again = parseJson(R.Value.dump());
+    ASSERT_TRUE(Again) << R.Value.dump();
+    EXPECT_EQ(Again.Value.dump(), R.Value.dump());
+  }
+}
+
+TEST(JsonTest, ParserIsStrict) {
+  for (const char *Bad : {"", "{", "[1,]", "{\"a\":}", "01", "nul",
+                          "\"unterminated", "1 2", "{\"a\":1,}"}) {
+    JsonParseResult R = parseJson(Bad);
+    EXPECT_FALSE(R) << "accepted: " << Bad;
+    EXPECT_FALSE(R.Error.empty());
+  }
+}
+
+TEST(JsonTest, MissingKeysChainToNull) {
+  JsonParseResult R = parseJson("{\"a\":{\"b\":3}}");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R.Value["a"]["b"].asInt(), 3);
+  EXPECT_TRUE(R.Value["a"]["nope"].isNull());
+  EXPECT_TRUE(R.Value["x"]["y"]["z"].isNull());
+  EXPECT_TRUE(R.Value.has("a"));
+  EXPECT_FALSE(R.Value.has("x"));
+}
+
+TEST(JsonTest, IntegersRoundTripExactly) {
+  // uint64 counter values beyond 2^53 must not pass through a double.
+  int64_t Big = (int64_t(1) << 62) + 3;
+  JsonValue V(Big);
+  JsonParseResult R = parseJson(V.dump());
+  ASSERT_TRUE(R);
+  ASSERT_TRUE(R.Value.isInt());
+  EXPECT_EQ(R.Value.asInt(), Big);
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, HistogramBucketMath) {
+  // Bucket 0 holds zeros; bucket i>0 holds [2^(i-1), 2^i).
+  EXPECT_EQ(metrics::Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(metrics::Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(metrics::Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(metrics::Histogram::bucketUpperBound(3), 7u);
+
+  metrics::Histogram H;
+  H.observe(0);
+  H.observe(1);
+  H.observe(2);
+  H.observe(3);
+  H.observe(4);
+  H.observe(1000);
+  metrics::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 6u);
+  EXPECT_EQ(S.Sum, 1010u);
+  EXPECT_EQ(S.Max, 1000u);
+  EXPECT_EQ(S.Buckets[0], 1u); // 0
+  EXPECT_EQ(S.Buckets[1], 1u); // 1
+  EXPECT_EQ(S.Buckets[2], 2u); // 2, 3
+  EXPECT_EQ(S.Buckets[3], 1u); // 4
+  EXPECT_EQ(S.Buckets[10], 1u); // 1000 in [512, 1024)
+}
+
+TEST(MetricsTest, SnapshotMergeIsMonotone) {
+  metrics::Histogram A, B;
+  A.observe(5);
+  A.observe(100);
+  B.observe(7);
+  metrics::Histogram::Snapshot SA = A.snapshot();
+  metrics::Histogram::Snapshot SB = B.snapshot();
+  SA += SB;
+  EXPECT_EQ(SA.Count, 3u);
+  EXPECT_EQ(SA.Sum, 112u);
+  EXPECT_EQ(SA.Max, 100u);
+  uint64_t Total = 0;
+  for (uint64_t N : SA.Buckets)
+    Total += N;
+  EXPECT_EQ(Total, SA.Count);
+}
+
+TEST(MetricsTest, RegistryExportShape) {
+  // A private registry is not reachable (global() is a singleton), so
+  // exercise the global one with uniquely named instruments.
+  metrics::Registry &R = metrics::Registry::global();
+  R.counter("test.support.counter").add(41);
+  R.counter("test.support.counter").add(1);
+  R.gauge("test.support.gauge").set(17);
+  R.histogram("test.support.hist").observe(9);
+
+  JsonValue J = R.toJson();
+  EXPECT_EQ(J["version"].asInt(), 1);
+  EXPECT_EQ(J["counters"]["test.support.counter"].asInt(), 42);
+  EXPECT_EQ(J["gauges"]["test.support.gauge"].asInt(), 17);
+  const JsonValue &H = J["histograms"]["test.support.hist"];
+  EXPECT_EQ(H["count"].asInt(), 1);
+  EXPECT_EQ(H["sum"].asInt(), 9);
+  EXPECT_EQ(H["max"].asInt(), 9);
+  ASSERT_TRUE(H["buckets"].isArray());
+  // Sparse encoding: only the one populated bucket appears. Sample 9
+  // lands in [8, 16), whose inclusive upper bound is 15.
+  const JsonValue::Array &Buckets = H["buckets"].asArray();
+  ASSERT_EQ(Buckets.size(), 1u);
+  EXPECT_EQ(Buckets[0]["le"].asInt(), 15);
+  EXPECT_EQ(Buckets[0]["count"].asInt(), 1);
+
+  // Same instrument object on every lookup (hot paths cache the ref).
+  EXPECT_EQ(&R.counter("test.support.counter"),
+            &R.counter("test.support.counter"));
+}
+
+//===----------------------------------------------------------------------===//
+// Trace
+//===----------------------------------------------------------------------===//
+
+/// RAII guard: installs a collector + enables tracing, restores on exit.
+struct TraceSession {
+  trace::Collector Events;
+  TraceSession() {
+    trace::setCollector(&Events);
+    trace::setEnabled(true);
+  }
+  ~TraceSession() {
+    trace::setEnabled(false);
+    trace::flushThisThread();
+    trace::setCollector(nullptr);
+  }
+};
+
+TEST(TraceTest, DisabledRecordsNothing) {
+  trace::Collector Events;
+  trace::setCollector(&Events);
+  ASSERT_FALSE(trace::enabled());
+  trace::record(trace::EventKind::GoalBegin, 1);
+  EXPECT_EQ(trace::beginQuery(7), 0u);
+  trace::flushThisThread();
+  EXPECT_TRUE(Events.drain().empty());
+  trace::setCollector(nullptr);
+}
+
+TEST(TraceTest, EventsFlushInOrderWithScopes) {
+  TraceSession S;
+  uint64_t Q = trace::beginQuery(/*Tag=*/99);
+  EXPECT_NE(Q, 0u);
+  trace::record(trace::EventKind::GoalBegin, /*GoalHash=*/0xabc, 2);
+  trace::record(trace::EventKind::GoalEnd, 0xabc, 2, /*Flag=*/1);
+  trace::endQuery(Q, /*Proved=*/true);
+  trace::flushThisThread();
+
+  std::vector<trace::Collector::ThreadBatch> Batches = S.Events.drain();
+  ASSERT_EQ(Batches.size(), 1u);
+  const std::vector<trace::Event> &E = Batches[0].Events;
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_EQ(E[0].Kind, trace::EventKind::QueryBegin);
+  EXPECT_EQ(E[0].Aux, 99u);
+  EXPECT_EQ(E[1].Kind, trace::EventKind::GoalBegin);
+  EXPECT_EQ(E[1].QueryId, Q) << "events inside the scope carry its id";
+  EXPECT_EQ(E[1].GoalHash, 0xabcu);
+  EXPECT_EQ(E[1].Depth, 2u);
+  EXPECT_EQ(E[3].Kind, trace::EventKind::QueryEnd);
+  EXPECT_EQ(E[3].Flag, 1u);
+  // Sequence numbers are strictly increasing.
+  for (size_t I = 1; I < E.size(); ++I)
+    EXPECT_GT(E[I].Seq, E[I - 1].Seq);
+  EXPECT_EQ(Batches[0].Dropped, 0u);
+}
+
+TEST(TraceTest, RingWrapsAndCountsDrops) {
+  TraceSession S;
+  const size_t Overflow = trace::RingCapacity + 100;
+  for (size_t I = 0; I < Overflow; ++I)
+    trace::record(trace::EventKind::GoalBegin, I);
+  trace::flushThisThread();
+
+  std::vector<trace::Collector::ThreadBatch> Batches = S.Events.drain();
+  ASSERT_EQ(Batches.size(), 1u);
+  EXPECT_EQ(Batches[0].Events.size(), trace::RingCapacity);
+  EXPECT_EQ(Batches[0].Dropped, 100u);
+  // The survivors are the *newest* events, still in order.
+  EXPECT_EQ(Batches[0].Events.front().GoalHash, 100u);
+  EXPECT_EQ(Batches[0].Events.back().GoalHash, Overflow - 1);
+}
+
+TEST(TraceTest, EventKindNamesAreStable) {
+  // The JSONL schema (docs/OBSERVABILITY.md) depends on these strings.
+  EXPECT_STREQ(trace::eventKindName(trace::EventKind::QueryBegin),
+               "query_begin");
+  EXPECT_STREQ(trace::eventKindName(trace::EventKind::StepC), "step_c");
+  EXPECT_STREQ(trace::eventKindName(trace::EventKind::SevenCaseInduction),
+               "seven_case_induction");
+  EXPECT_STREQ(trace::eventKindName(trace::EventKind::LangDisjoint),
+               "lang_disjoint");
+  // Every kind has a distinct, non-empty name.
+  std::set<std::string> Names;
+  for (size_t K = 0; K < trace::NumEventKinds; ++K)
+    Names.insert(trace::eventKindName(static_cast<trace::EventKind>(K)));
+  EXPECT_EQ(Names.size(), trace::NumEventKinds);
 }
 
 } // namespace

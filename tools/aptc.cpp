@@ -42,13 +42,16 @@
 
 #include "analysis/DepQueries.h"
 #include "analysis/QueryEngine.h"
+#include "analysis/TraceExport.h"
 #include "core/ProofChecker.h"
 #include "core/Prover.h"
 #include "ir/Parser.h"
 #include "lint/AxiomFile.h"
 #include "lint/Lint.h"
 #include "regex/RegexParser.h"
+#include "support/Metrics.h"
 #include "support/Strings.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,9 +66,11 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: aptc prove <axioms-file> <pathP> <pathQ>\n"
+               "usage: aptc prove <axioms-file> <pathP> <pathQ> "
+               "[--trace FILE] [--metrics-json FILE]\n"
                "       aptc deps <program> [<labelS> <labelT>] "
                "[--invariant-writes] [--jobs N] [--stats]\n"
+               "                 [--trace FILE] [--metrics-json FILE]\n"
                "       aptc loops <program> [--invariant-writes]\n"
                "       aptc dump <program> [--invariant-writes]\n"
                "       aptc lint <axioms-or-program> [--no-models]\n");
@@ -109,7 +114,116 @@ void warnOnlyLint(const DiagnosticEngine &Diags) {
                Diags.render().c_str(), Diags.summary().c_str());
 }
 
+/// The observability surface shared by `prove` and `deps`: --trace=FILE
+/// writes a JSONL trace (docs/OBSERVABILITY.md), --metrics-json=FILE the
+/// global metrics registry. Both accept `--flag FILE` and `--flag=FILE`.
+struct ObsFlags {
+  std::string TraceFile;
+  std::string MetricsFile;
+};
+
+/// Strips observability flags out of Argv. Returns false on a flag that
+/// is missing its value.
+bool parseObsFlags(int &Argc, char **Argv, ObsFlags &Flags) {
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
+  // Returns the number of argv slots consumed (0 = no match), or -1 when
+  // the value is missing.
+  auto MatchValueFlag = [&](int I, const char *Name, std::string &Out) {
+    size_t Len = std::strlen(Name);
+    if (std::strncmp(Argv[I], Name, Len) != 0)
+      return 0;
+    if (Argv[I][Len] == '=') {
+      Out = Argv[I] + Len + 1;
+      return 1;
+    }
+    if (Argv[I][Len] != '\0')
+      return 0;
+    if (I + 1 >= Argc) {
+      std::fprintf(stderr, "error: %s requires a file path\n", Name);
+      return -1;
+    }
+    Out = Argv[I + 1];
+    return 2;
+  };
+  for (int I = 0; I < Argc;) {
+    int N = MatchValueFlag(I, "--trace", Flags.TraceFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--metrics-json", Flags.MetricsFile);
+    if (N < 0)
+      return false;
+    if (N > 0)
+      Remove(I, N);
+    else
+      ++I;
+  }
+  return true;
+}
+
+/// RAII scope for a traced command: installs a collector and enables
+/// recording; finish() stops recording and flushes this thread's ring
+/// (worker rings flush when their pool joins) so the collector holds
+/// every event before a writer drains it.
+class TraceScope {
+public:
+  explicit TraceScope(bool Active) : Active(Active) {
+    if (!Active)
+      return;
+    trace::setCollector(&Events);
+    trace::setEnabled(true);
+  }
+  ~TraceScope() {
+    if (!Active)
+      return;
+    finish();
+    trace::setCollector(nullptr);
+  }
+
+  trace::Collector *finish() {
+    trace::setEnabled(false);
+    trace::flushThisThread();
+    return &Events;
+  }
+
+private:
+  trace::Collector Events;
+  bool Active;
+};
+
+/// Writes the global metrics registry as pretty JSON. Returns false (and
+/// complains) when the file cannot be opened.
+bool writeMetricsFile(const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << metrics::Registry::global().toJsonString() << '\n';
+  return true;
+}
+
+/// Publishes one prover's counters into the global registry, for the
+/// single-prover commands (`prove`, labeled `deps`) that bypass the
+/// batch engine's own publication.
+void publishProverMetrics(const Prover &P) {
+  metrics::Registry &R = metrics::Registry::global();
+  const ProverStats &S = P.stats();
+  R.counter("apt.prover.goals_explored").add(S.GoalsExplored);
+  R.counter("apt.prover.goal_cache_hits").add(S.GoalCacheHits);
+  R.counter("apt.prover.shared_goal_hits").add(S.SharedGoalHits);
+  R.counter("apt.prover.hypothesis_hits").add(S.HypothesisHits);
+  R.counter("apt.prover.alt_splits").add(S.AltSplits);
+  R.counter("apt.prover.inductions").add(S.Inductions);
+  R.counter("apt.prover.budget_exhausted").add(S.BudgetExhausted);
+}
+
 int cmdProve(int Argc, char **Argv) {
+  ObsFlags Obs;
+  if (!parseObsFlags(Argc, Argv, Obs))
+    return 2;
   if (Argc != 3)
     return usage();
   FieldTable Fields;
@@ -135,7 +249,9 @@ int cmdProve(int Argc, char **Argv) {
   }
 
   std::printf("axioms:\n%s\n", Axioms.toString(Fields).c_str());
+  TraceScope Scope(!Obs.TraceFile.empty());
   Prover Prover(Fields);
+  int Exit;
   if (Prover.proveDisjoint(Axioms, P.Value, Q.Value)) {
     std::printf("PROVED: forall x: x.%s <> x.%s\n\n%s",
                 P.Value->toString(Fields).c_str(),
@@ -150,12 +266,27 @@ int cmdProve(int Argc, char **Argv) {
       return 2;
     }
     std::printf("\n(proof independently re-verified)\n");
-    return 0;
+    Exit = 0;
+  } else {
+    std::printf("NO PROOF (verdict: Maybe): forall x: x.%s <> x.%s\n",
+                P.Value->toString(Fields).c_str(),
+                Q.Value->toString(Fields).c_str());
+    Exit = 1;
   }
-  std::printf("NO PROOF (verdict: Maybe): forall x: x.%s <> x.%s\n",
-              P.Value->toString(Fields).c_str(),
-              Q.Value->toString(Fields).c_str());
-  return 1;
+  if (!Obs.TraceFile.empty()) {
+    std::ofstream Out(Obs.TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Obs.TraceFile.c_str());
+      return 2;
+    }
+    writeProveTrace(Out, Axioms, P.Value, Q.Value, Fields,
+                    Prover.options(), Scope.finish());
+  }
+  publishProverMetrics(Prover);
+  if (!Obs.MetricsFile.empty() && !writeMetricsFile(Obs.MetricsFile))
+    return 2;
+  return Exit;
 }
 
 /// Flags shared by the program-consuming subcommands. `deps` uses all of
@@ -164,9 +295,12 @@ struct ProgramFlags {
   AnalyzerOptions Analyzer;
   unsigned Jobs = 0; ///< 0 = hardware concurrency.
   bool Stats = false;
+  ObsFlags Obs;
 };
 
 bool parseFlags(int &Argc, char **Argv, ProgramFlags &Flags) {
+  if (!parseObsFlags(Argc, Argv, Flags.Obs))
+    return false;
   auto Remove = [&](int I, int N) {
     for (int J = I; J + N < Argc; ++J)
       Argv[J] = Argv[J + N];
@@ -209,6 +343,7 @@ int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
   Opts.Analyzer = Flags.Analyzer;
   Opts.Jobs = Flags.Jobs;
   BatchQueryEngine Engine(Prog, Fields, Opts);
+  TraceScope Scope(!Flags.Obs.TraceFile.empty());
   std::vector<BatchResult> Results = Engine.runAll();
   bool AllNo = true;
   for (const BatchResult &R : Results) {
@@ -218,8 +353,27 @@ int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
                 depKindName(R.Result.Kind), R.Result.Reason.c_str());
     AllNo &= R.Result.Verdict == DepVerdict::No;
   }
-  if (Flags.Stats)
-    std::fprintf(stderr, "%s", Engine.stats().toString().c_str());
+  if (Flags.Stats) {
+    // One buffered write, after flushing the verdict stream: with stdout
+    // and stderr merged (2>&1), per-line writes from the two streams can
+    // interleave mid-block under high --jobs; a single fwrite of the
+    // whole block cannot.
+    std::string Block = Engine.stats().toString();
+    std::fflush(stdout);
+    std::fwrite(Block.data(), 1, Block.size(), stderr);
+  }
+  if (!Flags.Obs.TraceFile.empty()) {
+    std::ofstream Out(Flags.Obs.TraceFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Flags.Obs.TraceFile.c_str());
+      return 2;
+    }
+    writeBatchTrace(Out, Engine, Results, Fields, Scope.finish());
+  }
+  if (!Flags.Obs.MetricsFile.empty() &&
+      !writeMetricsFile(Flags.Obs.MetricsFile))
+    return 2;
   return AllNo ? 0 : 1;
 }
 
@@ -251,6 +405,7 @@ int cmdDeps(int Argc, char **Argv) {
     if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
       continue;
     DepQueryEngine Engine(Prog.Value, F, Fields, Flags.Analyzer);
+    TraceScope Scope(!Flags.Obs.TraceFile.empty());
     Prover P(Fields);
     DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
     std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
@@ -260,6 +415,7 @@ int cmdDeps(int Argc, char **Argv) {
       std::printf("%s", R.ProofText.c_str());
     if (Flags.Stats) {
       const ProverStats &S = P.stats();
+      std::fflush(stdout);
       std::fprintf(stderr,
                    "prover stats: %llu goals, %llu cache hits, "
                    "%llu inductions, %llu alt splits\n",
@@ -268,6 +424,21 @@ int cmdDeps(int Argc, char **Argv) {
                    static_cast<unsigned long long>(S.Inductions),
                    static_cast<unsigned long long>(S.AltSplits));
     }
+    if (!Flags.Obs.TraceFile.empty()) {
+      std::ofstream Out(Flags.Obs.TraceFile);
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Flags.Obs.TraceFile.c_str());
+        return 2;
+      }
+      PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
+      writePairTrace(Out, Prep.Axioms, Prep.S, Prep.T, R, Fields,
+                     P.options(), Scope.finish());
+    }
+    publishProverMetrics(P);
+    if (!Flags.Obs.MetricsFile.empty() &&
+        !writeMetricsFile(Flags.Obs.MetricsFile))
+      return 2;
     return R.Verdict == DepVerdict::No ? 0 : 1;
   }
   std::fprintf(stderr,

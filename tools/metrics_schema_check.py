@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validates live `aptc --metrics-json` output against the checked-in
+schema (docs/metrics_schema.json), so the exported shape cannot drift
+from its documentation.
+
+Runs aptc twice (the batch `deps` path and the single-prover `prove`
+path), validates both metrics files with a small built-in JSON-Schema
+subset (type, properties, patternProperties, additionalProperties,
+required, items, minimum -- all the schema uses), checks that the core
+metric names are present, and sanity-checks the JSONL trace written
+alongside (every line parses; header first, summary last).
+
+Exit status: 0 on success, 1 with per-error report lines otherwise.
+No third-party dependencies.
+
+Usage: tools/metrics_schema_check.py <aptc-binary> <repo-root> <scratch-dir>
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+
+def validate(value, schema, path, errors):
+    """Minimal JSON-Schema subset validator; appends "path: message"."""
+    types = schema.get("type")
+    if types is not None:
+        if not isinstance(types, list):
+            types = [types]
+        checks = {
+            "object": lambda v: isinstance(v, dict),
+            "array": lambda v: isinstance(v, list),
+            "string": lambda v: isinstance(v, str),
+            # bool is an int subclass in Python; exclude it explicitly.
+            "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+            "number": lambda v: isinstance(v, (int, float))
+            and not isinstance(v, bool),
+            "boolean": lambda v: isinstance(v, bool),
+            "null": lambda v: v is None,
+        }
+        if not any(checks[t](value) for t in types):
+            errors.append(f"{path}: expected {'/'.join(types)}, "
+                          f"got {type(value).__name__}")
+            return
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required member '{key}'")
+        props = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, member in value.items():
+            child = f"{path}.{key}"
+            if key in props:
+                validate(member, props[key], child, errors)
+                continue
+            matched = False
+            for pattern, sub in patterns.items():
+                if re.search(pattern, key):
+                    validate(member, sub, child, errors)
+                    matched = True
+                    break
+            if matched:
+                continue
+            if additional is False:
+                errors.append(f"{child}: unexpected member")
+            elif isinstance(additional, dict):
+                validate(member, additional, child, errors)
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{index}]", errors)
+
+
+# Names the engine publishes unconditionally on every batch run; a rename
+# must update docs/OBSERVABILITY.md and this list together.
+CORE_COUNTERS = [
+    "apt.batch.runs",
+    "apt.batch.queries",
+    "apt.batch.unique_queries",
+    "apt.prover.goals_explored",
+    "apt.lang.queries",
+]
+CORE_GAUGES = ["apt.batch.jobs"]
+CORE_HISTOGRAMS = ["apt.batch.query_wall_us", "apt.batch.run_wall_ms"]
+
+
+def check_trace(trace_path, errors):
+    with open(trace_path, encoding="utf-8") as f:
+        lines = [line for line in f.read().splitlines() if line]
+    if not lines:
+        errors.append(f"{trace_path}: empty trace")
+        return
+    kinds = []
+    for number, line in enumerate(lines, 1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{trace_path}:{number}: bad JSON: {e}")
+            return
+        kinds.append(record.get("type"))
+    if kinds[0] != "header":
+        errors.append(f"{trace_path}: first record is '{kinds[0]}', "
+                      "expected 'header'")
+    if kinds[-1] != "summary":
+        errors.append(f"{trace_path}: last record is '{kinds[-1]}', "
+                      "expected 'summary'")
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    aptc, root, scratch = sys.argv[1:4]
+    os.makedirs(scratch, exist_ok=True)
+    with open(os.path.join(root, "docs", "metrics_schema.json"),
+              encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    runs = [
+        ("deps", [aptc, "deps",
+                  os.path.join(root, "tools", "samples", "worklist.apt"),
+                  "--jobs", "2"]),
+        ("prove", [aptc, "prove",
+                   os.path.join(root, "tools", "samples",
+                                "leaf_linked_tree.axioms"),
+                   "L.L.N", "L.R.N"]),
+    ]
+    for name, argv in runs:
+        metrics_path = os.path.join(scratch, f"{name}_metrics.json")
+        trace_path = os.path.join(scratch, f"{name}_trace.jsonl")
+        argv += [f"--metrics-json={metrics_path}", f"--trace={trace_path}"]
+        proc = subprocess.run(argv, capture_output=True, text=True)
+        if proc.returncode != 0:
+            errors.append(f"{name}: aptc exited {proc.returncode}: "
+                          f"{proc.stderr.strip()}")
+            continue
+        with open(metrics_path, encoding="utf-8") as f:
+            metrics = json.load(f)
+        validate(metrics, schema, name, errors)
+        check_trace(trace_path, errors)
+        if name == "deps":
+            for metric in CORE_COUNTERS:
+                if metric not in metrics.get("counters", {}):
+                    errors.append(f"{name}: missing counter '{metric}'")
+            for metric in CORE_GAUGES:
+                if metric not in metrics.get("gauges", {}):
+                    errors.append(f"{name}: missing gauge '{metric}'")
+            for metric in CORE_HISTOGRAMS:
+                if metric not in metrics.get("histograms", {}):
+                    errors.append(f"{name}: missing histogram '{metric}'")
+
+    for error in errors:
+        print(f"metrics_schema_check: {error}")
+    if errors:
+        sys.exit(1)
+    print("metrics_schema_check: OK")
+
+
+if __name__ == "__main__":
+    main()
