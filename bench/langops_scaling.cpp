@@ -1,0 +1,270 @@
+//===- bench/langops_scaling.cpp - Experiment E9: language-engine scaling -===//
+//
+// Part of the APT project. Measures the overhauled language-query
+// pipeline (alphabet compression + Hopcroft minimization + on-the-fly
+// product emptiness over interned minimal DFAs) against the classic
+// materialized pipeline (union-alphabet DFAs, complement, full product)
+// on an E8-style batch workload: a fixed pool of path-expression pairs,
+// answered by a *fresh* LangQuery per batch, the way each prover run
+// inside the batch engine starts with cold memo caches.
+//
+// Measured effects:
+//
+//  * warm-query throughput -- with the interned MinDfaStore warm, the
+//    overhauled pipeline skips every DFA construction and only walks the
+//    lazy product; the issue pins this at >= 2x over classic;
+//  * cold-store cost -- the same pipeline paying construction +
+//    minimization on first contact, the worst case;
+//  * memory flatness across --jobs -- the global store is shared by all
+//    batch workers, so its entry count must not scale with the worker
+//    count (printed by the E9 summary below).
+//
+// tools/bench_check.py runs this binary in JSON mode, records the warm
+// throughputs into BENCH_langops.json, and fails the bench_smoke ctest
+// on a >25% regression against the checked-in baseline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QueryEngine.h"
+#include "ir/Parser.h"
+#include "regex/LangOps.h"
+#include "regex/Minimize.h"
+#include "regex/RegexParser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <random>
+#include <utility>
+#include <vector>
+
+using namespace apt;
+
+namespace {
+
+/// Fixed pool of query pairs: the hand-written rows are the access-path
+/// languages the E2/E3 provers actually compare (leaf-linked trees and
+/// sparse matrices); the generated tail adds breadth so the pool is not
+/// dominated by a handful of tiny automata.
+struct PairPool {
+  FieldTable Fields;
+  std::vector<std::pair<RegexRef, RegexRef>> Pairs;
+
+  PairPool() {
+    const char *Fixed[][2] = {
+        {"L.L.N", "L.R.N"},
+        {"L.N", "R.N"},
+        {"eps", "(L|R|N)+"},
+        {"L.L.N.N", "L.R.N"},
+        {"(L|R)*.N", "(L|R)*.N.N"},
+        {"(L|R)+.N", "N.(L|R)+"},
+        {"ncolE+", "nrowE+.ncolE+"},
+        {"relem.ncolE*", "nrowH.relem.ncolE*"},
+        {"ncolE+", "ncolE+"},
+        {"rows.(nrowH)*.relem", "rows.nrowH+.relem.ncolE+"},
+        {"(nrowH|relem)*.ncolE", "relem.(ncolE|nrowE)*"},
+        {"rows.relem.ncolE*.val", "rows.nrowH.relem.ncolE*.val"},
+    };
+    for (auto &Row : Fixed)
+      Pairs.emplace_back(parseRegex(Row[0], Fields).Value,
+                         parseRegex(Row[1], Fields).Value);
+
+    // Deterministic generated tail over a small alphabet.
+    std::vector<FieldId> Alpha;
+    for (const char *Name : {"L", "R", "N", "ncolE", "nrowE"})
+      Alpha.push_back(Fields.intern(Name));
+    std::mt19937 Rng(20260805);
+    std::function<RegexRef(int)> Gen = [&](int Depth) -> RegexRef {
+      unsigned Pick = Rng() % (Depth <= 0 ? 5 : 9);
+      if (Pick < 5)
+        return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+      switch (Pick % 4) {
+      case 0:
+        return Regex::concat(Gen(Depth - 1), Gen(Depth - 1));
+      case 1:
+        return Regex::alt(Gen(Depth - 1), Gen(Depth - 1));
+      case 2:
+        return Regex::star(Gen(Depth - 1));
+      default:
+        return Regex::plus(Gen(Depth - 1));
+      }
+    };
+    while (Pairs.size() < 48)
+      Pairs.emplace_back(Gen(3), Gen(3));
+  }
+};
+
+PairPool &pool() {
+  static PairPool P;
+  return P;
+}
+
+/// One batch: a fresh LangQuery answers subset + disjoint for every pair
+/// in the pool. Returns the number of negative verdicts (a checksum the
+/// optimizer cannot elide and the configs must agree on).
+uint64_t runBatch(const LangOptions &Opts, MinDfaStore *Store) {
+  LangQuery Q(Opts);
+  Q.attachDfaStore(Store);
+  uint64_t Negatives = 0;
+  for (const auto &[A, B] : pool().Pairs) {
+    Negatives += !Q.subsetOf(A, B);
+    Negatives += !Q.disjoint(A, B);
+  }
+  return Negatives;
+}
+
+/// Warm throughput: range(0) selects classic (0) or overhauled (1). The
+/// overhauled config runs against a pre-warmed private store, so steady
+/// state measures only the lazy product walks.
+void BM_WarmQueries(benchmark::State &State) {
+  bool Overhauled = State.range(0) != 0;
+  LangOptions Opts;
+  Opts.OnTheFlyProduct = Overhauled;
+  MinDfaStore Store(16);
+  uint64_t Negatives = runBatch(Opts, &Store); // Warm the store once.
+
+  for (auto _ : State) {
+    uint64_t N = runBatch(Opts, &Store);
+    benchmark::DoNotOptimize(N);
+    if (N != Negatives)
+      State.SkipWithError("verdict checksum changed between batches");
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(pool().Pairs.size()) * 2 *
+                          State.iterations());
+  State.counters["negatives"] = static_cast<double>(Negatives);
+  State.counters["store_entries"] = static_cast<double>(Store.size());
+  State.SetLabel(Overhauled
+                     ? "overhauled (warm interned store, lazy product)"
+                     : "classic (materialized union-alphabet pipeline)");
+}
+BENCHMARK(BM_WarmQueries)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+/// Cold store: every iteration pays subset construction, minimization,
+/// and interning from scratch -- the first-contact worst case.
+void BM_ColdStore(benchmark::State &State) {
+  LangOptions Opts; // overhauled defaults
+  for (auto _ : State) {
+    MinDfaStore Store(16);
+    uint64_t N = runBatch(Opts, &Store);
+    benchmark::DoNotOptimize(N);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(pool().Pairs.size()) * 2 *
+                          State.iterations());
+  State.SetLabel("overhauled, store rebuilt per batch");
+}
+BENCHMARK(BM_ColdStore)->Unit(benchmark::kMillisecond);
+
+/// A small E8-style program for the jobs-flatness report: enough labeled
+/// pairs to occupy several workers, few enough to stay fast.
+const char *kJobsProgram = R"(
+type RowHeader {
+  nrowH: RowHeader;
+  relem: Element;
+  axiom forall p <> q: p.nrowH <> q.nrowH;
+  axiom forall p <> q: p.relem.ncolE* <> q.relem.ncolE*;
+}
+type Element {
+  ncolE: Element;
+  nrowE: Element;
+  val: int;
+  axiom forall p <> q: p.ncolE <> q.ncolE;
+  axiom forall p <> q: p.nrowE <> q.nrowE;
+  axiom forall p: p.ncolE+ <> p.nrowE+;
+}
+fn sweep(h: RowHeader) {
+  r = h;
+  while r {
+    e = r.relem;
+    while e {
+      A0: e.val = fun();
+      A1: e.val = fun();
+      e = e.ncolE;
+    }
+    r = r.nrowH;
+  }
+}
+fn eliminate(pivot: Element) {
+  a = pivot.nrowE;
+  while a {
+    t = a.ncolE;
+    while t {
+      B0: t.val = fun();
+      B1: t.val = fun();
+      t = t.ncolE;
+    }
+    a = a.nrowE;
+  }
+}
+fn gather(h: RowHeader) {
+  a = h.relem;
+  n = h.nrowH;
+  b = n.relem;
+  m = n.nrowH;
+  c = m.relem;
+  C0: a.val = fun();
+  C1: b.val = fun();
+  C2: c.val = fun();
+}
+fn walk(p: Element) {
+  x = p.ncolE;
+  y = p.nrowE;
+  z = x.ncolE;
+  D0: x.val = fun();
+  D1: y.val = fun();
+  D2: z.val = fun();
+}
+)";
+
+void printScalingReport() {
+  std::printf("\n== E9: language-engine scaling ==\n");
+
+  // Verdict parity + single-process store growth across configs.
+  LangOptions Classic;
+  Classic.OnTheFlyProduct = false;
+  LangOptions Overhauled;
+  MinDfaStore Store(16);
+  uint64_t NegClassic = runBatch(Classic, &Store);
+  uint64_t NegNew = runBatch(Overhauled, &Store);
+  std::printf("  pool: %zu pairs, %llu negative verdicts "
+              "(classic %llu) -- %s\n",
+              pool().Pairs.size(),
+              static_cast<unsigned long long>(NegNew),
+              static_cast<unsigned long long>(NegClassic),
+              NegNew == NegClassic ? "configs agree" : "MISMATCH");
+
+  // Memory flatness: the global interned store must not grow with the
+  // batch engine's worker count -- every worker resolves the same regex
+  // keys against the same shared entries.
+  FieldTable Fields;
+  ProgramParseResult Parsed = parseProgram(kJobsProgram, Fields);
+  if (!Parsed) {
+    std::fprintf(stderr, "jobs program failed to parse: %s\n",
+                 Parsed.Error.c_str());
+    std::exit(1);
+  }
+  size_t Before = MinDfaStore::global().size();
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    BatchOptions Opts;
+    Opts.Jobs = Jobs;
+    BatchQueryEngine Engine(Parsed.Value, Fields, Opts);
+    Engine.runAll();
+    std::printf("  jobs=%u: global store %zu entries (+%zu), "
+                "%llu queries\n",
+                Jobs, MinDfaStore::global().size(),
+                MinDfaStore::global().size() - Before,
+                static_cast<unsigned long long>(
+                    Engine.stats().Queries));
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printScalingReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

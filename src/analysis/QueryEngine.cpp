@@ -7,6 +7,7 @@
 #include "analysis/QueryEngine.h"
 
 #include "parallel/ThreadPool.h"
+#include "regex/Minimize.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -177,15 +178,21 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   // suitable both for the cumulative Stats and for monotone counter adds
   // into the global metrics registry below.
   ProverStats RunProver;
-  uint64_t RunLangQueries = 0, RunLangCacheHits = 0;
-  uint64_t RunLangSharedHits = 0, RunDfaBuilt = 0;
+  LangQuery::Stats RunLang;
   auto MergeWorker = [&](Prover &P) {
     RunProver += P.stats();
     const LangQuery::Stats &L = P.langQuery().stats();
-    RunLangQueries += L.SubsetQueries + L.DisjointQueries;
-    RunLangCacheHits += L.CacheHits;
-    RunLangSharedHits += L.SharedCacheHits;
-    RunDfaBuilt += L.DfaBuilt;
+    RunLang.SubsetQueries += L.SubsetQueries;
+    RunLang.DisjointQueries += L.DisjointQueries;
+    RunLang.CacheHits += L.CacheHits;
+    RunLang.SharedCacheHits += L.SharedCacheHits;
+    RunLang.DfaBuilt += L.DfaBuilt;
+    RunLang.DfaStatesBuilt += L.DfaStatesBuilt;
+    RunLang.DfaMinStates += L.DfaMinStates;
+    RunLang.DfaStoreHits += L.DfaStoreHits;
+    RunLang.AlphabetSymbols += L.AlphabetSymbols;
+    RunLang.AlphabetClasses += L.AlphabetClasses;
+    RunLang.ProductStatesExplored += L.ProductStatesExplored;
   };
   auto MakeProver = [&]() {
     Prover P(Fields, Opts.Prover);
@@ -216,10 +223,16 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   }
 
   Stats.Prover += RunProver;
-  Stats.LangQueries += RunLangQueries;
-  Stats.LangCacheHits += RunLangCacheHits;
-  Stats.LangSharedHits += RunLangSharedHits;
-  Stats.DfaBuilt += RunDfaBuilt;
+  Stats.LangQueries += RunLang.SubsetQueries + RunLang.DisjointQueries;
+  Stats.LangCacheHits += RunLang.CacheHits;
+  Stats.LangSharedHits += RunLang.SharedCacheHits;
+  Stats.DfaBuilt += RunLang.DfaBuilt;
+  Stats.DfaStatesBuilt += RunLang.DfaStatesBuilt;
+  Stats.DfaMinStates += RunLang.DfaMinStates;
+  Stats.DfaStoreHits += RunLang.DfaStoreHits;
+  Stats.AlphabetSymbols += RunLang.AlphabetSymbols;
+  Stats.AlphabetClasses += RunLang.AlphabetClasses;
+  Stats.ProductStates += RunLang.ProductStatesExplored;
 
   double RunWallMs = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - WallStart)
@@ -249,15 +262,23 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     R.counter("apt.prover.alt_splits").add(RunProver.AltSplits);
     R.counter("apt.prover.inductions").add(RunProver.Inductions);
     R.counter("apt.prover.budget_exhausted").add(RunProver.BudgetExhausted);
-    R.counter("apt.lang.queries").add(RunLangQueries);
-    R.counter("apt.lang.cache_hits").add(RunLangCacheHits);
-    R.counter("apt.lang.shared_hits").add(RunLangSharedHits);
-    R.counter("apt.lang.dfa_built").add(RunDfaBuilt);
+    R.counter("apt.lang.queries")
+        .add(RunLang.SubsetQueries + RunLang.DisjointQueries);
+    R.counter("apt.lang.cache_hits").add(RunLang.CacheHits);
+    R.counter("apt.lang.shared_hits").add(RunLang.SharedCacheHits);
+    R.counter("apt.lang.dfa_built").add(RunLang.DfaBuilt);
+    R.counter("apt.lang.dfa_states_built").add(RunLang.DfaStatesBuilt);
+    R.counter("apt.lang.dfa_min_states").add(RunLang.DfaMinStates);
+    R.counter("apt.lang.dfa_store_hits").add(RunLang.DfaStoreHits);
+    R.counter("apt.lang.alphabet_symbols").add(RunLang.AlphabetSymbols);
+    R.counter("apt.lang.alphabet_classes").add(RunLang.AlphabetClasses);
+    R.counter("apt.lang.product_states").add(RunLang.ProductStatesExplored);
     R.gauge("apt.batch.jobs").set(Jobs);
     R.histogram("apt.batch.run_wall_ms")
         .observe(static_cast<uint64_t>(RunWallMs));
     SharedGoals.publishMetrics("apt.cache.goal");
     SharedLang.publishMetrics("apt.cache.lang");
+    MinDfaStore::global().publishMetrics("apt.lang.dfa_store");
   }
 
   // Phase 3 (sequential): broadcast each unique verdict to its
@@ -281,7 +302,9 @@ std::string BatchStats::toString() const {
       "%llu inductions, %llu alt splits\n"
       "  goal cache: %llu entries; %llu hits, %llu misses, %llu inserts\n"
       "  lang cache: %llu entries; %llu hits, %llu misses, %llu inserts "
-      "(%llu lang queries, %llu DFAs built)\n",
+      "(%llu lang queries, %llu DFAs built)\n"
+      "  lang engine: %llu store hits, %llu states built -> %llu minimal, "
+      "%llu syms -> %llu classes, %llu product states\n",
       static_cast<unsigned long long>(Queries),
       static_cast<unsigned long long>(DirectQueries),
       static_cast<unsigned long long>(UniqueQueries),
@@ -301,6 +324,12 @@ std::string BatchStats::toString() const {
       static_cast<unsigned long long>(LangCache.Misses),
       static_cast<unsigned long long>(LangCache.Insertions),
       static_cast<unsigned long long>(LangQueries),
-      static_cast<unsigned long long>(DfaBuilt));
+      static_cast<unsigned long long>(DfaBuilt),
+      static_cast<unsigned long long>(DfaStoreHits),
+      static_cast<unsigned long long>(DfaStatesBuilt),
+      static_cast<unsigned long long>(DfaMinStates),
+      static_cast<unsigned long long>(AlphabetSymbols),
+      static_cast<unsigned long long>(AlphabetClasses),
+      static_cast<unsigned long long>(ProductStates));
   return Buf;
 }

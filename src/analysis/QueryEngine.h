@@ -87,6 +87,12 @@ struct BatchStats {
   uint64_t LangCacheHits = 0;
   uint64_t LangSharedHits = 0;
   uint64_t DfaBuilt = 0;
+  uint64_t DfaStatesBuilt = 0;  ///< Subset-construction states compiled.
+  uint64_t DfaMinStates = 0;    ///< States surviving Hopcroft minimization.
+  uint64_t DfaStoreHits = 0;    ///< Automata reused from the interned store.
+  uint64_t AlphabetSymbols = 0; ///< Raw union-alphabet symbols per product.
+  uint64_t AlphabetClasses = 0; ///< Compressed pair classes per product.
+  uint64_t ProductStates = 0;   ///< Pair states the lazy product visited.
 
   /// Snapshots of the two cross-thread caches (lifetime-monotone).
   ShardedBoolCache::Stats GoalCache;

@@ -1,0 +1,131 @@
+//===- regex/Alphabet.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see Alphabet.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Alphabet.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+using namespace apt;
+
+uint32_t AlphabetPartition::classOf(FieldId F) const {
+  auto It = std::lower_bound(Fields.begin(), Fields.end(), F);
+  if (It == Fields.end() || *It != F)
+    return OtherClass;
+  return ClassOfField[It - Fields.begin()];
+}
+
+AlphabetPartition AlphabetPartition::build(const Nfa &N, bool Compress) {
+  // The edge set of each field: sorted (from, to) pairs. Two fields with
+  // equal edge sets label exactly the same moves, so no word through the
+  // automaton — and hence no word of the language — distinguishes them.
+  std::map<FieldId, std::vector<std::pair<uint32_t, uint32_t>>> Edges;
+  for (uint32_t S = 0; S < N.States.size(); ++S)
+    for (const auto &[Label, Target] : N.States[S].Transitions)
+      Edges[Label].emplace_back(S, Target);
+  for (auto &[F, E] : Edges) {
+    std::sort(E.begin(), E.end());
+    E.erase(std::unique(E.begin(), E.end()), E.end());
+  }
+
+  AlphabetPartition P;
+  P.Fields.reserve(Edges.size());
+  P.ClassOfField.reserve(Edges.size());
+  if (Compress) {
+    // Deterministic class numbering: first-seen signature in field order.
+    std::map<std::vector<std::pair<uint32_t, uint32_t>>, uint32_t> ClassIds;
+    for (const auto &[F, E] : Edges) {
+      auto [It, Inserted] =
+          ClassIds.emplace(E, static_cast<uint32_t>(ClassIds.size()));
+      P.Fields.push_back(F);
+      P.ClassOfField.push_back(It->second);
+      if (Inserted)
+        P.ClassRep.push_back(F);
+    }
+  } else {
+    for (const auto &[F, E] : Edges) {
+      P.ClassOfField.push_back(static_cast<uint32_t>(P.Fields.size()));
+      P.Fields.push_back(F);
+      P.ClassRep.push_back(F);
+    }
+  }
+  P.OtherClass = static_cast<uint32_t>(P.ClassRep.size());
+  P.ClassRep.push_back(kNoRepField);
+  P.NumClasses = P.OtherClass + 1;
+  return P;
+}
+
+ClassDfa ClassDfa::build(const Regex &R, bool Compress) {
+  Nfa N = Nfa::build(R);
+  ClassDfa Out;
+  Out.Part = AlphabetPartition::build(N, Compress);
+  const size_t NumClasses = Out.Part.NumClasses;
+
+  // Subset construction, identical in shape to Dfa::fromNfa but stepping
+  // once per class: all fields of a class share their NFA edge set, so the
+  // class representative's moves are the class's moves.
+  std::map<std::vector<uint32_t>, uint32_t> StateIds;
+  std::deque<std::vector<uint32_t>> Worklist;
+
+  auto InternState = [&](std::vector<uint32_t> Set) -> uint32_t {
+    auto It = StateIds.find(Set);
+    if (It != StateIds.end())
+      return It->second;
+    uint32_t Id = static_cast<uint32_t>(StateIds.size());
+    StateIds.emplace(Set, Id);
+    bool Accepts = std::binary_search(Set.begin(), Set.end(), N.Accept);
+    Out.Accepting.push_back(Accepts);
+    Out.Transitions.resize(Out.Accepting.size() * NumClasses, 0);
+    Worklist.push_back(std::move(Set));
+    return Id;
+  };
+
+  std::vector<uint32_t> StartSet{N.Start};
+  N.epsilonClosure(StartSet);
+  Out.Start = InternState(std::move(StartSet));
+
+  while (!Worklist.empty()) {
+    std::vector<uint32_t> Set = std::move(Worklist.front());
+    Worklist.pop_front();
+    uint32_t Id = StateIds.at(Set);
+    for (uint32_t Cls = 0; Cls < NumClasses; ++Cls) {
+      std::vector<uint32_t> Next;
+      if (Cls != Out.Part.OtherClass) {
+        FieldId Rep = Out.Part.ClassRep[Cls];
+        for (uint32_t S : Set)
+          for (const auto &[Label, Target] : N.States[S].Transitions)
+            if (Label == Rep)
+              Next.push_back(Target);
+        std::sort(Next.begin(), Next.end());
+        Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+        N.epsilonClosure(Next);
+      }
+      // The other class has no edges anywhere: it falls into the empty
+      // subset, which is the sink. Interning it here (from the start
+      // state's row onward) guarantees every ClassDfa has one.
+      uint32_t NextId = InternState(std::move(Next));
+      Out.Transitions[Id * NumClasses + Cls] = NextId;
+    }
+  }
+
+  Out.Sink = StateIds.at({});
+  assert(!Out.Accepting[Out.Sink] && "the empty subset cannot accept");
+  return Out;
+}
+
+bool ClassDfa::accepts(const Word &W) const {
+  uint32_t S = Start;
+  for (FieldId F : W)
+    S = step(S, Part.classOf(F));
+  return Accepting[S];
+}
+
+bool ClassDfa::languageEmpty() const {
+  return std::find(Accepting.begin(), Accepting.end(), true) ==
+         Accepting.end();
+}

@@ -1,0 +1,118 @@
+//===- regex/Alphabet.h - Alphabet classes and class automata ---*- C++ -*-===//
+//
+// Part of the APT project; see Dfa.h for the classic per-symbol pipeline
+// this module compresses.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alphabet equivalence-class compression for the language engine.
+///
+/// The classic pipeline (Dfa.h) runs subset construction and products over
+/// the raw per-query union alphabet, so an axiom like
+/// `(rows|nrowH|relem|ncolE|nrowE)+` pays for five symbol columns that its
+/// automaton never tells apart. An AlphabetPartition groups the symbols of
+/// one expression into *equivalence classes* — two fields land in the same
+/// class exactly when they label the same set of NFA edges, so no word can
+/// distinguish them — plus one dedicated *other* class standing for every
+/// field the expression does not mention at all.
+///
+/// A ClassDfa is a complete DFA whose transition table is indexed by class
+/// rather than by symbol. Because the other class absorbs the rest of the
+/// field universe, a ClassDfa is alphabet-independent: it answers
+/// membership for arbitrary words, and the same automaton is reusable for
+/// every query its regex appears in — which is what makes the interned
+/// store in Minimize.h possible. The per-query pairing of two class
+/// alphabets lives in LangOps.cpp (on-the-fly product emptiness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_ALPHABET_H
+#define APT_REGEX_ALPHABET_H
+
+#include "regex/Nfa.h"
+#include "regex/Regex.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace apt {
+
+/// A partition of the field universe as seen by one expression: its own
+/// symbols, grouped into indistinguishability classes, plus the implicit
+/// "other" class covering every field it never mentions.
+struct AlphabetPartition {
+  /// The expression's own symbols; sorted, unique.
+  std::vector<FieldId> Fields;
+  /// Class of Fields[i]; parallel to Fields. Class ids are dense,
+  /// 0 .. NumClasses-1, with OtherClass last.
+  std::vector<uint32_t> ClassOfField;
+  /// A representative field per class, used to spell out witness words.
+  /// The other class has no member field; its slot holds kNoRepField.
+  std::vector<FieldId> ClassRep;
+  /// Total class count, including the other class.
+  uint32_t NumClasses = 1;
+  /// The class of every field not in Fields. Always present, always last.
+  uint32_t OtherClass = 0;
+
+  static constexpr FieldId kNoRepField = ~FieldId(0);
+
+  /// Class of \p F: binary search over Fields, misses map to OtherClass.
+  uint32_t classOf(FieldId F) const;
+
+  /// Partition of \p N's labels. With \p Compress, fields sharing the
+  /// exact same NFA edge set collapse into one class; without it every
+  /// field keeps its own class (the other class exists either way).
+  static AlphabetPartition build(const Nfa &N, bool Compress);
+};
+
+/// A complete DFA whose transitions are indexed by alphabet class. Always
+/// has a non-accepting absorbing sink reachable via the other class, so it
+/// decides membership for words over the whole field universe, not just
+/// over its own symbols.
+class ClassDfa {
+public:
+  /// Compiles \p R via its Thompson NFA, running subset construction over
+  /// classes instead of raw symbols.
+  static ClassDfa build(const Regex &R, bool Compress);
+
+  const AlphabetPartition &partition() const { return Part; }
+  size_t numStates() const { return Accepting.size(); }
+  size_t numClasses() const { return Part.NumClasses; }
+  uint32_t start() const { return Start; }
+  /// The dead state (non-accepting, absorbing). Every ClassDfa has one:
+  /// the other class leads there from everywhere.
+  uint32_t sink() const { return Sink; }
+  bool isAccepting(uint32_t State) const { return Accepting[State]; }
+
+  uint32_t step(uint32_t State, uint32_t Class) const {
+    return Transitions[State * Part.NumClasses + Class];
+  }
+
+  /// True if the automaton accepts \p W; fields outside the partition run
+  /// through the other class (and therefore into the sink).
+  bool accepts(const Word &W) const;
+
+  /// True if no accepting state exists (states are reachable by
+  /// construction, so this is a scan, not a search).
+  bool languageEmpty() const;
+
+  /// Construction from raw parts, used by minimization.
+  ClassDfa(AlphabetPartition P, std::vector<uint32_t> Transitions,
+           std::vector<bool> Accepting, uint32_t Start, uint32_t Sink)
+      : Part(std::move(P)), Transitions(std::move(Transitions)),
+        Accepting(std::move(Accepting)), Start(Start), Sink(Sink) {}
+
+private:
+  ClassDfa() = default;
+
+  AlphabetPartition Part;
+  std::vector<uint32_t> Transitions; ///< Row-major [state][class].
+  std::vector<bool> Accepting;
+  uint32_t Start = 0;
+  uint32_t Sink = 0;
+};
+
+} // namespace apt
+
+#endif // APT_REGEX_ALPHABET_H

@@ -189,99 +189,3 @@ std::optional<Word> Dfa::shortestAcceptedWord() const {
   }
   return std::nullopt;
 }
-
-Dfa Dfa::minimized() const {
-  const size_t N = numStates();
-  const size_t NumSyms = Alphabet.size();
-  if (N == 0)
-    return *this;
-
-  // Hopcroft's algorithm. Start from the accepting / non-accepting split
-  // and refine with preimage splits until stable.
-  std::vector<int> BlockOf(N);
-  std::vector<std::vector<uint32_t>> Blocks;
-  {
-    std::vector<uint32_t> Acc, Rej;
-    for (uint32_t S = 0; S < N; ++S)
-      (Accepting[S] ? Acc : Rej).push_back(S);
-    if (!Rej.empty()) {
-      for (uint32_t S : Rej)
-        BlockOf[S] = static_cast<int>(Blocks.size());
-      Blocks.push_back(std::move(Rej));
-    }
-    if (!Acc.empty()) {
-      for (uint32_t S : Acc)
-        BlockOf[S] = static_cast<int>(Blocks.size());
-      Blocks.push_back(std::move(Acc));
-    }
-  }
-
-  // Precompute inverse transitions: for each (state, sym), its preimage.
-  std::vector<std::vector<uint32_t>> Preimage(N * NumSyms);
-  for (uint32_t S = 0; S < N; ++S)
-    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx)
-      Preimage[step(S, SymIdx) * NumSyms + SymIdx].push_back(S);
-
-  std::deque<std::pair<int, size_t>> Worklist;
-  for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx)
-    for (int B = 0; B < static_cast<int>(Blocks.size()); ++B)
-      Worklist.emplace_back(B, SymIdx);
-
-  std::vector<char> InSplitter(N, 0);
-  while (!Worklist.empty()) {
-    auto [SplitBlock, SymIdx] = Worklist.front();
-    Worklist.pop_front();
-
-    // States whose SymIdx-successor lies in SplitBlock.
-    std::vector<uint32_t> X;
-    for (uint32_t T : Blocks[SplitBlock])
-      for (uint32_t S : Preimage[T * NumSyms + SymIdx])
-        X.push_back(S);
-    if (X.empty())
-      continue;
-    for (uint32_t S : X)
-      InSplitter[S] = 1;
-
-    // Partition every block intersecting X.
-    std::vector<int> Touched;
-    for (uint32_t S : X) {
-      int B = BlockOf[S];
-      if (Touched.empty() || Touched.back() != B)
-        Touched.push_back(B);
-    }
-    std::sort(Touched.begin(), Touched.end());
-    Touched.erase(std::unique(Touched.begin(), Touched.end()), Touched.end());
-
-    for (int B : Touched) {
-      std::vector<uint32_t> In, Outside;
-      for (uint32_t S : Blocks[B])
-        (InSplitter[S] ? In : Outside).push_back(S);
-      if (In.empty() || Outside.empty())
-        continue;
-      // Replace block B with `In`; append `Outside` as a new block.
-      Blocks[B] = std::move(In);
-      int NewB = static_cast<int>(Blocks.size());
-      for (uint32_t S : Outside)
-        BlockOf[S] = NewB;
-      Blocks.push_back(std::move(Outside));
-      for (size_t Sym2 = 0; Sym2 < NumSyms; ++Sym2)
-        Worklist.emplace_back(NewB, Sym2);
-    }
-    for (uint32_t S : X)
-      InSplitter[S] = 0;
-  }
-
-  Dfa Out;
-  Out.Alphabet = Alphabet;
-  Out.Accepting.assign(Blocks.size(), false);
-  Out.Transitions.assign(Blocks.size() * NumSyms, 0);
-  for (size_t B = 0; B < Blocks.size(); ++B) {
-    uint32_t Rep = Blocks[B].front();
-    Out.Accepting[B] = Accepting[Rep];
-    for (size_t SymIdx = 0; SymIdx < NumSyms; ++SymIdx)
-      Out.Transitions[B * NumSyms + SymIdx] =
-          static_cast<uint32_t>(BlockOf[step(Rep, SymIdx)]);
-  }
-  Out.Start = static_cast<uint32_t>(BlockOf[Start]);
-  return Out;
-}

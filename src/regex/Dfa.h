@@ -48,7 +48,9 @@ public:
   /// The complement automaton (same alphabet, accepting set flipped).
   Dfa complemented() const;
 
-  /// Hopcroft partition-refinement minimization.
+  /// Hopcroft partition-refinement minimization (defined in Minimize.cpp,
+  /// which shares its worklist core with the class automata of
+  /// Alphabet.h).
   Dfa minimized() const;
 
   /// True if no accepting state is reachable from the start state.

@@ -6,14 +6,27 @@
 
 #include "regex/LangOps.h"
 
+#include "regex/Alphabet.h"
 #include "regex/Derivative.h"
 #include "regex/Dfa.h"
+#include "regex/Minimize.h"
 #include "support/Trace.h"
 
+#include <algorithm>
+#include <cassert>
 #include <functional>
 #include <set>
+#include <unordered_map>
 
 using namespace apt;
+
+LangQuery::LangQuery(LangEngine Engine, bool EnableCache)
+    : LangQuery(LangOptions{Engine, EnableCache, /*OnTheFlyProduct=*/true,
+                            /*MinimizeDfas=*/true,
+                            /*CompressAlphabet=*/true}) {}
+
+LangQuery::LangQuery(const LangOptions &Opts)
+    : Opts(Opts), DfaStore(&MinDfaStore::global()) {}
 
 static std::vector<FieldId> unionAlphabet(const RegexRef &A,
                                           const RegexRef &B) {
@@ -23,13 +36,162 @@ static std::vector<FieldId> unionAlphabet(const RegexRef &A,
   return std::vector<FieldId>(Syms.begin(), Syms.end());
 }
 
+//===----------------------------------------------------------------------===//
+// Operand automata: compiled per regex (not per query), interned in the
+// store so every recurrence — across queries, batch workers, induction
+// subgoals — is a hash lookup.
+//===----------------------------------------------------------------------===//
+
+std::shared_ptr<const ClassDfa> LangQuery::operandDfa(const RegexRef &R) {
+  auto Build = [&]() -> ClassDfa {
+    ClassDfa D = ClassDfa::build(*R, Opts.CompressAlphabet);
+    ++Counters.DfaBuilt;
+    Counters.DfaStatesBuilt += D.numStates();
+    if (Opts.MinimizeDfas)
+      D = minimizeClassDfa(D);
+    Counters.DfaMinStates += D.numStates();
+    return D;
+  };
+  if (!DfaStore)
+    return std::make_shared<const ClassDfa>(Build());
+  // The fingerprint has to separate pipeline variants: an unminimized or
+  // uncompressed automaton is a different object for the same language.
+  std::string Fingerprint = R->key();
+  Fingerprint += '\x1f';
+  Fingerprint += Opts.CompressAlphabet ? 'c' : 'u';
+  Fingerprint += Opts.MinimizeDfas ? 'm' : 'r';
+  MinDfaStore::Entry E = DfaStore->getOrBuild(Fingerprint, Build);
+  if (E.WasHit)
+    ++Counters.DfaStoreHits;
+  return std::move(E.Dfa);
+}
+
+//===----------------------------------------------------------------------===//
+// On-the-fly product emptiness. The two operands generally carry
+// different partitions, so each product search first builds the *pair
+// alphabet*: union symbols grouped by their (class-in-A, class-in-B)
+// pair. The pair graph is then explored breadth-first, interning pair
+// states lazily and stopping at the first witness, whose word is
+// reconstructed from class representatives (shortest first, so witnesses
+// are minimal-length and deterministic).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PairAlphabet {
+  std::vector<std::pair<uint32_t, uint32_t>> Classes; ///< (class A, class B)
+  std::vector<FieldId> Reps; ///< Spelling for witness words; parallel.
+  size_t UnionSymbols = 0;
+};
+
+PairAlphabet pairAlphabet(const ClassDfa &A, const ClassDfa &B) {
+  const AlphabetPartition &PA = A.partition(), &PB = B.partition();
+  PairAlphabet Out;
+  // Merge the two sorted symbol lists. Symbols outside both alphabets
+  // are irrelevant: no word of either language can use them, so they
+  // never appear on a witness and need no pair class.
+  std::vector<FieldId> Union;
+  std::set_union(PA.Fields.begin(), PA.Fields.end(), PB.Fields.begin(),
+                 PB.Fields.end(), std::back_inserter(Union));
+  Out.UnionSymbols = Union.size();
+  std::unordered_map<uint64_t, uint32_t> Seen;
+  for (FieldId F : Union) {
+    uint32_t CA = PA.classOf(F), CB = PB.classOf(F);
+    uint64_t Key = (static_cast<uint64_t>(CA) << 32) | CB;
+    if (Seen.emplace(Key, static_cast<uint32_t>(Out.Classes.size())).second) {
+      Out.Classes.emplace_back(CA, CB);
+      Out.Reps.push_back(F);
+    }
+  }
+  return Out;
+}
+
+/// Searches the reachable pair graph of (A, B) for a state satisfying
+/// the acceptance predicate: A accepting and B *not* accepting when
+/// \p NegateB (subset counterexample), both accepting otherwise
+/// (disjointness witness). Returns the shortest such witness word, or
+/// nullopt when none exists. \p C accrues the exploration counters.
+std::optional<Word> productWitness(const ClassDfa &A, const ClassDfa &B,
+                                   bool NegateB, LangQuery::Stats &C) {
+  PairAlphabet PA = pairAlphabet(A, B);
+  C.AlphabetSymbols += PA.UnionSymbols;
+  C.AlphabetClasses += PA.Classes.size();
+  const size_t NumPairSyms = PA.Classes.size();
+
+  // Dense pair states, interned on first visit. Parent links reconstruct
+  // the witness; BFS order makes it shortest.
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  std::vector<int32_t> Parent, ParentSym;
+  std::unordered_map<uint64_t, uint32_t> Ids;
+  auto Intern = [&](uint32_t SA, uint32_t SB) -> int32_t {
+    // Once A is dead no extension can satisfy either predicate; in the
+    // intersection search the same holds for B. Pruning here keeps the
+    // search inside the live part of the pair graph.
+    if (SA == A.sink())
+      return -1;
+    if (!NegateB && SB == B.sink())
+      return -1;
+    uint64_t Key = (static_cast<uint64_t>(SA) << 32) | SB;
+    auto [It, Inserted] =
+        Ids.emplace(Key, static_cast<uint32_t>(Pairs.size()));
+    if (Inserted) {
+      Pairs.emplace_back(SA, SB);
+      Parent.push_back(-1);
+      ParentSym.push_back(-1);
+      ++C.ProductStatesExplored;
+    }
+    return static_cast<int32_t>(It->second);
+  };
+
+  auto IsWitness = [&](uint32_t SA, uint32_t SB) {
+    return A.isAccepting(SA) &&
+           (NegateB ? !B.isAccepting(SB) : B.isAccepting(SB));
+  };
+  auto WordTo = [&](uint32_t Id) {
+    Word W;
+    for (int32_t Cur = static_cast<int32_t>(Id); Parent[Cur] >= 0;
+         Cur = Parent[Cur])
+      W.push_back(PA.Reps[ParentSym[Cur]]);
+    std::reverse(W.begin(), W.end());
+    return W;
+  };
+
+  if (Intern(A.start(), B.start()) < 0)
+    return std::nullopt;
+  if (IsWitness(A.start(), B.start()))
+    return Word{};
+  for (uint32_t Head = 0; Head < Pairs.size(); ++Head) {
+    auto [SA, SB] = Pairs[Head];
+    for (size_t Sym = 0; Sym < NumPairSyms; ++Sym) {
+      uint32_t NA = A.step(SA, PA.Classes[Sym].first);
+      uint32_t NB = B.step(SB, PA.Classes[Sym].second);
+      size_t Before = Pairs.size();
+      int32_t Id = Intern(NA, NB);
+      if (Id < 0 || static_cast<size_t>(Id) < Before)
+        continue; // pruned or already visited
+      Parent[Id] = static_cast<int32_t>(Head);
+      ParentSym[Id] = static_cast<int32_t>(Sym);
+      if (IsWitness(NA, NB))
+        return WordTo(static_cast<uint32_t>(Id));
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Query entry points.
+//===----------------------------------------------------------------------===//
+
 bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
   ++Counters.SubsetQueries;
+  Witness.reset();
   if (A->isEmpty())
     return true;
   if (structurallyEqual(A, B))
     return true;
-  if (!EnableCache)
+  if (!Opts.EnableCache)
     return subsetOfUncached(A, B);
   // The leading tag keeps subset and disjoint keys distinct inside the
   // shared cross-thread cache, where both kinds share one key space.
@@ -59,6 +221,9 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
   APT_TRACE_EVENT(trace::EventKind::LangSubset,
                   std::hash<std::string>{}(Key), 0,
                   static_cast<uint8_t>(Result ? trace::LangResult : 0));
+  if (Witness)
+    APT_TRACE_EVENT(trace::EventKind::LangWitness,
+                    std::hash<std::string>{}(Key), 0, 0, Witness->size());
   if (SharedCache)
     SharedCache->insert(Key, Result);
   SubsetCache.emplace(std::move(Key), Result);
@@ -66,10 +231,20 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
 }
 
 bool LangQuery::subsetOfUncached(const RegexRef &A, const RegexRef &B) {
-  if (Engine == LangEngine::Derivative)
+  if (Opts.Engine == LangEngine::Derivative)
     return derivSubsetOf(A, B);
-  // L(A) subset of L(B)  iff  L(A) & complement(L(B)) is empty, taken over
-  // the union alphabet (words using symbols outside it cannot be in L(A)).
+  if (Opts.OnTheFlyProduct) {
+    // L(A) ⊆ L(B) iff no word reaches an (accepting, non-accepting)
+    // pair. The lazy search visits only reachable pairs and stops at the
+    // first counterexample.
+    std::shared_ptr<const ClassDfa> DA = operandDfa(A);
+    std::shared_ptr<const ClassDfa> DB = operandDfa(B);
+    Witness = productWitness(*DA, *DB, /*NegateB=*/true, Counters);
+    return !Witness;
+  }
+  // Classic pipeline: L(A) subset of L(B) iff L(A) & complement(L(B)) is
+  // empty, taken over the materialized union alphabet (words using
+  // symbols outside it cannot be in L(A)).
   std::vector<FieldId> Alphabet = unionAlphabet(A, B);
   Dfa DA = Dfa::fromRegex(*A, Alphabet);
   Dfa DB = Dfa::fromRegex(*B, Alphabet);
@@ -81,11 +256,12 @@ bool LangQuery::subsetOfUncached(const RegexRef &A, const RegexRef &B) {
 
 bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
   ++Counters.DisjointQueries;
+  Witness.reset();
   if (A->isEmpty() || B->isEmpty())
     return true;
   if (structurallyEqual(A, B))
     return false; // Both non-empty and identical: they share every word.
-  if (!EnableCache)
+  if (!Opts.EnableCache)
     return disjointUncached(A, B);
   // Disjointness is symmetric; canonicalize the key order.
   std::string Key = A->key() <= B->key()
@@ -116,6 +292,9 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
   APT_TRACE_EVENT(trace::EventKind::LangDisjoint,
                   std::hash<std::string>{}(Key), 0,
                   static_cast<uint8_t>(Result ? trace::LangResult : 0));
+  if (Witness)
+    APT_TRACE_EVENT(trace::EventKind::LangWitness,
+                    std::hash<std::string>{}(Key), 0, 1, Witness->size());
   if (SharedCache)
     SharedCache->insert(Key, Result);
   DisjointCache.emplace(std::move(Key), Result);
@@ -123,8 +302,14 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
 }
 
 bool LangQuery::disjointUncached(const RegexRef &A, const RegexRef &B) {
-  if (Engine == LangEngine::Derivative)
+  if (Opts.Engine == LangEngine::Derivative)
     return derivDisjoint(A, B);
+  if (Opts.OnTheFlyProduct) {
+    std::shared_ptr<const ClassDfa> DA = operandDfa(A);
+    std::shared_ptr<const ClassDfa> DB = operandDfa(B);
+    Witness = productWitness(*DA, *DB, /*NegateB=*/false, Counters);
+    return !Witness;
+  }
   std::vector<FieldId> Alphabet = unionAlphabet(A, B);
   Dfa DA = Dfa::fromRegex(*A, Alphabet);
   Dfa DB = Dfa::fromRegex(*B, Alphabet);

@@ -9,13 +9,16 @@
 /// regular-language questions (subset, disjointness, equivalence,
 /// membership). It:
 ///
-///  * chooses a per-query union alphabet so that complements are taken
-///    over exactly the fields both expressions can mention,
+///  * compiles each operand once into a minimal, alphabet-compressed
+///    class automaton (Alphabet.h / Minimize.h) interned in a process-
+///    wide store, and decides subset/disjointness by exploring the pair
+///    product on the fly, stopping at the first witness word,
 ///  * memoizes query results keyed on canonical regex keys (the paper's
 ///    §4.2 assumes "results of intermediate proofs are cached"; the same
 ///    applies one level down to the language queries), and
 ///  * can be switched between the DFA engine and the Brzozowski-derivative
-///    engine for the ablation benchmark.
+///    engine — and between the overhauled and the classic materialized
+///    pipeline — for ablation benchmarks and differential testing.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,9 +29,13 @@
 #include "support/ShardedCache.h"
 
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 namespace apt {
+
+class ClassDfa;
+class MinDfaStore;
 
 /// Which decision procedure answers language queries.
 enum class LangEngine {
@@ -36,22 +43,48 @@ enum class LangEngine {
   Derivative, ///< Brzozowski-derivative pair exploration.
 };
 
+/// Pipeline configuration. The defaults are the fast path; the flags
+/// exist so benchmarks can ablate each stage and the differential fuzzer
+/// can pit the variants against each other.
+struct LangOptions {
+  LangEngine Engine = LangEngine::Dfa;
+  /// Memoize query results (per-instance maps, plus the shared cache
+  /// when one is attached).
+  bool EnableCache = true;
+  /// Decide subset/disjointness by lazy pair-graph search with early
+  /// exit. When false, the classic pipeline runs instead: materialized
+  /// union-alphabet DFAs, complementation, full product, emptiness.
+  bool OnTheFlyProduct = true;
+  /// Hopcroft-minimize operand automata before interning them.
+  bool MinimizeDfas = true;
+  /// Merge indistinguishable symbols into alphabet classes; when false,
+  /// class automata carry one class per symbol (the other class exists
+  /// either way).
+  bool CompressAlphabet = true;
+};
+
 /// Cached facade over the regular-language decision procedures.
 class LangQuery {
 public:
-  /// Aggregate counters, exposed for benchmarks and tests.
+  /// Aggregate counters, exposed for benchmarks and tests. All fields
+  /// are monotone over the instance's lifetime.
   struct Stats {
     uint64_t SubsetQueries = 0;
     uint64_t DisjointQueries = 0;
     uint64_t CacheHits = 0;
     uint64_t SharedCacheHits = 0; ///< Answered by another thread's work.
-    uint64_t DfaBuilt = 0;
-    uint64_t DfaStatesBuilt = 0;
+    uint64_t DfaBuilt = 0;        ///< Automata compiled by this instance.
+    uint64_t DfaStatesBuilt = 0;  ///< States before minimization.
+    uint64_t DfaMinStates = 0;    ///< States after minimization.
+    uint64_t DfaStoreHits = 0;    ///< Automata served by the interned store.
+    uint64_t AlphabetSymbols = 0; ///< Union-alphabet symbols per product.
+    uint64_t AlphabetClasses = 0; ///< Pair classes actually explored.
+    uint64_t ProductStatesExplored = 0; ///< Pair states visited lazily.
   };
 
   explicit LangQuery(LangEngine Engine = LangEngine::Dfa,
-                     bool EnableCache = true)
-      : Engine(Engine), EnableCache(EnableCache) {}
+                     bool EnableCache = true);
+  explicit LangQuery(const LangOptions &Opts);
 
   /// True if L(A) is a subset of L(B).
   bool subsetOf(const RegexRef &A, const RegexRef &B);
@@ -69,7 +102,16 @@ public:
   bool matches(const RegexRef &R, const Word &W);
 
   const Stats &stats() const { return Counters; }
-  LangEngine engine() const { return Engine; }
+  LangEngine engine() const { return Opts.Engine; }
+  const LangOptions &options() const { return Opts; }
+
+  /// The witness word of the most recent negative verdict, when the
+  /// on-the-fly product produced one: a word of L(A) \ L(B) after
+  /// `subsetOf(A, B) == false`, a word of L(A) ∩ L(B) after
+  /// `disjoint(A, B) == false`. Empty after positive verdicts, cache
+  /// hits (only the boolean is memoized), structural fast paths, and
+  /// queries run through the derivative or classic pipelines.
+  const std::optional<Word> &lastWitness() const { return Witness; }
 
   /// Attaches a cross-thread result cache (see ShardedCache.h). Lookups
   /// consult the per-instance maps first, then \p Shared; computed
@@ -80,16 +122,24 @@ public:
   /// Pass nullptr to detach.
   void attachSharedCache(ShardedBoolCache *Shared) { SharedCache = Shared; }
 
+  /// Redirects operand-automaton interning to \p Store (tests and
+  /// benchmarks use private stores for isolation and cold-path timing).
+  /// By default every instance shares MinDfaStore::global(); pass
+  /// nullptr to disable interning and rebuild per query.
+  void attachDfaStore(MinDfaStore *Store) { DfaStore = Store; }
+
 private:
   bool subsetOfUncached(const RegexRef &A, const RegexRef &B);
   bool disjointUncached(const RegexRef &A, const RegexRef &B);
+  std::shared_ptr<const ClassDfa> operandDfa(const RegexRef &R);
 
-  LangEngine Engine;
-  bool EnableCache;
+  LangOptions Opts;
   Stats Counters;
+  std::optional<Word> Witness;
   std::unordered_map<std::string, bool> SubsetCache;
   std::unordered_map<std::string, bool> DisjointCache;
   ShardedBoolCache *SharedCache = nullptr;
+  MinDfaStore *DfaStore = nullptr;
 };
 
 } // namespace apt

@@ -1,0 +1,228 @@
+//===- regex/Minimize.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see Minimize.h for an overview. This file also
+// hosts Dfa::minimized(), so both automaton flavors share one Hopcroft
+// core.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Minimize.h"
+
+#include "regex/Dfa.h"
+
+#include <cassert>
+#include <deque>
+#include <utility>
+
+using namespace apt;
+
+namespace {
+
+/// Hopcroft's algorithm over a complete automaton given as raw tables:
+/// \p Transitions is row-major [state][sym]. Fills \p BlockOf with a
+/// dense renumbering of the Myhill-Nerode classes and returns the class
+/// count. States are assumed reachable (subset construction and products
+/// only ever produce reachable states), so the result is the true
+/// minimum.
+///
+/// This is the smaller-half variant: when a block splits, the pending
+/// work for the old block id keeps covering its shrunken range, the new
+/// id is enqueued if the old one was pending, and otherwise only the
+/// smaller half is enqueued — giving the O(n·k·log n) bound, unlike the
+/// enqueue-everything refinement this replaces (see git history of
+/// Dfa.cpp).
+size_t hopcroft(size_t NumStates, size_t NumSyms,
+                const std::vector<uint32_t> &Transitions,
+                const std::vector<bool> &Accepting,
+                std::vector<uint32_t> &BlockOf) {
+  const uint32_t N = static_cast<uint32_t>(NumStates);
+  BlockOf.assign(N, 0);
+  if (N == 0)
+    return 0;
+
+  // Refinable partition: Elems holds the states grouped by block,
+  // Loc[s] is s's position in Elems, blocks are [Start[b], End[b]).
+  std::vector<uint32_t> Elems(N), Loc(N);
+  std::vector<uint32_t> Start, End;
+
+  {
+    uint32_t NumAcc = 0;
+    for (uint32_t S = 0; S < N; ++S)
+      NumAcc += Accepting[S];
+    uint32_t RejAt = 0, AccAt = N - NumAcc;
+    const bool TwoBlocks = NumAcc != 0 && NumAcc != N;
+    for (uint32_t S = 0; S < N; ++S) {
+      uint32_t &At = (TwoBlocks && Accepting[S]) ? AccAt : RejAt;
+      Elems[At] = S;
+      Loc[S] = At;
+      BlockOf[S] = (TwoBlocks && Accepting[S]) ? 1 : 0;
+      ++At;
+    }
+    Start = {0};
+    End = {TwoBlocks ? N - NumAcc : N};
+    if (TwoBlocks) {
+      Start.push_back(N - NumAcc);
+      End.push_back(N);
+    }
+  }
+  size_t NumBlocks = Start.size();
+
+  // Inverse transitions: Pre[t * NumSyms + sym] lists the sym-predecessors
+  // of t.
+  std::vector<std::vector<uint32_t>> Pre(NumStates * NumSyms);
+  for (uint32_t S = 0; S < N; ++S)
+    for (size_t Sym = 0; Sym < NumSyms; ++Sym)
+      Pre[Transitions[S * NumSyms + Sym] * NumSyms + Sym].push_back(S);
+
+  std::deque<std::pair<uint32_t, uint32_t>> Work; // (block, sym)
+  std::vector<char> InWork(NumBlocks * NumSyms, 0);
+  auto Push = [&](uint32_t B, uint32_t Sym) {
+    if (!InWork[B * NumSyms + Sym]) {
+      InWork[B * NumSyms + Sym] = 1;
+      Work.emplace_back(B, Sym);
+    }
+  };
+  if (NumBlocks == 2) {
+    uint32_t Smaller = (End[0] - Start[0]) <= (End[1] - Start[1]) ? 0 : 1;
+    for (uint32_t Sym = 0; Sym < NumSyms; ++Sym)
+      Push(Smaller, Sym);
+  }
+
+  std::vector<uint32_t> MarkedCount(NumBlocks, 0);
+  std::vector<uint32_t> Touched;
+  while (!Work.empty()) {
+    auto [Splitter, Sym] = Work.front();
+    Work.pop_front();
+    InWork[Splitter * NumSyms + Sym] = 0;
+
+    // Mark every state whose Sym-successor lies in the splitter block,
+    // compacting marks to the front of each block's range as we go. The
+    // splitter's states are snapshotted first: marking swaps elements
+    // around inside block ranges, including the splitter's own.
+    Touched.clear();
+    std::vector<uint32_t> SplitterStates(Elems.begin() + Start[Splitter],
+                                         Elems.begin() + End[Splitter]);
+    for (uint32_t T : SplitterStates)
+      for (uint32_t S : Pre[T * NumSyms + Sym]) {
+        uint32_t B = BlockOf[S];
+        uint32_t P = Loc[S], Dest = Start[B] + MarkedCount[B];
+        if (P < Dest)
+          continue; // already marked
+        if (MarkedCount[B]++ == 0)
+          Touched.push_back(B);
+        std::swap(Elems[P], Elems[Dest]);
+        Loc[Elems[P]] = P;
+        Loc[Elems[Dest]] = Dest;
+      }
+
+    for (uint32_t B : Touched) {
+      uint32_t Marked = MarkedCount[B];
+      MarkedCount[B] = 0;
+      if (Marked == End[B] - Start[B])
+        continue; // every state moved: no split
+
+      // The marked prefix becomes a new block; the old id keeps the rest
+      // (any work still queued under it stays valid for that remainder).
+      uint32_t NewB = static_cast<uint32_t>(NumBlocks++);
+      Start.push_back(Start[B]);
+      End.push_back(Start[B] + Marked);
+      Start[B] += Marked;
+      for (uint32_t I = Start[NewB]; I < End[NewB]; ++I)
+        BlockOf[Elems[I]] = NewB;
+      MarkedCount.push_back(0);
+      InWork.resize(NumBlocks * NumSyms, 0);
+
+      uint32_t SmallB =
+          (End[NewB] - Start[NewB]) <= (End[B] - Start[B]) ? NewB : B;
+      for (uint32_t Sym2 = 0; Sym2 < NumSyms; ++Sym2) {
+        if (InWork[B * NumSyms + Sym2])
+          Push(NewB, Sym2); // both halves still pending
+        else
+          Push(SmallB, Sym2);
+      }
+    }
+  }
+  return NumBlocks;
+}
+
+} // namespace
+
+ClassDfa apt::minimizeClassDfa(const ClassDfa &D) {
+  const size_t NumClasses = D.numClasses();
+  std::vector<uint32_t> Trans(D.numStates() * NumClasses);
+  std::vector<bool> Acc(D.numStates());
+  for (uint32_t S = 0; S < D.numStates(); ++S) {
+    Acc[S] = D.isAccepting(S);
+    for (uint32_t C = 0; C < NumClasses; ++C)
+      Trans[S * NumClasses + C] = D.step(S, C);
+  }
+
+  std::vector<uint32_t> BlockOf;
+  size_t NumBlocks =
+      hopcroft(D.numStates(), NumClasses, Trans, Acc, BlockOf);
+
+  std::vector<uint32_t> OutTrans(NumBlocks * NumClasses);
+  std::vector<bool> OutAcc(NumBlocks, false);
+  std::vector<char> Filled(NumBlocks, 0);
+  for (uint32_t S = 0; S < D.numStates(); ++S) {
+    uint32_t B = BlockOf[S];
+    if (Filled[B])
+      continue;
+    Filled[B] = 1;
+    OutAcc[B] = Acc[S];
+    for (uint32_t C = 0; C < NumClasses; ++C)
+      OutTrans[B * NumClasses + C] = BlockOf[Trans[S * NumClasses + C]];
+  }
+
+  uint32_t Sink = BlockOf[D.sink()];
+  assert(!OutAcc[Sink] && "dead states must stay dead after merging");
+  return ClassDfa(D.partition(), std::move(OutTrans), std::move(OutAcc),
+                  BlockOf[D.start()], Sink);
+}
+
+MinDfaStore::Entry
+MinDfaStore::getOrBuild(const std::string &Fingerprint,
+                        const std::function<ClassDfa()> &Build) {
+  if (std::shared_ptr<const ClassDfa> D = Cache.lookup(Fingerprint))
+    return {std::move(D), true};
+  // Build outside the shard lock; a concurrent builder of the same key is
+  // harmless (first writer wins below, both automata are minimal for the
+  // same language).
+  auto Built = std::make_shared<const ClassDfa>(Build());
+  return {Cache.intern(Fingerprint, std::move(Built)), false};
+}
+
+MinDfaStore &MinDfaStore::global() {
+  static MinDfaStore Store(32);
+  return Store;
+}
+
+// Defined here rather than in Dfa.cpp so the classic automaton shares the
+// same Hopcroft core (this replaced an enqueue-everything refinement that
+// lived in Dfa.cpp).
+Dfa Dfa::minimized() const {
+  const size_t NumSyms = Alphabet.size();
+  if (numStates() == 0)
+    return *this;
+
+  std::vector<uint32_t> BlockOf;
+  size_t NumBlocks =
+      hopcroft(numStates(), NumSyms, Transitions, Accepting, BlockOf);
+
+  Dfa Out;
+  Out.Alphabet = Alphabet;
+  Out.Accepting.assign(NumBlocks, false);
+  Out.Transitions.assign(NumBlocks * NumSyms, 0);
+  std::vector<char> Filled(NumBlocks, 0);
+  for (uint32_t S = 0; S < numStates(); ++S) {
+    uint32_t B = BlockOf[S];
+    if (Filled[B])
+      continue;
+    Filled[B] = 1;
+    Out.Accepting[B] = Accepting[S];
+    for (size_t Sym = 0; Sym < NumSyms; ++Sym)
+      Out.Transitions[B * NumSyms + Sym] = BlockOf[step(S, Sym)];
+  }
+  Out.Start = BlockOf[Start];
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- regex/Minimize.h - Hopcroft minimization + interned DFAs -*- C++ -*-===//
+//
+// Part of the APT project; see Alphabet.h for the class automata
+// minimized here and LangOps.h for the facade that consumes them.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hopcroft partition-refinement minimization (smaller-half worklist, the
+/// O(n·k·log n) variant) for both automaton flavors, plus the process-wide
+/// interned store of minimal class automata.
+///
+/// The store is the piece that turns minimization from a per-query cost
+/// into a one-time cost: a ClassDfa is alphabet-independent (Alphabet.h),
+/// so its minimal form depends only on the regex it was compiled from.
+/// Keying the store on the regex's canonical structural key means the
+/// same expression — recurring across queries, batch workers, and the
+/// suffix/induction subgoals the prover spawns — compiles and minimizes
+/// its automaton exactly once per process. Minimal automata are immutable
+/// and handed out as shared_ptr, so the store is safe to share across
+/// the batch engine's threads (it extends the ShardedCache substrate and
+/// inherits its first-writer-wins contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_MINIMIZE_H
+#define APT_REGEX_MINIMIZE_H
+
+#include "regex/Alphabet.h"
+#include "support/ShardedCache.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace apt {
+
+/// Hopcroft minimization of a class automaton. The result accepts the
+/// same language, has the fewest states of any complete DFA over the
+/// same partition, and keeps a valid sink (dead states all merge into
+/// one block). Minimizing a minimal automaton is the identity up to
+/// state renumbering.
+ClassDfa minimizeClassDfa(const ClassDfa &D);
+
+/// Process-wide interned store of (minimal) class automata, keyed by
+/// regex fingerprint. Thread-safe; see the file comment.
+class MinDfaStore {
+public:
+  explicit MinDfaStore(size_t RequestedShards = 16) : Cache(RequestedShards) {}
+
+  struct Entry {
+    std::shared_ptr<const ClassDfa> Dfa;
+    bool WasHit = false; ///< Served from the store without building.
+  };
+
+  /// Returns the automaton interned under \p Fingerprint, building it
+  /// with \p Build on a miss. Racing builders are resolved first-writer-
+  /// wins; the loser's automaton is dropped (both are minimal automata
+  /// of the same language, so either is correct).
+  Entry getOrBuild(const std::string &Fingerprint,
+                   const std::function<ClassDfa()> &Build);
+
+  ShardedInternCache<ClassDfa>::Stats stats() const { return Cache.stats(); }
+  size_t size() const { return Cache.size(); }
+  void publishMetrics(const std::string &Prefix) const {
+    Cache.publishMetrics(Prefix);
+  }
+
+  /// The one store shared by every LangQuery unless a test or benchmark
+  /// attaches its own (LangQuery::attachDfaStore).
+  static MinDfaStore &global();
+
+private:
+  ShardedInternCache<ClassDfa> Cache;
+};
+
+} // namespace apt
+
+#endif // APT_REGEX_MINIMIZE_H

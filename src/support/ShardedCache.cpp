@@ -59,10 +59,16 @@ size_t ShardedBoolCache::size() const {
 }
 
 void ShardedBoolCache::publishMetrics(const std::string &Prefix) const {
-  metrics::Registry &R = metrics::Registry::global();
   Stats S = stats();
-  R.gauge(Prefix + ".hits").set(S.Hits);
-  R.gauge(Prefix + ".misses").set(S.Misses);
-  R.gauge(Prefix + ".insertions").set(S.Insertions);
-  R.gauge(Prefix + ".entries").set(size());
+  publishShardedCacheMetrics(Prefix, S.Hits, S.Misses, S.Insertions, size());
+}
+
+void apt::publishShardedCacheMetrics(const std::string &Prefix, uint64_t Hits,
+                                     uint64_t Misses, uint64_t Insertions,
+                                     uint64_t Entries) {
+  metrics::Registry &R = metrics::Registry::global();
+  R.gauge(Prefix + ".hits").set(Hits);
+  R.gauge(Prefix + ".misses").set(Misses);
+  R.gauge(Prefix + ".insertions").set(Insertions);
+  R.gauge(Prefix + ".entries").set(Entries);
 }

@@ -86,6 +86,108 @@ private:
   std::atomic<uint64_t> Hits{0}, Misses{0}, Insertions{0};
 };
 
+/// Implementation detail shared with ShardedInternCache: publishes the
+/// standard ".hits"/".misses"/".insertions"/".entries" gauge quartet to
+/// the global metrics registry (defined in ShardedCache.cpp so this
+/// header stays free of the Metrics dependency).
+void publishShardedCacheMetrics(const std::string &Prefix, uint64_t Hits,
+                                uint64_t Misses, uint64_t Insertions,
+                                uint64_t Entries);
+
+/// Thread-safe string -> shared immutable object intern table, sharded
+/// like ShardedBoolCache. Where the bool cache memoizes *verdicts*, this
+/// one memoizes *values* (e.g. minimized automata): the first thread to
+/// intern a key wins and every later lookup shares its object.
+///
+/// The same order-independence contract applies: a key must determine its
+/// value up to semantic equality no matter which thread builds it first,
+/// because a losing racer's object is dropped in favor of the winner's.
+/// Entries are never evicted; stored objects must be immutable.
+template <typename V> class ShardedInternCache {
+public:
+  explicit ShardedInternCache(size_t RequestedShards = 16) {
+    size_t N = 1;
+    while (N < RequestedShards && N < 1024)
+      N <<= 1;
+    Shards = std::make_unique<Shard[]>(N);
+    Mask = N - 1;
+  }
+
+  ShardedInternCache(const ShardedInternCache &) = delete;
+  ShardedInternCache &operator=(const ShardedInternCache &) = delete;
+
+  /// The interned object for \p Key, or nullptr on a miss.
+  std::shared_ptr<const V> lookup(const std::string &Key) {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(Key);
+    if (It == S.Map.end()) {
+      Misses.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Hits.fetch_add(1, std::memory_order_relaxed);
+    return It->second;
+  }
+
+  /// Publishes \p Value under \p Key and returns the interned object:
+  /// \p Value itself if this call won, the earlier winner otherwise.
+  std::shared_ptr<const V> intern(const std::string &Key,
+                                  std::shared_ptr<const V> Value) {
+    Insertions.fetch_add(1, std::memory_order_relaxed);
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto [It, Inserted] = S.Map.emplace(Key, std::move(Value));
+    return It->second; // first writer wins
+  }
+
+  /// Counter snapshot; monotone over the cache's lifetime.
+  struct Stats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Insertions = 0;
+  };
+  Stats stats() const {
+    Stats Out;
+    Out.Hits = Hits.load(std::memory_order_relaxed);
+    Out.Misses = Misses.load(std::memory_order_relaxed);
+    Out.Insertions = Insertions.load(std::memory_order_relaxed);
+    return Out;
+  }
+
+  /// Distinct keys stored (takes every shard lock; stats reporting only).
+  size_t size() const {
+    size_t Total = 0;
+    for (size_t I = 0; I <= Mask; ++I) {
+      std::lock_guard<std::mutex> Lock(Shards[I].M);
+      Total += Shards[I].Map.size();
+    }
+    return Total;
+  }
+
+  /// Same gauge quartet as ShardedBoolCache::publishMetrics.
+  void publishMetrics(const std::string &Prefix) const {
+    Stats S = stats();
+    publishShardedCacheMetrics(Prefix, S.Hits, S.Misses, S.Insertions,
+                               size());
+  }
+
+  size_t numShards() const { return Mask + 1; }
+
+private:
+  struct Shard {
+    std::mutex M;
+    std::unordered_map<std::string, std::shared_ptr<const V>> Map;
+  };
+
+  Shard &shardFor(const std::string &Key) {
+    return Shards[std::hash<std::string>()(Key) & Mask];
+  }
+
+  std::unique_ptr<Shard[]> Shards;
+  size_t Mask;
+  mutable std::atomic<uint64_t> Hits{0}, Misses{0}, Insertions{0};
+};
+
 } // namespace apt
 
 #endif // APT_SUPPORT_SHARDEDCACHE_H

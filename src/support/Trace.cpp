@@ -53,6 +53,8 @@ const char *apt::trace::eventKindName(EventKind K) {
     return "lang_subset";
   case EventKind::LangDisjoint:
     return "lang_disjoint";
+  case EventKind::LangWitness:
+    return "lang_witness";
   }
   return "unknown";
 }

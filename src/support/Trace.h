@@ -70,10 +70,14 @@ enum class EventKind : uint8_t {
   BudgetExhausted,    ///< MaxSteps ran out.
   LangSubset,         ///< Language subset query. Flag = LangFlags.
   LangDisjoint,       ///< Language disjoint query. Flag = LangFlags.
+  LangWitness,        ///< Witness word found by the on-the-fly product:
+                      ///< Flag = 1 for a shared word refuting disjointness,
+                      ///< 0 for a subset counterexample; Aux = word length,
+                      ///< GoalHash = hash of the query key it refutes.
 };
 
 constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::LangDisjoint) + 1;
+    static_cast<size_t>(EventKind::LangWitness) + 1;
 
 /// Stable lowercase identifier, e.g. "step_d" (used in the JSONL export).
 const char *eventKindName(EventKind K);

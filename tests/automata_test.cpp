@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <random>
 
 using namespace apt;
@@ -140,6 +141,80 @@ TEST_F(AutomataTest, MinimizationPreservesLanguageAndShrinks) {
     for (size_t I = 0; I < Len; ++I)
       W.push_back(Alpha[Rng() % Alpha.size()]);
     EXPECT_EQ(D.accepts(W), M.accepts(W));
+  }
+}
+
+TEST_F(AutomataTest, MinimizationPropertiesOnRandomRegexes) {
+  // Three properties of Hopcroft minimization, on random inputs: the
+  // minimal DFA accepts the same language (checked against the
+  // derivative engine, the independent oracle), is never larger, and
+  // minimization is a fixpoint.
+  std::vector<FieldId> Alpha = {Fields.intern("a"), Fields.intern("b"),
+                                Fields.intern("c")};
+  std::mt19937 Rng(424242);
+  std::function<RegexRef(int)> Gen = [&](int Depth) -> RegexRef {
+    int Pick = Rng() % (Depth <= 0 ? 2 : 6);
+    switch (Pick) {
+    case 0:
+      return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+    case 1:
+      return Rng() % 4 == 0 ? Regex::epsilon()
+                            : Regex::symbol(Alpha[Rng() % Alpha.size()]);
+    case 2:
+      return Regex::concat(Gen(Depth - 1), Gen(Depth - 1));
+    case 3:
+      return Regex::alt(Gen(Depth - 1), Gen(Depth - 1));
+    case 4:
+      return Regex::star(Gen(Depth - 1));
+    default:
+      return Regex::plus(Gen(Depth - 1));
+    }
+  };
+
+  for (int Trial = 0; Trial < 120; ++Trial) {
+    RegexRef R = Gen(3);
+    SCOPED_TRACE("trial " + std::to_string(Trial) + ": " +
+                 R->toString(Fields));
+    Dfa D = Dfa::fromRegex(*R, Alpha);
+    Dfa M = D.minimized();
+    ASSERT_LE(M.numStates(), D.numStates());
+    ASSERT_EQ(M.minimized().numStates(), M.numStates()) << "not a fixpoint";
+    for (int T = 0; T < 40; ++T) {
+      Word W;
+      size_t Len = Rng() % 7;
+      for (size_t I = 0; I < Len; ++I)
+        W.push_back(Alpha[Rng() % Alpha.size()]);
+      ASSERT_EQ(M.accepts(W), derivMatches(R, W))
+          << "language changed by minimization";
+    }
+    // Emptiness and shortest-word length are invariants too.
+    ASSERT_EQ(M.languageEmpty(), D.languageEmpty());
+    std::optional<Word> WD = D.shortestAcceptedWord();
+    std::optional<Word> WM = M.shortestAcceptedWord();
+    ASSERT_EQ(WD.has_value(), WM.has_value());
+    if (WD) {
+      ASSERT_EQ(WD->size(), WM->size());
+    }
+  }
+}
+
+TEST_F(AutomataTest, MinimizationMyhillNerodeWorstCase) {
+  // The classic exponential family: L_n = (a|b)*.a.(a|b)^n ("the
+  // (n+1)-th symbol from the end is an a"). Any DFA must remember the
+  // last n+1 symbols, so the minimal complete DFA over {a,b} has
+  // exactly 2^(n+1) states — a pinned regression for the Hopcroft
+  // implementation, which must reach exactly that count, on an input
+  // family where subset construction alone may overshoot.
+  for (size_t N = 1; N <= 4; ++N) {
+    std::string Text = "(a|b)*.a";
+    for (size_t I = 0; I < N; ++I)
+      Text += ".(a|b)";
+    RegexRef R = parse(Text);
+    std::vector<FieldId> Alpha = alphabetOf(R);
+    ASSERT_EQ(Alpha.size(), 2u);
+    Dfa M = Dfa::fromRegex(*R, Alpha).minimized();
+    EXPECT_EQ(M.numStates(), size_t(1) << (N + 1)) << "n = " << N;
+    EXPECT_EQ(M.minimized().numStates(), M.numStates());
   }
 }
 

@@ -196,19 +196,62 @@ TEST(BatchStatsTest, CountersAreMonotoneAcrossRuns) {
   Engine.runAll();
   const BatchStats &Second = Engine.stats();
 
+  // Every cumulative counter must be monotone -- a merge that forgets a
+  // field shows up here as a second-run value below the first.
   EXPECT_EQ(Second.Queries, 2 * First.Queries);
   EXPECT_GE(Second.UniqueQueries, First.UniqueQueries);
+  EXPECT_GE(Second.DirectQueries, First.DirectQueries);
   EXPECT_GE(Second.DedupSaved, First.DedupSaved);
   EXPECT_GE(Second.Prover.GoalsExplored, First.Prover.GoalsExplored);
   EXPECT_GE(Second.GoalCache.Hits, First.GoalCache.Hits);
   EXPECT_GE(Second.GoalCache.Insertions, First.GoalCache.Insertions);
   EXPECT_GE(Second.LangCache.Hits, First.LangCache.Hits);
+  EXPECT_GE(Second.LangQueries, First.LangQueries);
+  EXPECT_GE(Second.LangCacheHits, First.LangCacheHits);
+  EXPECT_GE(Second.LangSharedHits, First.LangSharedHits);
+  EXPECT_GE(Second.DfaBuilt, First.DfaBuilt);
+  EXPECT_GE(Second.DfaStatesBuilt, First.DfaStatesBuilt);
+  EXPECT_GE(Second.DfaMinStates, First.DfaMinStates);
+  EXPECT_GE(Second.DfaStoreHits, First.DfaStoreHits);
+  EXPECT_GE(Second.AlphabetSymbols, First.AlphabetSymbols);
+  EXPECT_GE(Second.AlphabetClasses, First.AlphabetClasses);
+  EXPECT_GE(Second.ProductStates, First.ProductStates);
   EXPECT_GE(Second.GoalCacheEntries, First.GoalCacheEntries);
   EXPECT_GE(Second.LangCacheEntries, First.LangCacheEntries);
   EXPECT_GE(Second.WallMs, First.WallMs);
+  EXPECT_GE(Second.CpuMs, First.CpuMs);
   // The second run rides the warm shared caches: no new entries needed.
   EXPECT_EQ(Second.GoalCacheEntries, First.GoalCacheEntries);
   EXPECT_GT(Second.GoalCache.Hits, First.GoalCache.Hits);
+  // The language engine compresses and minimizes, never the reverse.
+  EXPECT_LE(Second.DfaMinStates, Second.DfaStatesBuilt);
+  EXPECT_LE(Second.AlphabetClasses, Second.AlphabetSymbols);
+}
+
+TEST(BatchStatsTest, VerdictRelevantCountersAreJobsInvariant) {
+  // Wall time, cache hit splits, and store hits may shift with the
+  // schedule, but anything derived from the query plan and the verdicts
+  // themselves must be identical at any worker count.
+  BatchStats Ref;
+  bool HaveRef = false;
+  for (unsigned Jobs : {1u, 2u, 4u}) {
+    FieldTable Fields;
+    Program Prog = parseOrDie(kSparseProgram, Fields);
+    BatchOptions Opts;
+    Opts.Jobs = Jobs;
+    BatchQueryEngine Engine(Prog, Fields, Opts);
+    Engine.runAll();
+    const BatchStats &S = Engine.stats();
+    if (!HaveRef) {
+      Ref = S;
+      HaveRef = true;
+      continue;
+    }
+    EXPECT_EQ(S.Queries, Ref.Queries) << "jobs=" << Jobs;
+    EXPECT_EQ(S.UniqueQueries, Ref.UniqueQueries) << "jobs=" << Jobs;
+    EXPECT_EQ(S.DirectQueries, Ref.DirectQueries) << "jobs=" << Jobs;
+    EXPECT_EQ(S.DedupSaved, Ref.DedupSaved) << "jobs=" << Jobs;
+  }
 }
 
 TEST(BatchThreadSafety, ManyJobsHammerSharedCaches) {

@@ -271,6 +271,20 @@ int cmdProve(int Argc, char **Argv) {
     std::printf("NO PROOF (verdict: Maybe): forall x: x.%s <> x.%s\n",
                 P.Value->toString(Fields).c_str(),
                 Q.Value->toString(Fields).c_str());
+    // When the two languages overlap outright, the on-the-fly product
+    // yields a shortest shared word: the concrete path both expressions
+    // can denote. Print it — it is the counterexample a user needs.
+    LangQuery WitnessLang;
+    if (!WitnessLang.disjoint(P.Value, Q.Value) &&
+        WitnessLang.lastWitness()) {
+      std::string Path = "x";
+      for (FieldId F : *WitnessLang.lastWitness()) {
+        Path += ".";
+        Path += Fields.name(F);
+      }
+      std::printf("languages overlap: both expressions can denote %s\n",
+                  Path.c_str());
+    }
     Exit = 1;
   }
   if (!Obs.TraceFile.empty()) {

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Smoke-run the language-engine scaling benchmark and gate regressions.
+
+Runs bench/langops_scaling in Google-benchmark JSON mode with short
+repetitions, extracts warm-query throughput (items/second) for the
+classic and overhauled pipelines, and writes a compact BENCH_langops.json
+next to the build. If a checked-in baseline exists, the run FAILS when
+either warm throughput drops more than --tolerance (default 25%) below
+it; if no baseline exists yet, the current numbers are recorded as the
+baseline so the first CI run on a new machine self-seeds.
+
+--record-only skips the comparison (and baseline seeding) entirely --
+sanitizer builds use it, since asan/tsan throughput says nothing about
+the language engine.
+
+Exit codes: 0 ok, 1 regression or speedup shortfall, 2 harness error.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+WARM_BENCH = "BM_WarmQueries"
+CLASSIC_ARG = "0"
+OVERHAULED_ARG = "1"
+
+
+def run_benchmark(bench_path, min_time):
+    """Runs the benchmark binary in JSON mode; returns the parsed report."""
+    out_path = bench_path + ".tmp.json"
+    cmd = [
+        bench_path,
+        "--benchmark_filter=" + WARM_BENCH,
+        "--benchmark_min_time=%s" % min_time,
+        "--benchmark_out_format=json",
+        "--benchmark_out=" + out_path,
+    ]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        sys.stderr.write("bench_check: %s exited with %d\n"
+                         % (bench_path, proc.returncode))
+        sys.exit(2)
+    try:
+        with open(out_path) as f:
+            report = json.load(f)
+    finally:
+        try:
+            os.remove(out_path)
+        except OSError:
+            pass
+    return report
+
+
+def warm_throughputs(report):
+    """Extracts items/second for the classic and overhauled warm runs."""
+    rates = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        if not name.startswith(WARM_BENCH + "/"):
+            continue
+        arg = name.split("/")[1]
+        ips = b.get("items_per_second")
+        if ips is None:
+            continue
+        # Keep the best of any repetitions: throughput noise is one-sided.
+        rates[arg] = max(rates.get(arg, 0.0), float(ips))
+    missing = [a for a in (CLASSIC_ARG, OVERHAULED_ARG) if a not in rates]
+    if missing:
+        sys.stderr.write("bench_check: report is missing %s runs %s\n"
+                         % (WARM_BENCH, missing))
+        sys.exit(2)
+    return rates[CLASSIC_ARG], rates[OVERHAULED_ARG]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the langops_scaling binary")
+    ap.add_argument("--out", required=True,
+                    help="where to write BENCH_langops.json")
+    ap.add_argument("--baseline",
+                    help="checked-in baseline JSON (created if absent)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional drop vs baseline (default .25)")
+    ap.add_argument("--min-time", default="0.05",
+                    help="benchmark_min_time per run, seconds")
+    ap.add_argument("--record-only", action="store_true",
+                    help="write results, skip baseline comparison")
+    args = ap.parse_args()
+
+    report = run_benchmark(args.bench, args.min_time)
+    classic, overhauled = warm_throughputs(report)
+    speedup = overhauled / classic if classic else float("inf")
+
+    result = {
+        "benchmark": WARM_BENCH,
+        "classic_items_per_second": classic,
+        "overhauled_items_per_second": overhauled,
+        "warm_speedup": speedup,
+        "host": report.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+    }
+    with open(args.out, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print("bench_check: classic %.0f q/s, overhauled %.0f q/s "
+          "(%.2fx warm speedup) -> %s"
+          % (classic, overhauled, speedup, args.out))
+
+    if args.record_only:
+        print("bench_check: --record-only, comparison skipped")
+        return 0
+
+    if speedup < 2.0:
+        sys.stderr.write("bench_check: warm speedup %.2fx is below the "
+                         "2x floor\n" % speedup)
+        return 1
+
+    if not args.baseline:
+        return 0
+    if not os.path.exists(args.baseline):
+        with open(args.baseline, "w") as f:
+            json.dump(result, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("bench_check: no baseline found, seeded %s" % args.baseline)
+        return 0
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    failed = False
+    for key in ("classic_items_per_second", "overhauled_items_per_second"):
+        ref = float(base.get(key, 0.0))
+        cur = result[key]
+        if ref > 0 and cur < ref * (1.0 - args.tolerance):
+            sys.stderr.write(
+                "bench_check: %s regressed: %.0f -> %.0f q/s "
+                "(-%.0f%%, tolerance %.0f%%)\n"
+                % (key, ref, cur, 100.0 * (1.0 - cur / ref),
+                   100.0 * args.tolerance))
+            failed = True
+        else:
+            print("bench_check: %s ok (baseline %.0f, now %.0f q/s)"
+                  % (key, ref, cur))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

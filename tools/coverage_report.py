@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Aggregate gcov line coverage for an APT_COVERAGE=ON build tree.
+
+Workflow (README "Developer workflow" has the copy-paste version):
+
+    cmake -B build-cov -S . -DAPT_COVERAGE=ON
+    cmake --build build-cov -j
+    ctest --test-dir build-cov -j
+    python3 tools/coverage_report.py --build build-cov [--filter src/regex]
+
+Finds every .gcda the test run produced, asks gcov for JSON
+(--json-format), and merges the per-source line counts into one table:
+lines instrumented, lines executed, percent, per file and in total.
+--filter limits the table to sources whose repo-relative path contains
+the given substring (repeatable); --min-percent N exits non-zero when
+total coverage of the filtered set is below N, for use as a CI gate.
+
+Only the repo's own sources are counted: system headers and third-party
+code are dropped. Requires gcov matching the compiler that produced the
+.gcda files (plain `gcov` for the default gcc toolchain).
+"""
+
+import argparse
+import collections
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                out.append(os.path.join(root, f))
+    return out
+
+
+def run_gcov(gcda_paths, build_dir):
+    """Runs gcov -i (JSON intermediate) on the .gcda set; yields reports.
+
+    gcov writes one .gcov.json.gz per input next to the cwd; using
+    --stdout keeps everything in-process instead.
+    """
+    for path in gcda_paths:
+        proc = subprocess.run(
+            ["gcov", "--json-format", "--stdout", path],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            cwd=build_dir, text=True)
+        if proc.returncode != 0 or not proc.stdout:
+            continue
+        # --stdout emits one JSON document per .gcno, newline-separated.
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build", default="build-cov",
+                    help="APT_COVERAGE=ON build tree (default build-cov)")
+    ap.add_argument("--filter", action="append", default=[],
+                    help="only count sources whose path contains this "
+                         "substring (repeatable)")
+    ap.add_argument("--min-percent", type=float,
+                    help="exit 1 if total line coverage is below this")
+    ap.add_argument("--repo", default=os.path.dirname(
+                        os.path.dirname(os.path.abspath(__file__))),
+                    help="repository root (default: this script's parent)")
+    args = ap.parse_args()
+
+    build_dir = os.path.abspath(args.build)
+    if not os.path.isdir(build_dir):
+        sys.stderr.write("coverage_report: no build tree at %s "
+                         "(configure with -DAPT_COVERAGE=ON first)\n"
+                         % build_dir)
+        return 2
+    gcda = find_gcda(build_dir)
+    if not gcda:
+        sys.stderr.write("coverage_report: no .gcda files under %s -- "
+                         "run ctest in the coverage tree first\n"
+                         % build_dir)
+        return 2
+
+    repo = os.path.abspath(args.repo) + os.sep
+    # file -> line number -> max execution count across all test binaries.
+    lines = collections.defaultdict(dict)
+    for report in run_gcov(gcda, build_dir):
+        for f in report.get("files", []):
+            src = os.path.abspath(os.path.join(build_dir, f.get("file", "")))
+            if not src.startswith(repo):
+                continue
+            rel = src[len(repo):]
+            if args.filter and not any(s in rel for s in args.filter):
+                continue
+            table = lines[rel]
+            for ln in f.get("lines", []):
+                num = ln.get("line_number")
+                count = ln.get("count", 0)
+                if num is None:
+                    continue
+                table[num] = max(table.get(num, 0), count)
+
+    if not lines:
+        sys.stderr.write("coverage_report: nothing matched"
+                         + (" filters %s" % args.filter if args.filter
+                            else "") + "\n")
+        return 2
+
+    total_inst = total_hit = 0
+    width = max(len(r) for r in lines)
+    for rel in sorted(lines):
+        table = lines[rel]
+        inst = len(table)
+        hit = sum(1 for c in table.values() if c > 0)
+        total_inst += inst
+        total_hit += hit
+        print("%-*s  %5d/%5d  %6.1f%%"
+              % (width, rel, hit, inst, 100.0 * hit / inst if inst else 0.0))
+    pct = 100.0 * total_hit / total_inst if total_inst else 0.0
+    print("%-*s  %5d/%5d  %6.1f%%" % (width, "TOTAL", total_hit,
+                                      total_inst, pct))
+
+    if args.min_percent is not None and pct < args.min_percent:
+        sys.stderr.write("coverage_report: %.1f%% is below the %.1f%% "
+                         "floor\n" % (pct, args.min_percent))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,8 +28,12 @@ import sys
 FOREIGN_FLAGS = {
     "--output-on-failure",  # ctest
     "--benchmark_min_time",  # google-benchmark
-    "--build",  # cmake
+    "--build",  # cmake / tools/coverage_report.py
     "--test-dir",  # ctest
+    "--filter",  # tools/coverage_report.py
+    "--min-percent",  # tools/coverage_report.py
+    "--record-only",  # tools/bench_check.py
+    "--baseline",  # tools/bench_check.py
 }
 
 PATH_RE = re.compile(
