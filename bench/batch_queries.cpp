@@ -184,6 +184,71 @@ BENCHMARK(BM_BatchWarmTraced)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Warm run with the timestamp switch on but tracing runtime-disabled:
+/// no collector is installed and enabled() stays false, so the event
+/// fast path is never entered. The delta against BM_BatchWarm is the
+/// cost of merely carrying the profiling machinery while it is switched
+/// off, which tools/bench_check.py --mode profile pins at <= 5%.
+void BM_BatchWarmTimedOff(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(State.range(0));
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  Engine.runAll();
+
+  trace::setTimingEnabled(true);
+  for (auto _ : State) {
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+  }
+  trace::setTimingEnabled(false);
+}
+BENCHMARK(BM_BatchWarmTimedOff)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Warm run with tracing live AND every event timestamped -- the full
+/// `aptc deps --profile` recording path. The delta against
+/// BM_BatchWarmTraced is the pure timestamping tax, which
+/// tools/bench_check.py --mode profile pins at <= 10%.
+void BM_BatchWarmProfiled(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(State.range(0));
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  Engine.runAll();
+
+  trace::Collector Events;
+  trace::setCollector(&Events);
+  trace::setTimingEnabled(true);
+  trace::setEnabled(true);
+  for (auto _ : State) {
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+  }
+  trace::setEnabled(false);
+  trace::setTimingEnabled(false);
+  trace::flushThisThread();
+  trace::setCollector(nullptr);
+
+  uint64_t Recorded = 0;
+  uint64_t Dropped = 0;
+  for (const trace::Collector::ThreadBatch &B : Events.drain()) {
+    Recorded += B.Events.size();
+    Dropped += B.Dropped;
+  }
+  State.counters["events"] =
+      static_cast<double>(Recorded) / State.iterations();
+  State.counters["dropped"] = static_cast<double>(Dropped);
+}
+BENCHMARK(BM_BatchWarmProfiled)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
 void printBatchStats() {
   std::printf("\n== E8: batch dependence-query engine ==\n");
   FieldTable Fields;

@@ -1,0 +1,355 @@
+//===- analysis/Profile.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Profile.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Profile.h"
+
+#include "support/Clock.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace apt;
+using namespace apt::trace;
+
+namespace {
+
+std::string hex64(uint64_t V) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return std::string(Buf);
+}
+
+enum class FrameKind : uint8_t { Query, Goal, Span };
+
+/// One open scope during the per-thread replay.
+struct Frame {
+  FrameKind FK;
+  uint8_t Span = 0;       ///< SpanKind payload when FK == Span.
+  const char *Name;       ///< Stable rule name ("query", "goal", span kind).
+  uint64_t Key = 0;       ///< Query tag or goal hash.
+  uint64_t BeginTick = 0;
+  uint64_t ChildNs = 0;   ///< Inclusive time of already-closed children.
+  /// Subtree self time by rule name; only maintained for query and goal
+  /// frames (they own the dominant-rule verdicts).
+  std::map<std::string, uint64_t> RuleSelf;
+};
+
+/// Goal rows aggregate across occurrences of the same goal hash.
+struct GoalAgg {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  std::map<std::string, uint64_t> RuleSelf;
+};
+
+const std::string &dominantRule(const std::map<std::string, uint64_t> &M) {
+  static const std::string None = "";
+  const std::string *Best = &None;
+  uint64_t BestNs = 0;
+  for (const auto &[Name, Ns] : M)
+    if (Ns > BestNs) { // map order makes the smallest name win ties
+      Best = &Name;
+      BestNs = Ns;
+    }
+  return *Best;
+}
+
+Profile::LatencyStats latencyStats(std::vector<uint64_t> &Durations) {
+  Profile::LatencyStats S;
+  S.Count = Durations.size();
+  if (Durations.empty())
+    return S;
+  std::sort(Durations.begin(), Durations.end());
+  for (uint64_t D : Durations)
+    S.TotalNs += D;
+  auto Pct = [&](double Q) {
+    size_t Rank = static_cast<size_t>(Q * static_cast<double>(S.Count));
+    if (static_cast<double>(Rank) < Q * static_cast<double>(S.Count))
+      ++Rank; // ceil
+    Rank = std::clamp<size_t>(Rank, 1, S.Count);
+    return Durations[Rank - 1];
+  };
+  S.P50Ns = Pct(0.50);
+  S.P90Ns = Pct(0.90);
+  S.P99Ns = Pct(0.99);
+  S.MaxNs = Durations.back();
+  return S;
+}
+
+JsonValue latencyJson(const Profile::LatencyStats &S,
+                      const std::vector<Profile::SlowRow> &Top) {
+  JsonValue::Object O;
+  O["count"] = JsonValue(S.Count);
+  O["total_ns"] = JsonValue(S.TotalNs);
+  O["p50_ns"] = JsonValue(S.P50Ns);
+  O["p90_ns"] = JsonValue(S.P90Ns);
+  O["p99_ns"] = JsonValue(S.P99Ns);
+  O["max_ns"] = JsonValue(S.MaxNs);
+  JsonValue::Array Rows;
+  for (const Profile::SlowRow &R : Top) {
+    JsonValue::Object Row;
+    Row["key"] = JsonValue(hex64(R.Key));
+    Row["count"] = JsonValue(R.Count);
+    Row["total_ns"] = JsonValue(R.TotalNs);
+    Row["dominant_rule"] = JsonValue(R.DominantRule);
+    Rows.push_back(JsonValue(std::move(Row)));
+  }
+  O["top"] = JsonValue(std::move(Rows));
+  return JsonValue(std::move(O));
+}
+
+} // namespace
+
+Profile Profile::fromBatches(
+    const std::vector<trace::Collector::ThreadBatch> &Batches,
+    const ProfileOptions &Opts) {
+  Profile P;
+  P.Threads = Batches.size();
+
+  std::vector<uint64_t> QueryDurations;
+  std::vector<uint64_t> GoalDurations;
+  std::vector<SlowRow> QueryRows;
+  std::map<uint64_t, GoalAgg> GoalAggs;
+
+  for (const Collector::ThreadBatch &Batch : Batches) {
+    P.DroppedEvents += Batch.Dropped;
+    std::vector<Frame> Stack;
+
+    // Closes the top frame at \p EndTick, attributing its time upward.
+    auto CloseTop = [&](uint64_t EndTick) {
+      Frame F = std::move(Stack.back());
+      Stack.pop_back();
+      uint64_t Total =
+          EndTick >= F.BeginTick ? fastclock::ticksToNanos(EndTick - F.BeginTick)
+                                 : 0;
+      uint64_t Self = Total > F.ChildNs ? Total - F.ChildNs : 0;
+
+      RuleRow &R = P.Rules[F.Name];
+      ++R.Count;
+      R.SelfNs += Self;
+      // gprof-style inclusive time: a recursive re-entry of the same rule
+      // only counts at its outermost occurrence.
+      bool Recursive = std::any_of(
+          Stack.begin(), Stack.end(),
+          [&](const Frame &Below) { return Below.Name == F.Name; });
+      if (!Recursive)
+        R.TotalNs += Total;
+
+      if (F.FK == FrameKind::Span) {
+        switch (static_cast<SpanKind>(F.Span)) {
+        case SpanKind::CacheLookup:
+          P.CacheNs += Self;
+          break;
+        case SpanKind::LangSubset:
+        case SpanKind::LangDisjoint:
+          P.LangNs += Self;
+          break;
+        default:
+          P.ProverNs += Self;
+          break;
+        }
+      } else {
+        P.ProverNs += Self;
+      }
+
+      if (Self > 0) {
+        std::string Path;
+        for (const Frame &Below : Stack) {
+          Path += Below.Name;
+          Path += ';';
+        }
+        Path += F.Name;
+        P.Folded[Path] += Self;
+      }
+
+      // Dominant-rule bookkeeping: this frame's self time belongs to
+      // every enclosing query/goal subtree, and to its own if it is one.
+      F.RuleSelf[F.Name] += Self;
+      for (Frame &Below : Stack)
+        if (Below.FK != FrameKind::Span)
+          Below.RuleSelf[F.Name] += Self;
+
+      if (F.FK == FrameKind::Query) {
+        QueryDurations.push_back(Total);
+        QueryRows.push_back({F.Key, 1, Total, dominantRule(F.RuleSelf)});
+      } else if (F.FK == FrameKind::Goal) {
+        GoalDurations.push_back(Total);
+        bool Outermost = std::none_of(
+            Stack.begin(), Stack.end(), [&](const Frame &Below) {
+              return Below.FK == FrameKind::Goal && Below.Key == F.Key;
+            });
+        if (Outermost) {
+          GoalAgg &A = GoalAggs[F.Key];
+          ++A.Count;
+          A.TotalNs += Total;
+          for (const auto &[Name, Ns] : F.RuleSelf)
+            A.RuleSelf[Name] += Ns;
+        }
+      }
+
+      if (!Stack.empty())
+        Stack.back().ChildNs += Total;
+      else
+        P.TotalNs += Total;
+    };
+
+    // Pops down to (and including) the topmost frame matching \p Match,
+    // force-closing anything above it; returns false if none matches.
+    auto CloseMatching = [&](uint64_t EndTick, auto Match) {
+      size_t I = Stack.size();
+      while (I > 0 && !Match(Stack[I - 1]))
+        --I;
+      if (I == 0)
+        return false;
+      // Frames above the match lost their end event (ring wrap or an
+      // early exit the instrumentation missed); close them here so their
+      // time still lands somewhere sensible.
+      while (Stack.size() > I) {
+        ++P.UnmatchedEvents;
+        CloseTop(EndTick);
+      }
+      CloseTop(EndTick);
+      return true;
+    };
+
+    for (const Event &E : Batch.Events) {
+      if (E.Tick == 0)
+        continue; // recorded while timing was off
+      ++P.TimedEvents;
+      switch (E.Kind) {
+      case EventKind::QueryBegin:
+        Stack.push_back(
+            {FrameKind::Query, 0, "query", E.Aux, E.Tick, 0, {}});
+        break;
+      case EventKind::GoalBegin:
+        Stack.push_back(
+            {FrameKind::Goal, 0, "goal", E.GoalHash, E.Tick, 0, {}});
+        break;
+      case EventKind::SpanBegin:
+        Stack.push_back({FrameKind::Span, E.Flag,
+                         spanKindName(static_cast<SpanKind>(E.Flag)), 0,
+                         E.Tick, 0, {}});
+        break;
+      case EventKind::QueryEnd:
+        if (!CloseMatching(E.Tick, [](const Frame &F) {
+              return F.FK == FrameKind::Query;
+            }))
+          ++P.UnmatchedEvents;
+        break;
+      case EventKind::GoalEnd:
+        if (!CloseMatching(E.Tick, [&](const Frame &F) {
+              return F.FK == FrameKind::Goal && F.Key == E.GoalHash;
+            }) &&
+            !CloseMatching(E.Tick, [](const Frame &F) {
+              return F.FK == FrameKind::Goal;
+            }))
+          ++P.UnmatchedEvents;
+        break;
+      case EventKind::SpanEnd:
+        if (!CloseMatching(E.Tick, [&](const Frame &F) {
+              return F.FK == FrameKind::Span && F.Span == E.Flag;
+            }))
+          ++P.UnmatchedEvents;
+        break;
+      default:
+        break; // point events only contribute their timestamps
+      }
+    }
+
+    // Begins whose end was lost entirely: count and discard (their time
+    // cannot be bounded).
+    P.UnmatchedEvents += Stack.size();
+  }
+
+  P.Queries = latencyStats(QueryDurations);
+  P.Goals = latencyStats(GoalDurations);
+
+  auto SlowOrder = [](const SlowRow &A, const SlowRow &B) {
+    if (A.TotalNs != B.TotalNs)
+      return A.TotalNs > B.TotalNs;
+    return A.Key < B.Key; // deterministic tiebreak
+  };
+  std::sort(QueryRows.begin(), QueryRows.end(), SlowOrder);
+  if (QueryRows.size() > Opts.TopK)
+    QueryRows.resize(Opts.TopK);
+  P.TopQueries = std::move(QueryRows);
+
+  std::vector<SlowRow> GoalRows;
+  GoalRows.reserve(GoalAggs.size());
+  for (const auto &[Key, A] : GoalAggs)
+    GoalRows.push_back({Key, A.Count, A.TotalNs, dominantRule(A.RuleSelf)});
+  std::sort(GoalRows.begin(), GoalRows.end(), SlowOrder);
+  if (GoalRows.size() > Opts.TopK)
+    GoalRows.resize(Opts.TopK);
+  P.TopGoals = std::move(GoalRows);
+
+  return P;
+}
+
+Profile Profile::fromCollector(const trace::Collector &C,
+                               const ProfileOptions &Opts) {
+  return fromBatches(C.snapshot(), Opts);
+}
+
+JsonValue Profile::toJson(const std::string &Mode) const {
+  JsonValue::Object Root;
+  Root["version"] = JsonValue(int64_t{1});
+  Root["mode"] = JsonValue(Mode);
+  Root["trace_compiled_in"] = JsonValue(APT_TRACE_ENABLED != 0);
+
+  JsonValue::Object Clock;
+  Clock["source"] = JsonValue(fastclock::sourceName());
+  Clock["ns_per_tick"] = JsonValue(fastclock::nsPerTick());
+  Root["clock"] = JsonValue(std::move(Clock));
+
+  Root["threads"] = JsonValue(static_cast<uint64_t>(Threads));
+  Root["timed_events"] = JsonValue(TimedEvents);
+  Root["dropped_events"] = JsonValue(DroppedEvents);
+  Root["unmatched_events"] = JsonValue(UnmatchedEvents);
+  Root["total_ns"] = JsonValue(TotalNs);
+
+  JsonValue::Object Phases;
+  Phases["prover_ns"] = JsonValue(ProverNs);
+  Phases["lang_ns"] = JsonValue(LangNs);
+  Phases["cache_ns"] = JsonValue(CacheNs);
+  Root["phases"] = JsonValue(std::move(Phases));
+
+  JsonValue::Object RulesJson;
+  for (const auto &[Name, R] : Rules) {
+    JsonValue::Object Row;
+    Row["count"] = JsonValue(R.Count);
+    Row["self_ns"] = JsonValue(R.SelfNs);
+    Row["total_ns"] = JsonValue(R.TotalNs);
+    RulesJson[Name] = JsonValue(std::move(Row));
+  }
+  Root["rules"] = JsonValue(std::move(RulesJson));
+
+  Root["queries"] = latencyJson(Queries, TopQueries);
+  Root["goals"] = latencyJson(Goals, TopGoals);
+  return JsonValue(std::move(Root));
+}
+
+std::string Profile::toFolded() const {
+  std::string Out;
+  for (const auto &[Stack, SelfNs] : Folded) {
+    Out += Stack;
+    Out += ' ';
+    Out += std::to_string(SelfNs);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void Profile::publishMetrics() const {
+  metrics::Registry &Reg = metrics::Registry::global();
+  Reg.counter("apt.prof.total_ns").add(TotalNs);
+  Reg.counter("apt.prof.prover_ns").add(ProverNs);
+  Reg.counter("apt.prof.lang_ns").add(LangNs);
+  Reg.counter("apt.prof.cache_ns").add(CacheNs);
+  Reg.counter("apt.prof.timed_events").add(TimedEvents);
+  Reg.counter("apt.prof.unmatched_events").add(UnmatchedEvents);
+}

@@ -1,0 +1,143 @@
+//===- analysis/Profile.h - Time-attribution profile aggregation -*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cold path of the time-attribution profiler: folds the timed event
+/// batches a traced run left in its trace::Collector into per-rule
+/// latency aggregates. The hot path only ever stamps raw TSC ticks into
+/// ring events (support/Clock.h, support/Trace.h); everything expensive
+/// -- tick-to-nanosecond conversion, span matching, stack reconstruction,
+/// sorting -- happens here, once, after the worker pool has joined.
+///
+/// Each thread batch is replayed in recording order against a frame
+/// stack. QueryBegin/QueryEnd, GoalBegin/GoalEnd and SpanBegin/SpanEnd
+/// open and close frames; every other event is a point event and only
+/// contributes its timestamp. Closing a frame yields its *total* time
+/// (end minus begin) and *self* time (total minus time spent in child
+/// frames), which feed:
+///
+///   * per-rule rows: count / self_ns / total_ns per frame name, with
+///     gprof-style totals (recursive re-entries of a name only count the
+///     outermost occurrence, so total_ns never exceeds wall time);
+///   * phase buckets: prover vs language ops vs cache-probe self time;
+///   * exact latency percentiles (p50/p90/p99) over per-query and
+///     per-goal durations, from the sorted duration vectors;
+///   * top-K slowest queries and goals, each with its dominant rule
+///     (the frame name with the most self time in its subtree);
+///   * collapsed call stacks ("query;goal;suffix_splits 1234") in the
+///     standard flamegraph folded format, weighted by self nanoseconds.
+///
+/// The folder is tolerant of the ways real rings degrade: events with
+/// Tick == 0 (recorded while timing was off) are ignored, unmatched ends
+/// (begin lost to ring wrap-around) are counted and skipped, and frames
+/// still open at batch end (end lost) are discarded after counting.
+///
+/// `aptc prove|deps --profile=<file>` serializes toJson() (shape pinned
+/// by docs/profile_schema.json); `--profile-folded=<file>` writes
+/// toFolded() for `flamegraph.pl` / speedscope.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_PROFILE_H
+#define APT_ANALYSIS_PROFILE_H
+
+#include "support/Json.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Knobs for Profile::fromBatches.
+struct ProfileOptions {
+  size_t TopK = 10; ///< Rows kept in the slow-query / slow-goal tables.
+};
+
+/// Aggregated time attribution for one traced run.
+class Profile {
+public:
+  /// One per-rule aggregate row (keyed by frame name in Rules).
+  struct RuleRow {
+    uint64_t Count = 0;   ///< Frames closed under this name.
+    uint64_t SelfNs = 0;  ///< Time in the frame minus its children.
+    uint64_t TotalNs = 0; ///< Inclusive time; outermost occurrences only.
+  };
+
+  /// One slow-query / slow-goal table row.
+  struct SlowRow {
+    uint64_t Key = 0;     ///< Query tag (QueryBegin Aux) or goal hash.
+    uint64_t Count = 0;   ///< Frames merged into the row (1 for queries).
+    uint64_t TotalNs = 0; ///< Inclusive time, summed over occurrences.
+    std::string DominantRule; ///< Most self time in the row's subtree.
+  };
+
+  /// Exact order statistics over a duration population.
+  struct LatencyStats {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+    uint64_t P50Ns = 0;
+    uint64_t P90Ns = 0;
+    uint64_t P99Ns = 0;
+    uint64_t MaxNs = 0;
+  };
+
+  /// Folds \p Batches (recording order per batch, as the collector hands
+  /// them out) into an aggregate profile. Pure function of its inputs.
+  static Profile fromBatches(
+      const std::vector<trace::Collector::ThreadBatch> &Batches,
+      const ProfileOptions &Opts = {});
+
+  /// Convenience: snapshots \p C (leaving it intact for the trace
+  /// writer's drain) and folds the copy.
+  static Profile fromCollector(const trace::Collector &C,
+                               const ProfileOptions &Opts = {});
+
+  std::map<std::string, RuleRow> Rules; ///< Keyed by frame name.
+
+  uint64_t ProverNs = 0; ///< Self time in prover rule frames.
+  uint64_t LangNs = 0;   ///< Self time in lang_subset/lang_disjoint.
+  uint64_t CacheNs = 0;  ///< Self time in cache_lookup frames.
+
+  LatencyStats Queries;            ///< Over per-query durations.
+  LatencyStats Goals;              ///< Over per-goal-frame durations.
+  std::vector<SlowRow> TopQueries; ///< Slowest first, <= Opts.TopK rows.
+  std::vector<SlowRow> TopGoals;   ///< Slowest first, <= Opts.TopK rows.
+
+  /// Collapsed stacks: "query;goal;suffix_splits" -> self nanoseconds.
+  std::map<std::string, uint64_t> Folded;
+
+  uint64_t TotalNs = 0;         ///< Sum of root-frame inclusive times.
+  uint64_t DroppedEvents = 0;   ///< Ring wrap-around losses (from batches).
+  uint64_t UnmatchedEvents = 0; ///< Ends without begins + begins never closed.
+  uint64_t TimedEvents = 0;     ///< Events with a nonzero timestamp.
+  size_t Threads = 0;           ///< Batches folded.
+
+  /// True when any rule accumulated nonzero self time (i.e. the run was
+  /// actually traced in timed mode on a build with tracing compiled in).
+  bool hasSamples() const { return TotalNs != 0; }
+
+  /// Schema-pinned JSON document (docs/profile_schema.json). \p Mode
+  /// mirrors the trace header: "prove", "pair" or "batch".
+  JsonValue toJson(const std::string &Mode) const;
+
+  /// Flamegraph folded format: one "stack self_ns" line per entry of
+  /// Folded, sorted by stack for determinism.
+  std::string toFolded() const;
+
+  /// Publishes the aggregate as apt.prof.* metrics on the global
+  /// registry (phase self times, total, unmatched/timed event counts)
+  /// so --metrics-json and deps --stats surface the breakdown.
+  void publishMetrics() const;
+};
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_PROFILE_H

@@ -110,6 +110,7 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   uint64_t DedupBase = Stats.DedupSaved;
 
   // Phase 1 (sequential): prepare and deduplicate.
+  auto PrepareStart = std::chrono::steady_clock::now();
   std::vector<Task> Tasks;
   std::unordered_map<std::string, size_t> TaskIndex;
   for (size_t I = 0; I < Queries.size(); ++I) {
@@ -144,6 +145,10 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     Tasks[It->second].Slots.push_back(I);
   }
   Stats.UniqueQueries += Tasks.size();
+  double RunPrepareMs = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - PrepareStart)
+                            .count();
+  Stats.PrepareMs += RunPrepareMs;
 
   // Phase 2: fan the unique queries out, heaviest first.
   std::vector<size_t> Order(Tasks.size());
@@ -238,6 +243,7 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
                          std::chrono::steady_clock::now() - WallStart)
                          .count();
   Stats.WallMs += RunWallMs;
+  Stats.ProveMs += RunWallMs;
   Stats.CpuMs += 1000.0 * static_cast<double>(std::clock() - CpuStart) /
                  CLOCKS_PER_SEC;
   Stats.GoalCache = SharedGoals.stats();
@@ -283,14 +289,31 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
 
   // Phase 3 (sequential): broadcast each unique verdict to its
   // duplicates, restoring plan order.
+  auto BroadcastStart = std::chrono::steady_clock::now();
   for (const Task &T : Tasks)
     for (size_t Slot : T.Slots)
       Results[Slot].Result = T.Result;
+  double RunBroadcastMs = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - BroadcastStart)
+                              .count();
+  Stats.BroadcastMs += RunBroadcastMs;
+
+  // Phase-time histograms in whole microseconds: ms-resolution would
+  // round the (fast) prepare and broadcast phases to zero.
+  {
+    metrics::Registry &R = metrics::Registry::global();
+    R.histogram("apt.prof.prepare_us")
+        .observe(static_cast<uint64_t>(RunPrepareMs * 1000.0));
+    R.histogram("apt.prof.prove_us")
+        .observe(static_cast<uint64_t>(RunWallMs * 1000.0));
+    R.histogram("apt.prof.broadcast_us")
+        .observe(static_cast<uint64_t>(RunBroadcastMs * 1000.0));
+  }
   return Results;
 }
 
 std::string BatchStats::toString() const {
-  char Buf[1024];
+  char Buf[1280];
   double Parallelism = WallMs > 0 ? CpuMs / WallMs : 0.0;
   std::snprintf(
       Buf, sizeof(Buf),
@@ -304,7 +327,8 @@ std::string BatchStats::toString() const {
       "  lang cache: %llu entries; %llu hits, %llu misses, %llu inserts "
       "(%llu lang queries, %llu DFAs built)\n"
       "  lang engine: %llu store hits, %llu states built -> %llu minimal, "
-      "%llu syms -> %llu classes, %llu product states\n",
+      "%llu syms -> %llu classes, %llu product states\n"
+      "  time:       prepare %.2f ms, prove %.2f ms, broadcast %.2f ms\n",
       static_cast<unsigned long long>(Queries),
       static_cast<unsigned long long>(DirectQueries),
       static_cast<unsigned long long>(UniqueQueries),
@@ -330,6 +354,7 @@ std::string BatchStats::toString() const {
       static_cast<unsigned long long>(DfaMinStates),
       static_cast<unsigned long long>(AlphabetSymbols),
       static_cast<unsigned long long>(AlphabetClasses),
-      static_cast<unsigned long long>(ProductStates));
+      static_cast<unsigned long long>(ProductStates), PrepareMs, ProveMs,
+      BroadcastMs);
   return Buf;
 }

@@ -104,6 +104,14 @@ struct BatchStats {
   double CpuMs = 0;  ///< Process CPU time of the proving phases.
   unsigned Jobs = 1; ///< Worker threads used by the last run.
 
+  /// Per-phase wall-time attribution of run() (cumulative, like every
+  /// other field): sequential prepare/dedup, parallel prove fan-out
+  /// (same window WallMs covers), sequential verdict broadcast. Also
+  /// published as apt.prof.{prepare,prove,broadcast}_us histograms.
+  double PrepareMs = 0;
+  double ProveMs = 0;
+  double BroadcastMs = 0;
+
   /// Fraction of prover-bound queries answered by deduplication.
   double dedupRatio() const {
     uint64_t Provable = Queries - DirectQueries;

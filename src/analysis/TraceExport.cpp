@@ -8,6 +8,7 @@
 
 #include "core/ProofChecker.h"
 #include "core/ProofJson.h"
+#include "support/Clock.h"
 #include "support/Json.h"
 
 #include <algorithm>
@@ -104,6 +105,8 @@ void emitEvents(std::ostream &OS, trace::Collector *Events,
       if (E.GoalHash)
         O.emplace("goal", hex64(E.GoalHash));
       O.emplace("kind", trace::eventKindName(E.Kind));
+      if (E.Tick) // timed mode: absolute timestamp in nanoseconds
+        O.emplace("ns", fastclock::ticksToNanos(E.Tick));
       if (E.QueryId)
         O.emplace("query", E.QueryId);
       O.emplace("seq", E.Seq);

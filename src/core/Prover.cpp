@@ -230,6 +230,7 @@ Word canonicalWord(const std::vector<std::pair<Word, Word>> &Rules,
 
 bool Prover::proveEqualPaths(const AxiomSet &Axioms, const RegexRef &P,
                              const RegexRef &Q) {
+  APT_TRACE_SPAN(Span, trace::SpanKind::PrefixEqual);
   // Only singleton-word paths denote single vertices (fields are
   // functions), so only those can be proven pointwise equal.
   std::optional<Word> WP = P->singletonWord();
@@ -317,36 +318,49 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
     GoalH = std::hash<std::string>{}(FullKey);
   APT_TRACE_EVENT(trace::EventKind::GoalBegin, GoalH,
                   static_cast<uint32_t>(Depth));
+  // Every path below emits a matching GoalEnd (including the cache-hit
+  // and cycle-cut early returns) so the timed-mode profile aggregator
+  // sees balanced goal frames.
 
   if (Opts.EnableGoalCache) {
-    auto It = GoalCache.find(FullKey);
-    if (It != GoalCache.end()) {
-      ++Stats.GoalCacheHits;
-      APT_TRACE_EVENT(trace::EventKind::CacheHit, GoalH,
-                      static_cast<uint32_t>(Depth), It->second ? 1 : 0);
-      if (Out && It->second) {
-        Out->Rule = "previously proven (cache)";
-        Out->J.Kind = ProofJustification::Rule::Cached;
+    // The probes run under a CacheLookup span that closes before any
+    // GoalEnd below, keeping the timed-frame stream strictly LIFO.
+    std::optional<bool> Hit;
+    bool FromShared = false;
+    {
+      APT_TRACE_SPAN(LookupSpan, trace::SpanKind::CacheLookup, GoalH,
+                     static_cast<uint32_t>(Depth));
+      auto It = GoalCache.find(FullKey);
+      if (It != GoalCache.end()) {
+        Hit = It->second;
+      } else if (SharedGoals) {
+        // A goal another prover instance settled first (same axiom set
+        // and hypothesis signature, so the verdict is an
+        // order-independent fact). Sound even for a goal on our own
+        // in-progress stack: the publisher's proof completed without
+        // assuming it.
+        Hit = SharedGoals->lookup(FullKey);
+        FromShared = Hit.has_value();
       }
-      return It->second;
     }
-    // A goal another prover instance settled first (same axiom set and
-    // hypothesis signature, so the verdict is an order-independent
-    // fact). Sound even for a goal on our own in-progress stack: the
-    // publisher's proof completed without assuming it.
-    if (SharedGoals) {
-      if (std::optional<bool> Hit = SharedGoals->lookup(FullKey)) {
-        ++Stats.GoalCacheHits;
+    if (Hit) {
+      ++Stats.GoalCacheHits;
+      if (FromShared) {
         ++Stats.SharedGoalHits;
         APT_TRACE_EVENT(trace::EventKind::SharedCacheHit, GoalH,
                         static_cast<uint32_t>(Depth), *Hit ? 1 : 0);
         GoalCache.emplace(FullKey, *Hit);
-        if (Out && *Hit) {
-          Out->Rule = "previously proven (cache)";
-          Out->J.Kind = ProofJustification::Rule::Cached;
-        }
-        return *Hit;
+      } else {
+        APT_TRACE_EVENT(trace::EventKind::CacheHit, GoalH,
+                        static_cast<uint32_t>(Depth), *Hit ? 1 : 0);
       }
+      if (Out && *Hit) {
+        Out->Rule = "previously proven (cache)";
+        Out->J.Kind = ProofJustification::Rule::Cached;
+      }
+      APT_TRACE_EVENT(trace::EventKind::GoalEnd, GoalH,
+                      static_cast<uint32_t>(Depth), *Hit ? 1 : 0);
+      return *Hit;
     }
   }
 
@@ -359,6 +373,8 @@ bool Prover::prove(const AxiomSet &Axioms, Goal G, ProofNode *Out,
     APT_TRACE_EVENT(trace::EventKind::CachePoisoned, GoalH,
                     static_cast<uint32_t>(Depth),
                     static_cast<uint8_t>(trace::PoisonReason::CycleCut));
+    APT_TRACE_EVENT(trace::EventKind::GoalEnd, GoalH,
+                    static_cast<uint32_t>(Depth), 0);
     return false;
   }
 
@@ -427,6 +443,11 @@ bool Prover::proveCore(const AxiomSet &Axioms, const Goal &G, ProofNode *Out,
 
 bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
                              ProofNode *Out, size_t Depth) {
+  // Timed mode attributes the whole split search (axiom matching and
+  // steps A-D, including step D's recursive prove) to this span; nested
+  // goal and rule frames subtract out as child time in the profile.
+  APT_TRACE_SPAN(Span, trace::SpanKind::SuffixSplits, 0,
+                 static_cast<uint32_t>(Depth));
   const size_t N = G.P.size(), M = G.Q.size();
 
   // Enumerate suffix splits shortest-first: the paper's recursive suffix
@@ -542,6 +563,8 @@ bool Prover::trySuffixSplits(const AxiomSet &Axioms, const Goal &G,
 
 bool Prover::tryAlternationSplit(const AxiomSet &Axioms, const Goal &G,
                                  ProofNode *Out, size_t Depth) {
+  APT_TRACE_SPAN(Span, trace::SpanKind::AltSplit, 0,
+                 static_cast<uint32_t>(Depth));
   // Try alternation components right-to-left on each side; every branch
   // must be proven for the split to succeed.
   for (int Side = 0; Side < 2; ++Side) {
@@ -663,6 +686,8 @@ bool Prover::trySingleStarInduction(const AxiomSet &Axioms, const Goal &G,
                                     bool OnP, size_t StarIdx, ProofNode *Out,
                                     size_t Depth) {
   ++Stats.Inductions;
+  APT_TRACE_SPAN(Span, trace::SpanKind::StarInduction, 0,
+                 static_cast<uint32_t>(Depth));
   APT_TRACE_EVENT(trace::EventKind::StarInduction, 0,
                   static_cast<uint32_t>(Depth), OnP ? 1 : 0,
                   static_cast<uint64_t>(StarIdx));
@@ -728,6 +753,8 @@ bool Prover::trySingleStarInduction(const AxiomSet &Axioms, const Goal &G,
 bool Prover::trySevenCaseInduction(const AxiomSet &Axioms, const Goal &G,
                                    ProofNode *Out, size_t Depth) {
   ++Stats.Inductions;
+  APT_TRACE_SPAN(Span, trace::SpanKind::SevenCase, 0,
+                 static_cast<uint32_t>(Depth));
   APT_TRACE_EVENT(trace::EventKind::SevenCaseInduction, 0,
                   static_cast<uint32_t>(Depth));
   // P = P'.a*, Q = Q'.b*; the paper's seven cases when both paths end in

@@ -231,6 +231,9 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
 }
 
 bool LangQuery::subsetOfUncached(const RegexRef &A, const RegexRef &B) {
+  // Timed mode bills actual language computation here; cache hits stay
+  // outside the span, so LangOps profile time is true decision cost.
+  APT_TRACE_SPAN(Span, trace::SpanKind::LangSubset);
   if (Opts.Engine == LangEngine::Derivative)
     return derivSubsetOf(A, B);
   if (Opts.OnTheFlyProduct) {
@@ -302,6 +305,7 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
 }
 
 bool LangQuery::disjointUncached(const RegexRef &A, const RegexRef &B) {
+  APT_TRACE_SPAN(Span, trace::SpanKind::LangDisjoint);
   if (Opts.Engine == LangEngine::Derivative)
     return derivDisjoint(A, B);
   if (Opts.OnTheFlyProduct) {

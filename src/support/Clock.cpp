@@ -1,0 +1,75 @@
+//===- support/Clock.cpp --------------------------------------------------===//
+//
+// Part of the APT project; see Clock.h for the design.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Clock.h"
+
+#include <atomic>
+#include <bit>
+
+using namespace apt;
+
+namespace {
+
+/// Measured nanoseconds-per-tick, stored as IEEE bits so a single atomic
+/// publishes the double (0 = not yet calibrated).
+std::atomic<uint64_t> NsPerTickBits{0};
+
+double measureNsPerTick() {
+#if APT_CLOCK_TSC
+  using Clock = std::chrono::steady_clock;
+  // Two (steady_clock, tsc) sample pairs separated by a ~2 ms spin: long
+  // enough that the ~20-40 ns sampling skew is below 0.01%, short enough
+  // to be unnoticeable at startup. The spin re-reads the clock rather
+  // than sleeping so a descheduled thread stretches both axes equally.
+  Clock::time_point W0 = Clock::now();
+  uint64_t T0 = fastclock::ticks();
+  Clock::time_point Deadline = W0 + std::chrono::milliseconds(2);
+  Clock::time_point W1;
+  do {
+    W1 = Clock::now();
+  } while (W1 < Deadline);
+  uint64_t T1 = fastclock::ticks();
+  double Ns =
+      std::chrono::duration<double, std::nano>(W1 - W0).count();
+  double Ticks = static_cast<double>(T1 - T0);
+  if (Ticks <= 0 || Ns <= 0)
+    return 1.0; // non-monotone TSC (VM migration?): degrade, don't divide by 0
+  return Ns / Ticks;
+#else
+  // ticks() already is steady_clock; its period is compile-time exact.
+  using Period = std::chrono::steady_clock::period;
+  return 1e9 * static_cast<double>(Period::num) /
+         static_cast<double>(Period::den);
+#endif
+}
+
+} // namespace
+
+void fastclock::calibrate() {
+  double R = measureNsPerTick();
+  NsPerTickBits.store(std::bit_cast<uint64_t>(R), std::memory_order_release);
+}
+
+double fastclock::nsPerTick() {
+  uint64_t Bits = NsPerTickBits.load(std::memory_order_acquire);
+  if (Bits == 0) {
+    calibrate();
+    Bits = NsPerTickBits.load(std::memory_order_acquire);
+  }
+  return std::bit_cast<double>(Bits);
+}
+
+uint64_t fastclock::ticksToNanos(uint64_t TickDelta) {
+  return static_cast<uint64_t>(static_cast<double>(TickDelta) * nsPerTick());
+}
+
+const char *fastclock::sourceName() {
+#if APT_CLOCK_TSC
+  return "tsc";
+#else
+  return "steady_clock";
+#endif
+}

@@ -1,0 +1,75 @@
+//===- support/Clock.h - Calibrated fast timestamps -------------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timestamp source of the timed-tracing mode (support/Trace.h): a
+/// raw monotonic tick counter cheap enough to stamp every hot-path trace
+/// event, plus a one-time calibration against std::chrono::steady_clock
+/// that converts ticks to nanoseconds on the cold path.
+///
+/// On x86-64 ticks() reads the TSC (one `rdtsc`, ~5-10 ns, no syscall,
+/// no serialization -- profiling wants low overhead, not fence-accurate
+/// ordering; modern cores have an invariant TSC, which the calibration
+/// assumes). Everywhere else it falls back to steady_clock, which is
+/// still far below the cost of a prover rule application.
+///
+/// Conversion is deliberately split off the read: the hot path stores
+/// raw ticks in the 48-byte trace event, and only the profile aggregator
+/// (analysis/Profile.h) pays for the multiply. Calibration runs once,
+/// lazily, the first time a conversion is requested -- or eagerly via
+/// calibrate(), which trace::setTimingEnabled() calls so no prover
+/// thread ever takes the calibration spin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_CLOCK_H
+#define APT_SUPPORT_CLOCK_H
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define APT_CLOCK_TSC 1
+#include <x86intrin.h>
+#else
+#define APT_CLOCK_TSC 0
+#endif
+
+namespace apt::fastclock {
+
+/// Raw monotonic tick count. Unit is *ticks* (TSC cycles or steady_clock
+/// ticks), meaningful only through ticksToNanos/nsPerTick.
+inline uint64_t ticks() {
+#if APT_CLOCK_TSC
+  return __rdtsc();
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Runs (or re-runs) the tick-rate calibration: samples (steady_clock,
+/// ticks) pairs across a short spin and stores the measured rate.
+/// Idempotent and thread-safe; costs a few milliseconds.
+void calibrate();
+
+/// Nanoseconds per tick, calibrating lazily on first use.
+double nsPerTick();
+
+/// Converts a tick *delta* to nanoseconds (do not feed absolute TSC
+/// values through this for wall-clock purposes; only differences are
+/// meaningful).
+uint64_t ticksToNanos(uint64_t TickDelta);
+
+/// "tsc" or "steady_clock"; recorded in profile headers so a reader
+/// knows which source produced the numbers.
+const char *sourceName();
+
+} // namespace apt::fastclock
+
+#endif // APT_SUPPORT_CLOCK_H

@@ -6,6 +6,7 @@
 
 #include "support/Metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <limits>
 
@@ -41,6 +42,27 @@ Histogram::Snapshot &Histogram::Snapshot::operator+=(const Snapshot &O) {
   for (size_t I = 0; I < NumBuckets; ++I)
     Buckets[I] += O.Buckets[I];
   return *this;
+}
+
+uint64_t Histogram::Snapshot::quantile(double Q) const {
+  if (Count == 0)
+    return 0;
+  if (Q <= 0)
+    Q = 0;
+  uint64_t Rank = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (static_cast<double>(Rank) < Q * static_cast<double>(Count))
+    ++Rank; // ceil
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < NumBuckets; ++I) {
+    Cum += Buckets[I];
+    if (Cum >= Rank)
+      return std::min(bucketUpperBound(I), Max);
+  }
+  return Max; // unreachable when Buckets sum to Count
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -112,6 +134,9 @@ JsonValue Registry::toJson() const {
     HJ["count"] = JsonValue(S.Count);
     HJ["sum"] = JsonValue(S.Sum);
     HJ["max"] = JsonValue(S.Max);
+    HJ["p50"] = JsonValue(S.quantile(0.50));
+    HJ["p90"] = JsonValue(S.quantile(0.90));
+    HJ["p99"] = JsonValue(S.quantile(0.99));
     JsonValue::Array BucketsJson;
     for (size_t I = 0; I < Histogram::NumBuckets; ++I) {
       if (S.Buckets[I] == 0)

@@ -78,6 +78,13 @@ public:
 
     /// Component-wise monotone merge (Max takes the larger side).
     Snapshot &operator+=(const Snapshot &O);
+
+    /// Upper-bound estimate of the \p Q quantile (0 < Q <= 1): the
+    /// inclusive upper bound of the first bucket whose cumulative count
+    /// reaches ceil(Q * Count), clamped to Max (which is exact). With
+    /// power-of-two buckets the estimate is within 2x of the true value;
+    /// the JSON export surfaces p50/p90/p99 through this.
+    uint64_t quantile(double Q) const;
   };
   Snapshot snapshot() const;
   void reset();

@@ -6,6 +6,9 @@
 
 #include "support/Trace.h"
 
+#include "support/Clock.h"
+#include "support/Metrics.h"
+
 #include <atomic>
 
 using namespace apt;
@@ -55,6 +58,32 @@ const char *apt::trace::eventKindName(EventKind K) {
     return "lang_disjoint";
   case EventKind::LangWitness:
     return "lang_witness";
+  case EventKind::SpanBegin:
+    return "span_begin";
+  case EventKind::SpanEnd:
+    return "span_end";
+  }
+  return "unknown";
+}
+
+const char *apt::trace::spanKindName(SpanKind K) {
+  switch (K) {
+  case SpanKind::CacheLookup:
+    return "cache_lookup";
+  case SpanKind::SuffixSplits:
+    return "suffix_splits";
+  case SpanKind::PrefixEqual:
+    return "prefix_equal";
+  case SpanKind::AltSplit:
+    return "alt_split";
+  case SpanKind::StarInduction:
+    return "star_induction";
+  case SpanKind::SevenCase:
+    return "seven_case";
+  case SpanKind::LangSubset:
+    return "lang_subset";
+  case SpanKind::LangDisjoint:
+    return "lang_disjoint";
   }
   return "unknown";
 }
@@ -62,6 +91,7 @@ const char *apt::trace::eventKindName(EventKind K) {
 namespace {
 
 std::atomic<bool> Enabled{false};
+std::atomic<bool> Timing{false};
 std::atomic<Collector *> Sink{nullptr};
 std::atomic<uint64_t> NextQueryId{1};
 std::atomic<uint64_t> NextThreadTag{1};
@@ -103,6 +133,7 @@ struct Ring {
     E.QueryId = CurrentQuery;
     E.GoalHash = GoalHash;
     E.Aux = Aux;
+    E.Tick = Timing.load(std::memory_order_relaxed) ? fastclock::ticks() : 0;
     E.Depth = Depth;
     E.Kind = Kind;
     E.Flag = Flag;
@@ -151,6 +182,16 @@ bool apt::trace::enabled() {
 
 void apt::trace::setEnabled(bool On) { Enabled.store(On); }
 
+bool apt::trace::timingEnabled() {
+  return Timing.load(std::memory_order_relaxed);
+}
+
+void apt::trace::setTimingEnabled(bool On) {
+  if (On)
+    fastclock::calibrate(); // pay the spin here, never on a prover thread
+  Timing.store(On);
+}
+
 void apt::trace::setCollector(Collector *C) {
   Sink.store(C, std::memory_order_release);
 }
@@ -190,6 +231,12 @@ void apt::trace::endQuery(uint64_t Id, bool Proved) {
 void apt::trace::flushThisThread() { ring().flush(); }
 
 void Collector::take(ThreadBatch Batch) {
+  // Ring wrap-around is the one way trace data silently degrades, so a
+  // drop count surfaces on every layer: here as a process-wide metric,
+  // in the JSONL summary record, and in trace_test's zero-drop asserts.
+  metrics::Registry::global()
+      .counter("apt.trace.dropped_events")
+      .add(Batch.Dropped);
   std::lock_guard<std::mutex> Lock(M);
   Batches.push_back(std::move(Batch));
 }
@@ -199,6 +246,11 @@ std::vector<Collector::ThreadBatch> Collector::drain() {
   std::vector<ThreadBatch> Out;
   Out.swap(Batches);
   return Out;
+}
+
+std::vector<Collector::ThreadBatch> Collector::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Batches;
 }
 
 uint64_t Collector::droppedEvents() const {

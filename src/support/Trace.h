@@ -74,13 +74,36 @@ enum class EventKind : uint8_t {
                       ///< Flag = 1 for a shared word refuting disjointness,
                       ///< 0 for a subset counterexample; Aux = word length,
                       ///< GoalHash = hash of the query key it refutes.
+  SpanBegin,          ///< Timed scope opened. Flag = SpanKind.
+  SpanEnd,            ///< Timed scope closed. Flag = SpanKind.
 };
 
 constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::LangWitness) + 1;
+    static_cast<size_t>(EventKind::SpanEnd) + 1;
 
 /// Stable lowercase identifier, e.g. "step_d" (used in the JSONL export).
 const char *eventKindName(EventKind K);
+
+/// What a SpanBegin/SpanEnd pair brackets (the Flag byte). Query and
+/// goal scopes need no span kind: QueryBegin/QueryEnd and
+/// GoalBegin/GoalEnd are themselves paired and, in timed mode, carry
+/// timestamps like every other event. Kept in sync with spanKindName().
+enum class SpanKind : uint8_t {
+  CacheLookup,    ///< Goal-cache probe (local + shared) inside prove().
+  SuffixSplits,   ///< Suffix-split search: axiom matching, steps A-D.
+  PrefixEqual,    ///< Step C's prefix-equality decision (equality rules).
+  AltSplit,       ///< Alternation case-split attempt (all branches).
+  StarInduction,  ///< 3-case single-star induction attempt.
+  SevenCase,      ///< 7-case double-Kleene induction attempt.
+  LangSubset,     ///< Uncached language subset computation.
+  LangDisjoint,   ///< Uncached language disjointness computation.
+};
+
+constexpr size_t NumSpanKinds =
+    static_cast<size_t>(SpanKind::LangDisjoint) + 1;
+
+/// Stable lowercase identifier, e.g. "suffix_splits" (profile rule key).
+const char *spanKindName(SpanKind K);
 
 /// CachePoisoned Flag values: why the failure must not be memoized.
 enum class PoisonReason : uint8_t {
@@ -97,12 +120,14 @@ enum LangFlags : uint8_t {
   LangShared = 1 << 2,    ///< Served from the cross-thread cache.
 };
 
-/// One recorded event. Fixed-size POD; 40 bytes.
+/// One recorded event. Fixed-size POD; 48 bytes.
 struct Event {
   uint64_t Seq = 0;      ///< Per-thread sequence number (monotone).
   uint64_t QueryId = 0;  ///< Innermost query scope; 0 = outside any.
   uint64_t GoalHash = 0; ///< Hash of the goal/query key; 0 = n/a.
   uint64_t Aux = 0;      ///< Kind-specific payload.
+  uint64_t Tick = 0;     ///< fastclock::ticks() timestamp in timed mode;
+                         ///< 0 when timing is off (support/Clock.h).
   uint32_t Depth = 0;    ///< Prover recursion depth; 0 = n/a.
   EventKind Kind = EventKind::QueryBegin;
   uint8_t Flag = 0;      ///< Kind-specific payload.
@@ -110,7 +135,7 @@ struct Event {
 
 /// Events a ring can hold before wrapping (per thread; the buffer starts
 /// small on the thread's first record and doubles up to this cap, so a
-/// short-lived worker never pays the full ~1.3 MB at 40 B/event).
+/// short-lived worker never pays the full ~1.6 MB at 48 B/event).
 constexpr size_t RingCapacity = 1 << 15;
 
 /// Receives drained rings. Thread-safe; one instance is typically
@@ -131,6 +156,10 @@ public:
   /// Removes and returns everything collected so far.
   std::vector<ThreadBatch> drain();
 
+  /// Copies everything collected so far without removing it, so the
+  /// profile aggregator and the trace writer can both consume one run.
+  std::vector<ThreadBatch> snapshot() const;
+
   /// Sum of Dropped across batches currently held.
   uint64_t droppedEvents() const;
 
@@ -143,6 +172,14 @@ private:
 /// affects events recorded after the (seq_cst) store becomes visible.
 bool enabled();
 void setEnabled(bool On);
+
+/// Timed mode: when on (and tracing is enabled), every recorded event is
+/// stamped with fastclock::ticks() and the ScopedSpan sites emit their
+/// SpanBegin/SpanEnd pairs. Off by default; one extra relaxed load per
+/// recorded event when tracing runs untimed. setTimingEnabled(true)
+/// calibrates the clock eagerly so no recording thread ever does.
+bool timingEnabled();
+void setTimingEnabled(bool On);
 
 /// Installs the collector drained rings flush into (nullptr detaches).
 /// Not thread-safe against concurrent recording threads exiting; install
@@ -166,6 +203,36 @@ void endQuery(uint64_t Id, bool Proved);
 /// Also happens automatically when a thread exits.
 void flushThisThread();
 
+/// RAII timed scope: emits SpanBegin on construction and SpanEnd on
+/// destruction, both carrying Flag = \p K, when tracing *and* timing are
+/// enabled (the liveness decision is taken once, at construction, so a
+/// span never ends up half-emitted around a mid-scope mode flip). Use
+/// through APT_TRACE_SPAN so the declaration compiles out with the rest
+/// of the trace sites.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(SpanKind K, uint64_t GoalHash = 0, uint32_t Depth = 0)
+      : Kind(K), GoalHash(GoalHash), Depth(Depth),
+        Live(enabled() && timingEnabled()) {
+    if (Live)
+      record(EventKind::SpanBegin, GoalHash, Depth,
+             static_cast<uint8_t>(Kind));
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+  ~ScopedSpan() {
+    if (Live)
+      record(EventKind::SpanEnd, GoalHash, Depth,
+             static_cast<uint8_t>(Kind));
+  }
+
+private:
+  SpanKind Kind;
+  uint64_t GoalHash;
+  uint32_t Depth;
+  bool Live;
+};
+
 } // namespace apt::trace
 
 /// Statement-shaped hot-path macro; arguments are not evaluated unless
@@ -175,6 +242,9 @@ void flushThisThread();
 #define APT_TRACE_EVENT(...)                                                 \
   do {                                                                       \
   } while (false)
+/// Compiled out: expands to nothing (the trailing semicolon at the call
+/// site is an empty statement).
+#define APT_TRACE_SPAN(Var, ...)
 #else
 #define APT_TRACE_ENABLED 1
 #define APT_TRACE_EVENT(...)                                                 \
@@ -182,6 +252,10 @@ void flushThisThread();
     if (::apt::trace::enabled())                                             \
       ::apt::trace::record(__VA_ARGS__);                                     \
   } while (false)
+/// Declaration-shaped: opens a timed span named \p Var covering the rest
+/// of the enclosing block. No-op (two relaxed loads) unless tracing and
+/// timing are both runtime-enabled.
+#define APT_TRACE_SPAN(Var, ...) ::apt::trace::ScopedSpan Var(__VA_ARGS__)
 #endif
 
 #endif // APT_SUPPORT_TRACE_H

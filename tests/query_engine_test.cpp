@@ -178,10 +178,18 @@ TEST(BatchStatsTest, DedupFiresOnSparseMatrixProgram) {
   EXPECT_LT(S.UniqueQueries, S.Queries);
   EXPECT_GT(S.dedupRatio(), 0.0);
   EXPECT_GT(S.Prover.GoalsExplored, 0u);
+  // Phase times: every phase ran, and the prove window dominates its
+  // own sub-measurement.
+  EXPECT_GT(S.PrepareMs, 0.0);
+  EXPECT_GT(S.ProveMs, 0.0);
+  EXPECT_GE(S.BroadcastMs, 0.0);
+  EXPECT_EQ(S.ProveMs, S.WallMs);
   // toString renders without truncation markers.
   std::string Text = S.toString();
   EXPECT_NE(Text.find("dedup"), std::string::npos);
   EXPECT_NE(Text.find("goal cache"), std::string::npos);
+  EXPECT_NE(Text.find("time:"), std::string::npos);
+  EXPECT_NE(Text.find("prepare"), std::string::npos);
 }
 
 TEST(BatchStatsTest, CountersAreMonotoneAcrossRuns) {
@@ -220,6 +228,9 @@ TEST(BatchStatsTest, CountersAreMonotoneAcrossRuns) {
   EXPECT_GE(Second.LangCacheEntries, First.LangCacheEntries);
   EXPECT_GE(Second.WallMs, First.WallMs);
   EXPECT_GE(Second.CpuMs, First.CpuMs);
+  EXPECT_GE(Second.PrepareMs, First.PrepareMs);
+  EXPECT_GE(Second.ProveMs, First.ProveMs);
+  EXPECT_GE(Second.BroadcastMs, First.BroadcastMs);
   // The second run rides the warm shared caches: no new entries needed.
   EXPECT_EQ(Second.GoalCacheEntries, First.GoalCacheEntries);
   EXPECT_GT(Second.GoalCache.Hits, First.GoalCache.Hits);

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Clock.h"
 #include "support/FieldTable.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
@@ -12,8 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace apt;
@@ -298,6 +302,88 @@ TEST(TraceTest, RingWrapsAndCountsDrops) {
   EXPECT_EQ(Batches[0].Events.back().GoalHash, Overflow - 1);
 }
 
+//===----------------------------------------------------------------------===//
+// Clock
+//===----------------------------------------------------------------------===//
+
+TEST(ClockTest, CalibrationYieldsPlausibleScale) {
+  fastclock::calibrate();
+  double Scale = fastclock::nsPerTick();
+  // Any real clock source ticks between 10 GHz and 1 Hz.
+  EXPECT_GT(Scale, 0.01);
+  EXPECT_LT(Scale, 1e9);
+  // Calibration is sticky: a second call keeps a nonzero scale.
+  fastclock::calibrate();
+  EXPECT_GT(fastclock::nsPerTick(), 0.0);
+}
+
+TEST(ClockTest, TicksAdvanceAcrossASleep) {
+  fastclock::calibrate();
+  uint64_t T0 = fastclock::ticks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  uint64_t T1 = fastclock::ticks();
+  ASSERT_GT(T1, T0);
+  uint64_t Ns = fastclock::ticksToNanos(T1 - T0);
+  // 2 ms of wall time must convert to somewhere between 1 ms and 10 s
+  // (generous upper bound for preempted CI machines).
+  EXPECT_GE(Ns, 1'000'000u);
+  EXPECT_LT(Ns, 10'000'000'000u);
+}
+
+TEST(ClockTest, ConversionBasics) {
+  fastclock::calibrate();
+  EXPECT_EQ(fastclock::ticksToNanos(0), 0u);
+  EXPECT_GE(fastclock::ticksToNanos(1'000'000), 1u);
+  std::string Source = fastclock::sourceName();
+  EXPECT_TRUE(Source == "tsc" || Source == "steady_clock") << Source;
+}
+
+//===----------------------------------------------------------------------===//
+// Histogram quantiles
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, QuantileOnEmptyHistogramIsZero) {
+  metrics::Histogram H;
+  metrics::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.quantile(0.5), 0u);
+  EXPECT_EQ(S.quantile(0.99), 0u);
+}
+
+TEST(MetricsTest, QuantileIsClampedToMax) {
+  metrics::Histogram H;
+  H.observe(1000); // bucket upper bound 1023, but Max is exact
+  metrics::Histogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.quantile(0.5), 1000u);
+  EXPECT_EQ(S.quantile(1.0), 1000u);
+}
+
+TEST(MetricsTest, QuantilesAreOrderedAndBounded) {
+  metrics::Histogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.observe(V);
+  metrics::Histogram::Snapshot S = H.snapshot();
+  uint64_t P50 = S.quantile(0.50);
+  uint64_t P90 = S.quantile(0.90);
+  uint64_t P99 = S.quantile(0.99);
+  EXPECT_LE(P50, P90);
+  EXPECT_LE(P90, P99);
+  EXPECT_LE(P99, S.Max);
+  // Power-of-two buckets: the estimate overshoots by at most 2x.
+  EXPECT_GE(P50, 500u);
+  EXPECT_LE(P50, 1000u);
+  EXPECT_GE(P99, 990u);
+}
+
+TEST(MetricsTest, ExportCarriesQuantileSummaries) {
+  metrics::Registry &R = metrics::Registry::global();
+  R.histogram("test.support.quantiles").observe(9);
+  JsonValue J = R.toJson();
+  const JsonValue &H = J["histograms"]["test.support.quantiles"];
+  EXPECT_EQ(H["p50"].asInt(), 9);
+  EXPECT_EQ(H["p90"].asInt(), 9);
+  EXPECT_EQ(H["p99"].asInt(), 9);
+}
+
 TEST(TraceTest, EventKindNamesAreStable) {
   // The JSONL schema (docs/OBSERVABILITY.md) depends on these strings.
   EXPECT_STREQ(trace::eventKindName(trace::EventKind::QueryBegin),
@@ -312,6 +398,121 @@ TEST(TraceTest, EventKindNamesAreStable) {
   for (size_t K = 0; K < trace::NumEventKinds; ++K)
     Names.insert(trace::eventKindName(static_cast<trace::EventKind>(K)));
   EXPECT_EQ(Names.size(), trace::NumEventKinds);
+}
+
+TEST(TraceTest, SpanKindNamesAreStable) {
+  // Profile rule keys (docs/profile_schema.json) depend on these.
+  EXPECT_STREQ(trace::spanKindName(trace::SpanKind::CacheLookup),
+               "cache_lookup");
+  EXPECT_STREQ(trace::spanKindName(trace::SpanKind::SevenCase),
+               "seven_case");
+  EXPECT_STREQ(trace::spanKindName(trace::SpanKind::LangDisjoint),
+               "lang_disjoint");
+  std::set<std::string> Names;
+  for (size_t K = 0; K < trace::NumSpanKinds; ++K)
+    Names.insert(trace::spanKindName(static_cast<trace::SpanKind>(K)));
+  EXPECT_EQ(Names.size(), trace::NumSpanKinds);
+}
+
+TEST(TraceTest, TicksStampedOnlyInTimedMode) {
+  TraceSession S;
+  trace::record(trace::EventKind::GoalBegin, 1);
+  trace::setTimingEnabled(true);
+  trace::record(trace::EventKind::GoalEnd, 1);
+  trace::record(trace::EventKind::GoalBegin, 2);
+  trace::setTimingEnabled(false);
+  trace::record(trace::EventKind::GoalEnd, 2);
+  trace::flushThisThread();
+
+  std::vector<trace::Collector::ThreadBatch> Batches = S.Events.drain();
+  ASSERT_EQ(Batches.size(), 1u);
+  const std::vector<trace::Event> &E = Batches[0].Events;
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_EQ(E[0].Tick, 0u) << "untimed events carry no timestamp";
+  EXPECT_NE(E[1].Tick, 0u);
+  EXPECT_NE(E[2].Tick, 0u);
+  EXPECT_GE(E[2].Tick, E[1].Tick) << "same-thread ticks are monotone";
+  EXPECT_EQ(E[3].Tick, 0u);
+}
+
+TEST(TraceTest, ScopedSpanEmitsBalancedPairs) {
+  TraceSession S;
+  trace::setTimingEnabled(true);
+  {
+    trace::ScopedSpan Outer(trace::SpanKind::SuffixSplits, /*GoalHash=*/7,
+                            /*Depth=*/3);
+    trace::ScopedSpan Inner(trace::SpanKind::LangSubset);
+  }
+  trace::setTimingEnabled(false);
+  trace::flushThisThread();
+
+  std::vector<trace::Collector::ThreadBatch> Batches = S.Events.drain();
+  ASSERT_EQ(Batches.size(), 1u);
+  const std::vector<trace::Event> &E = Batches[0].Events;
+  ASSERT_EQ(E.size(), 4u);
+  EXPECT_EQ(E[0].Kind, trace::EventKind::SpanBegin);
+  EXPECT_EQ(E[0].Flag,
+            static_cast<uint8_t>(trace::SpanKind::SuffixSplits));
+  EXPECT_EQ(E[0].GoalHash, 7u);
+  EXPECT_EQ(E[0].Depth, 3u);
+  // LIFO: the inner span closes before the outer one.
+  EXPECT_EQ(E[1].Kind, trace::EventKind::SpanBegin);
+  EXPECT_EQ(E[1].Flag, static_cast<uint8_t>(trace::SpanKind::LangSubset));
+  EXPECT_EQ(E[2].Kind, trace::EventKind::SpanEnd);
+  EXPECT_EQ(E[2].Flag, static_cast<uint8_t>(trace::SpanKind::LangSubset));
+  EXPECT_EQ(E[3].Kind, trace::EventKind::SpanEnd);
+  EXPECT_EQ(E[3].Flag,
+            static_cast<uint8_t>(trace::SpanKind::SuffixSplits));
+  for (const trace::Event &Ev : E)
+    EXPECT_NE(Ev.Tick, 0u);
+}
+
+TEST(TraceTest, ScopedSpanIsSilentWithoutTiming) {
+  TraceSession S;
+  ASSERT_FALSE(trace::timingEnabled());
+  {
+    trace::ScopedSpan Span(trace::SpanKind::AltSplit);
+  }
+  trace::flushThisThread();
+  EXPECT_TRUE(S.Events.drain().empty());
+}
+
+// Satellite 3: many threads recording, flushing mid-life and draining on
+// exit must neither race (TSan leg: APT_SANITIZE=thread) nor lose events.
+TEST(TraceTest, ConcurrentFlushAndThreadExitLosesNothing) {
+  TraceSession S;
+  trace::setTimingEnabled(true);
+  constexpr int NumThreads = 8;
+  constexpr int EventsPerThread = 4096; // < RingCapacity: no legal drops
+  std::atomic<int> Started{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      Started.fetch_add(1);
+      while (Started.load() < NumThreads) {
+      } // line up for maximal interleaving
+      for (int I = 0; I < EventsPerThread; ++I) {
+        uint64_t Q = trace::beginQuery(static_cast<uint64_t>(I));
+        trace::record(trace::EventKind::GoalBegin, static_cast<uint64_t>(I));
+        trace::record(trace::EventKind::GoalEnd, static_cast<uint64_t>(I));
+        trace::endQuery(Q, true);
+        if (I % 512 == 0)
+          trace::flushThisThread();
+      }
+      // The rest drains via the thread_local ring's exit flush.
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  trace::setTimingEnabled(false);
+
+  uint64_t Total = 0, Dropped = 0;
+  for (const trace::Collector::ThreadBatch &B : S.Events.drain()) {
+    Total += B.Events.size();
+    Dropped += B.Dropped;
+  }
+  EXPECT_EQ(Dropped, 0u);
+  EXPECT_EQ(Total, static_cast<uint64_t>(NumThreads) * EventsPerThread * 4);
 }
 
 } // namespace

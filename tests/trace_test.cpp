@@ -12,6 +12,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/Profile.h"
 #include "analysis/QueryEngine.h"
 #include "analysis/TraceExport.h"
 #include "core/ProofChecker.h"
@@ -20,6 +21,7 @@
 #include "ir/Parser.h"
 #include "lint/AxiomFile.h"
 #include "regex/RegexParser.h"
+#include "support/Clock.h"
 #include "support/Json.h"
 #include "support/Trace.h"
 
@@ -76,6 +78,42 @@ std::string batchTrace(const std::string &Source, unsigned Jobs) {
   writeBatchTrace(OS, Engine, Results, Fields, &Events);
   trace::setCollector(nullptr);
   return OS.str();
+}
+
+/// Renders verdict lines the way `aptc deps` prints them, for byte
+/// comparison across thread counts.
+std::string verdictLines(const std::vector<BatchResult> &Results) {
+  std::string Out;
+  for (const BatchResult &R : Results) {
+    Out += R.Query.Func + ":" + R.Query.LabelS + ":" + R.Query.LabelT +
+           "=" + depVerdictName(R.Result.Verdict) + "\n";
+  }
+  return Out;
+}
+
+/// Runs the batch engine over \p Source in timed-tracing mode and folds
+/// the events into a Profile. The verdict lines come along so callers
+/// can compare runs.
+std::pair<Profile, std::string> batchProfile(const std::string &Source,
+                                             unsigned Jobs) {
+  FieldTable Fields;
+  ProgramParseResult Prog = parseProgram(Source, Fields);
+  EXPECT_TRUE(static_cast<bool>(Prog)) << Prog.Error;
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  BatchQueryEngine Engine(Prog.Value, Fields, Opts);
+
+  trace::Collector Events;
+  trace::setCollector(&Events);
+  trace::setTimingEnabled(true);
+  trace::setEnabled(true);
+  std::vector<BatchResult> Results = Engine.runAll();
+  trace::setEnabled(false);
+  trace::setTimingEnabled(false);
+  trace::flushThisThread();
+  trace::setCollector(nullptr);
+
+  return {Profile::fromCollector(Events), verdictLines(Results)};
 }
 
 //===----------------------------------------------------------------------===//
@@ -157,6 +195,194 @@ TEST(TraceReplay, EveryAxiomSampleProveTraceReplays) {
     }
     EXPECT_GT(Proofs, 0u) << "no disjointness axiom produced a proof";
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Time-attribution profiles
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileTest, EveryProgramSampleProfilesCleanly) {
+  for (const std::filesystem::path &Sample : samples(".apt")) {
+    SCOPED_TRACE(Sample.string());
+    auto [P, Verdicts] = batchProfile(readFileOrDie(Sample), 2);
+    // Satellite 1: no sample run may overflow the trace ring.
+    EXPECT_EQ(P.DroppedEvents, 0u);
+#if APT_TRACE_ENABLED
+    // Acceptance: per-rule aggregates present and nonzero everywhere.
+    EXPECT_EQ(P.UnmatchedEvents, 0u)
+        << "an instrumentation site is unbalanced";
+    EXPECT_FALSE(P.Rules.empty());
+    EXPECT_GT(P.TotalNs, 0u);
+    ASSERT_TRUE(P.Rules.count("query"));
+    ASSERT_TRUE(P.Rules.count("goal"));
+    for (const auto &[Name, Row] : P.Rules) {
+      EXPECT_GT(Row.Count, 0u) << Name;
+      EXPECT_GT(Row.SelfNs + Row.TotalNs, 0u) << Name;
+    }
+    // The phase split covers exactly the attributed self time.
+    uint64_t SelfSum = 0;
+    for (const auto &[Name, Row] : P.Rules)
+      SelfSum += Row.SelfNs;
+    EXPECT_EQ(P.ProverNs + P.LangNs + P.CacheNs, SelfSum);
+    EXPECT_GT(P.Queries.Count, 0u);
+    EXPECT_LE(P.Queries.P50Ns, P.Queries.P90Ns);
+    EXPECT_LE(P.Queries.P90Ns, P.Queries.P99Ns);
+    EXPECT_LE(P.Queries.P99Ns, P.Queries.MaxNs);
+    EXPECT_FALSE(P.TopQueries.empty());
+    EXPECT_FALSE(P.Folded.empty());
+#else
+    EXPECT_TRUE(P.Rules.empty()) << "tracing is compiled out";
+#endif
+  }
+}
+
+TEST(ProfileTest, EveryAxiomSampleProfilesNonzeroRules) {
+  for (const std::filesystem::path &Sample : samples(".axioms")) {
+    SCOPED_TRACE(Sample.string());
+    FieldTable Fields;
+    DiagnosticEngine Diags;
+    AxiomFileContents Contents = parseAxiomFile(
+        readFileOrDie(Sample), Sample.string(), Fields, Diags);
+    ASSERT_TRUE(Contents.Ok) << Diags.render();
+
+    trace::Collector Events;
+    trace::setCollector(&Events);
+    trace::setTimingEnabled(true);
+    trace::setEnabled(true);
+    Prover P(Fields);
+    for (const Axiom &A : Contents.Axioms.axioms())
+      if (A.Form != AxiomForm::Equal)
+        P.proveDisjoint(Contents.Axioms, A.Lhs, A.Rhs);
+    trace::setEnabled(false);
+    trace::setTimingEnabled(false);
+    trace::flushThisThread();
+    trace::setCollector(nullptr);
+
+    Profile Prof = Profile::fromCollector(Events);
+    EXPECT_EQ(Prof.DroppedEvents, 0u);
+#if APT_TRACE_ENABLED
+    EXPECT_EQ(Prof.UnmatchedEvents, 0u);
+    EXPECT_FALSE(Prof.Rules.empty());
+    EXPECT_GT(Prof.TotalNs, 0u);
+    for (const auto &[Name, Row] : Prof.Rules)
+      EXPECT_GT(Row.SelfNs + Row.TotalNs, 0u) << Name;
+#endif
+  }
+}
+
+TEST(ProfileTest, VerdictsAreJobsInvariantUnderProfiling) {
+  for (const std::filesystem::path &Sample : samples(".apt")) {
+    SCOPED_TRACE(Sample.string());
+    std::string Source = readFileOrDie(Sample);
+    auto [P1, V1] = batchProfile(Source, 1);
+    auto [P2, V2] = batchProfile(Source, 2);
+    auto [P4, V4] = batchProfile(Source, 4);
+    EXPECT_FALSE(V1.empty());
+    EXPECT_EQ(V1, V2);
+    EXPECT_EQ(V1, V4);
+  }
+}
+
+TEST(ProfileTest, JsonAndFoldedShapes) {
+  std::vector<std::filesystem::path> Programs = samples(".apt");
+  ASSERT_FALSE(Programs.empty());
+  auto [P, Verdicts] = batchProfile(readFileOrDie(Programs.front()), 2);
+
+  JsonValue J = P.toJson("batch");
+  EXPECT_EQ(J["version"].asInt(), 1);
+  EXPECT_EQ(J["mode"].asString(), "batch");
+  EXPECT_EQ(J["trace_compiled_in"].asBool(),
+            static_cast<bool>(APT_TRACE_ENABLED));
+  EXPECT_TRUE(J["clock"]["source"].asString() == "tsc" ||
+              J["clock"]["source"].asString() == "steady_clock");
+  EXPECT_GT(J["clock"]["ns_per_tick"].asDouble(), 0.0);
+  EXPECT_EQ(J["dropped_events"].asInt(), 0);
+  for (const char *Member : {"phases", "rules", "queries", "goals"})
+    EXPECT_TRUE(J[Member].isObject()) << Member;
+  for (const char *Member :
+       {"count", "total_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns"})
+    EXPECT_TRUE(J["queries"][Member].isInt()) << Member;
+  EXPECT_TRUE(J["queries"]["top"].isArray());
+  // The document round-trips through the strict JSON parser.
+  JsonParseResult Parsed = parseJson(J.dump());
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.Error;
+  EXPECT_EQ(Parsed.Value.dump(), J.dump());
+
+  // Folded lines: "name(;name)* <digits>", keys sorted and unique.
+  std::istringstream Folded(P.toFolded());
+  std::string Line, PrevStack;
+  while (std::getline(Folded, Line)) {
+    size_t Space = Line.rfind(' ');
+    ASSERT_NE(Space, std::string::npos) << Line;
+    std::string Stack = Line.substr(0, Space);
+    std::string Weight = Line.substr(Space + 1);
+    EXPECT_GT(Stack.size(), 0u);
+    EXPECT_EQ(Stack.find(' '), std::string::npos) << Line;
+    EXPECT_TRUE(!Weight.empty() &&
+                Weight.find_first_not_of("0123456789") == std::string::npos)
+        << Line;
+    EXPECT_LT(PrevStack, Stack) << "folded stacks sorted and unique";
+    PrevStack = Stack;
+  }
+#if APT_TRACE_ENABLED
+  EXPECT_FALSE(PrevStack.empty()) << "no folded output";
+#endif
+}
+
+TEST(ProfileTest, FoldsSyntheticFramesRobustly) {
+  // Hand-built batch: a query holding a goal holding a span, plus one
+  // orphan SpanEnd (its begin "lost to ring wrap") that must be counted,
+  // not crash the folder. Ticks are raw clock units; use big gaps so
+  // every frame gets nonzero time regardless of calibration.
+  fastclock::calibrate();
+  trace::Collector::ThreadBatch B;
+  B.ThreadTag = 1;
+  auto Ev = [&](trace::EventKind K, uint64_t Tick, uint64_t Hash,
+                uint8_t Flag) {
+    trace::Event E;
+    E.Seq = B.Events.size();
+    E.Kind = K;
+    E.Tick = Tick;
+    E.GoalHash = Hash;
+    E.Flag = Flag;
+    B.Events.push_back(E);
+  };
+  uint64_t M = 1 << 20; // ~1M ticks apart: comfortably nonzero in ns
+  Ev(trace::EventKind::SpanEnd, 1 * M, 0,
+     static_cast<uint8_t>(trace::SpanKind::AltSplit)); // orphan
+  Ev(trace::EventKind::QueryBegin, 2 * M, 0, 0);
+  Ev(trace::EventKind::GoalBegin, 3 * M, 0xbeef, 0);
+  Ev(trace::EventKind::SpanBegin, 4 * M, 0,
+     static_cast<uint8_t>(trace::SpanKind::SuffixSplits));
+  Ev(trace::EventKind::SpanEnd, 9 * M, 0,
+     static_cast<uint8_t>(trace::SpanKind::SuffixSplits));
+  Ev(trace::EventKind::GoalEnd, 10 * M, 0xbeef, 1);
+  Ev(trace::EventKind::QueryEnd, 11 * M, 0, 0);
+
+  Profile P = Profile::fromBatches({B});
+  EXPECT_EQ(P.UnmatchedEvents, 1u);
+  ASSERT_TRUE(P.Rules.count("query"));
+  ASSERT_TRUE(P.Rules.count("goal"));
+  ASSERT_TRUE(P.Rules.count("suffix_splits"));
+  EXPECT_FALSE(P.Rules.count("alt_split")) << "orphan end opens no frame";
+  // Inclusive times nest: query > goal > span; self = total - children.
+  const Profile::RuleRow &Query = P.Rules.at("query");
+  const Profile::RuleRow &Goal = P.Rules.at("goal");
+  const Profile::RuleRow &Span = P.Rules.at("suffix_splits");
+  EXPECT_GT(Query.TotalNs, Goal.TotalNs);
+  EXPECT_GT(Goal.TotalNs, Span.TotalNs);
+  EXPECT_EQ(Query.SelfNs, Query.TotalNs - Goal.TotalNs);
+  EXPECT_EQ(Goal.SelfNs, Goal.TotalNs - Span.TotalNs);
+  EXPECT_EQ(P.TotalNs, Query.TotalNs);
+  EXPECT_EQ(P.Goals.Count, 1u);
+  EXPECT_EQ(P.Queries.Count, 1u);
+  ASSERT_EQ(P.TopGoals.size(), 1u);
+  EXPECT_EQ(P.TopGoals[0].Key, 0xbeefu);
+  EXPECT_EQ(P.TopGoals[0].DominantRule, "suffix_splits");
+  // Folded stacks spell out the nesting.
+  EXPECT_TRUE(P.Folded.count("query"));
+  EXPECT_TRUE(P.Folded.count("query;goal"));
+  EXPECT_TRUE(P.Folded.count("query;goal;suffix_splits"));
 }
 
 //===----------------------------------------------------------------------===//

@@ -41,6 +41,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/DepQueries.h"
+#include "analysis/Profile.h"
 #include "analysis/QueryEngine.h"
 #include "analysis/TraceExport.h"
 #include "core/ProofChecker.h"
@@ -68,9 +69,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: aptc prove <axioms-file> <pathP> <pathQ> "
                "[--trace FILE] [--metrics-json FILE]\n"
+               "                 [--profile FILE] [--profile-folded FILE]\n"
                "       aptc deps <program> [<labelS> <labelT>] "
                "[--invariant-writes] [--jobs N] [--stats]\n"
-               "                 [--trace FILE] [--metrics-json FILE]\n"
+               "                 [--trace FILE] [--metrics-json FILE] "
+               "[--profile FILE] [--profile-folded FILE]\n"
                "       aptc loops <program> [--invariant-writes]\n"
                "       aptc dump <program> [--invariant-writes]\n"
                "       aptc lint <axioms-or-program> [--no-models]\n");
@@ -116,10 +119,22 @@ void warnOnlyLint(const DiagnosticEngine &Diags) {
 
 /// The observability surface shared by `prove` and `deps`: --trace=FILE
 /// writes a JSONL trace (docs/OBSERVABILITY.md), --metrics-json=FILE the
-/// global metrics registry. Both accept `--flag FILE` and `--flag=FILE`.
+/// global metrics registry, --profile=FILE a time-attribution profile
+/// (docs/profile_schema.json) and --profile-folded=FILE the same data as
+/// collapsed flamegraph stacks. All accept `--flag FILE` and
+/// `--flag=FILE`; the profile flags switch tracing into timed mode.
 struct ObsFlags {
   std::string TraceFile;
   std::string MetricsFile;
+  std::string ProfileFile;
+  std::string ProfileFoldedFile;
+
+  /// Timed spans wanted (turns on trace timed mode for the run).
+  bool profiling() const {
+    return !ProfileFile.empty() || !ProfileFoldedFile.empty();
+  }
+  /// Any surface that needs the event collector installed.
+  bool tracing() const { return !TraceFile.empty() || profiling(); }
 };
 
 /// Strips observability flags out of Argv. Returns false on a flag that
@@ -153,6 +168,10 @@ bool parseObsFlags(int &Argc, char **Argv, ObsFlags &Flags) {
     int N = MatchValueFlag(I, "--trace", Flags.TraceFile);
     if (N == 0)
       N = MatchValueFlag(I, "--metrics-json", Flags.MetricsFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--profile-folded", Flags.ProfileFoldedFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--profile", Flags.ProfileFile);
     if (N < 0)
       return false;
     if (N > 0)
@@ -164,15 +183,17 @@ bool parseObsFlags(int &Argc, char **Argv, ObsFlags &Flags) {
 }
 
 /// RAII scope for a traced command: installs a collector and enables
-/// recording; finish() stops recording and flushes this thread's ring
-/// (worker rings flush when their pool joins) so the collector holds
-/// every event before a writer drains it.
+/// recording (in timed mode when \p Timed, which also calibrates the
+/// fast clock up front); finish() stops recording and flushes this
+/// thread's ring (worker rings flush when their pool joins) so the
+/// collector holds every event before a writer drains it.
 class TraceScope {
 public:
-  explicit TraceScope(bool Active) : Active(Active) {
+  explicit TraceScope(bool Active, bool Timed = false) : Active(Active) {
     if (!Active)
       return;
     trace::setCollector(&Events);
+    trace::setTimingEnabled(Timed);
     trace::setEnabled(true);
   }
   ~TraceScope() {
@@ -184,6 +205,7 @@ public:
 
   trace::Collector *finish() {
     trace::setEnabled(false);
+    trace::setTimingEnabled(false);
     trace::flushThisThread();
     return &Events;
   }
@@ -192,6 +214,38 @@ private:
   trace::Collector Events;
   bool Active;
 };
+
+/// Aggregates the collected timed events and writes --profile /
+/// --profile-folded files (no-op when neither was requested). Publishes
+/// the aggregate as apt.prof.* metrics, so call before writeMetricsFile.
+/// \p Mode mirrors the trace header ("prove", "pair", "batch").
+bool writeProfileFiles(const ObsFlags &Obs, const trace::Collector *Events,
+                       const char *Mode) {
+  if (!Obs.profiling() || !Events)
+    return true;
+  // Snapshot, not drain: the trace writer may still need the events.
+  Profile P = Profile::fromCollector(*Events);
+  P.publishMetrics();
+  if (!Obs.ProfileFile.empty()) {
+    std::ofstream Out(Obs.ProfileFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Obs.ProfileFile.c_str());
+      return false;
+    }
+    Out << P.toJson(Mode).dumpPretty() << '\n';
+  }
+  if (!Obs.ProfileFoldedFile.empty()) {
+    std::ofstream Out(Obs.ProfileFoldedFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Obs.ProfileFoldedFile.c_str());
+      return false;
+    }
+    Out << P.toFolded();
+  }
+  return true;
+}
 
 /// Writes the global metrics registry as pretty JSON. Returns false (and
 /// complains) when the file cannot be opened.
@@ -249,7 +303,7 @@ int cmdProve(int Argc, char **Argv) {
   }
 
   std::printf("axioms:\n%s\n", Axioms.toString(Fields).c_str());
-  TraceScope Scope(!Obs.TraceFile.empty());
+  TraceScope Scope(Obs.tracing(), Obs.profiling());
   Prover Prover(Fields);
   int Exit;
   if (Prover.proveDisjoint(Axioms, P.Value, Q.Value)) {
@@ -287,6 +341,9 @@ int cmdProve(int Argc, char **Argv) {
     }
     Exit = 1;
   }
+  trace::Collector *Events = Obs.tracing() ? Scope.finish() : nullptr;
+  if (!writeProfileFiles(Obs, Events, "prove"))
+    return 2;
   if (!Obs.TraceFile.empty()) {
     std::ofstream Out(Obs.TraceFile);
     if (!Out) {
@@ -295,7 +352,7 @@ int cmdProve(int Argc, char **Argv) {
       return 2;
     }
     writeProveTrace(Out, Axioms, P.Value, Q.Value, Fields,
-                    Prover.options(), Scope.finish());
+                    Prover.options(), Events);
   }
   publishProverMetrics(Prover);
   if (!Obs.MetricsFile.empty() && !writeMetricsFile(Obs.MetricsFile))
@@ -357,7 +414,7 @@ int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
   Opts.Analyzer = Flags.Analyzer;
   Opts.Jobs = Flags.Jobs;
   BatchQueryEngine Engine(Prog, Fields, Opts);
-  TraceScope Scope(!Flags.Obs.TraceFile.empty());
+  TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
   std::vector<BatchResult> Results = Engine.runAll();
   bool AllNo = true;
   for (const BatchResult &R : Results) {
@@ -376,6 +433,9 @@ int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
     std::fflush(stdout);
     std::fwrite(Block.data(), 1, Block.size(), stderr);
   }
+  trace::Collector *Events = Flags.Obs.tracing() ? Scope.finish() : nullptr;
+  if (!writeProfileFiles(Flags.Obs, Events, "batch"))
+    return 2;
   if (!Flags.Obs.TraceFile.empty()) {
     std::ofstream Out(Flags.Obs.TraceFile);
     if (!Out) {
@@ -383,7 +443,7 @@ int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
                    Flags.Obs.TraceFile.c_str());
       return 2;
     }
-    writeBatchTrace(Out, Engine, Results, Fields, Scope.finish());
+    writeBatchTrace(Out, Engine, Results, Fields, Events);
   }
   if (!Flags.Obs.MetricsFile.empty() &&
       !writeMetricsFile(Flags.Obs.MetricsFile))
@@ -419,7 +479,7 @@ int cmdDeps(int Argc, char **Argv) {
     if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
       continue;
     DepQueryEngine Engine(Prog.Value, F, Fields, Flags.Analyzer);
-    TraceScope Scope(!Flags.Obs.TraceFile.empty());
+    TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
     Prover P(Fields);
     DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
     std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
@@ -438,6 +498,10 @@ int cmdDeps(int Argc, char **Argv) {
                    static_cast<unsigned long long>(S.Inductions),
                    static_cast<unsigned long long>(S.AltSplits));
     }
+    trace::Collector *Events =
+        Flags.Obs.tracing() ? Scope.finish() : nullptr;
+    if (!writeProfileFiles(Flags.Obs, Events, "pair"))
+      return 2;
     if (!Flags.Obs.TraceFile.empty()) {
       std::ofstream Out(Flags.Obs.TraceFile);
       if (!Out) {
@@ -447,7 +511,7 @@ int cmdDeps(int Argc, char **Argv) {
       }
       PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
       writePairTrace(Out, Prep.Axioms, Prep.S, Prep.T, R, Fields,
-                     P.options(), Scope.finish());
+                     P.options(), Events);
     }
     publishProverMetrics(P);
     if (!Flags.Obs.MetricsFile.empty() &&

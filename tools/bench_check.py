@@ -1,19 +1,36 @@
 #!/usr/bin/env python3
-"""Smoke-run the language-engine scaling benchmark and gate regressions.
+"""Smoke-run a benchmark binary and gate regressions.
 
-Runs bench/langops_scaling in Google-benchmark JSON mode with short
-repetitions, extracts warm-query throughput (items/second) for the
+Two modes, selected with --mode (default `langops` preserves the
+original behavior):
+
+`langops` runs bench/langops_scaling in Google-benchmark JSON mode with
+short repetitions, extracts warm-query throughput (items/second) for the
 classic and overhauled pipelines, and writes a compact BENCH_langops.json
 next to the build. If a checked-in baseline exists, the run FAILS when
 either warm throughput drops more than --tolerance (default 25%) below
 it; if no baseline exists yet, the current numbers are recorded as the
 baseline so the first CI run on a new machine self-seeds.
 
---record-only skips the comparison (and baseline seeding) entirely --
-sanitizer builds use it, since asan/tsan throughput says nothing about
-the language engine.
+`profile` runs the warm-batch family of bench/batch_queries at one
+worker thread with repetitions and gates the time-attribution profiling
+overhead on the min-of-repetitions wall time per iteration:
 
-Exit codes: 0 ok, 1 regression or speedup shortfall, 2 harness error.
+  * BM_BatchWarmProfiled (tracing + timestamps) vs. BM_BatchWarmTraced
+    (tracing, no timestamps) must stay within --overhead-profiled
+    (default 10%);
+  * BM_BatchWarmTimedOff (timestamp switch on, tracing runtime-disabled)
+    vs. BM_BatchWarm must stay within --overhead-disabled (default 5%);
+
+and additionally fails if the plain warm throughput drops more than
+--tolerance below the checked-in BENCH_profile.baseline.json (self-seeds
+like langops mode).
+
+--record-only skips all comparisons (and baseline seeding) entirely --
+sanitizer builds use it, since asan/tsan timings say nothing about the
+engines being measured.
+
+Exit codes: 0 ok, 1 regression or overhead breach, 2 harness error.
 """
 
 import argparse
@@ -27,17 +44,29 @@ WARM_BENCH = "BM_WarmQueries"
 CLASSIC_ARG = "0"
 OVERHAULED_ARG = "1"
 
+# Profile mode: the warm-batch variants, all compared at jobs=1 (the
+# most stable configuration on a loaded or single-core CI host).
+PROFILE_FILTER = "BM_BatchWarm[A-Za-z]*/1$"
+PROFILE_VARIANTS = [
+    "BM_BatchWarm",
+    "BM_BatchWarmTraced",
+    "BM_BatchWarmTimedOff",
+    "BM_BatchWarmProfiled",
+]
 
-def run_benchmark(bench_path, min_time):
+
+def run_benchmark(bench_path, min_time, bench_filter, repetitions=None):
     """Runs the benchmark binary in JSON mode; returns the parsed report."""
     out_path = bench_path + ".tmp.json"
     cmd = [
         bench_path,
-        "--benchmark_filter=" + WARM_BENCH,
+        "--benchmark_filter=" + bench_filter,
         "--benchmark_min_time=%s" % min_time,
         "--benchmark_out_format=json",
         "--benchmark_out=" + out_path,
     ]
+    if repetitions:
+        cmd.append("--benchmark_repetitions=%d" % repetitions)
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                           stderr=subprocess.STDOUT, text=True)
     if proc.returncode != 0:
@@ -54,6 +83,42 @@ def run_benchmark(bench_path, min_time):
         except OSError:
             pass
     return report
+
+
+def write_result(path, result):
+    with open(path, "w") as f:
+        json.dump(result, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def compare_baseline(result, baseline_path, keys, tolerance):
+    """Higher-is-better comparison of `keys` against a baseline file.
+
+    Seeds the baseline when absent. Returns True when a key regressed.
+    """
+    if not baseline_path:
+        return False
+    if not os.path.exists(baseline_path):
+        write_result(baseline_path, result)
+        print("bench_check: no baseline found, seeded %s" % baseline_path)
+        return False
+    with open(baseline_path) as f:
+        base = json.load(f)
+    failed = False
+    for key in keys:
+        ref = float(base.get(key, 0.0))
+        cur = result[key]
+        if ref > 0 and cur < ref * (1.0 - tolerance):
+            sys.stderr.write(
+                "bench_check: %s regressed: %.0f -> %.0f q/s "
+                "(-%.0f%%, tolerance %.0f%%)\n"
+                % (key, ref, cur, 100.0 * (1.0 - cur / ref),
+                   100.0 * tolerance))
+            failed = True
+        else:
+            print("bench_check: %s ok (baseline %.0f, now %.0f q/s)"
+                  % (key, ref, cur))
+    return failed
 
 
 def warm_throughputs(report):
@@ -79,23 +144,8 @@ def warm_throughputs(report):
     return rates[CLASSIC_ARG], rates[OVERHAULED_ARG]
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bench", required=True,
-                    help="path to the langops_scaling binary")
-    ap.add_argument("--out", required=True,
-                    help="where to write BENCH_langops.json")
-    ap.add_argument("--baseline",
-                    help="checked-in baseline JSON (created if absent)")
-    ap.add_argument("--tolerance", type=float, default=0.25,
-                    help="allowed fractional drop vs baseline (default .25)")
-    ap.add_argument("--min-time", default="0.05",
-                    help="benchmark_min_time per run, seconds")
-    ap.add_argument("--record-only", action="store_true",
-                    help="write results, skip baseline comparison")
-    args = ap.parse_args()
-
-    report = run_benchmark(args.bench, args.min_time)
+def run_langops(args):
+    report = run_benchmark(args.bench, args.min_time, WARM_BENCH)
     classic, overhauled = warm_throughputs(report)
     speedup = overhauled / classic if classic else float("inf")
 
@@ -107,9 +157,7 @@ def main():
         "host": report.get("context", {}).get("host_name", "unknown"),
         "num_cpus": report.get("context", {}).get("num_cpus"),
     }
-    with open(args.out, "w") as f:
-        json.dump(result, f, indent=2, sort_keys=True)
-        f.write("\n")
+    write_result(args.out, result)
     print("bench_check: classic %.0f q/s, overhauled %.0f q/s "
           "(%.2fx warm speedup) -> %s"
           % (classic, overhauled, speedup, args.out))
@@ -123,32 +171,140 @@ def main():
                          "2x floor\n" % speedup)
         return 1
 
-    if not args.baseline:
-        return 0
-    if not os.path.exists(args.baseline):
-        with open(args.baseline, "w") as f:
-            json.dump(result, f, indent=2, sort_keys=True)
-            f.write("\n")
-        print("bench_check: no baseline found, seeded %s" % args.baseline)
+    failed = compare_baseline(
+        result, args.baseline,
+        ("classic_items_per_second", "overhauled_items_per_second"),
+        args.tolerance)
+    return 1 if failed else 0
+
+
+def warm_batch_times(report):
+    """Min-of-repetitions wall time per iteration for each warm variant.
+
+    Min is the right aggregate for overhead ratios because scheduling
+    noise is strictly additive. Also returns best items/second per
+    variant (for the baseline throughput gate).
+    """
+    times = {}
+    items = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "").split("/")[0]
+        if name not in PROFILE_VARIANTS:
+            continue
+        real = b.get("real_time")
+        if real is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        seconds = float(real) * {"ns": 1e-9, "us": 1e-6,
+                                 "ms": 1e-3, "s": 1.0}[unit]
+        if name not in times or seconds < times[name]:
+            times[name] = seconds
+        ips = b.get("items_per_second")
+        if ips is not None:
+            items[name] = max(items.get(name, 0.0), float(ips))
+    missing = [v for v in PROFILE_VARIANTS if v not in times]
+    if missing:
+        sys.stderr.write("bench_check: report is missing warm-batch runs "
+                         "%s\n" % missing)
+        sys.exit(2)
+    return times, items
+
+
+def run_profile(args):
+    report = run_benchmark(args.bench, args.min_time, PROFILE_FILTER,
+                           repetitions=args.repetitions)
+    times, items = warm_batch_times(report)
+
+    plain = times["BM_BatchWarm"]
+    traced = times["BM_BatchWarmTraced"]
+    timed_off = times["BM_BatchWarmTimedOff"]
+    profiled = times["BM_BatchWarmProfiled"]
+    ratio_profiled = profiled / traced if traced else float("inf")
+    ratio_disabled = timed_off / plain if plain else float("inf")
+
+    result = {
+        "benchmark": "BM_BatchWarm*/1",
+        "warm_items_per_second": items.get("BM_BatchWarm", 0.0),
+        "warm_seconds": plain,
+        "traced_seconds": traced,
+        "timed_off_seconds": timed_off,
+        "profiled_seconds": profiled,
+        "profiled_over_traced": ratio_profiled,
+        "timed_off_over_plain": ratio_disabled,
+        "repetitions": args.repetitions,
+        "host": report.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+    }
+    write_result(args.out, result)
+    print("bench_check: warm %.3f ms, traced %.3f ms, timed-off %.3f ms, "
+          "profiled %.3f ms -> %s"
+          % (plain * 1e3, traced * 1e3, timed_off * 1e3, profiled * 1e3,
+             args.out))
+    print("bench_check: profiled/traced %.3fx (limit %.2fx), "
+          "timed-off/plain %.3fx (limit %.2fx)"
+          % (ratio_profiled, 1.0 + args.overhead_profiled,
+             ratio_disabled, 1.0 + args.overhead_disabled))
+
+    if args.record_only:
+        print("bench_check: --record-only, comparison skipped")
         return 0
 
-    with open(args.baseline) as f:
-        base = json.load(f)
     failed = False
-    for key in ("classic_items_per_second", "overhauled_items_per_second"):
-        ref = float(base.get(key, 0.0))
-        cur = result[key]
-        if ref > 0 and cur < ref * (1.0 - args.tolerance):
-            sys.stderr.write(
-                "bench_check: %s regressed: %.0f -> %.0f q/s "
-                "(-%.0f%%, tolerance %.0f%%)\n"
-                % (key, ref, cur, 100.0 * (1.0 - cur / ref),
-                   100.0 * args.tolerance))
-            failed = True
-        else:
-            print("bench_check: %s ok (baseline %.0f, now %.0f q/s)"
-                  % (key, ref, cur))
+    if ratio_profiled > 1.0 + args.overhead_profiled:
+        sys.stderr.write(
+            "bench_check: timed profiling costs %.1f%% over untimed "
+            "tracing (limit %.0f%%)\n"
+            % (100.0 * (ratio_profiled - 1.0),
+               100.0 * args.overhead_profiled))
+        failed = True
+    if ratio_disabled > 1.0 + args.overhead_disabled:
+        sys.stderr.write(
+            "bench_check: runtime-disabled profiling costs %.1f%% over "
+            "the plain warm run (limit %.0f%%)\n"
+            % (100.0 * (ratio_disabled - 1.0),
+               100.0 * args.overhead_disabled))
+        failed = True
+
+    if compare_baseline(result, args.baseline,
+                        ("warm_items_per_second",), args.tolerance):
+        failed = True
     return 1 if failed else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", choices=("langops", "profile"),
+                    default="langops",
+                    help="langops gates language-engine throughput; "
+                    "profile gates timed-tracing overhead")
+    ap.add_argument("--bench", required=True,
+                    help="path to the benchmark binary")
+    ap.add_argument("--out", required=True,
+                    help="where to write the result JSON")
+    ap.add_argument("--baseline",
+                    help="checked-in baseline JSON (created if absent)")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional throughput drop vs baseline "
+                    "(default .25)")
+    ap.add_argument("--min-time", default="0.05",
+                    help="benchmark_min_time per run, seconds")
+    ap.add_argument("--repetitions", type=int, default=3,
+                    help="repetitions for profile mode (min is kept)")
+    ap.add_argument("--overhead-profiled", type=float, default=0.10,
+                    help="allowed profiled-over-traced overhead "
+                    "(default .10)")
+    ap.add_argument("--overhead-disabled", type=float, default=0.05,
+                    help="allowed timed-off-over-plain overhead "
+                    "(default .05)")
+    ap.add_argument("--record-only", action="store_true",
+                    help="write results, skip all comparisons")
+    args = ap.parse_args()
+
+    if args.mode == "profile":
+        return run_profile(args)
+    return run_langops(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# CI driver for the APT repo: configure + build + ctest, one build tree
+# per leg under ./build* in the repo root.
+#
+# Legs (pass any subset as arguments; default is "default notrace"):
+#
+#   default   build/          plain build, full ctest suite
+#   notrace   build-notrace/  -DAPT_TRACE=OFF: trace/span sites compile
+#                             out; proves the observability layer is
+#                             optional and that every test guards on
+#                             APT_TRACE_ENABLED correctly
+#   asan      build-asan/     -DAPT_SANITIZE=address (bench gates and
+#                             coverage-sensitive checks run record-only)
+#   tsan      build-tsan/     -DAPT_SANITIZE=thread (exercises the
+#                             trace-ring flush hammer and the parallel
+#                             batch engine under TSan)
+#
+# Every leg runs the full ctest suite of its tree. Python-based checks
+# (docs_check, metrics_schema_check, bench_check) are ctests, so they
+# ride along automatically.
+#
+# Usage: tools/ci.sh [leg ...]
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_leg() {
+  local leg="$1" dir flags
+  case "$leg" in
+    default) dir="build";         flags="" ;;
+    notrace) dir="build-notrace"; flags="-DAPT_TRACE=OFF" ;;
+    asan)    dir="build-asan";    flags="-DAPT_SANITIZE=address" ;;
+    tsan)    dir="build-tsan";    flags="-DAPT_SANITIZE=thread" ;;
+    *) echo "ci.sh: unknown leg '$leg' (default|notrace|asan|tsan)" >&2
+       exit 2 ;;
+  esac
+  echo "== ci.sh: leg '$leg' -> $dir $flags"
+  # shellcheck disable=SC2086  # flags is intentionally word-split
+  cmake -B "$ROOT/$dir" -S "$ROOT" $flags
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS"
+}
+
+legs=("$@")
+if [ "${#legs[@]}" -eq 0 ]; then
+  legs=(default notrace)
+fi
+for leg in "${legs[@]}"; do
+  run_leg "$leg"
+done
+echo "== ci.sh: all legs passed: ${legs[*]}"

@@ -34,6 +34,7 @@ FOREIGN_FLAGS = {
     "--min-percent",  # tools/coverage_report.py
     "--record-only",  # tools/bench_check.py
     "--baseline",  # tools/bench_check.py
+    "--mode",  # tools/bench_check.py
 }
 
 PATH_RE = re.compile(

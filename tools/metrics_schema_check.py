@@ -3,12 +3,16 @@
 schema (docs/metrics_schema.json), so the exported shape cannot drift
 from its documentation.
 
-Runs aptc twice (the batch `deps` path and the single-prover `prove`
-path), validates both metrics files with a small built-in JSON-Schema
-subset (type, properties, patternProperties, additionalProperties,
-required, items, minimum -- all the schema uses), checks that the core
-metric names are present, and sanity-checks the JSONL trace written
-alongside (every line parses; header first, summary last).
+Runs aptc three times (the batch `deps` path, the single-prover `prove`
+path, and a profiled `deps --profile` run), validates the metrics files
+with a small built-in JSON-Schema subset (type, properties,
+patternProperties, additionalProperties, required, items, minimum, enum,
+pattern, $ref -- all the schemas use), checks that the core metric names
+are present, that histogram p50/p90/p99 summaries are ordered and
+bounded by max, sanity-checks the JSONL trace written alongside (every
+line parses; header first, summary last), validates the profile JSON
+against docs/profile_schema.json and the folded-stack file's line
+format.
 
 Exit status: 0 on success, 1 with per-error report lines otherwise.
 No third-party dependencies.
@@ -23,8 +27,16 @@ import subprocess
 import sys
 
 
-def validate(value, schema, path, errors):
+def validate(value, schema, path, errors, root=None):
     """Minimal JSON-Schema subset validator; appends "path: message"."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        target = root
+        for part in schema["$ref"].lstrip("#/").split("/"):
+            target = target[part]
+        validate(value, target, path, errors, root)
+        return
     types = schema.get("type")
     if types is not None:
         if not isinstance(types, list):
@@ -50,6 +62,14 @@ def validate(value, schema, path, errors):
         if value < schema["minimum"]:
             errors.append(f"{path}: {value} < minimum {schema['minimum']}")
 
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']}")
+
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match "
+                          f"{schema['pattern']!r}")
+
     if isinstance(value, dict):
         for key in schema.get("required", []):
             if key not in value:
@@ -60,12 +80,12 @@ def validate(value, schema, path, errors):
         for key, member in value.items():
             child = f"{path}.{key}"
             if key in props:
-                validate(member, props[key], child, errors)
+                validate(member, props[key], child, errors, root)
                 continue
             matched = False
             for pattern, sub in patterns.items():
                 if re.search(pattern, key):
-                    validate(member, sub, child, errors)
+                    validate(member, sub, child, errors, root)
                     matched = True
                     break
             if matched:
@@ -73,11 +93,11 @@ def validate(value, schema, path, errors):
             if additional is False:
                 errors.append(f"{child}: unexpected member")
             elif isinstance(additional, dict):
-                validate(member, additional, child, errors)
+                validate(member, additional, child, errors, root)
 
     if isinstance(value, list) and "items" in schema:
         for index, item in enumerate(value):
-            validate(item, schema["items"], f"{path}[{index}]", errors)
+            validate(item, schema["items"], f"{path}[{index}]", errors, root)
 
 
 # Names the engine publishes unconditionally on every batch run; a rename
@@ -90,7 +110,75 @@ CORE_COUNTERS = [
     "apt.lang.queries",
 ]
 CORE_GAUGES = ["apt.batch.jobs"]
-CORE_HISTOGRAMS = ["apt.batch.query_wall_us", "apt.batch.run_wall_ms"]
+CORE_HISTOGRAMS = [
+    "apt.batch.query_wall_us",
+    "apt.batch.run_wall_ms",
+    "apt.prof.prepare_us",
+    "apt.prof.prove_us",
+    "apt.prof.broadcast_us",
+]
+# Published by writeProfileFiles on every --profile run.
+PROFILE_COUNTERS = [
+    "apt.prof.total_ns",
+    "apt.prof.prover_ns",
+    "apt.prof.lang_ns",
+    "apt.prof.cache_ns",
+    "apt.prof.timed_events",
+    "apt.prof.unmatched_events",
+]
+
+
+def check_quantiles(metrics, name, errors):
+    """Each exported histogram summary must satisfy p50<=p90<=p99<=max."""
+    for hist_name, hist in metrics.get("histograms", {}).items():
+        if not all(key in hist for key in ("p50", "p90", "p99", "max")):
+            continue  # the schema validation already reported this
+        p50, p90, p99, top = hist["p50"], hist["p90"], hist["p99"], hist["max"]
+        if not p50 <= p90 <= p99 <= top:
+            errors.append(f"{name}: {hist_name}: quantiles out of order: "
+                          f"p50={p50} p90={p90} p99={p99} max={top}")
+
+
+def check_profile(profile_path, folded_path, profile_schema, errors):
+    """Validates a --profile JSON file and its --profile-folded sibling."""
+    with open(profile_path, encoding="utf-8") as f:
+        profile = json.load(f)
+    validate(profile, profile_schema, "profile", errors)
+
+    if profile.get("dropped_events", 0) != 0:
+        errors.append(f"profile: {profile['dropped_events']} dropped events")
+    for scope in ("queries", "goals"):
+        stats = profile.get(scope, {})
+        if not all(key in stats for key in
+                   ("p50_ns", "p90_ns", "p99_ns", "max_ns")):
+            continue
+        if not (stats["p50_ns"] <= stats["p90_ns"] <= stats["p99_ns"]
+                <= stats["max_ns"]):
+            errors.append(f"profile: {scope} percentiles out of order")
+
+    # On a build with tracing compiled in, a sample run must attribute
+    # nonzero time to at least the query frame; on an APT_TRACE=OFF build
+    # the document must still validate, just with empty aggregates.
+    if profile.get("trace_compiled_in"):
+        rules = profile.get("rules", {})
+        if not rules:
+            errors.append("profile: no rules despite trace_compiled_in")
+        if profile.get("total_ns", 0) == 0:
+            errors.append("profile: total_ns is 0 despite trace_compiled_in")
+        for rule, row in rules.items():
+            if row.get("total_ns", 0) == 0 and row.get("self_ns", 0) == 0:
+                errors.append(f"profile: rule '{rule}' has zero time")
+    elif profile.get("rules"):
+        errors.append("profile: rules present without trace support")
+
+    with open(folded_path, encoding="utf-8") as f:
+        folded = f.read().splitlines()
+    if profile.get("trace_compiled_in") and not folded:
+        errors.append(f"{folded_path}: empty folded-stack file")
+    for number, line in enumerate(folded, 1):
+        if not re.fullmatch(r"[a-z0-9_]+(;[a-z0-9_]+)* \d+", line):
+            errors.append(f"{folded_path}:{number}: bad folded line "
+                          f"{line!r}")
 
 
 def check_trace(trace_path, errors):
@@ -123,6 +211,9 @@ def main():
     with open(os.path.join(root, "docs", "metrics_schema.json"),
               encoding="utf-8") as f:
         schema = json.load(f)
+    with open(os.path.join(root, "docs", "profile_schema.json"),
+              encoding="utf-8") as f:
+        profile_schema = json.load(f)
 
     errors = []
     runs = [
@@ -146,6 +237,7 @@ def main():
         with open(metrics_path, encoding="utf-8") as f:
             metrics = json.load(f)
         validate(metrics, schema, name, errors)
+        check_quantiles(metrics, name, errors)
         check_trace(trace_path, errors)
         if name == "deps":
             for metric in CORE_COUNTERS:
@@ -157,6 +249,29 @@ def main():
             for metric in CORE_HISTOGRAMS:
                 if metric not in metrics.get("histograms", {}):
                     errors.append(f"{name}: missing histogram '{metric}'")
+
+    # Profiled batch run: the timed-span surface end to end.
+    profile_path = os.path.join(scratch, "profile.json")
+    folded_path = os.path.join(scratch, "profile.folded")
+    metrics_path = os.path.join(scratch, "profile_metrics.json")
+    proc = subprocess.run(
+        [aptc, "deps", os.path.join(root, "tools", "samples",
+                                    "worklist.apt"),
+         "--jobs", "2", f"--profile={profile_path}",
+         f"--profile-folded={folded_path}",
+         f"--metrics-json={metrics_path}"],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        errors.append(f"profile: aptc exited {proc.returncode}: "
+                      f"{proc.stderr.strip()}")
+    else:
+        check_profile(profile_path, folded_path, profile_schema, errors)
+        with open(metrics_path, encoding="utf-8") as f:
+            metrics = json.load(f)
+        validate(metrics, schema, "profile", errors)
+        for metric in PROFILE_COUNTERS:
+            if metric not in metrics.get("counters", {}):
+                errors.append(f"profile: missing counter '{metric}'")
 
     for error in errors:
         print(f"metrics_schema_check: {error}")
