@@ -249,6 +249,134 @@ BENCHMARK(BM_BatchWarmProfiled)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// A triage-heavy workload (docs/TRIAGE.md): fresh allocations, caller
+/// heap walks, mixed structure types and disjoint data fields give the
+/// static cascade plenty to resolve, while the tree pairs E0/E1/E2 share
+/// a handle and still exercise the prover. kBatchProgram stays the
+/// baseline for the profile gates; this program exists so the triage
+/// numbers do not disturb them.
+const char *kTriageProgram = R"(
+type Node {
+  next: Node;
+  val: int;
+  aux: int;
+  shape list(next);
+}
+type Tree {
+  L: Tree;
+  R: Tree;
+  data: int;
+  shape tree(L, R);
+}
+fn transform(head: Node, root: Tree) {
+  p = new Node;
+  q = new Node;
+  r = new Node;
+  A0: p.val = fun();
+  A1: q.val = fun();
+  A2: r.val = fun();
+  B0: s0 = p.val;
+  B1: p.aux = fun();
+  c = head.next;
+  C0: c.val = fun();
+  C1: y = c.aux;
+  t = root.L;
+  u = root.R;
+  E0: t.data = fun();
+  E1: u.data = fun();
+  E2: z = t.data;
+}
+)";
+
+Program parseTriageOrDie(FieldTable &Fields) {
+  ProgramParseResult Parsed = parseProgram(kTriageProgram, Fields);
+  if (!Parsed) {
+    std::fprintf(stderr, "triage bench program failed to parse: %s\n",
+                 Parsed.Error.c_str());
+    std::exit(1);
+  }
+  return std::move(Parsed.Value);
+}
+
+/// Exports the per-run triage counters of \p Engine (whose stats are
+/// cumulative; a single warm-up run makes them per-run values).
+void exportTriageCounters(benchmark::State &State,
+                          const BatchStats &S) {
+  State.counters["triaged_pairs"] = static_cast<double>(S.TriagedPairs);
+  State.counters["prover_bound"] =
+      static_cast<double>(S.TriagedPairs + S.TriageEscalated);
+}
+
+/// Cold end-to-end batch on the triage workload; Arg 0 = cascade off,
+/// Arg 1 = on. The delta is what the cascade saves including all setup
+/// (Steensgaard construction happens per engine).
+void BM_BatchTriageCold(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseTriageOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Analyzer.Triage = State.range(0) != 0;
+
+  uint64_t Queries = 0;
+  for (auto _ : State) {
+    BatchQueryEngine Engine(Prog, Fields, Opts);
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+    Queries = Engine.stats().Queries;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Queries) *
+                          State.iterations());
+}
+BENCHMARK(BM_BatchTriageCold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Warm batch on the triage workload. The tools/bench_check.py --mode
+/// triage gate reads the counters off the Arg(1) run: triaged_pairs /
+/// prover_bound is the cascade's kill rate, pinned at >= 40% on this
+/// workload.
+void BM_BatchTriageWarm(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseTriageOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Analyzer.Triage = State.range(0) != 0;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  Engine.runAll(); // Warm caches; stats now hold one run's counts.
+  BatchStats PerRun = Engine.stats();
+
+  for (auto _ : State) {
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(PerRun.Queries) *
+                          State.iterations());
+  exportTriageCounters(State, PerRun);
+}
+BENCHMARK(BM_BatchTriageWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Worst case for the cascade: kBatchProgram's pairs all share handles,
+/// so every pair runs the full cascade and still escalates. The Arg(1)
+/// over Arg(0) wall-time ratio is the pure triage-miss tax, pinned at
+/// <= 5% by tools/bench_check.py --mode triage.
+void BM_BatchTriageMiss(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Analyzer.Triage = State.range(0) != 0;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  Engine.runAll();
+  BatchStats PerRun = Engine.stats();
+
+  for (auto _ : State) {
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(PerRun.Queries) *
+                          State.iterations());
+  exportTriageCounters(State, PerRun);
+}
+BENCHMARK(BM_BatchTriageMiss)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void printBatchStats() {
   std::printf("\n== E8: batch dependence-query engine ==\n");
   FieldTable Fields;

@@ -172,12 +172,16 @@ private:
         Result.HandleParents[H] = std::move(Parents);
       return;
     }
-    case PtrRhsKind::New:
+    case PtrRhsKind::New: {
       VarTypes[Dst] = S.RhsType;
       State.killVar(Dst);
       // Fresh memory: reachable from no existing handle.
-      State.set(freshHandle(Dst), Dst, Regex::epsilon());
+      std::string H = freshHandle(Dst);
+      State.set(H, Dst, Regex::epsilon());
+      if (Mode == PassMode::Real)
+        Result.HandleAllocSite[H] = S.Id;
       return;
+    }
     case PtrRhsKind::Null:
       if (isPointerVar(Dst))
         State.killVar(Dst);

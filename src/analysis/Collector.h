@@ -92,6 +92,11 @@ struct AnalysisResult {
   /// post-modification handles have no parents.
   std::map<std::string, std::vector<std::pair<std::string, RegexRef>>>
       HandleParents;
+  /// Allocation provenance: handles born at a `p = new T` statement,
+  /// mapped to that statement's id. A reference carrying an epsilon-path
+  /// entry for such a handle definitely names that allocation's vertex
+  /// (consumed by the triage cascade's tier 2, analysis/Triage.h).
+  std::map<std::string, int> HandleAllocSite;
 };
 
 /// Knobs for the collector, mirroring the two analyses of §5.
@@ -104,6 +109,10 @@ struct AnalyzerOptions {
   /// relational information (the "simplistic analysis" -- *partially
   /// parallel*).
   bool InvariantPreservingWrites = false;
+  /// Run the static triage cascade (analysis/Triage.h) on every prepared
+  /// statement pair before the prover. Default on; `aptc --triage=off`
+  /// disables it. Verdicts are identical either way.
+  bool Triage = true;
 };
 
 /// Runs the access-path analysis over \p F. \p Prog supplies the type

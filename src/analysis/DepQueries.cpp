@@ -6,6 +6,8 @@
 
 #include "analysis/DepQueries.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 
 using namespace apt;
@@ -13,7 +15,10 @@ using namespace apt;
 DepQueryEngine::DepQueryEngine(const Program &Prog, const Function &F,
                                FieldTable &Fields, AnalyzerOptions Opts)
     : Prog(Prog), Func(F), Fields(Fields), Opts(Opts),
-      Result(analyzeFunction(Prog, F, Fields, Opts)) {}
+      Result(analyzeFunction(Prog, F, Fields, Opts)) {
+  if (Opts.Triage)
+    Triage = std::make_unique<TriageEngine>(Prog, F, Fields, Result);
+}
 
 /// Depth-first search for the statement with id \p Id.
 static const Stmt *findById(const std::vector<StmtPtr> &Body, int Id) {
@@ -139,6 +144,7 @@ DepQueryEngine::prepareStatementPair(const std::string &LabelS,
     Out.T = MemRef{T.TypeName, T.Field, AccessPath("_t", Regex::epsilon()),
                    T.IsWrite};
     Out.Axioms = axiomsFor(S, T);
+    consultTriage(S, T, Out);
     return Out;
   }
 
@@ -147,14 +153,36 @@ DepQueryEngine::prepareStatementPair(const std::string &LabelS,
   Out.T = MemRef{T.TypeName, T.Field,
                  AccessPath(*BestHandle, TPaths.at(*BestHandle)), T.IsWrite};
   Out.Axioms = axiomsFor(S, T);
+  consultTriage(S, T, Out);
   return Out;
+}
+
+void DepQueryEngine::consultTriage(const CollectedRef &RefS,
+                                   const CollectedRef &RefT,
+                                   PreparedQuery &Out) const {
+  if (!Triage)
+    return;
+  APT_TRACE_SPAN(Span, trace::SpanKind::Triage);
+  TriageOutcome O = Triage->triage(RefS, RefT, Out.S, Out.T);
+  for (int I = 0; I < 3; ++I)
+    Out.TriageNs[I] = O.TierNs[I];
+  APT_TRACE_EVENT(trace::EventKind::Triage, /*GoalHash=*/0, /*Depth=*/0,
+                  static_cast<uint8_t>(O.Tier),
+                  /*Aux=*/O.Resolved ? 1 : 0);
+  if (!O.Resolved)
+    return;
+  Out.Triaged = true;
+  Out.Tier = O.Tier;
+  Out.TriageIndependent = O.Independent;
+  Out.TriageReason = O.Reason;
+  Out.Immediate = O.Result;
 }
 
 DepTestResult DepQueryEngine::testStatementPair(const std::string &LabelS,
                                                 const std::string &LabelT,
                                                 Prover &P) {
   PreparedQuery Q = prepareStatementPair(LabelS, LabelT);
-  if (Q.Direct)
+  if (Q.Direct || Q.Triaged)
     return Q.Immediate;
   return dependenceTest(Q.Axioms, Q.S, Q.T, P);
 }

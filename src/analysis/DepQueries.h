@@ -25,10 +25,13 @@
 #define APT_ANALYSIS_DEPQUERIES_H
 
 #include "analysis/Collector.h"
+#include "analysis/Triage.h"
 #include "core/DepTest.h"
 #include "core/Prover.h"
 #include "ir/Ast.h"
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -53,6 +56,20 @@ struct PreparedQuery {
   /// True when the query was answered during preparation (missing label)
   /// and the prover is not consulted; \p Immediate holds the answer.
   bool Direct = false;
+  /// True when the triage cascade (analysis/Triage.h) resolved the pair;
+  /// \p Immediate holds the (parity-exact) answer and the prover is not
+  /// consulted. Mutually exclusive with Direct.
+  bool Triaged = false;
+  /// Resolving tier when Triaged (None otherwise).
+  TriageTier Tier = TriageTier::None;
+  /// The cascade's machine-checkable independence claim and reason
+  /// (docs/TRIAGE.md); meaningful only when Triaged.
+  bool TriageIndependent = false;
+  std::string TriageReason;
+  /// Wall time the cascade spent per tier on this pair (0 for tiers not
+  /// reached, and everywhere when triage is off). Accumulated into
+  /// BatchStats for kills and escalations alike.
+  uint64_t TriageNs[3] = {0, 0, 0};
   DepTestResult Immediate;
   AxiomSet Axioms; ///< §3.4 epoch-scoped axioms for this pair.
   MemRef S, T;     ///< The two sides handed to dependenceTest.
@@ -101,6 +118,11 @@ private:
   /// intersection).
   AxiomSet axiomsFor(const CollectedRef &A, const CollectedRef &B) const;
 
+  /// Runs the triage cascade on the fully prepared pair, filling in the
+  /// Triaged outcome fields of \p Out. No-op when triage is disabled.
+  void consultTriage(const CollectedRef &RefS, const CollectedRef &RefT,
+                     PreparedQuery &Out) const;
+
   /// True if \p Ref's statement lies (transitively) inside the body of
   /// the loop with statement id \p LoopId.
   bool refInsideLoopBody(int LoopId, const CollectedRef &Ref) const;
@@ -110,6 +132,8 @@ private:
   FieldTable &Fields;
   AnalyzerOptions Opts;
   AnalysisResult Result;
+  /// The static triage cascade; null when Opts.Triage is off.
+  std::unique_ptr<TriageEngine> Triage;
 };
 
 } // namespace apt

@@ -1,0 +1,234 @@
+//===- analysis/PointsTo.cpp ----------------------------------------------===//
+//
+// Part of the APT project; see PointsTo.h for the abstraction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+
+#include <utility>
+
+using namespace apt;
+
+int PointsToGraph::makeNode() {
+  int N = static_cast<int>(Parent.size());
+  Parent.push_back(N);
+  Rank.push_back(0);
+  FieldEdges.emplace_back();
+  Collapsed.push_back(0);
+  return N;
+}
+
+int PointsToGraph::find(int N) {
+  // Path halving: every probe shortens the chain it walked.
+  while (Parent[N] != N) {
+    Parent[N] = Parent[Parent[N]];
+    N = Parent[N];
+  }
+  return N;
+}
+
+void PointsToGraph::unify(int A, int B) {
+  // Iterative worklist: merging field maps induces further unifications
+  // (the Steensgaard "join" rule), and collapse cascades through them.
+  std::vector<std::pair<int, int>> Pending{{A, B}};
+  while (!Pending.empty()) {
+    auto [X, Y] = Pending.back();
+    Pending.pop_back();
+    X = find(X);
+    Y = find(Y);
+    if (X == Y)
+      continue;
+    if (Rank[X] < Rank[Y])
+      std::swap(X, Y);
+    Parent[Y] = X;
+    if (Rank[X] == Rank[Y])
+      ++Rank[X];
+    bool Col = Collapsed[X] || Collapsed[Y];
+    for (const auto &[F, T] : FieldEdges[Y]) {
+      auto It = FieldEdges[X].find(F);
+      if (It == FieldEdges[X].end())
+        FieldEdges[X].emplace(F, T);
+      else
+        Pending.emplace_back(It->second, T);
+    }
+    FieldEdges[Y].clear();
+    Collapsed[X] = Col ? 1 : 0;
+    if (Col) {
+      // A collapsed class absorbs its own field targets (recursively,
+      // via the worklist): everything reachable from it is it.
+      for (const auto &[F, T] : FieldEdges[X])
+        Pending.emplace_back(X, T);
+      FieldEdges[X].clear();
+    }
+  }
+}
+
+void PointsToGraph::collapseNode(int N) {
+  int R = find(N);
+  if (Collapsed[R])
+    return;
+  Collapsed[R] = 1;
+  std::map<FieldId, int> Edges = std::move(FieldEdges[R]);
+  FieldEdges[R].clear();
+  for (const auto &[F, T] : Edges)
+    unify(R, T);
+}
+
+int PointsToGraph::fieldTarget(int N, FieldId F) {
+  int R = find(N);
+  if (Collapsed[R])
+    return R;
+  auto It = FieldEdges[R].find(F);
+  if (It != FieldEdges[R].end())
+    return find(It->second);
+  int T = makeNode();
+  FieldEdges[R].emplace(F, T);
+  return T;
+}
+
+int PointsToGraph::varOf(const std::string &Name) {
+  auto It = VarNode.find(Name);
+  if (It != VarNode.end())
+    return It->second;
+  int N = makeNode();
+  VarNode.emplace(Name, N);
+  return N;
+}
+
+int PointsToGraph::extOf(const std::string &TypeName) {
+  auto It = ExtNode.find(TypeName);
+  if (It != ExtNode.end())
+    return It->second;
+  // Register before recursing: self-referential types (Node.next: Node)
+  // must close onto this very node, not loop.
+  int N = makeNode();
+  ExtNode.emplace(TypeName, N);
+  if (const TypeDecl *TD = Prog.type(TypeName))
+    for (const FieldDecl &FD : TD->Fields)
+      if (FD.isPointer())
+        unify(fieldTarget(N, FD.Id), extOf(FD.PointeeType));
+  return N;
+}
+
+const FieldDecl *
+PointsToGraph::fieldDecl(const std::string &FieldName) const {
+  // Field names are unique across type declarations (§4.1 footnote), so
+  // a name lookup needs no base type.
+  for (const TypeDecl &T : Prog.Types)
+    if (const FieldDecl *FD = T.field(FieldName))
+      return FD;
+  return nullptr;
+}
+
+void PointsToGraph::walk(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &SP : Body) {
+    const Stmt &S = *SP;
+    switch (S.Kind) {
+    case StmtKind::PtrAssign:
+      switch (S.Rhs) {
+      case PtrRhsKind::Var:
+        unify(varOf(S.Dst), varOf(S.RhsVar));
+        break;
+      case PtrRhsKind::VarField:
+        if (const FieldDecl *FD = fieldDecl(S.RhsField)) {
+          unify(varOf(S.Dst), fieldTarget(varOf(S.RhsVar), FD->Id));
+        } else {
+          // Unknown field (the parser rules this out): degrade to a
+          // collapse of the base, which subsumes any field target.
+          collapseNode(varOf(S.RhsVar));
+          unify(varOf(S.Dst), varOf(S.RhsVar));
+        }
+        break;
+      case PtrRhsKind::New:
+        unify(varOf(S.Dst), AllocNode.count(S.Id)
+                                ? AllocNode[S.Id]
+                                : (AllocNode[S.Id] = makeNode()));
+        break;
+      case PtrRhsKind::Null:
+        varOf(S.Dst); // null adds no edge, but the variable must exist
+        break;
+      }
+      break;
+    case StmtKind::StructWrite:
+      if (const FieldDecl *FD = fieldDecl(S.FieldName)) {
+        unify(fieldTarget(varOf(S.Base), FD->Id), varOf(S.SrcVar));
+      } else {
+        collapseNode(varOf(S.Base));
+        unify(varOf(S.Base), varOf(S.SrcVar));
+      }
+      break;
+    case StmtKind::DataWrite:
+    case StmtKind::DataRead:
+      varOf(S.Base); // data fields carry no pointers
+      break;
+    case StmtKind::Call: {
+      // Opaque callee: every pointer argument may end up pointing at
+      // anything reachable from any argument. Merge and collapse.
+      int Merged = -1;
+      for (const std::string &Arg : S.Args) {
+        int V = varOf(Arg);
+        if (Merged < 0)
+          Merged = V;
+        else
+          unify(Merged, V);
+      }
+      if (Merged >= 0)
+        collapseNode(Merged);
+      break;
+    }
+    case StmtKind::While:
+      varOf(S.CondVar);
+      walk(S.Body);
+      break;
+    case StmtKind::If:
+      varOf(S.CondVar);
+      walk(S.Body);
+      walk(S.Else);
+      break;
+    }
+  }
+}
+
+PointsToGraph::PointsToGraph(const Program &Prog, const Function &F)
+    : Prog(Prog) {
+  // Parameters point into the caller's heap: one external region per
+  // type, pre-closed over pointer fields (two parameters of one type may
+  // alias; parameters of different types cannot name the same vertex,
+  // and the type screen of tier 1 already covers cross-type pairs).
+  for (const auto &[Name, Type] : F.Params)
+    unify(varOf(Name), extOf(Type));
+  walk(F.Body);
+  // Full path compression: from here on find() would be read-only, so
+  // flatten every chain and let the const queries read Parent directly.
+  for (int N = 0; N < static_cast<int>(Parent.size()); ++N)
+    Parent[N] = find(N);
+}
+
+int PointsToGraph::classOf(const std::string &Var) const {
+  auto It = VarNode.find(Var);
+  if (It == VarNode.end())
+    return -1;
+  return Parent[It->second];
+}
+
+bool PointsToGraph::mayAlias(const std::string &A,
+                             const std::string &B) const {
+  int CA = classOf(A), CB = classOf(B);
+  if (CA < 0 || CB < 0)
+    return true; // unknown variable: be conservative
+  return CA == CB;
+}
+
+bool PointsToGraph::collapsed(int Class) const {
+  return Class >= 0 && Class < static_cast<int>(Collapsed.size()) &&
+         Collapsed[Class] != 0;
+}
+
+size_t PointsToGraph::numClasses() const {
+  size_t N = 0;
+  for (size_t I = 0; I < Parent.size(); ++I)
+    if (Parent[I] == static_cast<int>(I))
+      ++N;
+  return N;
+}

@@ -1,0 +1,109 @@
+//===- analysis/PointsTo.h - Steensgaard unification points-to --*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A flow-insensitive, field-sensitive Steensgaard-style unification
+/// points-to analysis over one mini-IR function: the heavyweight tier of
+/// the triage cascade (analysis/Triage.h). Near-linear (union-find with
+/// a pending-unification worklist), computed once per function, consulted
+/// per query pair.
+///
+/// The abstraction is the classic "object class" formulation: every node
+/// of the graph stands for a set of heap vertices, and each pointer
+/// variable is mapped to the node holding everything it may point to.
+/// Nodes come in three flavors:
+///
+///  * a **value node** per pointer variable (what the variable points to),
+///  * an **allocation node** per `new` statement (the objects that site
+///    returns -- fresh memory, initially reachable from nothing else),
+///  * an **external node** per declared type (the unknown caller-provided
+///    heap a parameter of that type points into). External nodes are
+///    eagerly closed over their type's pointer fields, so everything
+///    reachable from a parameter by field walks stays inside the external
+///    region -- which is exactly why cyclic structures (rings, parent
+///    links) can never be split apart by this tier.
+///
+/// Assignments unify: `p = q` merges the two value nodes, `p = q.f`
+/// merges p's node with the f-target of q's node, `p.f = q` merges the
+/// f-target of p's node with q's node, `p = new T` merges with the
+/// allocation node. An opaque `call f(a, b)` merges every argument's
+/// node and *collapses* the result (its field targets become the class
+/// itself, recursively), modeling a callee that may rewire anything it
+/// reached. Merging classes merges their field maps, enqueueing the
+/// induced unifications.
+///
+/// Soundness contract (what Triage relies on): after construction, if
+/// `classOf(p) != classOf(q)` then no execution can make p and q point
+/// to the same heap vertex. The converse does not hold -- unification
+/// over-merges freely -- which is fine: a shared class merely escalates
+/// the pair to the prover.
+///
+/// After construction every union-find parent chain is fully compressed,
+/// so the const query surface is safe to call concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_POINTSTO_H
+#define APT_ANALYSIS_POINTSTO_H
+
+#include "ir/Ast.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Steensgaard points-to classes for one function. Build once, query
+/// concurrently.
+class PointsToGraph {
+public:
+  /// Runs the unification pass over \p F's whole body. \p Prog supplies
+  /// the type declarations (field ids and pointee types).
+  PointsToGraph(const Program &Prog, const Function &F);
+
+  /// Representative points-to class of \p Var's pointees, or -1 when the
+  /// variable never occurred in the function.
+  int classOf(const std::string &Var) const;
+
+  /// True when the two variables' pointee classes intersect (same class,
+  /// or either variable is unknown -- unknown is conservatively "may").
+  bool mayAlias(const std::string &A, const std::string &B) const;
+
+  /// True when \p Class was collapsed by an opaque call (its field
+  /// structure is gone; everything it reached is inside it).
+  bool collapsed(int Class) const;
+
+  /// Number of distinct live classes (for tests and stats).
+  size_t numClasses() const;
+
+private:
+  int makeNode();
+  int find(int N);
+  void unify(int A, int B);
+  void collapseNode(int N);
+  int fieldTarget(int N, FieldId F);
+  int varOf(const std::string &Name);
+  int extOf(const std::string &TypeName);
+  const FieldDecl *fieldDecl(const std::string &FieldName) const;
+  void walk(const std::vector<StmtPtr> &Body);
+
+  const Program &Prog;
+  std::vector<int> Parent;
+  std::vector<int> Rank;
+  /// Per-root field target map; cleared when a node loses root status.
+  std::vector<std::map<FieldId, int>> FieldEdges;
+  std::vector<char> Collapsed;
+  std::map<std::string, int> VarNode;  ///< Variable -> value node.
+  std::map<int, int> AllocNode;        ///< `new` stmt id -> alloc node.
+  std::map<std::string, int> ExtNode;  ///< Type name -> external node.
+};
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_POINTSTO_H

@@ -148,6 +148,9 @@ Profile Profile::fromBatches(
         case SpanKind::LangDisjoint:
           P.LangNs += Self;
           break;
+        case SpanKind::Triage:
+          P.TriageNs += Self;
+          break;
         default:
           P.ProverNs += Self;
           break;
@@ -316,6 +319,7 @@ JsonValue Profile::toJson(const std::string &Mode) const {
   Phases["prover_ns"] = JsonValue(ProverNs);
   Phases["lang_ns"] = JsonValue(LangNs);
   Phases["cache_ns"] = JsonValue(CacheNs);
+  Phases["triage_ns"] = JsonValue(TriageNs);
   Root["phases"] = JsonValue(std::move(Phases));
 
   JsonValue::Object RulesJson;
@@ -350,6 +354,7 @@ void Profile::publishMetrics() const {
   Reg.counter("apt.prof.prover_ns").add(ProverNs);
   Reg.counter("apt.prof.lang_ns").add(LangNs);
   Reg.counter("apt.prof.cache_ns").add(CacheNs);
+  Reg.counter("apt.prof.triage_ns").add(TriageNs);
   Reg.counter("apt.prof.timed_events").add(TimedEvents);
   Reg.counter("apt.prof.unmatched_events").add(UnmatchedEvents);
 }

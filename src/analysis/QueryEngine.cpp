@@ -108,6 +108,11 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   Stats.Queries += Queries.size();
   uint64_t DirectBase = Stats.DirectQueries;
   uint64_t DedupBase = Stats.DedupSaved;
+  uint64_t TriagedBase = Stats.TriagedPairs;
+  uint64_t TriageT1Base = Stats.TriageT1;
+  uint64_t TriageT2Base = Stats.TriageT2;
+  uint64_t TriageT3Base = Stats.TriageT3;
+  uint64_t EscalatedBase = Stats.TriageEscalated;
 
   // Phase 1 (sequential): prepare and deduplicate.
   auto PrepareStart = std::chrono::steady_clock::now();
@@ -130,6 +135,31 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
       Results[I].Result = P.Immediate;
       continue;
     }
+    Stats.TriageT1Ns += P.TriageNs[0];
+    Stats.TriageT2Ns += P.TriageNs[1];
+    Stats.TriageT3Ns += P.TriageNs[2];
+    if (P.Triaged) {
+      // Resolved by the static cascade: the verdict is final, so the
+      // pair skips dedup and the prover fan-out entirely.
+      ++Stats.TriagedPairs;
+      switch (P.Tier) {
+      case TriageTier::T1:
+        ++Stats.TriageT1;
+        break;
+      case TriageTier::T2:
+        ++Stats.TriageT2;
+        break;
+      case TriageTier::T3:
+        ++Stats.TriageT3;
+        break;
+      case TriageTier::None:
+        break;
+      }
+      Results[I].Result = P.Immediate;
+      continue;
+    }
+    if (Opts.Analyzer.Triage)
+      ++Stats.TriageEscalated;
     std::string Key = queryKey(P);
     auto [It, Inserted] = TaskIndex.emplace(Key, Tasks.size());
     if (Inserted) {
@@ -261,6 +291,12 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     R.counter("apt.batch.unique_queries").add(Tasks.size());
     R.counter("apt.batch.direct_queries").add(Stats.DirectQueries - DirectBase);
     R.counter("apt.batch.dedup_saved").add(Stats.DedupSaved - DedupBase);
+    R.counter("apt.triage.pairs").add(Stats.TriagedPairs - TriagedBase);
+    R.counter("apt.triage.t1_kills").add(Stats.TriageT1 - TriageT1Base);
+    R.counter("apt.triage.t2_kills").add(Stats.TriageT2 - TriageT2Base);
+    R.counter("apt.triage.t3_kills").add(Stats.TriageT3 - TriageT3Base);
+    R.counter("apt.triage.escalated")
+        .add(Stats.TriageEscalated - EscalatedBase);
     R.counter("apt.prover.goals_explored").add(RunProver.GoalsExplored);
     R.counter("apt.prover.goal_cache_hits").add(RunProver.GoalCacheHits);
     R.counter("apt.prover.shared_goal_hits").add(RunProver.SharedGoalHits);
@@ -313,13 +349,17 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
 }
 
 std::string BatchStats::toString() const {
-  char Buf[1280];
+  char Buf[1536];
   double Parallelism = WallMs > 0 ? CpuMs / WallMs : 0.0;
+  double TriageMs =
+      static_cast<double>(TriageT1Ns + TriageT2Ns + TriageT3Ns) / 1e6;
   std::snprintf(
       Buf, sizeof(Buf),
       "batch stats:\n"
       "  queries:    %llu (direct %llu, unique %llu, dedup-saved %llu, "
       "dedup ratio %.1f%%)\n"
+      "  triage:     %llu pairs (t1 %llu, t2 %llu, t3 %llu, "
+      "escalated %llu; %.2f ms)\n"
       "  jobs:       %u; wall %.2f ms, cpu %.2f ms (parallelism %.2fx)\n"
       "  prover:     %llu goals, %llu cache hits (%llu shared), "
       "%llu inductions, %llu alt splits\n"
@@ -333,6 +373,11 @@ std::string BatchStats::toString() const {
       static_cast<unsigned long long>(DirectQueries),
       static_cast<unsigned long long>(UniqueQueries),
       static_cast<unsigned long long>(DedupSaved), 100.0 * dedupRatio(),
+      static_cast<unsigned long long>(TriagedPairs),
+      static_cast<unsigned long long>(TriageT1),
+      static_cast<unsigned long long>(TriageT2),
+      static_cast<unsigned long long>(TriageT3),
+      static_cast<unsigned long long>(TriageEscalated), TriageMs,
       Jobs, WallMs, CpuMs, Parallelism,
       static_cast<unsigned long long>(Prover.GoalsExplored),
       static_cast<unsigned long long>(Prover.GoalCacheHits),

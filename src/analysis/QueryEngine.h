@@ -79,6 +79,19 @@ struct BatchStats {
   uint64_t DirectQueries = 0; ///< Answered during preparation.
   uint64_t DedupSaved = 0;    ///< Prover runs avoided by deduplication.
 
+  /// Triage cascade accounting (docs/TRIAGE.md). A *triaged* pair is one
+  /// the static cascade resolved during preparation, so it never entered
+  /// dedup or the prover fan-out; an *escalated* pair ran the cascade
+  /// without a resolution and continued to the prover.
+  uint64_t TriagedPairs = 0;    ///< Pairs resolved by any triage tier.
+  uint64_t TriageT1 = 0;        ///< Resolved by type/field/access screens.
+  uint64_t TriageT2 = 0;        ///< Resolved by distinct-allocation facts.
+  uint64_t TriageT3 = 0;        ///< Resolved by the points-to pass.
+  uint64_t TriageEscalated = 0; ///< Cascade ran but had to escalate.
+  uint64_t TriageT1Ns = 0;      ///< Wall time spent in tier 1.
+  uint64_t TriageT2Ns = 0;      ///< Wall time spent in tier 2.
+  uint64_t TriageT3Ns = 0;      ///< Wall time spent in tier 3.
+
   /// Merged per-worker prover counters (GoalsExplored, GoalCacheHits,
   /// SharedGoalHits, ...).
   ProverStats Prover;
@@ -113,8 +126,10 @@ struct BatchStats {
   double BroadcastMs = 0;
 
   /// Fraction of prover-bound queries answered by deduplication.
+  /// Triaged pairs never reach dedup, so they are excluded from the
+  /// denominator alongside direct answers.
   double dedupRatio() const {
-    uint64_t Provable = Queries - DirectQueries;
+    uint64_t Provable = Queries - DirectQueries - TriagedPairs;
     return Provable ? static_cast<double>(DedupSaved) / Provable : 0.0;
   }
 

@@ -1,0 +1,208 @@
+//===- analysis/Triage.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see Triage.h for the tier contracts and
+// docs/TRIAGE.md for the soundness argument per tier.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Triage.h"
+
+#include <chrono>
+#include <set>
+
+using namespace apt;
+
+const char *apt::triageTierName(TriageTier T) {
+  switch (T) {
+  case TriageTier::None:
+    return "escalated";
+  case TriageTier::T1:
+    return "t1";
+  case TriageTier::T2:
+    return "t2";
+  case TriageTier::T3:
+    return "t3";
+  }
+  return "unknown";
+}
+
+TriageEngine::TriageEngine(const Program &Prog, const Function &F,
+                           const FieldTable &Fields,
+                           const AnalysisResult &Analysis)
+    : Fields(Fields), Analysis(Analysis), PT(Prog, F) {
+  indexLabels(F.Body);
+}
+
+void TriageEngine::indexLabels(const std::vector<StmtPtr> &Body) {
+  for (const StmtPtr &SP : Body) {
+    const Stmt &S = *SP;
+    if (!S.Label.empty()) {
+      switch (S.Kind) {
+      case StmtKind::DataRead:
+      case StmtKind::DataWrite:
+      case StmtKind::StructWrite:
+        LabelBase[S.Label] = S.Base;
+        break;
+      case StmtKind::PtrAssign:
+        // A labeled `p = q.f` records its field read against base q.
+        if (S.Rhs == PtrRhsKind::VarField)
+          LabelBase[S.Label] = S.RhsVar;
+        break;
+      default:
+        break;
+      }
+    }
+    indexLabels(S.Body);
+    indexLabels(S.Else);
+  }
+}
+
+const std::string *TriageEngine::baseVarOf(const std::string &Label) const {
+  auto It = LabelBase.find(Label);
+  return It == LabelBase.end() ? nullptr : &It->second;
+}
+
+namespace {
+
+/// Mirrors DepTest's classify(): the access-kind component of tier 1.
+DepKind classifyKinds(const MemRef &S, const MemRef &T) {
+  if (S.IsWrite && T.IsWrite)
+    return DepKind::Output;
+  if (S.IsWrite)
+    return DepKind::Flow;
+  if (T.IsWrite)
+    return DepKind::Anti;
+  return DepKind::None;
+}
+
+/// Allocation sites the reference's base pointer *definitely* names: an
+/// APM entry (H, epsilon) means the base is exactly handle H's vertex
+/// (every recorded entry holds simultaneously -- Apm.h), and a handle
+/// born at a `new` statement names that allocation. All sites in the
+/// returned set denote the same vertex, so any disjointness against the
+/// other side's set is decisive.
+std::set<int> definiteAllocSites(const CollectedRef &Ref,
+                                 const AnalysisResult &Analysis) {
+  std::set<int> Sites;
+  for (const auto &[Handle, Path] : Ref.Paths) {
+    if (!Path->isEpsilon())
+      continue;
+    auto It = Analysis.HandleAllocSite.find(Handle);
+    if (It != Analysis.HandleAllocSite.end())
+      Sites.insert(It->second);
+  }
+  return Sites;
+}
+
+uint64_t nanosSince(std::chrono::steady_clock::time_point Start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+} // namespace
+
+TriageOutcome TriageEngine::triage(const CollectedRef &RefS,
+                                   const CollectedRef &RefT, const MemRef &S,
+                                   const MemRef &T) const {
+  TriageOutcome Out;
+
+  // --- Tier 1: access kinds and type/field vocabulary. Replays the
+  // deptest screens verbatim (Reason strings included), so a T1 kill is
+  // byte-identical to the untriaged answer.
+  auto T1Start = std::chrono::steady_clock::now();
+  DepKind Kind = classifyKinds(S, T);
+  if (Kind == DepKind::None) {
+    Out.Resolved = true;
+    Out.Tier = TriageTier::T1;
+    Out.Independent = true;
+    Out.Reason = "t1:no-write";
+    Out.Result.Verdict = DepVerdict::No;
+    Out.Result.Kind = DepKind::None;
+    Out.Result.Reason = "neither reference writes";
+    Out.TierNs[0] = nanosSince(T1Start);
+    return Out;
+  }
+  if (S.TypeName != T.TypeName) {
+    Out.Resolved = true;
+    Out.Tier = TriageTier::T1;
+    Out.Independent = true;
+    Out.Reason =
+        "t1:type-disjoint '" + S.TypeName + "' vs '" + T.TypeName + "'";
+    Out.Result.Verdict = DepVerdict::No;
+    Out.Result.Kind = DepKind::None;
+    Out.Result.Reason = "pointers have different data-structure types ('" +
+                        S.TypeName + "' vs '" + T.TypeName + "')";
+    Out.TierNs[0] = nanosSince(T1Start);
+    return Out;
+  }
+  if (S.Field != T.Field) {
+    Out.Resolved = true;
+    Out.Tier = TriageTier::T1;
+    Out.Independent = true;
+    Out.Reason = "t1:field-disjoint '" + Fields.name(S.Field) + "' vs '" +
+                 Fields.name(T.Field) + "'";
+    Out.Result.Verdict = DepVerdict::No;
+    Out.Result.Kind = DepKind::None;
+    Out.Result.Reason = "accessed fields do not overlap";
+    Out.TierNs[0] = nanosSince(T1Start);
+    return Out;
+  }
+  Out.TierNs[0] = nanosSince(T1Start);
+
+  // Pairs sharing a handle are genuine prover work (equality and
+  // disjointness proofs over a common anchor); the cascade never
+  // resolves them. T2/T3 only rule on distinct-handle pairs, where the
+  // untriaged test answers a conservative Maybe before any prover time
+  // -- the cascade emits that exact Maybe while recording its stronger
+  // internal independence claim.
+  if (S.Path.Handle == T.Path.Handle)
+    return Out;
+  DepTestResult Unrelated;
+  Unrelated.Verdict = DepVerdict::Maybe;
+  Unrelated.Kind = Kind;
+  Unrelated.Reason = "access paths are anchored at unrelated handles ('" +
+                     S.Path.Handle + "' vs '" + T.Path.Handle + "')";
+
+  // --- Tier 2: distinct allocation sites from Collector provenance.
+  auto T2Start = std::chrono::steady_clock::now();
+  std::set<int> SitesS = definiteAllocSites(RefS, Analysis);
+  std::set<int> SitesT = definiteAllocSites(RefT, Analysis);
+  bool Disjoint = !SitesS.empty() && !SitesT.empty();
+  for (int Site : SitesS)
+    if (SitesT.count(Site))
+      Disjoint = false;
+  if (Disjoint) {
+    Out.Resolved = true;
+    Out.Tier = TriageTier::T2;
+    Out.Independent = true;
+    Out.Reason = "t2:distinct-alloc #" + std::to_string(*SitesS.begin()) +
+                 " vs #" + std::to_string(*SitesT.begin());
+    Out.Result = Unrelated;
+    Out.TierNs[1] = nanosSince(T2Start);
+    return Out;
+  }
+  Out.TierNs[1] = nanosSince(T2Start);
+
+  // --- Tier 3: Steensgaard points-to classes.
+  auto T3Start = std::chrono::steady_clock::now();
+  const std::string *BaseS = baseVarOf(RefS.Label);
+  const std::string *BaseT = baseVarOf(RefT.Label);
+  if (BaseS && BaseT) {
+    int ClassS = PT.classOf(*BaseS);
+    int ClassT = PT.classOf(*BaseT);
+    if (ClassS >= 0 && ClassT >= 0 && ClassS != ClassT) {
+      Out.Resolved = true;
+      Out.Tier = TriageTier::T3;
+      Out.Independent = true;
+      Out.Reason = "t3:points-to class " + std::to_string(ClassS) + " vs " +
+                   std::to_string(ClassT);
+      Out.Result = Unrelated;
+      Out.TierNs[2] = nanosSince(T3Start);
+      return Out;
+    }
+  }
+  Out.TierNs[2] = nanosSince(T3Start);
+  return Out; // escalate
+}

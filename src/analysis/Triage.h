@@ -1,0 +1,115 @@
+//===- analysis/Triage.h - Tiered static triage cascade --------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static triage cascade that runs on each PreparedQuery before any
+/// prover time is spent (docs/TRIAGE.md): a sequence of increasingly
+/// expensive conservative filters, cheapest first, each able to resolve
+/// a pair outright or pass it to the next tier.
+///
+///   * **T1 -- access-kind and type/field vocabulary.** Replays the
+///     deptest screens: two reads never conflict; references into
+///     different structure types or to non-overlapping fields cannot
+///     alias. Byte-identical to the result `dependenceTest` would
+///     return, so resolving here changes no output.
+///   * **T2 -- distinct allocation sites.** Consults the Collector's
+///     provenance facts: a reference whose base pointer carries an
+///     epsilon-path entry for a handle born at a `new` statement
+///     definitely names that allocation's vertex. Two such references
+///     with disjoint allocation sites can never touch the same vertex
+///     (distinct `new`s return distinct objects, in every execution).
+///   * **T3 -- Steensgaard points-to classes.** Consults the per-function
+///     unification pass (PointsTo.h): base pointers in different
+///     points-to classes cannot point to the same vertex.
+///
+/// T2 and T3 only run on pairs whose prepared access paths are anchored
+/// at *distinct* handles -- exactly the pairs `dependenceTest` answers
+/// with its conservative "unrelated handles" Maybe before reaching the
+/// prover. The cascade therefore emits that same Maybe result (verdict
+/// parity with --triage=off is a hard invariant, enforced by the
+/// aptc_deps_triage_parity ctest) while recording the machine-checkable
+/// independence claim in TriageOutcome::Independent / ::Reason; the
+/// differential suite cross-checks those claims against bounded concrete
+/// interpretation. Pairs sharing a handle are real prover work and
+/// always escalate past T1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_ANALYSIS_TRIAGE_H
+#define APT_ANALYSIS_TRIAGE_H
+
+#include "analysis/Collector.h"
+#include "analysis/PointsTo.h"
+#include "core/DepTest.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace apt {
+
+/// Which tier resolved a pair (None = escalated to the prover).
+enum class TriageTier : uint8_t { None = 0, T1 = 1, T2 = 2, T3 = 3 };
+
+/// Stable lowercase identifier ("t1", ...; "escalated" for None).
+const char *triageTierName(TriageTier T);
+
+/// Outcome of running the cascade on one prepared pair.
+struct TriageOutcome {
+  /// True when a tier produced the final DepTestResult; false = escalate.
+  bool Resolved = false;
+  TriageTier Tier = TriageTier::None;
+  /// The machine-checkable claim: the two references never conflict,
+  /// i.e. in no execution do they touch the same (vertex, field) cell
+  /// with at least one of them writing. True for every resolving tier
+  /// (T1 rejections and the T2/T3 distinct-vertex proofs alike); the
+  /// differential suite checks it against concrete interpretation.
+  bool Independent = false;
+  /// Machine-checkable rejection reason, e.g. "t2:distinct-alloc #3 vs
+  /// #5". Stable prefix per tier; cross-checked by the differential
+  /// suite.
+  std::string Reason;
+  /// The exact result to emit -- byte-identical to what dependenceTest
+  /// would have returned for this PreparedQuery.
+  DepTestResult Result;
+  /// Wall time spent inside each tier that ran, in nanoseconds
+  /// (index 0 = T1). Tiers not reached stay 0.
+  uint64_t TierNs[3] = {0, 0, 0};
+};
+
+/// The cascade for one analyzed function. Construction runs the
+/// Steensgaard pass; triage() is const and safe to call concurrently.
+class TriageEngine {
+public:
+  /// \p Prog, \p Fields and \p Analysis must outlive the engine (the
+  /// owning DepQueryEngine guarantees this).
+  TriageEngine(const Program &Prog, const Function &F,
+               const FieldTable &Fields, const AnalysisResult &Analysis);
+
+  /// Runs the cascade on the pair (\p RefS, \p RefT) as prepared into
+  /// the memrefs (\p S, \p T) by prepareStatementPair.
+  TriageOutcome triage(const CollectedRef &RefS, const CollectedRef &RefT,
+                       const MemRef &S, const MemRef &T) const;
+
+  const PointsToGraph &pointsTo() const { return PT; }
+
+private:
+  /// Base pointer variable of the labeled reference, or nullptr.
+  const std::string *baseVarOf(const std::string &Label) const;
+  void indexLabels(const std::vector<StmtPtr> &Body);
+
+  const FieldTable &Fields;
+  const AnalysisResult &Analysis;
+  PointsToGraph PT;
+  /// Label -> base pointer variable of the labeled memory reference.
+  std::map<std::string, std::string> LabelBase;
+};
+
+} // namespace apt
+
+#endif // APT_ANALYSIS_TRIAGE_H

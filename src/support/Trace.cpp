@@ -58,6 +58,8 @@ const char *apt::trace::eventKindName(EventKind K) {
     return "lang_disjoint";
   case EventKind::LangWitness:
     return "lang_witness";
+  case EventKind::Triage:
+    return "triage";
   case EventKind::SpanBegin:
     return "span_begin";
   case EventKind::SpanEnd:
@@ -84,6 +86,8 @@ const char *apt::trace::spanKindName(SpanKind K) {
     return "lang_subset";
   case SpanKind::LangDisjoint:
     return "lang_disjoint";
+  case SpanKind::Triage:
+    return "triage";
   }
   return "unknown";
 }

@@ -74,6 +74,9 @@ enum class EventKind : uint8_t {
                       ///< Flag = 1 for a shared word refuting disjointness,
                       ///< 0 for a subset counterexample; Aux = word length,
                       ///< GoalHash = hash of the query key it refutes.
+  Triage,             ///< Triage cascade consulted on a prepared pair.
+                      ///< Flag = resolving TriageTier (0 = escalated),
+                      ///< Aux = 1 when the pair was resolved.
   SpanBegin,          ///< Timed scope opened. Flag = SpanKind.
   SpanEnd,            ///< Timed scope closed. Flag = SpanKind.
 };
@@ -97,10 +100,11 @@ enum class SpanKind : uint8_t {
   SevenCase,      ///< 7-case double-Kleene induction attempt.
   LangSubset,     ///< Uncached language subset computation.
   LangDisjoint,   ///< Uncached language disjointness computation.
+  Triage,         ///< Static triage cascade run on one prepared pair.
 };
 
 constexpr size_t NumSpanKinds =
-    static_cast<size_t>(SpanKind::LangDisjoint) + 1;
+    static_cast<size_t>(SpanKind::Triage) + 1;
 
 /// Stable lowercase identifier, e.g. "suffix_splits" (profile rule key).
 const char *spanKindName(SpanKind K);

@@ -21,19 +21,25 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/DepQueries.h"
+#include "analysis/QueryEngine.h"
 #include "baselines/Oracle.h"
 #include "core/Prelude.h"
 #include "graph/AxiomChecker.h"
 #include "graph/HeapGraph.h"
+#include "ir/Parser.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 using namespace apt;
@@ -309,6 +315,304 @@ TEST(Differential, NoVerdictsHoldInSatisfyingModels) {
   // against a generator drift that stops producing No verdicts.
   EXPECT_GT(C.NoVerdicts, Target / 20)
       << "generator drift: too few No verdicts to differential-test";
+}
+
+//===----------------------------------------------------------------------===//
+// Triage leg: cross-check the static cascade's independence claims
+// (analysis/Triage.h) against bounded concrete interpretation.
+//
+// The generator emits random well-typed programs over one structure type
+// with NO axioms, so every concrete heap is a model: if the cascade
+// claims a labeled pair is independent ("never touch the same (vertex,
+// field) cell with at least one write"), any interpreted execution that
+// produces such a conflicting cell is a soundness bug. A second check
+// requires verdict parity between --triage on and off on every pair.
+//===----------------------------------------------------------------------===//
+
+/// Emits a random program: `type Node { next, down: Node; val, aux: int }`
+/// and one function over params h, k with allocations, copies, field
+/// loads, structural writes, loops/branches, and labeled data accesses.
+struct ProgGen {
+  std::mt19937 Rng;
+  std::vector<std::string> Ptrs{"h", "k"};
+  int NextPtr = 0, NextScalar = 0, NextLabel = 0;
+  std::vector<std::string> Labels;
+  std::string Text;
+
+  explicit ProgGen(unsigned Seed) : Rng(Seed) {}
+
+  size_t pick(size_t N) { return Rng() % N; }
+  // By value: dstPtr() may grow Ptrs within the same full expression,
+  // and a reference into the vector would dangle across a reallocation.
+  std::string anyPtr() { return Ptrs[pick(Ptrs.size())]; }
+  const char *ptrField() { return pick(2) ? "next" : "down"; }
+  const char *dataField() { return pick(2) ? "val" : "aux"; }
+
+  /// Destination pointer variable: usually fresh (keeps handles and
+  /// allocation provenance diverse), sometimes a redefinition.
+  std::string dstPtr() {
+    if (pick(3) == 0 && Ptrs.size() > 2)
+      return Ptrs[pick(Ptrs.size())];
+    std::string P = "p" + std::to_string(NextPtr++);
+    Ptrs.push_back(P);
+    return P;
+  }
+
+  void line(int Depth, const std::string &S) {
+    Text.append(2 * (Depth + 1), ' ');
+    Text += S;
+    Text += "\n";
+  }
+
+  void stmts(int Budget, int Depth) {
+    while (Budget-- > 0) {
+      switch (pick(Depth < 2 ? 9 : 8)) {
+      case 0:
+        line(Depth, dstPtr() + " = new Node;");
+        break;
+      case 1:
+        line(Depth, dstPtr() + " = " + anyPtr() + ";");
+        break;
+      case 2:
+      case 3:
+        line(Depth, dstPtr() + " = " + anyPtr() + "." + ptrField() + ";");
+        break;
+      case 4:
+        line(Depth, anyPtr() + "." + ptrField() + " = " + anyPtr() + ";");
+        break;
+      case 5:
+      case 6: {
+        std::string L = "L" + std::to_string(NextLabel++);
+        Labels.push_back(L);
+        line(Depth, L + ": " + anyPtr() + "." + dataField() + " = fun();");
+        break;
+      }
+      case 7: {
+        std::string L = "L" + std::to_string(NextLabel++);
+        Labels.push_back(L);
+        line(Depth, L + ": t" + std::to_string(NextScalar++) + " = " +
+                        anyPtr() + "." + dataField() + ";");
+        break;
+      }
+      default: {
+        int Inner = 2 + static_cast<int>(pick(3));
+        line(Depth, "while " + anyPtr() + " {");
+        stmts(Inner, Depth + 1);
+        line(Depth, "}");
+        Budget -= Inner;
+        break;
+      }
+      }
+    }
+  }
+
+  std::string program() {
+    Text = "type Node {\n  next: Node;\n  down: Node;\n"
+           "  val: int;\n  aux: int;\n}\n"
+           "fn f(h: Node, k: Node) {\n";
+    stmts(12 + static_cast<int>(pick(6)), 0);
+    Text += "}\n";
+    return Text;
+  }
+};
+
+/// Bounded concrete interpreter for the generated fragment. Nodes carry
+/// two pointer slots (next, down); a null dereference halts the
+/// execution, keeping the accesses of its prefix (exactly the executions
+/// a real run would produce before crashing). Loops are unrolled to a
+/// fixed bound -- an under-approximation, which is the sound direction
+/// for refuting independence claims.
+struct Interp {
+  /// Per-label access summary of one execution: (node, data field) ->
+  /// whether a read and/or a write touched it.
+  struct Access {
+    bool Read = false, Write = false;
+  };
+  using CellMap = std::map<std::pair<int, std::string>, Access>;
+
+  std::vector<std::array<int, 2>> Nodes; ///< [0] = next, [1] = down.
+  std::map<std::string, int> Vars;       ///< Pointer var -> node (-1 null).
+  std::map<std::string, CellMap> ByLabel;
+  int Steps = 0;
+  bool Halted = false;
+
+  static int slot(const std::string &Field) { return Field == "next" ? 0 : 1; }
+
+  int value(const std::string &Var) const {
+    auto It = Vars.find(Var);
+    return It == Vars.end() ? -1 : It->second;
+  }
+
+  void run(const std::vector<StmtPtr> &Body) {
+    for (const StmtPtr &S : Body) {
+      if (Halted || ++Steps > 400) {
+        Halted = true;
+        return;
+      }
+      switch (S->Kind) {
+      case StmtKind::PtrAssign:
+        switch (S->Rhs) {
+        case PtrRhsKind::New:
+          Nodes.push_back({-1, -1});
+          Vars[S->Dst] = static_cast<int>(Nodes.size()) - 1;
+          break;
+        case PtrRhsKind::Null:
+          Vars[S->Dst] = -1;
+          break;
+        case PtrRhsKind::Var:
+          Vars[S->Dst] = value(S->RhsVar);
+          break;
+        case PtrRhsKind::VarField: {
+          int B = value(S->RhsVar);
+          if (B < 0) {
+            Halted = true;
+            return;
+          }
+          Vars[S->Dst] = Nodes[B][slot(S->RhsField)];
+          break;
+        }
+        }
+        break;
+      case StmtKind::DataWrite:
+      case StmtKind::DataRead: {
+        int B = value(S->Base);
+        if (B < 0) {
+          Halted = true;
+          return;
+        }
+        if (!S->Label.empty()) {
+          Access &A = ByLabel[S->Label][{B, S->FieldName}];
+          (S->Kind == StmtKind::DataWrite ? A.Write : A.Read) = true;
+        }
+        break;
+      }
+      case StmtKind::StructWrite: {
+        int B = value(S->Base);
+        if (B < 0) {
+          Halted = true;
+          return;
+        }
+        Nodes[B][slot(S->FieldName)] = value(S->SrcVar);
+        break;
+      }
+      case StmtKind::While:
+        for (int It = 0; It < 8 && !Halted && value(S->CondVar) >= 0; ++It)
+          run(S->Body);
+        break;
+      case StmtKind::If:
+        run(value(S->CondVar) >= 0 ? S->Body : S->Else);
+        break;
+      case StmtKind::Call:
+        break; // the generator emits none
+      }
+    }
+  }
+};
+
+/// Initial parameter heaps: null, distinct, aliased, linked, cyclic,
+/// diamond-shared, and cross-linked shapes. Small by design -- the
+/// cascade's claims quantify over all executions, so ANY of these
+/// producing a conflict refutes them.
+std::vector<Interp> initialStates() {
+  std::vector<Interp> Out;
+  auto Mk = [&](std::vector<std::array<int, 2>> Nodes, int H, int K) {
+    Interp St;
+    St.Nodes = std::move(Nodes);
+    St.Vars["h"] = H;
+    St.Vars["k"] = K;
+    Out.push_back(std::move(St));
+  };
+  Mk({}, -1, -1);                            // both null
+  Mk({{-1, -1}, {-1, -1}}, 0, 1);            // distinct isolated nodes
+  Mk({{-1, -1}}, 0, 0);                      // h and k alias
+  Mk({{1, -1}, {2, -1}, {-1, -1}}, 0, 2);    // list, k deep inside
+  Mk({{0, 0}}, 0, 0);                        // tight self-cycle
+  Mk({{1, 1}, {-1, -1}}, 0, 1);              // diamond: next == down
+  Mk({{1, -1}, {0, 1}}, 0, 1);               // two-node cycle + self edge
+  return Out;
+}
+
+/// True when the executions in \p St show the labeled pair conflicting:
+/// some (node, field) cell touched by both with at least one write.
+bool conflicts(const Interp &St, const std::string &A, const std::string &B) {
+  auto ItA = St.ByLabel.find(A), ItB = St.ByLabel.find(B);
+  if (ItA == St.ByLabel.end() || ItB == St.ByLabel.end())
+    return false;
+  for (const auto &[Cell, AccA] : ItA->second) {
+    auto It = ItB->second.find(Cell);
+    if (It != ItB->second.end() && (AccA.Write || It->second.Write))
+      return true;
+  }
+  return false;
+}
+
+TEST(Differential, TriageClaimsHoldUnderConcreteInterpretation) {
+  const unsigned Seed = envOr("APT_DIFF_SEED", 20260805);
+  const unsigned Programs =
+      std::max(12u, envOr("APT_DIFF_CASES", APT_DIFF_DEFAULT_CASES) / 12);
+  std::cout << "[differential] triage leg: seed=" << Seed << " programs="
+            << Programs << "\n";
+
+  size_t Pairs = 0, Claims = 0, Escalated = 0;
+  for (unsigned Round = 0; Round < Programs; ++Round) {
+    ProgGen Gen(Seed + 7654321 * Round);
+    std::string Text = Gen.program();
+    if (Gen.Labels.size() < 2)
+      continue;
+    FieldTable Fields;
+    ProgramParseResult Parsed = parseProgram(Text, Fields);
+    ASSERT_TRUE(Parsed) << Parsed.Error << "\n" << Text;
+    Program &Prog = Parsed.Value;
+
+    // Interpret once per initial heap; claims are checked per execution.
+    const Function &F = *Prog.function("f");
+    std::vector<Interp> Runs = initialStates();
+    for (Interp &St : Runs)
+      St.run(F.Body);
+
+    DepQueryEngine Engine(Prog, F, Fields);
+    for (size_t I = 0; I < Gen.Labels.size(); ++I) {
+      for (size_t J = I + 1; J < Gen.Labels.size(); ++J) {
+        ++Pairs;
+        PreparedQuery P =
+            Engine.prepareStatementPair(Gen.Labels[I], Gen.Labels[J]);
+        if (!P.Triaged) {
+          Escalated += !P.Direct;
+          continue;
+        }
+        ASSERT_TRUE(P.TriageIndependent);
+        ++Claims;
+        for (const Interp &St : Runs)
+          ASSERT_FALSE(conflicts(St, Gen.Labels[I], Gen.Labels[J]))
+              << "triage claimed independence (" << P.TriageReason
+              << ") for (" << Gen.Labels[I] << ", " << Gen.Labels[J]
+              << ") but an interpreted execution conflicts\n"
+              << Text;
+      }
+    }
+
+    // Verdict parity: the cascade must be invisible in the output.
+    BatchOptions On, Off;
+    Off.Analyzer.Triage = false;
+    // No axioms to apply, so keep the prover on a tight leash anyway.
+    On.Prover.MaxSteps = Off.Prover.MaxSteps = 2000;
+    BatchQueryEngine EOn(Prog, Fields, On), EOff(Prog, Fields, Off);
+    std::vector<BatchResult> ROn = EOn.runAll(), ROff = EOff.runAll();
+    ASSERT_EQ(ROn.size(), ROff.size());
+    for (size_t I = 0; I < ROn.size(); ++I) {
+      ASSERT_EQ(ROn[I].Result.Verdict, ROff[I].Result.Verdict)
+          << ROn[I].Query.LabelS << " vs " << ROn[I].Query.LabelT << "\n"
+          << Text;
+      ASSERT_EQ(ROn[I].Result.Kind, ROff[I].Result.Kind) << I;
+      ASSERT_EQ(ROn[I].Result.Reason, ROff[I].Result.Reason) << I;
+    }
+  }
+  std::cout << "[differential] triage leg: " << Pairs << " pairs, " << Claims
+            << " independence claims checked, " << Escalated
+            << " escalated\n";
+  // Guard against generator drift that stops exercising the cascade.
+  EXPECT_GT(Claims, Pairs / 20);
+  EXPECT_GT(Escalated, 0u);
 }
 
 // The prelude structures ship hand-written axiom sets; their canonical

@@ -231,6 +231,18 @@ TEST(BatchStatsTest, CountersAreMonotoneAcrossRuns) {
   EXPECT_GE(Second.PrepareMs, First.PrepareMs);
   EXPECT_GE(Second.ProveMs, First.ProveMs);
   EXPECT_GE(Second.BroadcastMs, First.BroadcastMs);
+  // Triage accounting is cumulative like everything else; on this
+  // program every pair shares a handle, so the whole plan escalates.
+  EXPECT_EQ(Second.TriagedPairs, 2 * First.TriagedPairs);
+  EXPECT_EQ(Second.TriageEscalated, 2 * First.TriageEscalated);
+  EXPECT_GT(First.TriageEscalated, 0u);
+  EXPECT_EQ(First.TriagedPairs, 0u);
+  EXPECT_GE(Second.TriageT1, First.TriageT1);
+  EXPECT_GE(Second.TriageT2, First.TriageT2);
+  EXPECT_GE(Second.TriageT3, First.TriageT3);
+  EXPECT_GE(Second.TriageT1Ns, First.TriageT1Ns);
+  EXPECT_GE(Second.TriageT2Ns, First.TriageT2Ns);
+  EXPECT_GE(Second.TriageT3Ns, First.TriageT3Ns);
   // The second run rides the warm shared caches: no new entries needed.
   EXPECT_EQ(Second.GoalCacheEntries, First.GoalCacheEntries);
   EXPECT_GT(Second.GoalCache.Hits, First.GoalCache.Hits);
@@ -262,7 +274,62 @@ TEST(BatchStatsTest, VerdictRelevantCountersAreJobsInvariant) {
     EXPECT_EQ(S.UniqueQueries, Ref.UniqueQueries) << "jobs=" << Jobs;
     EXPECT_EQ(S.DirectQueries, Ref.DirectQueries) << "jobs=" << Jobs;
     EXPECT_EQ(S.DedupSaved, Ref.DedupSaved) << "jobs=" << Jobs;
+    // Triage runs during preparation, before any work is scheduled, so
+    // its counts are part of the plan-derived invariant set (the TierNs
+    // timings may of course vary).
+    EXPECT_EQ(S.TriagedPairs, Ref.TriagedPairs) << "jobs=" << Jobs;
+    EXPECT_EQ(S.TriageT1, Ref.TriageT1) << "jobs=" << Jobs;
+    EXPECT_EQ(S.TriageT2, Ref.TriageT2) << "jobs=" << Jobs;
+    EXPECT_EQ(S.TriageT3, Ref.TriageT3) << "jobs=" << Jobs;
+    EXPECT_EQ(S.TriageEscalated, Ref.TriageEscalated) << "jobs=" << Jobs;
   }
+}
+
+TEST(BatchStatsTest, TriagedPairsBypassDedupAndProver) {
+  // Distinct allocations and type/field screens: every pair of this
+  // program resolves in the cascade, so nothing reaches dedup or the
+  // prover and the dedup ratio stays well-defined at zero.
+  const char *Text = R"(
+type Node {
+  next: Node;
+  val: int;
+  aux: int;
+}
+fn f(h: Node) {
+  p = new Node;
+  q = new Node;
+  A: p.val = fun();
+  B: q.val = fun();
+  C: p.aux = fun();
+}
+)";
+  FieldTable Fields;
+  Program Prog = parseOrDie(Text, Fields);
+  BatchQueryEngine Engine(Prog, Fields);
+  std::vector<BatchResult> Results = Engine.runAll();
+  ASSERT_EQ(Results.size(), 3u);
+  const BatchStats &S = Engine.stats();
+  EXPECT_EQ(S.Queries, 3u);
+  EXPECT_EQ(S.TriagedPairs, 3u);
+  // (A,C) and (B,C) die on the val/aux field screen; (A,B) passes T1
+  // (same field, both writes) and resolves as two distinct allocations.
+  EXPECT_EQ(S.TriageT1, 2u);
+  EXPECT_EQ(S.TriageT2, 1u);
+  EXPECT_EQ(S.TriageEscalated, 0u);
+  EXPECT_EQ(S.UniqueQueries, 0u);
+  EXPECT_EQ(S.DedupSaved, 0u);
+  EXPECT_EQ(S.dedupRatio(), 0.0);
+  // With triage off the same program takes the classic route.
+  FieldTable Fields2;
+  Program Prog2 = parseOrDie(Text, Fields2);
+  BatchOptions Off;
+  Off.Analyzer.Triage = false;
+  BatchQueryEngine Plain(Prog2, Fields2, Off);
+  std::vector<BatchResult> Base = Plain.runAll();
+  expectSameVerdicts(Base, Results);
+  EXPECT_EQ(Plain.stats().TriagedPairs, 0u);
+  EXPECT_EQ(Plain.stats().TriageEscalated, 0u);
+  EXPECT_GT(Plain.stats().UniqueQueries, 0u);
 }
 
 TEST(BatchThreadSafety, ManyJobsHammerSharedCaches) {

@@ -223,7 +223,7 @@ TEST(ProfileTest, EveryProgramSampleProfilesCleanly) {
     uint64_t SelfSum = 0;
     for (const auto &[Name, Row] : P.Rules)
       SelfSum += Row.SelfNs;
-    EXPECT_EQ(P.ProverNs + P.LangNs + P.CacheNs, SelfSum);
+    EXPECT_EQ(P.ProverNs + P.LangNs + P.CacheNs + P.TriageNs, SelfSum);
     EXPECT_GT(P.Queries.Count, 0u);
     EXPECT_LE(P.Queries.P50Ns, P.Queries.P90Ns);
     EXPECT_LE(P.Queries.P90Ns, P.Queries.P99Ns);

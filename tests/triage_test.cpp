@@ -1,0 +1,353 @@
+//===- tests/triage_test.cpp - Tiered static triage cascade ---------------===//
+//
+// Part of the APT project. Covers the triage cascade (analysis/Triage.h)
+// and its Steensgaard points-to tier (analysis/PointsTo.h):
+//
+//  * each tier resolves exactly the pairs its contract promises, with a
+//    machine-checkable reason and a parity-exact DepTestResult;
+//  * adversarial pairs -- aliasing introduced by a copy, by a struct
+//    write, through a self-cycle, or along a common-handle chain -- must
+//    ESCALATE to the prover, never be rejected;
+//  * --triage on/off produce identical verdicts on every program here
+//    (the in-process mirror of the aptc_deps_triage_parity ctest).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DepQueries.h"
+#include "analysis/PointsTo.h"
+#include "analysis/QueryEngine.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace apt;
+
+namespace {
+
+/// One function exercising every resolving tier: fresh allocations (T2),
+/// allocation vs caller heap (T3), and the access-kind/type/field
+/// screens (T1).
+const char *kTierProgram = R"(
+type Node {
+  next: Node;
+  val: int;
+  aux: int;
+  shape list(next);
+}
+type Other {
+  link: Other;
+  data: int;
+}
+fn tiers(h: Node, o: Other) {
+  p = new Node;
+  q = new Node;
+  A: p.val = fun();
+  B: q.val = fun();
+  R1: s = p.val;
+  R2: t = q.val;
+  X: p.aux = fun();
+  O: o.data = fun();
+  c = h.next;
+  C: c.val = fun();
+}
+)";
+
+/// Aliasing the cascade must not miss: every labeled pair here can touch
+/// the same cell (or shares an anchor handle), so all must escalate.
+const char *kAdversarialProgram = R"(
+type Node {
+  next: Node;
+  val: int;
+  shape list(next);
+}
+fn alias_copy(u: Node) {
+  p = new Node;
+  q = p;
+  A: p.val = fun();
+  B: q.val = fun();
+}
+fn heap_link(u: Node) {
+  p = new Node;
+  q = new Node;
+  p.next = q;
+  t = p.next;
+  C: t.val = fun();
+  D: q.val = fun();
+}
+fn self_cycle(u: Node) {
+  p = new Node;
+  p.next = p;
+  t = p.next;
+  E: t.val = fun();
+  F: p.val = fun();
+}
+fn chain(h: Node) {
+  a = h.next;
+  b = a.next;
+  G: a.val = fun();
+  H: b.val = fun();
+}
+fn opaque(u: Node) {
+  p = new Node;
+  q = new Node;
+  call mangle(p, q);
+  I: p.val = fun();
+  J: q.val = fun();
+}
+)";
+
+Program parseOrDie(const char *Text, FieldTable &Fields) {
+  ProgramParseResult Parsed = parseProgram(Text, Fields);
+  EXPECT_TRUE(Parsed) << Parsed.Error;
+  return std::move(Parsed.Value);
+}
+
+const Function &functionOrDie(const Program &Prog, const std::string &Name) {
+  const Function *F = Prog.function(Name);
+  EXPECT_NE(F, nullptr) << Name;
+  return *F;
+}
+
+/// Prepares (S, T) in \p Func of \p Text and returns the PreparedQuery.
+PreparedQuery prepare(const char *Text, const std::string &Func,
+                      const std::string &S, const std::string &T) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Text, Fields);
+  DepQueryEngine Engine(Prog, functionOrDie(Prog, Func), Fields);
+  return Engine.prepareStatementPair(S, T);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-tier resolution
+//===----------------------------------------------------------------------===//
+
+TEST(TriageTiers, T1KillsReadReadPairs) {
+  PreparedQuery P = prepare(kTierProgram, "tiers", "R1", "R2");
+  ASSERT_TRUE(P.Triaged);
+  EXPECT_EQ(P.Tier, TriageTier::T1);
+  EXPECT_TRUE(P.TriageIndependent);
+  EXPECT_EQ(P.TriageReason, "t1:no-write");
+  EXPECT_EQ(P.Immediate.Verdict, DepVerdict::No);
+  EXPECT_EQ(P.Immediate.Kind, DepKind::None);
+  EXPECT_EQ(P.Immediate.Reason, "neither reference writes");
+}
+
+TEST(TriageTiers, T1KillsTypeDisjointPairs) {
+  PreparedQuery P = prepare(kTierProgram, "tiers", "A", "O");
+  ASSERT_TRUE(P.Triaged);
+  EXPECT_EQ(P.Tier, TriageTier::T1);
+  EXPECT_EQ(P.TriageReason, "t1:type-disjoint 'Node' vs 'Other'");
+  EXPECT_EQ(P.Immediate.Verdict, DepVerdict::No);
+  EXPECT_EQ(P.Immediate.Reason,
+            "pointers have different data-structure types "
+            "('Node' vs 'Other')");
+}
+
+TEST(TriageTiers, T1KillsFieldDisjointPairs) {
+  // A and X share the very same base pointer; the field screen fires
+  // before any handle reasoning, exactly like dependenceTest.
+  PreparedQuery P = prepare(kTierProgram, "tiers", "A", "X");
+  ASSERT_TRUE(P.Triaged);
+  EXPECT_EQ(P.Tier, TriageTier::T1);
+  EXPECT_EQ(P.TriageReason, "t1:field-disjoint 'val' vs 'aux'");
+  EXPECT_EQ(P.Immediate.Verdict, DepVerdict::No);
+  EXPECT_EQ(P.Immediate.Reason, "accessed fields do not overlap");
+}
+
+TEST(TriageTiers, T2KillsDistinctAllocationPairs) {
+  PreparedQuery P = prepare(kTierProgram, "tiers", "A", "B");
+  ASSERT_TRUE(P.Triaged);
+  EXPECT_EQ(P.Tier, TriageTier::T2);
+  EXPECT_TRUE(P.TriageIndependent);
+  EXPECT_EQ(P.TriageReason.rfind("t2:distinct-alloc ", 0), 0u)
+      << P.TriageReason;
+  // Parity: the emitted verdict is the conservative distinct-handle
+  // Maybe dependenceTest would produce, with the classified kind.
+  EXPECT_EQ(P.Immediate.Verdict, DepVerdict::Maybe);
+  EXPECT_EQ(P.Immediate.Kind, DepKind::Output);
+  EXPECT_NE(P.Immediate.Reason.find("unrelated handles"),
+            std::string::npos);
+}
+
+TEST(TriageTiers, T3KillsAllocationVsCallerHeap) {
+  // p is a fresh allocation, c walks the caller-provided list: distinct
+  // Steensgaard classes, no shared allocation site to compare (T2 cannot
+  // fire -- c has no definite site).
+  PreparedQuery P = prepare(kTierProgram, "tiers", "A", "C");
+  ASSERT_TRUE(P.Triaged);
+  EXPECT_EQ(P.Tier, TriageTier::T3);
+  EXPECT_TRUE(P.TriageIndependent);
+  EXPECT_EQ(P.TriageReason.rfind("t3:points-to class ", 0), 0u)
+      << P.TriageReason;
+  EXPECT_EQ(P.Immediate.Verdict, DepVerdict::Maybe);
+  EXPECT_EQ(P.Immediate.Kind, DepKind::Output);
+}
+
+TEST(TriageTiers, TierTimesCoverExactlyTheTiersRun) {
+  // A T1 kill never reaches T2/T3; an escalation pays for all three.
+  PreparedQuery T1 = prepare(kTierProgram, "tiers", "R1", "R2");
+  EXPECT_EQ(T1.TriageNs[1], 0u);
+  EXPECT_EQ(T1.TriageNs[2], 0u);
+  PreparedQuery Esc = prepare(kAdversarialProgram, "heap_link", "C", "D");
+  EXPECT_FALSE(Esc.Triaged);
+  EXPECT_GT(Esc.TriageNs[0] + Esc.TriageNs[1] + Esc.TriageNs[2], 0u);
+}
+
+TEST(TriageTiers, TierNamesAreStable) {
+  EXPECT_STREQ(triageTierName(TriageTier::None), "escalated");
+  EXPECT_STREQ(triageTierName(TriageTier::T1), "t1");
+  EXPECT_STREQ(triageTierName(TriageTier::T2), "t2");
+  EXPECT_STREQ(triageTierName(TriageTier::T3), "t3");
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial pairs: must escalate, never resolve
+//===----------------------------------------------------------------------===//
+
+TEST(TriageEscalation, CopyAliasingEscalates) {
+  // q = p: both references hit the same allocation through one handle.
+  PreparedQuery P = prepare(kAdversarialProgram, "alias_copy", "A", "B");
+  EXPECT_FALSE(P.Triaged);
+  EXPECT_FALSE(P.Direct);
+}
+
+TEST(TriageEscalation, HeapLinkAliasingEscalates) {
+  // p.next = q; t = p.next: t and q name the SAME vertex even though
+  // their access paths are anchored at distinct handles and q is a fresh
+  // allocation. T2 must not fire (t has no definite site) and the
+  // struct-write unification forces t and q into one points-to class.
+  PreparedQuery P = prepare(kAdversarialProgram, "heap_link", "C", "D");
+  EXPECT_FALSE(P.Triaged);
+  EXPECT_EQ(P.Immediate.Verdict, DepVerdict::Maybe); // untouched default
+}
+
+TEST(TriageEscalation, SelfCycleAliasingEscalates) {
+  // p.next = p; t = p.next: t aliases p through the cycle.
+  PreparedQuery P = prepare(kAdversarialProgram, "self_cycle", "E", "F");
+  EXPECT_FALSE(P.Triaged);
+}
+
+TEST(TriageEscalation, CommonHandleChainEscalates) {
+  // a = h.next; b = a.next: both anchored at h's handle. In a cyclic
+  // caller heap (h.next.next == h.next is satisfiable without the shape
+  // axioms) the cells coincide; only the prover may separate them.
+  PreparedQuery P = prepare(kAdversarialProgram, "chain", "G", "H");
+  EXPECT_FALSE(P.Triaged);
+}
+
+TEST(TriageEscalation, OpaqueCallCollapsesAndEscalates) {
+  // call mangle(p, q) may have made p and q alias: the collapsed class
+  // must swallow both allocations.
+  PreparedQuery P = prepare(kAdversarialProgram, "opaque", "I", "J");
+  EXPECT_FALSE(P.Triaged);
+}
+
+//===----------------------------------------------------------------------===//
+// The Steensgaard tier in isolation
+//===----------------------------------------------------------------------===//
+
+TEST(PointsTo, DistinctAllocationsGetDistinctClasses) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "heap_link"));
+  EXPECT_NE(PT.classOf("p"), PT.classOf("q"));
+  EXPECT_FALSE(PT.mayAlias("p", "q"));
+}
+
+TEST(PointsTo, StructWriteUnifiesFieldTarget) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "heap_link"));
+  // t = p.next after p.next = q: t's pointees are q's pointees.
+  EXPECT_EQ(PT.classOf("t"), PT.classOf("q"));
+  EXPECT_TRUE(PT.mayAlias("t", "q"));
+}
+
+TEST(PointsTo, CopyUnifies) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "alias_copy"));
+  EXPECT_EQ(PT.classOf("p"), PT.classOf("q"));
+}
+
+TEST(PointsTo, SelfCycleClosesOntoItself) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "self_cycle"));
+  EXPECT_EQ(PT.classOf("t"), PT.classOf("p"));
+}
+
+TEST(PointsTo, ParameterDerivedVarsShareTheExternalClass) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "chain"));
+  // The external region is eagerly closed over pointer fields: walking
+  // next any number of times stays inside it (rings are never split).
+  EXPECT_EQ(PT.classOf("h"), PT.classOf("a"));
+  EXPECT_EQ(PT.classOf("a"), PT.classOf("b"));
+}
+
+TEST(PointsTo, OpaqueCallMergesAndCollapsesArguments) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "opaque"));
+  ASSERT_EQ(PT.classOf("p"), PT.classOf("q"));
+  EXPECT_TRUE(PT.collapsed(PT.classOf("p")));
+}
+
+TEST(PointsTo, UnknownVariableIsConservative) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kAdversarialProgram, Fields);
+  PointsToGraph PT(Prog, functionOrDie(Prog, "chain"));
+  EXPECT_EQ(PT.classOf("nonesuch"), -1);
+  EXPECT_TRUE(PT.mayAlias("nonesuch", "h"));
+  EXPECT_GT(PT.numClasses(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict parity: triage on == triage off
+//===----------------------------------------------------------------------===//
+
+std::vector<BatchResult> runBatch(const char *Text, bool Triage,
+                                  unsigned Jobs) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Text, Fields);
+  BatchOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.Analyzer.Triage = Triage;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  return Engine.runAll();
+}
+
+TEST(TriageParity, VerdictsMatchTriageOffOnEveryProgram) {
+  for (const char *Text : {kTierProgram, kAdversarialProgram}) {
+    for (unsigned Jobs : {1u, 4u}) {
+      std::vector<BatchResult> Off = runBatch(Text, false, Jobs);
+      std::vector<BatchResult> On = runBatch(Text, true, Jobs);
+      ASSERT_EQ(Off.size(), On.size());
+      ASSERT_FALSE(Off.empty());
+      for (size_t I = 0; I < Off.size(); ++I) {
+        EXPECT_EQ(Off[I].Result.Verdict, On[I].Result.Verdict)
+            << Off[I].Query.Func << " " << Off[I].Query.LabelS << " "
+            << Off[I].Query.LabelT;
+        EXPECT_EQ(Off[I].Result.Kind, On[I].Result.Kind) << I;
+        EXPECT_EQ(Off[I].Result.Reason, On[I].Result.Reason) << I;
+      }
+    }
+  }
+}
+
+TEST(TriageParity, TriageOffDisablesTheCascade) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(kTierProgram, Fields);
+  AnalyzerOptions Opts;
+  Opts.Triage = false;
+  DepQueryEngine Engine(Prog, functionOrDie(Prog, "tiers"), Fields, Opts);
+  PreparedQuery P = Engine.prepareStatementPair("A", "B");
+  EXPECT_FALSE(P.Triaged);
+  EXPECT_EQ(P.TriageNs[0] + P.TriageNs[1] + P.TriageNs[2], 0u);
+}
+
+} // namespace

@@ -11,7 +11,7 @@
 //       optional `NAME:` prefixes, '#' comments); prints the proof.
 //
 //   aptc deps <program-file> [<labelS> <labelT>] [--invariant-writes]
-//             [--jobs N] [--stats]
+//             [--triage on|off] [--jobs N] [--stats]
 //       Parse a mini-language program, run the access-path analysis and
 //       answer dependence queries. With two labels, the single query
 //       between those statements (with its proof). Without labels, the
@@ -68,10 +68,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: aptc prove <axioms-file> <pathP> <pathQ> "
-               "[--trace FILE] [--metrics-json FILE]\n"
+               "[--triage on|off] [--trace FILE] [--metrics-json FILE]\n"
                "                 [--profile FILE] [--profile-folded FILE]\n"
                "       aptc deps <program> [<labelS> <labelT>] "
-               "[--invariant-writes] [--jobs N] [--stats]\n"
+               "[--invariant-writes] [--triage on|off] [--jobs N] "
+               "[--stats]\n"
                "                 [--trace FILE] [--metrics-json FILE] "
                "[--profile FILE] [--profile-folded FILE]\n"
                "       aptc loops <program> [--invariant-writes]\n"
@@ -182,6 +183,50 @@ bool parseObsFlags(int &Argc, char **Argv, ObsFlags &Flags) {
   return true;
 }
 
+/// Strips a `--triage on|off` / `--triage=on|off` flag out of Argv
+/// (shared by `prove` and the program subcommands; docs/TRIAGE.md).
+/// Leaves \p TriageOn untouched when the flag is absent -- callers seed
+/// it with the default (on). Returns false on a malformed value.
+bool parseTriageFlag(int &Argc, char **Argv, bool &TriageOn) {
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
+  for (int I = 0; I < Argc;) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--triage", 8) != 0 ||
+        (Arg[8] != '\0' && Arg[8] != '=')) {
+      ++I;
+      continue;
+    }
+    const char *Value;
+    int N;
+    if (Arg[8] == '=') {
+      Value = Arg + 9;
+      N = 1;
+    } else {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --triage requires on|off\n");
+        return false;
+      }
+      Value = Argv[I + 1];
+      N = 2;
+    }
+    if (std::strcmp(Value, "on") == 0) {
+      TriageOn = true;
+    } else if (std::strcmp(Value, "off") == 0) {
+      TriageOn = false;
+    } else {
+      std::fprintf(stderr, "error: bad --triage value '%s' (want on|off)\n",
+                   Value);
+      return false;
+    }
+    Remove(I, N);
+  }
+  return true;
+}
+
 /// RAII scope for a traced command: installs a collector and enables
 /// recording (in timed mode when \p Timed, which also calibrates the
 /// fast clock up front); finish() stops recording and flushes this
@@ -278,6 +323,9 @@ int cmdProve(int Argc, char **Argv) {
   ObsFlags Obs;
   if (!parseObsFlags(Argc, Argv, Obs))
     return 2;
+  bool Triage = true;
+  if (!parseTriageFlag(Argc, Argv, Triage))
+    return 2;
   if (Argc != 3)
     return usage();
   FieldTable Fields;
@@ -306,7 +354,19 @@ int cmdProve(int Argc, char **Argv) {
   TraceScope Scope(Obs.tracing(), Obs.profiling());
   Prover Prover(Fields);
   int Exit;
-  if (Prover.proveDisjoint(Axioms, P.Value, Q.Value)) {
+  // Triage screen (docs/TRIAGE.md): when the two top-level languages
+  // overlap outright, no proof of disjointness can exist -- the prover's
+  // own PruneIntersectingLanguages gate refutes such goals immediately --
+  // so skip the proof search and go straight to the NO PROOF report.
+  bool Proved;
+  if (Triage) {
+    LangQuery Screen;
+    Proved = Screen.disjoint(P.Value, Q.Value) &&
+             Prover.proveDisjoint(Axioms, P.Value, Q.Value);
+  } else {
+    Proved = Prover.proveDisjoint(Axioms, P.Value, Q.Value);
+  }
+  if (Proved) {
     std::printf("PROVED: forall x: x.%s <> x.%s\n\n%s",
                 P.Value->toString(Fields).c_str(),
                 Q.Value->toString(Fields).c_str(),
@@ -371,6 +431,8 @@ struct ProgramFlags {
 
 bool parseFlags(int &Argc, char **Argv, ProgramFlags &Flags) {
   if (!parseObsFlags(Argc, Argv, Flags.Obs))
+    return false;
+  if (!parseTriageFlag(Argc, Argv, Flags.Analyzer.Triage))
     return false;
   auto Remove = [&](int I, int N) {
     for (int J = I; J + N < Argc; ++J)

@@ -12,6 +12,21 @@ either warm throughput drops more than --tolerance (default 25%) below
 it; if no baseline exists yet, the current numbers are recorded as the
 baseline so the first CI run on a new machine self-seeds.
 
+`triage` runs the BM_BatchTriage* family of bench/batch_queries and
+gates the static triage cascade (docs/TRIAGE.md) two ways:
+
+  * on the triage-heavy workload (BM_BatchTriageWarm/1) the cascade must
+    resolve at least --kill-rate (default 40%) of the prover-bound pairs
+    (kill rate = triaged_pairs / prover_bound, read off the benchmark's
+    user counters);
+  * on the all-escalate workload the cascade's miss tax --
+    BM_BatchTriageMiss/1 over BM_BatchTriageMiss/0, min-of-repetitions --
+    must stay within --overhead-miss (default 5%);
+
+and additionally fails if the triage-on warm throughput drops more than
+--tolerance below the checked-in BENCH_triage.baseline.json (self-seeds
+like langops mode).
+
 `profile` runs the warm-batch family of bench/batch_queries at one
 worker thread with repetitions and gates the time-attribution profiling
 overhead on the min-of-repetitions wall time per iteration:
@@ -52,6 +67,16 @@ PROFILE_VARIANTS = [
     "BM_BatchWarmTraced",
     "BM_BatchWarmTimedOff",
     "BM_BatchWarmProfiled",
+]
+
+# Triage mode: warm kill-rate run and the all-escalate miss-tax pair,
+# each at triage off (/0) and on (/1).
+TRIAGE_FILTER = "BM_BatchTriage(Warm|Miss)/[01]$"
+TRIAGE_RUNS = [
+    "BM_BatchTriageWarm/0",
+    "BM_BatchTriageWarm/1",
+    "BM_BatchTriageMiss/0",
+    "BM_BatchTriageMiss/1",
 ]
 
 
@@ -273,12 +298,101 @@ def run_profile(args):
     return 1 if failed else 0
 
 
+def triage_runs(report):
+    """Per-run min wall seconds, best items/second, and user counters."""
+    times = {}
+    items = {}
+    counters = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        if name not in TRIAGE_RUNS:
+            continue
+        real = b.get("real_time")
+        if real is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        seconds = float(real) * {"ns": 1e-9, "us": 1e-6,
+                                 "ms": 1e-3, "s": 1.0}[unit]
+        if name not in times or seconds < times[name]:
+            times[name] = seconds
+        ips = b.get("items_per_second")
+        if ips is not None:
+            items[name] = max(items.get(name, 0.0), float(ips))
+        if "triaged_pairs" in b:
+            counters[name] = (float(b["triaged_pairs"]),
+                              float(b.get("prover_bound", 0.0)))
+    missing = [r for r in TRIAGE_RUNS if r not in times]
+    if missing:
+        sys.stderr.write("bench_check: report is missing triage runs %s\n"
+                         % missing)
+        sys.exit(2)
+    return times, items, counters
+
+
+def run_triage(args):
+    report = run_benchmark(args.bench, args.min_time, TRIAGE_FILTER,
+                           repetitions=args.repetitions)
+    times, items, counters = triage_runs(report)
+
+    triaged, bound = counters.get("BM_BatchTriageWarm/1", (0.0, 0.0))
+    kill_rate = triaged / bound if bound else 0.0
+    miss_on = times["BM_BatchTriageMiss/1"]
+    miss_off = times["BM_BatchTriageMiss/0"]
+    ratio_miss = miss_on / miss_off if miss_off else float("inf")
+
+    result = {
+        "benchmark": "BM_BatchTriage*",
+        "triaged_pairs": triaged,
+        "prover_bound_pairs": bound,
+        "kill_rate": kill_rate,
+        "warm_on_items_per_second": items.get("BM_BatchTriageWarm/1", 0.0),
+        "warm_off_items_per_second": items.get("BM_BatchTriageWarm/0", 0.0),
+        "miss_on_seconds": miss_on,
+        "miss_off_seconds": miss_off,
+        "miss_over_plain": ratio_miss,
+        "repetitions": args.repetitions,
+        "host": report.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+    }
+    write_result(args.out, result)
+    print("bench_check: kill rate %.0f%% (%d of %d prover-bound pairs), "
+          "miss tax %.3fx -> %s"
+          % (100.0 * kill_rate, int(triaged), int(bound), ratio_miss,
+             args.out))
+
+    if args.record_only:
+        print("bench_check: --record-only, comparison skipped")
+        return 0
+
+    failed = False
+    if kill_rate < args.kill_rate:
+        sys.stderr.write(
+            "bench_check: triage kill rate %.0f%% is below the %.0f%% "
+            "floor on the triage workload\n"
+            % (100.0 * kill_rate, 100.0 * args.kill_rate))
+        failed = True
+    if ratio_miss > 1.0 + args.overhead_miss:
+        sys.stderr.write(
+            "bench_check: triage-miss cascade costs %.1f%% over the "
+            "cascade-off run (limit %.0f%%)\n"
+            % (100.0 * (ratio_miss - 1.0), 100.0 * args.overhead_miss))
+        failed = True
+
+    if compare_baseline(result, args.baseline,
+                        ("warm_on_items_per_second",), args.tolerance):
+        failed = True
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--mode", choices=("langops", "profile"),
+    ap.add_argument("--mode", choices=("langops", "profile", "triage"),
                     default="langops",
                     help="langops gates language-engine throughput; "
-                    "profile gates timed-tracing overhead")
+                    "profile gates timed-tracing overhead; triage gates "
+                    "the static cascade's kill rate and miss tax")
     ap.add_argument("--bench", required=True,
                     help="path to the benchmark binary")
     ap.add_argument("--out", required=True,
@@ -298,12 +412,20 @@ def main():
     ap.add_argument("--overhead-disabled", type=float, default=0.05,
                     help="allowed timed-off-over-plain overhead "
                     "(default .05)")
+    ap.add_argument("--kill-rate", type=float, default=0.40,
+                    help="triage mode: minimum fraction of prover-bound "
+                    "pairs the cascade must resolve (default .40)")
+    ap.add_argument("--overhead-miss", type=float, default=0.05,
+                    help="triage mode: allowed cascade tax on the "
+                    "all-escalate workload (default .05)")
     ap.add_argument("--record-only", action="store_true",
                     help="write results, skip all comparisons")
     args = ap.parse_args()
 
     if args.mode == "profile":
         return run_profile(args)
+    if args.mode == "triage":
+        return run_triage(args)
     return run_langops(args)
 
 

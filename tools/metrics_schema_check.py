@@ -108,6 +108,7 @@ CORE_COUNTERS = [
     "apt.batch.unique_queries",
     "apt.prover.goals_explored",
     "apt.lang.queries",
+    "apt.triage.pairs",
 ]
 CORE_GAUGES = ["apt.batch.jobs"]
 CORE_HISTOGRAMS = [
@@ -123,6 +124,7 @@ PROFILE_COUNTERS = [
     "apt.prof.prover_ns",
     "apt.prof.lang_ns",
     "apt.prof.cache_ns",
+    "apt.prof.triage_ns",
     "apt.prof.timed_events",
     "apt.prof.unmatched_events",
 ]

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Triage parity check: `aptc deps --triage=on` must be verdict-invisible.
+
+Runs `aptc deps <sample>` twice over every checked-in `.apt` sample --
+once with `--triage=off`, once with `--triage=on` -- and requires the
+stdout byte streams and exit codes to match exactly, at --jobs 1 and
+--jobs 4. The triage cascade only resolves pairs whose verdict is
+already forced (docs/TRIAGE.md), so any divergence here is a soundness
+or formatting bug, not a tuning matter.
+
+Exit status: 0 when every sample agrees, 1 otherwise. No third-party
+dependencies.
+
+Usage: tools/triage_parity_check.py <aptc-binary> <samples-dir>
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+
+def run_deps(aptc, sample, jobs, triage):
+    cmd = [aptc, "deps", sample, "--jobs", str(jobs), f"--triage={triage}"]
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, timeout=300)
+    return proc.returncode, proc.stdout
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    aptc, samples_dir = sys.argv[1], sys.argv[2]
+    samples = sorted(glob.glob(os.path.join(samples_dir, "*.apt")))
+    if not samples:
+        print(f"error: no .apt samples under {samples_dir}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    checked = 0
+    for sample in samples:
+        for jobs in (1, 4):
+            off_code, off_out = run_deps(aptc, sample, jobs, "off")
+            on_code, on_out = run_deps(aptc, sample, jobs, "on")
+            checked += 1
+            name = os.path.basename(sample)
+            if off_code != on_code:
+                print(f"FAIL {name} --jobs {jobs}: exit {off_code} (off) "
+                      f"vs {on_code} (on)")
+                failures += 1
+            elif off_out != on_out:
+                print(f"FAIL {name} --jobs {jobs}: verdict streams differ")
+                for line_off, line_on in zip(off_out.splitlines(),
+                                             on_out.splitlines()):
+                    if line_off != line_on:
+                        print(f"  off: {line_off.decode(errors='replace')}")
+                        print(f"  on:  {line_on.decode(errors='replace')}")
+                        break
+                failures += 1
+            else:
+                print(f"ok   {name} --jobs {jobs}: {off_code} exit, "
+                      f"{len(off_out)} bytes identical")
+    print(f"triage parity: {checked - failures}/{checked} runs identical")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
