@@ -1,0 +1,226 @@
+//===- bench/service_warmstart.cpp - Experiment E10: snapshot warm start --===//
+//
+// Part of the APT project. Measures what the aptd snapshot mechanism
+// (src/service/Snapshot.h) actually buys: a cold daemon must pay subset
+// construction + Hopcroft minimization for every automaton a workload
+// touches, while a warm-started daemon deserializes the interned
+// minimal-DFA store from disk and only walks lazy products.
+//
+//  * BM_ServiceColdStart -- fresh store per iteration: construction,
+//    minimization, interning, then the query sweep (the first-request
+//    cost of a cold daemon);
+//  * BM_ServiceWarmStart -- per iteration: read + parse + restore the
+//    snapshot file, then the same query sweep (the first-request cost
+//    of `aptd --snapshot-load`). Deserialization is included on
+//    purpose: the gate compares end-to-end first-request latencies.
+//
+// The workload is a construction-heavy variant of the E9 pair pool
+// (bench/langops_scaling.cpp): the hand-written leaf-linked-tree and
+// sparse-matrix rows plus a deterministic generated tail at depth 4,
+// 96 pairs total, so automaton construction dominates the cold run.
+//
+// tools/bench_check.py --mode service runs this binary in JSON mode and
+// fails the bench_smoke_service ctest when warm/cold exceeds 0.6 or the
+// warm throughput regresses against bench/BENCH_service.baseline.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/LangOps.h"
+#include "regex/Minimize.h"
+#include "regex/RegexParser.h"
+#include "service/Snapshot.h"
+#include "support/Json.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <random>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace apt;
+
+namespace {
+
+/// Construction-heavy pair pool: E9's fixed rows plus a depth-7
+/// generated tail (96 pairs), so the cold path is dominated by subset
+/// construction + minimization rather than product walks. Depth
+/// matters: determinization cost grows super-linearly with regex depth
+/// while the *minimal* DFA (what the snapshot stores) stays small, so
+/// deeper pairs widen exactly the gap the snapshot is meant to close.
+struct PairPool {
+  FieldTable Fields;
+  std::vector<std::pair<RegexRef, RegexRef>> Pairs;
+
+  PairPool() {
+    const char *Fixed[][2] = {
+        {"L.L.N", "L.R.N"},
+        {"L.N", "R.N"},
+        {"eps", "(L|R|N)+"},
+        {"L.L.N.N", "L.R.N"},
+        {"(L|R)*.N", "(L|R)*.N.N"},
+        {"(L|R)+.N", "N.(L|R)+"},
+        {"ncolE+", "nrowE+.ncolE+"},
+        {"relem.ncolE*", "nrowH.relem.ncolE*"},
+        {"ncolE+", "ncolE+"},
+        {"rows.(nrowH)*.relem", "rows.nrowH+.relem.ncolE+"},
+        {"(nrowH|relem)*.ncolE", "relem.(ncolE|nrowE)*"},
+        {"rows.relem.ncolE*.val", "rows.nrowH.relem.ncolE*.val"},
+    };
+    for (auto &Row : Fixed)
+      Pairs.emplace_back(parseRegex(Row[0], Fields).Value,
+                         parseRegex(Row[1], Fields).Value);
+
+    std::vector<FieldId> Alpha;
+    for (const char *Name : {"L", "R", "N", "ncolE", "nrowE", "relem"})
+      Alpha.push_back(Fields.intern(Name));
+    std::mt19937 Rng(20260808);
+    // Operator-heavy shape (leaves only at the depth floor or with
+    // probability 1/8): shallow trees would make construction trivial
+    // and the warm/cold ratio meaningless.
+    std::function<RegexRef(int)> Gen = [&](int Depth) -> RegexRef {
+      unsigned Pick = Rng() % 8;
+      if (Depth <= 0 || Pick == 0)
+        return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+      switch (Pick) {
+      case 1:
+      case 2:
+        return Regex::star(Gen(Depth - 1));
+      case 3:
+        return Regex::plus(Gen(Depth - 1));
+      case 4:
+      case 5:
+        return Regex::concat(Gen(Depth - 1), Gen(Depth - 1));
+      default:
+        return Regex::alt(Gen(Depth - 1), Gen(Depth - 1));
+      }
+    };
+    while (Pairs.size() < 96)
+      Pairs.emplace_back(Gen(7), Gen(7));
+  }
+};
+
+PairPool &pool() {
+  static PairPool P;
+  return P;
+}
+
+/// The query sweep a first request runs: subset + disjoint per pair,
+/// fresh LangQuery (cold memo caches) against \p Store.
+uint64_t runSweep(MinDfaStore *Store) {
+  LangQuery Q{LangOptions{}};
+  Q.attachDfaStore(Store);
+  uint64_t Negatives = 0;
+  for (const auto &[A, B] : pool().Pairs) {
+    Negatives += !Q.subsetOf(A, B);
+    Negatives += !Q.disjoint(A, B);
+  }
+  return Negatives;
+}
+
+/// The snapshot fixture: a store warmed by one sweep, serialized once.
+/// Returns the path of the snapshot file (written on first use).
+const std::string &snapshotFile() {
+  static std::string Path = [] {
+    MinDfaStore Store(16);
+    runSweep(&Store);
+    std::string P = "/tmp/apt_service_warmstart_" +
+                    std::to_string(::getpid()) + ".snapshot.json";
+    std::ofstream Out(P);
+    // Compact form: the warm path re-parses this file every iteration,
+    // so fixture whitespace would be measured as restore cost.
+    Out << svc::storeToJson(Store).dump() << '\n';
+    return P;
+  }();
+  return Path;
+}
+
+void BM_ServiceColdStart(benchmark::State &State) {
+  uint64_t Negatives = 0;
+  for (auto _ : State) {
+    MinDfaStore Store(16);
+    Negatives = runSweep(&Store);
+    benchmark::DoNotOptimize(Negatives);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(pool().Pairs.size()) * 2 *
+                          State.iterations());
+  State.counters["negatives"] = static_cast<double>(Negatives);
+  State.SetLabel("fresh store: construction + minimization + queries");
+}
+BENCHMARK(BM_ServiceColdStart)->Unit(benchmark::kMillisecond);
+
+void BM_ServiceWarmStart(benchmark::State &State) {
+  const std::string &Snap = snapshotFile();
+  uint64_t Negatives = 0;
+  size_t Entries = 0;
+  for (auto _ : State) {
+    MinDfaStore Store(16);
+    std::ifstream In(Snap);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    JsonParseResult Doc = parseJson(Buf.str());
+    std::string Error;
+    Entries = 0;
+    if (!Doc ||
+        svc::storeFromJson(Doc.Value, Store, Entries, Error) !=
+            svc::SnapshotError::None) {
+      State.SkipWithError("snapshot restore failed");
+      break;
+    }
+    Negatives = runSweep(&Store);
+    benchmark::DoNotOptimize(Negatives);
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(pool().Pairs.size()) * 2 *
+                          State.iterations());
+  State.counters["negatives"] = static_cast<double>(Negatives);
+  State.counters["restored_entries"] = static_cast<double>(Entries);
+  State.SetLabel("snapshot restore (read + parse + intern) + queries");
+}
+BENCHMARK(BM_ServiceWarmStart)->Unit(benchmark::kMillisecond);
+
+/// Verdict parity between the two paths, printed before the timings so
+/// a semantic break is obvious even in record-only runs.
+void printParityReport() {
+  MinDfaStore Cold(16);
+  uint64_t NegCold = runSweep(&Cold);
+
+  MinDfaStore Warm(16);
+  std::ifstream In(snapshotFile());
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JsonParseResult Doc = parseJson(Buf.str());
+  std::string Error;
+  size_t Entries = 0;
+  if (!Doc || svc::storeFromJson(Doc.Value, Warm, Entries, Error) !=
+                  svc::SnapshotError::None) {
+    std::fprintf(stderr, "snapshot fixture failed to restore: %s\n",
+                 Error.c_str());
+    std::exit(1);
+  }
+  uint64_t NegWarm = runSweep(&Warm);
+  std::printf("\n== E10: snapshot warm start ==\n"
+              "  pool: %zu pairs; cold store %zu entries, restored %zu; "
+              "%llu negative verdicts (warm %llu) -- %s\n\n",
+              pool().Pairs.size(), Cold.size(), Entries,
+              static_cast<unsigned long long>(NegCold),
+              static_cast<unsigned long long>(NegWarm),
+              NegCold == NegWarm ? "paths agree" : "MISMATCH");
+  if (NegCold != NegWarm)
+    std::exit(1);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printParityReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::remove(snapshotFile().c_str());
+  return 0;
+}

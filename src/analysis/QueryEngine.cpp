@@ -24,7 +24,9 @@ BatchQueryEngine::BatchQueryEngine(const Program &Prog, FieldTable &Fields,
                                    BatchOptions Opts)
     : Prog(Prog), Fields(Fields), Opts(Opts),
       // Shard counts sized for tens of threads; see ShardedCache.h.
-      SharedGoals(32), SharedLang(64) {
+      OwnGoals(32), OwnLang(64),
+      SharedGoals(Opts.ExternalGoalCache ? Opts.ExternalGoalCache : &OwnGoals),
+      SharedLang(Opts.ExternalLangCache ? Opts.ExternalLangCache : &OwnLang) {
   for (const Function &F : Prog.Functions)
     Engines.emplace_back(F.Name, std::make_unique<DepQueryEngine>(
                                      Prog, F, Fields, Opts.Analyzer));
@@ -231,8 +233,8 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   };
   auto MakeProver = [&]() {
     Prover P(Fields, Opts.Prover);
-    P.attachSharedGoalCache(&SharedGoals);
-    P.langQuery().attachSharedCache(&SharedLang);
+    P.attachSharedGoalCache(SharedGoals);
+    P.langQuery().attachSharedCache(SharedLang);
     return P;
   };
 
@@ -276,10 +278,10 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   Stats.ProveMs += RunWallMs;
   Stats.CpuMs += 1000.0 * static_cast<double>(std::clock() - CpuStart) /
                  CLOCKS_PER_SEC;
-  Stats.GoalCache = SharedGoals.stats();
-  Stats.LangCache = SharedLang.stats();
-  Stats.GoalCacheEntries = SharedGoals.size();
-  Stats.LangCacheEntries = SharedLang.size();
+  Stats.GoalCache = SharedGoals->stats();
+  Stats.LangCache = SharedLang->stats();
+  Stats.GoalCacheEntries = SharedGoals->size();
+  Stats.LangCacheEntries = SharedLang->size();
 
   // Publish this run into the process-wide registry (the --metrics-json
   // surface). Worker provers are fresh per run, so their merged counters
@@ -318,9 +320,11 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     R.gauge("apt.batch.jobs").set(Jobs);
     R.histogram("apt.batch.run_wall_ms")
         .observe(static_cast<uint64_t>(RunWallMs));
-    SharedGoals.publishMetrics("apt.cache.goal");
-    SharedLang.publishMetrics("apt.cache.lang");
-    MinDfaStore::global().publishMetrics("apt.lang.dfa_store");
+    SharedGoals->publishMetrics("apt.cache.goal");
+    SharedLang->publishMetrics("apt.cache.lang");
+    // The store LangQuerys on this thread bind to: global() one-shot,
+    // the session store under the service layer.
+    MinDfaStore::threadDefault()->publishMetrics("apt.lang.dfa_store");
   }
 
   // Phase 3 (sequential): broadcast each unique verdict to its
@@ -402,4 +406,51 @@ std::string BatchStats::toString() const {
       static_cast<unsigned long long>(ProductStates), PrepareMs, ProveMs,
       BroadcastMs);
   return Buf;
+}
+
+BatchStats BatchStats::since(const BatchStats &Base) const {
+  BatchStats D = *this;
+  D.Queries -= Base.Queries;
+  D.UniqueQueries -= Base.UniqueQueries;
+  D.DirectQueries -= Base.DirectQueries;
+  D.DedupSaved -= Base.DedupSaved;
+  D.TriagedPairs -= Base.TriagedPairs;
+  D.TriageT1 -= Base.TriageT1;
+  D.TriageT2 -= Base.TriageT2;
+  D.TriageT3 -= Base.TriageT3;
+  D.TriageEscalated -= Base.TriageEscalated;
+  D.TriageT1Ns -= Base.TriageT1Ns;
+  D.TriageT2Ns -= Base.TriageT2Ns;
+  D.TriageT3Ns -= Base.TriageT3Ns;
+  D.Prover.GoalsExplored -= Base.Prover.GoalsExplored;
+  D.Prover.GoalCacheHits -= Base.Prover.GoalCacheHits;
+  D.Prover.SharedGoalHits -= Base.Prover.SharedGoalHits;
+  D.Prover.HypothesisHits -= Base.Prover.HypothesisHits;
+  D.Prover.AltSplits -= Base.Prover.AltSplits;
+  D.Prover.Inductions -= Base.Prover.Inductions;
+  D.Prover.BudgetExhausted -= Base.Prover.BudgetExhausted;
+  D.LangQueries -= Base.LangQueries;
+  D.LangCacheHits -= Base.LangCacheHits;
+  D.LangSharedHits -= Base.LangSharedHits;
+  D.DfaBuilt -= Base.DfaBuilt;
+  D.DfaStatesBuilt -= Base.DfaStatesBuilt;
+  D.DfaMinStates -= Base.DfaMinStates;
+  D.DfaStoreHits -= Base.DfaStoreHits;
+  D.AlphabetSymbols -= Base.AlphabetSymbols;
+  D.AlphabetClasses -= Base.AlphabetClasses;
+  D.ProductStates -= Base.ProductStates;
+  D.GoalCache.Hits -= Base.GoalCache.Hits;
+  D.GoalCache.Misses -= Base.GoalCache.Misses;
+  D.GoalCache.Insertions -= Base.GoalCache.Insertions;
+  D.LangCache.Hits -= Base.LangCache.Hits;
+  D.LangCache.Misses -= Base.LangCache.Misses;
+  D.LangCache.Insertions -= Base.LangCache.Insertions;
+  D.WallMs -= Base.WallMs;
+  D.CpuMs -= Base.CpuMs;
+  D.PrepareMs -= Base.PrepareMs;
+  D.ProveMs -= Base.ProveMs;
+  D.BroadcastMs -= Base.BroadcastMs;
+  // GoalCacheEntries / LangCacheEntries / Jobs are point-in-time values,
+  // not deltas: keep the current reading.
+  return D;
 }

@@ -135,6 +135,15 @@ struct BatchStats {
 
   /// Multi-line human-readable block (the `aptc deps --stats` output).
   std::string toString() const;
+
+  /// The activity between \p Base (an earlier stats() snapshot of the
+  /// same engine) and this snapshot: monotone counters and phase times
+  /// subtract, point-in-time fields (cache entry counts, Jobs) keep
+  /// their current value. since(BatchStats{}) is the identity, so a
+  /// fresh engine's first run reports the same block either way — which
+  /// is how the service layer keeps daemon-routed `--stats` per-request
+  /// while one-shot output stays byte-identical.
+  BatchStats since(const BatchStats &Base) const;
 };
 
 /// Options for a batch run.
@@ -144,6 +153,14 @@ struct BatchOptions {
   unsigned Jobs = 0;
   AnalyzerOptions Analyzer;
   ProverOptions Prover;
+  /// Cross-thread caches to use instead of the engine's own. The service
+  /// layer points resident engines at session-owned caches so warmth
+  /// survives engine reconstruction and snapshots can serialize it; both
+  /// must outlive the engine. nullptr (the default) keeps the engine's
+  /// private caches — behaviorally identical for a single engine, since
+  /// a fresh session cache starts as empty as a fresh engine cache.
+  ShardedBoolCache *ExternalGoalCache = nullptr;
+  ShardedBoolCache *ExternalLangCache = nullptr;
 };
 
 /// Whole-program batch engine. Analyzes every function up front (the
@@ -174,6 +191,11 @@ public:
   /// Number of worker threads the next run will use.
   unsigned jobs() const;
 
+  /// Changes the worker count for subsequent run() calls. Verdicts are
+  /// jobs-invariant, so a resident engine can serve requests with
+  /// different --jobs values without re-analyzing the program.
+  void setJobs(unsigned J) { Opts.Jobs = J; }
+
   const BatchStats &stats() const { return Stats; }
 
   /// The options this engine was built with. Trace export uses these to
@@ -191,8 +213,12 @@ private:
   /// One analyzed engine per function, in program order.
   std::vector<std::pair<std::string, std::unique_ptr<DepQueryEngine>>>
       Engines;
-  ShardedBoolCache SharedGoals;
-  ShardedBoolCache SharedLang;
+  ShardedBoolCache OwnGoals;
+  ShardedBoolCache OwnLang;
+  /// Resolved cache targets: the external overrides from BatchOptions,
+  /// or the engine's own caches above.
+  ShardedBoolCache *SharedGoals;
+  ShardedBoolCache *SharedLang;
   BatchStats Stats;
 };
 

@@ -26,7 +26,7 @@ LangQuery::LangQuery(LangEngine Engine, bool EnableCache)
                             /*CompressAlphabet=*/true}) {}
 
 LangQuery::LangQuery(const LangOptions &Opts)
-    : Opts(Opts), DfaStore(&MinDfaStore::global()) {}
+    : Opts(Opts), DfaStore(MinDfaStore::threadDefault()) {}
 
 static std::vector<FieldId> unionAlphabet(const RegexRef &A,
                                           const RegexRef &B) {

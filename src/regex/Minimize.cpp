@@ -197,6 +197,18 @@ MinDfaStore &MinDfaStore::global() {
   return Store;
 }
 
+static thread_local MinDfaStore *ThreadDefaultStore = nullptr;
+
+MinDfaStore *MinDfaStore::threadDefault() {
+  return ThreadDefaultStore ? ThreadDefaultStore : &global();
+}
+
+MinDfaStore *MinDfaStore::setThreadDefault(MinDfaStore *S) {
+  MinDfaStore *Prev = ThreadDefaultStore;
+  ThreadDefaultStore = S;
+  return Prev;
+}
+
 // Defined here rather than in Dfa.cpp so the classic automaton shares the
 // same Hopcroft core (this replaced an enqueue-everything refinement that
 // lived in Dfa.cpp).

@@ -66,9 +66,35 @@ public:
     Cache.publishMetrics(Prefix);
   }
 
+  /// Visits every (fingerprint, automaton) entry. Cold path: snapshot
+  /// serialization (src/service/Snapshot.h) and tests.
+  template <typename Fn> void forEach(Fn &&F) const { Cache.forEach(F); }
+
+  /// Interns an already-built automaton (first writer wins). Used by
+  /// snapshot restore; query paths should go through getOrBuild.
+  std::shared_ptr<const ClassDfa> intern(const std::string &Fingerprint,
+                                         ClassDfa Dfa) {
+    return Cache.intern(Fingerprint,
+                        std::make_shared<const ClassDfa>(std::move(Dfa)));
+  }
+
   /// The one store shared by every LangQuery unless a test or benchmark
   /// attaches its own (LangQuery::attachDfaStore).
   static MinDfaStore &global();
+
+  /// The store newly constructed LangQuerys bind to on this thread:
+  /// global() unless overridden. Regex fingerprints embed interned
+  /// FieldIds, so automata are only shareable between queries that agree
+  /// on the FieldTable; the service layer gives each loaded file its own
+  /// store and installs it here for the duration of a request, which
+  /// routes every internally constructed LangQuery (the Prover's, lint's,
+  /// trace export's) to the session store without threading a parameter
+  /// through every constructor.
+  static MinDfaStore *threadDefault();
+
+  /// Installs \p S as this thread's default store (nullptr restores
+  /// global()) and returns the previous override.
+  static MinDfaStore *setThreadDefault(MinDfaStore *S);
 
 private:
   ShardedInternCache<ClassDfa> Cache;

@@ -1,0 +1,118 @@
+//===- service/Client.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see Client.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace apt;
+using namespace apt::svc;
+
+namespace {
+
+bool writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = ::write(Fd, S.data() + Off, S.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+int apt::svc::runViaDaemon(const std::string &SocketPath,
+                           const std::vector<std::string> &Args) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "aptc: socket path too long: '%s'\n",
+                 SocketPath.c_str());
+    return 2;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("aptc: socket");
+    return 2;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "aptc: cannot connect to aptd at '%s': %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return 2;
+  }
+
+  JsonValue::Array Argv;
+  for (const std::string &A : Args)
+    Argv.push_back(JsonValue(A));
+  JsonValue::Object Req;
+  Req["id"] = JsonValue(static_cast<int64_t>(1));
+  Req["op"] = JsonValue("run");
+  Req["argv"] = JsonValue(std::move(Argv));
+  std::string Line = JsonValue(std::move(Req)).dump();
+  Line.push_back('\n');
+  if (!writeAll(Fd, Line)) {
+    std::fprintf(stderr, "aptc: failed sending request to aptd\n");
+    ::close(Fd);
+    return 2;
+  }
+
+  std::string Buf;
+  char Chunk[4096];
+  size_t Nl;
+  while ((Nl = Buf.find('\n')) == std::string::npos) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0) {
+      std::fprintf(stderr, "aptc: aptd closed the connection mid-response\n");
+      ::close(Fd);
+      return 2;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+
+  JsonParseResult Parsed = parseJson(std::string_view(Buf.data(), Nl));
+  if (!Parsed) {
+    std::fprintf(stderr, "aptc: invalid response from aptd: %s\n",
+                 Parsed.Error.c_str());
+    return 2;
+  }
+  const JsonValue &Resp = Parsed.Value;
+  if (!Resp["ok"].isBool() || !Resp["ok"].asBool()) {
+    const JsonValue &E = Resp["error"];
+    std::fprintf(stderr, "aptc: aptd error %s: %s\n",
+                 E["code"].isString() ? E["code"].asString().c_str() : "?",
+                 E["message"].isString() ? E["message"].asString().c_str()
+                                         : "unknown error");
+    return 2;
+  }
+  const JsonValue &Result = Resp["result"];
+  if (!Result["exit"].isInt() || !Result["stdout"].isString() ||
+      !Result["stderr"].isString()) {
+    std::fprintf(stderr, "aptc: malformed run result from aptd\n");
+    return 2;
+  }
+  // Replay the daemon-captured streams verbatim; stdout first, flushed,
+  // then stderr — the same ordering the one-shot CLI guarantees.
+  const std::string &Out = Result["stdout"].asString();
+  const std::string &Err = Result["stderr"].asString();
+  std::fwrite(Out.data(), 1, Out.size(), stdout);
+  std::fflush(stdout);
+  std::fwrite(Err.data(), 1, Err.size(), stderr);
+  return static_cast<int>(Result["exit"].asInt());
+}

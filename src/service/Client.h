@@ -1,0 +1,36 @@
+//===- service/Client.h - aptc --connect client -----------------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thin client behind `aptc <subcommand> ... --connect SOCKET`: wrap
+/// the remaining argv in a `run` request, send it to a running aptd,
+/// replay the response's stdout/stderr byte streams locally, and exit
+/// with the daemon-reported code — so a daemon-routed invocation is
+/// indistinguishable from a one-shot run (tools/service_parity_check.py
+/// asserts exactly that).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SERVICE_CLIENT_H
+#define APT_SERVICE_CLIENT_H
+
+#include <string>
+#include <vector>
+
+namespace apt::svc {
+
+/// Routes \p Args (subcommand + arguments, --connect already stripped)
+/// through the daemon at \p SocketPath. Returns the exit code the daemon
+/// reports for the command; connection or protocol failures print an
+/// explanatory line to stderr and return 2.
+int runViaDaemon(const std::string &SocketPath,
+                 const std::vector<std::string> &Args);
+
+} // namespace apt::svc
+
+#endif // APT_SERVICE_CLIENT_H

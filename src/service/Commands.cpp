@@ -1,0 +1,816 @@
+//===- service/Commands.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Commands.h for an overview.
+//
+// This is the former body of tools/aptc.cpp, lifted into a library so
+// the daemon and the one-shot CLI share one implementation. Every output
+// format string is preserved byte-for-byte — that is what makes
+// daemon-mode output provably identical to one-shot output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Commands.h"
+
+#include "analysis/DepQueries.h"
+#include "analysis/Profile.h"
+#include "analysis/TraceExport.h"
+#include "core/ProofChecker.h"
+#include "core/Prover.h"
+#include "lint/Lint.h"
+#include "regex/RegexParser.h"
+#include "support/Metrics.h"
+#include "support/Strings.h"
+#include "support/Trace.h"
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+using namespace apt;
+using namespace apt::svc;
+
+const char *const apt::svc::kSubcommands[5] = {"prove", "deps", "loops",
+                                               "dump", "lint"};
+
+CommandIo apt::svc::stdioCommandIo() {
+  CommandIo Io;
+  Io.Out = [](std::string_view S) { std::fwrite(S.data(), 1, S.size(), stdout); };
+  Io.Err = [](std::string_view S) { std::fwrite(S.data(), 1, S.size(), stderr); };
+  Io.FlushOut = [] { std::fflush(stdout); };
+  return Io;
+}
+
+namespace {
+
+void vformatTo(const std::function<void(std::string_view)> &Sink,
+               const char *Fmt, va_list Ap) {
+  va_list Copy;
+  va_copy(Copy, Ap);
+  char Small[2048];
+  int N = std::vsnprintf(Small, sizeof(Small), Fmt, Copy);
+  va_end(Copy);
+  if (N < 0)
+    return;
+  if (static_cast<size_t>(N) < sizeof(Small)) {
+    Sink(std::string_view(Small, static_cast<size_t>(N)));
+    return;
+  }
+  std::string Big(static_cast<size_t>(N) + 1, '\0');
+  std::vsnprintf(Big.data(), Big.size(), Fmt, Ap);
+  Big.resize(static_cast<size_t>(N));
+  Sink(Big);
+}
+
+__attribute__((format(printf, 2, 3))) void outf(const CommandIo &Io,
+                                                const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  vformatTo(Io.Out, Fmt, Ap);
+  va_end(Ap);
+}
+
+__attribute__((format(printf, 2, 3))) void errf(const CommandIo &Io,
+                                                const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  vformatTo(Io.Err, Fmt, Ap);
+  va_end(Ap);
+}
+
+/// Per-request context: the resident state, the sinks, and the metrics
+/// baseline taken at request entry (what --metrics-json deltas against).
+struct Ctx {
+  ServiceState &State;
+  const CommandIo &Io;
+  metrics::RegistrySnapshot Baseline;
+};
+
+int usage(const CommandIo &Io) {
+  errf(Io,
+       "usage: aptc prove <axioms-file> <pathP> <pathQ> "
+       "[--triage on|off] [--trace FILE] [--metrics-json FILE]\n"
+       "                 [--profile FILE] [--profile-folded FILE]\n"
+       "       aptc deps <program> [<labelS> <labelT>] "
+       "[--invariant-writes] [--triage on|off] [--jobs N] "
+       "[--stats]\n"
+       "                 [--trace FILE] [--metrics-json FILE] "
+       "[--profile FILE] [--profile-folded FILE]\n"
+       "       aptc loops <program> [--invariant-writes]\n"
+       "       aptc dump <program> [--invariant-writes]\n"
+       "       aptc lint <axioms-or-program> [--no-models]\n"
+       "       aptc <subcommand> ... --connect SOCKET   "
+       "(route through a running aptd; see docs/SERVICE.md)\n");
+  return 2;
+}
+
+/// Runs a lint pass whose findings must not change the command's
+/// behavior: everything is reported to stderr and forgotten (the
+/// "warn-only at the front of prove/deps" mode).
+void warnOnlyLint(const CommandIo &Io, const DiagnosticEngine &Diags) {
+  if (Diags.empty())
+    return;
+  errf(Io, "%s(lint: %s; use `aptc lint` to gate on these)\n",
+       Diags.render().c_str(), Diags.summary().c_str());
+}
+
+/// The observability surface shared by `prove` and `deps`: --trace=FILE
+/// writes a JSONL trace (docs/OBSERVABILITY.md), --metrics-json=FILE the
+/// metrics registry (as a delta since request entry), --profile=FILE a
+/// time-attribution profile (docs/profile_schema.json) and
+/// --profile-folded=FILE the same data as collapsed flamegraph stacks.
+/// All accept `--flag FILE` and `--flag=FILE`; the profile flags switch
+/// tracing into timed mode. Under the daemon the files are written by
+/// the server process, to server-side paths.
+struct ObsFlags {
+  std::string TraceFile;
+  std::string MetricsFile;
+  std::string ProfileFile;
+  std::string ProfileFoldedFile;
+
+  /// Timed spans wanted (turns on trace timed mode for the run).
+  bool profiling() const {
+    return !ProfileFile.empty() || !ProfileFoldedFile.empty();
+  }
+  /// Any surface that needs the event collector installed.
+  bool tracing() const { return !TraceFile.empty() || profiling(); }
+};
+
+/// Strips observability flags out of Argv. Returns false on a flag that
+/// is missing its value.
+bool parseObsFlags(const CommandIo &Io, int &Argc, char **Argv,
+                   ObsFlags &Flags) {
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
+  // Returns the number of argv slots consumed (0 = no match), or -1 when
+  // the value is missing.
+  auto MatchValueFlag = [&](int I, const char *Name, std::string &Out) {
+    size_t Len = std::strlen(Name);
+    if (std::strncmp(Argv[I], Name, Len) != 0)
+      return 0;
+    if (Argv[I][Len] == '=') {
+      Out = Argv[I] + Len + 1;
+      return 1;
+    }
+    if (Argv[I][Len] != '\0')
+      return 0;
+    if (I + 1 >= Argc) {
+      errf(Io, "error: %s requires a file path\n", Name);
+      return -1;
+    }
+    Out = Argv[I + 1];
+    return 2;
+  };
+  for (int I = 0; I < Argc;) {
+    int N = MatchValueFlag(I, "--trace", Flags.TraceFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--metrics-json", Flags.MetricsFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--profile-folded", Flags.ProfileFoldedFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--profile", Flags.ProfileFile);
+    if (N < 0)
+      return false;
+    if (N > 0)
+      Remove(I, N);
+    else
+      ++I;
+  }
+  return true;
+}
+
+/// Strips a `--triage on|off` / `--triage=on|off` flag out of Argv
+/// (shared by `prove` and the program subcommands; docs/TRIAGE.md).
+/// Leaves \p TriageOn untouched when the flag is absent -- callers seed
+/// it with the default (on). Returns false on a malformed value.
+bool parseTriageFlag(const CommandIo &Io, int &Argc, char **Argv,
+                     bool &TriageOn) {
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
+  for (int I = 0; I < Argc;) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--triage", 8) != 0 ||
+        (Arg[8] != '\0' && Arg[8] != '=')) {
+      ++I;
+      continue;
+    }
+    const char *Value;
+    int N;
+    if (Arg[8] == '=') {
+      Value = Arg + 9;
+      N = 1;
+    } else {
+      if (I + 1 >= Argc) {
+        errf(Io, "error: --triage requires on|off\n");
+        return false;
+      }
+      Value = Argv[I + 1];
+      N = 2;
+    }
+    if (std::strcmp(Value, "on") == 0) {
+      TriageOn = true;
+    } else if (std::strcmp(Value, "off") == 0) {
+      TriageOn = false;
+    } else {
+      errf(Io, "error: bad --triage value '%s' (want on|off)\n", Value);
+      return false;
+    }
+    Remove(I, N);
+  }
+  return true;
+}
+
+/// RAII scope for a traced command: installs a collector and enables
+/// recording (in timed mode when \p Timed, which also calibrates the
+/// fast clock up front); finish() stops recording and flushes this
+/// thread's ring (worker rings flush when their pool joins) so the
+/// collector holds every event before a writer drains it.
+class TraceScope {
+public:
+  explicit TraceScope(bool Active, bool Timed = false) : Active(Active) {
+    if (!Active)
+      return;
+    trace::setCollector(&Events);
+    trace::setTimingEnabled(Timed);
+    trace::setEnabled(true);
+  }
+  ~TraceScope() {
+    if (!Active)
+      return;
+    finish();
+    trace::setCollector(nullptr);
+  }
+
+  trace::Collector *finish() {
+    trace::setEnabled(false);
+    trace::setTimingEnabled(false);
+    trace::flushThisThread();
+    return &Events;
+  }
+
+private:
+  trace::Collector Events;
+  bool Active;
+};
+
+/// Aggregates the collected timed events and writes --profile /
+/// --profile-folded files (no-op when neither was requested). Publishes
+/// the aggregate as apt.prof.* metrics, so call before writeMetricsFile.
+/// \p Mode mirrors the trace header ("prove", "pair", "batch").
+bool writeProfileFiles(const CommandIo &Io, const ObsFlags &Obs,
+                       const trace::Collector *Events, const char *Mode) {
+  if (!Obs.profiling() || !Events)
+    return true;
+  // Snapshot, not drain: the trace writer may still need the events.
+  Profile P = Profile::fromCollector(*Events);
+  P.publishMetrics();
+  if (!Obs.ProfileFile.empty()) {
+    std::ofstream Out(Obs.ProfileFile);
+    if (!Out) {
+      errf(Io, "error: cannot write '%s'\n", Obs.ProfileFile.c_str());
+      return false;
+    }
+    Out << P.toJson(Mode).dumpPretty() << '\n';
+  }
+  if (!Obs.ProfileFoldedFile.empty()) {
+    std::ofstream Out(Obs.ProfileFoldedFile);
+    if (!Out) {
+      errf(Io, "error: cannot write '%s'\n", Obs.ProfileFoldedFile.c_str());
+      return false;
+    }
+    Out << P.toFolded();
+  }
+  return true;
+}
+
+/// Writes the metrics registry as pretty JSON — the delta since the
+/// request's entry baseline, so a daemon-routed request reports its own
+/// numbers rather than process-lifetime totals. In a fresh one-shot
+/// process the baseline is empty and the delta equals the totals.
+bool writeMetricsFile(const Ctx &C, const std::string &Path) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    errf(C.Io, "error: cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  Out << metrics::Registry::global().toJsonSince(C.Baseline).dumpPretty()
+      << '\n';
+  return true;
+}
+
+/// Publishes one prover's counters into the global registry, for the
+/// single-prover commands (`prove`, labeled `deps`) that bypass the
+/// batch engine's own publication.
+void publishProverMetrics(const Prover &P) {
+  metrics::Registry &R = metrics::Registry::global();
+  const ProverStats &S = P.stats();
+  R.counter("apt.prover.goals_explored").add(S.GoalsExplored);
+  R.counter("apt.prover.goal_cache_hits").add(S.GoalCacheHits);
+  R.counter("apt.prover.shared_goal_hits").add(S.SharedGoalHits);
+  R.counter("apt.prover.hypothesis_hits").add(S.HypothesisHits);
+  R.counter("apt.prover.alt_splits").add(S.AltSplits);
+  R.counter("apt.prover.inductions").add(S.Inductions);
+  R.counter("apt.prover.budget_exhausted").add(S.BudgetExhausted);
+}
+
+/// Resident axiom-file load: parses once per file version, replays the
+/// rendered parse diagnostics on every request (so warm stderr equals
+/// cold stderr). Returns nullptr after reporting when the file is
+/// unreadable or failed to parse (exit 2 either way).
+Session *axiomSession(Ctx &C, const char *Path, bool &Ok) {
+  Ok = false;
+  Session *S = C.State.fileSession(Path, C.Io.Err);
+  if (!S)
+    return nullptr;
+  if (!S->AxiomsParsed) {
+    DiagnosticEngine Diags;
+    S->Axioms = parseAxiomFile(S->Source, S->Path, S->Fields, Diags);
+    S->AxiomDiags = Diags.empty() ? std::string() : Diags.render();
+    S->AxiomFp = Prover::axiomSetFingerprint(S->Axioms.Axioms);
+    S->AxiomsParsed = true;
+  }
+  if (!S->AxiomDiags.empty())
+    errf(C.Io, "%s", S->AxiomDiags.c_str());
+  Ok = S->Axioms.Ok;
+  return S;
+}
+
+/// Resident program load; a failed parse is resident too (the error
+/// replays until the file changes on disk).
+Session *programSession(Ctx &C, const char *Path, bool &Ok) {
+  Ok = false;
+  Session *S = C.State.fileSession(Path, C.Io.Err);
+  if (!S)
+    return nullptr;
+  if (!S->ProgramParsed) {
+    S->Program = parseProgram(S->Source, S->Fields);
+    S->ProgramParsed = true;
+  }
+  if (!S->Program) {
+    errf(C.Io, "%s: %s\n", Path, S->Program.Error.c_str());
+    return S;
+  }
+  Ok = true;
+  return S;
+}
+
+int cmdProve(Ctx &C, int Argc, char **Argv) {
+  const CommandIo &Io = C.Io;
+  ObsFlags Obs;
+  if (!parseObsFlags(Io, Argc, Argv, Obs))
+    return 2;
+  bool Triage = true;
+  if (!parseTriageFlag(Io, Argc, Argv, Triage))
+    return 2;
+  if (Argc != 3)
+    return usage(Io);
+  bool AxiomsOk = false;
+  Session *S = axiomSession(C, Argv[0], AxiomsOk);
+  if (!S || !AxiomsOk)
+    return 2;
+  // Everything below constructs LangQuerys (the prover's, the checker's,
+  // the witness search's, lint's): bind them all to the session store.
+  StoreScope Stores(&S->Store);
+  FieldTable &Fields = S->Fields;
+  const AxiomSet &Axioms = S->Axioms.Axioms;
+  {
+    DiagnosticEngine LintDiags;
+    AxiomLintInput In;
+    In.Axioms = &Axioms;
+    In.File = Argv[0];
+    In.Alphabet = S->Axioms.DeclaredFields;
+    lintAxiomSet(In, Fields, LintDiags);
+    warnOnlyLint(Io, LintDiags);
+  }
+  RegexParseResult P = parseRegex(Argv[1], Fields);
+  RegexParseResult Q = parseRegex(Argv[2], Fields);
+  if (!P || !Q) {
+    errf(Io, "error: bad path: %s\n", (!P ? P.Error : Q.Error).c_str());
+    return 2;
+  }
+
+  outf(Io, "axioms:\n%s\n", Axioms.toString(Fields).c_str());
+  TraceScope Scope(Obs.tracing(), Obs.profiling());
+  Prover Prover(Fields);
+  int Exit;
+  // Triage screen (docs/TRIAGE.md): when the two top-level languages
+  // overlap outright, no proof of disjointness can exist -- the prover's
+  // own PruneIntersectingLanguages gate refutes such goals immediately --
+  // so skip the proof search and go straight to the NO PROOF report.
+  bool Proved;
+  if (Triage) {
+    LangQuery Screen;
+    Proved = Screen.disjoint(P.Value, Q.Value) &&
+             Prover.proveDisjoint(Axioms, P.Value, Q.Value);
+  } else {
+    Proved = Prover.proveDisjoint(Axioms, P.Value, Q.Value);
+  }
+  if (Proved) {
+    outf(Io, "PROVED: forall x: x.%s <> x.%s\n\n%s",
+         P.Value->toString(Fields).c_str(), Q.Value->toString(Fields).c_str(),
+         Prover.proofText().c_str());
+    LangQuery CheckerLang;
+    ProofCheckResult Checked = checkProof(*Prover.proof(), Axioms, CheckerLang);
+    if (!Checked.Ok) {
+      errf(Io, "INTERNAL: proof failed re-verification: %s\n",
+           Checked.Error.c_str());
+      return 2;
+    }
+    outf(Io, "\n(proof independently re-verified)\n");
+    Exit = 0;
+  } else {
+    outf(Io, "NO PROOF (verdict: Maybe): forall x: x.%s <> x.%s\n",
+         P.Value->toString(Fields).c_str(), Q.Value->toString(Fields).c_str());
+    // When the two languages overlap outright, the on-the-fly product
+    // yields a shortest shared word: the concrete path both expressions
+    // can denote. Print it — it is the counterexample a user needs.
+    LangQuery WitnessLang;
+    if (!WitnessLang.disjoint(P.Value, Q.Value) && WitnessLang.lastWitness()) {
+      std::string Path = "x";
+      for (FieldId F : *WitnessLang.lastWitness()) {
+        Path += ".";
+        Path += Fields.name(F);
+      }
+      outf(Io, "languages overlap: both expressions can denote %s\n",
+           Path.c_str());
+    }
+    Exit = 1;
+  }
+  trace::Collector *Events = Obs.tracing() ? Scope.finish() : nullptr;
+  if (!writeProfileFiles(Io, Obs, Events, "prove"))
+    return 2;
+  if (!Obs.TraceFile.empty()) {
+    std::ofstream Out(Obs.TraceFile);
+    if (!Out) {
+      errf(Io, "error: cannot write '%s'\n", Obs.TraceFile.c_str());
+      return 2;
+    }
+    writeProveTrace(Out, Axioms, P.Value, Q.Value, Fields, Prover.options(),
+                    Events);
+  }
+  publishProverMetrics(Prover);
+  if (!Obs.MetricsFile.empty() && !writeMetricsFile(C, Obs.MetricsFile))
+    return 2;
+  return Exit;
+}
+
+/// Flags shared by the program-consuming subcommands. `deps` uses all of
+/// them; `loops` and `dump` only honor --invariant-writes.
+struct ProgramFlags {
+  AnalyzerOptions Analyzer;
+  unsigned Jobs = 0; ///< 0 = hardware concurrency.
+  bool Stats = false;
+  ObsFlags Obs;
+};
+
+bool parseFlags(const CommandIo &Io, int &Argc, char **Argv,
+                ProgramFlags &Flags) {
+  if (!parseObsFlags(Io, Argc, Argv, Flags.Obs))
+    return false;
+  if (!parseTriageFlag(Io, Argc, Argv, Flags.Analyzer.Triage))
+    return false;
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
+  for (int I = 0; I < Argc;) {
+    if (std::strcmp(Argv[I], "--invariant-writes") == 0) {
+      Flags.Analyzer.InvariantPreservingWrites = true;
+      Remove(I, 1);
+    } else if (std::strcmp(Argv[I], "--stats") == 0) {
+      Flags.Stats = true;
+      Remove(I, 1);
+    } else if (std::strcmp(Argv[I], "--jobs") == 0) {
+      if (I + 1 >= Argc) {
+        errf(Io, "error: --jobs requires a thread count\n");
+        return false;
+      }
+      char *End = nullptr;
+      long N = std::strtol(Argv[I + 1], &End, 10);
+      if (End == Argv[I + 1] || *End != '\0' || N < 1) {
+        errf(Io, "error: bad --jobs value '%s'\n", Argv[I + 1]);
+        return false;
+      }
+      Flags.Jobs = static_cast<unsigned>(N);
+      Remove(I, 2);
+    } else {
+      ++I;
+    }
+  }
+  return true;
+}
+
+/// Batch mode: every labeled statement pair of every function, answered
+/// by the parallel engine. Verdict lines go to stdout (identical for
+/// every --jobs value); --stats instrumentation goes to stderr so the
+/// verdict stream stays byte-comparable across runs.
+///
+/// The engine is resident: the first request with a given analyzer
+/// configuration builds (and analyzes) it; later requests against the
+/// same file version reuse it, warm. `--stats` reports the delta since
+/// this request started — BatchStats::since(zero) is the identity, so a
+/// fresh engine's first run prints the same block it always did.
+int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
+  const CommandIo &Io = C.Io;
+  auto Key = std::make_pair(Flags.Analyzer.Triage,
+                            Flags.Analyzer.InvariantPreservingWrites);
+  std::unique_ptr<BatchQueryEngine> &Slot = S.Engines[Key];
+  if (!Slot) {
+    BatchOptions Opts;
+    Opts.Analyzer = Flags.Analyzer;
+    Opts.Jobs = Flags.Jobs;
+    Opts.ExternalGoalCache = &S.Goals;
+    Opts.ExternalLangCache = &S.Lang;
+    Slot = std::make_unique<BatchQueryEngine>(S.Program.Value, S.Fields, Opts);
+  } else {
+    Slot->setJobs(Flags.Jobs);
+  }
+  BatchQueryEngine &Engine = *Slot;
+  BatchStats StatsBase = Engine.stats();
+  TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
+  std::vector<BatchResult> Results = Engine.runAll();
+  bool AllNo = true;
+  for (const BatchResult &R : Results) {
+    outf(Io, "fn %s: deptest(%s, %s) = %s (%s: %s)\n", R.Query.Func.c_str(),
+         R.Query.LabelS.c_str(), R.Query.LabelT.c_str(),
+         depVerdictName(R.Result.Verdict), depKindName(R.Result.Kind),
+         R.Result.Reason.c_str());
+    AllNo &= R.Result.Verdict == DepVerdict::No;
+  }
+  if (Flags.Stats) {
+    // One buffered write, after flushing the verdict stream: with stdout
+    // and stderr merged (2>&1), per-line writes from the two streams can
+    // interleave mid-block under high --jobs; a single write of the
+    // whole block cannot.
+    std::string Block = Engine.stats().since(StatsBase).toString();
+    if (Io.FlushOut)
+      Io.FlushOut();
+    Io.Err(Block);
+  }
+  trace::Collector *Events = Flags.Obs.tracing() ? Scope.finish() : nullptr;
+  if (!writeProfileFiles(Io, Flags.Obs, Events, "batch"))
+    return 2;
+  if (!Flags.Obs.TraceFile.empty()) {
+    std::ofstream Out(Flags.Obs.TraceFile);
+    if (!Out) {
+      errf(Io, "error: cannot write '%s'\n", Flags.Obs.TraceFile.c_str());
+      return 2;
+    }
+    writeBatchTrace(Out, Engine, Results, S.Fields, Events);
+  }
+  if (!Flags.Obs.MetricsFile.empty() &&
+      !writeMetricsFile(C, Flags.Obs.MetricsFile))
+    return 2;
+  return AllNo ? 0 : 1;
+}
+
+int cmdDeps(Ctx &C, int Argc, char **Argv) {
+  const CommandIo &Io = C.Io;
+  ProgramFlags Flags;
+  if (!parseFlags(Io, Argc, Argv, Flags))
+    return 2;
+  if (Argc != 1 && Argc != 3)
+    return usage(Io);
+  bool ProgramOk = false;
+  Session *S = programSession(C, Argv[0], ProgramOk);
+  if (!S || !ProgramOk)
+    return 2;
+  StoreScope Stores(&S->Store);
+  FieldTable &Fields = S->Fields;
+  {
+    DiagnosticEngine LintDiags;
+    lintProgram(S->Program.Value, Argv[0], Fields, LintDiags);
+    warnOnlyLint(Io, LintDiags);
+  }
+
+  if (Argc == 1)
+    return cmdDepsBatch(C, *S, Flags);
+
+  for (const Function &F : S->Program.Value.Functions) {
+    if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
+      continue;
+    DepQueryEngine Engine(S->Program.Value, F, Fields, Flags.Analyzer);
+    TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
+    Prover P(Fields);
+    DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
+    outf(Io, "fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
+         Argv[1], Argv[2], depVerdictName(R.Verdict), depKindName(R.Kind),
+         R.Reason.c_str());
+    if (!R.ProofText.empty())
+      outf(Io, "%s", R.ProofText.c_str());
+    if (Flags.Stats) {
+      const ProverStats &PS = P.stats();
+      if (Io.FlushOut)
+        Io.FlushOut();
+      errf(Io,
+           "prover stats: %llu goals, %llu cache hits, "
+           "%llu inductions, %llu alt splits\n",
+           static_cast<unsigned long long>(PS.GoalsExplored),
+           static_cast<unsigned long long>(PS.GoalCacheHits),
+           static_cast<unsigned long long>(PS.Inductions),
+           static_cast<unsigned long long>(PS.AltSplits));
+    }
+    trace::Collector *Events = Flags.Obs.tracing() ? Scope.finish() : nullptr;
+    if (!writeProfileFiles(Io, Flags.Obs, Events, "pair"))
+      return 2;
+    if (!Flags.Obs.TraceFile.empty()) {
+      std::ofstream Out(Flags.Obs.TraceFile);
+      if (!Out) {
+        errf(Io, "error: cannot write '%s'\n", Flags.Obs.TraceFile.c_str());
+        return 2;
+      }
+      PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
+      writePairTrace(Out, Prep.Axioms, Prep.S, Prep.T, R, Fields, P.options(),
+                     Events);
+    }
+    publishProverMetrics(P);
+    if (!Flags.Obs.MetricsFile.empty() &&
+        !writeMetricsFile(C, Flags.Obs.MetricsFile))
+      return 2;
+    return R.Verdict == DepVerdict::No ? 0 : 1;
+  }
+  errf(Io, "error: no function contains both labels '%s' and '%s'\n", Argv[1],
+       Argv[2]);
+  return 2;
+}
+
+int cmdLoops(Ctx &C, int Argc, char **Argv) {
+  const CommandIo &Io = C.Io;
+  ProgramFlags Flags;
+  if (!parseFlags(Io, Argc, Argv, Flags))
+    return 2;
+  AnalyzerOptions Opts = Flags.Analyzer;
+  if (Argc != 1)
+    return usage(Io);
+  bool ProgramOk = false;
+  Session *S = programSession(C, Argv[0], ProgramOk);
+  if (!S || !ProgramOk)
+    return 2;
+  StoreScope Stores(&S->Store);
+  FieldTable &Fields = S->Fields;
+
+  bool AllParallel = true;
+  for (const Function &F : S->Program.Value.Functions) {
+    DepQueryEngine Engine(S->Program.Value, F, Fields, Opts);
+    Prover P(Fields);
+    for (int LoopId : Engine.loopIds()) {
+      LoopParallelism LP = Engine.analyzeLoopParallelism(LoopId, P);
+      outf(Io, "fn %-20s loop#%-3d %s\n", F.Name.c_str(), LoopId,
+           LP.Parallelizable ? "PARALLELIZABLE" : "sequential");
+      AllParallel &= LP.Parallelizable;
+    }
+  }
+  return AllParallel ? 0 : 1;
+}
+
+/// `aptc lint <file>`: program mode for `.apt` files (or anything
+/// declaring a `fn`), axiom-file mode otherwise. Exit 0 = no errors
+/// (warnings allowed), 1 = error findings, 2 = unreadable input.
+///
+/// Lint runs hermetically — a private FieldTable and a private DFA
+/// store, never the session's — so its diagnostics cannot depend on
+/// what other requests interned first. (Regex keys embed FieldIds;
+/// mixing tables in one store would be unsound. A fresh store also
+/// reproduces one-shot behavior exactly.)
+int cmdLint(Ctx &C, int Argc, char **Argv) {
+  const CommandIo &Io = C.Io;
+  LintOptions Opts;
+  for (int I = 0; I < Argc;) {
+    if (std::strcmp(Argv[I], "--no-models") == 0) {
+      Opts.CheckModels = false;
+      for (int J = I; J + 1 < Argc; ++J)
+        Argv[J] = Argv[J + 1];
+      --Argc;
+    } else {
+      ++I;
+    }
+  }
+  if (Argc != 1)
+    return usage(Io);
+  const char *Path = Argv[0];
+  std::ifstream In(Path);
+  if (!In) {
+    errf(Io, "error: cannot open '%s'\n", Path);
+    return 2;
+  }
+  std::string Text((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+
+  MinDfaStore LintStore(16);
+  StoreScope Stores(&LintStore);
+  FieldTable Fields;
+  DiagnosticEngine Diags;
+  std::string_view PathView(Path);
+  bool IsProgram =
+      PathView.size() >= 4 && PathView.substr(PathView.size() - 4) == ".apt";
+  if (!IsProgram && Text.find("fn ") != std::string::npos)
+    IsProgram = true;
+
+  if (IsProgram) {
+    ProgramParseResult Prog = parseProgram(Text, Fields);
+    if (!Prog) {
+      // Parser errors arrive as "line N: message"; re-home them in the
+      // structured diagnostics stream.
+      int Line = 0;
+      std::string Message = Prog.Error;
+      if (Message.substr(0, 5) == "line ") {
+        size_t Colon = Message.find(':');
+        if (Colon != std::string::npos) {
+          Line = std::atoi(Message.c_str() + 5);
+          Message = std::string(trim(Message.substr(Colon + 1)));
+        }
+      }
+      Diags.error("APT-E007", SourceLoc(Path, Line), Message);
+    } else {
+      lintProgram(Prog.Value, Path, Fields, Diags, Opts);
+    }
+  } else {
+    AxiomFileContents Contents = parseAxiomFile(Text, Path, Fields, Diags);
+    AxiomLintInput LintIn;
+    LintIn.Axioms = &Contents.Axioms;
+    LintIn.File = Path;
+    LintIn.Alphabet = Contents.DeclaredFields;
+    lintAxiomSet(LintIn, Fields, Diags, Opts);
+  }
+
+  outf(Io, "%s", Diags.render().c_str());
+  outf(Io, "lint: %s: %s\n", Path, Diags.summary().c_str());
+  return Diags.hasErrors() ? 1 : 0;
+}
+
+int cmdDump(Ctx &C, int Argc, char **Argv) {
+  const CommandIo &Io = C.Io;
+  ProgramFlags Flags;
+  if (!parseFlags(Io, Argc, Argv, Flags))
+    return 2;
+  AnalyzerOptions Opts = Flags.Analyzer;
+  if (Argc != 1)
+    return usage(Io);
+  bool ProgramOk = false;
+  Session *S = programSession(C, Argv[0], ProgramOk);
+  if (!S || !ProgramOk)
+    return 2;
+  StoreScope Stores(&S->Store);
+  for (const Function &F : S->Program.Value.Functions) {
+    AnalysisResult R = analyzeFunction(S->Program.Value, F, S->Fields, Opts);
+    outf(Io, "%s\n", dumpAnalysis(R, F, S->Fields).c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int apt::svc::runServiceCommand(ServiceState &State,
+                                const std::vector<std::string> &Args,
+                                const CommandIo &Io) {
+  if (Args.empty())
+    return usage(Io);
+  const std::string &Cmd = Args[0];
+
+  // Mutable argv copy: the flag parsers strip recognized flags in place,
+  // exactly as they did over main()'s argv.
+  std::vector<std::string> Store(Args.begin() + 1, Args.end());
+  std::vector<char *> Argv;
+  Argv.reserve(Store.size());
+  for (std::string &A : Store)
+    Argv.push_back(A.data());
+  int Argc = static_cast<int>(Argv.size());
+
+  metrics::Registry &R = metrics::Registry::global();
+  Ctx C{State, Io, R.snapshotAll()};
+  auto Start = std::chrono::steady_clock::now();
+
+  int Exit;
+  if (Cmd == "prove")
+    Exit = cmdProve(C, Argc, Argv.data());
+  else if (Cmd == "deps")
+    Exit = cmdDeps(C, Argc, Argv.data());
+  else if (Cmd == "loops")
+    Exit = cmdLoops(C, Argc, Argv.data());
+  else if (Cmd == "dump")
+    Exit = cmdDump(C, Argc, Argv.data());
+  else if (Cmd == "lint")
+    Exit = cmdLint(C, Argc, Argv.data());
+  else
+    return usage(Io);
+
+  uint64_t WallUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+  R.counter("apt.svc.requests").add(1);
+  R.counter("apt.svc.cmd." + Cmd).add(1);
+  R.histogram("apt.svc.request_wall_us").observe(WallUs);
+  return Exit;
+}

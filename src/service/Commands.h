@@ -1,0 +1,69 @@
+//===- service/Commands.h - Shared CLI command layer ------------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `aptc` subcommands (prove/deps/loops/dump/lint) as a library,
+/// parameterized over output sinks and resident state. One-shot `aptc`
+/// calls runServiceCommand with stdio sinks and a ServiceState it
+/// discards afterwards; the daemon calls it with string-capturing sinks
+/// and its long-lived ServiceState. Parity by construction: both modes
+/// execute the same code path, so daemon verdicts are byte-identical to
+/// one-shot verdicts (asserted by tools/service_parity_check.py).
+///
+/// Per-request observability (the ISSUE's "session-scoped numbers" fix):
+/// runServiceCommand snapshots the process-wide metrics registry on
+/// entry, and `--metrics-json` exports the delta since that baseline —
+/// so a daemon that has served a thousand requests still reports this
+/// request's counters. Likewise `deps --stats` prints
+/// BatchStats::since(<pre-run snapshot>) of the resident engine. In a
+/// fresh process both baselines are zero, and since(zero) is the
+/// identity, so one-shot output is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SERVICE_COMMANDS_H
+#define APT_SERVICE_COMMANDS_H
+
+#include "service/ServiceState.h"
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apt::svc {
+
+/// Where a command's two output streams go. The sinks must accept
+/// arbitrary chunk sizes; FlushOut (optional) is invoked before a
+/// contiguous stderr block is emitted so interleaving with a merged
+/// stdout stays impossible (the `--stats` contract from PR 3).
+struct CommandIo {
+  std::function<void(std::string_view)> Out;
+  std::function<void(std::string_view)> Err;
+  std::function<void()> FlushOut;
+};
+
+/// Sinks bound to the process's real stdout/stderr (one-shot mode).
+CommandIo stdioCommandIo();
+
+/// Runs one CLI command against \p State. \p Args is the full argument
+/// vector after the program name: Args[0] is the subcommand
+/// ("prove", "deps", "loops", "dump", "lint"); the rest are its
+/// arguments and flags. Returns the process exit code (0 ok, 1 verdict-
+/// level failure, 2 usage/input error). Unknown or missing subcommands
+/// print the usage text to Io.Err and return 2.
+int runServiceCommand(ServiceState &State, const std::vector<std::string> &Args,
+                      const CommandIo &Io);
+
+/// The names runServiceCommand dispatches on, for tools that enumerate
+/// the CLI surface (tools/docs_check.py greps this table).
+extern const char *const kSubcommands[5];
+
+} // namespace apt::svc
+
+#endif // APT_SERVICE_COMMANDS_H

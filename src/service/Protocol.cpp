@@ -1,0 +1,276 @@
+//===- service/Protocol.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Protocol.h for the wire format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "service/Commands.h"
+#include "service/Snapshot.h"
+#include "support/Metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+
+using namespace apt;
+using namespace apt::svc;
+
+namespace {
+
+JsonValue errorResponse(const JsonValue &Id, const std::string &Code,
+                        const std::string &Message) {
+  JsonValue::Object E;
+  E["code"] = JsonValue(Code);
+  E["message"] = JsonValue(Message);
+  JsonValue::Object R;
+  R["id"] = Id;
+  R["ok"] = JsonValue(false);
+  R["error"] = JsonValue(std::move(E));
+  return JsonValue(std::move(R));
+}
+
+JsonValue okResponse(const JsonValue &Id, JsonValue Result) {
+  JsonValue::Object R;
+  R["id"] = Id;
+  R["ok"] = JsonValue(true);
+  R["result"] = std::move(Result);
+  return JsonValue(std::move(R));
+}
+
+JsonValue snapshotStatsJson(const SnapshotStats &S) {
+  JsonValue::Object O;
+  O["sessions"] = JsonValue(static_cast<int64_t>(S.Sessions));
+  O["dfa_entries"] = JsonValue(static_cast<int64_t>(S.DfaEntries));
+  O["goal_entries"] = JsonValue(static_cast<int64_t>(S.GoalEntries));
+  O["lang_entries"] = JsonValue(static_cast<int64_t>(S.LangEntries));
+  return JsonValue(std::move(O));
+}
+
+const char *snapshotErrorCode(SnapshotError E) {
+  switch (E) {
+  case SnapshotError::Io:
+    return kErrIo;
+  case SnapshotError::Version:
+    return kErrSnapshotVersion;
+  case SnapshotError::Corrupt:
+    return kErrSnapshotCorrupt;
+  case SnapshotError::None:
+    break;
+  }
+  return kErrInternal;
+}
+
+} // namespace
+
+void ProtocolHandler::recordSlow(uint64_t WallUs, std::string Op,
+                                 std::string Detail) {
+  if (SlowUs == 0 || WallUs < SlowUs)
+    return;
+  metrics::Registry::global().counter("apt.svc.slow_requests").add(1);
+  std::fprintf(stderr, "aptd: slow request: %llu us op=%s %s\n",
+               static_cast<unsigned long long>(WallUs), Op.c_str(),
+               Detail.c_str());
+  Slow.push_back(SlowQuery{WallUs, std::move(Op), std::move(Detail)});
+  std::sort(Slow.begin(), Slow.end(),
+            [](const SlowQuery &A, const SlowQuery &B) {
+              return A.WallUs > B.WallUs;
+            });
+  if (Slow.size() > kSlowLogCapacity)
+    Slow.resize(kSlowLogCapacity);
+}
+
+JsonValue ProtocolHandler::dispatch(const JsonValue &Request, bool &Shutdown,
+                                    std::string &ErrCode,
+                                    std::string &ErrMsg) {
+  const std::string &Op = Request["op"].asString();
+
+  if (Op == "ping") {
+    JsonValue::Object R;
+    R["pong"] = JsonValue(true);
+    R["snapshot_version"] = JsonValue(kSnapshotVersion);
+    return JsonValue(std::move(R));
+  }
+
+  if (Op == "run") {
+    const JsonValue &Argv = Request["argv"];
+    if (!Argv.isArray() || Argv.asArray().empty()) {
+      ErrCode = kErrBadRequest;
+      ErrMsg = "run requires a non-empty 'argv' array of strings";
+      return JsonValue();
+    }
+    std::vector<std::string> Args;
+    Args.reserve(Argv.asArray().size());
+    for (const JsonValue &A : Argv.asArray()) {
+      if (!A.isString()) {
+        ErrCode = kErrBadRequest;
+        ErrMsg = "run 'argv' entries must be strings";
+        return JsonValue();
+      }
+      Args.push_back(A.asString());
+    }
+    std::string Out, Err;
+    CommandIo Io;
+    Io.Out = [&Out](std::string_view S) { Out.append(S.data(), S.size()); };
+    Io.Err = [&Err](std::string_view S) { Err.append(S.data(), S.size()); };
+    Io.FlushOut = [] {};
+    int Exit = runServiceCommand(State, Args, Io);
+    JsonValue::Object R;
+    R["exit"] = JsonValue(static_cast<int64_t>(Exit));
+    R["stdout"] = JsonValue(std::move(Out));
+    R["stderr"] = JsonValue(std::move(Err));
+    return JsonValue(std::move(R));
+  }
+
+  if (Op == "load_axioms" || Op == "load_program") {
+    const JsonValue &PathV = Request["path"];
+    if (!PathV.isString()) {
+      ErrCode = kErrBadRequest;
+      ErrMsg = Op + " requires a 'path' string";
+      return JsonValue();
+    }
+    std::string LoadErr;
+    Session *S = State.fileSession(
+        PathV.asString(),
+        [&LoadErr](std::string_view M) { LoadErr.append(M.data(), M.size()); });
+    if (!S) {
+      ErrCode = kErrIo;
+      // Drop the trailing newline of the CLI-format error line.
+      if (!LoadErr.empty() && LoadErr.back() == '\n')
+        LoadErr.pop_back();
+      ErrMsg = LoadErr;
+      return JsonValue();
+    }
+    JsonValue::Object R;
+    R["path"] = JsonValue(S->Path);
+    R["fingerprint"] = JsonValue(S->Fingerprint);
+    R["requests"] = JsonValue(static_cast<int64_t>(S->Requests));
+    return JsonValue(std::move(R));
+  }
+
+  if (Op == "stats") {
+    JsonValue::Array Sessions;
+    for (const auto &[Path, S] : State.sessions()) {
+      JsonValue::Object O;
+      O["path"] = JsonValue(Path);
+      O["fingerprint"] = JsonValue(S->Fingerprint);
+      O["requests"] = JsonValue(static_cast<int64_t>(S->Requests));
+      O["dfa_entries"] = JsonValue(static_cast<int64_t>(S->Store.size()));
+      O["goal_entries"] = JsonValue(static_cast<int64_t>(S->Goals.size()));
+      O["lang_entries"] = JsonValue(static_cast<int64_t>(S->Lang.size()));
+      O["fields"] = JsonValue(static_cast<int64_t>(S->Fields.size()));
+      O["engines"] = JsonValue(static_cast<int64_t>(S->Engines.size()));
+      Sessions.push_back(JsonValue(std::move(O)));
+    }
+    JsonValue::Array SlowJson;
+    for (const SlowQuery &Q : Slow) {
+      JsonValue::Object O;
+      O["wall_us"] = JsonValue(static_cast<int64_t>(Q.WallUs));
+      O["op"] = JsonValue(Q.Op);
+      O["detail"] = JsonValue(Q.Detail);
+      SlowJson.push_back(JsonValue(std::move(O)));
+    }
+    JsonValue::Object R;
+    R["sessions"] = JsonValue(std::move(Sessions));
+    R["slow_queries"] = JsonValue(std::move(SlowJson));
+    return JsonValue(std::move(R));
+  }
+
+  if (Op == "metrics")
+    return metrics::Registry::global().toJson();
+
+  if (Op == "snapshot_save" || Op == "snapshot_load") {
+    const JsonValue &PathV = Request["path"];
+    if (!PathV.isString()) {
+      ErrCode = kErrBadRequest;
+      ErrMsg = Op + " requires a 'path' string";
+      return JsonValue();
+    }
+    SnapshotStats Stats;
+    std::string SnapErr;
+    if (Op == "snapshot_save") {
+      if (!saveSnapshot(State, PathV.asString(), Stats, SnapErr)) {
+        ErrCode = kErrIo;
+        ErrMsg = SnapErr;
+        return JsonValue();
+      }
+    } else {
+      SnapshotError E = loadSnapshot(State, PathV.asString(), Stats, SnapErr);
+      if (E != SnapshotError::None) {
+        ErrCode = snapshotErrorCode(E);
+        ErrMsg = SnapErr;
+        return JsonValue();
+      }
+      metrics::Registry::global().counter("apt.svc.snapshot_loads").add(1);
+    }
+    return snapshotStatsJson(Stats);
+  }
+
+  if (Op == "shutdown") {
+    Shutdown = true;
+    JsonValue::Object R;
+    R["shutting_down"] = JsonValue(true);
+    return JsonValue(std::move(R));
+  }
+
+  ErrCode = kErrUnknownOp;
+  ErrMsg = "unknown op '" + Op + "'";
+  return JsonValue();
+}
+
+std::string ProtocolHandler::handleLine(std::string_view Line, bool &Shutdown) {
+  auto T0 = std::chrono::steady_clock::now();
+  metrics::Registry &R = metrics::Registry::global();
+  R.counter("apt.svc.proto.requests").add(1);
+
+  JsonParseResult Parsed = parseJson(Line);
+  if (!Parsed) {
+    R.counter("apt.svc.proto.errors").add(1);
+    return errorResponse(JsonValue(), kErrBadJson,
+                         "request is not valid JSON: " + Parsed.Error)
+        .dump();
+  }
+  const JsonValue &Request = Parsed.Value;
+  const JsonValue &Id = Request["id"];
+  if (!Request.isObject() || !Request["op"].isString()) {
+    R.counter("apt.svc.proto.errors").add(1);
+    return errorResponse(Id, kErrBadRequest,
+                         "request must be an object with a string 'op'")
+        .dump();
+  }
+
+  std::string ErrCode, ErrMsg;
+  JsonValue Result;
+  try {
+    Result = dispatch(Request, Shutdown, ErrCode, ErrMsg);
+  } catch (const std::exception &E) {
+    ErrCode = kErrInternal;
+    ErrMsg = E.what();
+  }
+
+  uint64_t WallUs = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+  R.histogram("apt.svc.proto.wall_us").observe(WallUs);
+  std::string Detail;
+  if (Request["op"].asString() == "run" && Request["argv"].isArray()) {
+    for (const JsonValue &A : Request["argv"].asArray())
+      if (A.isString()) {
+        if (!Detail.empty())
+          Detail.push_back(' ');
+        Detail += A.asString();
+      }
+  } else if (Request["path"].isString()) {
+    Detail = Request["path"].asString();
+  }
+  recordSlow(WallUs, Request["op"].asString(), std::move(Detail));
+
+  if (!ErrCode.empty()) {
+    R.counter("apt.svc.proto.errors").add(1);
+    return errorResponse(Id, ErrCode, ErrMsg).dump();
+  }
+  return okResponse(Id, std::move(Result)).dump();
+}

@@ -1,0 +1,163 @@
+//===- service/Server.cpp -------------------------------------------------===//
+//
+// Part of the APT project; see Server.h for the threading model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "service/Snapshot.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace apt;
+using namespace apt::svc;
+
+namespace {
+
+volatile sig_atomic_t GotSignal = 0;
+
+void onSignal(int) { GotSignal = 1; }
+
+/// Reads from \p Fd into \p Buf until it holds at least one full line or
+/// the peer closes. Returns false on EOF/error with no complete line.
+bool readLine(int Fd, std::string &Buf, std::string &Line) {
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Line = Buf.substr(0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    char Chunk[4096];
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0)
+      return false;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+bool writeAll(int Fd, const std::string &S) {
+  size_t Off = 0;
+  while (Off < S.size()) {
+    ssize_t N = ::write(Fd, S.data() + Off, S.size() - Off);
+    if (N <= 0)
+      return false;
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+int apt::svc::runServer(ServiceState &State, const ServerOptions &Opts) {
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "aptd: --socket is required\n");
+    return 1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "aptd: socket path too long: '%s'\n",
+                 Opts.SocketPath.c_str());
+    return 1;
+  }
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  if (!Opts.SnapshotLoad.empty()) {
+    SnapshotStats Stats;
+    std::string Err;
+    SnapshotError E = loadSnapshot(State, Opts.SnapshotLoad, Stats, Err);
+    if (E != SnapshotError::None) {
+      std::fprintf(stderr, "aptd: snapshot load failed (%s): %s\n",
+                   snapshotErrorName(E), Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "aptd: warm start: %zu session(s), %zu dfa / %zu goal / "
+                 "%zu lang entries\n",
+                 Stats.Sessions, Stats.DfaEntries, Stats.GoalEntries,
+                 Stats.LangEntries);
+  }
+
+  // A stale socket file from a crashed daemon would make bind fail;
+  // remove it up front. A *live* daemon on the same path loses its
+  // socket too — callers own path uniqueness (the CI harness keys paths
+  // by pid).
+  ::unlink(Opts.SocketPath.c_str());
+
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    std::perror("aptd: socket");
+    return 1;
+  }
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 16) < 0) {
+    std::perror("aptd: bind/listen");
+    ::close(ListenFd);
+    return 1;
+  }
+
+  // A peer that disconnects mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  std::fprintf(stderr, "aptd: listening on %s\n", Opts.SocketPath.c_str());
+
+  ProtocolHandler Handler(State, Opts.SlowMs);
+  bool Shutdown = false;
+  while (!Shutdown && !GotSignal) {
+    pollfd Pfd{ListenFd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 500);
+    if (Ready < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("aptd: poll");
+      break;
+    }
+    if (Ready == 0)
+      continue;
+    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0)
+      continue;
+    // One connection at a time, all its requests in order (see Server.h).
+    std::string Buf, Line;
+    while (!Shutdown && readLine(ClientFd, Buf, Line)) {
+      std::string Response = Handler.handleLine(Line, Shutdown);
+      Response.push_back('\n');
+      if (!writeAll(ClientFd, Response))
+        break;
+    }
+    ::close(ClientFd);
+  }
+
+  ::close(ListenFd);
+  ::unlink(Opts.SocketPath.c_str());
+
+  if (!Opts.SnapshotSave.empty()) {
+    SnapshotStats Stats;
+    std::string Err;
+    if (!saveSnapshot(State, Opts.SnapshotSave, Stats, Err)) {
+      std::fprintf(stderr, "aptd: snapshot save failed: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "aptd: snapshot saved: %zu session(s), %zu dfa / %zu goal / "
+                 "%zu lang entries\n",
+                 Stats.Sessions, Stats.DfaEntries, Stats.GoalEntries,
+                 Stats.LangEntries);
+  }
+  return 0;
+}

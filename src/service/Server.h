@@ -1,0 +1,43 @@
+//===- service/Server.h - Unix-socket transport for aptd --------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's transport: a SOCK_STREAM Unix-domain listener feeding
+/// request lines to a ProtocolHandler. Deliberately single-threaded —
+/// requests are served one at a time in arrival order, which is what
+/// makes resident-state mutation (session invalidation, snapshot load)
+/// safe without a lock and keeps daemon verdicts deterministic. The
+/// parallelism that matters (batch analysis workers) lives *inside* a
+/// request, in BatchQueryEngine's pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SERVICE_SERVER_H
+#define APT_SERVICE_SERVER_H
+
+#include "service/Protocol.h"
+
+#include <string>
+
+namespace apt::svc {
+
+struct ServerOptions {
+  std::string SocketPath;
+  uint64_t SlowMs = 0;       ///< Slow-query threshold; 0 disables.
+  std::string SnapshotLoad;  ///< Warm-start snapshot (optional).
+  std::string SnapshotSave;  ///< Written on clean shutdown (optional).
+};
+
+/// Runs the accept/serve loop until a `shutdown` request or SIGINT/
+/// SIGTERM. Returns the process exit code (0 on clean shutdown, 1 on
+/// setup failure — message on stderr). Removes the socket file on exit.
+int runServer(ServiceState &State, const ServerOptions &Opts);
+
+} // namespace apt::svc
+
+#endif // APT_SERVICE_SERVER_H

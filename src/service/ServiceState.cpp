@@ -1,0 +1,116 @@
+//===- service/ServiceState.cpp -------------------------------------------===//
+//
+// Part of the APT project; see ServiceState.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceState.h"
+
+#include "core/Prover.h"
+#include "support/Metrics.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace apt;
+using namespace apt::svc;
+
+std::string apt::svc::contentFingerprint(std::string_view Bytes) {
+  uint64_t H = 1469598103934665603ull; // FNV offset basis
+  for (unsigned char C : Bytes) {
+    H ^= C;
+    H *= 1099511628211ull; // FNV prime
+  }
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+Session *ServiceState::fileSession(const std::string &Path,
+                                   const ErrSink &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    // The exact line one-shot aptc's readFile prints, so a daemon-routed
+    // request for a missing file stays byte-identical.
+    char Buf[512];
+    int N = std::snprintf(Buf, sizeof(Buf), "error: cannot open '%s'\n",
+                          Path.c_str());
+    Err(std::string_view(Buf, static_cast<size_t>(N)));
+    return nullptr;
+  }
+  std::stringstream BufStream;
+  BufStream << In.rdbuf();
+  std::string Source = BufStream.str();
+  std::string Fp = contentFingerprint(Source);
+
+  Session &S = obtainSession(Path);
+  if (S.Fingerprint == Fp) {
+    // Snapshot-restored sessions carry a fingerprint but no source (the
+    // snapshot stores caches, not file bytes); install the bytes just
+    // read so the first post-restore parse sees the real file.
+    if (S.Source.empty())
+      S.Source = std::move(Source);
+    ++S.Requests;
+    return &S;
+  }
+
+  bool Invalidation = !S.Fingerprint.empty();
+  if (Invalidation) {
+    // The file changed under a resident session. Parse artifacts and
+    // prepared engines are stale; goal-cache entries minted under the
+    // superseded axiom-set fingerprint are evicted by their key prefix
+    // (Prover keys shared goals as "<fingerprint>\x1d<goal>"). The
+    // FieldTable, DFA store, and language cache survive: their entries
+    // are keyed by regex structure over append-only FieldIds, so they
+    // stay valid — that survival is the "most cache entries outlive a
+    // localized edit" property docs/SERVICE.md documents.
+    metrics::Registry &R = metrics::Registry::global();
+    R.counter("apt.svc.invalidations").add(1);
+    if (S.AxiomsParsed && S.AxiomFp != 0) {
+      std::string Prefix = std::to_string(S.AxiomFp) + "\x1d";
+      size_t Evicted = S.Goals.eraseIf([&](const std::string &Key) {
+        return Key.compare(0, Prefix.size(), Prefix) == 0;
+      });
+      R.counter("apt.svc.goal_evictions").add(Evicted);
+    }
+    S.Engines.clear();
+  }
+  S.AxiomsParsed = false;
+  S.Axioms = AxiomFileContents{};
+  S.AxiomDiags.clear();
+  S.AxiomFp = 0;
+  S.ProgramParsed = false;
+  S.Program = ProgramParseResult{};
+  S.Source = std::move(Source);
+  S.Fingerprint = std::move(Fp);
+  ++S.Requests;
+  return &S;
+}
+
+Session *ServiceState::findSession(const std::string &Path) {
+  auto It = Sessions.find(Path);
+  return It == Sessions.end() ? nullptr : It->second.get();
+}
+
+const Session *ServiceState::findSession(const std::string &Path) const {
+  auto It = Sessions.find(Path);
+  return It == Sessions.end() ? nullptr : It->second.get();
+}
+
+Session &ServiceState::obtainSession(const std::string &Path) {
+  std::unique_ptr<Session> &Slot = Sessions[Path];
+  if (!Slot)
+    Slot = std::make_unique<Session>(Path);
+  return *Slot;
+}
+
+void ServiceState::dropSession(const std::string &Path) {
+  Sessions.erase(Path);
+}
+
+void ServiceState::adoptSession(std::unique_ptr<Session> S) {
+  std::string Path = S->Path;
+  Sessions[Path] = std::move(S);
+}

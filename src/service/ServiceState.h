@@ -1,0 +1,160 @@
+//===- service/ServiceState.h - Resident analysis sessions ------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's resident state: one Session per loaded input file, each
+/// owning the caches that make repeat queries cheap — the interned
+/// minimal-DFA store, the cross-thread goal/language caches, the parsed
+/// axioms or program, and the batch engines built from them.
+///
+/// Why per-file rather than process-wide: regex structural keys embed
+/// interned FieldIds (Regex.h), so a DFA keyed under one FieldTable is
+/// meaningless — or worse, wrong — under another. Each session therefore
+/// owns its own FieldTable and its own MinDfaStore, and the command
+/// layer installs that store as the thread default
+/// (MinDfaStore::setThreadDefault) for the duration of a request so
+/// every internally constructed LangQuery binds to it. A one-shot `aptc`
+/// run is just a ServiceState that lives for one command: a fresh
+/// session's empty caches behave exactly like the globals a fresh
+/// process starts with, which is what keeps daemon and one-shot output
+/// byte-identical (tools/service_parity_check.py).
+///
+/// Invalidation is content-keyed: every request re-reads the file and
+/// compares its FNV-1a fingerprint to the resident one. A match reuses
+/// everything; a mismatch drops the parse artifacts and prepared
+/// engines, evicts goal-cache entries minted under the superseded
+/// axiom-set fingerprint, and keeps the FieldTable (append-only, so
+/// surviving ids stay valid), the DFA store, and the language cache —
+/// their entries are keyed by regex structure and survive edits.
+/// docs/SERVICE.md spells out the full lifecycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SERVICE_SERVICESTATE_H
+#define APT_SERVICE_SERVICESTATE_H
+
+#include "analysis/QueryEngine.h"
+#include "ir/Parser.h"
+#include "lint/AxiomFile.h"
+#include "regex/Minimize.h"
+#include "support/FieldTable.h"
+#include "support/ShardedCache.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace apt::svc {
+
+/// FNV-1a 64-bit content hash, rendered as 16 hex digits. Stable across
+/// processes, so snapshot fingerprints remain comparable after restart.
+std::string contentFingerprint(std::string_view Bytes);
+
+/// Resident state for one loaded input file (axiom file or program).
+/// Everything here is request-thread-owned; the only concurrency is the
+/// batch engine's worker pool, which the sharded caches already handle.
+class Session {
+public:
+  explicit Session(std::string PathIn) : Path(std::move(PathIn)) {}
+
+  std::string Path;
+  std::string Fingerprint; ///< contentFingerprint of Source.
+  std::string Source;      ///< File bytes as last loaded.
+
+  /// Append-only across requests: re-parsing identical content interns
+  /// identical names to identical ids, which is what keeps regex keys —
+  /// and with them every cache below — stable for the session lifetime.
+  FieldTable Fields;
+
+  MinDfaStore Store{32};     ///< Interned minimal class DFAs.
+  ShardedBoolCache Goals{32}; ///< Cross-request prover goal verdicts.
+  ShardedBoolCache Lang{64};  ///< Cross-request language-query answers.
+
+  /// Axiom-file residency (`prove`). AxiomDiags holds the rendered parse
+  /// diagnostics so warm requests replay the same stderr bytes a cold
+  /// parse would print.
+  bool AxiomsParsed = false;
+  AxiomFileContents Axioms;
+  std::string AxiomDiags;
+  size_t AxiomFp = 0; ///< Prover::axiomSetFingerprint of Axioms.Axioms.
+
+  /// Program residency (`deps`/`loops`/`dump`). A failed parse is
+  /// resident too: the error replays until the file changes.
+  bool ProgramParsed = false;
+  ProgramParseResult Program;
+
+  /// Resident batch engines, keyed by the analyzer options that shape
+  /// their analyses: (Triage, InvariantPreservingWrites). Jobs is not
+  /// part of the key — verdicts are jobs-invariant, so a resident
+  /// engine serves any --jobs value via BatchQueryEngine::setJobs.
+  std::map<std::pair<bool, bool>, std::unique_ptr<BatchQueryEngine>> Engines;
+
+  uint64_t Requests = 0; ///< Requests served against this session.
+};
+
+/// All resident sessions. The daemon owns one for its lifetime; one-shot
+/// `aptc` owns one per command.
+class ServiceState {
+public:
+  using ErrSink = std::function<void(std::string_view)>;
+
+  /// The session for \p Path, after re-reading the file: a fingerprint
+  /// match reuses resident state, a mismatch invalidates (see file
+  /// comment), a new path creates a fresh session. Returns nullptr when
+  /// the file cannot be read, after writing the same
+  /// "error: cannot open '<path>'\n" line one-shot aptc prints.
+  Session *fileSession(const std::string &Path, const ErrSink &Err);
+
+  /// The resident session for \p Path without touching the filesystem,
+  /// or nullptr. Snapshot serialization and tests.
+  Session *findSession(const std::string &Path);
+  const Session *findSession(const std::string &Path) const;
+
+  /// The session for \p Path, created empty if absent (no file I/O).
+  /// Snapshot restore populates sessions through this.
+  Session &obtainSession(const std::string &Path);
+
+  /// Drops the session for \p Path entirely. Snapshot restore uses this
+  /// to replace a resident session wholesale.
+  void dropSession(const std::string &Path);
+
+  /// Installs a fully built session under its own path, replacing any
+  /// resident one. Snapshot restore builds sessions off to the side and
+  /// adopts them only once the whole document validated.
+  void adoptSession(std::unique_ptr<Session> S);
+
+  const std::map<std::string, std::unique_ptr<Session>> &sessions() const {
+    return Sessions;
+  }
+
+private:
+  std::map<std::string, std::unique_ptr<Session>> Sessions;
+};
+
+/// RAII thread-default DFA store override: every LangQuery constructed
+/// on this thread while the scope is live binds to \p S (the session
+/// store), including the ones buried inside Prover, lint, and trace
+/// export. Restores the previous default on exit.
+class StoreScope {
+public:
+  explicit StoreScope(MinDfaStore *S) : Prev(MinDfaStore::setThreadDefault(S)) {}
+  ~StoreScope() { MinDfaStore::setThreadDefault(Prev); }
+  StoreScope(const StoreScope &) = delete;
+  StoreScope &operator=(const StoreScope &) = delete;
+
+private:
+  MinDfaStore *Prev;
+};
+
+} // namespace apt::svc
+
+#endif // APT_SERVICE_SERVICESTATE_H

@@ -1,0 +1,420 @@
+//===- service/Snapshot.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Snapshot.h for the format and policy.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+using namespace apt;
+using namespace apt::svc;
+
+const char *apt::svc::snapshotErrorName(SnapshotError E) {
+  switch (E) {
+  case SnapshotError::None:
+    return "none";
+  case SnapshotError::Io:
+    return "io";
+  case SnapshotError::Version:
+    return "version";
+  case SnapshotError::Corrupt:
+    return "corrupt";
+  }
+  return "corrupt";
+}
+
+namespace {
+
+// Cache keys are arbitrary bytes (prover goal keys embed a '\x1d'
+// fingerprint separator), so they travel hex-encoded.
+std::string toHex(const std::string &S) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(S.size() * 2);
+  for (unsigned char C : S) {
+    Out.push_back(Digits[C >> 4]);
+    Out.push_back(Digits[C & 0xf]);
+  }
+  return Out;
+}
+
+bool fromHex(const std::string &Hex, std::string &Out) {
+  if (Hex.size() % 2 != 0)
+    return false;
+  auto Nibble = [](char C) -> int {
+    if (C >= '0' && C <= '9')
+      return C - '0';
+    if (C >= 'a' && C <= 'f')
+      return C - 'a' + 10;
+    return -1;
+  };
+  Out.clear();
+  Out.reserve(Hex.size() / 2);
+  for (size_t I = 0; I < Hex.size(); I += 2) {
+    int Hi = Nibble(Hex[I]), Lo = Nibble(Hex[I + 1]);
+    if (Hi < 0 || Lo < 0)
+      return false;
+    Out.push_back(static_cast<char>((Hi << 4) | Lo));
+  }
+  return true;
+}
+
+// Accessor helpers over the strict JsonValue variant. Each returns false
+// (rather than throwing) so snapshotFromJson can reject corrupt content
+// with a structured error.
+const JsonValue *field(const JsonValue &V, const char *Name) {
+  if (!V.isObject())
+    return nullptr;
+  const JsonValue::Object &O = V.asObject();
+  auto It = O.find(Name);
+  return It == O.end() ? nullptr : &It->second;
+}
+
+bool getInt(const JsonValue &V, const char *Name, int64_t &Out) {
+  const JsonValue *F = field(V, Name);
+  if (!F || !F->isInt())
+    return false;
+  Out = F->asInt();
+  return true;
+}
+
+bool getString(const JsonValue &V, const char *Name, std::string &Out) {
+  const JsonValue *F = field(V, Name);
+  if (!F || !F->isString())
+    return false;
+  Out = F->asString();
+  return true;
+}
+
+bool getU32Array(const JsonValue &V, const char *Name,
+                 std::vector<uint32_t> &Out) {
+  const JsonValue *F = field(V, Name);
+  if (!F || !F->isArray())
+    return false;
+  Out.clear();
+  for (const JsonValue &E : F->asArray()) {
+    if (!E.isInt() || E.asInt() < 0 ||
+        static_cast<uint64_t>(E.asInt()) > 0xffffffffull)
+      return false;
+    Out.push_back(static_cast<uint32_t>(E.asInt()));
+  }
+  return true;
+}
+
+JsonValue u32Array(const std::vector<uint32_t> &Xs) {
+  JsonValue::Array A;
+  A.reserve(Xs.size());
+  for (uint32_t X : Xs)
+    A.push_back(JsonValue(static_cast<int64_t>(X)));
+  return JsonValue(std::move(A));
+}
+
+// Bool-cache contents as a deterministic [[hex-key, value]] array.
+JsonValue boolCacheToJson(const ShardedBoolCache &Cache) {
+  std::vector<std::pair<std::string, bool>> Entries;
+  Cache.forEach([&](const std::string &Key, bool Value) {
+    Entries.emplace_back(toHex(Key), Value);
+  });
+  std::sort(Entries.begin(), Entries.end());
+  JsonValue::Array A;
+  A.reserve(Entries.size());
+  for (auto &[K, V] : Entries) {
+    JsonValue::Array Pair;
+    Pair.push_back(JsonValue(std::move(K)));
+    Pair.push_back(JsonValue(V));
+    A.push_back(JsonValue(std::move(Pair)));
+  }
+  return JsonValue(std::move(A));
+}
+
+bool boolCacheFromJson(const JsonValue &V, ShardedBoolCache &Cache,
+                       size_t &Entries) {
+  if (!V.isArray())
+    return false;
+  for (const JsonValue &E : V.asArray()) {
+    if (!E.isArray() || E.asArray().size() != 2)
+      return false;
+    const JsonValue &KV = E.asArray()[0];
+    const JsonValue &BV = E.asArray()[1];
+    if (!KV.isString() || !BV.isBool())
+      return false;
+    std::string Key;
+    if (!fromHex(KV.asString(), Key))
+      return false;
+    Cache.insert(Key, BV.asBool());
+    ++Entries;
+  }
+  return true;
+}
+
+} // namespace
+
+JsonValue apt::svc::classDfaToJson(const ClassDfa &D) {
+  const AlphabetPartition &P = D.partition();
+  JsonValue::Object PJ;
+  PJ["fields"] = u32Array(P.Fields);
+  PJ["class_of_field"] = u32Array(P.ClassOfField);
+  PJ["class_rep"] = u32Array(P.ClassRep);
+  PJ["num_classes"] = JsonValue(static_cast<int64_t>(P.NumClasses));
+  PJ["other_class"] = JsonValue(static_cast<int64_t>(P.OtherClass));
+
+  std::vector<uint32_t> Transitions;
+  Transitions.reserve(D.numStates() * D.numClasses());
+  for (uint32_t S = 0; S < D.numStates(); ++S)
+    for (uint32_t C = 0; C < D.numClasses(); ++C)
+      Transitions.push_back(D.step(S, C));
+  std::vector<uint32_t> Accepting;
+  Accepting.reserve(D.numStates());
+  for (uint32_t S = 0; S < D.numStates(); ++S)
+    Accepting.push_back(D.isAccepting(S) ? 1 : 0);
+
+  JsonValue::Object O;
+  O["partition"] = JsonValue(std::move(PJ));
+  O["transitions"] = u32Array(Transitions);
+  O["accepting"] = u32Array(Accepting);
+  O["start"] = JsonValue(static_cast<int64_t>(D.start()));
+  O["sink"] = JsonValue(static_cast<int64_t>(D.sink()));
+  return JsonValue(std::move(O));
+}
+
+bool apt::svc::classDfaFromJson(const JsonValue &V, ClassDfa &Out,
+                                std::string &Error) {
+  const JsonValue *PV = field(V, "partition");
+  AlphabetPartition P;
+  int64_t NumClasses = 0, OtherClass = 0, Start = 0, Sink = 0;
+  std::vector<uint32_t> Transitions, Accepting;
+  if (!PV || !getU32Array(*PV, "fields", P.Fields) ||
+      !getU32Array(*PV, "class_of_field", P.ClassOfField) ||
+      !getU32Array(*PV, "class_rep", P.ClassRep) ||
+      !getInt(*PV, "num_classes", NumClasses) ||
+      !getInt(*PV, "other_class", OtherClass) ||
+      !getU32Array(V, "transitions", Transitions) ||
+      !getU32Array(V, "accepting", Accepting) || !getInt(V, "start", Start) ||
+      !getInt(V, "sink", Sink)) {
+    Error = "malformed dfa record";
+    return false;
+  }
+  // Structural validation: a bad table would turn step() into an
+  // out-of-bounds read long after loading.
+  size_t NumStates = Accepting.size();
+  if (NumClasses < 1 || NumClasses > 0xffffffffll ||
+      P.ClassOfField.size() != P.Fields.size() ||
+      P.ClassRep.size() != static_cast<size_t>(NumClasses) ||
+      OtherClass != NumClasses - 1 || NumStates == 0 ||
+      Transitions.size() != NumStates * static_cast<size_t>(NumClasses) ||
+      Start < 0 || static_cast<size_t>(Start) >= NumStates || Sink < 0 ||
+      static_cast<size_t>(Sink) >= NumStates ||
+      !std::is_sorted(P.Fields.begin(), P.Fields.end())) {
+    Error = "inconsistent dfa record";
+    return false;
+  }
+  for (uint32_t C : P.ClassOfField)
+    if (C >= NumClasses) {
+      Error = "inconsistent dfa record";
+      return false;
+    }
+  for (uint32_t T : Transitions)
+    if (T >= NumStates) {
+      Error = "inconsistent dfa record";
+      return false;
+    }
+  P.NumClasses = static_cast<uint32_t>(NumClasses);
+  P.OtherClass = static_cast<uint32_t>(OtherClass);
+  std::vector<bool> AcceptingBits(NumStates);
+  for (size_t I = 0; I < NumStates; ++I)
+    AcceptingBits[I] = Accepting[I] != 0;
+  Out = ClassDfa(std::move(P), std::move(Transitions),
+                 std::move(AcceptingBits), static_cast<uint32_t>(Start),
+                 static_cast<uint32_t>(Sink));
+  return true;
+}
+
+JsonValue apt::svc::storeToJson(const MinDfaStore &Store) {
+  std::map<std::string, std::shared_ptr<const ClassDfa>> Entries;
+  Store.forEach(
+      [&](const std::string &Key, const std::shared_ptr<const ClassDfa> &D) {
+        Entries[toHex(Key)] = D;
+      });
+  JsonValue::Array A;
+  for (const auto &[Key, D] : Entries) {
+    JsonValue::Object E;
+    E["key"] = JsonValue(Key);
+    E["dfa"] = classDfaToJson(*D);
+    A.push_back(JsonValue(std::move(E)));
+  }
+  return JsonValue(std::move(A));
+}
+
+SnapshotError apt::svc::storeFromJson(const JsonValue &V, MinDfaStore &Store,
+                                      size_t &Entries, std::string &Error) {
+  if (!V.isArray()) {
+    Error = "dfas is not an array";
+    return SnapshotError::Corrupt;
+  }
+  for (const JsonValue &E : V.asArray()) {
+    std::string HexKey, Key;
+    const JsonValue *DV = field(E, "dfa");
+    if (!getString(E, "key", HexKey) || !fromHex(HexKey, Key) || !DV) {
+      Error = "malformed dfa store entry";
+      return SnapshotError::Corrupt;
+    }
+    ClassDfa D = ClassDfa(AlphabetPartition{}, {0}, {false}, 0, 0);
+    if (!classDfaFromJson(*DV, D, Error))
+      return SnapshotError::Corrupt;
+    Store.intern(Key, std::move(D));
+    ++Entries;
+  }
+  return SnapshotError::None;
+}
+
+JsonValue apt::svc::snapshotToJson(const ServiceState &State) {
+  JsonValue::Array Sessions;
+  for (const auto &[Path, S] : State.sessions()) {
+    JsonValue::Object O;
+    O["path"] = JsonValue(Path);
+    O["fingerprint"] = JsonValue(S->Fingerprint);
+    JsonValue::Array Fields;
+    for (FieldId I = 0; I < S->Fields.size(); ++I)
+      Fields.push_back(JsonValue(std::string(S->Fields.name(I))));
+    O["fields"] = JsonValue(std::move(Fields));
+    O["dfas"] = storeToJson(S->Store);
+    O["goals"] = boolCacheToJson(S->Goals);
+    O["lang"] = boolCacheToJson(S->Lang);
+    Sessions.push_back(JsonValue(std::move(O)));
+  }
+  JsonValue::Object Root;
+  Root["kind"] = JsonValue("aptd-snapshot");
+  Root["version"] = JsonValue(kSnapshotVersion);
+  Root["sessions"] = JsonValue(std::move(Sessions));
+  return JsonValue(std::move(Root));
+}
+
+SnapshotError apt::svc::snapshotFromJson(const JsonValue &Doc,
+                                         ServiceState &State,
+                                         SnapshotStats &Stats,
+                                         std::string &Error) {
+  std::string Kind;
+  if (!Doc.isObject() || !getString(Doc, "kind", Kind) ||
+      Kind != "aptd-snapshot") {
+    Error = "not an aptd snapshot (missing kind)";
+    return SnapshotError::Corrupt;
+  }
+  int64_t Version = 0;
+  if (!getInt(Doc, "version", Version)) {
+    Error = "missing snapshot version";
+    return SnapshotError::Corrupt;
+  }
+  if (Version != kSnapshotVersion) {
+    Error = "snapshot version " + std::to_string(Version) +
+            " is not supported (expected " + std::to_string(kSnapshotVersion) +
+            ")";
+    return SnapshotError::Version;
+  }
+  const JsonValue *Sessions = field(Doc, "sessions");
+  if (!Sessions || !Sessions->isArray()) {
+    Error = "missing sessions array";
+    return SnapshotError::Corrupt;
+  }
+
+  // Two passes: validate + build everything first, install second, so a
+  // corrupt record never leaves State partially restored.
+  std::vector<std::unique_ptr<Session>> Restored;
+  for (const JsonValue &SV : Sessions->asArray()) {
+    std::string Path, Fingerprint;
+    const JsonValue *Fields = field(SV, "fields");
+    const JsonValue *Dfas = field(SV, "dfas");
+    const JsonValue *Goals = field(SV, "goals");
+    const JsonValue *Lang = field(SV, "lang");
+    if (!getString(SV, "path", Path) ||
+        !getString(SV, "fingerprint", Fingerprint) || !Fields ||
+        !Fields->isArray() || !Dfas || !Goals || !Lang) {
+      Error = "malformed session record";
+      return SnapshotError::Corrupt;
+    }
+    auto S = std::make_unique<Session>(Path);
+    S->Fingerprint = Fingerprint;
+    // Re-intern the names in serialization order: FieldIds are dense and
+    // assigned in interning order, so this reproduces the exact ids every
+    // serialized cache key was minted under.
+    for (const JsonValue &Name : Fields->asArray()) {
+      if (!Name.isString()) {
+        Error = "malformed field table";
+        return SnapshotError::Corrupt;
+      }
+      S->Fields.intern(Name.asString());
+    }
+    if (S->Fields.size() != Fields->asArray().size()) {
+      Error = "duplicate names in field table";
+      return SnapshotError::Corrupt;
+    }
+    size_t DfaEntries = 0, GoalEntries = 0, LangEntries = 0;
+    SnapshotError SE = storeFromJson(*Dfas, S->Store, DfaEntries, Error);
+    if (SE != SnapshotError::None)
+      return SE;
+    if (!boolCacheFromJson(*Goals, S->Goals, GoalEntries) ||
+        !boolCacheFromJson(*Lang, S->Lang, LangEntries)) {
+      Error = "malformed cache entry list";
+      return SnapshotError::Corrupt;
+    }
+    Stats.DfaEntries += DfaEntries;
+    Stats.GoalEntries += GoalEntries;
+    Stats.LangEntries += LangEntries;
+    ++Stats.Sessions;
+    Restored.push_back(std::move(S));
+  }
+  for (std::unique_ptr<Session> &S : Restored) {
+    State.dropSession(S->Path);
+    State.adoptSession(std::move(S));
+  }
+  return SnapshotError::None;
+}
+
+bool apt::svc::saveSnapshot(const ServiceState &State, const std::string &Path,
+                            SnapshotStats &Stats, std::string &Error) {
+  JsonValue Doc = snapshotToJson(State);
+  for (const auto &[SessionPath, S] : State.sessions()) {
+    (void)SessionPath;
+    Stats.DfaEntries += S->Store.size();
+    Stats.GoalEntries += S->Goals.size();
+    Stats.LangEntries += S->Lang.size();
+    ++Stats.Sessions;
+  }
+  std::ofstream Out(Path);
+  if (!Out) {
+    Error = "cannot write '" + Path + "'";
+    return false;
+  }
+  Out << Doc.dumpPretty() << '\n';
+  Out.flush();
+  if (!Out) {
+    Error = "failed writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}
+
+SnapshotError apt::svc::loadSnapshot(ServiceState &State,
+                                     const std::string &Path,
+                                     SnapshotStats &Stats,
+                                     std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return SnapshotError::Io;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JsonParseResult Parsed = parseJson(Buf.str());
+  if (!Parsed) {
+    Error = "invalid JSON: " + Parsed.Error;
+    return SnapshotError::Corrupt;
+  }
+  return snapshotFromJson(Parsed.Value, State, Stats, Error);
+}

@@ -1,0 +1,108 @@
+//===- service/Snapshot.h - Warm-start cache snapshots ----------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned on-disk serialization of a ServiceState's cache contents,
+/// so a cold daemon can warm-start (`aptd --snapshot-load`) with the
+/// interned minimal-DFA store, prover goal cache, and language cache of
+/// a previous run already populated.
+///
+/// Format: one strict-JSON document (src/support/Json.h — object keys
+/// sort, so serialization is deterministic):
+///
+///   { "kind": "aptd-snapshot", "version": 1,
+///     "sessions": [ { "path", "fingerprint",
+///                     "fields": [names in intern order],
+///                     "dfas":  [ {"key", "partition", "transitions",
+///                                 "accepting", "start", "sink"} ],
+///                     "goals": [ [hex-key, bool] ],
+///                     "lang":  [ [hex-key, bool] ] } ] }
+///
+/// The field list is the linchpin: regex structural keys embed FieldIds,
+/// so every cache key is only meaningful relative to the interning
+/// order. Restore re-interns the names in order into a fresh session,
+/// reproducing the exact ids — then every serialized key means what it
+/// meant when saved. Parse artifacts (axioms, program, engines) are NOT
+/// serialized; the first request against a restored session re-parses
+/// the file and verifies its content fingerprint, falling back to a cold
+/// session when the file changed. Cache keys are hex-encoded because
+/// prover goal keys embed a \x1d fingerprint separator.
+///
+/// Version policy (docs/SERVICE.md): the version bumps whenever any key
+/// or automaton encoding changes; a mismatched version is rejected
+/// whole (SnapshotError::Version), never migrated — snapshots are a
+/// cache, so the correct recovery is to run cold and re-save.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SERVICE_SNAPSHOT_H
+#define APT_SERVICE_SNAPSHOT_H
+
+#include "service/ServiceState.h"
+#include "support/Json.h"
+
+#include <cstddef>
+#include <string>
+
+namespace apt::svc {
+
+/// Bump whenever the snapshot encoding (or anything a cache key embeds)
+/// changes incompatibly.
+constexpr int64_t kSnapshotVersion = 1;
+
+enum class SnapshotError {
+  None,    ///< Success.
+  Io,      ///< Cannot read/write the file.
+  Version, ///< Well-formed snapshot of an incompatible version.
+  Corrupt, ///< Not valid JSON, or structurally invalid content.
+};
+
+/// Maps to the protocol error codes of docs/SERVICE.md (APTD-E004/5/6).
+const char *snapshotErrorName(SnapshotError E);
+
+struct SnapshotStats {
+  size_t Sessions = 0;
+  size_t DfaEntries = 0;
+  size_t GoalEntries = 0;
+  size_t LangEntries = 0;
+};
+
+/// Serializes every session of \p State (deterministic).
+JsonValue snapshotToJson(const ServiceState &State);
+
+/// Restores \p Doc into \p State, replacing any resident session that
+/// shares a path with a serialized one. On failure nothing is partially
+/// restored (sessions are validated before installation) and \p Error
+/// carries a one-line description.
+SnapshotError snapshotFromJson(const JsonValue &Doc, ServiceState &State,
+                               SnapshotStats &Stats, std::string &Error);
+
+/// snapshotToJson + write to \p Path. Returns false with \p Error set on
+/// I/O failure.
+bool saveSnapshot(const ServiceState &State, const std::string &Path,
+                  SnapshotStats &Stats, std::string &Error);
+
+/// Read + parse + snapshotFromJson.
+SnapshotError loadSnapshot(ServiceState &State, const std::string &Path,
+                           SnapshotStats &Stats, std::string &Error);
+
+/// Serialization of one ClassDfa through its public raw-parts API
+/// (regex/Alphabet.h). Exposed for the warm-start benchmark and tests.
+JsonValue classDfaToJson(const ClassDfa &D);
+bool classDfaFromJson(const JsonValue &V, ClassDfa &Out, std::string &Error);
+
+/// Serialization of one MinDfaStore (an array of {key, dfa} entries,
+/// sorted by key). Exposed for the warm-start benchmark
+/// (bench/service_warmstart.cpp), which measures exactly this path.
+JsonValue storeToJson(const MinDfaStore &Store);
+SnapshotError storeFromJson(const JsonValue &V, MinDfaStore &Store,
+                            size_t &Entries, std::string &Error);
+
+} // namespace apt::svc
+
+#endif // APT_SERVICE_SNAPSHOT_H

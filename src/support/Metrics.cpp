@@ -112,14 +112,31 @@ Histogram &Registry::histogram(const std::string &Name) {
   return *Slot;
 }
 
-JsonValue Registry::toJson() const {
+RegistrySnapshot Registry::snapshotAll() const {
+  std::lock_guard<std::mutex> Lock(M);
+  RegistrySnapshot Snap;
+  for (const auto &[Name, C] : Counters)
+    Snap.Counters[Name] = C->value();
+  for (const auto &[Name, H] : Histograms)
+    Snap.Histograms[Name] = H->snapshot();
+  return Snap;
+}
+
+static uint64_t satSub(uint64_t A, uint64_t B) { return A > B ? A - B : 0; }
+
+JsonValue Registry::toJson() const { return toJsonSince(RegistrySnapshot{}); }
+
+JsonValue Registry::toJsonSince(const RegistrySnapshot &Base) const {
   std::lock_guard<std::mutex> Lock(M);
   JsonValue::Object Root;
   Root["version"] = JsonValue(int64_t{1});
 
   JsonValue::Object CountersJson;
-  for (const auto &[Name, C] : Counters)
-    CountersJson[Name] = JsonValue(C->value());
+  for (const auto &[Name, C] : Counters) {
+    auto It = Base.Counters.find(Name);
+    uint64_t Baseline = It == Base.Counters.end() ? 0 : It->second;
+    CountersJson[Name] = JsonValue(satSub(C->value(), Baseline));
+  }
   Root["counters"] = JsonValue(std::move(CountersJson));
 
   JsonValue::Object GaugesJson;
@@ -130,6 +147,18 @@ JsonValue Registry::toJson() const {
   JsonValue::Object HistogramsJson;
   for (const auto &[Name, H] : Histograms) {
     Histogram::Snapshot S = H->snapshot();
+    if (auto It = Base.Histograms.find(Name); It != Base.Histograms.end()) {
+      const Histogram::Snapshot &B = It->second;
+      S.Count = satSub(S.Count, B.Count);
+      S.Sum = satSub(S.Sum, B.Sum);
+      for (size_t I = 0; I < Histogram::NumBuckets; ++I)
+        S.Buckets[I] = satSub(S.Buckets[I], B.Buckets[I]);
+      // The lifetime max is the tightest bound available for the delta
+      // window (per-sample maxima are not retained); an idle window
+      // exports as empty.
+      if (S.Count == 0)
+        S.Max = 0;
+    }
     JsonValue::Object HJ;
     HJ["count"] = JsonValue(S.Count);
     HJ["sum"] = JsonValue(S.Sum);

@@ -99,6 +99,17 @@ private:
   std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
 };
 
+/// A point-in-time reading of the monotone instruments (counters and
+/// histograms; gauges are last-write-wins and have no meaningful delta).
+/// Used as a baseline for Registry::toJsonSince: the service layer
+/// snapshots the registry at request entry so a daemon-routed
+/// `--metrics-json` reports per-request numbers, not process-lifetime
+/// totals accumulated across every request the daemon ever served.
+struct RegistrySnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, Histogram::Snapshot> Histograms;
+};
+
 /// Name -> instrument registry. Instruments are created on first use and
 /// never destroyed (stable addresses, so hot paths may cache the
 /// reference). Lookup takes a mutex; cache the reference outside loops.
@@ -111,10 +122,20 @@ public:
   Gauge &gauge(const std::string &Name);
   Histogram &histogram(const std::string &Name);
 
+  /// Reads every counter and histogram (relaxed; monotone lower bound).
+  RegistrySnapshot snapshotAll() const;
+
   /// {"version":1,"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Deterministic (sorted names; see docs/metrics_schema.json).
   JsonValue toJson() const;
   std::string toJsonString() const { return toJson().dumpPretty(); }
+
+  /// Same shape as toJson(), but counters and histogram counts/sums/
+  /// buckets are reported as saturating deltas against \p Base; a
+  /// histogram whose delta count is zero exports as empty, and quantiles
+  /// are computed over the delta buckets. Gauges always report their
+  /// current value. toJson() is exactly toJsonSince(RegistrySnapshot{}).
+  JsonValue toJsonSince(const RegistrySnapshot &Base) const;
 
   /// Zeroes every registered instrument (registrations survive). Tests
   /// only; not safe against concurrent writers that assume monotonicity.

@@ -71,6 +71,38 @@ public:
   /// global metrics registry (support/Metrics.h). Cold path only.
   void publishMetrics(const std::string &Prefix) const;
 
+  /// Visits every (key, value) pair under the shard locks, in shard order
+  /// (key order within a shard is unspecified). \p Fn must not call back
+  /// into this cache. Cold path: snapshot serialization and tests.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I <= Mask; ++I) {
+      std::lock_guard<std::mutex> Lock(Shards[I].M);
+      for (const auto &[K, V] : Shards[I].Map)
+        F(K, V);
+    }
+  }
+
+  /// Removes every entry whose key satisfies \p Pred and returns how many
+  /// were dropped. This is the one sanctioned exception to the
+  /// never-evicted contract: the service layer uses it to invalidate
+  /// entries minted under a superseded axiom-set fingerprint, and callers
+  /// must guarantee no concurrent reader still trusts those keys.
+  template <typename Pred> size_t eraseIf(Pred &&P) {
+    size_t Erased = 0;
+    for (size_t I = 0; I <= Mask; ++I) {
+      std::lock_guard<std::mutex> Lock(Shards[I].M);
+      for (auto It = Shards[I].Map.begin(); It != Shards[I].Map.end();) {
+        if (P(It->first)) {
+          It = Shards[I].Map.erase(It);
+          ++Erased;
+        } else {
+          ++It;
+        }
+      }
+    }
+    return Erased;
+  }
+
   size_t numShards() const { return Mask + 1; }
 
 private:
@@ -169,6 +201,17 @@ public:
     Stats S = stats();
     publishShardedCacheMetrics(Prefix, S.Hits, S.Misses, S.Insertions,
                                size());
+  }
+
+  /// Visits every (key, interned object) pair under the shard locks, in
+  /// shard order. \p Fn must not call back into this cache. Cold path:
+  /// snapshot serialization and tests.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (size_t I = 0; I <= Mask; ++I) {
+      std::lock_guard<std::mutex> Lock(Shards[I].M);
+      for (const auto &[Key, Obj] : Shards[I].Map)
+        F(Key, Obj);
+    }
   }
 
   size_t numShards() const { return Mask + 1; }

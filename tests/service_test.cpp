@@ -1,0 +1,435 @@
+//===- tests/service_test.cpp - Service layer tests -----------------------===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+//
+// The resident-session service layer (src/service): command parity
+// between one-shot and resident execution, snapshot round-trips
+// (byte-identical verdicts, warm DFA-store behavior, rejection of
+// corrupt/mismatched snapshots), content-keyed invalidation, the
+// NDJSON protocol handler, and the per-request observability baselines
+// (--metrics-json deltas, BatchStats::since identity).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Commands.h"
+#include "service/Protocol.h"
+#include "service/ServiceState.h"
+#include "service/Snapshot.h"
+#include "support/Metrics.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace apt;
+using namespace apt::svc;
+
+namespace {
+
+std::string samplePath(const std::string &Name) {
+  return std::string(APT_SAMPLES_DIR) + "/" + Name;
+}
+
+struct Captured {
+  std::string Out, Err;
+  int Exit = 0;
+};
+
+Captured runCommand(ServiceState &State, const std::vector<std::string> &Args) {
+  Captured C;
+  CommandIo Io;
+  Io.Out = [&C](std::string_view S) { C.Out.append(S); };
+  Io.Err = [&C](std::string_view S) { C.Err.append(S); };
+  Io.FlushOut = [] {};
+  C.Exit = runServiceCommand(State, Args, Io);
+  return C;
+}
+
+/// One-shot semantics: a fresh state per command.
+Captured runOneShot(const std::vector<std::string> &Args) {
+  ServiceState State;
+  return runCommand(State, Args);
+}
+
+/// The command sweep used by parity and snapshot tests: one per
+/// subcommand, covering both axiom samples and the program sample.
+std::vector<std::vector<std::string>> sampleSweep() {
+  return {
+      {"prove", samplePath("leaf_linked_tree.axioms"), "L.L.N", "L.R.N"},
+      {"prove", samplePath("sparse_matrix.axioms"), "ncolE+",
+       "nrowE+.ncolE+"},
+      {"deps", samplePath("worklist.apt"), "--jobs", "1"},
+      {"deps", samplePath("worklist.apt"), "S", "T"},
+      {"deps", samplePath("triage_mix.apt"), "--jobs", "2"},
+      {"loops", samplePath("worklist.apt")},
+      {"dump", samplePath("worklist.apt")},
+      {"lint", samplePath("leaf_linked_tree.axioms")},
+  };
+}
+
+std::string writeTempFile(const std::string &Name, const std::string &Body) {
+  std::string Path = ::testing::TempDir() + Name;
+  std::ofstream Out(Path);
+  Out << Body;
+  return Path;
+}
+
+std::string readFileAll(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+TEST(ServiceState, ContentFingerprintIsStableHex) {
+  std::string A = contentFingerprint("hello");
+  EXPECT_EQ(A.size(), 16u);
+  EXPECT_EQ(A, contentFingerprint("hello"));
+  EXPECT_NE(A, contentFingerprint("hello "));
+  EXPECT_EQ(A.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(ServiceCommands, ResidentOutputMatchesOneShot) {
+  ServiceState Resident;
+  for (const auto &Args : sampleSweep()) {
+    Captured One = runOneShot(Args);
+    Captured Cold = runCommand(Resident, Args);
+    EXPECT_EQ(One.Exit, Cold.Exit) << Args[0];
+    EXPECT_EQ(One.Out, Cold.Out) << Args[0];
+    EXPECT_EQ(One.Err, Cold.Err) << Args[0];
+    // Warm: same session, caches populated.
+    Captured Warm = runCommand(Resident, Args);
+    EXPECT_EQ(One.Exit, Warm.Exit) << Args[0];
+    EXPECT_EQ(One.Out, Warm.Out) << Args[0];
+    EXPECT_EQ(One.Err, Warm.Err) << Args[0];
+  }
+}
+
+TEST(ServiceCommands, UnknownSubcommandPrintsUsage) {
+  ServiceState State;
+  Captured C = runCommand(State, {"frobnicate"});
+  EXPECT_EQ(C.Exit, 2);
+  EXPECT_NE(C.Err.find("usage:"), std::string::npos);
+  EXPECT_NE(C.Err.find("--connect"), std::string::npos);
+}
+
+TEST(ServiceSnapshot, RoundTripVerdictsByteIdentical) {
+  ServiceState Warm;
+  std::vector<Captured> Expected;
+  for (const auto &Args : sampleSweep())
+    Expected.push_back(runCommand(Warm, Args));
+
+  JsonValue Doc = snapshotToJson(Warm);
+  ServiceState Restored;
+  SnapshotStats Stats;
+  std::string Error;
+  ASSERT_EQ(snapshotFromJson(Doc, Restored, Stats, Error),
+            SnapshotError::None)
+      << Error;
+  EXPECT_GT(Stats.Sessions, 0u);
+  EXPECT_GT(Stats.DfaEntries, 0u);
+  EXPECT_GT(Stats.GoalEntries, 0u);
+
+  auto Sweep = sampleSweep();
+  for (size_t I = 0; I < Sweep.size(); ++I) {
+    Captured C = runCommand(Restored, Sweep[I]);
+    EXPECT_EQ(Expected[I].Exit, C.Exit) << Sweep[I][0];
+    EXPECT_EQ(Expected[I].Out, C.Out) << Sweep[I][0];
+    EXPECT_EQ(Expected[I].Err, C.Err) << Sweep[I][0];
+  }
+}
+
+TEST(ServiceSnapshot, RestoredStoreServesWithoutRebuilding) {
+  std::string Axioms = samplePath("leaf_linked_tree.axioms");
+  std::vector<std::string> Prove = {"prove", Axioms, "L.L.N", "L.R.N"};
+
+  ServiceState Warm;
+  runCommand(Warm, Prove);
+  JsonValue Doc = snapshotToJson(Warm);
+
+  ServiceState Restored;
+  SnapshotStats Stats;
+  std::string Error;
+  ASSERT_EQ(snapshotFromJson(Doc, Restored, Stats, Error),
+            SnapshotError::None);
+  const Session *S = Restored.findSession(Axioms);
+  ASSERT_NE(S, nullptr);
+  size_t SizeBefore = S->Store.size();
+  auto StatsBefore = S->Store.stats();
+  ASSERT_GT(SizeBefore, 0u);
+
+  runCommand(Restored, Prove);
+  // Every automaton the proof needs was restored: the store served hits
+  // and interned nothing new.
+  EXPECT_EQ(S->Store.size(), SizeBefore);
+  EXPECT_GT(S->Store.stats().Hits, StatsBefore.Hits);
+}
+
+TEST(ServiceSnapshot, FileRoundTripPreservesEntryCounts) {
+  ServiceState Warm;
+  runCommand(Warm, {"prove", samplePath("sparse_matrix.axioms"), "ncolE+",
+                    "nrowE+.ncolE+"});
+  std::string Path = ::testing::TempDir() + "service_test.snapshot.json";
+
+  SnapshotStats Saved;
+  std::string Error;
+  ASSERT_TRUE(saveSnapshot(Warm, Path, Saved, Error)) << Error;
+
+  ServiceState Restored;
+  SnapshotStats Loaded;
+  ASSERT_EQ(loadSnapshot(Restored, Path, Loaded, Error), SnapshotError::None)
+      << Error;
+  EXPECT_EQ(Saved.Sessions, Loaded.Sessions);
+  EXPECT_EQ(Saved.DfaEntries, Loaded.DfaEntries);
+  EXPECT_EQ(Saved.GoalEntries, Loaded.GoalEntries);
+  EXPECT_EQ(Saved.LangEntries, Loaded.LangEntries);
+  std::remove(Path.c_str());
+}
+
+TEST(ServiceSnapshot, SerializationIsDeterministic) {
+  ServiceState A, B;
+  for (const auto &Args : sampleSweep()) {
+    runCommand(A, Args);
+    runCommand(B, Args);
+  }
+  EXPECT_EQ(snapshotToJson(A).dump(), snapshotToJson(B).dump());
+}
+
+TEST(ServiceSnapshot, MissingFileIsIoError) {
+  ServiceState State;
+  SnapshotStats Stats;
+  std::string Error;
+  EXPECT_EQ(loadSnapshot(State, "/nonexistent/nowhere.snapshot.json", Stats,
+                         Error),
+            SnapshotError::Io);
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ServiceSnapshot, VersionMismatchRejectedWhole) {
+  std::string Path = writeTempFile(
+      "version_mismatch.snapshot.json",
+      "{\"kind\": \"aptd-snapshot\", \"version\": 99, \"sessions\": []}");
+  ServiceState State;
+  SnapshotStats Stats;
+  std::string Error;
+  EXPECT_EQ(loadSnapshot(State, Path, Stats, Error), SnapshotError::Version);
+  EXPECT_NE(Error.find("99"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(ServiceSnapshot, CorruptContentRejectedWithoutPartialRestore) {
+  // A resident session must survive a failed restore untouched.
+  ServiceState State;
+  std::string Axioms = samplePath("leaf_linked_tree.axioms");
+  runCommand(State, {"prove", Axioms, "L.L.N", "L.R.N"});
+  const Session *Before = State.findSession(Axioms);
+  ASSERT_NE(Before, nullptr);
+  size_t StoreBefore = Before->Store.size();
+
+  SnapshotStats Stats;
+  std::string Error;
+  for (const char *Body : {
+           "this is not json at all",
+           "{\"kind\": \"aptd-snapshot\", \"version\": 1, \"sessions\": [42]}",
+           "{\"kind\": \"aptd-snapshot\", \"version\": 1, \"sessions\": "
+           "[{\"path\": \"x\", \"fingerprint\": \"f\", \"fields\": [], "
+           "\"dfas\": [{\"key\": \"zz-not-hex\", \"dfa\": {}}], "
+           "\"goals\": [], \"lang\": []}]}",
+           "{\"kind\": \"something-else\", \"version\": 1, \"sessions\": []}",
+       }) {
+    std::string Path = writeTempFile("corrupt.snapshot.json", Body);
+    EXPECT_EQ(loadSnapshot(State, Path, Stats, Error), SnapshotError::Corrupt)
+        << Body;
+    std::remove(Path.c_str());
+  }
+  const Session *After = State.findSession(Axioms);
+  ASSERT_NE(After, nullptr);
+  EXPECT_EQ(After->Store.size(), StoreBefore);
+}
+
+TEST(ServiceState, EditInvalidatesParseArtifactsKeepsStructuralCaches) {
+  metrics::Registry &R = metrics::Registry::global();
+  uint64_t InvalBefore = R.counter("apt.svc.invalidations").value();
+
+  std::string Body = readFileAll(samplePath("leaf_linked_tree.axioms"));
+  std::string Path = writeTempFile("invalidation_test.axioms", Body);
+
+  ServiceState State;
+  Captured First = runCommand(State, {"prove", Path, "L.L.N", "L.R.N"});
+  EXPECT_EQ(First.Exit, 0);
+  Session *S = State.findSession(Path);
+  ASSERT_NE(S, nullptr);
+  EXPECT_TRUE(S->AxiomsParsed);
+  std::string FpBefore = S->Fingerprint;
+  size_t StoreBefore = S->Store.size();
+  ASSERT_GT(StoreBefore, 0u);
+
+  // Touch the file: append a comment. Axiom semantics are unchanged but
+  // the content fingerprint is not, so the session must re-parse.
+  writeTempFile("invalidation_test.axioms", Body + "# trailing comment\n");
+  Captured Second = runCommand(State, {"prove", Path, "L.L.N", "L.R.N"});
+  EXPECT_EQ(Second.Exit, 0);
+  EXPECT_EQ(First.Out, Second.Out);
+
+  S = State.findSession(Path);
+  ASSERT_NE(S, nullptr);
+  EXPECT_NE(S->Fingerprint, FpBefore);
+  EXPECT_EQ(R.counter("apt.svc.invalidations").value(), InvalBefore + 1);
+  // Structural caches survive the edit: the DFA store kept its entries
+  // (same axioms, same regexes) rather than rebuilding from scratch.
+  EXPECT_GE(S->Store.size(), StoreBefore);
+}
+
+TEST(ServiceProtocol, PingRunAndShutdown) {
+  ServiceState State;
+  ProtocolHandler Handler(State);
+  bool Shutdown = false;
+
+  JsonParseResult Ping =
+      parseJson(Handler.handleLine("{\"id\": 1, \"op\": \"ping\"}", Shutdown));
+  ASSERT_TRUE(Ping.Ok);
+  EXPECT_TRUE(Ping.Value["ok"].asBool());
+  EXPECT_TRUE(Ping.Value["result"]["pong"].asBool());
+  EXPECT_EQ(Ping.Value["result"]["snapshot_version"].asInt(),
+            kSnapshotVersion);
+  EXPECT_FALSE(Shutdown);
+
+  // A run op returns the same bytes a one-shot command produces.
+  Captured One = runOneShot({"loops", samplePath("worklist.apt")});
+  JsonValue::Array Argv;
+  Argv.push_back(JsonValue("loops"));
+  Argv.push_back(JsonValue(samplePath("worklist.apt")));
+  JsonValue::Object Req;
+  Req["id"] = JsonValue(static_cast<int64_t>(2));
+  Req["op"] = JsonValue("run");
+  Req["argv"] = JsonValue(std::move(Argv));
+  JsonParseResult Run =
+      parseJson(Handler.handleLine(JsonValue(std::move(Req)).dump(), Shutdown));
+  ASSERT_TRUE(Run.Ok);
+  ASSERT_TRUE(Run.Value["ok"].asBool());
+  EXPECT_EQ(Run.Value["result"]["exit"].asInt(), One.Exit);
+  EXPECT_EQ(Run.Value["result"]["stdout"].asString(), One.Out);
+  EXPECT_EQ(Run.Value["result"]["stderr"].asString(), One.Err);
+
+  JsonParseResult Bye = parseJson(
+      Handler.handleLine("{\"id\": 3, \"op\": \"shutdown\"}", Shutdown));
+  ASSERT_TRUE(Bye.Ok);
+  EXPECT_TRUE(Bye.Value["result"]["shutting_down"].asBool());
+  EXPECT_TRUE(Shutdown);
+}
+
+TEST(ServiceProtocol, ErrorCodes) {
+  ServiceState State;
+  ProtocolHandler Handler(State);
+  bool Shutdown = false;
+  auto errorCode = [&](std::string_view Line) {
+    JsonParseResult R = parseJson(Handler.handleLine(Line, Shutdown));
+    EXPECT_TRUE(R.Ok);
+    EXPECT_FALSE(R.Value["ok"].asBool());
+    return R.Value["error"]["code"].asString();
+  };
+
+  EXPECT_EQ(errorCode("{\"id\": 1,"), kErrBadJson);
+  EXPECT_EQ(errorCode("{\"id\": 2}"), kErrBadRequest);
+  EXPECT_EQ(errorCode("{\"id\": 3, \"op\": \"run\", \"argv\": []}"),
+            kErrBadRequest);
+  EXPECT_EQ(errorCode("{\"id\": 4, \"op\": \"frobnicate\"}"), kErrUnknownOp);
+  EXPECT_EQ(errorCode("{\"id\": 5, \"op\": \"load_axioms\", \"path\": "
+                      "\"/nonexistent/file.axioms\"}"),
+            kErrIo);
+
+  std::string Version99 = writeTempFile(
+      "proto_version.snapshot.json",
+      "{\"kind\": \"aptd-snapshot\", \"version\": 99, \"sessions\": []}");
+  EXPECT_EQ(errorCode("{\"id\": 6, \"op\": \"snapshot_load\", \"path\": " +
+                      jsonQuote(Version99) + "}"),
+            kErrSnapshotVersion);
+  std::remove(Version99.c_str());
+
+  std::string Corrupt =
+      writeTempFile("proto_corrupt.snapshot.json", "not json");
+  EXPECT_EQ(errorCode("{\"id\": 7, \"op\": \"snapshot_load\", \"path\": " +
+                      jsonQuote(Corrupt) + "}"),
+            kErrSnapshotCorrupt);
+  std::remove(Corrupt.c_str());
+  EXPECT_FALSE(Shutdown);
+}
+
+TEST(ServiceMetrics, DaemonRoutedMetricsJsonIsPerRequest) {
+  // Two consecutive requests against one resident state: each written
+  // metrics file must report that request's work (apt.batch.runs == 1),
+  // not the accumulated daemon totals (== 2 on the second request).
+  ServiceState State;
+  std::string M1 = ::testing::TempDir() + "svc_metrics_1.json";
+  std::string M2 = ::testing::TempDir() + "svc_metrics_2.json";
+  std::vector<std::string> Base = {"deps", samplePath("worklist.apt"),
+                                   "--jobs", "1"};
+  auto WithMetrics = [&](const std::string &File) {
+    std::vector<std::string> Args = Base;
+    Args.push_back("--metrics-json=" + File);
+    return Args;
+  };
+  runCommand(State, WithMetrics(M1));
+  runCommand(State, WithMetrics(M2));
+
+  for (const std::string &File : {M1, M2}) {
+    JsonParseResult Doc = parseJson(readFileAll(File));
+    ASSERT_TRUE(Doc.Ok) << File;
+    EXPECT_EQ(Doc.Value["counters"]["apt.batch.runs"].asInt(), 1) << File;
+    std::remove(File.c_str());
+  }
+}
+
+TEST(ServiceMetrics, RegistryToJsonSinceSubtractsBaseline) {
+  metrics::Registry &R = metrics::Registry::global();
+  R.counter("apt.test.svc_delta").add(5);
+  R.histogram("apt.test.svc_delta_us").observe(100);
+  metrics::RegistrySnapshot Base = R.snapshotAll();
+  R.counter("apt.test.svc_delta").add(3);
+  R.histogram("apt.test.svc_delta_us").observe(200);
+
+  JsonValue Delta = R.toJsonSince(Base);
+  EXPECT_EQ(Delta["counters"]["apt.test.svc_delta"].asInt(), 3);
+  EXPECT_EQ(Delta["histograms"]["apt.test.svc_delta_us"]["count"].asInt(), 1);
+  // toJson() == toJsonSince(zero): the lifetime view still sees both.
+  JsonValue Total = R.toJson();
+  EXPECT_GE(Total["counters"]["apt.test.svc_delta"].asInt(), 8);
+}
+
+TEST(ServiceMetrics, BatchStatsSinceZeroIsIdentity) {
+  BatchStats S;
+  S.Queries = 7;
+  S.UniqueQueries = 5;
+  S.TriagedPairs = 2;
+  S.Prover.GoalsExplored = 41;
+  S.LangQueries = 13;
+  S.DfaStoreHits = 4;
+  S.GoalCache.Hits = 9;
+  S.GoalCacheEntries = 6;
+  S.WallMs = 12.5;
+  S.Jobs = 3;
+  BatchStats D = S.since(BatchStats{});
+  EXPECT_EQ(D.toString(), S.toString());
+  EXPECT_EQ(D.Queries, S.Queries);
+  EXPECT_EQ(D.Prover.GoalsExplored, S.Prover.GoalsExplored);
+  EXPECT_EQ(D.GoalCache.Hits, S.GoalCache.Hits);
+  EXPECT_EQ(D.GoalCacheEntries, S.GoalCacheEntries);
+  EXPECT_EQ(D.Jobs, S.Jobs);
+  // And a proper delta subtracts the monotone fields.
+  BatchStats Later = S;
+  Later.Queries = 10;
+  Later.Prover.GoalsExplored = 50;
+  BatchStats Delta = Later.since(S);
+  EXPECT_EQ(Delta.Queries, 3u);
+  EXPECT_EQ(Delta.Prover.GoalsExplored, 9u);
+}
+
+} // namespace

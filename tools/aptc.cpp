@@ -4,720 +4,60 @@
 // "A General Data Dependence Test for Dynamic, Pointer-Based Data
 // Structures" (PLDI 1994).
 //
-// A small driver exposing the library from the shell:
+//===----------------------------------------------------------------------===//
 //
-//   aptc prove <axioms-file> <pathP> <pathQ>
-//       Prove `forall x: x.P <> x.Q` from the axioms (one per line,
-//       optional `NAME:` prefixes, '#' comments); prints the proof.
+// Thin entry point: the subcommand implementations (prove, deps, loops,
+// dump, lint) live in src/service/Commands.cpp, shared verbatim with the
+// aptd daemon. This file only decides the mode:
 //
-//   aptc deps <program-file> [<labelS> <labelT>] [--invariant-writes]
-//             [--triage on|off] [--jobs N] [--stats]
-//       Parse a mini-language program, run the access-path analysis and
-//       answer dependence queries. With two labels, the single query
-//       between those statements (with its proof). Without labels, the
-//       batch engine answers every labeled statement pair of every
-//       function, deduplicated and fanned out over N worker threads
-//       (default: hardware concurrency; --jobs 1 is fully sequential and
-//       produces the same verdicts in the same order). --stats prints
-//       engine instrumentation to stderr.
+//   aptc <subcommand> ...                    one-shot: run against a
+//                                            fresh, discarded ServiceState
+//   aptc <subcommand> ... --connect SOCKET   route through a running aptd
+//                                            (see docs/SERVICE.md)
 //
-//   aptc loops <program-file> [--invariant-writes]
-//       Classify every loop of every function as parallelizable or not.
-//
-//   aptc dump <program-file> [--invariant-writes]
-//       Print the full analysis: per-statement access path matrices,
-//       labeled references, loop summaries and handle provenance.
-//
-//   aptc lint <axioms-or-program-file> [--no-models]
-//       Statically verify an axiom file or a program: contradictory,
-//       vacuous, redundant and unsatisfiable axioms, unknown fields,
-//       opaque calls, unsummarizable loops, shape conflicts. Exits
-//       non-zero iff an error-severity finding was reported. The same
-//       checks run warn-only at the front of `prove` and `deps`.
+// `--connect SOCKET` (or `--connect=SOCKET`) may appear anywhere in the
+// argument list; it is stripped before the remaining argv is forwarded,
+// so the daemon sees exactly the one-shot argument vector — which is
+// what keeps daemon-routed output byte-identical to one-shot output
+// (asserted by tools/service_parity_check.py).
 //
 // Exit code: 0 = No/parallelizable/lint-clean, 1 = Maybe/blocked/lint
 // errors, 2 = usage or input error.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/DepQueries.h"
-#include "analysis/Profile.h"
-#include "analysis/QueryEngine.h"
-#include "analysis/TraceExport.h"
-#include "core/ProofChecker.h"
-#include "core/Prover.h"
-#include "ir/Parser.h"
-#include "lint/AxiomFile.h"
-#include "lint/Lint.h"
-#include "regex/RegexParser.h"
-#include "support/Metrics.h"
-#include "support/Strings.h"
-#include "support/Trace.h"
+#include "service/Client.h"
+#include "service/Commands.h"
+#include "service/ServiceState.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
+#include <vector>
 
-using namespace apt;
-
-namespace {
-
-int usage() {
-  std::fprintf(stderr,
-               "usage: aptc prove <axioms-file> <pathP> <pathQ> "
-               "[--triage on|off] [--trace FILE] [--metrics-json FILE]\n"
-               "                 [--profile FILE] [--profile-folded FILE]\n"
-               "       aptc deps <program> [<labelS> <labelT>] "
-               "[--invariant-writes] [--triage on|off] [--jobs N] "
-               "[--stats]\n"
-               "                 [--trace FILE] [--metrics-json FILE] "
-               "[--profile FILE] [--profile-folded FILE]\n"
-               "       aptc loops <program> [--invariant-writes]\n"
-               "       aptc dump <program> [--invariant-writes]\n"
-               "       aptc lint <axioms-or-program> [--no-models]\n");
-  return 2;
-}
-
-bool readFile(const char *Path, std::string &Out) {
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Path);
-    return false;
-  }
-  std::stringstream Buf;
-  Buf << In.rdbuf();
-  Out = Buf.str();
-  return true;
-}
-
-/// Parses an axioms file through the shared lint loader (which handles
-/// comments, "NAME:" prefixes and the `fields:` directive); parse errors
-/// are printed as structured diagnostics.
-bool readAxioms(const char *Path, FieldTable &Fields,
-                AxiomFileContents &Out) {
-  std::string Text;
-  if (!readFile(Path, Text))
-    return false;
-  DiagnosticEngine Diags;
-  Out = parseAxiomFile(Text, Path, Fields, Diags);
-  if (!Diags.empty())
-    std::fprintf(stderr, "%s", Diags.render().c_str());
-  return Out.Ok;
-}
-
-/// Runs a lint pass whose findings must not change the command's
-/// behavior: everything is reported to stderr and forgotten (the
-/// "warn-only at the front of prove/deps" mode).
-void warnOnlyLint(const DiagnosticEngine &Diags) {
-  if (Diags.empty())
-    return;
-  std::fprintf(stderr, "%s(lint: %s; use `aptc lint` to gate on these)\n",
-               Diags.render().c_str(), Diags.summary().c_str());
-}
-
-/// The observability surface shared by `prove` and `deps`: --trace=FILE
-/// writes a JSONL trace (docs/OBSERVABILITY.md), --metrics-json=FILE the
-/// global metrics registry, --profile=FILE a time-attribution profile
-/// (docs/profile_schema.json) and --profile-folded=FILE the same data as
-/// collapsed flamegraph stacks. All accept `--flag FILE` and
-/// `--flag=FILE`; the profile flags switch tracing into timed mode.
-struct ObsFlags {
-  std::string TraceFile;
-  std::string MetricsFile;
-  std::string ProfileFile;
-  std::string ProfileFoldedFile;
-
-  /// Timed spans wanted (turns on trace timed mode for the run).
-  bool profiling() const {
-    return !ProfileFile.empty() || !ProfileFoldedFile.empty();
-  }
-  /// Any surface that needs the event collector installed.
-  bool tracing() const { return !TraceFile.empty() || profiling(); }
-};
-
-/// Strips observability flags out of Argv. Returns false on a flag that
-/// is missing its value.
-bool parseObsFlags(int &Argc, char **Argv, ObsFlags &Flags) {
-  auto Remove = [&](int I, int N) {
-    for (int J = I; J + N < Argc; ++J)
-      Argv[J] = Argv[J + N];
-    Argc -= N;
-  };
-  // Returns the number of argv slots consumed (0 = no match), or -1 when
-  // the value is missing.
-  auto MatchValueFlag = [&](int I, const char *Name, std::string &Out) {
-    size_t Len = std::strlen(Name);
-    if (std::strncmp(Argv[I], Name, Len) != 0)
-      return 0;
-    if (Argv[I][Len] == '=') {
-      Out = Argv[I] + Len + 1;
-      return 1;
-    }
-    if (Argv[I][Len] != '\0')
-      return 0;
-    if (I + 1 >= Argc) {
-      std::fprintf(stderr, "error: %s requires a file path\n", Name);
-      return -1;
-    }
-    Out = Argv[I + 1];
-    return 2;
-  };
-  for (int I = 0; I < Argc;) {
-    int N = MatchValueFlag(I, "--trace", Flags.TraceFile);
-    if (N == 0)
-      N = MatchValueFlag(I, "--metrics-json", Flags.MetricsFile);
-    if (N == 0)
-      N = MatchValueFlag(I, "--profile-folded", Flags.ProfileFoldedFile);
-    if (N == 0)
-      N = MatchValueFlag(I, "--profile", Flags.ProfileFile);
-    if (N < 0)
-      return false;
-    if (N > 0)
-      Remove(I, N);
-    else
-      ++I;
-  }
-  return true;
-}
-
-/// Strips a `--triage on|off` / `--triage=on|off` flag out of Argv
-/// (shared by `prove` and the program subcommands; docs/TRIAGE.md).
-/// Leaves \p TriageOn untouched when the flag is absent -- callers seed
-/// it with the default (on). Returns false on a malformed value.
-bool parseTriageFlag(int &Argc, char **Argv, bool &TriageOn) {
-  auto Remove = [&](int I, int N) {
-    for (int J = I; J + N < Argc; ++J)
-      Argv[J] = Argv[J + N];
-    Argc -= N;
-  };
-  for (int I = 0; I < Argc;) {
-    const char *Arg = Argv[I];
-    if (std::strncmp(Arg, "--triage", 8) != 0 ||
-        (Arg[8] != '\0' && Arg[8] != '=')) {
-      ++I;
+int main(int argc, char **argv) {
+  std::vector<std::string> Args;
+  std::string Socket;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strncmp(A, "--connect=", 10) == 0) {
+      Socket = A + 10;
       continue;
     }
-    const char *Value;
-    int N;
-    if (Arg[8] == '=') {
-      Value = Arg + 9;
-      N = 1;
-    } else {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --triage requires on|off\n");
-        return false;
-      }
-      Value = Argv[I + 1];
-      N = 2;
-    }
-    if (std::strcmp(Value, "on") == 0) {
-      TriageOn = true;
-    } else if (std::strcmp(Value, "off") == 0) {
-      TriageOn = false;
-    } else {
-      std::fprintf(stderr, "error: bad --triage value '%s' (want on|off)\n",
-                   Value);
-      return false;
-    }
-    Remove(I, N);
-  }
-  return true;
-}
-
-/// RAII scope for a traced command: installs a collector and enables
-/// recording (in timed mode when \p Timed, which also calibrates the
-/// fast clock up front); finish() stops recording and flushes this
-/// thread's ring (worker rings flush when their pool joins) so the
-/// collector holds every event before a writer drains it.
-class TraceScope {
-public:
-  explicit TraceScope(bool Active, bool Timed = false) : Active(Active) {
-    if (!Active)
-      return;
-    trace::setCollector(&Events);
-    trace::setTimingEnabled(Timed);
-    trace::setEnabled(true);
-  }
-  ~TraceScope() {
-    if (!Active)
-      return;
-    finish();
-    trace::setCollector(nullptr);
-  }
-
-  trace::Collector *finish() {
-    trace::setEnabled(false);
-    trace::setTimingEnabled(false);
-    trace::flushThisThread();
-    return &Events;
-  }
-
-private:
-  trace::Collector Events;
-  bool Active;
-};
-
-/// Aggregates the collected timed events and writes --profile /
-/// --profile-folded files (no-op when neither was requested). Publishes
-/// the aggregate as apt.prof.* metrics, so call before writeMetricsFile.
-/// \p Mode mirrors the trace header ("prove", "pair", "batch").
-bool writeProfileFiles(const ObsFlags &Obs, const trace::Collector *Events,
-                       const char *Mode) {
-  if (!Obs.profiling() || !Events)
-    return true;
-  // Snapshot, not drain: the trace writer may still need the events.
-  Profile P = Profile::fromCollector(*Events);
-  P.publishMetrics();
-  if (!Obs.ProfileFile.empty()) {
-    std::ofstream Out(Obs.ProfileFile);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Obs.ProfileFile.c_str());
-      return false;
-    }
-    Out << P.toJson(Mode).dumpPretty() << '\n';
-  }
-  if (!Obs.ProfileFoldedFile.empty()) {
-    std::ofstream Out(Obs.ProfileFoldedFile);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Obs.ProfileFoldedFile.c_str());
-      return false;
-    }
-    Out << P.toFolded();
-  }
-  return true;
-}
-
-/// Writes the global metrics registry as pretty JSON. Returns false (and
-/// complains) when the file cannot be opened.
-bool writeMetricsFile(const std::string &Path) {
-  std::ofstream Out(Path);
-  if (!Out) {
-    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
-    return false;
-  }
-  Out << metrics::Registry::global().toJsonString() << '\n';
-  return true;
-}
-
-/// Publishes one prover's counters into the global registry, for the
-/// single-prover commands (`prove`, labeled `deps`) that bypass the
-/// batch engine's own publication.
-void publishProverMetrics(const Prover &P) {
-  metrics::Registry &R = metrics::Registry::global();
-  const ProverStats &S = P.stats();
-  R.counter("apt.prover.goals_explored").add(S.GoalsExplored);
-  R.counter("apt.prover.goal_cache_hits").add(S.GoalCacheHits);
-  R.counter("apt.prover.shared_goal_hits").add(S.SharedGoalHits);
-  R.counter("apt.prover.hypothesis_hits").add(S.HypothesisHits);
-  R.counter("apt.prover.alt_splits").add(S.AltSplits);
-  R.counter("apt.prover.inductions").add(S.Inductions);
-  R.counter("apt.prover.budget_exhausted").add(S.BudgetExhausted);
-}
-
-int cmdProve(int Argc, char **Argv) {
-  ObsFlags Obs;
-  if (!parseObsFlags(Argc, Argv, Obs))
-    return 2;
-  bool Triage = true;
-  if (!parseTriageFlag(Argc, Argv, Triage))
-    return 2;
-  if (Argc != 3)
-    return usage();
-  FieldTable Fields;
-  AxiomFileContents Contents;
-  if (!readAxioms(Argv[0], Fields, Contents))
-    return 2;
-  const AxiomSet &Axioms = Contents.Axioms;
-  {
-    DiagnosticEngine LintDiags;
-    AxiomLintInput In;
-    In.Axioms = &Axioms;
-    In.File = Argv[0];
-    In.Alphabet = Contents.DeclaredFields;
-    lintAxiomSet(In, Fields, LintDiags);
-    warnOnlyLint(LintDiags);
-  }
-  RegexParseResult P = parseRegex(Argv[1], Fields);
-  RegexParseResult Q = parseRegex(Argv[2], Fields);
-  if (!P || !Q) {
-    std::fprintf(stderr, "error: bad path: %s\n",
-                 (!P ? P.Error : Q.Error).c_str());
-    return 2;
-  }
-
-  std::printf("axioms:\n%s\n", Axioms.toString(Fields).c_str());
-  TraceScope Scope(Obs.tracing(), Obs.profiling());
-  Prover Prover(Fields);
-  int Exit;
-  // Triage screen (docs/TRIAGE.md): when the two top-level languages
-  // overlap outright, no proof of disjointness can exist -- the prover's
-  // own PruneIntersectingLanguages gate refutes such goals immediately --
-  // so skip the proof search and go straight to the NO PROOF report.
-  bool Proved;
-  if (Triage) {
-    LangQuery Screen;
-    Proved = Screen.disjoint(P.Value, Q.Value) &&
-             Prover.proveDisjoint(Axioms, P.Value, Q.Value);
-  } else {
-    Proved = Prover.proveDisjoint(Axioms, P.Value, Q.Value);
-  }
-  if (Proved) {
-    std::printf("PROVED: forall x: x.%s <> x.%s\n\n%s",
-                P.Value->toString(Fields).c_str(),
-                Q.Value->toString(Fields).c_str(),
-                Prover.proofText().c_str());
-    LangQuery CheckerLang;
-    ProofCheckResult Checked =
-        checkProof(*Prover.proof(), Axioms, CheckerLang);
-    if (!Checked.Ok) {
-      std::fprintf(stderr, "INTERNAL: proof failed re-verification: %s\n",
-                   Checked.Error.c_str());
-      return 2;
-    }
-    std::printf("\n(proof independently re-verified)\n");
-    Exit = 0;
-  } else {
-    std::printf("NO PROOF (verdict: Maybe): forall x: x.%s <> x.%s\n",
-                P.Value->toString(Fields).c_str(),
-                Q.Value->toString(Fields).c_str());
-    // When the two languages overlap outright, the on-the-fly product
-    // yields a shortest shared word: the concrete path both expressions
-    // can denote. Print it — it is the counterexample a user needs.
-    LangQuery WitnessLang;
-    if (!WitnessLang.disjoint(P.Value, Q.Value) &&
-        WitnessLang.lastWitness()) {
-      std::string Path = "x";
-      for (FieldId F : *WitnessLang.lastWitness()) {
-        Path += ".";
-        Path += Fields.name(F);
-      }
-      std::printf("languages overlap: both expressions can denote %s\n",
-                  Path.c_str());
-    }
-    Exit = 1;
-  }
-  trace::Collector *Events = Obs.tracing() ? Scope.finish() : nullptr;
-  if (!writeProfileFiles(Obs, Events, "prove"))
-    return 2;
-  if (!Obs.TraceFile.empty()) {
-    std::ofstream Out(Obs.TraceFile);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Obs.TraceFile.c_str());
-      return 2;
-    }
-    writeProveTrace(Out, Axioms, P.Value, Q.Value, Fields,
-                    Prover.options(), Events);
-  }
-  publishProverMetrics(Prover);
-  if (!Obs.MetricsFile.empty() && !writeMetricsFile(Obs.MetricsFile))
-    return 2;
-  return Exit;
-}
-
-/// Flags shared by the program-consuming subcommands. `deps` uses all of
-/// them; `loops` and `dump` only honor --invariant-writes.
-struct ProgramFlags {
-  AnalyzerOptions Analyzer;
-  unsigned Jobs = 0; ///< 0 = hardware concurrency.
-  bool Stats = false;
-  ObsFlags Obs;
-};
-
-bool parseFlags(int &Argc, char **Argv, ProgramFlags &Flags) {
-  if (!parseObsFlags(Argc, Argv, Flags.Obs))
-    return false;
-  if (!parseTriageFlag(Argc, Argv, Flags.Analyzer.Triage))
-    return false;
-  auto Remove = [&](int I, int N) {
-    for (int J = I; J + N < Argc; ++J)
-      Argv[J] = Argv[J + N];
-    Argc -= N;
-  };
-  for (int I = 0; I < Argc;) {
-    if (std::strcmp(Argv[I], "--invariant-writes") == 0) {
-      Flags.Analyzer.InvariantPreservingWrites = true;
-      Remove(I, 1);
-    } else if (std::strcmp(Argv[I], "--stats") == 0) {
-      Flags.Stats = true;
-      Remove(I, 1);
-    } else if (std::strcmp(Argv[I], "--jobs") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --jobs requires a thread count\n");
-        return false;
-      }
-      char *End = nullptr;
-      long N = std::strtol(Argv[I + 1], &End, 10);
-      if (End == Argv[I + 1] || *End != '\0' || N < 1) {
-        std::fprintf(stderr, "error: bad --jobs value '%s'\n", Argv[I + 1]);
-        return false;
-      }
-      Flags.Jobs = static_cast<unsigned>(N);
-      Remove(I, 2);
-    } else {
-      ++I;
-    }
-  }
-  return true;
-}
-
-/// Batch mode: every labeled statement pair of every function, answered
-/// by the parallel engine. Verdict lines go to stdout (identical for
-/// every --jobs value); --stats instrumentation goes to stderr so the
-/// verdict stream stays byte-comparable across runs.
-int cmdDepsBatch(const Program &Prog, FieldTable &Fields,
-                 const ProgramFlags &Flags) {
-  BatchOptions Opts;
-  Opts.Analyzer = Flags.Analyzer;
-  Opts.Jobs = Flags.Jobs;
-  BatchQueryEngine Engine(Prog, Fields, Opts);
-  TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
-  std::vector<BatchResult> Results = Engine.runAll();
-  bool AllNo = true;
-  for (const BatchResult &R : Results) {
-    std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n",
-                R.Query.Func.c_str(), R.Query.LabelS.c_str(),
-                R.Query.LabelT.c_str(), depVerdictName(R.Result.Verdict),
-                depKindName(R.Result.Kind), R.Result.Reason.c_str());
-    AllNo &= R.Result.Verdict == DepVerdict::No;
-  }
-  if (Flags.Stats) {
-    // One buffered write, after flushing the verdict stream: with stdout
-    // and stderr merged (2>&1), per-line writes from the two streams can
-    // interleave mid-block under high --jobs; a single fwrite of the
-    // whole block cannot.
-    std::string Block = Engine.stats().toString();
-    std::fflush(stdout);
-    std::fwrite(Block.data(), 1, Block.size(), stderr);
-  }
-  trace::Collector *Events = Flags.Obs.tracing() ? Scope.finish() : nullptr;
-  if (!writeProfileFiles(Flags.Obs, Events, "batch"))
-    return 2;
-  if (!Flags.Obs.TraceFile.empty()) {
-    std::ofstream Out(Flags.Obs.TraceFile);
-    if (!Out) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Flags.Obs.TraceFile.c_str());
-      return 2;
-    }
-    writeBatchTrace(Out, Engine, Results, Fields, Events);
-  }
-  if (!Flags.Obs.MetricsFile.empty() &&
-      !writeMetricsFile(Flags.Obs.MetricsFile))
-    return 2;
-  return AllNo ? 0 : 1;
-}
-
-int cmdDeps(int Argc, char **Argv) {
-  ProgramFlags Flags;
-  if (!parseFlags(Argc, Argv, Flags))
-    return 2;
-  if (Argc != 1 && Argc != 3)
-    return usage();
-  FieldTable Fields;
-  std::string Source;
-  if (!readFile(Argv[0], Source))
-    return 2;
-  ProgramParseResult Prog = parseProgram(Source, Fields);
-  if (!Prog) {
-    std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
-    return 2;
-  }
-  {
-    DiagnosticEngine LintDiags;
-    lintProgram(Prog.Value, Argv[0], Fields, LintDiags);
-    warnOnlyLint(LintDiags);
-  }
-
-  if (Argc == 1)
-    return cmdDepsBatch(Prog.Value, Fields, Flags);
-
-  for (const Function &F : Prog.Value.Functions) {
-    if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
-      continue;
-    DepQueryEngine Engine(Prog.Value, F, Fields, Flags.Analyzer);
-    TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
-    Prover P(Fields);
-    DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
-    std::printf("fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
-                Argv[1], Argv[2], depVerdictName(R.Verdict),
-                depKindName(R.Kind), R.Reason.c_str());
-    if (!R.ProofText.empty())
-      std::printf("%s", R.ProofText.c_str());
-    if (Flags.Stats) {
-      const ProverStats &S = P.stats();
-      std::fflush(stdout);
-      std::fprintf(stderr,
-                   "prover stats: %llu goals, %llu cache hits, "
-                   "%llu inductions, %llu alt splits\n",
-                   static_cast<unsigned long long>(S.GoalsExplored),
-                   static_cast<unsigned long long>(S.GoalCacheHits),
-                   static_cast<unsigned long long>(S.Inductions),
-                   static_cast<unsigned long long>(S.AltSplits));
-    }
-    trace::Collector *Events =
-        Flags.Obs.tracing() ? Scope.finish() : nullptr;
-    if (!writeProfileFiles(Flags.Obs, Events, "pair"))
-      return 2;
-    if (!Flags.Obs.TraceFile.empty()) {
-      std::ofstream Out(Flags.Obs.TraceFile);
-      if (!Out) {
-        std::fprintf(stderr, "error: cannot write '%s'\n",
-                     Flags.Obs.TraceFile.c_str());
+    if (std::strcmp(A, "--connect") == 0) {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: --connect requires a socket path\n");
         return 2;
       }
-      PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
-      writePairTrace(Out, Prep.Axioms, Prep.S, Prep.T, R, Fields,
-                     P.options(), Events);
+      Socket = argv[++I];
+      continue;
     }
-    publishProverMetrics(P);
-    if (!Flags.Obs.MetricsFile.empty() &&
-        !writeMetricsFile(Flags.Obs.MetricsFile))
-      return 2;
-    return R.Verdict == DepVerdict::No ? 0 : 1;
-  }
-  std::fprintf(stderr,
-               "error: no function contains both labels '%s' and '%s'\n",
-               Argv[1], Argv[2]);
-  return 2;
-}
-
-int cmdLoops(int Argc, char **Argv) {
-  ProgramFlags Flags;
-  if (!parseFlags(Argc, Argv, Flags))
-    return 2;
-  AnalyzerOptions Opts = Flags.Analyzer;
-  if (Argc != 1)
-    return usage();
-  FieldTable Fields;
-  std::string Source;
-  if (!readFile(Argv[0], Source))
-    return 2;
-  ProgramParseResult Prog = parseProgram(Source, Fields);
-  if (!Prog) {
-    std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
-    return 2;
+    Args.emplace_back(A);
   }
 
-  bool AllParallel = true;
-  for (const Function &F : Prog.Value.Functions) {
-    DepQueryEngine Engine(Prog.Value, F, Fields, Opts);
-    Prover P(Fields);
-    for (int LoopId : Engine.loopIds()) {
-      LoopParallelism LP = Engine.analyzeLoopParallelism(LoopId, P);
-      std::printf("fn %-20s loop#%-3d %s\n", F.Name.c_str(), LoopId,
-                  LP.Parallelizable ? "PARALLELIZABLE" : "sequential");
-      AllParallel &= LP.Parallelizable;
-    }
-  }
-  return AllParallel ? 0 : 1;
-}
+  if (!Socket.empty())
+    return apt::svc::runViaDaemon(Socket, Args);
 
-/// `aptc lint <file>`: program mode for `.apt` files (or anything
-/// declaring a `fn`), axiom-file mode otherwise. Exit 0 = no errors
-/// (warnings allowed), 1 = error findings, 2 = unreadable input.
-int cmdLint(int Argc, char **Argv) {
-  LintOptions Opts;
-  for (int I = 0; I < Argc;) {
-    if (std::strcmp(Argv[I], "--no-models") == 0) {
-      Opts.CheckModels = false;
-      for (int J = I; J + 1 < Argc; ++J)
-        Argv[J] = Argv[J + 1];
-      --Argc;
-    } else {
-      ++I;
-    }
-  }
-  if (Argc != 1)
-    return usage();
-  const char *Path = Argv[0];
-  std::string Text;
-  if (!readFile(Path, Text))
-    return 2;
-
-  FieldTable Fields;
-  DiagnosticEngine Diags;
-  std::string_view PathView(Path);
-  bool IsProgram =
-      PathView.size() >= 4 &&
-      PathView.substr(PathView.size() - 4) == ".apt";
-  if (!IsProgram && Text.find("fn ") != std::string::npos)
-    IsProgram = true;
-
-  if (IsProgram) {
-    ProgramParseResult Prog = parseProgram(Text, Fields);
-    if (!Prog) {
-      // Parser errors arrive as "line N: message"; re-home them in the
-      // structured diagnostics stream.
-      int Line = 0;
-      std::string Message = Prog.Error;
-      if (Message.substr(0, 5) == "line ") {
-        size_t Colon = Message.find(':');
-        if (Colon != std::string::npos) {
-          Line = std::atoi(Message.c_str() + 5);
-          Message = std::string(trim(Message.substr(Colon + 1)));
-        }
-      }
-      Diags.error("APT-E007", SourceLoc(Path, Line), Message);
-    } else {
-      lintProgram(Prog.Value, Path, Fields, Diags, Opts);
-    }
-  } else {
-    AxiomFileContents Contents = parseAxiomFile(Text, Path, Fields, Diags);
-    AxiomLintInput In;
-    In.Axioms = &Contents.Axioms;
-    In.File = Path;
-    In.Alphabet = Contents.DeclaredFields;
-    lintAxiomSet(In, Fields, Diags, Opts);
-  }
-
-  std::printf("%s", Diags.render().c_str());
-  std::printf("lint: %s: %s\n", Path, Diags.summary().c_str());
-  return Diags.hasErrors() ? 1 : 0;
-}
-
-int cmdDump(int Argc, char **Argv) {
-  ProgramFlags Flags;
-  if (!parseFlags(Argc, Argv, Flags))
-    return 2;
-  AnalyzerOptions Opts = Flags.Analyzer;
-  if (Argc != 1)
-    return usage();
-  FieldTable Fields;
-  std::string Source;
-  if (!readFile(Argv[0], Source))
-    return 2;
-  ProgramParseResult Prog = parseProgram(Source, Fields);
-  if (!Prog) {
-    std::fprintf(stderr, "%s: %s\n", Argv[0], Prog.Error.c_str());
-    return 2;
-  }
-  for (const Function &F : Prog.Value.Functions) {
-    AnalysisResult R = analyzeFunction(Prog.Value, F, Fields, Opts);
-    std::printf("%s\n", dumpAnalysis(R, F, Fields).c_str());
-  }
-  return 0;
-}
-
-} // namespace
-
-int main(int Argc, char **Argv) {
-  if (Argc < 2)
-    return usage();
-  if (std::strcmp(Argv[1], "prove") == 0)
-    return cmdProve(Argc - 2, Argv + 2);
-  if (std::strcmp(Argv[1], "deps") == 0)
-    return cmdDeps(Argc - 2, Argv + 2);
-  if (std::strcmp(Argv[1], "loops") == 0)
-    return cmdLoops(Argc - 2, Argv + 2);
-  if (std::strcmp(Argv[1], "dump") == 0)
-    return cmdDump(Argc - 2, Argv + 2);
-  if (std::strcmp(Argv[1], "lint") == 0)
-    return cmdLint(Argc - 2, Argv + 2);
-  return usage();
+  apt::svc::ServiceState State;
+  return apt::svc::runServiceCommand(State, Args, apt::svc::stdioCommandIo());
 }

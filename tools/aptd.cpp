@@ -1,0 +1,86 @@
+//===- tools/aptd.cpp - APT analysis daemon -------------------------------===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+//
+// Long-running analysis service. Loads axiom files and programs once and
+// keeps the interned DFA store, goal/language caches, and parsed IR
+// resident between requests; `aptc <subcommand> ... --connect SOCKET`
+// routes the existing CLI verbs through it with byte-identical output.
+// Protocol reference: docs/SERVICE.md.
+//
+//   aptd --socket PATH            Unix-domain socket to listen on (required)
+//        --snapshot-load PATH     warm-start from a saved cache snapshot
+//        --snapshot-save PATH     write a snapshot on clean shutdown
+//        --slow-ms N              log requests slower than N ms (0 = off)
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "service/ServiceState.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: aptd --socket PATH [--snapshot-load PATH] "
+               "[--snapshot-save PATH] [--slow-ms N]\n");
+  return 2;
+}
+
+/// Accepts both `--flag VALUE` and `--flag=VALUE`; advances \p I past a
+/// consumed separate value.
+bool flagValue(int argc, char **argv, int &I, const char *Name,
+               std::string &Out) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(argv[I], Name, Len) != 0)
+    return false;
+  if (argv[I][Len] == '=') {
+    Out = argv[I] + Len + 1;
+    return true;
+  }
+  if (argv[I][Len] == '\0' && I + 1 < argc) {
+    Out = argv[++I];
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  apt::svc::ServerOptions Opts;
+  std::string SlowMs;
+  for (int I = 1; I < argc; ++I) {
+    if (flagValue(argc, argv, I, "--socket", Opts.SocketPath) ||
+        flagValue(argc, argv, I, "--snapshot-load", Opts.SnapshotLoad) ||
+        flagValue(argc, argv, I, "--snapshot-save", Opts.SnapshotSave))
+      continue;
+    if (flagValue(argc, argv, I, "--slow-ms", SlowMs)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(SlowMs.c_str(), &End, 10);
+      if (End == SlowMs.c_str() || *End != '\0') {
+        std::fprintf(stderr, "error: --slow-ms expects a number, got '%s'\n",
+                     SlowMs.c_str());
+        return 2;
+      }
+      Opts.SlowMs = V;
+      continue;
+    }
+    std::fprintf(stderr, "error: unknown argument '%s'\n", argv[I]);
+    return usage();
+  }
+  if (Opts.SocketPath.empty())
+    return usage();
+
+  apt::svc::ServiceState State;
+  return apt::svc::runServer(State, Opts);
+}

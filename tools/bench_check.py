@@ -27,6 +27,14 @@ and additionally fails if the triage-on warm throughput drops more than
 --tolerance below the checked-in BENCH_triage.baseline.json (self-seeds
 like langops mode).
 
+`service` runs bench/service_warmstart with repetitions and gates the
+aptd snapshot mechanism: restoring the interned minimal-DFA store from
+a snapshot file (BM_ServiceWarmStart, including read + parse) must cost
+at most --warm-ratio (default 0.6) of rebuilding it from scratch
+(BM_ServiceColdStart), min-of-repetitions; and the warm throughput must
+not drop more than --tolerance below the checked-in
+BENCH_service.baseline.json (self-seeds like langops mode).
+
 `profile` runs the warm-batch family of bench/batch_queries at one
 worker thread with repetitions and gates the time-attribution profiling
 overhead on the min-of-repetitions wall time per iteration:
@@ -68,6 +76,10 @@ PROFILE_VARIANTS = [
     "BM_BatchWarmTimedOff",
     "BM_BatchWarmProfiled",
 ]
+
+# Service mode: cold store rebuild vs snapshot restore (docs/SERVICE.md).
+SERVICE_FILTER = "BM_Service(Cold|Warm)Start$"
+SERVICE_RUNS = ["BM_ServiceColdStart", "BM_ServiceWarmStart"]
 
 # Triage mode: warm kill-rate run and the all-escalate miss-tax pair,
 # each at triage off (/0) and on (/1).
@@ -298,6 +310,78 @@ def run_profile(args):
     return 1 if failed else 0
 
 
+def service_runs(report):
+    """Min wall seconds and best items/second for the two service runs."""
+    times = {}
+    items = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        if name not in SERVICE_RUNS:
+            continue
+        real = b.get("real_time")
+        if real is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        seconds = float(real) * {"ns": 1e-9, "us": 1e-6,
+                                 "ms": 1e-3, "s": 1.0}[unit]
+        if name not in times or seconds < times[name]:
+            times[name] = seconds
+        ips = b.get("items_per_second")
+        if ips is not None:
+            items[name] = max(items.get(name, 0.0), float(ips))
+    missing = [r for r in SERVICE_RUNS if r not in times]
+    if missing:
+        sys.stderr.write("bench_check: report is missing service runs %s\n"
+                         % missing)
+        sys.exit(2)
+    return times, items
+
+
+def run_service(args):
+    report = run_benchmark(args.bench, args.min_time, SERVICE_FILTER,
+                           repetitions=args.repetitions)
+    times, items = service_runs(report)
+
+    cold = times["BM_ServiceColdStart"]
+    warm = times["BM_ServiceWarmStart"]
+    ratio = warm / cold if cold else float("inf")
+
+    result = {
+        "benchmark": "BM_Service*Start",
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_over_cold": ratio,
+        "warm_items_per_second": items.get("BM_ServiceWarmStart", 0.0),
+        "cold_items_per_second": items.get("BM_ServiceColdStart", 0.0),
+        "repetitions": args.repetitions,
+        "host": report.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+    }
+    write_result(args.out, result)
+    print("bench_check: cold %.3f ms, warm %.3f ms "
+          "(warm/cold %.3fx, limit %.2fx) -> %s"
+          % (cold * 1e3, warm * 1e3, ratio, args.warm_ratio, args.out))
+
+    if args.record_only:
+        print("bench_check: --record-only, comparison skipped")
+        return 0
+
+    failed = False
+    if ratio > args.warm_ratio:
+        sys.stderr.write(
+            "bench_check: snapshot warm start costs %.0f%% of a cold "
+            "rebuild (limit %.0f%%)\n"
+            % (100.0 * ratio, 100.0 * args.warm_ratio))
+        failed = True
+
+    if compare_baseline(result, args.baseline,
+                        ("warm_items_per_second",), args.tolerance):
+        failed = True
+    return 1 if failed else 0
+
+
 def triage_runs(report):
     """Per-run min wall seconds, best items/second, and user counters."""
     times = {}
@@ -388,11 +472,13 @@ def run_triage(args):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--mode", choices=("langops", "profile", "triage"),
+    ap.add_argument("--mode",
+                    choices=("langops", "profile", "triage", "service"),
                     default="langops",
                     help="langops gates language-engine throughput; "
                     "profile gates timed-tracing overhead; triage gates "
-                    "the static cascade's kill rate and miss tax")
+                    "the static cascade's kill rate and miss tax; service "
+                    "gates the snapshot warm-start win")
     ap.add_argument("--bench", required=True,
                     help="path to the benchmark binary")
     ap.add_argument("--out", required=True,
@@ -418,6 +504,9 @@ def main():
     ap.add_argument("--overhead-miss", type=float, default=0.05,
                     help="triage mode: allowed cascade tax on the "
                     "all-escalate workload (default .05)")
+    ap.add_argument("--warm-ratio", type=float, default=0.60,
+                    help="service mode: maximum warm-start cost as a "
+                    "fraction of the cold rebuild (default .60)")
     ap.add_argument("--record-only", action="store_true",
                     help="write results, skip all comparisons")
     args = ap.parse_args()
@@ -426,6 +515,8 @@ def main():
         return run_profile(args)
     if args.mode == "triage":
         return run_triage(args)
+    if args.mode == "service":
+        return run_service(args)
     return run_langops(args)
 
 

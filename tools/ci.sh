@@ -14,6 +14,15 @@
 #   tsan      build-tsan/     -DAPT_SANITIZE=thread (exercises the
 #                             trace-ring flush hammer and the parallel
 #                             batch engine under TSan)
+#   service   build/ + build-asan/: builds both trees and runs only the
+#                             service-stack ctests in each -- the
+#                             aptc --connect sample-suite parity check
+#                             against a live daemon, the wire-protocol
+#                             schema check, the snapshot round-trip unit
+#                             tests, and the warm-start bench gate. The
+#                             asan pass catches lifetime bugs in the
+#                             daemon's resident-state paths that a
+#                             one-shot run never holds long enough to hit.
 #
 # Every leg runs the full ctest suite of its tree. Python-based checks
 # (docs_check, metrics_schema_check, bench_check) are ctests, so they
@@ -26,6 +35,22 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+run_service_leg() {
+  local spec dir flags
+  for spec in "build:" "build-asan:-DAPT_SANITIZE=address"; do
+    dir="${spec%%:*}"
+    flags="${spec#*:}"
+    echo "== ci.sh: leg 'service' -> $dir $flags"
+    # shellcheck disable=SC2086  # flags is intentionally word-split
+    cmake -B "$ROOT/$dir" -S "$ROOT" $flags
+    cmake --build "$ROOT/$dir" -j "$JOBS"
+    # service_parity_check drives a live aptd with the one-shot sample
+    # suite through aptc --connect; keep the daemon tests serialized so
+    # two daemons never race on socket paths or /tmp snapshots.
+    ctest --test-dir "$ROOT/$dir" --output-on-failure -R '[Ss]ervice'
+  done
+}
+
 run_leg() {
   local leg="$1" dir flags
   case "$leg" in
@@ -33,7 +58,8 @@ run_leg() {
     notrace) dir="build-notrace"; flags="-DAPT_TRACE=OFF" ;;
     asan)    dir="build-asan";    flags="-DAPT_SANITIZE=address" ;;
     tsan)    dir="build-tsan";    flags="-DAPT_SANITIZE=thread" ;;
-    *) echo "ci.sh: unknown leg '$leg' (default|notrace|asan|tsan)" >&2
+    service) run_service_leg; return ;;
+    *) echo "ci.sh: unknown leg '$leg' (default|notrace|asan|tsan|service)" >&2
        exit 2 ;;
   esac
   echo "== ci.sh: leg '$leg' -> $dir $flags"

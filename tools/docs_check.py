@@ -7,11 +7,21 @@ Scans README.md and docs/*.md for
     bench/..., examples/..., and root-level *.md files) and verifies each
     exists, expanding `Prover.{h,cpp}`-style brace lists and allowing
     extensionless engine references like `src/regex/LangOps`;
-  * `--flag` tokens, which must be spelled in tools/aptc.cpp (so a
-    documented flag cannot silently outlive the CLI), except for a small
+  * `--flag` tokens, which must be spelled in the CLI sources (the
+    subcommand layer src/service/Commands.cpp plus the tools/aptc.cpp and
+    tools/aptd.cpp entry points and src/service/Client.cpp), so a
+    documented flag cannot silently outlive the CLI — except for a small
     allowlist of flags belonging to other tools (ctest, cmake);
-  * `aptc <subcommand>` invocations, which must be subcommands the CLI
-    dispatch in tools/aptc.cpp actually recognizes.
+  * `aptc <subcommand>` invocations, which must be subcommands the
+    dispatch table (kSubcommands in src/service/Commands.cpp) actually
+    recognizes.
+
+Coverage checks (the reverse direction — reality must be documented):
+
+  * every subdirectory of src/ must be mentioned in at least one doc;
+  * every aptc/aptd flag spelled in README.md must appear in at least
+    one file under docs/, so the README never advertises a flag the
+    reference documentation ignores.
 
 Exit status: 0 when every reference resolves, 1 otherwise (each dangling
 reference is reported with file and line). No third-party dependencies.
@@ -36,6 +46,14 @@ FOREIGN_FLAGS = {
     "--baseline",  # tools/bench_check.py
     "--mode",  # tools/bench_check.py
 }
+
+# Where the CLI surface is defined: flags may live in any of these.
+CLI_SOURCES = [
+    os.path.join("src", "service", "Commands.cpp"),
+    os.path.join("src", "service", "Client.cpp"),
+    os.path.join("tools", "aptc.cpp"),
+    os.path.join("tools", "aptd.cpp"),
+]
 
 PATH_RE = re.compile(
     r"\b((?:src|tools|docs|tests|bench|examples)/[A-Za-z0-9_./{},*-]+"
@@ -76,18 +94,25 @@ def doc_files(root):
 def main():
     root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
-    aptc_src_path = os.path.join(root, "tools", "aptc.cpp")
-    with open(aptc_src_path, encoding="utf-8") as f:
-        aptc_src = f.read()
-    known_flags = set(re.findall(r'"(--[a-z][a-z0-9-]*)"', aptc_src))
-    known_subcommands = set(
-        re.findall(r'strcmp\(Argv\[1\], "([a-z]+)"\)', aptc_src))
+    cli_src = ""
+    for rel in CLI_SOURCES:
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            cli_src += f.read()
+    known_flags = set(re.findall(r'"(--[a-z][a-z0-9-]*)[="]', cli_src))
+    known_flags |= set(re.findall(r'"(--[a-z][a-z0-9-]*)"', cli_src))
+    table = re.search(r"kSubcommands\[\d+\]\s*=\s*\{([^}]*)\}", cli_src)
+    known_subcommands = set(re.findall(r'"([a-z]+)"', table.group(1))
+                            ) if table else set()
 
     errors = []
+    readme_flags = {}  # flag -> "README.md:lineno" of first mention
+    docs_text = ""
     for doc in doc_files(root):
         rel = os.path.relpath(doc, root)
         with open(doc, encoding="utf-8") as f:
             for lineno, line in enumerate(f, 1):
+                if rel != "README.md":
+                    docs_text += line
                 for token in PATH_RE.findall(line):
                     token = token.rstrip(".,;:")
                     for path in expand_braces(token):
@@ -99,21 +124,45 @@ def main():
                         continue
                     if flag not in known_flags:
                         errors.append(
-                            "%s:%d: flag '%s' not found in tools/aptc.cpp" %
+                            "%s:%d: flag '%s' not found in the CLI sources" %
                             (rel, lineno, flag))
+                    elif rel == "README.md":
+                        readme_flags.setdefault(flag,
+                                                "%s:%d" % (rel, lineno))
                 for cmd in APTC_CMD_RE.findall(line):
                     if cmd not in known_subcommands:
                         errors.append(
                             "%s:%d: 'aptc %s' is not a CLI subcommand" %
                             (rel, lineno, cmd))
 
+    # Reverse direction: every aptc/aptd flag the README advertises must
+    # be covered by the reference docs under docs/.
+    for flag, where in sorted(readme_flags.items()):
+        if flag not in docs_text:
+            errors.append("%s: flag '%s' appears in README.md but in no "
+                          "file under docs/" % (where, flag))
+
+    # Every src/ module must be documented somewhere.
+    all_docs_text = docs_text
+    with open(os.path.join(root, "README.md"), encoding="utf-8") as f:
+        all_docs_text += f.read()
+    for entry in sorted(os.listdir(os.path.join(root, "src"))):
+        if not os.path.isdir(os.path.join(root, "src", entry)):
+            continue
+        if ("src/" + entry) not in all_docs_text:
+            errors.append("src/%s: module is mentioned in no doc "
+                          "(README.md or docs/*.md)" % entry)
+
     if errors:
         for e in errors:
             print(e)
         print("docs_check: %d dangling reference(s)" % len(errors))
         return 1
-    print("docs_check: all references resolve (%d docs scanned)" %
-          len(doc_files(root)))
+    print("docs_check: all references resolve (%d docs scanned, "
+          "%d src modules covered)" %
+          (len(doc_files(root)),
+           len([e for e in os.listdir(os.path.join(root, "src"))
+                if os.path.isdir(os.path.join(root, "src", e))])))
     return 0
 
 

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Daemon-mode parity check: `aptc ... --connect <aptd>` must be
+indistinguishable from a one-shot `aptc ...` run.
+
+Starts an aptd on a scratch Unix socket, then for every sample command
+(prove pairs on both axiom samples, batch deps at --jobs 1 and 4, single
+labeled deps, loops, dump, and lint on every sample including the
+deliberately broken ones) runs the one-shot CLI and the daemon-routed
+CLI and asserts stdout bytes and exit codes are equal. Every command
+runs twice against the daemon — cold (first touch of the session) and
+warm (resident caches serving) — because the warm path is where daemon
+mode could drift.
+
+Then exercises the snapshot cycle: `snapshot_save` through the protocol,
+daemon restart with --snapshot-load, and the full command set again
+against the warm-started daemon — verdicts must still be byte-identical.
+
+Exit status: 0 on parity, 1 with per-command diffs otherwise.
+No third-party dependencies.
+
+Usage: tools/service_parity_check.py <aptc> <aptd> <samples-dir> <scratch>
+"""
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import time
+
+
+def wait_for_daemon(sock_path, proc, timeout=20.0):
+    """Polls until the daemon answers a ping on sock_path."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("aptd exited during startup: %s" %
+                               proc.returncode)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                s.settimeout(2.0)
+                s.connect(sock_path)
+                s.sendall(b'{"id": 0, "op": "ping"}\n')
+                data = b""
+                while b"\n" not in data:
+                    chunk = s.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+                resp = json.loads(data.split(b"\n", 1)[0])
+                if resp.get("ok") and resp["result"].get("pong"):
+                    return
+        except (OSError, json.JSONDecodeError, KeyError):
+            time.sleep(0.05)
+    raise RuntimeError("aptd did not come up on %s" % sock_path)
+
+
+def request(sock_path, req):
+    """One protocol round trip; returns the parsed response object."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(60.0)
+        s.connect(sock_path)
+        s.sendall(json.dumps(req).encode() + b"\n")
+        data = b""
+        while b"\n" not in data:
+            chunk = s.recv(65536)
+            if not chunk:
+                raise RuntimeError("daemon closed connection mid-response")
+            data += chunk
+        return json.loads(data.split(b"\n", 1)[0])
+
+
+def sample_commands(samples):
+    """Every (name, argv-tail) pair the parity sweep covers."""
+    llt = os.path.join(samples, "leaf_linked_tree.axioms")
+    sparse = os.path.join(samples, "sparse_matrix.axioms")
+    worklist = os.path.join(samples, "worklist.apt")
+    triage_mix = os.path.join(samples, "triage_mix.apt")
+    lint_dir = os.path.join(samples, "lint")
+    cmds = [
+        ("prove_llt", ["prove", llt, "L.L.N", "L.R.N"]),
+        ("prove_llt_maybe", ["prove", llt, "L.L.N.N", "L.R.N"]),
+        ("prove_sparse", ["prove", sparse, "ncolE+", "nrowE+.ncolE+"]),
+        ("deps_labeled", ["deps", worklist, "S", "T"]),
+        ("deps_j1", ["deps", worklist, "--jobs", "1"]),
+        ("deps_j4", ["deps", worklist, "--jobs", "4"]),
+        ("deps_triage_j1", ["deps", triage_mix, "--jobs", "1"]),
+        ("deps_triage_j4", ["deps", triage_mix, "--jobs", "4"]),
+        ("deps_iw", ["deps", worklist, "--invariant-writes", "--jobs", "1"]),
+        ("loops", ["loops", worklist]),
+        ("dump", ["dump", worklist]),
+        ("usage", ["frobnicate"]),
+    ]
+    for f in sorted(os.listdir(samples)):
+        if f.endswith((".axioms", ".apt")):
+            cmds.append(("lint_" + f, ["lint", os.path.join(samples, f)]))
+    for f in sorted(os.listdir(lint_dir)):
+        cmds.append(("lint_" + f, ["lint", os.path.join(lint_dir, f)]))
+    return cmds
+
+
+def run_pair(aptc, sock_path, name, tail, errors, phase):
+    one = subprocess.run([aptc] + tail, capture_output=True)
+    via = subprocess.run([aptc] + tail + ["--connect", sock_path],
+                         capture_output=True)
+    if one.returncode != via.returncode:
+        errors.append("%s/%s: exit %d one-shot vs %d daemon" %
+                      (phase, name, one.returncode, via.returncode))
+    if one.stdout != via.stdout:
+        errors.append("%s/%s: stdout differs\n  one-shot: %r\n  daemon:   %r"
+                      % (phase, name, one.stdout[:400], via.stdout[:400]))
+    # stderr must match too, except for --stats runs (engine counters are
+    # resident-state dependent by design; docs/SERVICE.md).
+    if "--stats" not in tail and one.stderr != via.stderr:
+        errors.append("%s/%s: stderr differs\n  one-shot: %r\n  daemon:   %r"
+                      % (phase, name, one.stderr[:400], via.stderr[:400]))
+    return one
+
+
+def main():
+    if len(sys.argv) != 5:
+        sys.exit(__doc__)
+    aptc, aptd, samples, scratch = sys.argv[1:5]
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch, exist_ok=True)
+    # Keep the socket path short (sun_path is ~108 bytes).
+    sock_path = "/tmp/aptd_parity_%d.sock" % os.getpid()
+    snap_path = os.path.join(scratch, "parity.snapshot.json")
+    cmds = sample_commands(samples)
+    errors = []
+
+    daemon = subprocess.Popen([aptd, "--socket", sock_path],
+                              stderr=subprocess.DEVNULL)
+    try:
+        wait_for_daemon(sock_path, daemon)
+        for name, tail in cmds:
+            run_pair(aptc, sock_path, name, tail, errors, "cold")
+        # Warm pass: resident sessions, caches populated by the cold pass.
+        for name, tail in cmds:
+            run_pair(aptc, sock_path, name, tail, errors, "warm")
+
+        resp = request(sock_path, {"id": 1, "op": "snapshot_save",
+                                   "path": snap_path})
+        if not resp.get("ok"):
+            errors.append("snapshot_save failed: %r" % resp)
+        resp = request(sock_path, {"id": 2, "op": "shutdown"})
+        if not resp.get("ok"):
+            errors.append("shutdown failed: %r" % resp)
+        daemon.wait(timeout=20)
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+    if not errors:
+        # Restart warm-started from the snapshot; parity must survive
+        # cache restoration (byte-identical verdicts from restored DFAs
+        # and goal entries).
+        daemon = subprocess.Popen(
+            [aptd, "--socket", sock_path, "--snapshot-load", snap_path],
+            stderr=subprocess.DEVNULL)
+        try:
+            wait_for_daemon(sock_path, daemon)
+            for name, tail in cmds:
+                run_pair(aptc, sock_path, name, tail, errors, "restored")
+            request(sock_path, {"id": 3, "op": "shutdown"})
+            daemon.wait(timeout=20)
+        finally:
+            if daemon.poll() is None:
+                daemon.terminate()
+                daemon.wait(timeout=10)
+
+    for e in errors:
+        print("service_parity_check: %s" % e)
+    if errors:
+        sys.exit(1)
+    print("service_parity_check: OK (%d commands x cold/warm/restored)" %
+          len(cmds))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Validates live aptd responses against the checked-in wire-protocol
+schema (docs/service_schema.json), so the daemon's response shape cannot
+drift from its documentation.
+
+Starts an aptd on a scratch socket and drives every protocol op plus
+every error path (unparseable line -> APTD-E001, malformed request ->
+APTD-E002, unknown op -> APTD-E003, missing file -> APTD-E004, snapshot
+version mismatch -> APTD-E005, corrupt snapshot -> APTD-E006). Each
+response line must validate against the top-level response schema, each
+success result against its per-op definition, and the `metrics` result
+against docs/metrics_schema.json. Reuses the JSON-Schema subset
+validator from tools/metrics_schema_check.py.
+
+Exit status: 0 on success, 1 with per-error report lines otherwise.
+No third-party dependencies.
+
+Usage: tools/service_schema_check.py <aptd-binary> <repo-root> <scratch-dir>
+"""
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from metrics_schema_check import validate  # noqa: E402
+
+
+def wait_for_daemon(sock_path, proc, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("aptd exited during startup: %s" %
+                               proc.returncode)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                s.settimeout(2.0)
+                s.connect(sock_path)
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError("aptd did not come up on %s" % sock_path)
+
+
+def raw_request(sock_path, line_bytes):
+    """Sends raw bytes (one line) and returns the parsed response."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(60.0)
+        s.connect(sock_path)
+        s.sendall(line_bytes + b"\n")
+        data = b""
+        while b"\n" not in data:
+            chunk = s.recv(65536)
+            if not chunk:
+                raise RuntimeError("daemon closed connection mid-response")
+            data += chunk
+        return json.loads(data.split(b"\n", 1)[0])
+
+
+def request(sock_path, req):
+    return raw_request(sock_path, json.dumps(req).encode())
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    aptd, root, scratch = sys.argv[1:4]
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch, exist_ok=True)
+    with open(os.path.join(root, "docs", "service_schema.json"),
+              encoding="utf-8") as f:
+        schema = json.load(f)
+    with open(os.path.join(root, "docs", "metrics_schema.json"),
+              encoding="utf-8") as f:
+        metrics_schema = json.load(f)
+    samples = os.path.join(root, "tools", "samples")
+    sock_path = "/tmp/aptd_schema_%d.sock" % os.getpid()
+
+    # Snapshot fixtures for the rejection paths.
+    version99 = os.path.join(scratch, "version99.snapshot.json")
+    with open(version99, "w", encoding="utf-8") as f:
+        json.dump({"kind": "aptd-snapshot", "version": 99, "sessions": []}, f)
+    corrupt = os.path.join(scratch, "corrupt.snapshot.json")
+    with open(corrupt, "w", encoding="utf-8") as f:
+        f.write('{"kind": "aptd-snapshot", "version": 1, "sessions": [42]}')
+    snap_out = os.path.join(scratch, "saved.snapshot.json")
+
+    errors = []
+
+    def check(name, resp, expect_ok, result_def=None, error_code=None):
+        validate(resp, schema, name, errors)
+        if resp.get("ok") != expect_ok:
+            errors.append("%s: expected ok=%s, got %r" %
+                          (name, expect_ok, resp))
+            return resp
+        if expect_ok and "result" not in resp:
+            errors.append("%s: ok response without result" % name)
+        if not expect_ok and "error" not in resp:
+            errors.append("%s: error response without error member" % name)
+        if result_def:
+            validate(resp.get("result", {}),
+                     {"$ref": "#/definitions/" + result_def},
+                     name + ".result", errors,
+                     root=schema)
+        if error_code:
+            got = resp.get("error", {}).get("code")
+            if got != error_code:
+                errors.append("%s: expected error code %s, got %r" %
+                              (name, error_code, got))
+        return resp
+
+    daemon = subprocess.Popen([aptd, "--socket", sock_path, "--slow-ms", "0"],
+                              stderr=subprocess.DEVNULL)
+    try:
+        wait_for_daemon(sock_path, daemon)
+
+        check("ping", request(sock_path, {"id": 1, "op": "ping"}),
+              True, "ping_result")
+        check("run", request(sock_path, {
+            "id": 2, "op": "run",
+            "argv": ["prove",
+                     os.path.join(samples, "leaf_linked_tree.axioms"),
+                     "L.L.N", "L.R.N"]}), True, "run_result")
+        check("run_verdict_exit", request(sock_path, {
+            "id": 3, "op": "run",
+            "argv": ["prove",
+                     os.path.join(samples, "leaf_linked_tree.axioms"),
+                     "L.L.N.N", "L.R.N"]}), True, "run_result")
+        check("load_axioms", request(sock_path, {
+            "id": 4, "op": "load_axioms",
+            "path": os.path.join(samples, "sparse_matrix.axioms")}),
+            True, "load_result")
+        check("load_program", request(sock_path, {
+            "id": 5, "op": "load_program",
+            "path": os.path.join(samples, "worklist.apt")}),
+            True, "load_result")
+        check("stats", request(sock_path, {"id": 6, "op": "stats"}),
+              True, "stats_result")
+
+        resp = check("metrics", request(sock_path, {"id": 7, "op": "metrics"}),
+                     True)
+        validate(resp.get("result", {}), metrics_schema, "metrics.result",
+                 errors)
+
+        check("snapshot_save", request(sock_path, {
+            "id": 8, "op": "snapshot_save", "path": snap_out}),
+            True, "snapshot_result")
+        check("snapshot_load", request(sock_path, {
+            "id": 9, "op": "snapshot_load", "path": snap_out}),
+            True, "snapshot_result")
+
+        # Error paths, one per code.
+        check("bad_json", raw_request(sock_path, b'{"id": 10,'), False,
+              error_code="APTD-E001")
+        check("bad_request", raw_request(sock_path, b'{"id": 11}'), False,
+              error_code="APTD-E002")
+        check("bad_argv", request(sock_path,
+                                  {"id": 12, "op": "run", "argv": []}),
+              False, error_code="APTD-E002")
+        check("unknown_op", request(sock_path,
+                                    {"id": 13, "op": "frobnicate"}),
+              False, error_code="APTD-E003")
+        check("missing_file", request(sock_path, {
+            "id": 14, "op": "load_axioms",
+            "path": os.path.join(scratch, "no_such_file.axioms")}),
+            False, error_code="APTD-E004")
+        check("snapshot_version", request(sock_path, {
+            "id": 15, "op": "snapshot_load", "path": version99}),
+            False, error_code="APTD-E005")
+        check("snapshot_corrupt", request(sock_path, {
+            "id": 16, "op": "snapshot_load", "path": corrupt}),
+            False, error_code="APTD-E006")
+
+        check("shutdown", request(sock_path, {"id": 17, "op": "shutdown"}),
+              True, "shutdown_result")
+        daemon.wait(timeout=20)
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+    for e in errors:
+        print("service_schema_check: %s" % e)
+    if errors:
+        sys.exit(1)
+    print("service_schema_check: OK")
+
+
+if __name__ == "__main__":
+    main()
