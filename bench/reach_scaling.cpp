@@ -1,0 +1,156 @@
+//===- bench/reach_scaling.cpp - Experiment E11: reach pre-pass -----------===//
+//
+// Part of the APT project. Benchmarks the whole-graph reachability
+// pre-pass (src/reach, docs/REACHABILITY.md) on a batch workload shaped
+// like the compiler-server case it targets: loop nests walking one
+// structure from one handle, so most statement pairs share a handle and
+// carry overlapping star languages — exactly the byte-parity fragment
+// the pre-pass resolves without a prover call.
+//
+// Measured effects (tools/bench_check.py --mode reach gates the first):
+//
+//  * answer rate — on BM_BatchReachWarm/1 the pre-pass must resolve at
+//    least 30% of the pairs that reach it (counter reach_answered over
+//    prover_bound);
+//  * cold end-to-end scaling — BM_BatchReachCold at 1, 2, and 4 worker
+//    threads with the pre-pass on: the pre-pass runs in the sequential
+//    prepare phase, so its cost must not erode the fan-out win;
+//  * warm on/off delta — BM_BatchReachWarm/0 vs /1 is the net saving of
+//    answering the fragment by model evaluation instead of the prover.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/QueryEngine.h"
+#include "ir/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace apt;
+
+namespace {
+
+/// The E11 workload: two functions walking lists and a leaf-linked tree
+/// from a single handle each. The loop-walk pairs (W*, X*) share a
+/// handle and overlapping `next*` languages — pre-pass Maybes; the
+/// repeated first-cell writes (H*) are identical singleton paths —
+/// pre-pass Yeses; the tree pairs (T*) are disjoint under the axioms,
+/// so they escalate and stay prover-bound.
+const char *kReachProgram = R"(
+type Node {
+  next: Node;
+  val: int;
+  axiom forall p <> q: p.next <> q.next;
+}
+type Tree {
+  L: Tree;
+  R: Tree;
+  data: int;
+  axiom forall p: p.L <> p.R;
+  axiom forall p <> q: p.L <> q.L;
+  axiom forall p <> q: p.R <> q.R;
+}
+fn wave(head: Node) {
+  H0: head.val = fun();
+  H1: head.val = fun();
+  H2: s = head.val;
+  p = head;
+  while p {
+    W0: p.val = fun();
+    W1: p.val = fun();
+    W2: x = p.val;
+    W3: p.val = fun();
+    p = p.next;
+  }
+}
+fn sweep(head: Node, root: Tree) {
+  q = head;
+  while q {
+    X0: q.val = fun();
+    X1: y = q.val;
+    q = q.next;
+  }
+  t = root.L;
+  u = root.R;
+  T0: t.data = fun();
+  T1: u.data = fun();
+  T2: z = t.data;
+}
+)";
+
+Program parseOrDie(FieldTable &Fields) {
+  ProgramParseResult Parsed = parseProgram(kReachProgram, Fields);
+  if (!Parsed) {
+    std::fprintf(stderr, "reach bench program failed to parse: %s\n",
+                 Parsed.Error.c_str());
+    std::exit(1);
+  }
+  return std::move(Parsed.Value);
+}
+
+/// Exports the pre-pass counters: answered pairs and the pairs that
+/// reached the hook at all (answered + escalated). Stats are cumulative
+/// over the engine's runs; the gate only reads their ratio, which is
+/// run-count invariant.
+void exportReachCounters(benchmark::State &State, const BatchStats &S) {
+  State.counters["reach_answered"] = static_cast<double>(S.ReachPairs);
+  State.counters["prover_bound"] =
+      static_cast<double>(S.ReachPairs + S.ReachEscalated);
+}
+
+/// Warm batch, Arg 0 = pre-pass off, Arg 1 = on. The bench_check gate
+/// reads the answer rate off the Arg(1) counters and compares the warm
+/// throughputs against the checked-in baseline.
+void BM_BatchReachWarm(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 1;
+  Opts.Analyzer.ReachPrepass = State.range(0) != 0;
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+  Engine.runAll(); // Warm caches and the model pool outside the loop.
+
+  for (auto _ : State) {
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+  }
+  uint64_t PerRun = Engine.stats().Queries /
+                    (static_cast<uint64_t>(State.iterations()) + 1);
+  State.SetItemsProcessed(static_cast<int64_t>(PerRun) *
+                          State.iterations());
+  exportReachCounters(State, Engine.stats());
+}
+BENCHMARK(BM_BatchReachWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Cold end-to-end batch with the pre-pass on at 1, 2, and 4 worker
+/// threads: engine construction, the sequential prepare phase (where
+/// the pre-pass runs), and the prover fan-out for the escalated pairs.
+void BM_BatchReachCold(benchmark::State &State) {
+  FieldTable Fields;
+  Program Prog = parseOrDie(Fields);
+  BatchOptions Opts;
+  Opts.Jobs = static_cast<unsigned>(State.range(0));
+  Opts.Analyzer.ReachPrepass = true;
+
+  uint64_t Queries = 0;
+  for (auto _ : State) {
+    BatchQueryEngine Engine(Prog, Fields, Opts);
+    std::vector<BatchResult> Results = Engine.runAll();
+    benchmark::DoNotOptimize(Results.data());
+    Queries = Engine.stats().Queries;
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(Queries) *
+                          State.iterations());
+  State.counters["queries"] = static_cast<double>(Queries);
+}
+BENCHMARK(BM_BatchReachCold)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -113,6 +113,12 @@ struct AnalyzerOptions {
   /// statement pair before the prover. Default on; `aptc --triage=off`
   /// disables it. Verdicts are identical either way.
   bool Triage = true;
+  /// Run the model-based reachability pre-pass (reach/ReachEngine.h) on
+  /// every pair that escapes triage, answering the byte-parity fragment
+  /// before dedup and the prover fan-out. Default off;
+  /// `aptc --reach-prepass on` enables it. Verdicts are identical either
+  /// way (ctest-gated; see docs/REACHABILITY.md).
+  bool ReachPrepass = false;
 };
 
 /// Runs the access-path analysis over \p F. \p Prog supplies the type

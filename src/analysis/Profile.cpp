@@ -151,6 +151,9 @@ Profile Profile::fromBatches(
         case SpanKind::Triage:
           P.TriageNs += Self;
           break;
+        case SpanKind::Reach:
+          P.ReachNs += Self;
+          break;
         default:
           P.ProverNs += Self;
           break;
@@ -320,6 +323,7 @@ JsonValue Profile::toJson(const std::string &Mode) const {
   Phases["lang_ns"] = JsonValue(LangNs);
   Phases["cache_ns"] = JsonValue(CacheNs);
   Phases["triage_ns"] = JsonValue(TriageNs);
+  Phases["reach_ns"] = JsonValue(ReachNs);
   Root["phases"] = JsonValue(std::move(Phases));
 
   JsonValue::Object RulesJson;
@@ -355,6 +359,7 @@ void Profile::publishMetrics() const {
   Reg.counter("apt.prof.lang_ns").add(LangNs);
   Reg.counter("apt.prof.cache_ns").add(CacheNs);
   Reg.counter("apt.prof.triage_ns").add(TriageNs);
+  Reg.counter("apt.prof.reach_ns").add(ReachNs);
   Reg.counter("apt.prof.timed_events").add(TimedEvents);
   Reg.counter("apt.prof.unmatched_events").add(UnmatchedEvents);
 }

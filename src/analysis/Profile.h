@@ -106,6 +106,7 @@ public:
   uint64_t LangNs = 0;   ///< Self time in lang_subset/lang_disjoint.
   uint64_t CacheNs = 0;  ///< Self time in cache_lookup frames.
   uint64_t TriageNs = 0; ///< Self time in triage cascade frames.
+  uint64_t ReachNs = 0;  ///< Self time in reachability pre-pass frames.
 
   LatencyStats Queries;            ///< Over per-query durations.
   LatencyStats Goals;              ///< Over per-goal-frame durations.

@@ -7,6 +7,7 @@
 #include "analysis/QueryEngine.h"
 
 #include "parallel/ThreadPool.h"
+#include "reach/ReachEngine.h"
 #include "regex/Minimize.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
@@ -115,6 +116,11 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
   uint64_t TriageT2Base = Stats.TriageT2;
   uint64_t TriageT3Base = Stats.TriageT3;
   uint64_t EscalatedBase = Stats.TriageEscalated;
+  uint64_t ReachBase = Stats.ReachPairs;
+  uint64_t ReachYesBase = Stats.ReachYes;
+  uint64_t ReachMaybeBase = Stats.ReachMaybe;
+  uint64_t ReachEscBase = Stats.ReachEscalated;
+  uint64_t ReachNsBase = Stats.ReachNs;
 
   // Phase 1 (sequential): prepare and deduplicate.
   auto PrepareStart = std::chrono::steady_clock::now();
@@ -162,6 +168,32 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     }
     if (Opts.Analyzer.Triage)
       ++Stats.TriageEscalated;
+    if (Opts.Analyzer.ReachPrepass) {
+      // Model-based reachability pre-pass (docs/REACHABILITY.md): answer
+      // the byte-parity fragment here, before dedup and the prover
+      // fan-out. Runs only in this sequential phase, so verdicts stay
+      // jobs-invariant; triage counters above are untouched either way.
+      APT_TRACE_SPAN(Span, trace::SpanKind::Reach);
+      auto ReachStart = std::chrono::steady_clock::now();
+      if (!Reach)
+        Reach = std::make_unique<ReachEngine>(Fields);
+      std::optional<DepTestResult> RA = Reach->prepass(P.Axioms, P.S, P.T);
+      Stats.ReachNs += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - ReachStart)
+              .count());
+      Stats.ReachModels = Reach->stats().ModelsBuilt;
+      if (RA) {
+        ++Stats.ReachPairs;
+        if (RA->Verdict == DepVerdict::Yes)
+          ++Stats.ReachYes;
+        else
+          ++Stats.ReachMaybe;
+        Results[I].Result = *RA;
+        continue;
+      }
+      ++Stats.ReachEscalated;
+    }
     std::string Key = queryKey(P);
     auto [It, Inserted] = TaskIndex.emplace(Key, Tasks.size());
     if (Inserted) {
@@ -299,6 +331,13 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     R.counter("apt.triage.t3_kills").add(Stats.TriageT3 - TriageT3Base);
     R.counter("apt.triage.escalated")
         .add(Stats.TriageEscalated - EscalatedBase);
+    R.counter("apt.reach.pairs").add(Stats.ReachPairs - ReachBase);
+    R.counter("apt.reach.yes").add(Stats.ReachYes - ReachYesBase);
+    R.counter("apt.reach.maybe").add(Stats.ReachMaybe - ReachMaybeBase);
+    R.counter("apt.reach.escalated")
+        .add(Stats.ReachEscalated - ReachEscBase);
+    R.counter("apt.reach.wall_ns").add(Stats.ReachNs - ReachNsBase);
+    R.gauge("apt.reach.models").set(Stats.ReachModels);
     R.counter("apt.prover.goals_explored").add(RunProver.GoalsExplored);
     R.counter("apt.prover.goal_cache_hits").add(RunProver.GoalCacheHits);
     R.counter("apt.prover.shared_goal_hits").add(RunProver.SharedGoalHits);
@@ -353,10 +392,11 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
 }
 
 std::string BatchStats::toString() const {
-  char Buf[1536];
+  char Buf[2048];
   double Parallelism = WallMs > 0 ? CpuMs / WallMs : 0.0;
   double TriageMs =
       static_cast<double>(TriageT1Ns + TriageT2Ns + TriageT3Ns) / 1e6;
+  double ReachMs = static_cast<double>(ReachNs) / 1e6;
   std::snprintf(
       Buf, sizeof(Buf),
       "batch stats:\n"
@@ -364,6 +404,8 @@ std::string BatchStats::toString() const {
       "dedup ratio %.1f%%)\n"
       "  triage:     %llu pairs (t1 %llu, t2 %llu, t3 %llu, "
       "escalated %llu; %.2f ms)\n"
+      "  reach:      %llu pairs (yes %llu, maybe %llu, escalated %llu; "
+      "%llu models; %.2f ms)\n"
       "  jobs:       %u; wall %.2f ms, cpu %.2f ms (parallelism %.2fx)\n"
       "  prover:     %llu goals, %llu cache hits (%llu shared), "
       "%llu inductions, %llu alt splits\n"
@@ -382,6 +424,11 @@ std::string BatchStats::toString() const {
       static_cast<unsigned long long>(TriageT2),
       static_cast<unsigned long long>(TriageT3),
       static_cast<unsigned long long>(TriageEscalated), TriageMs,
+      static_cast<unsigned long long>(ReachPairs),
+      static_cast<unsigned long long>(ReachYes),
+      static_cast<unsigned long long>(ReachMaybe),
+      static_cast<unsigned long long>(ReachEscalated),
+      static_cast<unsigned long long>(ReachModels), ReachMs,
       Jobs, WallMs, CpuMs, Parallelism,
       static_cast<unsigned long long>(Prover.GoalsExplored),
       static_cast<unsigned long long>(Prover.GoalCacheHits),
@@ -422,6 +469,13 @@ BatchStats BatchStats::since(const BatchStats &Base) const {
   D.TriageT1Ns -= Base.TriageT1Ns;
   D.TriageT2Ns -= Base.TriageT2Ns;
   D.TriageT3Ns -= Base.TriageT3Ns;
+  D.ReachPairs -= Base.ReachPairs;
+  D.ReachYes -= Base.ReachYes;
+  D.ReachMaybe -= Base.ReachMaybe;
+  D.ReachEscalated -= Base.ReachEscalated;
+  D.ReachNs -= Base.ReachNs;
+  // ReachModels is cumulative over the engine's lifetime (like the cache
+  // entry counts): keep the current reading.
   D.Prover.GoalsExplored -= Base.Prover.GoalsExplored;
   D.Prover.GoalCacheHits -= Base.Prover.GoalCacheHits;
   D.Prover.SharedGoalHits -= Base.Prover.SharedGoalHits;

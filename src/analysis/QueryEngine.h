@@ -57,6 +57,8 @@
 
 namespace apt {
 
+class ReachEngine;
+
 /// One statement-pair dependence question of a batch.
 struct BatchQuery {
   std::string Func;   ///< Function containing both labels.
@@ -91,6 +93,17 @@ struct BatchStats {
   uint64_t TriageT1Ns = 0;      ///< Wall time spent in tier 1.
   uint64_t TriageT2Ns = 0;      ///< Wall time spent in tier 2.
   uint64_t TriageT3Ns = 0;      ///< Wall time spent in tier 3.
+
+  /// Reachability pre-pass accounting (docs/REACHABILITY.md). A *reach*
+  /// pair is one the model-based engine resolved during preparation
+  /// (after triage, before dedup), byte-identical to the prover's answer;
+  /// an escalated pair consulted the engine without a resolution.
+  uint64_t ReachPairs = 0;     ///< Pairs resolved by the reach pre-pass.
+  uint64_t ReachYes = 0;       ///< ... with a definite-dependence verdict.
+  uint64_t ReachMaybe = 0;     ///< ... with an overlap-witnessed Maybe.
+  uint64_t ReachEscalated = 0; ///< Pre-pass ran but had to escalate.
+  uint64_t ReachModels = 0;    ///< Satisfying models the engine has built.
+  uint64_t ReachNs = 0;        ///< Wall time spent in the pre-pass.
 
   /// Merged per-worker prover counters (GoalsExplored, GoalCacheHits,
   /// SharedGoalHits, ...).
@@ -219,6 +232,10 @@ private:
   /// or the engine's own caches above.
   ShardedBoolCache *SharedGoals;
   ShardedBoolCache *SharedLang;
+  /// Lazily constructed reachability engine for the pre-pass (only when
+  /// AnalyzerOptions::ReachPrepass is on). Consulted exclusively from the
+  /// sequential prepare phase, which keeps verdicts jobs-invariant.
+  std::unique_ptr<ReachEngine> Reach;
   BatchStats Stats;
 };
 

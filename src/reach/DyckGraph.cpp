@@ -1,0 +1,153 @@
+//===- reach/DyckGraph.cpp - Dyck-reachability saturation -----------------===//
+//
+// Part of the APT project; see DyckGraph.h for the relation computed here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reach/DyckGraph.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_map>
+
+namespace apt {
+
+DyckGraph::NodeId DyckGraph::find(NodeId N) const {
+  // Iterative find with path halving.
+  while (Parent[N] != N) {
+    Parent[N] = Parent[Parent[N]];
+    N = Parent[N];
+  }
+  return N;
+}
+
+void DyckGraph::unite(NodeId A, NodeId B,
+                      std::vector<std::pair<NodeId, NodeId>> &WL) {
+  A = find(A);
+  B = find(B);
+  if (A == B)
+    return;
+  if (Rank[A] < Rank[B])
+    std::swap(A, B);
+  if (Rank[A] == Rank[B])
+    ++Rank[A];
+  Parent[B] = A;
+  ++Merges;
+  // Merge B's canonical parents into A's: a field present on both sides
+  // yields a congruence pair (two parents of one class via one field).
+  auto &Into = ParentVia[A];
+  for (const auto &[F, P] : ParentVia[B]) {
+    auto It = std::lower_bound(
+        Into.begin(), Into.end(), std::make_pair(F, NodeId(0)),
+        [](const auto &L, const auto &R) { return L.first < R.first; });
+    if (It != Into.end() && It->first == F)
+      WL.emplace_back(It->second, P);
+    else
+      Into.insert(It, {F, P});
+  }
+  ParentVia[B].clear();
+  ParentVia[B].shrink_to_fit();
+}
+
+DyckGraph::DyckGraph(const HeapGraph &G) {
+  const size_t N = G.numNodes();
+  Parent.resize(N);
+  Rank.assign(N, 0);
+  ParentVia.assign(N, {});
+  for (NodeId I = 0; I < N; ++I)
+    Parent[I] = I;
+
+  // Seed: register every edge u.f = x as "u is a parent of class(x) via f".
+  // Registering a second parent via the same field fires the match rule.
+  std::vector<std::pair<NodeId, NodeId>> WL;
+  for (NodeId U = 0; U < N; ++U) {
+    for (const auto &[F, X] : G.out(U)) {
+      NodeId R = find(X);
+      auto &Slots = ParentVia[R];
+      auto It = std::lower_bound(
+          Slots.begin(), Slots.end(), std::make_pair(F, NodeId(0)),
+          [](const auto &L, const auto &Rt) { return L.first < Rt.first; });
+      if (It != Slots.end() && It->first == F)
+        WL.emplace_back(It->second, U);
+      else
+        Slots.insert(It, {F, U});
+    }
+  }
+
+  // Saturate: each pending pair is two parents of one class via one field.
+  while (!WL.empty()) {
+    auto [A, B] = WL.back();
+    WL.pop_back();
+    unite(A, B, WL);
+  }
+}
+
+DyckGraph::NodeId DyckGraph::classOf(NodeId N) const { return find(N); }
+
+bool DyckGraph::mayShare(NodeId U, NodeId V) const {
+  return find(U) == find(V);
+}
+
+size_t DyckGraph::numClasses() const {
+  size_t Count = 0;
+  for (NodeId I = 0; I < Parent.size(); ++I)
+    if (find(I) == I)
+      ++Count;
+  return Count;
+}
+
+std::optional<Word> DyckGraph::commonDescendantWitness(const HeapGraph &G,
+                                                       NodeId U, NodeId V) {
+  // Product BFS over node pairs: from (U, V), step both sides along the
+  // same field; any diagonal (n, n) yields the (shortest) witness word.
+  // The parent map reconstructs the word.
+  struct Step {
+    NodeId FromU, FromV;
+    FieldId Via;
+  };
+  auto Key = [](NodeId A, NodeId B) {
+    return (uint64_t(A) << 32) | uint64_t(B);
+  };
+  std::unordered_map<uint64_t, Step> Seen;
+  std::deque<std::pair<NodeId, NodeId>> Queue;
+  Seen.emplace(Key(U, V), Step{U, V, 0});
+  Queue.emplace_back(U, V);
+  while (!Queue.empty()) {
+    auto [A, B] = Queue.front();
+    Queue.pop_front();
+    if (A == B) {
+      Word W;
+      NodeId CA = A, CB = B;
+      while (!(CA == U && CB == V)) {
+        const Step &S = Seen.at(Key(CA, CB));
+        W.push_back(S.Via);
+        CA = S.FromU;
+        CB = S.FromV;
+      }
+      std::reverse(W.begin(), W.end());
+      return W;
+    }
+    const auto &OutA = G.out(A);
+    const auto &OutB = G.out(B);
+    // Both maps are sorted by field; intersect them.
+    auto IA = OutA.begin();
+    auto IB = OutB.begin();
+    while (IA != OutA.end() && IB != OutB.end()) {
+      if (IA->first < IB->first) {
+        ++IA;
+      } else if (IB->first < IA->first) {
+        ++IB;
+      } else {
+        uint64_t K = Key(IA->second, IB->second);
+        if (Seen.emplace(K, Step{A, B, IA->first}).second)
+          Queue.emplace_back(IA->second, IB->second);
+        ++IA;
+        ++IB;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace apt

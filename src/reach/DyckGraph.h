@@ -1,0 +1,109 @@
+//===- reach/DyckGraph.h - Dyck-reachability over heap graphs ---*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-graph Dyck (matched-parenthesis) reachability over a concrete
+/// HeapGraph, after Chatterjee/Choudhary/Pavlogiannis, "Optimal Dyck
+/// Reachability for Data-Dependence and Alias Analysis" (POPL 2018).
+///
+/// Each pointer field f contributes an open-parenthesis edge u -(f-> x for
+/// the store u.f = x and, in the bidirected view, the matching close edge
+/// x -)f-> u. Two nodes u, v are *Dyck-related*, written D(u, v), when some
+/// walk from u to v spells a balanced string over these parentheses. On a
+/// bidirected graph D is the least equivalence relation closed under the
+/// per-field match rule
+///
+///     u.f = x  and  v.f = y  and  D(x, y)   ==>   D(u, v)
+///
+/// i.e. parents of Dyck-related children via the same field are themselves
+/// Dyck-related. The saturation below computes D for *all* node pairs in
+/// one pass (near-linear time: union-find plus one canonical parent per
+/// (class, field) — congruence closure run upward), which is what makes the
+/// engine a batcher: a whole statement-pair matrix is answered by one
+/// traversal instead of one prover call per pair.
+///
+/// Soundness scope (see docs/REACHABILITY.md for the proofs):
+///
+///  * Let R(u, v) hold when some single word w has walk(u, w) == walk(v, w)
+///    (a common descendant reached by the *same* field word — the relation
+///    dependence cares about when two access paths hang off u and v). Then
+///    R is a subset of D: the saturation never misses a same-word merge, so
+///    "not Dyck-related" soundly refutes sharing.
+///  * D is strictly coarser than the transitive closure of R: chained
+///    children can merge parents that share no single witness word. A
+///    positive D verdict is therefore a *may*-share summary, not a witness;
+///    exact per-pair answers come from the model-based evaluation layer in
+///    ReachEngine, which uses D classes as its summary filter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REACH_DYCKGRAPH_H
+#define APT_REACH_DYCKGRAPH_H
+
+#include "graph/HeapGraph.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace apt {
+
+/// Saturated Dyck-reachability summary of one HeapGraph.
+///
+/// Construction runs the whole-graph worklist saturation; afterwards every
+/// query is O(alpha) (a union-find find). The graph must outlive nothing —
+/// the summary copies what it needs and holds no reference to it.
+class DyckGraph {
+public:
+  using NodeId = HeapGraph::NodeId;
+
+  explicit DyckGraph(const HeapGraph &G);
+
+  /// Representative of \p N's Dyck equivalence class.
+  NodeId classOf(NodeId N) const;
+
+  /// True when D(U, V): a balanced-parenthesis walk connects U and V, so
+  /// the two nodes may reach a common vertex through matched field paths.
+  /// False soundly refutes same-word sharing (R(U, V) implies mayShare).
+  bool mayShare(NodeId U, NodeId V) const;
+
+  size_t numNodes() const { return Parent.size(); }
+
+  /// Number of Dyck equivalence classes after saturation.
+  size_t numClasses() const;
+
+  /// Number of union operations the saturation performed (statistics).
+  uint64_t mergeSteps() const { return Merges; }
+
+  /// On-demand single-source mode: decides R(U, V) exactly for one pair by
+  /// a product BFS over node pairs of \p G, without consulting (or needing)
+  /// the whole-graph saturation. Returns the witness word w with
+  /// walk(U, w) == walk(V, w) != null, shortest first, or std::nullopt when
+  /// no common same-word descendant exists. The caller replays the witness
+  /// with HeapGraph::walk.
+  static std::optional<Word> commonDescendantWitness(const HeapGraph &G,
+                                                     NodeId U, NodeId V);
+
+private:
+  NodeId find(NodeId N) const;
+  void unite(NodeId A, NodeId B, std::vector<std::pair<NodeId, NodeId>> &WL);
+
+  // Union-find over nodes; Parent is mutable only during construction (find
+  // performs path halving via a const_cast-free iterative walk).
+  mutable std::vector<NodeId> Parent;
+  std::vector<uint32_t> Rank;
+  // Per-class canonical parent via each field: ParentVia[root] holds sorted
+  // (field, parent) pairs; any second parent of the class via the same
+  // field is merged into the canonical one (the congruence).
+  std::vector<std::vector<std::pair<FieldId, NodeId>>> ParentVia;
+  uint64_t Merges = 0;
+};
+
+} // namespace apt
+
+#endif // APT_REACH_DYCKGRAPH_H

@@ -1,0 +1,415 @@
+//===- reach/ReachEngine.cpp - Model-based reachability engine ------------===//
+//
+// Part of the APT project; see ReachEngine.h for the contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "reach/ReachEngine.h"
+
+#include "core/Prover.h"
+#include "graph/AxiomChecker.h"
+#include "graph/GraphBuilders.h"
+#include "regex/Dfa.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <random>
+#include <set>
+#include <unordered_map>
+
+using namespace apt;
+
+const char *apt::reachVerdictName(ReachVerdict V) {
+  switch (V) {
+  case ReachVerdict::Independent:
+    return "independent";
+  case ReachVerdict::Overlap:
+    return "overlap";
+  }
+  return "";
+}
+
+ReachEngine::ReachEngine(const FieldTable &Fields, ReachOptions Opts)
+    : Fields(Fields), Opts(Opts) {}
+
+std::vector<FieldId>
+ReachEngine::queryAlphabet(const AxiomSet &Axioms, const RegexRef &P,
+                           const RegexRef &Q) const {
+  std::set<FieldId> Syms;
+  for (const Axiom &A : Axioms.axioms()) {
+    A.Lhs->collectSymbols(Syms);
+    A.Rhs->collectSymbols(Syms);
+  }
+  P->collectSymbols(Syms);
+  Q->collectSymbols(Syms);
+  return {Syms.begin(), Syms.end()};
+}
+
+ReachEngine::Pool &ReachEngine::poolFor(const AxiomSet &Axioms,
+                                        const std::vector<FieldId> &Alphabet) {
+  std::string Key = std::to_string(Prover::axiomSetFingerprint(Axioms));
+  for (FieldId F : Alphabet) {
+    Key += '.';
+    Key += std::to_string(F);
+  }
+  auto It = Pools.find(Key);
+  if (It != Pools.end())
+    return It->second;
+
+  Pool P;
+  P.Alphabet = Alphabet;
+  auto Keep = [&](const HeapGraph &G) {
+    if (!checkAxioms(G, Axioms, Fields))
+      P.Models.push_back(Model{G, nullptr});
+    return true;
+  };
+  // Exhaustive sweep of the tiny models, bounded by (N+1)^(N*|A|) growth.
+  const size_t A = Alphabet.size();
+  for (size_t N = 1; N <= 2; ++N) {
+    double Configs = 1.0;
+    for (size_t I = 0; I < N * A; ++I)
+      Configs *= double(N + 1);
+    if (Configs <= double(Opts.ExhaustiveBudget))
+      enumerateHeapGraphs(Alphabet, N, Keep);
+  }
+  // Deterministic pseudo-random larger models, axiom-filtered.
+  std::mt19937 Rng(Opts.Seed ^ uint32_t(Prover::axiomSetFingerprint(Axioms)));
+  size_t KeptRandom = 0;
+  for (size_t Try = 0; Try < Opts.RandomModels * 16 && !Alphabet.empty() &&
+                       KeptRandom < Opts.RandomModels;
+       ++Try) {
+    HeapGraph G;
+    for (size_t I = 0; I < Opts.RandomNodes; ++I)
+      G.addNode();
+    for (HeapGraph::NodeId N = 0; N < G.numNodes(); ++N)
+      for (FieldId F : Alphabet)
+        if (Rng() % 2)
+          G.setField(N, F, Rng() % uint32_t(G.numNodes()));
+    if (!checkAxioms(G, Axioms, Fields)) {
+      P.Models.push_back(Model{std::move(G), nullptr});
+      ++KeptRandom;
+    }
+  }
+  ++Stats.Pools;
+  Stats.ModelsBuilt += P.Models.size();
+  return Pools.emplace(std::move(Key), std::move(P)).first->second;
+}
+
+std::vector<Word>
+ReachEngine::sampleWords(const RegexRef &R,
+                         const std::vector<FieldId> &Alphabet) const {
+  std::vector<Word> Out;
+  if (R->isEmpty())
+    return Out;
+  Dfa D = Dfa::fromRegex(*R, Alphabet);
+  // Shortest-first BFS over DFA states; each state may be re-entered a few
+  // times so that pumped variants of looping languages are sampled too.
+  std::vector<uint8_t> Entered(D.numStates(), 0);
+  std::deque<std::pair<uint32_t, Word>> Queue;
+  Queue.emplace_back(D.start(), Word{});
+  Entered[D.start()] = 1;
+  while (!Queue.empty() && Out.size() < Opts.WordsPerLanguage) {
+    auto [State, W] = Queue.front();
+    Queue.pop_front();
+    if (D.isAccepting(State))
+      Out.push_back(W);
+    if (W.size() >= Opts.MaxWordLength)
+      continue;
+    for (size_t SI = 0; SI < Alphabet.size(); ++SI) {
+      uint32_t Next = D.step(State, SI);
+      if (Entered[Next] >= 3)
+        continue;
+      ++Entered[Next];
+      Word W2 = W;
+      W2.push_back(Alphabet[SI]);
+      Queue.emplace_back(Next, std::move(W2));
+    }
+  }
+  return Out;
+}
+
+HeapGraph ReachEngine::realizeWordPair(const Word &P, const Word &Q,
+                                       bool IdentifyEnds,
+                                       HeapGraph::NodeId &AnchorOut) {
+  // Positions 0..|P| belong to P's chain, |P|+1..|P|+1+|Q| to Q's. Unify
+  // the two position-0 anchors (and, for converging candidates, the two
+  // endpoints), then close under the functional-field congruence: equal
+  // classes stepping the same field have equal targets. The quotient is
+  // always a well-formed heap graph realizing both words.
+  const size_t NP = P.size(), NQ = Q.size();
+  const size_t NumPos = NP + NQ + 2;
+  std::vector<size_t> UF(NumPos);
+  for (size_t I = 0; I < NumPos; ++I)
+    UF[I] = I;
+  std::function<size_t(size_t)> Find = [&](size_t X) {
+    while (UF[X] != X) {
+      UF[X] = UF[UF[X]];
+      X = UF[X];
+    }
+    return X;
+  };
+  auto Union = [&](size_t X, size_t Y) { UF[Find(X)] = Find(Y); };
+  auto PosP = [](size_t I) { return I; };
+  auto PosQ = [NP](size_t J) { return NP + 1 + J; };
+
+  Union(PosP(0), PosQ(0));
+  if (IdentifyEnds)
+    Union(PosP(NP), PosQ(NQ));
+
+  struct Edge {
+    size_t From, To;
+    FieldId F;
+  };
+  std::vector<Edge> Edges;
+  for (size_t I = 0; I < NP; ++I)
+    Edges.push_back({PosP(I), PosP(I + 1), P[I]});
+  for (size_t J = 0; J < NQ; ++J)
+    Edges.push_back({PosQ(J), PosQ(J + 1), Q[J]});
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 0; I < Edges.size(); ++I)
+      for (size_t J = I + 1; J < Edges.size(); ++J)
+        if (Edges[I].F == Edges[J].F &&
+            Find(Edges[I].From) == Find(Edges[J].From) &&
+            Find(Edges[I].To) != Find(Edges[J].To)) {
+          Union(Edges[I].To, Edges[J].To);
+          Changed = true;
+        }
+  }
+
+  HeapGraph G;
+  std::unordered_map<size_t, HeapGraph::NodeId> ClassNode;
+  auto NodeOf = [&](size_t Pos) {
+    size_t Root = Find(Pos);
+    auto It = ClassNode.find(Root);
+    if (It != ClassNode.end())
+      return It->second;
+    HeapGraph::NodeId N = G.addNode();
+    ClassNode.emplace(Root, N);
+    return N;
+  };
+  AnchorOut = NodeOf(PosP(0));
+  for (const Edge &E : Edges)
+    G.setField(NodeOf(E.From), E.F, NodeOf(E.To));
+  return G;
+}
+
+bool ReachEngine::overlapInModel(const Model &M, const RegexRef &P,
+                                 const RegexRef &Q,
+                                 const std::vector<FieldId> &Alphabet,
+                                 ReachWitness &Witness) const {
+  if (M.G.numNodes() == 0 || M.G.numNodes() > 64)
+    return false;
+  Dfa DP = Dfa::fromRegex(*P, Alphabet);
+  Dfa DQ = Dfa::fromRegex(*Q, Alphabet);
+
+  // Per-anchor product BFS of graph x DFA with parent pointers, so a hit
+  // reconstructs the witness word. EvalMask is the exact evaluation; the
+  // Dyck class mask is the whole-graph summary filter in front of it (a
+  // shared vertex forces intersecting class masks, never the converse).
+  struct Parent {
+    uint32_t PrevNode, PrevState;
+    FieldId Via;
+    bool HasPrev;
+  };
+  auto Eval = [&](const Dfa &D, HeapGraph::NodeId Anchor, uint64_t &EvalMask,
+                  uint64_t &ClassMask,
+                  std::unordered_map<uint64_t, Parent> &Parents,
+                  std::unordered_map<uint32_t, uint32_t> &AcceptState) {
+    auto Key = [](uint32_t Node, uint32_t State) {
+      return (uint64_t(Node) << 32) | uint64_t(State);
+    };
+    EvalMask = 0;
+    ClassMask = 0;
+    std::deque<std::pair<uint32_t, uint32_t>> Queue;
+    Parents.emplace(Key(Anchor, D.start()), Parent{0, 0, 0, false});
+    Queue.emplace_back(Anchor, D.start());
+    while (!Queue.empty()) {
+      auto [Node, State] = Queue.front();
+      Queue.pop_front();
+      if (D.isAccepting(State)) {
+        if (!(EvalMask & (uint64_t(1) << Node))) {
+          EvalMask |= uint64_t(1) << Node;
+          ClassMask |= uint64_t(1) << M.Dyck->classOf(Node);
+          AcceptState.emplace(Node, State);
+        }
+      }
+      for (const auto &[F, Next] : M.G.out(Node)) {
+        int SI = D.alphabetIndex(F);
+        if (SI < 0)
+          continue;
+        uint32_t NS = D.step(State, size_t(SI));
+        if (Parents
+                .emplace(Key(Next, NS), Parent{Node, State, F, true})
+                .second)
+          Queue.emplace_back(Next, NS);
+      }
+    }
+  };
+  auto WordTo = [&](uint32_t Node, uint32_t State,
+                    std::unordered_map<uint64_t, Parent> &Parents) {
+    Word W;
+    uint32_t N = Node, S = State;
+    for (;;) {
+      const Parent &Pa = Parents.at((uint64_t(N) << 32) | uint64_t(S));
+      if (!Pa.HasPrev)
+        break;
+      W.push_back(Pa.Via);
+      N = Pa.PrevNode;
+      S = Pa.PrevState;
+    }
+    std::reverse(W.begin(), W.end());
+    return W;
+  };
+
+  for (HeapGraph::NodeId Anchor = 0; Anchor < M.G.numNodes(); ++Anchor) {
+    uint64_t MaskP, MaskQ, ClassP, ClassQ;
+    std::unordered_map<uint64_t, Parent> ParP, ParQ;
+    std::unordered_map<uint32_t, uint32_t> AccP, AccQ;
+    Eval(DP, Anchor, MaskP, ClassP, ParP, AccP);
+    if (!MaskP)
+      continue;
+    Eval(DQ, Anchor, MaskQ, ClassQ, ParQ, AccQ);
+    if (!(ClassP & ClassQ))
+      continue; // Dyck summary refutes sharing at this anchor.
+    uint64_t Shared = MaskP & MaskQ;
+    if (!Shared)
+      continue;
+    uint32_t V = uint32_t(__builtin_ctzll(Shared));
+    Witness.Model = M.G;
+    Witness.Anchor = Anchor;
+    Witness.Vertex = V;
+    Witness.PathS = WordTo(V, AccP.at(V), ParP);
+    Witness.PathT = WordTo(V, AccQ.at(V), ParQ);
+    return true;
+  }
+  return false;
+}
+
+ReachAnswer ReachEngine::answer(const AxiomSet &Axioms, const RegexRef &P,
+                                const RegexRef &Q) {
+  ++Stats.Answers;
+  ReachAnswer Ans;
+  std::vector<FieldId> Alphabet = queryAlphabet(Axioms, P, Q);
+  Pool &ThePool = poolFor(Axioms, Alphabet);
+
+  auto WP = P->singletonWord();
+  auto WQ = Q->singletonWord();
+  if (!WP || !WQ) {
+    // proveEqualPaths only ever succeeds on two singleton-word languages.
+    Ans.NotAlwaysEqual = true;
+  } else if (*WP != *WQ) {
+    // Diverging countermodel: realize both words without identifying the
+    // endpoints; if the quotient satisfies the axioms and the endpoints
+    // stayed apart, the words provably do not always denote one vertex.
+    HeapGraph::NodeId Anchor = 0;
+    HeapGraph G = realizeWordPair(*WP, *WQ, /*IdentifyEnds=*/false, Anchor);
+    ++Ans.ModelsChecked;
+    if (!checkAxioms(G, Axioms, Fields)) {
+      auto EndP = G.walk(Anchor, *WP);
+      auto EndQ = G.walk(Anchor, *WQ);
+      if (EndP && EndQ && *EndP != *EndQ)
+        Ans.NotAlwaysEqual = true;
+    }
+  }
+
+  // Overlap scan, pool first: the exhaustive tiny models plus the random
+  // ones, each evaluated exactly (with the Dyck summary pre-filter).
+  for (Model &M : ThePool.Models) {
+    if (!M.Dyck)
+      M.Dyck = std::make_unique<DyckGraph>(M.G);
+    ++Ans.ModelsChecked;
+    ReachWitness W;
+    if (overlapInModel(M, P, Q, Alphabet, W)) {
+      Ans.Verdict = ReachVerdict::Overlap;
+      Ans.Witness = std::move(W);
+      if (!Ans.NotAlwaysEqual && WP && WQ && *WP != *WQ) {
+        // A pool model may also refute equality; reuse this one if so.
+        auto EndP = Ans.Witness->Model.walk(Ans.Witness->Anchor, *WP);
+        auto EndQ = Ans.Witness->Model.walk(Ans.Witness->Anchor, *WQ);
+        if (EndP && EndQ && *EndP != *EndQ)
+          Ans.NotAlwaysEqual = true;
+      }
+      ++Stats.Overlaps;
+      return Ans;
+    }
+  }
+
+  // Targeted synthesis: converge a sampled word of L(P) with one of L(Q)
+  // at a shared endpoint and keep the quotient when the axioms certify it.
+  std::vector<Word> WordsP = sampleWords(P, Alphabet);
+  std::vector<Word> WordsQ = sampleWords(Q, Alphabet);
+  for (const Word &A : WordsP) {
+    for (const Word &B : WordsQ) {
+      HeapGraph::NodeId Anchor = 0;
+      HeapGraph G = realizeWordPair(A, B, /*IdentifyEnds=*/true, Anchor);
+      ++Ans.ModelsChecked;
+      if (checkAxioms(G, Axioms, Fields))
+        continue;
+      auto V = G.walk(Anchor, A);
+      if (!V || G.walk(Anchor, B) != V)
+        continue; // Quotient collapsed differently; not a witness.
+      ReachWitness W;
+      W.Model = std::move(G);
+      W.Anchor = Anchor;
+      W.PathS = A;
+      W.PathT = B;
+      W.Vertex = *V;
+      Ans.Verdict = ReachVerdict::Overlap;
+      Ans.Witness = std::move(W);
+      ++Stats.Overlaps;
+      return Ans;
+    }
+  }
+  return Ans;
+}
+
+std::optional<DepTestResult> ReachEngine::prepass(const AxiomSet &Axioms,
+                                                  const MemRef &S,
+                                                  const MemRef &T) {
+  // Mirror dependenceTest's screening cascade exactly; any screen that
+  // would fire there produces its verdict on the prover path anyway, so
+  // the pre-pass only claims pairs that reach the proof obligations.
+  DepKind Kind = DepKind::None;
+  if (S.IsWrite && T.IsWrite)
+    Kind = DepKind::Output;
+  else if (S.IsWrite)
+    Kind = DepKind::Flow;
+  else if (T.IsWrite)
+    Kind = DepKind::Anti;
+  if (Kind == DepKind::None || S.TypeName != T.TypeName ||
+      S.Field != T.Field || S.Path.Handle != T.Path.Handle) {
+    ++Stats.PrepassMiss;
+    return std::nullopt;
+  }
+
+  auto WP = S.Path.Path->singletonWord();
+  auto WQ = T.Path.Path->singletonWord();
+  if (WP && WQ && *WP == *WQ) {
+    // proveEqualPaths answers identical singleton words unconditionally.
+    ++Stats.PrepassYes;
+    DepTestResult R;
+    R.Verdict = DepVerdict::Yes;
+    R.Kind = Kind;
+    R.Reason = "paths provably denote the same vertex";
+    return R;
+  }
+
+  ReachAnswer A = answer(Axioms, S.Path.Path, T.Path.Path);
+  if (A.Verdict == ReachVerdict::Overlap && A.NotAlwaysEqual) {
+    // A satisfying model overlaps the paths (so a sound proveDisj must
+    // fail) and equality is refuted (so proveEqualPaths must fail): the
+    // prover's answer is the fall-through Maybe, byte for byte.
+    ++Stats.PrepassMaybe;
+    DepTestResult R;
+    R.Verdict = DepVerdict::Maybe;
+    R.Kind = Kind;
+    R.Reason = "no proof of independence found";
+    return R;
+  }
+  ++Stats.PrepassMiss;
+  return std::nullopt;
+}

@@ -1,0 +1,188 @@
+//===- reach/ReachEngine.h - Model-based reachability engine ----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The third dependence engine: instead of proving per-pair theorems from
+/// axioms (the derivative prover) it decides sharing questions over
+/// *concrete heap models* that satisfy the axiom set, using whole-graph
+/// Dyck-reachability summaries (DyckGraph) plus exact DFA-product
+/// evaluation with witness reconstruction.
+///
+/// Per axiom-set fingerprint the engine materializes a pool of satisfying
+/// bounded models once — an exhaustive sweep of all one- and two-node
+/// graphs over the alphabet (when the sweep fits a budget) plus
+/// deterministic pseudo-random larger graphs — and per query synthesizes
+/// *targeted* models: the congruence-closed realization of a candidate
+/// word pair, converging (for overlap witnesses) or diverging (for
+/// equality countermodels). Every model is certified by AxiomChecker
+/// before it is consulted, so a positive answer always carries a
+/// replayable witness: a satisfying model, an anchor, and two words the
+/// caller can re-walk with HeapGraph::walk and re-accept with Dfa.
+///
+/// Verdicts are asymmetric by design:
+///
+///  * Overlap    — witnessed: some satisfying model and anchor realize the
+///                 two path languages at a common vertex. Sound against the
+///                 prover: a sound proveDisj can never prove such a pair
+///                 disjoint (the model refutes the proof).
+///  * Independent — bounded claim: *no consulted satisfying model*
+///                 overlaps. Not a proof — the prover may still only say
+///                 Maybe, and an APT Maybe against a reach Independent is
+///                 the allowed (counted) disagreement direction.
+///
+/// The batch pre-pass (`AnalyzerOptions::ReachPrepass`) resolves the
+/// byte-parity fragment of `dependenceTest` wholesale: identical-singleton
+/// Yes verdicts and overlap-witnessed Maybe verdicts whose result records
+/// are predictable to the byte. Everything else escalates to the prover
+/// untouched, which is what makes `--reach-prepass on|off` verdict-parity
+/// byte-exact (ctest-gated) — and makes the parity gate double as a
+/// soundness cross-check of the prover itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REACH_REACHENGINE_H
+#define APT_REACH_REACHENGINE_H
+
+#include "core/DepTest.h"
+#include "graph/HeapGraph.h"
+#include "reach/DyckGraph.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace apt {
+
+/// Tuning knobs for the model pool and the per-query synthesis.
+struct ReachOptions {
+  /// Enumerate all <=2-node graphs over the alphabet only when the sweep
+  /// visits at most this many candidate graphs ((N+1)^(N*|A|) growth).
+  size_t ExhaustiveBudget = 8192;
+  /// Deterministic pseudo-random larger models kept per pool (after
+  /// filtering through the axiom checker).
+  size_t RandomModels = 8;
+  /// Node count of the random models.
+  size_t RandomNodes = 5;
+  /// Candidate words enumerated per path language for targeted synthesis.
+  size_t WordsPerLanguage = 6;
+  /// Length cap for enumerated candidate words.
+  size_t MaxWordLength = 10;
+  /// Seed for the deterministic random-model generator.
+  uint32_t Seed = 0x9E3779B9u;
+};
+
+/// A replayable overlap witness: in satisfying model Model, both PathS (a
+/// word of S's language) and PathT (of T's) walk from Anchor to Vertex.
+struct ReachWitness {
+  HeapGraph Model;
+  HeapGraph::NodeId Anchor = 0;
+  Word PathS, PathT;
+  HeapGraph::NodeId Vertex = 0;
+};
+
+/// The engine's two answers; see the file comment for their asymmetry.
+enum class ReachVerdict {
+  Independent, ///< Disjoint in every consulted satisfying model (bounded).
+  Overlap,     ///< Witnessed overlap in a satisfying model.
+};
+
+const char *reachVerdictName(ReachVerdict V);
+
+/// Full answer for one path-language pair.
+struct ReachAnswer {
+  ReachVerdict Verdict = ReachVerdict::Independent;
+  std::optional<ReachWitness> Witness; ///< Set iff Verdict == Overlap.
+  /// True when the engine can certify proveEqualPaths must fail: the
+  /// languages are not both singleton words, or a satisfying countermodel
+  /// walks the two words to *different* defined vertices.
+  bool NotAlwaysEqual = false;
+  /// Models consulted (pool + synthesized) while answering.
+  size_t ModelsChecked = 0;
+};
+
+/// Running statistics, cumulative over the engine's lifetime.
+struct ReachStats {
+  uint64_t Pools = 0;        ///< Model pools materialized (per fingerprint).
+  uint64_t ModelsBuilt = 0;  ///< Satisfying models kept across all pools.
+  uint64_t Answers = 0;      ///< answer() calls.
+  uint64_t Overlaps = 0;     ///< ... that returned Overlap.
+  uint64_t PrepassYes = 0;   ///< prepass() identical-singleton Yes claims.
+  uint64_t PrepassMaybe = 0; ///< prepass() overlap-witnessed Maybe claims.
+  uint64_t PrepassMiss = 0;  ///< prepass() escalations.
+};
+
+/// The reachability engine. Not thread-safe; the batch engine consults it
+/// from its sequential prepare phase only, which also keeps the pre-pass
+/// jobs-invariant by construction.
+class ReachEngine {
+public:
+  explicit ReachEngine(const FieldTable &Fields, ReachOptions Opts = {});
+
+  /// Decides the sharing question for two path languages anchored at a
+  /// common (universally quantified) vertex under \p Axioms.
+  ReachAnswer answer(const AxiomSet &Axioms, const RegexRef &P,
+                     const RegexRef &Q);
+
+  /// The batch pre-pass fragment: returns the exact DepTestResult that
+  /// `dependenceTest(Axioms, S, T, Prover)` would produce, byte for byte,
+  /// when the pair falls in the engine's decidable fragment; std::nullopt
+  /// escalates the pair to the prover unchanged.
+  std::optional<DepTestResult> prepass(const AxiomSet &Axioms, const MemRef &S,
+                                       const MemRef &T);
+
+  /// Dyck-reachability summary of an arbitrary concrete graph (used by the
+  /// `aptc reach` subcommand); thin veneer over DyckGraph so callers need
+  /// only this header.
+  static DyckGraph summarize(const HeapGraph &G) { return DyckGraph(G); }
+
+  const ReachStats &stats() const { return Stats; }
+  const FieldTable &fields() const { return Fields; }
+
+private:
+  struct Model {
+    HeapGraph G;
+    std::unique_ptr<DyckGraph> Dyck; ///< Built lazily per model.
+  };
+  struct Pool {
+    std::vector<FieldId> Alphabet;
+    std::vector<Model> Models;
+  };
+
+  Pool &poolFor(const AxiomSet &Axioms, const std::vector<FieldId> &Alphabet);
+  /// All fields mentioned by the axioms and both query paths, sorted.
+  std::vector<FieldId> queryAlphabet(const AxiomSet &Axioms, const RegexRef &P,
+                                     const RegexRef &Q) const;
+  /// Up to Opts.WordsPerLanguage shortest words of L(R), via BFS over the
+  /// language DFA.
+  std::vector<Word> sampleWords(const RegexRef &R,
+                                const std::vector<FieldId> &Alphabet) const;
+  /// Congruence-closed realization of two words from a shared anchor.
+  /// When \p IdentifyEnds, the two endpoints are unified (a converging
+  /// overlap candidate); otherwise they start in distinct classes (a
+  /// diverging equality countermodel candidate). Always constructible.
+  static HeapGraph realizeWordPair(const Word &P, const Word &Q,
+                                   bool IdentifyEnds,
+                                   HeapGraph::NodeId &AnchorOut);
+  /// Searches one satisfying model for an anchor overlapping P and Q;
+  /// fills Witness (with words reconstructed from the product BFS) on hit.
+  bool overlapInModel(const Model &M, const RegexRef &P, const RegexRef &Q,
+                      const std::vector<FieldId> &Alphabet,
+                      ReachWitness &Witness) const;
+
+  const FieldTable &Fields;
+  ReachOptions Opts;
+  ReachStats Stats;
+  std::map<std::string, Pool> Pools; ///< Keyed by fingerprint + alphabet.
+};
+
+} // namespace apt
+
+#endif // APT_REACH_REACHENGINE_H

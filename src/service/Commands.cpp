@@ -17,6 +17,7 @@
 #include "core/ProofChecker.h"
 #include "core/Prover.h"
 #include "lint/Lint.h"
+#include "reach/ReachEngine.h"
 #include "regex/RegexParser.h"
 #include "support/Metrics.h"
 #include "support/Strings.h"
@@ -34,8 +35,8 @@
 using namespace apt;
 using namespace apt::svc;
 
-const char *const apt::svc::kSubcommands[5] = {"prove", "deps", "loops",
-                                               "dump", "lint"};
+const char *const apt::svc::kSubcommands[6] = {"prove", "deps", "loops",
+                                               "dump", "lint", "reach"};
 
 CommandIo apt::svc::stdioCommandIo() {
   CommandIo Io;
@@ -93,16 +94,20 @@ struct Ctx {
 int usage(const CommandIo &Io) {
   errf(Io,
        "usage: aptc prove <axioms-file> <pathP> <pathQ> "
-       "[--triage on|off] [--trace FILE] [--metrics-json FILE]\n"
-       "                 [--profile FILE] [--profile-folded FILE]\n"
+       "[--triage on|off] [--engine apt|reach|both]\n"
+       "                 [--trace FILE] [--metrics-json FILE] "
+       "[--profile FILE] [--profile-folded FILE]\n"
        "       aptc deps <program> [<labelS> <labelT>] "
-       "[--invariant-writes] [--triage on|off] [--jobs N] "
-       "[--stats]\n"
+       "[--invariant-writes] [--triage on|off]\n"
+       "                 [--reach-prepass on|off] "
+       "[--engine apt|reach|both] [--jobs N] [--stats]\n"
        "                 [--trace FILE] [--metrics-json FILE] "
        "[--profile FILE] [--profile-folded FILE]\n"
        "       aptc loops <program> [--invariant-writes]\n"
        "       aptc dump <program> [--invariant-writes]\n"
        "       aptc lint <axioms-or-program> [--no-models]\n"
+       "       aptc reach <axioms-file> <pathP> <pathQ> "
+       "[--metrics-json FILE]\n"
        "       aptc <subcommand> ... --connect SOCKET   "
        "(route through a running aptd; see docs/SERVICE.md)\n");
   return 2;
@@ -186,12 +191,14 @@ bool parseObsFlags(const CommandIo &Io, int &Argc, char **Argv,
   return true;
 }
 
-/// Strips a `--triage on|off` / `--triage=on|off` flag out of Argv
-/// (shared by `prove` and the program subcommands; docs/TRIAGE.md).
-/// Leaves \p TriageOn untouched when the flag is absent -- callers seed
-/// it with the default (on). Returns false on a malformed value.
-bool parseTriageFlag(const CommandIo &Io, int &Argc, char **Argv,
-                     bool &TriageOn) {
+/// Strips a `NAME on|off` / `NAME=on|off` flag out of Argv. Leaves
+/// \p Value untouched when the flag is absent -- callers seed it with
+/// their default. Returns false on a malformed value. Shared by
+/// `--triage` (docs/TRIAGE.md) and `--reach-prepass`
+/// (docs/REACHABILITY.md).
+bool parseOnOffFlag(const CommandIo &Io, int &Argc, char **Argv,
+                    const char *Name, bool &Value) {
+  size_t Len = std::strlen(Name);
   auto Remove = [&](int I, int N) {
     for (int J = I; J + N < Argc; ++J)
       Argv[J] = Argv[J + N];
@@ -199,35 +206,154 @@ bool parseTriageFlag(const CommandIo &Io, int &Argc, char **Argv,
   };
   for (int I = 0; I < Argc;) {
     const char *Arg = Argv[I];
-    if (std::strncmp(Arg, "--triage", 8) != 0 ||
-        (Arg[8] != '\0' && Arg[8] != '=')) {
+    if (std::strncmp(Arg, Name, Len) != 0 ||
+        (Arg[Len] != '\0' && Arg[Len] != '=')) {
       ++I;
       continue;
     }
-    const char *Value;
+    const char *V;
     int N;
-    if (Arg[8] == '=') {
-      Value = Arg + 9;
+    if (Arg[Len] == '=') {
+      V = Arg + Len + 1;
       N = 1;
     } else {
       if (I + 1 >= Argc) {
-        errf(Io, "error: --triage requires on|off\n");
+        errf(Io, "error: %s requires on|off\n", Name);
         return false;
       }
-      Value = Argv[I + 1];
+      V = Argv[I + 1];
       N = 2;
     }
-    if (std::strcmp(Value, "on") == 0) {
-      TriageOn = true;
-    } else if (std::strcmp(Value, "off") == 0) {
-      TriageOn = false;
+    if (std::strcmp(V, "on") == 0) {
+      Value = true;
+    } else if (std::strcmp(V, "off") == 0) {
+      Value = false;
     } else {
-      errf(Io, "error: bad --triage value '%s' (want on|off)\n", Value);
+      errf(Io, "error: bad %s value '%s' (want on|off)\n", Name, V);
       return false;
     }
     Remove(I, N);
   }
   return true;
+}
+
+bool parseTriageFlag(const CommandIo &Io, int &Argc, char **Argv,
+                     bool &TriageOn) {
+  return parseOnOffFlag(Io, Argc, Argv, "--triage", TriageOn);
+}
+
+/// Which dependence engine(s) `prove` and `deps` consult
+/// (docs/REACHABILITY.md): the derivative prover (apt, the default), the
+/// model-based reachability engine (reach), or both with a verdict
+/// cross-check (both; any conflict exits 3).
+enum class EngineSel { Apt, Reach, Both };
+
+/// Strips a `--engine apt|reach|both` / `--engine=...` flag out of Argv.
+bool parseEngineFlag(const CommandIo &Io, int &Argc, char **Argv,
+                     EngineSel &Engine) {
+  auto Remove = [&](int I, int N) {
+    for (int J = I; J + N < Argc; ++J)
+      Argv[J] = Argv[J + N];
+    Argc -= N;
+  };
+  for (int I = 0; I < Argc;) {
+    const char *Arg = Argv[I];
+    if (std::strncmp(Arg, "--engine", 8) != 0 ||
+        (Arg[8] != '\0' && Arg[8] != '=')) {
+      ++I;
+      continue;
+    }
+    const char *V;
+    int N;
+    if (Arg[8] == '=') {
+      V = Arg + 9;
+      N = 1;
+    } else {
+      if (I + 1 >= Argc) {
+        errf(Io, "error: --engine requires apt|reach|both\n");
+        return false;
+      }
+      V = Argv[I + 1];
+      N = 2;
+    }
+    if (std::strcmp(V, "apt") == 0) {
+      Engine = EngineSel::Apt;
+    } else if (std::strcmp(V, "reach") == 0) {
+      Engine = EngineSel::Reach;
+    } else if (std::strcmp(V, "both") == 0) {
+      Engine = EngineSel::Both;
+    } else {
+      errf(Io, "error: bad --engine value '%s' (want apt|reach|both)\n", V);
+      return false;
+    }
+    Remove(I, N);
+  }
+  return true;
+}
+
+/// Renders a word in the `x.f.g` surface syntax access paths print in.
+std::string wordPath(const FieldTable &Fields, const Word &W) {
+  std::string S = "x";
+  for (FieldId F : W) {
+    S += ".";
+    S += Fields.name(F);
+  }
+  return S;
+}
+
+/// Prints a replayable overlap witness: the satisfying model's size, the
+/// anchor, and the two words that walk to a common vertex (the same data
+/// the fuzz and differential suites re-walk with HeapGraph::walk).
+void printReachWitness(const CommandIo &Io, const FieldTable &Fields,
+                       const ReachWitness &W) {
+  outf(Io,
+       "witness: in a %u-node satisfying model, %s and %s both denote "
+       "node %u (anchored at node %u)\n",
+       static_cast<unsigned>(W.Model.numNodes()),
+       wordPath(Fields, W.PathS).c_str(), wordPath(Fields, W.PathT).c_str(),
+       static_cast<unsigned>(W.Vertex), static_cast<unsigned>(W.Anchor));
+}
+
+/// Shared verdict rendering for `aptc reach` and `prove --engine=reach`.
+/// Returns the exit code (0 bounded independence, 1 witnessed overlap).
+int printReachAnswer(const CommandIo &Io, const FieldTable &Fields,
+                     const RegexRef &P, const RegexRef &Q,
+                     const ReachAnswer &A) {
+  if (A.Verdict == ReachVerdict::Overlap) {
+    outf(Io, "REACH OVERLAP: x.%s and x.%s can denote a common vertex\n",
+         P->toString(Fields).c_str(), Q->toString(Fields).c_str());
+    if (A.Witness)
+      printReachWitness(Io, Fields, *A.Witness);
+    return 1;
+  }
+  outf(Io,
+       "REACH INDEPENDENT (bounded): no overlap in %u satisfying models: "
+       "forall x: x.%s <> x.%s\n",
+       static_cast<unsigned>(A.ModelsChecked), P->toString(Fields).c_str(),
+       Q->toString(Fields).c_str());
+  return 0;
+}
+
+/// True when a batch verdict is a *prover-grounded* claim the reach
+/// engine's model semantics can contradict. Triage verdicts (tiers 2/3
+/// use allocation-site and points-to provenance an arbitrary
+/// axiom-satisfying model knows nothing about) are deliberately outside
+/// this predicate, so they never count as conflicts.
+bool proverProvedNo(const DepTestResult &R) {
+  return R.Verdict == DepVerdict::No && R.Reason.rfind("proved: ", 0) == 0;
+}
+bool proverProvedYes(const DepTestResult &R) {
+  return R.Verdict == DepVerdict::Yes &&
+         R.Reason == "paths provably denote the same vertex";
+}
+
+/// True when the prepared pair falls inside the reach engine's fragment:
+/// a real path comparison (not a Direct miss) over the same type, field,
+/// and anchor handle. Everything else the engine cannot decide.
+bool reachComparable(const PreparedQuery &Prep) {
+  return !Prep.Direct && Prep.S.TypeName == Prep.T.TypeName &&
+         Prep.S.Field == Prep.T.Field &&
+         Prep.S.Path.Handle == Prep.T.Path.Handle;
 }
 
 /// RAII scope for a traced command: installs a collector and enables
@@ -372,6 +498,9 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
   bool Triage = true;
   if (!parseTriageFlag(Io, Argc, Argv, Triage))
     return 2;
+  EngineSel Engine = EngineSel::Apt;
+  if (!parseEngineFlag(Io, Argc, Argv, Engine))
+    return 2;
   if (Argc != 3)
     return usage(Io);
   bool AxiomsOk = false;
@@ -400,6 +529,17 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
   }
 
   outf(Io, "axioms:\n%s\n", Axioms.toString(Fields).c_str());
+  if (Engine == EngineSel::Reach) {
+    // Reach-only mode: no proof search at all; the model-based engine's
+    // bounded verdict is the whole answer. Trace/profile surfaces are
+    // prover-shaped, so only --metrics-json applies here.
+    ReachEngine RE(Fields);
+    ReachAnswer A = RE.answer(Axioms, P.Value, Q.Value);
+    int Exit = printReachAnswer(Io, Fields, P.Value, Q.Value, A);
+    if (!Obs.MetricsFile.empty() && !writeMetricsFile(C, Obs.MetricsFile))
+      return 2;
+    return Exit;
+  }
   TraceScope Scope(Obs.tracing(), Obs.profiling());
   Prover Prover(Fields);
   int Exit;
@@ -446,6 +586,25 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
     }
     Exit = 1;
   }
+  if (Engine == EngineSel::Both) {
+    // Cross-engine differential: a sound prover can never prove disjoint
+    // a pair the reach engine overlaps in a satisfying model. The other
+    // direction (no proof, but bounded independence) is the expected
+    // asymmetry, reported but never a conflict.
+    ReachEngine RE(Fields);
+    ReachAnswer A = RE.answer(Axioms, P.Value, Q.Value);
+    if (Proved && A.Verdict == ReachVerdict::Overlap) {
+      outf(Io, "cross-check: CONFLICT: the prover proved disjointness but "
+               "the reachability engine found an overlap witness\n");
+      if (A.Witness)
+        printReachWitness(Io, Fields, *A.Witness);
+      Exit = 3;
+    } else {
+      outf(Io, "cross-check: apt=%s reach=%s (no conflict; %u models)\n",
+           Proved ? "proved" : "maybe", reachVerdictName(A.Verdict),
+           static_cast<unsigned>(A.ModelsChecked));
+    }
+  }
   trace::Collector *Events = Obs.tracing() ? Scope.finish() : nullptr;
   if (!writeProfileFiles(Io, Obs, Events, "prove"))
     return 2;
@@ -468,6 +627,7 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
 /// them; `loops` and `dump` only honor --invariant-writes.
 struct ProgramFlags {
   AnalyzerOptions Analyzer;
+  EngineSel Engine = EngineSel::Apt;
   unsigned Jobs = 0; ///< 0 = hardware concurrency.
   bool Stats = false;
   ObsFlags Obs;
@@ -478,6 +638,11 @@ bool parseFlags(const CommandIo &Io, int &Argc, char **Argv,
   if (!parseObsFlags(Io, Argc, Argv, Flags.Obs))
     return false;
   if (!parseTriageFlag(Io, Argc, Argv, Flags.Analyzer.Triage))
+    return false;
+  if (!parseOnOffFlag(Io, Argc, Argv, "--reach-prepass",
+                      Flags.Analyzer.ReachPrepass))
+    return false;
+  if (!parseEngineFlag(Io, Argc, Argv, Flags.Engine))
     return false;
   auto Remove = [&](int I, int N) {
     for (int J = I; J + N < Argc; ++J)
@@ -523,8 +688,9 @@ bool parseFlags(const CommandIo &Io, int &Argc, char **Argv,
 /// fresh engine's first run prints the same block it always did.
 int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
   const CommandIo &Io = C.Io;
-  auto Key = std::make_pair(Flags.Analyzer.Triage,
-                            Flags.Analyzer.InvariantPreservingWrites);
+  auto Key = std::make_tuple(Flags.Analyzer.Triage,
+                             Flags.Analyzer.InvariantPreservingWrites,
+                             Flags.Analyzer.ReachPrepass);
   std::unique_ptr<BatchQueryEngine> &Slot = S.Engines[Key];
   if (!Slot) {
     BatchOptions Opts;
@@ -537,6 +703,33 @@ int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
     Slot->setJobs(Flags.Jobs);
   }
   BatchQueryEngine &Engine = *Slot;
+  if (Flags.Engine == EngineSel::Reach) {
+    // Reach-only batch: per-pair bounded verdicts from the model-based
+    // engine, no prover fan-out. Pairs outside the engine's fragment
+    // (different types, fields, or anchor handles) print "unknown".
+    ReachEngine RE(S.Fields);
+    bool AnyOverlap = false;
+    for (const BatchQuery &Q : Engine.plan()) {
+      PreparedQuery Prep =
+          Engine.engineFor(Q.Func)->prepareStatementPair(Q.LabelS, Q.LabelT);
+      const char *V = "unknown";
+      std::optional<ReachWitness> W;
+      if (reachComparable(Prep)) {
+        ReachAnswer A =
+            RE.answer(Prep.Axioms, Prep.S.Path.Path, Prep.T.Path.Path);
+        V = reachVerdictName(A.Verdict);
+        if (A.Verdict == ReachVerdict::Overlap) {
+          AnyOverlap = true;
+          W = std::move(A.Witness);
+        }
+      }
+      outf(Io, "fn %s: reach(%s, %s) = %s\n", Q.Func.c_str(),
+           Q.LabelS.c_str(), Q.LabelT.c_str(), V);
+      if (W)
+        printReachWitness(Io, S.Fields, *W);
+    }
+    return AnyOverlap ? 1 : 0;
+  }
   BatchStats StatsBase = Engine.stats();
   TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
   std::vector<BatchResult> Results = Engine.runAll();
@@ -547,6 +740,50 @@ int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
          depVerdictName(R.Result.Verdict), depKindName(R.Result.Kind),
          R.Result.Reason.c_str());
     AllNo &= R.Result.Verdict == DepVerdict::No;
+  }
+  int Exit = AllNo ? 0 : 1;
+  if (Flags.Engine == EngineSel::Both) {
+    // Three-way acceptance gate: every prover-grounded claim is replayed
+    // against the reach engine. An APT Maybe the engine bounds as
+    // independent is the allowed asymmetry (counted, never a conflict);
+    // a proved claim the engine refutes with a witness is a conflict.
+    ReachEngine RE(S.Fields);
+    uint64_t Compared = 0, ReachIndep = 0, Conflicts = 0;
+    for (const BatchResult &R : Results) {
+      const DepQueryEngine *FE = Engine.engineFor(R.Query.Func);
+      if (!FE)
+        continue;
+      PreparedQuery Prep =
+          FE->prepareStatementPair(R.Query.LabelS, R.Query.LabelT);
+      if (!reachComparable(Prep))
+        continue;
+      ++Compared;
+      ReachAnswer A =
+          RE.answer(Prep.Axioms, Prep.S.Path.Path, Prep.T.Path.Path);
+      bool Conflict =
+          (proverProvedNo(R.Result) && A.Verdict == ReachVerdict::Overlap) ||
+          (proverProvedYes(R.Result) && A.NotAlwaysEqual);
+      if (Conflict) {
+        ++Conflicts;
+        outf(Io,
+             "cross-check CONFLICT: fn %s (%s, %s): apt says '%s' but the "
+             "reachability engine disagrees\n",
+             R.Query.Func.c_str(), R.Query.LabelS.c_str(),
+             R.Query.LabelT.c_str(), R.Result.Reason.c_str());
+        if (A.Witness)
+          printReachWitness(Io, S.Fields, *A.Witness);
+      } else if (R.Result.Verdict == DepVerdict::Maybe &&
+                 A.Verdict == ReachVerdict::Independent) {
+        ++ReachIndep;
+      }
+    }
+    outf(Io,
+         "cross-check: %u pairs, %u compared, %u reach-only-independent, "
+         "%u conflicts\n",
+         static_cast<unsigned>(Results.size()), static_cast<unsigned>(Compared),
+         static_cast<unsigned>(ReachIndep), static_cast<unsigned>(Conflicts));
+    if (Conflicts)
+      Exit = 3;
   }
   if (Flags.Stats) {
     // One buffered write, after flushing the verdict stream: with stdout
@@ -572,7 +809,7 @@ int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
   if (!Flags.Obs.MetricsFile.empty() &&
       !writeMetricsFile(C, Flags.Obs.MetricsFile))
     return 2;
-  return AllNo ? 0 : 1;
+  return Exit;
 }
 
 int cmdDeps(Ctx &C, int Argc, char **Argv) {
@@ -601,6 +838,24 @@ int cmdDeps(Ctx &C, int Argc, char **Argv) {
     if (!findLabeled(F.Body, Argv[1]) || !findLabeled(F.Body, Argv[2]))
       continue;
     DepQueryEngine Engine(S->Program.Value, F, Fields, Flags.Analyzer);
+    if (Flags.Engine == EngineSel::Reach) {
+      PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
+      const char *V = "unknown";
+      std::optional<ReachWitness> W;
+      if (reachComparable(Prep)) {
+        ReachEngine RE(Fields);
+        ReachAnswer A =
+            RE.answer(Prep.Axioms, Prep.S.Path.Path, Prep.T.Path.Path);
+        V = reachVerdictName(A.Verdict);
+        if (A.Verdict == ReachVerdict::Overlap)
+          W = std::move(A.Witness);
+      }
+      outf(Io, "fn %s: reach(%s, %s) = %s\n", F.Name.c_str(), Argv[1],
+           Argv[2], V);
+      if (W)
+        printReachWitness(Io, Fields, *W);
+      return W ? 1 : 0;
+    }
     TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
     Prover P(Fields);
     DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
@@ -609,6 +864,33 @@ int cmdDeps(Ctx &C, int Argc, char **Argv) {
          R.Reason.c_str());
     if (!R.ProofText.empty())
       outf(Io, "%s", R.ProofText.c_str());
+    int Exit = R.Verdict == DepVerdict::No ? 0 : 1;
+    if (Flags.Engine == EngineSel::Both) {
+      PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
+      if (reachComparable(Prep)) {
+        ReachEngine RE(Fields);
+        ReachAnswer A =
+            RE.answer(Prep.Axioms, Prep.S.Path.Path, Prep.T.Path.Path);
+        bool Conflict =
+            (proverProvedNo(R) && A.Verdict == ReachVerdict::Overlap) ||
+            (proverProvedYes(R) && A.NotAlwaysEqual);
+        if (Conflict) {
+          outf(Io,
+               "cross-check CONFLICT: apt says '%s' but the reachability "
+               "engine disagrees\n",
+               R.Reason.c_str());
+          if (A.Witness)
+            printReachWitness(Io, Fields, *A.Witness);
+          Exit = 3;
+        } else {
+          outf(Io, "cross-check: apt=%s reach=%s (no conflict; %u models)\n",
+               depVerdictName(R.Verdict), reachVerdictName(A.Verdict),
+               static_cast<unsigned>(A.ModelsChecked));
+        }
+      } else {
+        outf(Io, "cross-check: not comparable (outside the reach fragment)\n");
+      }
+    }
     if (Flags.Stats) {
       const ProverStats &PS = P.stats();
       if (Io.FlushOut)
@@ -638,7 +920,7 @@ int cmdDeps(Ctx &C, int Argc, char **Argv) {
     if (!Flags.Obs.MetricsFile.empty() &&
         !writeMetricsFile(C, Flags.Obs.MetricsFile))
       return 2;
-    return R.Verdict == DepVerdict::No ? 0 : 1;
+    return Exit;
   }
   errf(Io, "error: no function contains both labels '%s' and '%s'\n", Argv[1],
        Argv[2]);
@@ -749,6 +1031,41 @@ int cmdLint(Ctx &C, int Argc, char **Argv) {
   return Diags.hasErrors() ? 1 : 0;
 }
 
+/// `aptc reach <axioms-file> <pathP> <pathQ>`: the model-based
+/// Dyck-reachability engine as a standalone verdict
+/// (docs/REACHABILITY.md). Exit 0 = bounded independence across every
+/// consulted satisfying model, 1 = witnessed overlap, 2 = input error.
+int cmdReach(Ctx &C, int Argc, char **Argv) {
+  const CommandIo &Io = C.Io;
+  ObsFlags Obs;
+  if (!parseObsFlags(Io, Argc, Argv, Obs))
+    return 2;
+  if (Argc != 3)
+    return usage(Io);
+  bool AxiomsOk = false;
+  Session *S = axiomSession(C, Argv[0], AxiomsOk);
+  if (!S || !AxiomsOk)
+    return 2;
+  StoreScope Stores(&S->Store);
+  FieldTable &Fields = S->Fields;
+  const AxiomSet &Axioms = S->Axioms.Axioms;
+  RegexParseResult P = parseRegex(Argv[1], Fields);
+  RegexParseResult Q = parseRegex(Argv[2], Fields);
+  if (!P || !Q) {
+    errf(Io, "error: bad path: %s\n", (!P ? P.Error : Q.Error).c_str());
+    return 2;
+  }
+  outf(Io, "axioms:\n%s\n", Axioms.toString(Fields).c_str());
+  ReachEngine RE(Fields);
+  ReachAnswer A = RE.answer(Axioms, P.Value, Q.Value);
+  int Exit = printReachAnswer(Io, Fields, P.Value, Q.Value, A);
+  outf(Io, "models checked: %u%s\n", static_cast<unsigned>(A.ModelsChecked),
+       A.NotAlwaysEqual ? " (always-equal refuted)" : "");
+  if (!Obs.MetricsFile.empty() && !writeMetricsFile(C, Obs.MetricsFile))
+    return 2;
+  return Exit;
+}
+
 int cmdDump(Ctx &C, int Argc, char **Argv) {
   const CommandIo &Io = C.Io;
   ProgramFlags Flags;
@@ -802,6 +1119,8 @@ int apt::svc::runServiceCommand(ServiceState &State,
     Exit = cmdDump(C, Argc, Argv.data());
   else if (Cmd == "lint")
     Exit = cmdLint(C, Argc, Argv.data());
+  else if (Cmd == "reach")
+    Exit = cmdReach(C, Argc, Argv.data());
   else
     return usage(Io);
 

@@ -7,7 +7,8 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The `aptc` subcommands (prove/deps/loops/dump/lint) as a library,
+/// The `aptc` subcommands (prove/deps/loops/dump/lint/reach) as a
+/// library,
 /// parameterized over output sinks and resident state. One-shot `aptc`
 /// calls runServiceCommand with stdio sinks and a ServiceState it
 /// discards afterwards; the daemon calls it with string-capturing sinks
@@ -53,7 +54,8 @@ CommandIo stdioCommandIo();
 
 /// Runs one CLI command against \p State. \p Args is the full argument
 /// vector after the program name: Args[0] is the subcommand
-/// ("prove", "deps", "loops", "dump", "lint"); the rest are its
+/// ("prove", "deps", "loops", "dump", "lint", "reach"); the rest are
+/// its
 /// arguments and flags. Returns the process exit code (0 ok, 1 verdict-
 /// level failure, 2 usage/input error). Unknown or missing subcommands
 /// print the usage text to Io.Err and return 2.
@@ -62,7 +64,7 @@ int runServiceCommand(ServiceState &State, const std::vector<std::string> &Args,
 
 /// The names runServiceCommand dispatches on, for tools that enumerate
 /// the CLI surface (tools/docs_check.py greps this table).
-extern const char *const kSubcommands[5];
+extern const char *const kSubcommands[6];
 
 } // namespace apt::svc
 

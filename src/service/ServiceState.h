@@ -51,6 +51,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <tuple>
 #include <utility>
 
 namespace apt::svc {
@@ -93,10 +94,12 @@ public:
   ProgramParseResult Program;
 
   /// Resident batch engines, keyed by the analyzer options that shape
-  /// their analyses: (Triage, InvariantPreservingWrites). Jobs is not
-  /// part of the key — verdicts are jobs-invariant, so a resident
-  /// engine serves any --jobs value via BatchQueryEngine::setJobs.
-  std::map<std::pair<bool, bool>, std::unique_ptr<BatchQueryEngine>> Engines;
+  /// their analyses: (Triage, InvariantPreservingWrites, ReachPrepass).
+  /// Jobs is not part of the key — verdicts are jobs-invariant, so a
+  /// resident engine serves any --jobs value via
+  /// BatchQueryEngine::setJobs.
+  std::map<std::tuple<bool, bool, bool>, std::unique_ptr<BatchQueryEngine>>
+      Engines;
 
   uint64_t Requests = 0; ///< Requests served against this session.
 };

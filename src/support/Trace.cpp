@@ -88,6 +88,8 @@ const char *apt::trace::spanKindName(SpanKind K) {
     return "lang_disjoint";
   case SpanKind::Triage:
     return "triage";
+  case SpanKind::Reach:
+    return "reach";
   }
   return "unknown";
 }

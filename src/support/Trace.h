@@ -101,10 +101,11 @@ enum class SpanKind : uint8_t {
   LangSubset,     ///< Uncached language subset computation.
   LangDisjoint,   ///< Uncached language disjointness computation.
   Triage,         ///< Static triage cascade run on one prepared pair.
+  Reach,          ///< Reachability pre-pass run on one prepared pair.
 };
 
 constexpr size_t NumSpanKinds =
-    static_cast<size_t>(SpanKind::Triage) + 1;
+    static_cast<size_t>(SpanKind::Reach) + 1;
 
 /// Stable lowercase identifier, e.g. "suffix_splits" (profile rule key).
 const char *spanKindName(SpanKind K);

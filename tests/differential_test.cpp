@@ -28,6 +28,8 @@
 #include "graph/AxiomChecker.h"
 #include "graph/HeapGraph.h"
 #include "ir/Parser.h"
+#include "reach/ReachEngine.h"
+#include "regex/Dfa.h"
 
 #include <gtest/gtest.h>
 
@@ -628,6 +630,135 @@ TEST(Differential, PreludeAxiomsHoldOnCanonicalModels) {
   G.setField(B, Next, Cn);
   std::optional<AxiomViolation> V = checkAxioms(G, List.Axioms, Fields);
   EXPECT_FALSE(V.has_value()) << (V ? V->Message : "");
+}
+
+//===----------------------------------------------------------------------===//
+// Three-way leg: prover vs Dyck/model engine vs bounded enumeration.
+//
+// The same generator drives all three deciders on the same (axioms, P, Q)
+// queries and the leg asserts the full soundness triangle:
+//
+//   prover No          ==> reach must NOT answer Overlap (its witness
+//                          would refute the disjointness proof);
+//   enumerated overlap ==> reach must answer Overlap: an overlap in ANY
+//                          satisfying <= 2-node graph over the query
+//                          alphabet survives projection into the engine's
+//                          exhaustive pool sweep, so a miss is a pool bug;
+//   reach Overlap      ==> the witness replays (satisfying model, equal
+//                          defined walks, words accepted by their
+//                          languages).
+//
+// The only permitted disagreement is prover Maybe against reach
+// Independent (the bounded-claim direction), which is counted, never
+// failed.
+//===----------------------------------------------------------------------===//
+
+TEST(Differential, ThreeWayEnginesAgree) {
+  const unsigned Seed = envOr("APT_DIFF_SEED", 20260805);
+  const unsigned Target =
+      std::max(1u, envOr("APT_DIFF_CASES", APT_DIFF_DEFAULT_CASES) / 2);
+  std::cout << "[differential] three-way seed=" << Seed << " cases=" << Target
+            << " (override with APT_DIFF_SEED / APT_DIFF_CASES)\n";
+
+  size_t Cases = 0, ProverNo = 0, ReachOverlaps = 0, ReachOnlyIndependent = 0;
+  unsigned Round = 0;
+  while (Cases < Target) {
+    FieldTable Fields;
+    ModelGen Gen(Fields, Seed + 2000003 * Round, 2 + Round % 2);
+    ++Round;
+    std::vector<HeapGraph> TwoNode = allTwoNodeGraphs(Gen.Alphabet);
+
+    // Mine a consistent axiom set, exactly like the prover leg.
+    HeapGraph G0 = Gen.graph(3 + Gen.pick(6));
+    StructureInfo Info;
+    Info.Name = "random";
+    Info.PointerFields = Gen.Alphabet;
+    for (int Tries = 0; Tries < 24 && Info.Axioms.size() < 6; ++Tries) {
+      Axiom A = Gen.candidate();
+      if (!checkAxiom(G0, A, Fields))
+        Info.Axioms.add(std::move(A));
+    }
+
+    // The satisfying two-node models, shared by every query this round.
+    std::vector<const HeapGraph *> Satisfying;
+    for (const HeapGraph &G : TwoNode)
+      if (!checkAxioms(G, Info.Axioms, Fields))
+        Satisfying.push_back(&G);
+
+    ProverOptions Bounded;
+    Bounded.MaxSteps = 2000;
+    Bounded.MaxDepth = 24;
+    Bounded.MaxInductionDepth = 3;
+    AptOracle Oracle(Fields, Bounded);
+    ReachEngine RE(Fields);
+
+    for (size_t I = 0; I < 8 && Cases < Target; ++I, ++Cases) {
+      RegexRef P, Q;
+      if (I % 2 == 0 || Info.Axioms.empty()) {
+        P = Gen.path(3);
+        Q = Gen.path(3);
+      } else {
+        const std::vector<Axiom> &Axs = Info.Axioms.axioms();
+        const Axiom &A = Axs[Gen.pick(Axs.size())];
+        P = A.Lhs;
+        Q = A.Rhs;
+      }
+
+      DepVerdict Apt = Oracle.mayAlias(Info, P, Q);
+      ReachAnswer Reach = RE.answer(Info.Axioms, P, Q);
+
+      auto Repro = [&](const char *What) {
+        ADD_FAILURE() << What << "\n  axioms:\n"
+                      << Info.Axioms.toString(Fields)
+                      << "  P = " << P->toString(Fields)
+                      << "\n  Q = " << Q->toString(Fields) << "\n  round "
+                      << Round - 1 << " query " << I;
+      };
+
+      // Leg 1: a disjointness proof and an overlap witness cannot
+      // coexist — one of the two engines is unsound.
+      if (Apt == DepVerdict::No) {
+        ++ProverNo;
+        if (Reach.Verdict == ReachVerdict::Overlap)
+          Repro("CONFLICT: prover proved No but reach engine has an "
+                "overlap witness");
+      } else if (Reach.Verdict == ReachVerdict::Independent) {
+        // The allowed direction: bounded independence vs prover Maybe.
+        ++ReachOnlyIndependent;
+      }
+
+      // Leg 2: bounded enumeration vs the reach engine. Any overlap in a
+      // satisfying two-node model must be found by the exhaustive pool.
+      if (Reach.Verdict == ReachVerdict::Independent) {
+        for (const HeapGraph *G : Satisfying)
+          if (overlapsSomewhere(*G, P, Q)) {
+            Repro("reach engine said Independent but a satisfying 2-node "
+                  "model overlaps");
+            break;
+          }
+      } else {
+        // Leg 3: every positive verdict carries a replayable witness.
+        ++ReachOverlaps;
+        ASSERT_TRUE(Reach.Witness.has_value());
+        const ReachWitness &W = *Reach.Witness;
+        EXPECT_FALSE(checkAxioms(W.Model, Info.Axioms, Fields).has_value());
+        auto EndS = W.Model.walk(W.Anchor, W.PathS);
+        auto EndT = W.Model.walk(W.Anchor, W.PathT);
+        ASSERT_TRUE(EndS.has_value());
+        ASSERT_EQ(EndS, EndT);
+        EXPECT_EQ(*EndS, W.Vertex);
+        EXPECT_TRUE(Dfa::fromRegex(*P, Gen.Alphabet).accepts(W.PathS));
+        EXPECT_TRUE(Dfa::fromRegex(*Q, Gen.Alphabet).accepts(W.PathT));
+      }
+    }
+  }
+
+  std::cout << "[differential] three-way: " << Cases << " cases, " << ProverNo
+            << " prover No, " << ReachOverlaps << " reach overlaps, "
+            << ReachOnlyIndependent << " reach-only-independent\n";
+  // All three outcomes must actually occur, or the leg is vacuous.
+  EXPECT_GT(ProverNo, 0u);
+  EXPECT_GT(ReachOverlaps, 0u);
 }
 
 } // namespace

@@ -1,0 +1,324 @@
+//===- tests/reach_fuzz_test.cpp - Randomized reach-engine suite ----------===//
+//
+// Part of the APT project. Fuzzes src/reach three ways:
+//
+//   1. DyckGraph's near-linear saturation against a quadratic naive
+//      fixpoint of the match rule, on random graphs of varying size,
+//      density, and alphabet;
+//   2. commonDescendantWitness against an independent set-based
+//      pair-closure (positive answers must replay, negative answers must
+//      match the closure's emptiness);
+//   3. ReachEngine on axiom sets mined from random reference graphs:
+//      every Overlap verdict must carry a witness that replays — the
+//      model satisfies the axioms, both words walk from the anchor to
+//      the same defined vertex, and each word is accepted by its path
+//      language — and every pre-pass claim must equal dependenceTest
+//      byte for byte.
+//
+// The seed is logged on every run and overridable via APT_REACH_SEED;
+// the case count via APT_REACH_CASES (the sanitizer CI jobs shrink it
+// through APT_REACH_DEFAULT_CASES).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepTest.h"
+#include "core/Prover.h"
+#include "graph/AxiomChecker.h"
+#include "graph/HeapGraph.h"
+#include "reach/ReachEngine.h"
+#include "regex/Dfa.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <numeric>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+using namespace apt;
+
+#ifndef APT_REACH_DEFAULT_CASES
+#define APT_REACH_DEFAULT_CASES 120
+#endif
+
+namespace {
+
+using NodeId = HeapGraph::NodeId;
+
+unsigned envOr(const char *Name, unsigned Default) {
+  if (const char *V = std::getenv(Name)) {
+    long N = std::strtol(V, nullptr, 10);
+    if (N > 0)
+      return static_cast<unsigned>(N);
+  }
+  return Default;
+}
+
+/// Random graphs, paths, and axiom candidates over a small alphabet
+/// (mirrors the generator of differential_test.cpp).
+struct ReachGen {
+  FieldTable &Fields;
+  std::vector<FieldId> Alphabet;
+  std::mt19937 Rng;
+
+  ReachGen(FieldTable &Fields, unsigned Seed, size_t NumFields)
+      : Fields(Fields), Rng(Seed) {
+    const char *Names[] = {"f", "g", "h"};
+    for (size_t I = 0; I < NumFields; ++I)
+      Alphabet.push_back(Fields.intern(Names[I]));
+  }
+
+  size_t pick(size_t N) { return Rng() % N; }
+
+  HeapGraph graph(size_t NumNodes, unsigned DensityPct) {
+    HeapGraph G;
+    for (size_t I = 0; I < NumNodes; ++I)
+      G.addNode();
+    for (size_t N = 0; N < NumNodes; ++N)
+      for (FieldId F : Alphabet)
+        if (Rng() % 100 < DensityPct)
+          G.setField(static_cast<NodeId>(N), F,
+                     static_cast<NodeId>(pick(NumNodes)));
+    return G;
+  }
+
+  RegexRef path(int Depth) {
+    switch (Depth <= 0 ? pick(2) : pick(8)) {
+    case 0:
+      return Regex::symbol(Alphabet[pick(Alphabet.size())]);
+    case 1:
+      return pick(4) == 0 ? Regex::epsilon()
+                          : Regex::symbol(Alphabet[pick(Alphabet.size())]);
+    case 2:
+    case 3:
+    case 4:
+      return Regex::concat(path(Depth - 1), path(Depth - 1));
+    case 5:
+      return Regex::alt(path(Depth - 1), path(Depth - 1));
+    case 6:
+      return Regex::plus(path(Depth - 1));
+    default:
+      return Regex::star(path(Depth - 1));
+    }
+  }
+
+  Axiom candidate() {
+    Axiom A;
+    switch (pick(3)) {
+    case 0:
+      A.Form = AxiomForm::SameOriginDisjoint;
+      break;
+    case 1:
+      A.Form = AxiomForm::DiffOriginDisjoint;
+      break;
+    default:
+      A.Form = AxiomForm::Equal;
+      break;
+    }
+    A.Lhs = path(2);
+    A.Rhs = path(2);
+    return A;
+  }
+
+  /// An axiom set a random reference graph actually satisfies, so it is
+  /// consistent by construction.
+  AxiomSet minedAxioms(size_t MaxAxioms) {
+    HeapGraph Ref = graph(4 + pick(3), 50);
+    AxiomSet Axioms;
+    for (size_t Tries = 0; Tries < 4 * MaxAxioms && Axioms.size() < MaxAxioms;
+         ++Tries) {
+      Axiom A = candidate();
+      if (!checkAxiom(Ref, A, Fields))
+        Axioms.add(std::move(A));
+    }
+    return Axioms;
+  }
+};
+
+/// Naive quadratic fixpoint of the match rule (independent of DyckGraph's
+/// worklist saturation; same reference as reach_test.cpp).
+std::vector<NodeId> naiveDyckClasses(const HeapGraph &G) {
+  std::vector<NodeId> UF(G.numNodes());
+  std::iota(UF.begin(), UF.end(), 0);
+  std::function<NodeId(NodeId)> Find = [&](NodeId N) {
+    while (UF[N] != N) {
+      UF[N] = UF[UF[N]];
+      N = UF[N];
+    }
+    return N;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId U = 0; U < G.numNodes(); ++U)
+      for (const auto &[FU, X] : G.out(U))
+        for (NodeId V = 0; V < G.numNodes(); ++V)
+          for (const auto &[FV, Y] : G.out(V)) {
+            if (FU != FV || Find(X) != Find(Y) || Find(U) == Find(V))
+              continue;
+            UF[Find(U)] = Find(V);
+            Changed = true;
+          }
+  }
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    UF[N] = Find(N);
+  return UF;
+}
+
+/// Independent ground truth for R(U, V): the set-based closure of node
+/// pairs reachable from (U, V) by stepping both sides through the same
+/// field. R holds iff the closure meets the diagonal. No worklist, no
+/// witness reconstruction — deliberately unlike the implementation.
+bool sameWordDescendantExists(const HeapGraph &G, NodeId U, NodeId V) {
+  std::set<std::pair<NodeId, NodeId>> Closure{{U, V}};
+  bool Grew = true;
+  while (Grew) {
+    Grew = false;
+    std::vector<std::pair<NodeId, NodeId>> Next;
+    for (auto [A, B] : Closure) {
+      if (A == B)
+        return true;
+      for (const auto &[F, X] : G.out(A))
+        if (auto Y = G.field(B, F))
+          Next.emplace_back(X, *Y);
+    }
+    for (auto P : Next)
+      Grew |= Closure.insert(P).second;
+  }
+  return false;
+}
+
+TEST(ReachFuzz, DyckMatchesNaiveFixpoint) {
+  unsigned Seed = envOr("APT_REACH_SEED", 20260808);
+  unsigned Cases = envOr("APT_REACH_CASES", APT_REACH_DEFAULT_CASES);
+  std::cout << "reach-fuzz seed " << Seed << " (" << Cases << " cases)\n";
+  for (unsigned Case = 0; Case < Cases; ++Case) {
+    FieldTable Fields;
+    ReachGen Gen(Fields, Seed + 7919 * Case, 1 + Case % 3);
+    HeapGraph G = Gen.graph(1 + Gen.pick(8), 25 + 25 * (Case % 4));
+    DyckGraph D(G);
+    std::vector<NodeId> Ref = naiveDyckClasses(G);
+    size_t RefClasses = 0;
+    for (NodeId N = 0; N < G.numNodes(); ++N)
+      RefClasses += Ref[N] == N;
+    EXPECT_EQ(D.numClasses(), RefClasses) << "case " << Case;
+    for (NodeId U = 0; U < G.numNodes(); ++U)
+      for (NodeId V = 0; V < G.numNodes(); ++V)
+        ASSERT_EQ(D.mayShare(U, V), Ref[U] == Ref[V])
+            << "case " << Case << " nodes " << U << " " << V;
+  }
+}
+
+TEST(ReachFuzz, WitnessMatchesPairClosure) {
+  unsigned Seed = envOr("APT_REACH_SEED", 20260808);
+  unsigned Cases = envOr("APT_REACH_CASES", APT_REACH_DEFAULT_CASES);
+  unsigned Witnessed = 0, Refuted = 0;
+  for (unsigned Case = 0; Case < Cases; ++Case) {
+    FieldTable Fields;
+    ReachGen Gen(Fields, Seed ^ (0x51ed2700u + Case), 1 + Case % 3);
+    HeapGraph G = Gen.graph(2 + Gen.pick(6), 30 + 20 * (Case % 3));
+    DyckGraph D(G);
+    for (unsigned Pair = 0; Pair < 10; ++Pair) {
+      NodeId U = static_cast<NodeId>(Gen.pick(G.numNodes()));
+      NodeId V = static_cast<NodeId>(Gen.pick(G.numNodes()));
+      auto W = DyckGraph::commonDescendantWitness(G, U, V);
+      bool Truth = sameWordDescendantExists(G, U, V);
+      ASSERT_EQ(W.has_value(), Truth)
+          << "case " << Case << " nodes " << U << " " << V;
+      if (!W) {
+        ++Refuted;
+        continue;
+      }
+      ++Witnessed;
+      // The witness replays: same defined endpoint from both nodes.
+      auto EndU = G.walk(U, *W), EndV = G.walk(V, *W);
+      ASSERT_TRUE(EndU.has_value());
+      ASSERT_EQ(EndU, EndV);
+      // And R implies D: the saturation must have merged the pair.
+      EXPECT_TRUE(D.mayShare(U, V));
+    }
+  }
+  // The generator must exercise both outcomes, or the suite is vacuous.
+  EXPECT_GT(Witnessed, Cases / 4);
+  EXPECT_GT(Refuted, Cases / 4);
+}
+
+TEST(ReachFuzz, OverlapVerdictsCarryReplayableWitnesses) {
+  unsigned Seed = envOr("APT_REACH_SEED", 20260808);
+  unsigned Cases = envOr("APT_REACH_CASES", APT_REACH_DEFAULT_CASES);
+  unsigned Rounds = 1 + Cases / 12;
+  unsigned Overlaps = 0, Independents = 0;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    FieldTable Fields;
+    ReachGen Gen(Fields, Seed + 104729 * Round, 2 + Round % 2);
+    AxiomSet Axioms = Gen.minedAxioms(4);
+    ReachEngine RE(Fields);
+    for (unsigned Q = 0; Q < 8; ++Q) {
+      RegexRef P1 = Gen.path(2), P2 = Gen.path(2);
+      ReachAnswer A = RE.answer(Axioms, P1, P2);
+      if (A.Verdict == ReachVerdict::Independent) {
+        ++Independents;
+        EXPECT_FALSE(A.Witness.has_value());
+        continue;
+      }
+      ++Overlaps;
+      ASSERT_TRUE(A.Witness.has_value()) << "round " << Round << " q " << Q;
+      const ReachWitness &W = *A.Witness;
+      // (a) The model satisfies every axiom the claim is made under.
+      EXPECT_FALSE(checkAxioms(W.Model, Axioms, Fields).has_value());
+      // (b) Both words walk from the anchor to the same defined vertex.
+      auto EndS = W.Model.walk(W.Anchor, W.PathS);
+      auto EndT = W.Model.walk(W.Anchor, W.PathT);
+      ASSERT_TRUE(EndS.has_value());
+      ASSERT_EQ(EndS, EndT);
+      EXPECT_EQ(*EndS, W.Vertex);
+      // (c) Each word belongs to its path language.
+      EXPECT_TRUE(Dfa::fromRegex(*P1, Gen.Alphabet).accepts(W.PathS));
+      EXPECT_TRUE(Dfa::fromRegex(*P2, Gen.Alphabet).accepts(W.PathT));
+    }
+  }
+  std::cout << "reach-fuzz engine: " << Overlaps << " overlaps, "
+            << Independents << " independents over " << Rounds << " rounds\n";
+  EXPECT_GT(Overlaps, 0u);
+}
+
+TEST(ReachFuzz, PrepassClaimsMatchDependenceTest) {
+  unsigned Seed = envOr("APT_REACH_SEED", 20260808);
+  unsigned Cases = envOr("APT_REACH_CASES", APT_REACH_DEFAULT_CASES);
+  unsigned Rounds = 1 + Cases / 12;
+  unsigned Claimed = 0, Escalated = 0;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    FieldTable Fields;
+    ReachGen Gen(Fields, Seed ^ (0xa11ce5u + 31 * Round), 2 + Round % 2);
+    AxiomSet Axioms = Gen.minedAxioms(4);
+    ReachEngine RE(Fields);
+    Prover P(Fields);
+    FieldId Val = Fields.intern("val");
+    for (unsigned Q = 0; Q < 8; ++Q) {
+      MemRef S{"T", Val, AccessPath("x", Gen.path(1 + Q % 2)),
+               Gen.pick(2) == 0};
+      MemRef T{"T", Val, AccessPath("x", Gen.path(1 + Q % 2)),
+               Gen.pick(2) == 0};
+      auto Claim = RE.prepass(Axioms, S, T);
+      if (!Claim) {
+        ++Escalated;
+        continue;
+      }
+      ++Claimed;
+      DepTestResult Ref = dependenceTest(Axioms, S, T, P);
+      ASSERT_EQ(Claim->Verdict, Ref.Verdict) << "round " << Round << " q " << Q;
+      ASSERT_EQ(Claim->Kind, Ref.Kind) << "round " << Round << " q " << Q;
+      ASSERT_EQ(Claim->Reason, Ref.Reason) << "round " << Round << " q " << Q;
+      ASSERT_EQ(Claim->ProofText, Ref.ProofText)
+          << "round " << Round << " q " << Q;
+    }
+  }
+  std::cout << "reach-fuzz prepass: " << Claimed << " claimed, " << Escalated
+            << " escalated\n";
+  EXPECT_GT(Claimed, 0u);
+}
+
+} // namespace

@@ -1,0 +1,435 @@
+//===- tests/reach_test.cpp - Dyck saturation and the reach engine --------===//
+//
+// Part of the APT project; covers src/reach. The DyckGraph cases pin the
+// saturation semantics on hand-computed structures (the GraphBuilders
+// shapes are all merge-free; the adversarial graphs are not), and the
+// ReachEngine cases pin the witness contract and the byte-parity fragment
+// of the batch pre-pass.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/DepTest.h"
+#include "core/Prelude.h"
+#include "core/Prover.h"
+#include "graph/AxiomChecker.h"
+#include "graph/GraphBuilders.h"
+#include "reach/ReachEngine.h"
+#include "regex/Dfa.h"
+#include "regex/RegexParser.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+using namespace apt;
+
+namespace {
+
+using NodeId = HeapGraph::NodeId;
+
+/// Reference implementation of the Dyck relation: iterate the match rule
+/// (u.f = x, v.f = y, D(x, y) => D(u, v)) to a fixpoint with a plain
+/// union-find. Quadratic per pass, but obviously correct.
+std::vector<NodeId> naiveDyckClasses(const HeapGraph &G) {
+  std::vector<NodeId> UF(G.numNodes());
+  std::iota(UF.begin(), UF.end(), 0);
+  std::function<NodeId(NodeId)> Find = [&](NodeId N) {
+    while (UF[N] != N) {
+      UF[N] = UF[UF[N]];
+      N = UF[N];
+    }
+    return N;
+  };
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (NodeId U = 0; U < G.numNodes(); ++U)
+      for (const auto &[FU, X] : G.out(U))
+        for (NodeId V = 0; V < G.numNodes(); ++V)
+          for (const auto &[FV, Y] : G.out(V)) {
+            if (FU != FV || Find(X) != Find(Y) || Find(U) == Find(V))
+              continue;
+            UF[Find(U)] = Find(V);
+            Changed = true;
+          }
+  }
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    UF[N] = Find(N);
+  return UF;
+}
+
+/// True when \p D and the naive fixpoint induce the same partition.
+void expectMatchesNaive(const HeapGraph &G, const DyckGraph &D) {
+  std::vector<NodeId> Ref = naiveDyckClasses(G);
+  for (NodeId U = 0; U < G.numNodes(); ++U)
+    for (NodeId V = 0; V < G.numNodes(); ++V)
+      EXPECT_EQ(D.mayShare(U, V), Ref[U] == Ref[V])
+          << "nodes " << U << " and " << V;
+}
+
+class ReachTest : public ::testing::Test {
+protected:
+  FieldTable Fields;
+
+  RegexRef parse(std::string_view Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    EXPECT_TRUE(R) << "parse of '" << Text << "': " << R.Error;
+    return R.Value;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// DyckGraph saturation on the canonical builders (all merge-free).
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReachTest, LinkedListAllSingletons) {
+  BuiltStructure L = buildLinkedList(Fields, 6);
+  DyckGraph D(L.Graph);
+  EXPECT_EQ(D.numClasses(), L.Graph.numNodes());
+  EXPECT_EQ(D.mergeSteps(), 0u);
+  EXPECT_FALSE(D.mayShare(0, 1));
+  EXPECT_TRUE(D.mayShare(3, 3));
+  expectMatchesNaive(L.Graph, D);
+}
+
+TEST_F(ReachTest, CircularListAllSingletons) {
+  // next is injective around the ring, so no two nodes merge even though
+  // every node is reachable from every other.
+  BuiltStructure L = buildCircularList(Fields, 5);
+  DyckGraph D(L.Graph);
+  EXPECT_EQ(D.numClasses(), L.Graph.numNodes());
+  expectMatchesNaive(L.Graph, D);
+}
+
+TEST_F(ReachTest, BinaryTreeAllSingletons) {
+  BuiltStructure T = buildBinaryTree(Fields, 3);
+  DyckGraph D(T.Graph);
+  EXPECT_EQ(D.numClasses(), T.Graph.numNodes());
+  expectMatchesNaive(T.Graph, D);
+}
+
+TEST_F(ReachTest, LeafLinkedTreeAllSingletons) {
+  // L, R, and N are each injective (Figure 3's axioms hold concretely),
+  // so the saturation never fires.
+  BuiltStructure T = buildLeafLinkedTree(Fields, 3);
+  DyckGraph D(T.Graph);
+  EXPECT_EQ(D.numClasses(), T.Graph.numNodes());
+  EXPECT_EQ(D.mergeSteps(), 0u);
+  expectMatchesNaive(T.Graph, D);
+}
+
+TEST_F(ReachTest, BuildersMatchNaiveFixpoint) {
+  BuiltStructure M = buildSparseMatrixGraph(Fields, {{0, 0}, {0, 2}, {1, 1}});
+  expectMatchesNaive(M.Graph, DyckGraph(M.Graph));
+  BuiltStructure R = buildRangeTree2D(Fields, 2, 1);
+  expectMatchesNaive(R.Graph, DyckGraph(R.Graph));
+  BuiltStructure O = buildOctree(Fields, 1, 2);
+  expectMatchesNaive(O.Graph, DyckGraph(O.Graph));
+}
+
+//===----------------------------------------------------------------------===//
+// Adversarial graphs: merges, self-loops, field mismatches.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReachTest, DiamondMergesParents) {
+  // a.next = c and b.next = c: the match rule relates a and b.
+  FieldId Next = Fields.intern("next");
+  HeapGraph G;
+  NodeId A = G.addNode(), B = G.addNode(), C = G.addNode();
+  G.setField(A, Next, C);
+  G.setField(B, Next, C);
+  DyckGraph D(G);
+  EXPECT_TRUE(D.mayShare(A, B));
+  EXPECT_FALSE(D.mayShare(A, C));
+  EXPECT_EQ(D.numClasses(), 2u);
+  EXPECT_EQ(D.mergeSteps(), 1u);
+  expectMatchesNaive(G, D);
+}
+
+TEST_F(ReachTest, FieldMismatchDoesNotMerge) {
+  // a.f = c and b.g = c share a child but not a field: unrelated.
+  FieldId F = Fields.intern("f"), Gf = Fields.intern("g");
+  HeapGraph G;
+  NodeId A = G.addNode(), B = G.addNode(), C = G.addNode();
+  G.setField(A, F, C);
+  G.setField(B, Gf, C);
+  DyckGraph D(G);
+  EXPECT_FALSE(D.mayShare(A, B));
+  EXPECT_EQ(D.numClasses(), 3u);
+  expectMatchesNaive(G, D);
+}
+
+TEST_F(ReachTest, SelfLoops) {
+  FieldId F = Fields.intern("f");
+  {
+    // u.f = u alone: one node, one class, no merge (u is its own single
+    // parent via f).
+    HeapGraph G;
+    NodeId U = G.addNode();
+    G.setField(U, F, U);
+    DyckGraph D(G);
+    EXPECT_EQ(D.numClasses(), 1u);
+    EXPECT_EQ(D.mergeSteps(), 0u);
+  }
+  {
+    // u.f = w, w.f = w: both point into class(w) via f, so u and w merge.
+    HeapGraph G;
+    NodeId U = G.addNode(), W = G.addNode();
+    G.setField(U, F, W);
+    G.setField(W, F, W);
+    DyckGraph D(G);
+    EXPECT_TRUE(D.mayShare(U, W));
+    EXPECT_EQ(D.numClasses(), 1u);
+    expectMatchesNaive(G, D);
+  }
+}
+
+TEST_F(ReachTest, MergesPropagateUpward) {
+  // x.f = c, y.f = c merges {x, y}; then u.g = x, v.g = y point into the
+  // merged class via g, so {u, v} merges too.
+  FieldId F = Fields.intern("f"), Gf = Fields.intern("g");
+  HeapGraph G;
+  NodeId U = G.addNode(), V = G.addNode(), X = G.addNode(), Y = G.addNode(),
+         C = G.addNode();
+  G.setField(X, F, C);
+  G.setField(Y, F, C);
+  G.setField(U, Gf, X);
+  G.setField(V, Gf, Y);
+  DyckGraph D(G);
+  EXPECT_TRUE(D.mayShare(X, Y));
+  EXPECT_TRUE(D.mayShare(U, V));
+  EXPECT_FALSE(D.mayShare(U, X));
+  EXPECT_EQ(D.numClasses(), 3u);
+  EXPECT_EQ(D.mergeSteps(), 2u);
+  expectMatchesNaive(G, D);
+}
+
+//===----------------------------------------------------------------------===//
+// commonDescendantWitness: the exact same-word relation R under D.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReachTest, WitnessOnDiamond) {
+  FieldId Next = Fields.intern("next");
+  HeapGraph G;
+  NodeId A = G.addNode(), B = G.addNode(), C = G.addNode();
+  G.setField(A, Next, C);
+  G.setField(B, Next, C);
+  auto W = DyckGraph::commonDescendantWitness(G, A, B);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(*W, Word{Next});
+  EXPECT_EQ(G.walk(A, *W), G.walk(B, *W));
+}
+
+TEST_F(ReachTest, WitnessAbsentOnLists) {
+  BuiltStructure L = buildLinkedList(Fields, 5);
+  EXPECT_FALSE(DyckGraph::commonDescendantWitness(L.Graph, 0, 1).has_value());
+  BuiltStructure C = buildCircularList(Fields, 5);
+  // The ring keeps the two cursors a constant distance apart forever.
+  EXPECT_FALSE(DyckGraph::commonDescendantWitness(C.Graph, 0, 1).has_value());
+}
+
+TEST_F(ReachTest, WitnessOnSameNodeIsEmptyWord) {
+  BuiltStructure L = buildLinkedList(Fields, 3);
+  auto W = DyckGraph::commonDescendantWitness(L.Graph, 2, 2);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_TRUE(W->empty());
+}
+
+TEST_F(ReachTest, WitnessImpliesMayShare) {
+  // R is contained in D: wherever the product BFS finds a witness, the
+  // saturation must have merged the pair.
+  FieldId F = Fields.intern("f"), Gf = Fields.intern("g");
+  HeapGraph G;
+  NodeId U = G.addNode(), V = G.addNode(), A = G.addNode(), B = G.addNode(),
+         C = G.addNode();
+  G.setField(U, F, A);
+  G.setField(V, F, B);
+  G.setField(A, Gf, C);
+  G.setField(B, Gf, C);
+  DyckGraph D(G);
+  auto W = DyckGraph::commonDescendantWitness(G, U, V);
+  ASSERT_TRUE(W.has_value());
+  EXPECT_EQ(G.walk(U, *W), G.walk(V, *W));
+  EXPECT_TRUE(D.mayShare(U, V));
+}
+
+TEST_F(ReachTest, MayShareWithoutWitness) {
+  // D is strictly coarser than R: u ~ v (via f) and v ~ w (via g) put u
+  // and w in one class by transitivity, yet no single word is defined
+  // from both u and w.
+  FieldId F = Fields.intern("f"), Gf = Fields.intern("g");
+  HeapGraph G;
+  NodeId U = G.addNode(), V = G.addNode(), W = G.addNode(), C = G.addNode(),
+         E = G.addNode();
+  G.setField(U, F, C);
+  G.setField(V, F, C);
+  G.setField(V, Gf, E);
+  G.setField(W, Gf, E);
+  DyckGraph D(G);
+  EXPECT_TRUE(D.mayShare(U, W));
+  EXPECT_FALSE(DyckGraph::commonDescendantWitness(G, U, W).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// ReachEngine: answers, witnesses, and the pre-pass fragment.
+//===----------------------------------------------------------------------===//
+
+TEST_F(ReachTest, IdenticalWordsOverlapTrivially) {
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  ReachAnswer A = RE.answer(Empty, parse("N"), parse("N"));
+  EXPECT_EQ(A.Verdict, ReachVerdict::Overlap);
+  ASSERT_TRUE(A.Witness.has_value());
+  // Identical singleton words always denote one vertex: the engine must
+  // NOT certify NotAlwaysEqual (proveEqualPaths succeeds on this pair).
+  EXPECT_FALSE(A.NotAlwaysEqual);
+  auto End = A.Witness->Model.walk(A.Witness->Anchor, A.Witness->PathS);
+  ASSERT_TRUE(End.has_value());
+  EXPECT_EQ(*End, A.Witness->Vertex);
+  EXPECT_EQ(A.Witness->Model.walk(A.Witness->Anchor, A.Witness->PathT), End);
+}
+
+TEST_F(ReachTest, PrefixPairRefutesAlwaysEqual) {
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  ReachAnswer A = RE.answer(Empty, parse("N"), parse("N.N"));
+  EXPECT_TRUE(A.NotAlwaysEqual);
+}
+
+TEST_F(ReachTest, ProvenDisjointPairIsIndependent) {
+  // The §3.3 worked example: the prover proves L.L.N <> L.R.N, so no
+  // satisfying model may overlap them. The bounded engine must agree.
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  ReachEngine RE(Fields);
+  ReachAnswer A = RE.answer(LLT.Axioms, parse("L.L.N"), parse("L.R.N"));
+  EXPECT_EQ(A.Verdict, ReachVerdict::Independent);
+  EXPECT_GT(A.ModelsChecked, 0u);
+}
+
+TEST_F(ReachTest, WitnessModelSatisfiesAxioms) {
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  ReachEngine RE(Fields);
+  ReachAnswer A = RE.answer(LLT.Axioms, parse("N"), parse("N"));
+  ASSERT_EQ(A.Verdict, ReachVerdict::Overlap);
+  ASSERT_TRUE(A.Witness.has_value());
+  EXPECT_FALSE(checkAxioms(A.Witness->Model, LLT.Axioms, Fields).has_value());
+}
+
+TEST_F(ReachTest, StarLanguageOverlap) {
+  // L(next*) and L(next.next*) share every word of length >= 1; the
+  // sampled-word synthesis must find one even with no pool hit.
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  ReachAnswer A = RE.answer(Empty, parse("next*"), parse("next.next*"));
+  EXPECT_EQ(A.Verdict, ReachVerdict::Overlap);
+  ASSERT_TRUE(A.Witness.has_value());
+  // The witness words must come from the right languages.
+  std::vector<FieldId> Alphabet{Fields.intern("next")};
+  Dfa DP = Dfa::fromRegex(*parse("next*"), Alphabet);
+  Dfa DQ = Dfa::fromRegex(*parse("next.next*"), Alphabet);
+  EXPECT_TRUE(DP.accepts(A.Witness->PathS));
+  EXPECT_TRUE(DQ.accepts(A.Witness->PathT));
+}
+
+TEST_F(ReachTest, StatsAccumulate) {
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  (void)RE.answer(Empty, parse("f"), parse("g"));
+  (void)RE.answer(Empty, parse("f"), parse("f"));
+  EXPECT_EQ(RE.stats().Answers, 2u);
+  EXPECT_GE(RE.stats().Pools, 1u);
+  EXPECT_GE(RE.stats().Overlaps, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pre-pass byte parity against the real dependenceTest.
+//===----------------------------------------------------------------------===//
+
+MemRef memref(FieldTable &Fields, const char *Type, const char *Fld,
+              const char *Handle, RegexRef Path, bool IsWrite) {
+  return MemRef{Type, Fields.intern(Fld), AccessPath(Handle, std::move(Path)),
+                IsWrite};
+}
+
+void expectByteParity(FieldTable &Fields, const AxiomSet &Axioms,
+                      const MemRef &S, const MemRef &T,
+                      const DepTestResult &Claim) {
+  Prover P(Fields);
+  DepTestResult Ref = dependenceTest(Axioms, S, T, P);
+  EXPECT_EQ(Claim.Verdict, Ref.Verdict);
+  EXPECT_EQ(Claim.Kind, Ref.Kind);
+  EXPECT_EQ(Claim.Reason, Ref.Reason);
+  EXPECT_EQ(Claim.ProofText, Ref.ProofText);
+}
+
+TEST_F(ReachTest, PrepassEscalatesOutsideFragment) {
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  RegexRef N = parse("next");
+  // Kind None: neither side writes.
+  EXPECT_FALSE(RE.prepass(Empty, memref(Fields, "List", "val", "a", N, false),
+                          memref(Fields, "List", "val", "a", N, false))
+                   .has_value());
+  // Type, field, and handle mismatches all escalate.
+  EXPECT_FALSE(RE.prepass(Empty, memref(Fields, "List", "val", "a", N, true),
+                          memref(Fields, "Tree", "val", "a", N, false))
+                   .has_value());
+  EXPECT_FALSE(RE.prepass(Empty, memref(Fields, "List", "val", "a", N, true),
+                          memref(Fields, "List", "key", "a", N, false))
+                   .has_value());
+  EXPECT_FALSE(RE.prepass(Empty, memref(Fields, "List", "val", "a", N, true),
+                          memref(Fields, "List", "val", "b", N, false))
+                   .has_value());
+  EXPECT_EQ(RE.stats().PrepassMiss, 4u);
+}
+
+TEST_F(ReachTest, PrepassYesMatchesDependenceTest) {
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  MemRef S = memref(Fields, "List", "val", "a", parse("next"), true);
+  MemRef T = memref(Fields, "List", "val", "a", parse("next"), false);
+  auto Claim = RE.prepass(Empty, S, T);
+  ASSERT_TRUE(Claim.has_value());
+  EXPECT_EQ(Claim->Verdict, DepVerdict::Yes);
+  EXPECT_EQ(Claim->Kind, DepKind::Flow);
+  expectByteParity(Fields, Empty, S, T, *Claim);
+}
+
+TEST_F(ReachTest, PrepassMaybeMatchesDependenceTest) {
+  AxiomSet Empty;
+  ReachEngine RE(Fields);
+  MemRef S = memref(Fields, "List", "val", "a", parse("next*"), true);
+  MemRef T = memref(Fields, "List", "val", "a", parse("next"), true);
+  auto Claim = RE.prepass(Empty, S, T);
+  ASSERT_TRUE(Claim.has_value());
+  EXPECT_EQ(Claim->Verdict, DepVerdict::Maybe);
+  EXPECT_EQ(Claim->Kind, DepKind::Output);
+  expectByteParity(Fields, Empty, S, T, *Claim);
+}
+
+TEST_F(ReachTest, PrepassMaybeUnderRealAxioms) {
+  // Same fragment, but under the leaf-linked tree axioms: the witness
+  // model must satisfy them, and the claimed Maybe must still equal the
+  // prover's verdict byte for byte.
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  ReachEngine RE(Fields);
+  MemRef S = memref(Fields, "Tree", "val", "t", parse("N*"), true);
+  MemRef T = memref(Fields, "Tree", "val", "t", parse("N"), false);
+  auto Claim = RE.prepass(LLT.Axioms, S, T);
+  ASSERT_TRUE(Claim.has_value());
+  EXPECT_EQ(Claim->Verdict, DepVerdict::Maybe);
+  expectByteParity(Fields, LLT.Axioms, S, T, *Claim);
+}
+
+TEST_F(ReachTest, PrepassNeverClaimsProvablePairs) {
+  // L.L.N vs L.R.N is provably disjoint: the pre-pass has no Overlap
+  // witness (none exists) and must escalate, never guess.
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  ReachEngine RE(Fields);
+  MemRef S = memref(Fields, "Tree", "val", "t", parse("L.L.N"), true);
+  MemRef T = memref(Fields, "Tree", "val", "t", parse("L.R.N"), false);
+  EXPECT_FALSE(RE.prepass(LLT.Axioms, S, T).has_value());
+}
+
+} // namespace

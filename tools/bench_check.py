@@ -49,6 +49,15 @@ and additionally fails if the plain warm throughput drops more than
 --tolerance below the checked-in BENCH_profile.baseline.json (self-seeds
 like langops mode).
 
+`reach` runs the BM_BatchReach* family of bench/reach_scaling
+(Experiment E11) and gates the whole-graph reachability pre-pass
+(docs/REACHABILITY.md): on the E11 workload the pre-pass must answer at
+least --answer-rate (default 30%) of the pairs that reach it
+(reach_answered / prover_bound, read off the BM_BatchReachWarm/1 user
+counters), and the pre-pass-on warm throughput must not drop more than
+--tolerance below the checked-in BENCH_reach.baseline.json (self-seeds
+like langops mode).
+
 --record-only skips all comparisons (and baseline seeding) entirely --
 sanitizer builds use it, since asan/tsan timings say nothing about the
 engines being measured.
@@ -89,6 +98,17 @@ TRIAGE_RUNS = [
     "BM_BatchTriageWarm/1",
     "BM_BatchTriageMiss/0",
     "BM_BatchTriageMiss/1",
+]
+
+# Reach mode: warm answer-rate pair (pre-pass off /0 and on /1) plus the
+# cold scaling runs at 1, 2, and 4 worker threads (docs/REACHABILITY.md).
+REACH_FILTER = "BM_BatchReach(Warm/[01]|Cold/[124])$"
+REACH_RUNS = [
+    "BM_BatchReachWarm/0",
+    "BM_BatchReachWarm/1",
+    "BM_BatchReachCold/1",
+    "BM_BatchReachCold/2",
+    "BM_BatchReachCold/4",
 ]
 
 
@@ -470,15 +490,97 @@ def run_triage(args):
     return 1 if failed else 0
 
 
+def reach_runs(report):
+    """Per-run min wall seconds, best items/second, and user counters."""
+    times = {}
+    items = {}
+    counters = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        if name not in REACH_RUNS:
+            continue
+        real = b.get("real_time")
+        if real is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        seconds = float(real) * {"ns": 1e-9, "us": 1e-6,
+                                 "ms": 1e-3, "s": 1.0}[unit]
+        if name not in times or seconds < times[name]:
+            times[name] = seconds
+        ips = b.get("items_per_second")
+        if ips is not None:
+            items[name] = max(items.get(name, 0.0), float(ips))
+        if "reach_answered" in b:
+            counters[name] = (float(b["reach_answered"]),
+                              float(b.get("prover_bound", 0.0)))
+    missing = [r for r in REACH_RUNS if r not in times]
+    if missing:
+        sys.stderr.write("bench_check: report is missing reach runs %s\n"
+                         % missing)
+        sys.exit(2)
+    return times, items, counters
+
+
+def run_reach(args):
+    report = run_benchmark(args.bench, args.min_time, REACH_FILTER,
+                           repetitions=args.repetitions)
+    times, items, counters = reach_runs(report)
+
+    answered, bound = counters.get("BM_BatchReachWarm/1", (0.0, 0.0))
+    answer_rate = answered / bound if bound else 0.0
+
+    result = {
+        "benchmark": "BM_BatchReach*",
+        "reach_answered_pairs": answered,
+        "prover_bound_pairs": bound,
+        "answer_rate": answer_rate,
+        "warm_on_items_per_second": items.get("BM_BatchReachWarm/1", 0.0),
+        "warm_off_items_per_second": items.get("BM_BatchReachWarm/0", 0.0),
+        "cold_jobs1_seconds": times["BM_BatchReachCold/1"],
+        "cold_jobs2_seconds": times["BM_BatchReachCold/2"],
+        "cold_jobs4_seconds": times["BM_BatchReachCold/4"],
+        "repetitions": args.repetitions,
+        "host": report.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+    }
+    write_result(args.out, result)
+    print("bench_check: reach answer rate %.0f%% (%d of %d pairs), "
+          "cold 1/2/4 jobs %.3f/%.3f/%.3f s -> %s"
+          % (100.0 * answer_rate, int(answered), int(bound),
+             times["BM_BatchReachCold/1"], times["BM_BatchReachCold/2"],
+             times["BM_BatchReachCold/4"], args.out))
+
+    if args.record_only:
+        print("bench_check: --record-only, comparison skipped")
+        return 0
+
+    failed = False
+    if answer_rate < args.answer_rate:
+        sys.stderr.write(
+            "bench_check: reach answer rate %.0f%% is below the %.0f%% "
+            "floor on the E11 workload\n"
+            % (100.0 * answer_rate, 100.0 * args.answer_rate))
+        failed = True
+
+    if compare_baseline(result, args.baseline,
+                        ("warm_on_items_per_second",), args.tolerance):
+        failed = True
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--mode",
-                    choices=("langops", "profile", "triage", "service"),
+                    choices=("langops", "profile", "triage", "service",
+                             "reach"),
                     default="langops",
                     help="langops gates language-engine throughput; "
                     "profile gates timed-tracing overhead; triage gates "
                     "the static cascade's kill rate and miss tax; service "
-                    "gates the snapshot warm-start win")
+                    "gates the snapshot warm-start win; reach gates the "
+                    "reachability pre-pass answer rate")
     ap.add_argument("--bench", required=True,
                     help="path to the benchmark binary")
     ap.add_argument("--out", required=True,
@@ -504,6 +606,9 @@ def main():
     ap.add_argument("--overhead-miss", type=float, default=0.05,
                     help="triage mode: allowed cascade tax on the "
                     "all-escalate workload (default .05)")
+    ap.add_argument("--answer-rate", type=float, default=0.30,
+                    help="reach mode: minimum fraction of prover-bound "
+                    "pairs the pre-pass must answer (default .30)")
     ap.add_argument("--warm-ratio", type=float, default=0.60,
                     help="service mode: maximum warm-start cost as a "
                     "fraction of the cold rebuild (default .60)")
@@ -517,6 +622,8 @@ def main():
         return run_triage(args)
     if args.mode == "service":
         return run_service(args)
+    if args.mode == "reach":
+        return run_reach(args)
     return run_langops(args)
 
 

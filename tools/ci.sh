@@ -14,6 +14,11 @@
 #   tsan      build-tsan/     -DAPT_SANITIZE=thread (exercises the
 #                             trace-ring flush hammer and the parallel
 #                             batch engine under TSan)
+#   coverage  build-cov/      -DAPT_COVERAGE=ON: runs only the
+#                             coverage_gate_reach ctest, which executes
+#                             the reach/graph unit suites itself and
+#                             enforces the 80% line-coverage floor over
+#                             src/reach and src/graph
 #   service   build/ + build-asan/: builds both trees and runs only the
 #                             service-stack ctests in each -- the
 #                             aptc --connect sample-suite parity check
@@ -24,9 +29,12 @@
 #                             daemon's resident-state paths that a
 #                             one-shot run never holds long enough to hit.
 #
-# Every leg runs the full ctest suite of its tree. Python-based checks
-# (docs_check, metrics_schema_check, bench_check) are ctests, so they
-# ride along automatically.
+# Every leg except `coverage` runs the full ctest suite of its tree.
+# Python-based checks (docs_check, metrics_schema_check, bench_check,
+# reach_parity_check) and the reach suites (reach_test, reach_fuzz_test,
+# the three-way differential leg) are ctests, so the default, asan, and
+# tsan legs pick them up automatically -- the sanitizer trees at reduced
+# randomized-case counts (tests/CMakeLists.txt).
 #
 # Usage: tools/ci.sh [leg ...]
 
@@ -51,6 +59,14 @@ run_service_leg() {
   done
 }
 
+run_coverage_leg() {
+  local dir="build-cov"
+  echo "== ci.sh: leg 'coverage' -> $dir -DAPT_COVERAGE=ON"
+  cmake -B "$ROOT/$dir" -S "$ROOT" -DAPT_COVERAGE=ON
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  ctest --test-dir "$ROOT/$dir" --output-on-failure -R coverage_gate_reach
+}
+
 run_leg() {
   local leg="$1" dir flags
   case "$leg" in
@@ -59,7 +75,9 @@ run_leg() {
     asan)    dir="build-asan";    flags="-DAPT_SANITIZE=address" ;;
     tsan)    dir="build-tsan";    flags="-DAPT_SANITIZE=thread" ;;
     service) run_service_leg; return ;;
-    *) echo "ci.sh: unknown leg '$leg' (default|notrace|asan|tsan|service)" >&2
+    coverage) run_coverage_leg; return ;;
+    *) echo "ci.sh: unknown leg '$leg'" \
+            "(default|notrace|asan|tsan|service|coverage)" >&2
        exit 2 ;;
   esac
   echo "== ci.sh: leg '$leg' -> $dir $flags"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Reach-engine parity and cross-check gate.
+
+Two contracts over the checked-in samples (docs/REACHABILITY.md):
+
+1. Pre-pass parity: `aptc deps <sample> --reach-prepass on` must produce
+   byte-identical stdout and the same exit code as `--reach-prepass off`,
+   at --jobs 1 and --jobs 4. The pre-pass only answers pairs whose
+   DepTestResult is predictable to the byte, so any divergence is a
+   soundness or formatting bug.
+
+2. Cross-check gate: `--engine both` must report zero APT-vs-reach
+   conflicts -- on `deps` over every .apt sample and on `prove` over a
+   built-in pair list per .axioms sample (the same pairs the CLI smoke
+   tests use). A conflict exits 3: a disjointness proof coexisting with
+   an overlap witness, i.e. one engine is unsound. The asymmetric
+   "reach-only-independent" disagreement is allowed and not a failure.
+
+Exit status: 0 when every run agrees, 1 otherwise. No third-party
+dependencies.
+
+Usage: tools/reach_parity_check.py <aptc-binary> <samples-dir>
+"""
+
+import glob
+import os
+import subprocess
+import sys
+
+# Pairs to cross-check per axioms sample: provable, unprovable, and
+# identical-path shapes so both verdict directions are exercised.
+PROVE_PAIRS = {
+    "leaf_linked_tree.axioms": [
+        ("L.L.N", "L.R.N"),
+        ("L.L.N.N", "L.R.N"),
+        ("N", "N"),
+    ],
+    "sparse_matrix.axioms": [
+        ("ncolE+", "nrowE+.ncolE+"),
+        ("nrowE*", "nrowE*"),
+    ],
+}
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, timeout=300)
+    return proc.returncode, proc.stdout
+
+
+def check_prepass_parity(aptc, samples):
+    failures = 0
+    for sample in samples:
+        name = os.path.basename(sample)
+        for jobs in (1, 4):
+            runs = {}
+            for mode in ("off", "on"):
+                runs[mode] = run([aptc, "deps", sample, "--jobs", str(jobs),
+                                  f"--reach-prepass={mode}"])
+            (off_code, off_out), (on_code, on_out) = runs["off"], runs["on"]
+            if off_code != on_code:
+                print(f"FAIL {name} --jobs {jobs}: exit {off_code} (off) "
+                      f"vs {on_code} (on)")
+                failures += 1
+            elif off_out != on_out:
+                print(f"FAIL {name} --jobs {jobs}: verdict streams differ")
+                for line_off, line_on in zip(off_out.splitlines(),
+                                             on_out.splitlines()):
+                    if line_off != line_on:
+                        print(f"  off: {line_off.decode(errors='replace')}")
+                        print(f"  on:  {line_on.decode(errors='replace')}")
+                        break
+                failures += 1
+            else:
+                print(f"ok   {name} --jobs {jobs}: {off_code} exit, "
+                      f"{len(off_out)} bytes identical")
+    return failures
+
+
+def check_cross_engine(aptc, samples_dir, apt_samples):
+    failures = 0
+    for sample in apt_samples:
+        name = os.path.basename(sample)
+        code, out = run([aptc, "deps", sample, "--engine", "both"])
+        if code == 3 or b" 0 conflicts" not in out:
+            print(f"FAIL deps {name} --engine both: exit {code}")
+            sys.stdout.buffer.write(out)
+            failures += 1
+        else:
+            print(f"ok   deps {name} --engine both: 0 conflicts")
+    for name, pairs in sorted(PROVE_PAIRS.items()):
+        axioms = os.path.join(samples_dir, name)
+        if not os.path.exists(axioms):
+            print(f"FAIL missing sample {name}")
+            failures += 1
+            continue
+        for p, q in pairs:
+            code, out = run([aptc, "prove", axioms, p, q, "--engine", "both"])
+            if code == 3 or b"CONFLICT" in out:
+                print(f"FAIL prove {name} '{p}' '{q}': exit {code}")
+                sys.stdout.buffer.write(out)
+                failures += 1
+            else:
+                print(f"ok   prove {name} '{p}' '{q}': no conflict")
+    return failures
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    aptc, samples_dir = sys.argv[1], sys.argv[2]
+    apt_samples = sorted(glob.glob(os.path.join(samples_dir, "*.apt")))
+    if not apt_samples:
+        print(f"error: no .apt samples under {samples_dir}", file=sys.stderr)
+        return 1
+
+    failures = check_prepass_parity(aptc, apt_samples)
+    failures += check_cross_engine(aptc, samples_dir, apt_samples)
+    print(f"reach parity: {'FAIL' if failures else 'ok'} "
+          f"({failures} failures)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
