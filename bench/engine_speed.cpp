@@ -1,0 +1,210 @@
+//===- bench/engine_speed.cpp - Experiment E12: raw-speed engine pass -----===//
+//
+// Part of the APT project. Measures the raw-speed engine pass -- arena
+// allocation (support/Arena.h), the bit-parallel subset kernel
+// (regex/Subset.h), thread-local product scratch, and the zero-
+// allocation warm query path -- against the classic representations
+// they replaced:
+//
+//  * BM_EngineWarm/{0,1}: warm batch throughput (store pre-warmed, a
+//    fresh LangQuery per batch, exactly the E9 pool of
+//    bench/langops_scaling so the numbers are directly comparable to
+//    BENCH_langops.baseline.json), with the bit-parallel kernel off (0)
+//    and on (1). tools/bench_check.py gates the on-variant at
+//    --warm-factor (default 1.3x) over the langops baseline's
+//    overhauled throughput.
+//  * BM_EngineCold/{0,1}: cold end-to-end cost -- store rebuilt per
+//    batch over a construction-heavy pool (the E9 pairs plus
+//    Myhill-Nerode blowup families, where subset construction and
+//    Hopcroft dominate). The on-variant must beat the off-variant by
+//    --cold-speedup (default 1.15x).
+//
+// Peak RSS (getrusage) and the process-wide arena high-water mark are
+// exported as user counters and recorded into BENCH_engine.json; the
+// bench_smoke_engine ctest fails regressions against the checked-in
+// BENCH_engine.baseline.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/LangOps.h"
+#include "regex/Minimize.h"
+#include "regex/RegexParser.h"
+#include "support/Arena.h"
+
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <sys/resource.h>
+#include <utility>
+#include <vector>
+
+using namespace apt;
+
+namespace {
+
+/// The E9 pool, bit for bit (bench/langops_scaling.cpp): the same fixed
+/// rows and the same seeded generated tail, so warm throughput here is
+/// comparable with the BENCH_langops baseline trajectory.
+struct PairPool {
+  FieldTable Fields;
+  std::vector<std::pair<RegexRef, RegexRef>> Pairs;
+
+  PairPool() {
+    const char *Fixed[][2] = {
+        {"L.L.N", "L.R.N"},
+        {"L.N", "R.N"},
+        {"eps", "(L|R|N)+"},
+        {"L.L.N.N", "L.R.N"},
+        {"(L|R)*.N", "(L|R)*.N.N"},
+        {"(L|R)+.N", "N.(L|R)+"},
+        {"ncolE+", "nrowE+.ncolE+"},
+        {"relem.ncolE*", "nrowH.relem.ncolE*"},
+        {"ncolE+", "ncolE+"},
+        {"rows.(nrowH)*.relem", "rows.nrowH+.relem.ncolE+"},
+        {"(nrowH|relem)*.ncolE", "relem.(ncolE|nrowE)*"},
+        {"rows.relem.ncolE*.val", "rows.nrowH.relem.ncolE*.val"},
+    };
+    for (auto &Row : Fixed)
+      Pairs.emplace_back(parseRegex(Row[0], Fields).Value,
+                         parseRegex(Row[1], Fields).Value);
+
+    std::vector<FieldId> Alpha;
+    for (const char *Name : {"L", "R", "N", "ncolE", "nrowE"})
+      Alpha.push_back(Fields.intern(Name));
+    std::mt19937 Rng(20260805);
+    std::function<RegexRef(int)> Gen = [&](int Depth) -> RegexRef {
+      unsigned Pick = Rng() % (Depth <= 0 ? 5 : 9);
+      if (Pick < 5)
+        return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+      switch (Pick % 4) {
+      case 0:
+        return Regex::concat(Gen(Depth - 1), Gen(Depth - 1));
+      case 1:
+        return Regex::alt(Gen(Depth - 1), Gen(Depth - 1));
+      case 2:
+        return Regex::star(Gen(Depth - 1));
+      default:
+        return Regex::plus(Gen(Depth - 1));
+      }
+    };
+    while (Pairs.size() < 48)
+      Pairs.emplace_back(Gen(3), Gen(3));
+  }
+};
+
+PairPool &pool() {
+  static PairPool P;
+  return P;
+}
+
+/// Construction-heavy extension for the cold runs: Myhill-Nerode blowup
+/// families ((a|b)*.a.(a|b)^n has a 2^(n+1)-state minimal DFA) plus long
+/// chains whose Thompson NFAs span multiple 64-bit words. Subset
+/// construction and Hopcroft dominate these end to end, which is what
+/// the bit-parallel kernel is for.
+struct ColdPool {
+  std::vector<std::pair<RegexRef, RegexRef>> Pairs;
+
+  ColdPool() {
+    FieldTable &Fields = pool().Fields;
+    auto Parse = [&](const std::string &Text) {
+      return parseRegex(Text, Fields).Value;
+    };
+    for (size_t N : {4, 5, 6}) {
+      std::string Blow = "(L|R)*.L";
+      for (size_t I = 0; I < N; ++I)
+        Blow += ".(L|R)";
+      Pairs.emplace_back(Parse(Blow), Parse("(L|R)*.R.(L|R)"));
+    }
+    std::string Chain = "(L|R)";
+    for (int I = 0; I < 23; ++I)
+      Chain += ".(L|R)";
+    Pairs.emplace_back(Parse(Chain + ".N*"), Parse(Chain + ".N+"));
+    Pairs.insert(Pairs.end(), pool().Pairs.begin(), pool().Pairs.end());
+  }
+};
+
+ColdPool &coldPool() {
+  static ColdPool P;
+  return P;
+}
+
+uint64_t runBatch(const std::vector<std::pair<RegexRef, RegexRef>> &Pairs,
+                  const LangOptions &Opts, MinDfaStore *Store) {
+  LangQuery Q(Opts);
+  Q.attachDfaStore(Store);
+  uint64_t Negatives = 0;
+  for (const auto &[A, B] : Pairs) {
+    Negatives += !Q.subsetOf(A, B);
+    Negatives += !Q.disjoint(A, B);
+  }
+  return Negatives;
+}
+
+double peakRssKb() {
+  struct rusage Ru;
+  if (getrusage(RUSAGE_SELF, &Ru) != 0)
+    return 0.0;
+  return static_cast<double>(Ru.ru_maxrss); // KiB on Linux.
+}
+
+/// Warm throughput on the E9 pool; range(0) toggles the bit-parallel
+/// kernel. Warm batches share the thread-local product scratch and the
+/// interned store, so this is the engine's steady-state query path.
+void BM_EngineWarm(benchmark::State &State) {
+  LangOptions Opts;
+  Opts.BitParallel = State.range(0) != 0;
+  MinDfaStore Store(16);
+  uint64_t Negatives = runBatch(pool().Pairs, Opts, &Store);
+
+  for (auto _ : State) {
+    uint64_t N = runBatch(pool().Pairs, Opts, &Store);
+    benchmark::DoNotOptimize(N);
+    if (N != Negatives)
+      State.SkipWithError("verdict checksum changed between batches");
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(pool().Pairs.size()) * 2 *
+                          State.iterations());
+  State.counters["negatives"] = static_cast<double>(Negatives);
+  State.counters["store_entries"] = static_cast<double>(Store.size());
+  State.counters["peak_rss_kb"] = peakRssKb();
+  State.counters["arena_high_water"] =
+      static_cast<double>(Arena::statsSnapshot().HighWaterMax);
+  State.SetLabel(Opts.BitParallel ? "warm, bit-parallel kernel"
+                                  : "warm, classic subset construction");
+}
+BENCHMARK(BM_EngineWarm)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+/// Cold end-to-end: the store is rebuilt per batch over the
+/// construction-heavy pool, so every iteration pays Thompson, subset
+/// construction, Hopcroft, and interning.
+void BM_EngineCold(benchmark::State &State) {
+  LangOptions Opts;
+  Opts.BitParallel = State.range(0) != 0;
+  uint64_t Expect = 0;
+  {
+    MinDfaStore Store(16);
+    Expect = runBatch(coldPool().Pairs, Opts, &Store);
+  }
+  for (auto _ : State) {
+    MinDfaStore Store(16);
+    uint64_t N = runBatch(coldPool().Pairs, Opts, &Store);
+    benchmark::DoNotOptimize(N);
+    if (N != Expect)
+      State.SkipWithError("verdict checksum changed between batches");
+  }
+  State.SetItemsProcessed(static_cast<int64_t>(coldPool().Pairs.size()) * 2 *
+                          State.iterations());
+  State.counters["negatives"] = static_cast<double>(Expect);
+  State.counters["peak_rss_kb"] = peakRssKb();
+  State.SetLabel(Opts.BitParallel
+                     ? "cold, bit-parallel kernel + arena scratch"
+                     : "cold, classic subset construction");
+}
+BENCHMARK(BM_EngineCold)->DenseRange(0, 1)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

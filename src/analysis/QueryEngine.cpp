@@ -9,6 +9,7 @@
 #include "parallel/ThreadPool.h"
 #include "reach/ReachEngine.h"
 #include "regex/Minimize.h"
+#include "support/Arena.h"
 #include "support/Metrics.h"
 #include "support/Trace.h"
 
@@ -345,6 +346,7 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     R.counter("apt.prover.alt_splits").add(RunProver.AltSplits);
     R.counter("apt.prover.inductions").add(RunProver.Inductions);
     R.counter("apt.prover.budget_exhausted").add(RunProver.BudgetExhausted);
+    R.counter("apt.prover.verdict_memo_hits").add(RunProver.VerdictMemoHits);
     R.counter("apt.lang.queries")
         .add(RunLang.SubsetQueries + RunLang.DisjointQueries);
     R.counter("apt.lang.cache_hits").add(RunLang.CacheHits);
@@ -356,6 +358,16 @@ BatchQueryEngine::run(const std::vector<BatchQuery> &Queries) {
     R.counter("apt.lang.alphabet_symbols").add(RunLang.AlphabetSymbols);
     R.counter("apt.lang.alphabet_classes").add(RunLang.AlphabetClasses);
     R.counter("apt.lang.product_states").add(RunLang.ProductStatesExplored);
+    // Process-wide arena accounting (support/Arena.h): cumulative alloc
+    // traffic plus the worst per-arena high-water mark, so memory use of
+    // the automata kernels is visible on the --metrics-json surface.
+    ArenaStatsSnapshot Mem = Arena::statsSnapshot();
+    R.gauge("apt.mem.arena_allocs").set(Mem.Allocs);
+    R.gauge("apt.mem.arena_bytes").set(Mem.Bytes);
+    R.gauge("apt.mem.arena_blocks").set(Mem.Blocks);
+    R.gauge("apt.mem.arena_block_bytes").set(Mem.BlockBytes);
+    R.gauge("apt.mem.arena_high_water").set(Mem.HighWaterMax);
+    R.gauge("apt.mem.arena_enabled").set(Arena::enabledGlobal() ? 1 : 0);
     R.gauge("apt.batch.jobs").set(Jobs);
     R.histogram("apt.batch.run_wall_ms")
         .observe(static_cast<uint64_t>(RunWallMs));

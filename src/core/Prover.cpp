@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <set>
@@ -30,6 +31,7 @@ Prover::Prover(const FieldTable &Fields, ProverOptions Opts)
 
 void Prover::resetCaches() {
   GoalCache.clear();
+  VerdictMemo.clear();
   InProgress.clear();
   ActiveHyps.clear();
   EqMemoValid = false;
@@ -115,16 +117,40 @@ const Axiom *Prover::findFormB(const AxiomSet &Axioms, const RegexRef &Sp,
 //===----------------------------------------------------------------------===//
 
 size_t Prover::axiomSetFingerprint(const AxiomSet &Axioms) {
-  std::vector<std::string> Keys;
-  Keys.reserve(Axioms.size());
-  for (const Axiom &A : Axioms.axioms())
-    Keys.push_back(std::string(1, static_cast<char>('0' + static_cast<int>(
-                                      A.Form))) +
-                   A.Lhs->key() + "\x1f" + A.Rhs->key());
-  std::sort(Keys.begin(), Keys.end());
-  size_t Seed = Keys.size();
-  for (const std::string &K : Keys)
-    hashCombine(Seed, std::hash<std::string>()(K));
+  // Allocation-free and order-independent: each axiom hashes to a 64-bit
+  // value (FNV over form + the interned regex keys, finalized with an
+  // avalanche mix), and the per-axiom hashes combine commutatively. The
+  // previous scheme materialized and sorted one string per axiom on
+  // every call -- on the warm path that was the last mandatory heap
+  // traffic in proveDisjoint.
+  auto Feed = [](uint64_t H, const char *P, size_t N) {
+    for (size_t I = 0; I < N; ++I) {
+      H ^= static_cast<unsigned char>(P[I]);
+      H *= 0x100000001b3ULL;
+    }
+    return H;
+  };
+  uint64_t Sum = 0, Xor = 0;
+  for (const Axiom &A : Axioms.axioms()) {
+    uint64_t H = 0xcbf29ce484222325ULL;
+    char Form = static_cast<char>('0' + static_cast<int>(A.Form));
+    H = Feed(H, &Form, 1);
+    H = Feed(H, A.Lhs->key().data(), A.Lhs->key().size());
+    H = Feed(H, "\x1f", 1);
+    H = Feed(H, A.Rhs->key().data(), A.Rhs->key().size());
+    // Finalize per axiom so the commutative combine below still mixes
+    // well (fmix64 of MurmurHash3).
+    H ^= H >> 33;
+    H *= 0xff51afd7ed558ccdULL;
+    H ^= H >> 33;
+    H *= 0xc4ceb9fe1a85ec53ULL;
+    H ^= H >> 33;
+    Sum += H;
+    Xor ^= H;
+  }
+  size_t Seed = Axioms.size();
+  hashCombine(Seed, static_cast<size_t>(Sum));
+  hashCombine(Seed, static_cast<size_t>(Xor));
   return Seed;
 }
 
@@ -133,6 +159,30 @@ bool Prover::proveDisjoint(const AxiomSet &Axioms, const RegexRef &P,
   assert(P && Q && "null access path regex");
   RegexRef NP = P, NQ = Q;
   CurrentAxiomFp = axiomSetFingerprint(Axioms);
+  if (Opts.MemoizeVerdicts) {
+    // Whole-verdict memo: a repeat of a settled top-level query skips
+    // normalization and the goal search. The key is built in a reused
+    // buffer and the stored proof is re-shared, so a hit performs no
+    // heap allocation (tests/engine_perf_test.cpp pins this).
+    char FpBuf[2 * sizeof(size_t) + 1];
+    int FpLen = std::snprintf(FpBuf, sizeof(FpBuf), "%zx", CurrentAxiomFp);
+    VerdictKeyBuf.assign(FpBuf, static_cast<size_t>(FpLen));
+    VerdictKeyBuf += '\x1d';
+    VerdictKeyBuf += P->key();
+    VerdictKeyBuf += '\x1f';
+    VerdictKeyBuf += Q->key();
+    auto It = VerdictMemo.find(VerdictKeyBuf);
+    if (It != VerdictMemo.end()) {
+      ++Stats.VerdictMemoHits;
+      Root = It->second.Proof;
+      if (APT_TRACE_ENABLED && trace::enabled()) {
+        uint64_t TraceQuery = trace::beginQuery(
+            std::hash<std::string>{}(P->key() + "\x1f" + Q->key()));
+        trace::endQuery(TraceQuery, It->second.Ok);
+      }
+      return It->second.Ok;
+    }
+  }
   if (Opts.NormalizePaths) {
     // Language-preserving shrinking, then canonicalization of
     // singleton-word paths through the equality axioms (so that e.g.
@@ -166,6 +216,11 @@ bool Prover::proveDisjoint(const AxiomSet &Axioms, const RegexRef &P,
   if (Ok && Node)
     Root = std::move(Node);
   trace::endQuery(TraceQuery, Ok);
+  // Verdicts influenced by budget/depth cutoffs are context-dependent
+  // (a later call with warmer caches could do better); only settled
+  // answers are memoized, mirroring the goal cache's poisoning rule.
+  if (Opts.MemoizeVerdicts && (Ok || !Poisoned))
+    VerdictMemo.emplace(VerdictKeyBuf, VerdictEntry{Ok, Root});
   return Ok;
 }
 

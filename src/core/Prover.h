@@ -97,6 +97,13 @@ struct ProverOptions {
   /// via the form-3 equality axioms, so that e.g. `next.next.prev`
   /// enters the proof as `next` and cycle-crossing queries succeed.
   bool NormalizePaths = true;
+
+  /// Memoize whole proveDisjoint verdicts (keyed by axiom fingerprint and
+  /// the raw query keys). A repeated top-level query then skips
+  /// normalization and the goal search entirely and touches no heap --
+  /// the warm-path contract of tests/engine_perf_test.cpp. Goal-level
+  /// caching (EnableGoalCache) is unaffected.
+  bool MemoizeVerdicts = true;
 };
 
 /// Aggregate counters exposed for tests and the complexity benchmarks.
@@ -110,6 +117,8 @@ struct ProverStats {
   uint64_t AltSplits = 0;
   uint64_t Inductions = 0;
   uint64_t BudgetExhausted = 0;
+  /// Top-level proveDisjoint calls answered by the verdict memo.
+  uint64_t VerdictMemoHits = 0;
 
   /// Component-wise sum, used by the batch engine to merge per-worker
   /// prover counters on quiesce.
@@ -121,6 +130,7 @@ struct ProverStats {
     AltSplits += O.AltSplits;
     Inductions += O.Inductions;
     BudgetExhausted += O.BudgetExhausted;
+    VerdictMemoHits += O.VerdictMemoHits;
     return *this;
   }
 };
@@ -252,7 +262,20 @@ private:
   /// cycle cut influenced the current subtree; such failures are
   /// context-dependent and are not cached.
   bool Poisoned = false;
-  std::unique_ptr<ProofNode> Root;
+  /// Shared so the verdict memo below can retain the proof of a memoized
+  /// query: a memo hit re-publishes the stored tree here without copying
+  /// or re-proving.
+  std::shared_ptr<ProofNode> Root;
+
+  /// Whole-query verdict memo (Opts.MemoizeVerdicts): fp + '\x1d' + raw
+  /// P/Q keys -> verdict and proof. KeyBuf is reused so warm hits do not
+  /// allocate.
+  struct VerdictEntry {
+    bool Ok = false;
+    std::shared_ptr<ProofNode> Proof;
+  };
+  std::unordered_map<std::string, VerdictEntry> VerdictMemo;
+  std::string VerdictKeyBuf;
 };
 
 } // namespace apt

@@ -6,6 +6,8 @@
 
 #include "regex/Alphabet.h"
 
+#include "regex/Subset.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -60,11 +62,26 @@ AlphabetPartition AlphabetPartition::build(const Nfa &N, bool Compress) {
   return P;
 }
 
-ClassDfa ClassDfa::build(const Regex &R, bool Compress) {
+ClassDfa ClassDfa::build(const Regex &R, bool Compress, bool BitParallel) {
   Nfa N = Nfa::build(R);
   ClassDfa Out;
   Out.Part = AlphabetPartition::build(N, Compress);
   const size_t NumClasses = Out.Part.NumClasses;
+
+  if (BitParallel) {
+    // The ClassRep vector doubles as the kernel's column list: the other
+    // class's kNoRepField slot is exactly the kernel's "no edges" marker,
+    // so the empty subset (the sink) is always reached and interned.
+    SubsetResult Res =
+        subsetConstruct(N, Out.Part.ClassRep.data(), NumClasses);
+    Out.Transitions = std::move(Res.Transitions);
+    Out.Accepting = std::move(Res.Accepting);
+    Out.Start = Res.Start;
+    Out.Sink = Res.EmptySet;
+    assert(Out.Sink != UINT32_MAX && !Out.Accepting[Out.Sink] &&
+           "the other class always reaches the empty subset");
+    return Out;
+  }
 
   // Subset construction, identical in shape to Dfa::fromNfa but stepping
   // once per class: all fields of a class share their NFA edge set, so the

@@ -73,8 +73,12 @@ struct AlphabetPartition {
 class ClassDfa {
 public:
   /// Compiles \p R via its Thompson NFA, running subset construction over
-  /// classes instead of raw symbols.
-  static ClassDfa build(const Regex &R, bool Compress);
+  /// classes instead of raw symbols. \p BitParallel selects the
+  /// word-parallel kernel (Subset.h); false runs the classic sorted-vector
+  /// construction kept as the differential-test reference. Both produce
+  /// the identical automaton (same state numbering).
+  static ClassDfa build(const Regex &R, bool Compress,
+                        bool BitParallel = true);
 
   const AlphabetPartition &partition() const { return Part; }
   size_t numStates() const { return Accepting.size(); }
@@ -88,6 +92,11 @@ public:
   uint32_t step(uint32_t State, uint32_t Class) const {
     return Transitions[State * Part.NumClasses + Class];
   }
+
+  /// Raw row-major [state][class] transition table; lets minimization
+  /// feed Hopcroft without copying the table entry by entry.
+  const uint32_t *transitionsData() const { return Transitions.data(); }
+  const std::vector<bool> &acceptingStates() const { return Accepting; }
 
   /// True if the automaton accepts \p W; fields outside the partition run
   /// through the other class (and therefore into the sink).

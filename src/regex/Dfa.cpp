@@ -6,6 +6,8 @@
 
 #include "regex/Dfa.h"
 
+#include "regex/Subset.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
@@ -21,13 +23,24 @@ int Dfa::alphabetIndex(FieldId F) const {
   return static_cast<int>(It - Alphabet.begin());
 }
 
-Dfa Dfa::fromRegex(const Regex &R, const std::vector<FieldId> &Alphabet) {
-  return fromNfa(Nfa::build(R), Alphabet);
+Dfa Dfa::fromRegex(const Regex &R, const std::vector<FieldId> &Alphabet,
+                   bool BitParallel) {
+  return fromNfa(Nfa::build(R), Alphabet, BitParallel);
 }
 
-Dfa Dfa::fromNfa(const Nfa &N, const std::vector<FieldId> &Alphabet) {
+Dfa Dfa::fromNfa(const Nfa &N, const std::vector<FieldId> &Alphabet,
+                 bool BitParallel) {
   assert(std::is_sorted(Alphabet.begin(), Alphabet.end()) &&
          "alphabet must be sorted");
+  if (BitParallel) {
+    SubsetResult R = subsetConstruct(N, Alphabet.data(), Alphabet.size());
+    Dfa Out;
+    Out.Alphabet = Alphabet;
+    Out.Transitions = std::move(R.Transitions);
+    Out.Accepting = std::move(R.Accepting);
+    Out.Start = R.Start;
+    return Out;
+  }
   Dfa Out;
   Out.Alphabet = Alphabet;
   const size_t NumSyms = Alphabet.size();

@@ -36,10 +36,15 @@ class Dfa {
 public:
   /// Builds the complete DFA for \p R over \p Alphabet (sorted, unique).
   /// Every symbol of \p R must be in \p Alphabet.
-  static Dfa fromRegex(const Regex &R, const std::vector<FieldId> &Alphabet);
+  static Dfa fromRegex(const Regex &R, const std::vector<FieldId> &Alphabet,
+                       bool BitParallel = true);
 
-  /// Subset construction from \p N over \p Alphabet.
-  static Dfa fromNfa(const Nfa &N, const std::vector<FieldId> &Alphabet);
+  /// Subset construction from \p N over \p Alphabet. \p BitParallel
+  /// selects the word-parallel kernel (Subset.h); false runs the classic
+  /// sorted-vector construction kept as the differential-test reference.
+  /// Both produce the identical automaton (same state numbering).
+  static Dfa fromNfa(const Nfa &N, const std::vector<FieldId> &Alphabet,
+                     bool BitParallel = true);
 
   /// Product automaton over the (shared) alphabet. Accepting states are the
   /// pairs where both (\p RequireBoth) or either operand accepts.

@@ -44,7 +44,7 @@ static std::vector<FieldId> unionAlphabet(const RegexRef &A,
 
 std::shared_ptr<const ClassDfa> LangQuery::operandDfa(const RegexRef &R) {
   auto Build = [&]() -> ClassDfa {
-    ClassDfa D = ClassDfa::build(*R, Opts.CompressAlphabet);
+    ClassDfa D = ClassDfa::build(*R, Opts.CompressAlphabet, Opts.BitParallel);
     ++Counters.DfaBuilt;
     Counters.DfaStatesBuilt += D.numStates();
     if (Opts.MinimizeDfas)
@@ -84,26 +84,66 @@ struct PairAlphabet {
   size_t UnionSymbols = 0;
 };
 
-PairAlphabet pairAlphabet(const ClassDfa &A, const ClassDfa &B) {
+/// Per-thread scratch for the pair search. Worker threads of the batch
+/// engine answer thousands of products; keeping the buffers thread-local
+/// means a warm product reuses the last one's capacity instead of
+/// reallocating, and the flat id table below is cleared by epoch stamp
+/// (one increment) rather than by refill.
+struct ProductScratch {
+  PairAlphabet PA;
+  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
+  std::vector<int32_t> Parent, ParentSym;
+  /// Flat (SA * NumB + SB) -> pair id table, valid where StampOf matches
+  /// Epoch. Used when the full pair space fits the threshold below;
+  /// larger products fall back to the hash map.
+  std::vector<uint32_t> IdOf;
+  std::vector<uint32_t> StampOf;
+  uint32_t Epoch = 0;
+  std::unordered_map<uint64_t, uint32_t> Ids;
+
+  /// Pair spaces up to this many entries use the flat table (4 MiB of
+  /// stamps+ids at the limit); beyond it the table would cost more to
+  /// mint than the hash map saves.
+  static constexpr size_t kFlatLimit = size_t(1) << 19;
+};
+
+thread_local ProductScratch ProdScratch;
+
+void pairAlphabet(const ClassDfa &A, const ClassDfa &B, PairAlphabet &Out) {
   const AlphabetPartition &PA = A.partition(), &PB = B.partition();
-  PairAlphabet Out;
-  // Merge the two sorted symbol lists. Symbols outside both alphabets
-  // are irrelevant: no word of either language can use them, so they
-  // never appear on a witness and need no pair class.
-  std::vector<FieldId> Union;
-  std::set_union(PA.Fields.begin(), PA.Fields.end(), PB.Fields.begin(),
-                 PB.Fields.end(), std::back_inserter(Union));
-  Out.UnionSymbols = Union.size();
-  std::unordered_map<uint64_t, uint32_t> Seen;
-  for (FieldId F : Union) {
+  Out.Classes.clear();
+  Out.Reps.clear();
+  // Walk the two sorted symbol lists merged. Symbols outside both
+  // alphabets are irrelevant: no word of either language can use them,
+  // so they never appear on a witness and need no pair class. Pair-class
+  // dedup is a linear scan: class counts are tiny (alphabet compression
+  // collapses most of them), so scanning beats hashing here.
+  Out.UnionSymbols = 0;
+  size_t IA = 0, IB = 0;
+  const size_t NA = PA.Fields.size(), NB = PB.Fields.size();
+  while (IA < NA || IB < NB) {
+    FieldId F;
+    if (IB >= NB || (IA < NA && PA.Fields[IA] <= PB.Fields[IB]))
+      F = PA.Fields[IA];
+    else
+      F = PB.Fields[IB];
+    if (IA < NA && PA.Fields[IA] == F)
+      ++IA;
+    if (IB < NB && PB.Fields[IB] == F)
+      ++IB;
+    ++Out.UnionSymbols;
     uint32_t CA = PA.classOf(F), CB = PB.classOf(F);
-    uint64_t Key = (static_cast<uint64_t>(CA) << 32) | CB;
-    if (Seen.emplace(Key, static_cast<uint32_t>(Out.Classes.size())).second) {
+    bool Seen = false;
+    for (const auto &[SeenA, SeenB] : Out.Classes)
+      if (SeenA == CA && SeenB == CB) {
+        Seen = true;
+        break;
+      }
+    if (!Seen) {
       Out.Classes.emplace_back(CA, CB);
       Out.Reps.push_back(F);
     }
   }
-  return Out;
 }
 
 /// Searches the reachable pair graph of (A, B) for a state satisfying
@@ -113,16 +153,42 @@ PairAlphabet pairAlphabet(const ClassDfa &A, const ClassDfa &B) {
 /// nullopt when none exists. \p C accrues the exploration counters.
 std::optional<Word> productWitness(const ClassDfa &A, const ClassDfa &B,
                                    bool NegateB, LangQuery::Stats &C) {
-  PairAlphabet PA = pairAlphabet(A, B);
+  ProductScratch &Scr = ProdScratch;
+  PairAlphabet &PA = Scr.PA;
+  pairAlphabet(A, B, PA);
   C.AlphabetSymbols += PA.UnionSymbols;
   C.AlphabetClasses += PA.Classes.size();
   const size_t NumPairSyms = PA.Classes.size();
 
   // Dense pair states, interned on first visit. Parent links reconstruct
-  // the witness; BFS order makes it shortest.
-  std::vector<std::pair<uint32_t, uint32_t>> Pairs;
-  std::vector<int32_t> Parent, ParentSym;
-  std::unordered_map<uint64_t, uint32_t> Ids;
+  // the witness; BFS order makes it shortest. All containers are the
+  // thread's reused scratch.
+  auto &Pairs = Scr.Pairs;
+  auto &Parent = Scr.Parent;
+  auto &ParentSym = Scr.ParentSym;
+  Pairs.clear();
+  Parent.clear();
+  ParentSym.clear();
+
+  const size_t NumB = B.numStates();
+  const size_t PairSpace = A.numStates() * NumB;
+  const bool Flat = PairSpace <= ProductScratch::kFlatLimit;
+  if (Flat) {
+    if (Scr.IdOf.size() < PairSpace) {
+      Scr.IdOf.resize(PairSpace);
+      Scr.StampOf.assign(PairSpace, 0);
+      // A fresh table starts with stamp 0 everywhere; Epoch stays ahead.
+    }
+    if (++Scr.Epoch == 0) {
+      // Stamp wraparound: invalidate everything the hard way, once per
+      // 2^32 products.
+      std::fill(Scr.StampOf.begin(), Scr.StampOf.end(), 0u);
+      Scr.Epoch = 1;
+    }
+  } else {
+    Scr.Ids.clear();
+  }
+
   auto Intern = [&](uint32_t SA, uint32_t SB) -> int32_t {
     // Once A is dead no extension can satisfy either predicate; in the
     // intersection search the same holds for B. Pruning here keeps the
@@ -131,16 +197,30 @@ std::optional<Word> productWitness(const ClassDfa &A, const ClassDfa &B,
       return -1;
     if (!NegateB && SB == B.sink())
       return -1;
-    uint64_t Key = (static_cast<uint64_t>(SA) << 32) | SB;
-    auto [It, Inserted] =
-        Ids.emplace(Key, static_cast<uint32_t>(Pairs.size()));
+    uint32_t Id;
+    bool Inserted;
+    if (Flat) {
+      size_t Slot = size_t(SA) * NumB + SB;
+      Inserted = Scr.StampOf[Slot] != Scr.Epoch;
+      if (Inserted) {
+        Scr.StampOf[Slot] = Scr.Epoch;
+        Scr.IdOf[Slot] = static_cast<uint32_t>(Pairs.size());
+      }
+      Id = Scr.IdOf[Slot];
+    } else {
+      uint64_t Key = (static_cast<uint64_t>(SA) << 32) | SB;
+      auto [It, DidInsert] =
+          Scr.Ids.emplace(Key, static_cast<uint32_t>(Pairs.size()));
+      Inserted = DidInsert;
+      Id = It->second;
+    }
     if (Inserted) {
       Pairs.emplace_back(SA, SB);
       Parent.push_back(-1);
       ParentSym.push_back(-1);
       ++C.ProductStatesExplored;
     }
-    return static_cast<int32_t>(It->second);
+    return static_cast<int32_t>(Id);
   };
 
   auto IsWitness = [&](uint32_t SA, uint32_t SB) {
@@ -194,8 +274,14 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
   if (!Opts.EnableCache)
     return subsetOfUncached(A, B);
   // The leading tag keeps subset and disjoint keys distinct inside the
-  // shared cross-thread cache, where both kinds share one key space.
-  std::string Key = "S\x1f" + A->key() + "\x1f" + B->key();
+  // shared cross-thread cache, where both kinds share one key space. The
+  // key is assembled in the reused member buffer: a warm (cache-hit)
+  // query must not touch the heap.
+  std::string &Key = KeyBuf;
+  Key.assign("S\x1f");
+  Key += A->key();
+  Key += '\x1f';
+  Key += B->key();
   auto It = SubsetCache.find(Key);
   if (It != SubsetCache.end()) {
     ++Counters.CacheHits;
@@ -213,7 +299,7 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
                       std::hash<std::string>{}(Key), 0,
                       static_cast<uint8_t>((*Hit ? trace::LangResult : 0) |
                                            trace::LangShared));
-      SubsetCache.emplace(std::move(Key), *Hit);
+      SubsetCache.emplace(Key, *Hit);
       return *Hit;
     }
   }
@@ -226,7 +312,7 @@ bool LangQuery::subsetOf(const RegexRef &A, const RegexRef &B) {
                     std::hash<std::string>{}(Key), 0, 0, Witness->size());
   if (SharedCache)
     SharedCache->insert(Key, Result);
-  SubsetCache.emplace(std::move(Key), Result);
+  SubsetCache.emplace(Key, Result);
   return Result;
 }
 
@@ -249,8 +335,8 @@ bool LangQuery::subsetOfUncached(const RegexRef &A, const RegexRef &B) {
   // empty, taken over the materialized union alphabet (words using
   // symbols outside it cannot be in L(A)).
   std::vector<FieldId> Alphabet = unionAlphabet(A, B);
-  Dfa DA = Dfa::fromRegex(*A, Alphabet);
-  Dfa DB = Dfa::fromRegex(*B, Alphabet);
+  Dfa DA = Dfa::fromRegex(*A, Alphabet, Opts.BitParallel);
+  Dfa DB = Dfa::fromRegex(*B, Alphabet, Opts.BitParallel);
   Counters.DfaBuilt += 2;
   Counters.DfaStatesBuilt += DA.numStates() + DB.numStates();
   return Dfa::product(DA, DB.complemented(), /*RequireBoth=*/true)
@@ -266,10 +352,16 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
     return false; // Both non-empty and identical: they share every word.
   if (!Opts.EnableCache)
     return disjointUncached(A, B);
-  // Disjointness is symmetric; canonicalize the key order.
-  std::string Key = A->key() <= B->key()
-                        ? "D\x1f" + A->key() + "\x1f" + B->key()
-                        : "D\x1f" + B->key() + "\x1f" + A->key();
+  // Disjointness is symmetric; canonicalize the key order. Assembled in
+  // the reused member buffer like the subset key.
+  const std::string &KA = A->key(), &KB = B->key();
+  const std::string &Lo = KA <= KB ? KA : KB;
+  const std::string &Hi = KA <= KB ? KB : KA;
+  std::string &Key = KeyBuf;
+  Key.assign("D\x1f");
+  Key += Lo;
+  Key += '\x1f';
+  Key += Hi;
   auto It = DisjointCache.find(Key);
   if (It != DisjointCache.end()) {
     ++Counters.CacheHits;
@@ -287,7 +379,7 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
                       std::hash<std::string>{}(Key), 0,
                       static_cast<uint8_t>((*Hit ? trace::LangResult : 0) |
                                            trace::LangShared));
-      DisjointCache.emplace(std::move(Key), *Hit);
+      DisjointCache.emplace(Key, *Hit);
       return *Hit;
     }
   }
@@ -300,7 +392,7 @@ bool LangQuery::disjoint(const RegexRef &A, const RegexRef &B) {
                     std::hash<std::string>{}(Key), 0, 1, Witness->size());
   if (SharedCache)
     SharedCache->insert(Key, Result);
-  DisjointCache.emplace(std::move(Key), Result);
+  DisjointCache.emplace(Key, Result);
   return Result;
 }
 
@@ -315,8 +407,8 @@ bool LangQuery::disjointUncached(const RegexRef &A, const RegexRef &B) {
     return !Witness;
   }
   std::vector<FieldId> Alphabet = unionAlphabet(A, B);
-  Dfa DA = Dfa::fromRegex(*A, Alphabet);
-  Dfa DB = Dfa::fromRegex(*B, Alphabet);
+  Dfa DA = Dfa::fromRegex(*A, Alphabet, Opts.BitParallel);
+  Dfa DB = Dfa::fromRegex(*B, Alphabet, Opts.BitParallel);
   Counters.DfaBuilt += 2;
   Counters.DfaStatesBuilt += DA.numStates() + DB.numStates();
   return Dfa::product(DA, DB, /*RequireBoth=*/true).languageEmpty();

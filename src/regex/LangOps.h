@@ -61,6 +61,11 @@ struct LangOptions {
   /// class automata carry one class per symbol (the other class exists
   /// either way).
   bool CompressAlphabet = true;
+  /// Build operand automata with the bit-parallel subset kernel
+  /// (Subset.h). When false, the classic sorted-vector construction runs
+  /// instead; both produce identical automata, so this flag exists only
+  /// for the differential fuzzer and construction-cost ablations.
+  bool BitParallel = true;
 };
 
 /// Cached facade over the regular-language decision procedures.
@@ -136,6 +141,10 @@ private:
   LangOptions Opts;
   Stats Counters;
   std::optional<Word> Witness;
+  /// Reused cache-key buffer: warm lookups append into retained capacity
+  /// instead of building a fresh string per query (the zero-transient-
+  /// allocation contract of tests/engine_perf_test.cpp).
+  std::string KeyBuf;
   std::unordered_map<std::string, bool> SubsetCache;
   std::unordered_map<std::string, bool> DisjointCache;
   ShardedBoolCache *SharedCache = nullptr;

@@ -9,8 +9,10 @@
 #include "regex/Minimize.h"
 
 #include "regex/Dfa.h"
+#include "support/Arena.h"
 
 #include <cassert>
+#include <cstring>
 #include <deque>
 #include <utility>
 
@@ -32,13 +34,18 @@ namespace {
 /// enqueue-everything refinement this replaces (see git history of
 /// Dfa.cpp).
 size_t hopcroft(size_t NumStates, size_t NumSyms,
-                const std::vector<uint32_t> &Transitions,
+                const uint32_t *Transitions,
                 const std::vector<bool> &Accepting,
                 std::vector<uint32_t> &BlockOf) {
   const uint32_t N = static_cast<uint32_t>(NumStates);
   BlockOf.assign(N, 0);
   if (N == 0)
     return 0;
+
+  // All refinement scratch is transient: it lives in the calling thread's
+  // arena and is released when minimization returns.
+  Arena &A = Arena::threadScratch();
+  ArenaScope Scope(A);
 
   // Refinable partition: Elems holds the states grouped by block,
   // Loc[s] is s's position in Elems, blocks are [Start[b], End[b]).
@@ -67,12 +74,24 @@ size_t hopcroft(size_t NumStates, size_t NumSyms,
   }
   size_t NumBlocks = Start.size();
 
-  // Inverse transitions: Pre[t * NumSyms + sym] lists the sym-predecessors
-  // of t.
-  std::vector<std::vector<uint32_t>> Pre(NumStates * NumSyms);
+  // Inverse transitions in CSR form: the sym-predecessors of t are
+  // PreFlat[PreOff[t * NumSyms + sym] .. PreOff[... + 1]). One flat array
+  // instead of NumStates * NumSyms heap vectors; every slot is filled
+  // exactly once because the automaton is complete.
+  const size_t Rows = NumStates * NumSyms;
+  uint32_t *PreOff = A.allocateArray<uint32_t>(Rows + 1);
+  std::memset(PreOff, 0, (Rows + 1) * sizeof(uint32_t));
+  for (size_t I = 0; I < Rows; ++I)
+    ++PreOff[size_t(Transitions[I]) * NumSyms + (I % NumSyms) + 1];
+  for (size_t I = 0; I < Rows; ++I)
+    PreOff[I + 1] += PreOff[I];
+  uint32_t *PreFlat = A.allocateArray<uint32_t>(Rows);
+  uint32_t *Cursor = A.allocateArray<uint32_t>(Rows);
+  std::memcpy(Cursor, PreOff, Rows * sizeof(uint32_t));
   for (uint32_t S = 0; S < N; ++S)
     for (size_t Sym = 0; Sym < NumSyms; ++Sym)
-      Pre[Transitions[S * NumSyms + Sym] * NumSyms + Sym].push_back(S);
+      PreFlat[Cursor[size_t(Transitions[S * NumSyms + Sym]) * NumSyms +
+                     Sym]++] = S;
 
   std::deque<std::pair<uint32_t, uint32_t>> Work; // (block, sym)
   std::vector<char> InWork(NumBlocks * NumSyms, 0);
@@ -90,6 +109,10 @@ size_t hopcroft(size_t NumStates, size_t NumSyms,
 
   std::vector<uint32_t> MarkedCount(NumBlocks, 0);
   std::vector<uint32_t> Touched;
+  // Reused splitter snapshot: block ranges never exceed N states, so one
+  // N-slot buffer serves every iteration (this replaces a per-splitter
+  // heap vector).
+  uint32_t *SplitterStates = A.allocateArray<uint32_t>(N);
   while (!Work.empty()) {
     auto [Splitter, Sym] = Work.front();
     Work.pop_front();
@@ -100,10 +123,15 @@ size_t hopcroft(size_t NumStates, size_t NumSyms,
     // splitter's states are snapshotted first: marking swaps elements
     // around inside block ranges, including the splitter's own.
     Touched.clear();
-    std::vector<uint32_t> SplitterStates(Elems.begin() + Start[Splitter],
-                                         Elems.begin() + End[Splitter]);
-    for (uint32_t T : SplitterStates)
-      for (uint32_t S : Pre[T * NumSyms + Sym]) {
+    const uint32_t SplitterLen = End[Splitter] - Start[Splitter];
+    std::memcpy(SplitterStates, Elems.data() + Start[Splitter],
+                SplitterLen * sizeof(uint32_t));
+    for (uint32_t TI = 0; TI < SplitterLen; ++TI) {
+      uint32_t T = SplitterStates[TI];
+      for (uint32_t PI = PreOff[size_t(T) * NumSyms + Sym],
+                    PE = PreOff[size_t(T) * NumSyms + Sym + 1];
+           PI != PE; ++PI) {
+        uint32_t S = PreFlat[PI];
         uint32_t B = BlockOf[S];
         uint32_t P = Loc[S], Dest = Start[B] + MarkedCount[B];
         if (P < Dest)
@@ -114,6 +142,7 @@ size_t hopcroft(size_t NumStates, size_t NumSyms,
         Loc[Elems[P]] = P;
         Loc[Elems[Dest]] = Dest;
       }
+    }
 
     for (uint32_t B : Touched) {
       uint32_t Marked = MarkedCount[B];
@@ -149,17 +178,12 @@ size_t hopcroft(size_t NumStates, size_t NumSyms,
 
 ClassDfa apt::minimizeClassDfa(const ClassDfa &D) {
   const size_t NumClasses = D.numClasses();
-  std::vector<uint32_t> Trans(D.numStates() * NumClasses);
-  std::vector<bool> Acc(D.numStates());
-  for (uint32_t S = 0; S < D.numStates(); ++S) {
-    Acc[S] = D.isAccepting(S);
-    for (uint32_t C = 0; C < NumClasses; ++C)
-      Trans[S * NumClasses + C] = D.step(S, C);
-  }
+  const uint32_t *Trans = D.transitionsData();
 
   std::vector<uint32_t> BlockOf;
   size_t NumBlocks =
-      hopcroft(D.numStates(), NumClasses, Trans, Acc, BlockOf);
+      hopcroft(D.numStates(), NumClasses, Trans, D.acceptingStates(),
+               BlockOf);
 
   std::vector<uint32_t> OutTrans(NumBlocks * NumClasses);
   std::vector<bool> OutAcc(NumBlocks, false);
@@ -169,7 +193,7 @@ ClassDfa apt::minimizeClassDfa(const ClassDfa &D) {
     if (Filled[B])
       continue;
     Filled[B] = 1;
-    OutAcc[B] = Acc[S];
+    OutAcc[B] = D.isAccepting(S);
     for (uint32_t C = 0; C < NumClasses; ++C)
       OutTrans[B * NumClasses + C] = BlockOf[Trans[S * NumClasses + C]];
   }
@@ -219,7 +243,7 @@ Dfa Dfa::minimized() const {
 
   std::vector<uint32_t> BlockOf;
   size_t NumBlocks =
-      hopcroft(numStates(), NumSyms, Transitions, Accepting, BlockOf);
+      hopcroft(numStates(), NumSyms, Transitions.data(), Accepting, BlockOf);
 
   Dfa Out;
   Out.Alphabet = Alphabet;

@@ -19,8 +19,11 @@ RegexRef simplifyAlt(const RegexRef &R, LangQuery &Q) {
   // Simplify branches, then drop subsumed ones.
   std::vector<RegexRef> Branches;
   Branches.reserve(R->children().size());
-  for (const RegexRef &C : R->children())
+  bool ChildChanged = false;
+  for (const RegexRef &C : R->children()) {
     Branches.push_back(simplifyOnce(C, Q));
+    ChildChanged |= Branches.back() != C;
+  }
 
   std::vector<RegexRef> Kept;
   for (size_t I = 0; I < Branches.size(); ++I) {
@@ -39,14 +42,21 @@ RegexRef simplifyAlt(const RegexRef &R, LangQuery &Q) {
     if (!Subsumed)
       Kept.push_back(Branches[I]);
   }
+  // Nothing rewritten: hand back the original node so callers (and the
+  // fixpoint loop) see pointer equality instead of a rebuilt AST.
+  if (!ChildChanged && Kept.size() == Branches.size())
+    return R;
   return Regex::alt(std::move(Kept));
 }
 
 RegexRef simplifyConcat(const RegexRef &R, LangQuery &Q) {
   std::vector<RegexRef> Parts;
   Parts.reserve(R->children().size());
-  for (const RegexRef &C : R->children())
+  bool AnyChange = false;
+  for (const RegexRef &C : R->children()) {
     Parts.push_back(simplifyOnce(C, Q));
+    AnyChange |= Parts.back() != C;
+  }
 
   // Absorb nullable neighbors into adjacent stars, and fuse x.x* / x*.x
   // into x+.
@@ -80,7 +90,10 @@ RegexRef simplifyConcat(const RegexRef &R, LangQuery &Q) {
         break;
       }
     }
+    AnyChange |= Changed;
   }
+  if (!AnyChange)
+    return R;
   return Regex::concat(std::move(Parts));
 }
 
@@ -106,6 +119,8 @@ RegexRef simplifyStarLike(const RegexRef &R, LangQuery &Q) {
   }
   if (!IsStar && Child->nullable())
     return Regex::star(Child); // plus of a nullable == star.
+  if (Child == R->child())
+    return R; // Unchanged child: keep the original node.
   return IsStar ? Regex::star(Child) : Regex::plus(Child);
 }
 
@@ -132,8 +147,13 @@ RegexRef simplifyOnce(const RegexRef &R, LangQuery &Q) {
 RegexRef apt::simplifyRegex(const RegexRef &R, LangQuery &Q) {
   RegexRef Cur = R;
   // Iterate to fixpoint; each round strictly shrinks the key or stops.
+  // Already-simplified input short-circuits on pointer equality: every
+  // rewrite hands back the original node when nothing fired, so a warm
+  // call costs one traversal and zero AST rebuilds.
   for (int Round = 0; Round < 8; ++Round) {
     RegexRef Next = simplifyOnce(Cur, Q);
+    if (Next == Cur)
+      break;
     if (Next->key() == Cur->key())
       break;
     if (Next->key().size() > Cur->key().size())

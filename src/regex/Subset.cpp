@@ -1,0 +1,178 @@
+//===- regex/Subset.cpp - Bit-parallel subset construction ----------------===//
+//
+// Part of the APT project; see Subset.h for the design contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "regex/Subset.h"
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace apt;
+
+namespace {
+
+inline void setBit(uint64_t *Words, uint32_t I) {
+  Words[I >> 6] |= uint64_t(1) << (I & 63);
+}
+
+inline bool testBit(const uint64_t *Words, uint32_t I) {
+  return (Words[I >> 6] >> (I & 63)) & 1;
+}
+
+inline void orInto(uint64_t *Dst, const uint64_t *Src, size_t W) {
+  for (size_t I = 0; I < W; ++I)
+    Dst[I] |= Src[I];
+}
+
+inline uint64_t hashWords(const uint64_t *Words, size_t W) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I < W; ++I) {
+    H ^= Words[I];
+    H *= 0x100000001b3ULL;
+    H ^= H >> 29;
+  }
+  return H;
+}
+
+} // namespace
+
+SubsetResult apt::subsetConstruct(const Nfa &N, const FieldId *Syms,
+                                  size_t K) {
+  const size_t NumN = N.States.size();
+  const size_t W = (NumN + 63) / 64;
+  assert(NumN > 0 && "Thompson NFAs always have a start and accept state");
+
+  SubsetResult Out;
+  Arena &A = Arena::threadScratch();
+  ArenaScope Scope(A);
+
+  // Per-state epsilon closures, each a W-word bitset. Direct DFS per
+  // state: epsilon fan-out in Thompson NFAs is at most two, so this is
+  // linear-ish in practice and exact in all cases (including cycles).
+  uint64_t *Closure = A.allocateArray<uint64_t>(NumN * W);
+  std::memset(Closure, 0, NumN * W * sizeof(uint64_t));
+  {
+    uint32_t *Stack = A.allocateArray<uint32_t>(NumN);
+    for (uint32_t S = 0; S < NumN; ++S) {
+      uint64_t *Row = Closure + size_t(S) * W;
+      size_t Top = 0;
+      setBit(Row, S);
+      Stack[Top++] = S;
+      while (Top) {
+        uint32_t T = Stack[--Top];
+        for (uint32_t U : N.States[T].EpsilonMoves)
+          if (!testBit(Row, U)) {
+            setBit(Row, U);
+            Stack[Top++] = U;
+          }
+      }
+    }
+  }
+
+  // MoveClosed[k][s] = closure(move({s}, Syms[k])): union of the target
+  // closures of s's edges in column k. Next(Set, k) is then the union of
+  // MoveClosed[k][s] over the set bits s — the whole classic inner loop
+  // (collect, sort, unique, closure) collapses into OR passes. Columns
+  // with no field (the "other" class) simply stay all-zero.
+  uint64_t *MoveClosed = A.allocateArray<uint64_t>(K * NumN * W);
+  std::memset(MoveClosed, 0, K * NumN * W * sizeof(uint64_t));
+  {
+    // field -> column, sorted for binary search. At most one column per
+    // field: alphabets are unique and class representatives distinct.
+    using ColEntry = std::pair<FieldId, uint32_t>;
+    ColEntry *Cols = A.allocateArray<ColEntry>(K ? K : 1);
+    size_t NumCols = 0;
+    for (size_t K2 = 0; K2 < K; ++K2)
+      if (Syms[K2] != ~FieldId(0))
+        Cols[NumCols++] = {Syms[K2], static_cast<uint32_t>(K2)};
+    std::sort(Cols, Cols + NumCols);
+    for (uint32_t S = 0; S < NumN; ++S)
+      for (const auto &[Label, Target] : N.States[S].Transitions) {
+        const ColEntry *It = std::lower_bound(
+            Cols, Cols + NumCols, ColEntry{Label, 0},
+            [](const ColEntry &X, const ColEntry &Y) {
+              return X.first < Y.first;
+            });
+        if (It == Cols + NumCols || It->first != Label)
+          continue;
+        orInto(MoveClosed + (size_t(It->second) * NumN + S) * W,
+               Closure + size_t(Target) * W, W);
+      }
+  }
+
+  // Interned subset pool: W words per set, open-addressed table of ids.
+  // Ids are assigned in discovery order, which (processing rows 0,1,2,...
+  // and columns in order) is exactly the classic BFS order.
+  std::vector<uint64_t, ArenaAllocator<uint64_t>> Pool{
+      ArenaAllocator<uint64_t>(A)};
+  std::vector<uint32_t, ArenaAllocator<uint32_t>> Table{
+      ArenaAllocator<uint32_t>(A)};
+  size_t TableSize = 64;
+  Table.assign(TableSize, UINT32_MAX);
+  uint32_t NumSets = 0;
+
+  auto Rehash = [&]() {
+    TableSize *= 2;
+    Table.assign(TableSize, UINT32_MAX);
+    for (uint32_t Id = 0; Id < NumSets; ++Id) {
+      size_t I = hashWords(&Pool[size_t(Id) * W], W) & (TableSize - 1);
+      while (Table[I] != UINT32_MAX)
+        I = (I + 1) & (TableSize - 1);
+      Table[I] = Id;
+    }
+  };
+
+  auto Intern = [&](const uint64_t *Words) -> uint32_t {
+    size_t I = hashWords(Words, W) & (TableSize - 1);
+    while (true) {
+      uint32_t Id = Table[I];
+      if (Id == UINT32_MAX)
+        break;
+      if (std::memcmp(&Pool[size_t(Id) * W], Words,
+                      W * sizeof(uint64_t)) == 0)
+        return Id;
+      I = (I + 1) & (TableSize - 1);
+    }
+    uint32_t Id = NumSets++;
+    Table[I] = Id;
+    Pool.insert(Pool.end(), Words, Words + W);
+    Out.Accepting.push_back(testBit(Words, N.Accept));
+    Out.Transitions.resize(size_t(NumSets) * K, 0);
+    if (Out.EmptySet == UINT32_MAX &&
+        std::all_of(Words, Words + W, [](uint64_t V) { return V == 0; }))
+      Out.EmptySet = Id;
+    if (NumSets * 2 >= TableSize)
+      Rehash();
+    return Id;
+  };
+
+  Out.Start = Intern(Closure + size_t(N.Start) * W);
+
+  uint64_t *CurW = A.allocateArray<uint64_t>(W);
+  uint64_t *NextW = A.allocateArray<uint64_t>(W);
+  for (uint32_t Id = 0; Id < NumSets; ++Id) {
+    // Copy the row out of the pool: interning below may reallocate it.
+    std::memcpy(CurW, &Pool[size_t(Id) * W], W * sizeof(uint64_t));
+    for (size_t Col = 0; Col < K; ++Col) {
+      std::memset(NextW, 0, W * sizeof(uint64_t));
+      for (size_t WordIdx = 0; WordIdx < W; ++WordIdx) {
+        uint64_t Word = CurW[WordIdx];
+        while (Word) {
+          uint32_t S = static_cast<uint32_t>(WordIdx * 64) +
+                       static_cast<uint32_t>(__builtin_ctzll(Word));
+          Word &= Word - 1;
+          orInto(NextW, MoveClosed + (Col * NumN + S) * W, W);
+        }
+      }
+      Out.Transitions[size_t(Id) * K + Col] = Intern(NextW);
+    }
+  }
+
+  assert(Out.Transitions.size() == Out.Accepting.size() * K);
+  return Out;
+}

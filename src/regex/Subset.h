@@ -1,0 +1,57 @@
+//===- regex/Subset.h - Bit-parallel subset construction --------*- C++ -*-===//
+//
+// Part of the APT project; see Dfa.h / Alphabet.h for the two automaton
+// flavors built on this kernel.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared bit-parallel core of subset construction. NFA state sets are
+/// bitsets of 64-state `uint64_t` words instead of sorted vectors, so the
+/// two expensive inner operations become word-parallel:
+///
+///  * epsilon-closed moves are precomputed per (symbol, NFA state) as
+///    bitset unions, making each DFA transition one OR pass over the set
+///    bits of the current subset (no per-move sort/unique/closure), and
+///  * subset interning is an open-addressed hash over the raw words
+///    (no ordered map of vectors).
+///
+/// The construction visits subsets in the same BFS order and the same
+/// symbol order as the classic set-based code (Dfa::fromNfa /
+/// ClassDfa::build with BitParallel=false), so the resulting automata are
+/// *identical* — same state numbering, same tables — which the differential
+/// tests in tests/automata_test.cpp rely on. All scratch lives in the
+/// calling thread's arena (support/Arena.h) and is released on return.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_REGEX_SUBSET_H
+#define APT_REGEX_SUBSET_H
+
+#include "regex/Nfa.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace apt {
+
+/// Output of the kernel: a complete DFA over K symbol columns.
+struct SubsetResult {
+  std::vector<uint32_t> Transitions; ///< Row-major [state][column].
+  std::vector<bool> Accepting;
+  uint32_t Start = 0;
+  /// Id of the empty subset (the absorbing sink), or UINT32_MAX when no
+  /// dead path was ever reached.
+  uint32_t EmptySet = UINT32_MAX;
+};
+
+/// Bit-parallel subset construction of the complete DFA for \p N over
+/// \p K symbol columns. Column k steps on the NFA edges labeled
+/// \p Syms[k]; a column whose entry is `~FieldId(0)` has no edges by
+/// definition (the class automata's "other" class) and steps straight
+/// into the empty subset.
+SubsetResult subsetConstruct(const Nfa &N, const FieldId *Syms, size_t K);
+
+} // namespace apt
+
+#endif // APT_REGEX_SUBSET_H

@@ -19,6 +19,7 @@
 #include "lint/Lint.h"
 #include "reach/ReachEngine.h"
 #include "regex/RegexParser.h"
+#include "support/Arena.h"
 #include "support/Metrics.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
@@ -94,11 +95,11 @@ struct Ctx {
 int usage(const CommandIo &Io) {
   errf(Io,
        "usage: aptc prove <axioms-file> <pathP> <pathQ> "
-       "[--triage on|off] [--engine apt|reach|both]\n"
+       "[--triage on|off] [--arena on|off] [--engine apt|reach|both]\n"
        "                 [--trace FILE] [--metrics-json FILE] "
        "[--profile FILE] [--profile-folded FILE]\n"
        "       aptc deps <program> [<labelS> <labelT>] "
-       "[--invariant-writes] [--triage on|off]\n"
+       "[--invariant-writes] [--triage on|off] [--arena on|off]\n"
        "                 [--reach-prepass on|off] "
        "[--engine apt|reach|both] [--jobs N] [--stats]\n"
        "                 [--trace FILE] [--metrics-json FILE] "
@@ -240,6 +241,20 @@ bool parseOnOffFlag(const CommandIo &Io, int &Argc, char **Argv,
 bool parseTriageFlag(const CommandIo &Io, int &Argc, char **Argv,
                      bool &TriageOn) {
   return parseOnOffFlag(Io, Argc, Argv, "--triage", TriageOn);
+}
+
+/// Strips a `--arena on|off` flag and applies it process-wide
+/// (support/Arena.h). The toggle selects the allocation strategy only --
+/// verdicts and automata are bit-identical either way (enforced by
+/// tests/determinism_test.cpp) -- so it deliberately does NOT key the
+/// resident engine cache: an engine built under one setting is reused
+/// under the other.
+bool parseArenaFlag(const CommandIo &Io, int &Argc, char **Argv) {
+  bool ArenaOn = Arena::enabledGlobal();
+  if (!parseOnOffFlag(Io, Argc, Argv, "--arena", ArenaOn))
+    return false;
+  Arena::setEnabledGlobal(ArenaOn);
+  return true;
 }
 
 /// Which dependence engine(s) `prove` and `deps` consult
@@ -498,6 +513,8 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
   bool Triage = true;
   if (!parseTriageFlag(Io, Argc, Argv, Triage))
     return 2;
+  if (!parseArenaFlag(Io, Argc, Argv))
+    return 2;
   EngineSel Engine = EngineSel::Apt;
   if (!parseEngineFlag(Io, Argc, Argv, Engine))
     return 2;
@@ -641,6 +658,8 @@ bool parseFlags(const CommandIo &Io, int &Argc, char **Argv,
     return false;
   if (!parseOnOffFlag(Io, Argc, Argv, "--reach-prepass",
                       Flags.Analyzer.ReachPrepass))
+    return false;
+  if (!parseArenaFlag(Io, Argc, Argv))
     return false;
   if (!parseEngineFlag(Io, Argc, Argv, Flags.Engine))
     return false;

@@ -1,0 +1,154 @@
+//===- support/Arena.cpp - Bump allocation with scoped rewind -------------===//
+//
+// Part of the APT project; see Arena.h for the design and docs/MEMORY.md
+// for lifetime rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace apt {
+
+std::atomic<bool> Arena::GlobalEnabled{true};
+
+namespace {
+/// Process-global aggregates behind statsSnapshot(). Relaxed: these feed
+/// metrics, not control flow.
+std::atomic<uint64_t> GAllocs{0};
+std::atomic<uint64_t> GBytes{0};
+std::atomic<uint64_t> GBlocks{0};
+std::atomic<uint64_t> GBlockBytes{0};
+std::atomic<uint64_t> GHighWaterMax{0};
+
+void raiseHighWaterMax(uint64_t V) {
+  uint64_t Cur = GHighWaterMax.load(std::memory_order_relaxed);
+  while (V > Cur && !GHighWaterMax.compare_exchange_weak(
+                        Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+inline size_t alignUp(size_t N, size_t Align) {
+  return (N + Align - 1) & ~(Align - 1);
+}
+} // namespace
+
+Arena::Arena(size_t BlockBytes) : BlockBytes(BlockBytes ? BlockBytes : 4096) {}
+
+Arena::~Arena() {
+  for (void *P : Tracked)
+    ::operator delete(P);
+  for (Block &B : Blocks) {
+    GBlocks.fetch_sub(1, std::memory_order_relaxed);
+    GBlockBytes.fetch_sub(B.Size, std::memory_order_relaxed);
+    ::operator delete(B.Data);
+  }
+}
+
+void Arena::noteLive(size_t Bytes) {
+  ++Allocs;
+  Live += Bytes;
+  if (Live > HighWater) {
+    HighWater = Live;
+    raiseHighWaterMax(HighWater);
+  }
+  GAllocs.fetch_add(1, std::memory_order_relaxed);
+  GBytes.fetch_add(Bytes, std::memory_order_relaxed);
+}
+
+void *Arena::allocate(size_t Bytes, size_t Align) {
+  if (Bytes == 0)
+    Bytes = 1;
+  if (!enabledGlobal()) {
+    // Disabled mode: same call sites, heap-backed storage, released at
+    // the same rewind points. operator new returns max_align_t-aligned
+    // memory, which covers every Align we hand out.
+    void *P = ::operator new(Bytes);
+    Tracked.push_back(P);
+    noteLive(Bytes);
+    return P;
+  }
+  if (CurBlock < Blocks.size()) {
+    size_t At = alignUp(Used, Align);
+    if (At + Bytes <= Blocks[CurBlock].Size) {
+      Used = At + Bytes;
+      noteLive(Bytes);
+      return Blocks[CurBlock].Data + At;
+    }
+  }
+  return allocateSlow(Bytes, Align);
+}
+
+void *Arena::allocateSlow(size_t Bytes, size_t Align) {
+  // Move to the next cached block that fits, or mint a new one. Oversize
+  // requests get a dedicated block so slab memory is never torn up.
+  while (CurBlock + 1 < Blocks.size()) {
+    ++CurBlock;
+    Used = 0;
+    size_t At = alignUp(Used, Align);
+    if (At + Bytes <= Blocks[CurBlock].Size) {
+      Used = At + Bytes;
+      noteLive(Bytes);
+      return Blocks[CurBlock].Data + At;
+    }
+  }
+  size_t Size = Bytes + Align > BlockBytes ? Bytes + Align : BlockBytes;
+  Block B;
+  B.Data = static_cast<char *>(::operator new(Size));
+  B.Size = Size;
+  Blocks.push_back(B);
+  CurBlock = Blocks.size() - 1;
+  GBlocks.fetch_add(1, std::memory_order_relaxed);
+  GBlockBytes.fetch_add(Size, std::memory_order_relaxed);
+  size_t At = alignUp(0, Align);
+  Used = At + Bytes;
+  noteLive(Bytes);
+  return Blocks[CurBlock].Data + At;
+}
+
+Arena::Checkpoint Arena::checkpoint() const {
+  Checkpoint C;
+  C.Block = CurBlock;
+  C.Used = Used;
+  C.Tracked = Tracked.size();
+  C.Live = Live;
+  return C;
+}
+
+void Arena::rewind(const Checkpoint &C) {
+  while (Tracked.size() > C.Tracked) {
+    ::operator delete(Tracked.back());
+    Tracked.pop_back();
+  }
+  // Blocks past the checkpoint stay cached for the next scope; only the
+  // bump positions move. (A checkpoint taken before any block exists has
+  // Block == 0 whether or not block 0 was minted later; resetting to
+  // offset 0 of block 0 is correct in both cases.)
+  CurBlock = C.Block;
+  Used = C.Used;
+  Live = C.Live;
+}
+
+void Arena::reset() {
+  Checkpoint Zero;
+  rewind(Zero);
+}
+
+Arena &Arena::threadScratch() {
+  static thread_local Arena Scratch(256 * 1024);
+  return Scratch;
+}
+
+ArenaStatsSnapshot Arena::statsSnapshot() {
+  ArenaStatsSnapshot S;
+  S.Allocs = GAllocs.load(std::memory_order_relaxed);
+  S.Bytes = GBytes.load(std::memory_order_relaxed);
+  S.Blocks = GBlocks.load(std::memory_order_relaxed);
+  S.BlockBytes = GBlockBytes.load(std::memory_order_relaxed);
+  S.HighWaterMax = GHighWaterMax.load(std::memory_order_relaxed);
+  return S;
+}
+
+} // namespace apt

@@ -1,0 +1,185 @@
+//===- support/Arena.h - Bump allocation with scoped rewind -----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-based bump allocator for the engine's transient scratch memory:
+/// subset-construction tables, Hopcroft partition scratch, product-search
+/// visited maps. The automata kernels allocate thousands of short-lived
+/// buffers per cold query; a bump pointer turns each into a pointer
+/// increment and lets a whole construction be released with one rewind
+/// (docs/MEMORY.md).
+///
+/// Lifetimes are strictly scoped: callers take a checkpoint (usually via
+/// ArenaScope), allocate freely, and rewind. Nothing allocated from an
+/// arena may own a destructor that matters -- arenas hand out raw bytes
+/// and never run destructors.
+///
+/// The allocator has a process-global enable switch (`aptc ... --arena
+/// on|off`). When disabled, every allocation is served by `operator new`
+/// and tracked so rewind still releases it; call sites are identical in
+/// both modes, which is what makes the verdict byte-parity tests across
+/// the toggle meaningful.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_ARENA_H
+#define APT_SUPPORT_ARENA_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+namespace apt {
+
+/// Process-wide arena statistics, aggregated across every Arena instance
+/// and exported as the `apt.mem.*` metrics (docs/OBSERVABILITY.md).
+struct ArenaStatsSnapshot {
+  uint64_t Allocs = 0;       ///< Total allocate() calls served.
+  uint64_t Bytes = 0;        ///< Total bytes handed out (cumulative).
+  uint64_t Blocks = 0;       ///< Arena blocks obtained from the heap.
+  uint64_t BlockBytes = 0;   ///< Bytes currently held in arena blocks.
+  uint64_t HighWaterMax = 0; ///< Max live bytes seen in any one arena.
+};
+
+class Arena {
+public:
+  /// \p BlockBytes is the size of each slab; requests larger than a slab
+  /// get a dedicated oversize block.
+  explicit Arena(size_t BlockBytes = 64 * 1024);
+  ~Arena();
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Bytes of uninitialized storage aligned to \p Align.
+  /// Never returns null (aborts on OOM like operator new).
+  void *allocate(size_t Bytes, size_t Align = alignof(std::max_align_t));
+
+  /// Typed array of \p N default-uninitialized T. T must be trivially
+  /// destructible -- the arena never runs destructors.
+  template <typename T> T *allocateArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage never runs destructors");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// A position to rewind to. Only valid for rewinding the arena it was
+  /// taken from, in LIFO order.
+  struct Checkpoint {
+    size_t Block = 0;   ///< Index into Blocks.
+    size_t Used = 0;    ///< Bump offset inside that block.
+    size_t Tracked = 0; ///< Heap-tracking watermark (disabled mode).
+    size_t Live = 0;    ///< Live-byte count at checkpoint time.
+  };
+
+  Checkpoint checkpoint() const;
+
+  /// Releases everything allocated after \p C. In enabled mode this is a
+  /// pointer reset (slabs past the checkpoint stay cached for reuse); in
+  /// disabled mode the tracked heap allocations are freed.
+  void rewind(const Checkpoint &C);
+
+  /// Rewind to empty.
+  void reset();
+
+  /// Live bytes currently allocated (since construction / last rewind).
+  size_t liveBytes() const { return Live; }
+  /// Max of liveBytes() over this arena's lifetime.
+  size_t highWater() const { return HighWater; }
+  /// Cumulative allocate() calls on this arena.
+  uint64_t allocCount() const { return Allocs; }
+
+  /// One lazily-created arena per thread, used by the automata kernels
+  /// as scratch keyed to the worker that runs the query (the batch
+  /// engine's per-worker reuse). Callers must scope their use with
+  /// ArenaScope -- the thread arena is shared by everything on the
+  /// thread.
+  static Arena &threadScratch();
+
+  /// Process-global switch (default on). When off, allocations come from
+  /// the heap but remain rewind-released, so control flow is identical.
+  static bool enabledGlobal() {
+    return GlobalEnabled.load(std::memory_order_relaxed);
+  }
+  static void setEnabledGlobal(bool On) {
+    GlobalEnabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Aggregate statistics over all arenas (relaxed counters; exact when
+  /// quiescent). Feeds the `apt.mem.*` metrics.
+  static ArenaStatsSnapshot statsSnapshot();
+
+private:
+  struct Block {
+    char *Data = nullptr;
+    size_t Size = 0;
+  };
+
+  void *allocateSlow(size_t Bytes, size_t Align);
+  void noteLive(size_t Bytes);
+
+  std::vector<Block> Blocks;
+  size_t CurBlock = 0; ///< Active block index (Blocks may cache more).
+  size_t Used = 0;     ///< Bump offset in Blocks[CurBlock].
+  size_t BlockBytes;
+  size_t Live = 0;
+  size_t HighWater = 0;
+  uint64_t Allocs = 0;
+  /// Disabled-mode bookkeeping: raw heap pointers released on rewind.
+  std::vector<void *> Tracked;
+
+  static std::atomic<bool> GlobalEnabled;
+};
+
+/// RAII checkpoint/rewind over an arena.
+class ArenaScope {
+public:
+  explicit ArenaScope(Arena &A) : A(A), C(A.checkpoint()) {}
+  ~ArenaScope() { A.rewind(C); }
+  ArenaScope(const ArenaScope &) = delete;
+  ArenaScope &operator=(const ArenaScope &) = delete;
+
+  Arena &arena() { return A; }
+
+private:
+  Arena &A;
+  Arena::Checkpoint C;
+};
+
+/// Minimal std allocator adapter so std::vector and friends can live in
+/// an arena inside a kernel's ArenaScope. Deallocation is a no-op (the
+/// scope's rewind releases everything), so never use this for containers
+/// that outlive the scope.
+template <typename T> class ArenaAllocator {
+public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena &A) : A(&A) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U> &O) : A(O.arena()) {}
+
+  T *allocate(size_t N) {
+    return static_cast<T *>(A->allocate(N * sizeof(T), alignof(T)));
+  }
+  void deallocate(T *, size_t) {}
+
+  Arena *arena() const { return A; }
+
+  friend bool operator==(const ArenaAllocator &X, const ArenaAllocator &Y) {
+    return X.A == Y.A;
+  }
+
+private:
+  Arena *A;
+};
+
+} // namespace apt
+
+#endif // APT_SUPPORT_ARENA_H

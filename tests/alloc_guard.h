@@ -1,0 +1,167 @@
+//===- tests/alloc_guard.h - Counting global allocator ----------*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replaces the global `operator new` / `operator delete` pair with
+/// counting wrappers so a test can assert on heap traffic -- in
+/// particular the engine's warm-path contract that a repeated query
+/// performs ZERO transient allocations (tests/engine_perf_test.cpp).
+///
+/// Include this header from exactly one translation unit of a dedicated
+/// test binary; the replacement is process-wide, so it must not be mixed
+/// into binaries whose other tests depend on allocator behavior.
+///
+/// Under sanitizers the build defines APT_ALLOC_GUARD_DISABLED (the
+/// interceptors own malloc there and replacing `operator new` would
+/// distort their bookkeeping); `alloc_guard::active()` then returns
+/// false and callers are expected to GTEST_SKIP.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_TESTS_ALLOC_GUARD_H
+#define APT_TESTS_ALLOC_GUARD_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace alloc_guard {
+
+inline std::atomic<std::uint64_t> GAllocCalls{0};
+inline std::atomic<std::uint64_t> GFreeCalls{0};
+inline std::atomic<std::uint64_t> GBytesRequested{0};
+
+inline std::uint64_t allocCalls() {
+  return GAllocCalls.load(std::memory_order_relaxed);
+}
+inline std::uint64_t freeCalls() {
+  return GFreeCalls.load(std::memory_order_relaxed);
+}
+inline std::uint64_t bytesRequested() {
+  return GBytesRequested.load(std::memory_order_relaxed);
+}
+
+/// Whether the counting overrides are compiled into this binary.
+inline bool active() {
+#if defined(APT_ALLOC_GUARD_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+/// Counts allocations made between construction and `allocations()`.
+/// Typical use:
+///
+///     warmUp();
+///     alloc_guard::Scope Guard;
+///     warmQuery();
+///     EXPECT_EQ(Guard.allocations(), 0u);
+class Scope {
+public:
+  Scope() : StartAllocs(allocCalls()), StartBytes(bytesRequested()) {}
+  std::uint64_t allocations() const { return allocCalls() - StartAllocs; }
+  std::uint64_t bytes() const { return bytesRequested() - StartBytes; }
+
+private:
+  std::uint64_t StartAllocs;
+  std::uint64_t StartBytes;
+};
+
+inline void *countedAlloc(std::size_t Bytes) {
+  GAllocCalls.fetch_add(1, std::memory_order_relaxed);
+  GBytesRequested.fetch_add(Bytes, std::memory_order_relaxed);
+  // operator new(0) must return a unique pointer; malloc(0) may not.
+  void *P = std::malloc(Bytes ? Bytes : 1);
+  return P;
+}
+
+inline void *countedAllocAligned(std::size_t Bytes, std::size_t Align) {
+  GAllocCalls.fetch_add(1, std::memory_order_relaxed);
+  GBytesRequested.fetch_add(Bytes, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  std::size_t Rounded = (Bytes + Align - 1) / Align * Align;
+  return std::aligned_alloc(Align, Rounded ? Rounded : Align);
+}
+
+inline void countedFree(void *P) {
+  if (P)
+    GFreeCalls.fetch_add(1, std::memory_order_relaxed);
+  std::free(P);
+}
+
+} // namespace alloc_guard
+
+#if !defined(APT_ALLOC_GUARD_DISABLED)
+
+void *operator new(std::size_t Bytes) {
+  if (void *P = alloc_guard::countedAlloc(Bytes))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Bytes) {
+  if (void *P = alloc_guard::countedAlloc(Bytes))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new(std::size_t Bytes, const std::nothrow_t &) noexcept {
+  return alloc_guard::countedAlloc(Bytes);
+}
+
+void *operator new[](std::size_t Bytes, const std::nothrow_t &) noexcept {
+  return alloc_guard::countedAlloc(Bytes);
+}
+
+void *operator new(std::size_t Bytes, std::align_val_t Align) {
+  if (void *P = alloc_guard::countedAllocAligned(
+          Bytes, static_cast<std::size_t>(Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void *operator new[](std::size_t Bytes, std::align_val_t Align) {
+  if (void *P = alloc_guard::countedAllocAligned(
+          Bytes, static_cast<std::size_t>(Align)))
+    return P;
+  throw std::bad_alloc();
+}
+
+void operator delete(void *P) noexcept { alloc_guard::countedFree(P); }
+void operator delete[](void *P) noexcept { alloc_guard::countedFree(P); }
+void operator delete(void *P, std::size_t) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete[](void *P, std::size_t) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete(void *P, std::align_val_t) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete[](void *P, std::align_val_t) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete(void *P, std::size_t, std::align_val_t) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete[](void *P, std::size_t, std::align_val_t) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete(void *P, const std::nothrow_t &) noexcept {
+  alloc_guard::countedFree(P);
+}
+void operator delete[](void *P, const std::nothrow_t &) noexcept {
+  alloc_guard::countedFree(P);
+}
+
+#endif // !APT_ALLOC_GUARD_DISABLED
+
+#endif // APT_TESTS_ALLOC_GUARD_H

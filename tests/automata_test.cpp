@@ -4,9 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "regex/Alphabet.h"
 #include "regex/Derivative.h"
 #include "regex/Dfa.h"
 #include "regex/LangOps.h"
+#include "regex/Nfa.h"
 #include "regex/RegexParser.h"
 
 #include <gtest/gtest.h>
@@ -385,6 +387,143 @@ TEST(EngineAgreementRandom, RandomRegexPairs) {
         EXPECT_FALSE(InA && InB) << "disjointness violated by witness";
       }
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bit-parallel vs classic subset construction (Subset.h)
+//
+// The bit-parallel kernel promises the IDENTICAL automaton -- same state
+// numbering, same transition table, same accepting set -- not merely an
+// isomorphic one, so the differential checks below compare field by
+// field instead of testing language equivalence.
+//===----------------------------------------------------------------------===//
+
+void expectIdenticalDfa(const Dfa &A, const Dfa &B, const std::string &What) {
+  ASSERT_EQ(A.numStates(), B.numStates()) << What;
+  ASSERT_EQ(A.alphabet(), B.alphabet()) << What;
+  EXPECT_EQ(A.start(), B.start()) << What;
+  for (uint32_t S = 0; S < A.numStates(); ++S) {
+    EXPECT_EQ(A.isAccepting(S), B.isAccepting(S)) << What << " state " << S;
+    for (size_t K = 0; K < A.alphabet().size(); ++K)
+      EXPECT_EQ(A.step(S, K), B.step(S, K))
+          << What << " state " << S << " sym " << K;
+  }
+}
+
+void expectIdenticalClassDfa(const ClassDfa &A, const ClassDfa &B,
+                             const std::string &What) {
+  ASSERT_EQ(A.numStates(), B.numStates()) << What;
+  ASSERT_EQ(A.numClasses(), B.numClasses()) << What;
+  EXPECT_EQ(A.start(), B.start()) << What;
+  EXPECT_EQ(A.sink(), B.sink()) << What;
+  for (uint32_t S = 0; S < A.numStates(); ++S) {
+    EXPECT_EQ(A.isAccepting(S), B.isAccepting(S)) << What << " state " << S;
+    for (uint32_t K = 0; K < A.numClasses(); ++K)
+      EXPECT_EQ(A.step(S, K), B.step(S, K))
+          << What << " state " << S << " class " << K;
+  }
+}
+
+TEST_F(AutomataTest, BitParallelMatchesClassicOnFixtures) {
+  const char *Cases[] = {
+      "a",           "a.b",          "a.(b|c)*.d",     "(a|b)*",
+      "a*.b*",       "(a.b)+",       "a.(b.a)*.b",     "(a|b).(a|b).(a|b)",
+      "a.a*|b.b*",   "((a|b)*.c)+",  "(a?.b?.c?)*",    "never",
+      "eps",         "(a|eps).(b|eps).(c|eps)",        "(a|b|c)+.a.(a|b|c)",
+  };
+  for (const char *Text : Cases) {
+    RegexRef R = parse(Text);
+    std::vector<FieldId> Alpha = alphabetOf(R);
+    if (Alpha.empty())
+      Alpha.push_back(Fields.intern("a"));
+    Dfa Bit = Dfa::fromRegex(*R, Alpha, /*BitParallel=*/true);
+    Dfa Classic = Dfa::fromRegex(*R, Alpha, /*BitParallel=*/false);
+    expectIdenticalDfa(Bit, Classic, Text);
+    for (bool Compress : {true, false}) {
+      ClassDfa CBit = ClassDfa::build(*R, Compress, /*BitParallel=*/true);
+      ClassDfa CClassic = ClassDfa::build(*R, Compress, /*BitParallel=*/false);
+      expectIdenticalClassDfa(CBit, CClassic,
+                              std::string(Text) +
+                                  (Compress ? " (compressed)" : " (raw)"));
+    }
+  }
+}
+
+TEST_F(AutomataTest, BitParallelCrossesWordBoundaries) {
+  // Families sized so the Thompson NFA needs two, then three, 64-bit
+  // words per state set (>= 65 and >= 129 NFA states): a chain of K
+  // copies of (a|b), each contributing six Thompson states. This
+  // exercises the multi-word closure/OR paths that small automata never
+  // touch; the chain keeps the subset output small, so the check stays
+  // exhaustive.
+  for (size_t K : {12, 24}) {
+    std::string Text = "(a|b)";
+    for (size_t I = 1; I < K; ++I)
+      Text += ".(a|b)";
+    // A trailing star keeps epsilon-closures non-trivial at the far end.
+    Text += ".c*";
+    RegexRef R = parse(Text);
+    std::vector<FieldId> Alpha = alphabetOf(R);
+    Nfa Thompson = Nfa::build(*R);
+    ASSERT_GE(Thompson.size(), K == 12 ? 65u : 129u)
+        << "family no longer crosses the word boundary; resize it"
+        << " (got " << Thompson.size() << " NFA states)";
+    Dfa Bit = Dfa::fromRegex(*R, Alpha, true);
+    Dfa Classic = Dfa::fromRegex(*R, Alpha, false);
+    expectIdenticalDfa(Bit, Classic, Text);
+    EXPECT_EQ(Bit.minimized().numStates(),
+              Classic.minimized().numStates());
+    ClassDfa CBit = ClassDfa::build(*R, true, true);
+    ClassDfa CClassic = ClassDfa::build(*R, true, false);
+    expectIdenticalClassDfa(CBit, CClassic, Text);
+  }
+  // And the exponential family: small NFA, but the subset OUTPUT crosses
+  // 64 and 256 states, stressing the interning table and Hopcroft on
+  // bit-parallel-built automata. Minimal size is pinned by Myhill-Nerode
+  // at 2^(N+1).
+  for (size_t N : {6, 7}) {
+    std::string Text = "(a|b)*.a";
+    for (size_t I = 0; I < N; ++I)
+      Text += ".(a|b)";
+    RegexRef R = parse(Text);
+    std::vector<FieldId> Alpha = alphabetOf(R);
+    Dfa Bit = Dfa::fromRegex(*R, Alpha, true);
+    expectIdenticalDfa(Bit, Dfa::fromRegex(*R, Alpha, false), Text);
+    EXPECT_EQ(Bit.minimized().numStates(), size_t(1) << (N + 1));
+  }
+}
+
+TEST_F(AutomataTest, BitParallelMatchesClassicOnRandomRegexes) {
+  std::vector<FieldId> Alpha = {Fields.intern("a"), Fields.intern("b"),
+                                Fields.intern("c")};
+  std::mt19937 Rng(777);
+  std::function<RegexRef(int)> Gen = [&](int Depth) -> RegexRef {
+    int Pick = Rng() % (Depth <= 0 ? 2 : 6);
+    switch (Pick) {
+    case 0:
+      return Regex::symbol(Alpha[Rng() % Alpha.size()]);
+    case 1:
+      return Rng() % 4 == 0 ? Regex::epsilon()
+                            : Regex::symbol(Alpha[Rng() % Alpha.size()]);
+    case 2:
+      return Regex::concat(Gen(Depth - 1), Gen(Depth - 1));
+    case 3:
+      return Regex::alt(Gen(Depth - 1), Gen(Depth - 1));
+    case 4:
+      return Regex::star(Gen(Depth - 1));
+    default:
+      return Regex::plus(Gen(Depth - 1));
+    }
+  };
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    RegexRef R = Gen(4);
+    Dfa Bit = Dfa::fromRegex(*R, Alpha, true);
+    Dfa Classic = Dfa::fromRegex(*R, Alpha, false);
+    expectIdenticalDfa(Bit, Classic, R->toString(Fields));
+    ClassDfa CBit = ClassDfa::build(*R, Trial % 2 == 0, true);
+    ClassDfa CClassic = ClassDfa::build(*R, Trial % 2 == 0, false);
+    expectIdenticalClassDfa(CBit, CClassic, R->toString(Fields));
   }
 }
 

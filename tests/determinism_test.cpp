@@ -1,0 +1,171 @@
+//===- tests/determinism_test.cpp - Byte-identical verdict streams --------===//
+//
+// Part of the APT project. The engine's parallel batch mode, the arena
+// allocator, and the bit-parallel automata kernels all promise the same
+// thing: they change HOW answers are computed, never WHAT is answered or
+// in what order it is printed. This suite drives the full `aptc`
+// command surface in-process over the sample corpus and asserts the
+// stdout stream is byte-identical across
+//
+//   * --jobs 1 / 2 / 8 (work distribution must not leak into output),
+//   * --arena on / off (allocation strategy must not leak into output),
+//   * repeated runs against a warm resident engine (caches must not
+//     leak into output).
+//
+// tools/ci.sh runs this binary in the default and asan legs; a
+// nondeterministic verdict stream is a release blocker because
+// downstream tooling diffs aptc output (tools/service_parity_check.py).
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Commands.h"
+#include "service/ServiceState.h"
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace apt;
+using namespace apt::svc;
+
+namespace {
+
+std::string samplePath(const std::string &Name) {
+  return std::string(APT_SAMPLES_DIR) + "/" + Name;
+}
+
+struct Captured {
+  std::string Out, Err;
+  int Exit = 0;
+};
+
+Captured runCommand(ServiceState &State, const std::vector<std::string> &Args) {
+  Captured C;
+  CommandIo Io;
+  Io.Out = [&C](std::string_view S) { C.Out.append(S); };
+  Io.Err = [&C](std::string_view S) { C.Err.append(S); };
+  Io.FlushOut = [] {};
+  C.Exit = runServiceCommand(State, Args, Io);
+  return C;
+}
+
+Captured runOneShot(const std::vector<std::string> &Args) {
+  ServiceState State;
+  return runCommand(State, Args);
+}
+
+/// The corpus: every .apt program plus a prove query, exercising the
+/// batch engine, the triage cascade, and the prover proper.
+struct CorpusEntry {
+  const char *Label;
+  std::vector<std::string> Args; // Without --jobs/--arena.
+};
+
+std::vector<CorpusEntry> corpus() {
+  return {
+      {"deps-triage-mix", {"deps", samplePath("triage_mix.apt")}},
+      {"deps-worklist", {"deps", samplePath("worklist.apt")}},
+      {"deps-worklist-inv",
+       {"deps", samplePath("worklist.apt"), "--invariant-writes"}},
+      {"deps-no-triage",
+       {"deps", samplePath("triage_mix.apt"), "--triage", "off"}},
+      {"prove-llt",
+       {"prove", samplePath("leaf_linked_tree.axioms"), "L.L.N", "L.R.N"}},
+      {"prove-sparse",
+       {"prove", samplePath("sparse_matrix.axioms"), "ncolE+",
+        "nrowE+.ncolE+"}},
+  };
+}
+
+class DeterminismTest : public ::testing::Test {
+protected:
+  void TearDown() override { Arena::setEnabledGlobal(true); }
+};
+
+} // namespace
+
+TEST_F(DeterminismTest, VerdictsInvariantAcrossJobsAndArena) {
+  for (const CorpusEntry &E : corpus()) {
+    SCOPED_TRACE(E.Label);
+    // Reference: one-shot, jobs 1, arenas on (the defaults).
+    std::vector<std::string> RefArgs = E.Args;
+    if (RefArgs[0] == "deps") {
+      RefArgs.push_back("--jobs");
+      RefArgs.push_back("1");
+    }
+    Captured Ref = runOneShot(RefArgs);
+    ASSERT_NE(Ref.Exit, 2) << Ref.Err;
+    ASSERT_FALSE(Ref.Out.empty());
+
+    for (const char *Jobs : {"1", "2", "8"}) {
+      for (const char *ArenaMode : {"on", "off"}) {
+        SCOPED_TRACE(std::string("jobs=") + Jobs + " arena=" + ArenaMode);
+        std::vector<std::string> Args = E.Args;
+        if (Args[0] == "deps") {
+          Args.push_back("--jobs");
+          Args.push_back(Jobs);
+        } else if (std::string(Jobs) != "1") {
+          continue; // prove has no --jobs.
+        }
+        Args.push_back("--arena");
+        Args.push_back(ArenaMode);
+        Captured Got = runOneShot(Args);
+        EXPECT_EQ(Got.Exit, Ref.Exit);
+        EXPECT_EQ(Got.Out, Ref.Out)
+            << "stdout diverged from the jobs=1/arena=on reference";
+      }
+    }
+  }
+}
+
+TEST_F(DeterminismTest, WarmResidentEngineMatchesColdRuns) {
+  // A resident engine (daemon mode) serves repeated requests warm: the
+  // second and third answers come from the verdict memo and the interned
+  // automata, and must still be byte-identical to the cold run --
+  // including across an arena toggle between requests.
+  ServiceState Resident;
+  for (const CorpusEntry &E : corpus()) {
+    SCOPED_TRACE(E.Label);
+    Captured Cold = runOneShot(E.Args);
+    Captured First = runCommand(Resident, E.Args);
+    EXPECT_EQ(First.Out, Cold.Out);
+    EXPECT_EQ(First.Exit, Cold.Exit);
+
+    std::vector<std::string> Off = E.Args;
+    Off.push_back("--arena");
+    Off.push_back("off");
+    Captured Second = runCommand(Resident, Off);
+    EXPECT_EQ(Second.Out, Cold.Out) << "warm arena-off run diverged";
+
+    std::vector<std::string> On = E.Args;
+    On.push_back("--arena");
+    On.push_back("on");
+    Captured Third = runCommand(Resident, On);
+    EXPECT_EQ(Third.Out, Cold.Out) << "warm arena-on run diverged";
+  }
+}
+
+TEST_F(DeterminismTest, StatsGoToStderrOnly) {
+  // --stats must never contaminate the verdict stream: stdout stays
+  // byte-identical with and without it, at any job count.
+  std::vector<std::string> Base = {"deps", samplePath("triage_mix.apt")};
+  Captured Ref = runOneShot(Base);
+  for (const char *Jobs : {"1", "8"}) {
+    std::vector<std::string> Args = Base;
+    Args.push_back("--stats");
+    Args.push_back("--jobs");
+    Args.push_back(Jobs);
+    Captured Got = runOneShot(Args);
+    EXPECT_EQ(Got.Out, Ref.Out);
+    EXPECT_FALSE(Got.Err.empty()) << "--stats printed nothing to stderr";
+  }
+}
+
+TEST_F(DeterminismTest, BadArenaValueIsAUsageError) {
+  Captured C = runOneShot(
+      {"deps", samplePath("triage_mix.apt"), "--arena", "maybe"});
+  EXPECT_EQ(C.Exit, 2);
+  EXPECT_NE(C.Err.find("--arena"), std::string::npos) << C.Err;
+}

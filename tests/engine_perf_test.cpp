@@ -1,0 +1,289 @@
+//===- tests/engine_perf_test.cpp - Allocation/arena contracts ------------===//
+//
+// Part of the APT project; locks in the raw-speed engine pass:
+//
+//  * the warm-path contract: a repeated language query or top-level
+//    proveDisjoint touches the heap ZERO times (LangOps.h KeyBuf,
+//    Prover.h verdict memo) -- proven with the counting allocator of
+//    alloc_guard.h, not eyeballed;
+//  * arena discipline (support/Arena.h): checkpoint/rewind semantics,
+//    monotone and bounded high-water marks across repeated automaton
+//    builds, and identical behavior with arenas globally disabled;
+//  * the simplifier's pointer-equality fast path: already-simplified
+//    input is handed back without rebuilding the AST.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc_guard.h" // Must precede any allocation in this TU.
+
+#include "core/Prelude.h"
+#include "core/Prover.h"
+#include "regex/Alphabet.h"
+#include "regex/LangOps.h"
+#include "regex/Minimize.h"
+#include "regex/RegexParser.h"
+#include "regex/Simplify.h"
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace apt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Arena semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ArenaTest, BumpAndRewind) {
+  Arena A(1024);
+  void *P1 = A.allocate(100, 8);
+  ASSERT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P1) % 8, 0u);
+  Arena::Checkpoint CP = A.checkpoint();
+  size_t LiveAtCP = A.liveBytes();
+  void *P2 = A.allocate(200, 16);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(P2) % 16, 0u);
+  EXPECT_GT(A.liveBytes(), LiveAtCP);
+  A.rewind(CP);
+  EXPECT_EQ(A.liveBytes(), LiveAtCP);
+  // Memory after rewind is reusable.
+  void *P3 = A.allocate(200, 16);
+  ASSERT_NE(P3, nullptr);
+  A.reset();
+  EXPECT_EQ(A.liveBytes(), 0u);
+}
+
+TEST(ArenaTest, HighWaterIsMonotone) {
+  Arena A(512);
+  A.allocate(400, 8);
+  size_t HW1 = A.highWater();
+  EXPECT_GE(HW1, 400u);
+  A.reset();
+  EXPECT_EQ(A.highWater(), HW1); // reset keeps the high-water mark.
+  A.allocate(100, 8);
+  EXPECT_EQ(A.highWater(), HW1); // smaller load does not move it.
+  A.allocate(400, 8);
+  EXPECT_GE(A.highWater(), 500u); // bigger load raises it.
+}
+
+TEST(ArenaTest, OversizeAllocationsSpanBlocks) {
+  Arena A(64); // Tiny block size: every allocation below mints blocks.
+  void *P = A.allocate(1000, 8);
+  ASSERT_NE(P, nullptr);
+  // The oversize allocation is still usable end to end.
+  memset(P, 0xAB, 1000);
+  uint32_t *Arr = A.allocateArray<uint32_t>(100);
+  ASSERT_NE(Arr, nullptr);
+  for (size_t I = 0; I < 100; ++I)
+    Arr[I] = static_cast<uint32_t>(I);
+  EXPECT_EQ(Arr[99], 99u);
+}
+
+TEST(ArenaTest, DisabledModeTracksAndFrees) {
+  ASSERT_TRUE(Arena::enabledGlobal()); // Default-on.
+  Arena::setEnabledGlobal(false);
+  {
+    Arena A(1024);
+    Arena::Checkpoint CP = A.checkpoint();
+    void *P = A.allocate(100, 8);
+    ASSERT_NE(P, nullptr);
+    memset(P, 0, 100); // Must be writable heap memory.
+    A.rewind(CP);      // Frees the tracked pointer.
+    void *Q = A.allocate(64, 8);
+    ASSERT_NE(Q, nullptr);
+    // Destructor frees the rest.
+  }
+  Arena::setEnabledGlobal(true);
+}
+
+TEST(ArenaTest, ScopeIsLifo) {
+  Arena &A = Arena::threadScratch();
+  size_t Live0 = A.liveBytes();
+  {
+    ArenaScope Outer(A);
+    A.allocate(128, 8);
+    {
+      ArenaScope Inner(A);
+      A.allocate(256, 8);
+    }
+    EXPECT_EQ(A.liveBytes(), Live0 + 128);
+  }
+  EXPECT_EQ(A.liveBytes(), Live0);
+}
+
+TEST(ArenaTest, GlobalStatsAccumulate) {
+  ArenaStatsSnapshot Before = Arena::statsSnapshot();
+  Arena A(4096);
+  A.allocate(1000, 8);
+  ArenaStatsSnapshot After = Arena::statsSnapshot();
+  EXPECT_GT(After.Allocs, Before.Allocs);
+  EXPECT_GE(After.Bytes, Before.Bytes + 1000);
+  EXPECT_GE(After.HighWaterMax, 1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm-path zero-allocation contracts
+//===----------------------------------------------------------------------===//
+
+class WarmPathTest : public ::testing::Test {
+protected:
+  FieldTable Fields;
+
+  RegexRef parse(std::string_view Text) {
+    RegexParseResult R = parseRegex(Text, Fields);
+    EXPECT_TRUE(R) << "parse of '" << Text << "': " << R.Error;
+    return R.Value;
+  }
+
+  void requireGuard() {
+    if (!alloc_guard::active())
+      GTEST_SKIP() << "alloc guard disabled in this build (sanitizers)";
+  }
+};
+
+TEST_F(WarmPathTest, WarmSubsetQueryAllocatesNothing) {
+  requireGuard();
+  LangQuery Q;
+  RegexRef A = parse("L.(L|R)*.N");
+  RegexRef B = parse("(L|R|N)*");
+  // Cold: compiles automata, fills caches.
+  ASSERT_TRUE(Q.subsetOf(A, B));
+  ASSERT_TRUE(Q.subsetOf(A, B));
+  uint64_t HitsBefore = Q.stats().CacheHits;
+  alloc_guard::Scope Guard;
+  ASSERT_TRUE(Q.subsetOf(A, B));
+  EXPECT_EQ(Guard.allocations(), 0u)
+      << "warm subsetOf allocated " << Guard.bytes() << " bytes";
+  EXPECT_EQ(Q.stats().CacheHits, HitsBefore + 1);
+}
+
+TEST_F(WarmPathTest, WarmDisjointQueryAllocatesNothing) {
+  requireGuard();
+  LangQuery Q;
+  RegexRef A = parse("L.(L|R)*");
+  RegexRef B = parse("R.(L|R)*");
+  ASSERT_TRUE(Q.disjoint(A, B));
+  ASSERT_TRUE(Q.disjoint(A, B));
+  alloc_guard::Scope Guard;
+  ASSERT_TRUE(Q.disjoint(A, B));
+  EXPECT_EQ(Guard.allocations(), 0u)
+      << "warm disjoint allocated " << Guard.bytes() << " bytes";
+}
+
+TEST_F(WarmPathTest, WarmProveDisjointAllocatesNothing) {
+  requireGuard();
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  Prover Pr(Fields);
+  RegexRef P = parse("L.L.N");
+  RegexRef Q = parse("L.R.N");
+  // Cold: full goal search; second call warms the verdict memo path.
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  uint64_t MemoBefore = Pr.stats().VerdictMemoHits;
+  alloc_guard::Scope Guard;
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  EXPECT_EQ(Guard.allocations(), 0u)
+      << "warm proveDisjoint allocated " << Guard.bytes() << " bytes";
+  EXPECT_EQ(Pr.stats().VerdictMemoHits, MemoBefore + 1);
+  // The memoized proof is still published.
+  EXPECT_NE(Pr.proof(), nullptr);
+}
+
+TEST_F(WarmPathTest, WarmNegativeVerdictAllocatesNothing) {
+  requireGuard();
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  Prover Pr(Fields);
+  // Not provable (the paths can collide); the settled "no" is memoized
+  // just like a "yes".
+  RegexRef P = parse("L.L.N.N");
+  RegexRef Q = parse("L.R.N");
+  ASSERT_FALSE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  ASSERT_FALSE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  uint64_t MemoBefore = Pr.stats().VerdictMemoHits;
+  alloc_guard::Scope Guard;
+  ASSERT_FALSE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  if (Pr.stats().VerdictMemoHits == MemoBefore + 1) {
+    // Settled verdict: the warm path must be allocation-free.
+    EXPECT_EQ(Guard.allocations(), 0u)
+        << "warm negative verdict allocated " << Guard.bytes() << " bytes";
+  }
+}
+
+TEST_F(WarmPathTest, VerdictMemoRespectsAxiomSet) {
+  // Same query strings under different axiom sets must not share memo
+  // entries (the fingerprint scopes them).
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  Prover Pr(Fields);
+  RegexRef P = parse("L.L");
+  RegexRef Q = parse("L.R");
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  AxiomSet Empty;
+  EXPECT_FALSE(Pr.proveDisjoint(Empty, P, Q));
+  // And the original still answers true (memo hit, not clobbered).
+  EXPECT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+}
+
+TEST_F(WarmPathTest, ResetCachesClearsVerdictMemo) {
+  StructureInfo LLT = preludeLeafLinkedTree(Fields);
+  Prover Pr(Fields);
+  RegexRef P = parse("L.L.N");
+  RegexRef Q = parse("L.R.N");
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  ASSERT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+  EXPECT_GT(Pr.stats().VerdictMemoHits, 0u);
+  Pr.resetCaches();
+  EXPECT_EQ(Pr.stats().VerdictMemoHits, 0u);
+  // Re-proves from scratch and still succeeds.
+  EXPECT_TRUE(Pr.proveDisjoint(LLT.Axioms, P, Q));
+}
+
+//===----------------------------------------------------------------------===//
+// Arena high-water marks under the automata kernels
+//===----------------------------------------------------------------------===//
+
+TEST_F(WarmPathTest, ScratchHighWaterStabilizes) {
+  // Repeatedly building the same automaton must not grow the thread
+  // scratch arena: the high-water mark is monotone by construction and
+  // must plateau once the workload repeats.
+  RegexRef R = parse("(L|R)*.N.(L|R)*.N");
+  ClassDfa D1 = ClassDfa::build(*R, /*Compress=*/true, /*BitParallel=*/true);
+  size_t HW1 = Arena::threadScratch().highWater();
+  for (int I = 0; I < 10; ++I)
+    ClassDfa D = ClassDfa::build(*R, true, true);
+  size_t HW2 = Arena::threadScratch().highWater();
+  EXPECT_GE(HW2, HW1);
+  for (int I = 0; I < 10; ++I)
+    ClassDfa D = ClassDfa::build(*R, true, true);
+  EXPECT_EQ(Arena::threadScratch().highWater(), HW2)
+      << "scratch arena grew on a repeated workload";
+  // Nothing stays live between builds.
+  EXPECT_EQ(Arena::threadScratch().liveBytes(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Simplifier pointer-equality fast path
+//===----------------------------------------------------------------------===//
+
+TEST_F(WarmPathTest, SimplifyReturnsSameNodeWhenStable) {
+  LangQuery Q;
+  // One round of real rewriting...
+  RegexRef R = parse("(L|L).(N*.N*)");
+  RegexRef S1 = simplifyRegex(R, Q);
+  EXPECT_NE(S1->key(), R->key());
+  // ...then a fixpoint: re-simplifying hands back the SAME node, not a
+  // structurally equal rebuild (the cold-path double-construction fix).
+  RegexRef S2 = simplifyRegex(S1, Q);
+  EXPECT_EQ(S2.get(), S1.get());
+  // Symbols and already-minimal composites short-circuit too.
+  RegexRef Sym = parse("L");
+  EXPECT_EQ(simplifyRegex(Sym, Q).get(), Sym.get());
+  RegexRef Mix = parse("L.(L|R)*.N");
+  RegexRef M1 = simplifyRegex(Mix, Q);
+  EXPECT_EQ(simplifyRegex(M1, Q).get(), M1.get());
+}
+
+} // namespace

@@ -29,6 +29,7 @@
 #include "regex/Derivative.h"
 #include "regex/LangOps.h"
 #include "regex/Minimize.h"
+#include "regex/Nfa.h"
 
 #include <gtest/gtest.h>
 
@@ -115,6 +116,8 @@ TEST(LangOpsFuzz, PipelineVariantsAgree) {
   NoCompress.CompressAlphabet = false;
   LangOptions Classic;
   Classic.OnTheFlyProduct = false;
+  LangOptions BitOff = Overhauled;
+  BitOff.BitParallel = false;
   LangOptions Oracle;
   Oracle.Engine = LangEngine::Derivative;
 
@@ -122,9 +125,16 @@ TEST(LangOpsFuzz, PipelineVariantsAgree) {
                         {"overhauled", LangQuery(Overhauled)},
                         {"no-minimize", LangQuery(NoMinimize)},
                         {"no-compress", LangQuery(NoCompress)},
-                        {"classic", LangQuery(Classic)}};
+                        {"classic", LangQuery(Classic)},
+                        {"bit-classic", LangQuery(BitOff)}};
   for (Variant &V : Variants)
     V.Query.attachDfaStore(&Store);
+  // The bit-parallel and classic subset constructions produce identical
+  // automata, so sharing the interned store would let the first builder
+  // serve the second and the classic kernel would never run. A private
+  // store keeps its construction path hot.
+  MinDfaStore BitOffStore(8);
+  Variants[5].Query.attachDfaStore(&BitOffStore);
   LangQuery &Ref = Variants[0].Query;
   LangQuery &New = Variants[1].Query;
 
@@ -178,6 +188,58 @@ TEST(LangOpsFuzz, PipelineVariantsAgree) {
             << WitnessChecked << " witnesses validated; "
             << S.DfaBuilt << " automata built, " << S.DfaStoreHits
             << " store hits\n";
+}
+
+TEST(LangOpsFuzz, BitParallelAgreesOnWordBoundaryAutomata) {
+  // Random regexes deep enough that their Thompson NFAs cross the one-
+  // and two-word boundaries of the bit-parallel kernel (>= 65 and >= 129
+  // states), where the multi-word closure/OR paths carry the automaton.
+  // The kernels promise identical output, so compare field by field.
+  unsigned Seed = envOr("APT_LANGFUZZ_SEED", 20260805) ^ 0xdecafbadu;
+  FieldTable Fields;
+  RegexGen Gen(Fields, Seed);
+  MinDfaStore StoreOn(8), StoreOff(8);
+  LangOptions On;
+  LangOptions Off;
+  Off.BitParallel = false;
+  LangQuery QOn(On), QOff(Off);
+  QOn.attachDfaStore(&StoreOn);
+  QOff.attachDfaStore(&StoreOff);
+
+  size_t MaxNfaStates = 0;
+  for (int Case = 0; Case < 40; ++Case) {
+    size_t Pieces = Case % 2 == 0 ? 16 : 48;
+    RegexRef A = Gen.gen(2), B = Gen.gen(2);
+    for (size_t I = 1; I < Pieces; ++I) {
+      A = Regex::concat(A, Gen.gen(2));
+      B = Regex::concat(B, Gen.gen(2));
+    }
+    SCOPED_TRACE("case " + std::to_string(Case));
+    MaxNfaStates = std::max(MaxNfaStates, Nfa::build(*A).size());
+
+    ASSERT_EQ(QOn.subsetOf(A, B), QOff.subsetOf(A, B));
+    ASSERT_EQ(QOn.disjoint(A, B), QOff.disjoint(A, B));
+    ASSERT_EQ(QOn.equivalent(A, B), QOff.equivalent(A, B));
+
+    ClassDfa Bit = ClassDfa::build(*A, /*Compress=*/true,
+                                   /*BitParallel=*/true);
+    ClassDfa Cls = ClassDfa::build(*A, true, false);
+    ASSERT_EQ(Bit.numStates(), Cls.numStates());
+    ASSERT_EQ(Bit.numClasses(), Cls.numClasses());
+    ASSERT_EQ(Bit.start(), Cls.start());
+    ASSERT_EQ(Bit.sink(), Cls.sink());
+    for (uint32_t S = 0; S < Bit.numStates(); ++S) {
+      ASSERT_EQ(Bit.isAccepting(S), Cls.isAccepting(S)) << "state " << S;
+      for (uint32_t K = 0; K < Bit.numClasses(); ++K)
+        ASSERT_EQ(Bit.step(S, K), Cls.step(S, K))
+            << "state " << S << " class " << K;
+    }
+  }
+  // The generator must actually have reached three-word state sets.
+  EXPECT_GE(MaxNfaStates, 129u)
+      << "chains too short to cross the second word boundary; resize";
+  std::cout << "[langops-fuzz] word-boundary sweep: max NFA states "
+            << MaxNfaStates << "\n";
 }
 
 TEST(LangOpsFuzz, MinimizedAutomataAreNeverLarger) {

@@ -14,6 +14,7 @@
 
 #include "analysis/QueryEngine.h"
 #include "ir/Parser.h"
+#include "regex/Minimize.h"
 
 #include <gtest/gtest.h>
 
@@ -249,6 +250,60 @@ TEST(BatchStatsTest, CountersAreMonotoneAcrossRuns) {
   // The language engine compresses and minimizes, never the reverse.
   EXPECT_LE(Second.DfaMinStates, Second.DfaStatesBuilt);
   EXPECT_LE(Second.AlphabetClasses, Second.AlphabetSymbols);
+}
+
+TEST(BatchStatsTest, ColdRunBuildsEachAutomatonExactlyOnce) {
+  // The cold-path contract behind the simplify pointer-equality fix:
+  // simplification used to rebuild structurally-equal regex ASTs per
+  // round, so the same language was compiled into a DFA more than once
+  // before the store could serve it. Pin the invariant: on a cold run
+  // every compiled automaton lands in the store and nothing is compiled
+  // twice (builds == distinct interned automata), and a warm rerun
+  // compiles nothing at all.
+  //
+  // The program must ESCAPE the triage cascade (distinct-field writes on
+  // same-typed handles), or the prover -- and with it the DFA pipeline --
+  // never runs and the assertions below are vacuous.
+  const char *EscalatingProgram = R"(
+type Element {
+  ncolE: Element;
+  nrowE: Element;
+  val: int;
+  axiom forall p <> q: p.ncolE <> q.ncolE;
+  axiom forall p <> q: p.nrowE <> q.nrowE;
+  axiom forall p: p.ncolE+ <> p.nrowE+;
+}
+fn f(e: Element) {
+  a = e.ncolE;
+  b = e.nrowE;
+  S0: a.val = fun();
+  S1: b.val = fun();
+}
+)";
+  FieldTable Fields;
+  Program Prog = parseOrDie(EscalatingProgram, Fields);
+  BatchOptions Opts;
+  Opts.Jobs = 1; // Inline execution: the thread-default store binds.
+  BatchQueryEngine Engine(Prog, Fields, Opts);
+
+  MinDfaStore Private(8);
+  MinDfaStore *Saved = MinDfaStore::setThreadDefault(&Private);
+  Engine.runAll();
+  BatchStats First = Engine.stats();
+  Engine.runAll();
+  BatchStats Second = Engine.stats();
+  MinDfaStore::setThreadDefault(Saved);
+
+  EXPECT_GT(First.TriageEscalated, 0u) << "nothing reached the prover";
+  EXPECT_GT(First.DfaBuilt, 0u);
+  EXPECT_EQ(First.DfaBuilt, Private.size())
+      << "an automaton was compiled more than once on the cold run";
+  EXPECT_EQ(Second.DfaBuilt, First.DfaBuilt)
+      << "the warm run rebuilt automata the store already holds";
+  // The warm run may be answered wholly by the shared goal cache before
+  // any language query fires, so store hits need only not regress.
+  EXPECT_GE(Second.DfaStoreHits, First.DfaStoreHits);
+  EXPECT_GT(Second.GoalCache.Hits, First.GoalCache.Hits);
 }
 
 TEST(BatchStatsTest, VerdictRelevantCountersAreJobsInvariant) {

@@ -111,6 +111,23 @@ REACH_RUNS = [
     "BM_BatchReachCold/4",
 ]
 
+# Engine mode (Experiment E12, docs/MEMORY.md): warm batch throughput
+# over the E9 pool and cold end-to-end store rebuilds over a
+# construction-heavy pool, each with the bit-parallel kernel off (/0)
+# and on (/1). The warm gate is absolute -- the engine must clear
+# --warm-factor times the langops baseline's overhauled throughput,
+# read from BENCH_langops.baseline.json next to --baseline -- so the
+# raw-speed pass is measured against the trajectory it started from,
+# not against itself.
+ENGINE_FILTER = "BM_Engine(Warm|Cold)/[01]$"
+ENGINE_RUNS = [
+    "BM_EngineWarm/0",
+    "BM_EngineWarm/1",
+    "BM_EngineCold/0",
+    "BM_EngineCold/1",
+]
+ENGINE_LANGOPS_BASELINE = "BENCH_langops.baseline.json"
+
 
 def run_benchmark(bench_path, min_time, bench_filter, repetitions=None):
     """Runs the benchmark binary in JSON mode; returns the parsed report."""
@@ -570,17 +587,141 @@ def run_reach(args):
     return 1 if failed else 0
 
 
+def engine_runs(report):
+    """Extracts times, items/s, and peak RSS for the engine runs."""
+    times = {}
+    items = {}
+    rss_kb = 0.0
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b.get("name", "")
+        if name not in ENGINE_RUNS:
+            continue
+        real = b.get("real_time")
+        if real is None:
+            continue
+        unit = b.get("time_unit", "ns")
+        seconds = float(real) * {"ns": 1e-9, "us": 1e-6,
+                                 "ms": 1e-3, "s": 1.0}[unit]
+        if name not in times or seconds < times[name]:
+            times[name] = seconds
+        ips = b.get("items_per_second")
+        if ips is not None:
+            items[name] = max(items.get(name, 0.0), float(ips))
+        if "peak_rss_kb" in b:
+            rss_kb = max(rss_kb, float(b["peak_rss_kb"]))
+    missing = [r for r in ENGINE_RUNS if r not in times]
+    if missing:
+        sys.stderr.write("bench_check: report is missing engine runs %s\n"
+                         % missing)
+        sys.exit(2)
+    return times, items, rss_kb
+
+
+def run_engine(args):
+    report = run_benchmark(args.bench, args.min_time, ENGINE_FILTER,
+                           repetitions=args.repetitions)
+    times, items, rss_kb = engine_runs(report)
+
+    warm_on = items.get("BM_EngineWarm/1", 0.0)
+    warm_off = items.get("BM_EngineWarm/0", 0.0)
+    cold_on = items.get("BM_EngineCold/1", 0.0)
+    cold_off = items.get("BM_EngineCold/0", 0.0)
+    cold_speedup = cold_on / cold_off if cold_off else 0.0
+
+    result = {
+        "benchmark": "BM_Engine*",
+        "warm_items_per_second": warm_on,
+        "warm_classic_items_per_second": warm_off,
+        "cold_items_per_second": cold_on,
+        "cold_classic_items_per_second": cold_off,
+        "cold_speedup": cold_speedup,
+        "cold_seconds": times["BM_EngineCold/1"],
+        "peak_rss_kb": rss_kb,
+        "repetitions": args.repetitions,
+        "host": report.get("context", {}).get("host_name", "unknown"),
+        "num_cpus": report.get("context", {}).get("num_cpus"),
+    }
+    write_result(args.out, result)
+    print("bench_check: engine warm %.0f q/s (classic kernel %.0f), "
+          "cold speedup %.2fx, peak RSS %.0f KiB -> %s"
+          % (warm_on, warm_off, cold_speedup, rss_kb, args.out))
+
+    if args.record_only:
+        print("bench_check: --record-only, comparison skipped")
+        return 0
+
+    failed = False
+
+    # Absolute warm gate against the langops trajectory: the raw-speed
+    # pass has to clear --warm-factor times the overhauled-pipeline
+    # throughput recorded by the E9 baseline on this class of host.
+    langops_path = None
+    if args.baseline:
+        langops_path = os.path.join(os.path.dirname(args.baseline),
+                                    ENGINE_LANGOPS_BASELINE)
+    if langops_path and os.path.exists(langops_path):
+        with open(langops_path) as f:
+            langops = json.load(f)
+        ref = float(langops.get("overhauled_items_per_second", 0.0))
+        floor = ref * args.warm_factor
+        if ref > 0 and warm_on < floor:
+            sys.stderr.write(
+                "bench_check: engine warm throughput %.0f q/s is below "
+                "%.2fx the langops baseline (%.0f q/s -> floor %.0f)\n"
+                % (warm_on, args.warm_factor, ref, floor))
+            failed = True
+        elif ref > 0:
+            print("bench_check: warm factor ok (%.2fx the langops "
+                  "baseline, floor %.2fx)"
+                  % (warm_on / ref, args.warm_factor))
+    else:
+        print("bench_check: no %s beside the engine baseline, warm "
+              "factor gate skipped" % ENGINE_LANGOPS_BASELINE)
+
+    if cold_speedup < args.cold_speedup:
+        sys.stderr.write(
+            "bench_check: cold end-to-end speedup %.2fx is below the "
+            "%.2fx floor (bit-parallel %.0f vs classic %.0f q/s)\n"
+            % (cold_speedup, args.cold_speedup, cold_on, cold_off))
+        failed = True
+
+    if compare_baseline(result, args.baseline,
+                        ("warm_items_per_second", "cold_items_per_second"),
+                        args.tolerance):
+        failed = True
+
+    # Peak RSS is lower-is-better, so it gets its own comparison.
+    if args.baseline and os.path.exists(args.baseline):
+        with open(args.baseline) as f:
+            base = json.load(f)
+        ref_rss = float(base.get("peak_rss_kb", 0.0))
+        if ref_rss > 0 and rss_kb > ref_rss * (1.0 + args.tolerance):
+            sys.stderr.write(
+                "bench_check: peak RSS regressed: %.0f -> %.0f KiB "
+                "(+%.0f%%, tolerance %.0f%%)\n"
+                % (ref_rss, rss_kb, 100.0 * (rss_kb / ref_rss - 1.0),
+                   100.0 * args.tolerance))
+            failed = True
+        elif ref_rss > 0:
+            print("bench_check: peak_rss_kb ok (baseline %.0f, now %.0f "
+                  "KiB)" % (ref_rss, rss_kb))
+    return 1 if failed else 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--mode",
                     choices=("langops", "profile", "triage", "service",
-                             "reach"),
+                             "reach", "engine"),
                     default="langops",
                     help="langops gates language-engine throughput; "
                     "profile gates timed-tracing overhead; triage gates "
                     "the static cascade's kill rate and miss tax; service "
                     "gates the snapshot warm-start win; reach gates the "
-                    "reachability pre-pass answer rate")
+                    "reachability pre-pass answer rate; engine gates the "
+                    "raw-speed pass (arena + bit-parallel kernels)")
     ap.add_argument("--bench", required=True,
                     help="path to the benchmark binary")
     ap.add_argument("--out", required=True,
@@ -612,6 +753,14 @@ def main():
     ap.add_argument("--warm-ratio", type=float, default=0.60,
                     help="service mode: maximum warm-start cost as a "
                     "fraction of the cold rebuild (default .60)")
+    ap.add_argument("--warm-factor", type=float, default=1.30,
+                    help="engine mode: minimum warm throughput as a "
+                    "multiple of the langops baseline's overhauled "
+                    "number (default 1.30)")
+    ap.add_argument("--cold-speedup", type=float, default=1.15,
+                    help="engine mode: minimum cold end-to-end speedup "
+                    "of the bit-parallel kernel over the classic one "
+                    "(default 1.15)")
     ap.add_argument("--record-only", action="store_true",
                     help="write results, skip all comparisons")
     args = ap.parse_args()
@@ -624,6 +773,8 @@ def main():
         return run_service(args)
     if args.mode == "reach":
         return run_reach(args)
+    if args.mode == "engine":
+        return run_engine(args)
     return run_langops(args)
 
 

@@ -14,11 +14,12 @@
 #   tsan      build-tsan/     -DAPT_SANITIZE=thread (exercises the
 #                             trace-ring flush hammer and the parallel
 #                             batch engine under TSan)
-#   coverage  build-cov/      -DAPT_COVERAGE=ON: runs only the
-#                             coverage_gate_reach ctest, which executes
-#                             the reach/graph unit suites itself and
-#                             enforces the 80% line-coverage floor over
-#                             src/reach and src/graph
+#   coverage  build-cov/      -DAPT_COVERAGE=ON: runs only the coverage
+#                             gates -- coverage_gate_reach (80% floor
+#                             over src/reach and src/graph) and
+#                             coverage_gate_engine (85% floor over
+#                             src/regex and src/support); each gate
+#                             executes its unit suites itself
 #   service   build/ + build-asan/: builds both trees and runs only the
 #                             service-stack ctests in each -- the
 #                             aptc --connect sample-suite parity check
@@ -34,7 +35,12 @@
 # reach_parity_check) and the reach suites (reach_test, reach_fuzz_test,
 # the three-way differential leg) are ctests, so the default, asan, and
 # tsan legs pick them up automatically -- the sanitizer trees at reduced
-# randomized-case counts (tests/CMakeLists.txt).
+# randomized-case counts (tests/CMakeLists.txt). The same mechanism
+# promotes determinism_test (byte-identical verdicts across --jobs and
+# --arena) into the default and asan legs, and engine_perf_test's
+# zero-allocation warm-path contract into the default leg (under
+# sanitizers its allocation guard compiles out and the guarded
+# assertions skip).
 #
 # Usage: tools/ci.sh [leg ...]
 
@@ -64,7 +70,8 @@ run_coverage_leg() {
   echo "== ci.sh: leg 'coverage' -> $dir -DAPT_COVERAGE=ON"
   cmake -B "$ROOT/$dir" -S "$ROOT" -DAPT_COVERAGE=ON
   cmake --build "$ROOT/$dir" -j "$JOBS"
-  ctest --test-dir "$ROOT/$dir" --output-on-failure -R coverage_gate_reach
+  ctest --test-dir "$ROOT/$dir" --output-on-failure \
+    -R 'coverage_gate_(reach|engine)'
 }
 
 run_leg() {
