@@ -30,6 +30,8 @@
 #include "regex/RegexParser.h"
 #include "service/Snapshot.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Timeline.h"
 
 #include <benchmark/benchmark.h>
 
@@ -183,6 +185,37 @@ void BM_ServiceWarmStart(benchmark::State &State) {
   State.SetLabel("snapshot restore (read + parse + intern) + queries");
 }
 BENCHMARK(BM_ServiceWarmStart)->Unit(benchmark::kMillisecond);
+
+/// One daemon timeline reading (support/Timeline.h): a filtered
+/// Registry::values() walk over a registry populated the way a live
+/// aptd's is (service counters, cache gauges, per-op histograms). The
+/// poll loop pays this once per --timeline-ms; tools/bench_check.py
+/// --mode service gates it at <= 1% of the default 1 s interval.
+void BM_TimelineSample(benchmark::State &State) {
+  metrics::Registry Reg;
+  Reg.counter("apt.svc.proto.requests").add(1234);
+  Reg.counter("apt.svc.slow_requests").add(7);
+  Reg.counter("apt.trace.dropped_events").add(0);
+  for (int I = 0; I < 8; ++I) {
+    std::string N = "apt.svc.sessions.s" + std::to_string(I);
+    Reg.gauge(N + ".dfa_entries").set(100 + I);
+    Reg.gauge(N + ".goal_entries").set(200 + I);
+  }
+  for (const char *Op : {"ping", "run", "stats", "status", "timeline"})
+    for (int I = 0; I < 64; ++I)
+      Reg.histogram(std::string("apt.svc.op.") + Op + ".wall_us")
+          .observe(10 + I);
+
+  metrics::Timeline Ring(256);
+  uint64_t AtMs = 0;
+  for (auto _ : State) {
+    Ring.sample(Reg, ++AtMs);
+    benchmark::DoNotOptimize(Ring.latest());
+  }
+  State.counters["values_per_sample"] =
+      Ring.latest() ? static_cast<double>(Ring.latest()->Values.size()) : 0;
+}
+BENCHMARK(BM_TimelineSample)->Unit(benchmark::kMicrosecond);
 
 /// Verdict parity between the two paths, printed before the timings so
 /// a semantic break is obvious even in record-only runs.

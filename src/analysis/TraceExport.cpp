@@ -10,6 +10,7 @@
 #include "core/ProofJson.h"
 #include "support/Clock.h"
 #include "support/Json.h"
+#include "support/Version.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -34,10 +35,13 @@ void writeLine(std::ostream &OS, const JsonValue &V) {
   OS << V.dump() << '\n';
 }
 
-JsonValue headerRecord(const char *Mode) {
+JsonValue headerRecord(const char *Mode, uint64_t RequestId) {
   JsonValue::Object O;
+  O.emplace("build", version::buildJson());
   O.emplace("format", "apt-trace");
   O.emplace("mode", Mode);
+  if (RequestId) // daemon-served run: correlates with the slow-request log
+    O.emplace("request", RequestId);
   O.emplace("type", "header");
   O.emplace("version", 1);
   return JsonValue(std::move(O));
@@ -134,9 +138,10 @@ TraceWriteStats apt::writeBatchTrace(std::ostream &OS,
                                      const BatchQueryEngine &Engine,
                                      const std::vector<BatchResult> &Results,
                                      const FieldTable &Fields,
-                                     trace::Collector *Events) {
+                                     trace::Collector *Events,
+                                     uint64_t RequestId) {
   TraceWriteStats Stats;
-  writeLine(OS, headerRecord("batch"));
+  writeLine(OS, headerRecord("batch", RequestId));
   for (size_t I = 0; I < Results.size(); ++I) {
     const BatchResult &BR = Results[I];
     JsonValue V = verdictRecord(I, BR.Result);
@@ -173,9 +178,10 @@ TraceWriteStats apt::writeProveTrace(std::ostream &OS, const AxiomSet &Axioms,
                                      const RegexRef &P, const RegexRef &Q,
                                      const FieldTable &Fields,
                                      const ProverOptions &Opts,
-                                     trace::Collector *Events) {
+                                     trace::Collector *Events,
+                                     uint64_t RequestId) {
   TraceWriteStats Stats;
-  writeLine(OS, headerRecord("prove"));
+  writeLine(OS, headerRecord("prove", RequestId));
   ProverOptions Fresh = Opts;
   Fresh.RecordProof = true;
   Prover Prover_(Fields, Fresh);
@@ -211,9 +217,10 @@ TraceWriteStats apt::writePairTrace(std::ostream &OS, const AxiomSet &Axioms,
                                     const DepTestResult &R,
                                     const FieldTable &Fields,
                                     const ProverOptions &Opts,
-                                    trace::Collector *Events) {
+                                    trace::Collector *Events,
+                                    uint64_t RequestId) {
   TraceWriteStats Stats;
-  writeLine(OS, headerRecord("pair"));
+  writeLine(OS, headerRecord("pair", RequestId));
   JsonValue V = verdictRecord(0, R);
   V.asObject().emplace("s", memRefToJson(S, Fields));
   V.asObject().emplace("t", memRefToJson(T, Fields));

@@ -56,12 +56,16 @@ struct TraceWriteStats {
 /// re-derived: for every No verdict the prover established, the query is
 /// prepared again and proven on a fresh cache-free prover so the
 /// recorded tree is self-contained. \p Events, when non-null, is drained
-/// into event records.
+/// into event records. \p RequestId, when nonzero, is the daemon request
+/// this run served; it lands on the header record so a trace file can be
+/// matched against the daemon's slow-request log and the run's
+/// --metrics-json meta block (docs/SERVICE.md).
 TraceWriteStats writeBatchTrace(std::ostream &OS,
                                 const BatchQueryEngine &Engine,
                                 const std::vector<BatchResult> &Results,
                                 const FieldTable &Fields,
-                                trace::Collector *Events = nullptr);
+                                trace::Collector *Events = nullptr,
+                                uint64_t RequestId = 0);
 
 /// Writes the trace of one raw disjointness query (`aptc prove`):
 /// proves `forall x: x.P <> x.Q` on a fresh prover and records the
@@ -71,7 +75,8 @@ TraceWriteStats writeProveTrace(std::ostream &OS, const AxiomSet &Axioms,
                                 const RegexRef &P, const RegexRef &Q,
                                 const FieldTable &Fields,
                                 const ProverOptions &Opts,
-                                trace::Collector *Events = nullptr);
+                                trace::Collector *Events = nullptr,
+                                uint64_t RequestId = 0);
 
 /// Writes the trace of one prepared statement-pair query (`aptc deps`
 /// with an explicit pair). \p R is the already-computed verdict; the
@@ -81,7 +86,8 @@ TraceWriteStats writePairTrace(std::ostream &OS, const AxiomSet &Axioms,
                                const DepTestResult &R,
                                const FieldTable &Fields,
                                const ProverOptions &Opts,
-                               trace::Collector *Events = nullptr);
+                               trace::Collector *Events = nullptr,
+                               uint64_t RequestId = 0);
 
 /// Result of replaying a trace stream.
 struct ReplayReport {

@@ -9,6 +9,7 @@
 #include "support/Json.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -30,6 +31,185 @@ bool writeAll(int Fd, const std::string &S) {
     Off += static_cast<size_t>(N);
   }
   return true;
+}
+
+/// Connects to the daemon socket; -1 with a stderr line on failure.
+int connectDaemon(const std::string &SocketPath) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "aptc: socket path too long: '%s'\n",
+                 SocketPath.c_str());
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    std::perror("aptc: socket");
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    std::fprintf(stderr, "aptc: cannot connect to aptd at '%s': %s\n",
+                 SocketPath.c_str(), std::strerror(errno));
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// Sends \p Request (one line) and reads one response line into \p Out.
+bool roundTrip(int Fd, JsonValue Request, std::string &Out) {
+  std::string Line = Request.dump();
+  Line.push_back('\n');
+  if (!writeAll(Fd, Line)) {
+    std::fprintf(stderr, "aptc: failed sending request to aptd\n");
+    return false;
+  }
+  Out.clear();
+  char Chunk[4096];
+  size_t Nl;
+  static thread_local std::string Buf; // leftover bytes between calls
+  while ((Nl = Buf.find('\n')) == std::string::npos) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N <= 0) {
+      std::fprintf(stderr, "aptc: aptd closed the connection mid-response\n");
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+  Out = Buf.substr(0, Nl);
+  Buf.erase(0, Nl + 1);
+  return true;
+}
+
+/// Sends one parameterless \p Op request and returns its "result", or a
+/// null value after explaining the failure on stderr.
+JsonValue fetchOp(int Fd, const char *Op) {
+  JsonValue::Object Req;
+  Req["id"] = JsonValue(static_cast<int64_t>(1));
+  Req["op"] = JsonValue(Op);
+  std::string RespLine;
+  if (!roundTrip(Fd, JsonValue(std::move(Req)), RespLine))
+    return JsonValue();
+  JsonParseResult Parsed = parseJson(RespLine);
+  if (!Parsed) {
+    std::fprintf(stderr, "aptc: invalid response from aptd: %s\n",
+                 Parsed.Error.c_str());
+    return JsonValue();
+  }
+  if (!Parsed.Value["ok"].isBool() || !Parsed.Value["ok"].asBool()) {
+    const JsonValue &E = Parsed.Value["error"];
+    std::fprintf(stderr, "aptc: aptd error %s: %s\n",
+                 E["code"].isString() ? E["code"].asString().c_str() : "?",
+                 E["message"].isString() ? E["message"].asString().c_str()
+                                         : "unknown error");
+    return JsonValue();
+  }
+  return Parsed.Value["result"];
+}
+
+uint64_t asU64(const JsonValue &V) {
+  return V.isInt() ? static_cast<uint64_t>(V.asInt()) : 0;
+}
+
+/// One rendered frame of the live view, built off-screen and written in
+/// a single fwrite so a refresh never shows a torn table.
+std::string renderTopFrame(const std::string &SocketPath,
+                           const JsonValue &Status,
+                           const JsonValue &Timeline) {
+  char Buf[256];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf),
+                "aptd @ %s — up %.1f s, %llu request(s), %llu slow\n",
+                SocketPath.c_str(),
+                static_cast<double>(asU64(Status["uptime_ms"])) / 1000.0,
+                static_cast<unsigned long long>(asU64(Status["requests"])),
+                static_cast<unsigned long long>(
+                    asU64(Status["slow_queries"])));
+  Out += Buf;
+
+  const JsonValue &Snap = Status["snapshot"];
+  if (Snap["loaded"].isBool() && Snap["loaded"].asBool()) {
+    std::snprintf(Buf, sizeof(Buf), "snapshot: loaded %.1f s ago\n",
+                  static_cast<double>(asU64(Snap["age_ms"])) / 1000.0);
+    Out += Buf;
+  } else {
+    Out += "snapshot: none\n";
+  }
+
+  Out += "\nops:                 count   total_us     max_us     p50_us"
+         "     p99_us\n";
+  if (Status["ops"].isObject()) {
+    for (const auto &[Op, S] : Status["ops"].asObject()) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "  %-16s %8llu %10llu %10llu %10llu %10llu\n", Op.c_str(),
+                    static_cast<unsigned long long>(asU64(S["count"])),
+                    static_cast<unsigned long long>(asU64(S["total_us"])),
+                    static_cast<unsigned long long>(asU64(S["max_us"])),
+                    static_cast<unsigned long long>(asU64(S["p50_us"])),
+                    static_cast<unsigned long long>(asU64(S["p99_us"])));
+      Out += Buf;
+    }
+  }
+
+  Out += "\nsessions:            reqs    dfa     goal    lang\n";
+  if (Status["sessions"].isArray()) {
+    for (const JsonValue &S : Status["sessions"].asArray()) {
+      std::string Path = S["path"].isString() ? S["path"].asString() : "?";
+      if (Path.size() > 18) // keep the table aligned; tails matter most
+        Path = "…" + Path.substr(Path.size() - 17);
+      std::snprintf(Buf, sizeof(Buf), "  %-18s %6llu %7llu %7llu %7llu\n",
+                    Path.c_str(),
+                    static_cast<unsigned long long>(asU64(S["requests"])),
+                    static_cast<unsigned long long>(asU64(S["dfa_entries"])),
+                    static_cast<unsigned long long>(asU64(S["goal_entries"])),
+                    static_cast<unsigned long long>(asU64(S["lang_entries"])));
+      Out += Buf;
+    }
+  }
+
+  std::snprintf(Buf, sizeof(Buf),
+                "\ntimeline: %llu/%llu sample(s) @ %llu ms, %llu dropped\n",
+                static_cast<unsigned long long>(
+                    Timeline["samples"].isArray()
+                        ? Timeline["samples"].asArray().size()
+                        : 0),
+                static_cast<unsigned long long>(asU64(Timeline["capacity"])),
+                static_cast<unsigned long long>(
+                    asU64(Timeline["interval_ms"])),
+                static_cast<unsigned long long>(asU64(Timeline["dropped"])));
+  Out += Buf;
+
+  // Counter movement over the newest tick: the at-a-glance "is it doing
+  // anything" signal.
+  if (Timeline["samples"].isArray() &&
+      Timeline["samples"].asArray().size() >= 2) {
+    const JsonValue::Array &Samples = Timeline["samples"].asArray();
+    const JsonValue &Prev = Samples[Samples.size() - 2];
+    const JsonValue &Last = Samples[Samples.size() - 1];
+    std::snprintf(Buf, sizeof(Buf), "deltas %llu -> %llu ms:\n",
+                  static_cast<unsigned long long>(asU64(Prev["at_ms"])),
+                  static_cast<unsigned long long>(asU64(Last["at_ms"])));
+    Out += Buf;
+    size_t Shown = 0;
+    if (Last["values"].isObject()) {
+      for (const auto &[Name, V] : Last["values"].asObject()) {
+        uint64_t Now = asU64(V);
+        uint64_t Before =
+            Prev["values"].isObject() ? asU64(Prev["values"][Name]) : 0;
+        if (Now == Before || Shown >= 10)
+          continue;
+        long long Delta = static_cast<long long>(Now) -
+                          static_cast<long long>(Before);
+        std::snprintf(Buf, sizeof(Buf), "  %-36s %+lld (now %llu)\n",
+                      Name.c_str(), Delta,
+                      static_cast<unsigned long long>(Now));
+        Out += Buf;
+        ++Shown;
+      }
+    }
+  }
+  return Out;
 }
 
 } // namespace
@@ -115,4 +295,69 @@ int apt::svc::runViaDaemon(const std::string &SocketPath,
   std::fflush(stdout);
   std::fwrite(Err.data(), 1, Err.size(), stderr);
   return static_cast<int>(Result["exit"].asInt());
+}
+
+int apt::svc::runTopCommand(const std::string &SocketPath,
+                            const std::vector<std::string> &Args) {
+  bool IsTty = ::isatty(STDOUT_FILENO) != 0;
+  uint64_t IntervalMs = 1000;
+  // Non-tty default: one frame and exit, so `aptc top --connect S | cat`
+  // (and the soak harness) terminates without --iterations.
+  uint64_t Iterations = IsTty ? 0 : 1;
+
+  auto ParseU64 = [](const std::string &S, uint64_t &Out) {
+    if (S.empty())
+      return false;
+    char *End = nullptr;
+    Out = std::strtoull(S.c_str(), &End, 10);
+    return End && *End == '\0';
+  };
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    std::string Val;
+    uint64_t *Dst = nullptr;
+    for (const char *Flag : {"--interval-ms", "--iterations"}) {
+      size_t Len = std::strlen(Flag);
+      if (A.compare(0, Len, Flag) != 0)
+        continue;
+      if (A.size() == Len && I + 1 < Args.size())
+        Val = Args[++I];
+      else if (A.size() > Len && A[Len] == '=')
+        Val = A.substr(Len + 1);
+      else
+        continue;
+      Dst = Flag[2] == 'i' && Flag[3] == 'n' ? &IntervalMs : &Iterations;
+      break;
+    }
+    if (!Dst || !ParseU64(Val, *Dst)) {
+      std::fprintf(stderr,
+                   "aptc top: unknown or malformed flag '%s' (expected "
+                   "--interval-ms N or --iterations N)\n",
+                   A.c_str());
+      return 2;
+    }
+  }
+  if (IntervalMs == 0)
+    IntervalMs = 1;
+
+  for (uint64_t Frame = 0; Iterations == 0 || Frame < Iterations; ++Frame) {
+    if (Frame != 0)
+      ::usleep(static_cast<useconds_t>(IntervalMs) * 1000);
+    // Fresh connection per refresh: the daemon serves one connection at
+    // a time, and a held-open top must not lock out real requests.
+    int Fd = connectDaemon(SocketPath);
+    if (Fd < 0)
+      return 2;
+    JsonValue Status = fetchOp(Fd, "status");
+    JsonValue Timeline = fetchOp(Fd, "timeline");
+    ::close(Fd);
+    if (Status.isNull() || Timeline.isNull())
+      return 2;
+    std::string FrameText = renderTopFrame(SocketPath, Status, Timeline);
+    if (IsTty)
+      std::fputs("\033[H\033[2J", stdout); // home + clear, single frame
+    std::fwrite(FrameText.data(), 1, FrameText.size(), stdout);
+    std::fflush(stdout);
+  }
+  return 0;
 }

@@ -31,6 +31,18 @@ namespace apt::svc {
 int runViaDaemon(const std::string &SocketPath,
                  const std::vector<std::string> &Args);
 
+/// The `aptc top --connect SOCKET` live view: polls the daemon's
+/// `status` and `timeline` ops and renders a refreshing table — uptime,
+/// per-op latency, the session table, and counter deltas over the last
+/// timeline tick. \p Args are the remaining flags: --interval-ms N
+/// (refresh period, default 1000) and --iterations N (stop after N
+/// refreshes; default 1 when stdout is not a tty, 0 = forever when it
+/// is). Clears the screen between refreshes only on a tty, so piping
+/// the output yields plain appended frames. Returns 0 after the last
+/// refresh, 2 on connection/protocol failure or bad flags.
+int runTopCommand(const std::string &SocketPath,
+                  const std::vector<std::string> &Args);
+
 } // namespace apt::svc
 
 #endif // APT_SERVICE_CLIENT_H

@@ -20,9 +20,11 @@
 #include "reach/ReachEngine.h"
 #include "regex/RegexParser.h"
 #include "support/Arena.h"
+#include "support/ChromeTrace.h"
 #include "support/Metrics.h"
 #include "support/Strings.h"
 #include "support/Trace.h"
+#include "support/Version.h"
 
 #include <chrono>
 #include <cstdarg>
@@ -36,8 +38,9 @@
 using namespace apt;
 using namespace apt::svc;
 
-const char *const apt::svc::kSubcommands[6] = {"prove", "deps", "loops",
-                                               "dump", "lint", "reach"};
+const char *const apt::svc::kSubcommands[7] = {"prove", "deps", "loops",
+                                               "dump",  "lint", "reach",
+                                               "top"};
 
 CommandIo apt::svc::stdioCommandIo() {
   CommandIo Io;
@@ -96,19 +99,22 @@ int usage(const CommandIo &Io) {
   errf(Io,
        "usage: aptc prove <axioms-file> <pathP> <pathQ> "
        "[--triage on|off] [--arena on|off] [--engine apt|reach|both]\n"
-       "                 [--trace FILE] [--metrics-json FILE] "
-       "[--profile FILE] [--profile-folded FILE]\n"
+       "                 [--trace FILE] [--trace-chrome FILE] "
+       "[--metrics-json FILE] [--profile FILE] [--profile-folded FILE]\n"
        "       aptc deps <program> [<labelS> <labelT>] "
        "[--invariant-writes] [--triage on|off] [--arena on|off]\n"
        "                 [--reach-prepass on|off] "
        "[--engine apt|reach|both] [--jobs N] [--stats]\n"
-       "                 [--trace FILE] [--metrics-json FILE] "
-       "[--profile FILE] [--profile-folded FILE]\n"
+       "                 [--trace FILE] [--trace-chrome FILE] "
+       "[--metrics-json FILE] [--profile FILE] [--profile-folded FILE]\n"
        "       aptc loops <program> [--invariant-writes]\n"
        "       aptc dump <program> [--invariant-writes]\n"
        "       aptc lint <axioms-or-program> [--no-models]\n"
        "       aptc reach <axioms-file> <pathP> <pathQ> "
        "[--metrics-json FILE]\n"
+       "       aptc top --connect SOCKET [--interval-ms N] "
+       "[--iterations N]   (live daemon status/timeline view)\n"
+       "       aptc --version\n"
        "       aptc <subcommand> ... --connect SOCKET   "
        "(route through a running aptd; see docs/SERVICE.md)\n");
   return 2;
@@ -125,25 +131,32 @@ void warnOnlyLint(const CommandIo &Io, const DiagnosticEngine &Diags) {
 }
 
 /// The observability surface shared by `prove` and `deps`: --trace=FILE
-/// writes a JSONL trace (docs/OBSERVABILITY.md), --metrics-json=FILE the
-/// metrics registry (as a delta since request entry), --profile=FILE a
+/// writes a JSONL trace (docs/OBSERVABILITY.md), --trace-chrome=FILE a
+/// Chrome trace-event JSON timeline (support/ChromeTrace.h, opens in
+/// chrome://tracing and Perfetto), --metrics-json=FILE the metrics
+/// registry (as a delta since request entry), --profile=FILE a
 /// time-attribution profile (docs/profile_schema.json) and
 /// --profile-folded=FILE the same data as collapsed flamegraph stacks.
-/// All accept `--flag FILE` and `--flag=FILE`; the profile flags switch
-/// tracing into timed mode. Under the daemon the files are written by
-/// the server process, to server-side paths.
+/// All accept `--flag FILE` and `--flag=FILE`; the profile and chrome
+/// flags switch tracing into timed mode. Under the daemon the files are
+/// written by the server process, to server-side paths.
 struct ObsFlags {
   std::string TraceFile;
+  std::string ChromeFile;
   std::string MetricsFile;
   std::string ProfileFile;
   std::string ProfileFoldedFile;
 
-  /// Timed spans wanted (turns on trace timed mode for the run).
   bool profiling() const {
     return !ProfileFile.empty() || !ProfileFoldedFile.empty();
   }
+  /// Timed spans wanted (turns on trace timed mode for the run): the
+  /// profile aggregation and the chrome timeline both need timestamps.
+  bool timed() const { return profiling() || !ChromeFile.empty(); }
   /// Any surface that needs the event collector installed.
-  bool tracing() const { return !TraceFile.empty() || profiling(); }
+  bool tracing() const {
+    return !TraceFile.empty() || !ChromeFile.empty() || profiling();
+  }
 };
 
 /// Strips observability flags out of Argv. Returns false on a flag that
@@ -175,7 +188,12 @@ bool parseObsFlags(const CommandIo &Io, int &Argc, char **Argv,
     return 2;
   };
   for (int I = 0; I < Argc;) {
-    int N = MatchValueFlag(I, "--trace", Flags.TraceFile);
+    // --trace-chrome before --trace: MatchValueFlag rejects the prefix
+    // overlap itself (the next char must be '=' or NUL), the order just
+    // keeps the error message for a value-less --trace-chrome right.
+    int N = MatchValueFlag(I, "--trace-chrome", Flags.ChromeFile);
+    if (N == 0)
+      N = MatchValueFlag(I, "--trace", Flags.TraceFile);
     if (N == 0)
       N = MatchValueFlag(I, "--metrics-json", Flags.MetricsFile);
     if (N == 0)
@@ -407,7 +425,9 @@ private:
 /// Aggregates the collected timed events and writes --profile /
 /// --profile-folded files (no-op when neither was requested). Publishes
 /// the aggregate as apt.prof.* metrics, so call before writeMetricsFile.
-/// \p Mode mirrors the trace header ("prove", "pair", "batch").
+/// \p Mode mirrors the trace header ("prove", "pair", "batch"). The
+/// document gains a "build" identity block and, for daemon-served runs,
+/// the "request" id (both optional in docs/profile_schema.json).
 bool writeProfileFiles(const CommandIo &Io, const ObsFlags &Obs,
                        const trace::Collector *Events, const char *Mode) {
   if (!Obs.profiling() || !Events)
@@ -421,7 +441,11 @@ bool writeProfileFiles(const CommandIo &Io, const ObsFlags &Obs,
       errf(Io, "error: cannot write '%s'\n", Obs.ProfileFile.c_str());
       return false;
     }
-    Out << P.toJson(Mode).dumpPretty() << '\n';
+    JsonValue Doc = P.toJson(Mode);
+    Doc.asObject().emplace("build", version::buildJson());
+    if (Io.RequestId)
+      Doc.asObject().emplace("request", Io.RequestId);
+    Out << Doc.dumpPretty() << '\n';
   }
   if (!Obs.ProfileFoldedFile.empty()) {
     std::ofstream Out(Obs.ProfileFoldedFile);
@@ -434,18 +458,44 @@ bool writeProfileFiles(const CommandIo &Io, const ObsFlags &Obs,
   return true;
 }
 
+/// Writes the --trace-chrome timeline (no-op when not requested). Uses
+/// Collector::snapshot(), so it must run before the JSONL trace writer
+/// drains the collector. \p Mode labels the process track.
+bool writeChromeFile(const CommandIo &Io, const ObsFlags &Obs,
+                     const trace::Collector *Events, const char *Mode) {
+  if (Obs.ChromeFile.empty() || !Events)
+    return true;
+  std::ofstream Out(Obs.ChromeFile);
+  if (!Out) {
+    errf(Io, "error: cannot write '%s'\n", Obs.ChromeFile.c_str());
+    return false;
+  }
+  trace::ChromeTraceOptions CO;
+  CO.ProcessName = std::string("aptc ") + Mode;
+  CO.RequestId = Io.RequestId;
+  trace::writeChromeTrace(Out, Events->snapshot(), CO);
+  return true;
+}
+
 /// Writes the metrics registry as pretty JSON — the delta since the
 /// request's entry baseline, so a daemon-routed request reports its own
 /// numbers rather than process-lifetime totals. In a fresh one-shot
-/// process the baseline is empty and the delta equals the totals.
+/// process the baseline is empty and the delta equals the totals. A
+/// "meta" block carries the build identity and, for daemon-served runs,
+/// the request id (optional in docs/metrics_schema.json).
 bool writeMetricsFile(const Ctx &C, const std::string &Path) {
   std::ofstream Out(Path);
   if (!Out) {
     errf(C.Io, "error: cannot write '%s'\n", Path.c_str());
     return false;
   }
-  Out << metrics::Registry::global().toJsonSince(C.Baseline).dumpPretty()
-      << '\n';
+  JsonValue Doc = metrics::Registry::global().toJsonSince(C.Baseline);
+  JsonValue::Object Meta;
+  Meta["build"] = version::buildJson();
+  if (C.Io.RequestId)
+    Meta["request"] = JsonValue(C.Io.RequestId);
+  Doc.asObject().emplace("meta", JsonValue(std::move(Meta)));
+  Out << Doc.dumpPretty() << '\n';
   return true;
 }
 
@@ -557,7 +607,7 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
       return 2;
     return Exit;
   }
-  TraceScope Scope(Obs.tracing(), Obs.profiling());
+  TraceScope Scope(Obs.tracing(), Obs.timed());
   Prover Prover(Fields);
   int Exit;
   // Triage screen (docs/TRIAGE.md): when the two top-level languages
@@ -625,6 +675,8 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
   trace::Collector *Events = Obs.tracing() ? Scope.finish() : nullptr;
   if (!writeProfileFiles(Io, Obs, Events, "prove"))
     return 2;
+  if (!writeChromeFile(Io, Obs, Events, "prove"))
+    return 2;
   if (!Obs.TraceFile.empty()) {
     std::ofstream Out(Obs.TraceFile);
     if (!Out) {
@@ -632,7 +684,7 @@ int cmdProve(Ctx &C, int Argc, char **Argv) {
       return 2;
     }
     writeProveTrace(Out, Axioms, P.Value, Q.Value, Fields, Prover.options(),
-                    Events);
+                    Events, Io.RequestId);
   }
   publishProverMetrics(Prover);
   if (!Obs.MetricsFile.empty() && !writeMetricsFile(C, Obs.MetricsFile))
@@ -750,7 +802,7 @@ int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
     return AnyOverlap ? 1 : 0;
   }
   BatchStats StatsBase = Engine.stats();
-  TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
+  TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.timed());
   std::vector<BatchResult> Results = Engine.runAll();
   bool AllNo = true;
   for (const BatchResult &R : Results) {
@@ -817,13 +869,15 @@ int cmdDepsBatch(Ctx &C, Session &S, const ProgramFlags &Flags) {
   trace::Collector *Events = Flags.Obs.tracing() ? Scope.finish() : nullptr;
   if (!writeProfileFiles(Io, Flags.Obs, Events, "batch"))
     return 2;
+  if (!writeChromeFile(Io, Flags.Obs, Events, "deps"))
+    return 2;
   if (!Flags.Obs.TraceFile.empty()) {
     std::ofstream Out(Flags.Obs.TraceFile);
     if (!Out) {
       errf(Io, "error: cannot write '%s'\n", Flags.Obs.TraceFile.c_str());
       return 2;
     }
-    writeBatchTrace(Out, Engine, Results, S.Fields, Events);
+    writeBatchTrace(Out, Engine, Results, S.Fields, Events, Io.RequestId);
   }
   if (!Flags.Obs.MetricsFile.empty() &&
       !writeMetricsFile(C, Flags.Obs.MetricsFile))
@@ -875,7 +929,7 @@ int cmdDeps(Ctx &C, int Argc, char **Argv) {
         printReachWitness(Io, Fields, *W);
       return W ? 1 : 0;
     }
-    TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.profiling());
+    TraceScope Scope(Flags.Obs.tracing(), Flags.Obs.timed());
     Prover P(Fields);
     DepTestResult R = Engine.testStatementPair(Argv[1], Argv[2], P);
     outf(Io, "fn %s: deptest(%s, %s) = %s (%s: %s)\n", F.Name.c_str(),
@@ -925,6 +979,8 @@ int cmdDeps(Ctx &C, int Argc, char **Argv) {
     trace::Collector *Events = Flags.Obs.tracing() ? Scope.finish() : nullptr;
     if (!writeProfileFiles(Io, Flags.Obs, Events, "pair"))
       return 2;
+    if (!writeChromeFile(Io, Flags.Obs, Events, "deps"))
+      return 2;
     if (!Flags.Obs.TraceFile.empty()) {
       std::ofstream Out(Flags.Obs.TraceFile);
       if (!Out) {
@@ -933,7 +989,7 @@ int cmdDeps(Ctx &C, int Argc, char **Argv) {
       }
       PreparedQuery Prep = Engine.prepareStatementPair(Argv[1], Argv[2]);
       writePairTrace(Out, Prep.Axioms, Prep.S, Prep.T, R, Fields, P.options(),
-                     Events);
+                     Events, Io.RequestId);
     }
     publishProverMetrics(P);
     if (!Flags.Obs.MetricsFile.empty() &&
@@ -1140,7 +1196,14 @@ int apt::svc::runServiceCommand(ServiceState &State,
     Exit = cmdLint(C, Argc, Argv.data());
   else if (Cmd == "reach")
     Exit = cmdReach(C, Argc, Argv.data());
-  else
+  else if (Cmd == "top") {
+    // The live view only makes sense against a daemon; aptc routes
+    // `top --connect` to runTopCommand before this layer, so reaching
+    // here means the flag was missing.
+    errf(Io, "error: aptc top requires --connect SOCKET "
+             "(it renders a live view of a running aptd)\n");
+    return 2;
+  } else
     return usage(Io);
 
   uint64_t WallUs = static_cast<uint64_t>(

@@ -47,6 +47,11 @@ struct CommandIo {
   std::function<void(std::string_view)> Out;
   std::function<void(std::string_view)> Err;
   std::function<void()> FlushOut;
+  /// Daemon request id serving this command, 0 for one-shot runs. Lands
+  /// on the header of every artifact the command writes (--trace,
+  /// --trace-chrome, --profile, --metrics-json) so artifacts correlate
+  /// with the daemon's slow-request log and `status` counters.
+  uint64_t RequestId = 0;
 };
 
 /// Sinks bound to the process's real stdout/stderr (one-shot mode).
@@ -54,17 +59,18 @@ CommandIo stdioCommandIo();
 
 /// Runs one CLI command against \p State. \p Args is the full argument
 /// vector after the program name: Args[0] is the subcommand
-/// ("prove", "deps", "loops", "dump", "lint", "reach"); the rest are
-/// its
-/// arguments and flags. Returns the process exit code (0 ok, 1 verdict-
-/// level failure, 2 usage/input error). Unknown or missing subcommands
-/// print the usage text to Io.Err and return 2.
+/// ("prove", "deps", "loops", "dump", "lint", "reach", "top"); the rest
+/// are its arguments and flags. Returns the process exit code (0 ok, 1
+/// verdict-level failure, 2 usage/input error). Unknown or missing
+/// subcommands print the usage text to Io.Err and return 2. ("top" only
+/// explains that it needs --connect: the live view is daemon-only and
+/// aptc routes it to runTopCommand before reaching this layer.)
 int runServiceCommand(ServiceState &State, const std::vector<std::string> &Args,
                       const CommandIo &Io);
 
 /// The names runServiceCommand dispatches on, for tools that enumerate
 /// the CLI surface (tools/docs_check.py greps this table).
-extern const char *const kSubcommands[6];
+extern const char *const kSubcommands[7];
 
 } // namespace apt::svc
 

@@ -9,6 +9,7 @@
 #include "service/Commands.h"
 #include "service/Snapshot.h"
 #include "support/Metrics.h"
+#include "support/Version.h"
 
 #include <algorithm>
 #include <chrono>
@@ -49,6 +50,17 @@ JsonValue snapshotStatsJson(const SnapshotStats &S) {
   return JsonValue(std::move(O));
 }
 
+/// Milliseconds from \p From to now; 0 when \p From is the epoch default
+/// (i.e. the event never happened).
+uint64_t msSince(std::chrono::steady_clock::time_point From) {
+  if (From == std::chrono::steady_clock::time_point{})
+    return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - From)
+          .count());
+}
+
 const char *snapshotErrorCode(SnapshotError E) {
   switch (E) {
   case SnapshotError::Io:
@@ -65,15 +77,17 @@ const char *snapshotErrorCode(SnapshotError E) {
 
 } // namespace
 
-void ProtocolHandler::recordSlow(uint64_t WallUs, std::string Op,
-                                 std::string Detail) {
+void ProtocolHandler::recordSlow(uint64_t RequestId, uint64_t WallUs,
+                                 std::string Op, std::string Detail) {
   if (SlowUs == 0 || WallUs < SlowUs)
     return;
   metrics::Registry::global().counter("apt.svc.slow_requests").add(1);
-  std::fprintf(stderr, "aptd: slow request: %llu us op=%s %s\n",
+  std::fprintf(stderr, "aptd: slow request: req=%llu %llu us op=%s %s\n",
+               static_cast<unsigned long long>(RequestId),
                static_cast<unsigned long long>(WallUs), Op.c_str(),
                Detail.c_str());
-  Slow.push_back(SlowQuery{WallUs, std::move(Op), std::move(Detail)});
+  Slow.push_back(SlowQuery{RequestId, WallUs, std::move(Op),
+                           std::move(Detail)});
   std::sort(Slow.begin(), Slow.end(),
             [](const SlowQuery &A, const SlowQuery &B) {
               return A.WallUs > B.WallUs;
@@ -82,7 +96,76 @@ void ProtocolHandler::recordSlow(uint64_t WallUs, std::string Op,
     Slow.resize(kSlowLogCapacity);
 }
 
-JsonValue ProtocolHandler::dispatch(const JsonValue &Request, bool &Shutdown,
+/// The `stats`/`status` session table: one row per resident session.
+JsonValue ProtocolHandler::sessionsJson() const {
+  JsonValue::Array Sessions;
+  for (const auto &[Path, S] : State.sessions()) {
+    JsonValue::Object O;
+    O["path"] = JsonValue(Path);
+    O["fingerprint"] = JsonValue(S->Fingerprint);
+    O["requests"] = JsonValue(static_cast<int64_t>(S->Requests));
+    O["dfa_entries"] = JsonValue(static_cast<int64_t>(S->Store.size()));
+    O["goal_entries"] = JsonValue(static_cast<int64_t>(S->Goals.size()));
+    O["lang_entries"] = JsonValue(static_cast<int64_t>(S->Lang.size()));
+    O["fields"] = JsonValue(static_cast<int64_t>(S->Fields.size()));
+    O["engines"] = JsonValue(static_cast<int64_t>(S->Engines.size()));
+    Sessions.push_back(JsonValue(std::move(O)));
+  }
+  return JsonValue(std::move(Sessions));
+}
+
+/// The `status` op body: a one-stop health view of this daemon. Cheap on
+/// purpose — everything here is already in memory (`aptc top` polls it
+/// every second).
+JsonValue ProtocolHandler::statusResult() const {
+  JsonValue::Object R;
+  R["uptime_ms"] = JsonValue(msSince(StartedAt));
+  R["requests"] = JsonValue(Requests);
+
+  JsonValue::Object Ver;
+  Ver["build"] = version::buildJson();
+  Ver["protocol"] = JsonValue(version::kProtocolVersion);
+  Ver["snapshot"] = JsonValue(kSnapshotVersion);
+  R["version"] = JsonValue(std::move(Ver));
+
+  JsonValue::Object Ops;
+  for (const auto &[Op, H] : OpLatency) {
+    metrics::Histogram::Snapshot S = H.snapshot();
+    JsonValue::Object O;
+    O["count"] = JsonValue(S.Count);
+    O["total_us"] = JsonValue(S.Sum);
+    O["max_us"] = JsonValue(S.Max);
+    O["p50_us"] = JsonValue(S.quantile(0.50));
+    O["p99_us"] = JsonValue(S.quantile(0.99));
+    Ops.emplace(Op, JsonValue(std::move(O)));
+  }
+  R["ops"] = JsonValue(std::move(Ops));
+
+  R["sessions"] = sessionsJson();
+  R["slow_queries"] = JsonValue(static_cast<uint64_t>(Slow.size()));
+
+  JsonValue::Object Snap;
+  bool Loaded = SnapshotLoadedAt != std::chrono::steady_clock::time_point{};
+  Snap["loaded"] = JsonValue(Loaded);
+  Snap["age_ms"] = JsonValue(Loaded ? msSince(SnapshotLoadedAt) : 0);
+  R["snapshot"] = JsonValue(std::move(Snap));
+
+  JsonValue::Object TL;
+  TL["capacity"] =
+      JsonValue(static_cast<uint64_t>(Timeline ? Timeline->capacity() : 0));
+  TL["samples"] =
+      JsonValue(static_cast<uint64_t>(Timeline ? Timeline->size() : 0));
+  TL["dropped"] = JsonValue(Timeline ? Timeline->dropped() : uint64_t(0));
+  TL["interval_ms"] = JsonValue(Timeline ? TimelineMs : uint64_t(0));
+  const metrics::Timeline::Sample *Last = Timeline ? Timeline->latest()
+                                                   : nullptr;
+  TL["last_at_ms"] = JsonValue(Last ? Last->AtMs : uint64_t(0));
+  R["timeline"] = JsonValue(std::move(TL));
+  return JsonValue(std::move(R));
+}
+
+JsonValue ProtocolHandler::dispatch(const JsonValue &Request,
+                                    uint64_t RequestId, bool &Shutdown,
                                     std::string &ErrCode,
                                     std::string &ErrMsg) {
   const std::string &Op = Request["op"].asString();
@@ -90,6 +173,7 @@ JsonValue ProtocolHandler::dispatch(const JsonValue &Request, bool &Shutdown,
   if (Op == "ping") {
     JsonValue::Object R;
     R["pong"] = JsonValue(true);
+    R["protocol"] = JsonValue(version::kProtocolVersion);
     R["snapshot_version"] = JsonValue(kSnapshotVersion);
     return JsonValue(std::move(R));
   }
@@ -116,9 +200,11 @@ JsonValue ProtocolHandler::dispatch(const JsonValue &Request, bool &Shutdown,
     Io.Out = [&Out](std::string_view S) { Out.append(S.data(), S.size()); };
     Io.Err = [&Err](std::string_view S) { Err.append(S.data(), S.size()); };
     Io.FlushOut = [] {};
+    Io.RequestId = RequestId; // stamps the artifacts this command writes
     int Exit = runServiceCommand(State, Args, Io);
     JsonValue::Object R;
     R["exit"] = JsonValue(static_cast<int64_t>(Exit));
+    R["request"] = JsonValue(RequestId);
     R["stdout"] = JsonValue(std::move(Out));
     R["stderr"] = JsonValue(std::move(Err));
     return JsonValue(std::move(R));
@@ -151,35 +237,43 @@ JsonValue ProtocolHandler::dispatch(const JsonValue &Request, bool &Shutdown,
   }
 
   if (Op == "stats") {
-    JsonValue::Array Sessions;
-    for (const auto &[Path, S] : State.sessions()) {
-      JsonValue::Object O;
-      O["path"] = JsonValue(Path);
-      O["fingerprint"] = JsonValue(S->Fingerprint);
-      O["requests"] = JsonValue(static_cast<int64_t>(S->Requests));
-      O["dfa_entries"] = JsonValue(static_cast<int64_t>(S->Store.size()));
-      O["goal_entries"] = JsonValue(static_cast<int64_t>(S->Goals.size()));
-      O["lang_entries"] = JsonValue(static_cast<int64_t>(S->Lang.size()));
-      O["fields"] = JsonValue(static_cast<int64_t>(S->Fields.size()));
-      O["engines"] = JsonValue(static_cast<int64_t>(S->Engines.size()));
-      Sessions.push_back(JsonValue(std::move(O)));
-    }
     JsonValue::Array SlowJson;
     for (const SlowQuery &Q : Slow) {
       JsonValue::Object O;
+      O["request"] = JsonValue(Q.RequestId);
       O["wall_us"] = JsonValue(static_cast<int64_t>(Q.WallUs));
       O["op"] = JsonValue(Q.Op);
       O["detail"] = JsonValue(Q.Detail);
       SlowJson.push_back(JsonValue(std::move(O)));
     }
     JsonValue::Object R;
-    R["sessions"] = JsonValue(std::move(Sessions));
+    R["sessions"] = sessionsJson();
     R["slow_queries"] = JsonValue(std::move(SlowJson));
     return JsonValue(std::move(R));
   }
 
   if (Op == "metrics")
     return metrics::Registry::global().toJson();
+
+  if (Op == "status")
+    return statusResult();
+
+  if (Op == "timeline") {
+    // Full ring dump; `status` only carries the summary. An unattached
+    // timeline (tests driving the handler directly, --timeline-ms 0)
+    // reports an empty zero-capacity ring rather than an error.
+    if (!Timeline) {
+      JsonValue::Object R;
+      R["capacity"] = JsonValue(uint64_t(0));
+      R["dropped"] = JsonValue(uint64_t(0));
+      R["interval_ms"] = JsonValue(uint64_t(0));
+      R["samples"] = JsonValue(JsonValue::Array{});
+      return JsonValue(std::move(R));
+    }
+    JsonValue R = Timeline->toJson();
+    R.asObject().emplace("interval_ms", JsonValue(TimelineMs));
+    return R;
+  }
 
   if (Op == "snapshot_save" || Op == "snapshot_load") {
     const JsonValue &PathV = Request["path"];
@@ -204,6 +298,7 @@ JsonValue ProtocolHandler::dispatch(const JsonValue &Request, bool &Shutdown,
         return JsonValue();
       }
       metrics::Registry::global().counter("apt.svc.snapshot_loads").add(1);
+      noteSnapshotLoaded();
     }
     return snapshotStatsJson(Stats);
   }
@@ -224,10 +319,20 @@ std::string ProtocolHandler::handleLine(std::string_view Line, bool &Shutdown) {
   auto T0 = std::chrono::steady_clock::now();
   metrics::Registry &R = metrics::Registry::global();
   R.counter("apt.svc.proto.requests").add(1);
+  // Every line gets an id, even unparseable ones: the id must correlate
+  // with apt.svc.proto.requests, and an error line still is a request.
+  uint64_t Rid = ++Requests;
+  auto ElapsedUs = [&T0] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  };
 
   JsonParseResult Parsed = parseJson(Line);
   if (!Parsed) {
     R.counter("apt.svc.proto.errors").add(1);
+    OpLatency["_invalid"].observe(ElapsedUs());
     return errorResponse(JsonValue(), kErrBadJson,
                          "request is not valid JSON: " + Parsed.Error)
         .dump();
@@ -236,6 +341,7 @@ std::string ProtocolHandler::handleLine(std::string_view Line, bool &Shutdown) {
   const JsonValue &Id = Request["id"];
   if (!Request.isObject() || !Request["op"].isString()) {
     R.counter("apt.svc.proto.errors").add(1);
+    OpLatency["_invalid"].observe(ElapsedUs());
     return errorResponse(Id, kErrBadRequest,
                          "request must be an object with a string 'op'")
         .dump();
@@ -244,17 +350,15 @@ std::string ProtocolHandler::handleLine(std::string_view Line, bool &Shutdown) {
   std::string ErrCode, ErrMsg;
   JsonValue Result;
   try {
-    Result = dispatch(Request, Shutdown, ErrCode, ErrMsg);
+    Result = dispatch(Request, Rid, Shutdown, ErrCode, ErrMsg);
   } catch (const std::exception &E) {
     ErrCode = kErrInternal;
     ErrMsg = E.what();
   }
 
-  uint64_t WallUs = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - T0)
-          .count());
+  uint64_t WallUs = ElapsedUs();
   R.histogram("apt.svc.proto.wall_us").observe(WallUs);
+  OpLatency[Request["op"].asString()].observe(WallUs);
   std::string Detail;
   if (Request["op"].asString() == "run" && Request["argv"].isArray()) {
     for (const JsonValue &A : Request["argv"].asArray())
@@ -266,7 +370,7 @@ std::string ProtocolHandler::handleLine(std::string_view Line, bool &Shutdown) {
   } else if (Request["path"].isString()) {
     Detail = Request["path"].asString();
   }
-  recordSlow(WallUs, Request["op"].asString(), std::move(Detail));
+  recordSlow(Rid, WallUs, Request["op"].asString(), std::move(Detail));
 
   if (!ErrCode.empty()) {
     R.counter("apt.svc.proto.errors").add(1);

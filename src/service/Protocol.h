@@ -19,7 +19,16 @@
 ///              "message": "..."} }.
 ///
 /// Ops: ping, run {argv}, load_axioms {path}, load_program {path},
-/// stats, metrics, snapshot_save {path}, snapshot_load {path}, shutdown.
+/// stats, metrics, status, timeline, snapshot_save {path},
+/// snapshot_load {path}, shutdown.
+///
+/// Every request line gets a monotone per-handler *request id* (1, 2,
+/// ...), independent of the client-chosen "id" field. The id correlates
+/// a request across every observability surface: the `run` result
+/// carries it as "request", artifacts the command writes (--trace,
+/// --trace-chrome, --profile, --metrics-json) stamp it on their headers,
+/// and the slow-request log stores it — so a slow entry can be traced
+/// back to the exact artifact files of the offending request.
 ///
 /// Error codes (the full table lives in docs/SERVICE.md):
 ///   APTD-E001 request line is not valid JSON
@@ -37,8 +46,12 @@
 
 #include "service/ServiceState.h"
 #include "support/Json.h"
+#include "support/Metrics.h"
+#include "support/Timeline.h"
 
+#include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -58,6 +71,7 @@ inline constexpr const char *kErrInternal = "APTD-E007";
 /// the configured threshold, newest-heaviest first (PR 5's slow-query
 /// log surfaced per-connection, as the ISSUE requires).
 struct SlowQuery {
+  uint64_t RequestId = 0; ///< Monotone handler request id (see file header).
   uint64_t WallUs = 0;
   std::string Op;
   std::string Detail; ///< e.g. the argv of a `run`, or a load path.
@@ -71,7 +85,8 @@ public:
   /// \p SlowMs: requests slower than this land in the slow-query log
   /// (and are echoed to the daemon's stderr). 0 disables the log.
   explicit ProtocolHandler(ServiceState &State, uint64_t SlowMs = 0)
-      : State(State), SlowUs(SlowMs * 1000) {}
+      : State(State), SlowUs(SlowMs * 1000),
+        StartedAt(std::chrono::steady_clock::now()) {}
 
   /// Handles one request line and returns the response line (compact
   /// JSON, no trailing newline). Sets \p Shutdown when the request was a
@@ -82,17 +97,53 @@ public:
   /// first). Also exported by the `stats` op.
   const std::vector<SlowQuery> &slowLog() const { return Slow; }
 
+  /// Request lines handled so far == the last request id assigned.
+  uint64_t requestCount() const { return Requests; }
+
+  /// Forces an entry into the slow-query log, bypassing the wall-time
+  /// threshold check only in the sense that \p WallUs is caller-supplied.
+  /// handleLine calls this with measured times; tests call it directly to
+  /// exercise the capacity/ordering policy deterministically.
+  void recordSlow(uint64_t RequestId, uint64_t WallUs, std::string Op,
+                  std::string Detail);
+
+  /// Marks "a snapshot was loaded now" for the `status` op's snapshot
+  /// age. Called by the server after a --snapshot warm start and by the
+  /// snapshot_load op itself.
+  void noteSnapshotLoaded() { SnapshotLoadedAt = std::chrono::steady_clock::now(); }
+
+  /// Attaches the daemon's timeline ring so the `status` and `timeline`
+  /// ops can serve it. \p IntervalMs is reported verbatim (the handler
+  /// never samples; the server's poll loop owns that). Pass nullptr to
+  /// detach. The pointee must outlive the handler or the next setTimeline.
+  void setTimeline(const metrics::Timeline *T, uint64_t IntervalMs) {
+    Timeline = T;
+    TimelineMs = IntervalMs;
+  }
+
   ServiceState &state() { return State; }
 
 private:
-  JsonValue dispatch(const JsonValue &Request, bool &Shutdown,
-                     std::string &ErrCode, std::string &ErrMsg);
+  JsonValue dispatch(const JsonValue &Request, uint64_t RequestId,
+                     bool &Shutdown, std::string &ErrCode,
+                     std::string &ErrMsg);
 
-  void recordSlow(uint64_t WallUs, std::string Op, std::string Detail);
+  JsonValue statusResult() const;
+  JsonValue sessionsJson() const;
 
   ServiceState &State;
   uint64_t SlowUs;
   std::vector<SlowQuery> Slow;
+  uint64_t Requests = 0;
+  /// Per-op latency histograms, keyed by op name ("_invalid" buckets the
+  /// unparseable lines). Same power-of-two-bucket Histogram the global
+  /// registry uses, but owned here so `status` reports this daemon's
+  /// protocol traffic even after registry resets.
+  std::map<std::string, metrics::Histogram> OpLatency;
+  std::chrono::steady_clock::time_point StartedAt;
+  std::chrono::steady_clock::time_point SnapshotLoadedAt{}; ///< epoch = never
+  const metrics::Timeline *Timeline = nullptr;
+  uint64_t TimelineMs = 0;
   static constexpr size_t kSlowLogCapacity = 16;
 };
 

@@ -7,7 +7,11 @@
 #include "service/Server.h"
 
 #include "service/Snapshot.h"
+#include "support/Metrics.h"
+#include "support/Timeline.h"
 
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -117,10 +121,42 @@ int apt::svc::runServer(ServiceState &State, const ServerOptions &Opts) {
   std::fprintf(stderr, "aptd: listening on %s\n", Opts.SocketPath.c_str());
 
   ProtocolHandler Handler(State, Opts.SlowMs);
+  if (!Opts.SnapshotLoad.empty())
+    Handler.noteSnapshotLoaded(); // the warm start above succeeded
+
+  // The time-series ring lives here, on the same thread as the handler
+  // that serves it (Timeline is single-threaded by design). Sampling
+  // rides the idle side of the poll loop: the timeout shrinks to the
+  // sampling interval so a quiet daemon still ticks on time, and a busy
+  // one samples between connections (per-sample skew, never drift).
+  metrics::Timeline Timeline(Opts.TimelineCapacity);
+  auto Start = std::chrono::steady_clock::now();
+  auto NowMs = [&Start] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  };
+  uint64_t LastSampleMs = 0;
+  int PollTimeoutMs = 500;
+  if (Opts.TimelineMs != 0) {
+    Handler.setTimeline(&Timeline, Opts.TimelineMs);
+    Timeline.sample(metrics::Registry::global(), 0); // t=0 baseline
+    PollTimeoutMs = static_cast<int>(
+        std::min<uint64_t>(500, Opts.TimelineMs));
+  }
+
   bool Shutdown = false;
   while (!Shutdown && !GotSignal) {
+    if (Opts.TimelineMs != 0) {
+      uint64_t Now = NowMs();
+      if (Now - LastSampleMs >= Opts.TimelineMs) {
+        Timeline.sample(metrics::Registry::global(), Now);
+        LastSampleMs = Now;
+      }
+    }
     pollfd Pfd{ListenFd, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, 500);
+    int Ready = ::poll(&Pfd, 1, PollTimeoutMs);
     if (Ready < 0) {
       if (errno == EINTR)
         continue;

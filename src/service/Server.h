@@ -31,6 +31,8 @@ struct ServerOptions {
   uint64_t SlowMs = 0;       ///< Slow-query threshold; 0 disables.
   std::string SnapshotLoad;  ///< Warm-start snapshot (optional).
   std::string SnapshotSave;  ///< Written on clean shutdown (optional).
+  uint64_t TimelineMs = 1000;  ///< Metric sampling interval; 0 disables.
+  size_t TimelineCapacity = 256; ///< Ring size (sliding window length).
 };
 
 /// Runs the accept/serve loop until a `shutdown` request or SIGINT/

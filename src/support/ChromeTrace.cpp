@@ -1,0 +1,257 @@
+//===- support/ChromeTrace.cpp --------------------------------------------===//
+//
+// Part of the APT project; see ChromeTrace.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ChromeTrace.h"
+
+#include "support/Clock.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+using namespace apt;
+using namespace apt::trace;
+
+namespace {
+
+/// One folded duration event, nanoseconds relative to the run's first
+/// timed event. Kept integral end to end: the writer emits ts/dur as
+/// fixed-point microseconds ("%llu.%03llu"), which is both exact at the
+/// clock's resolution and much cheaper than printf double formatting --
+/// on big traces the per-event %f calls were the dominant export cost.
+struct Complete {
+  uint64_t TsNs = 0;
+  uint64_t DurNs = 0;
+  const char *Name = nullptr;
+  uint64_t GoalHash = 0;
+  uint64_t QueryId = 0;
+  uint32_t Depth = 0;
+};
+
+/// A begin event waiting for its end.
+struct OpenFrame {
+  const Event *Begin = nullptr;
+  const char *Name = nullptr;
+};
+
+const char *frameName(const Event &E) {
+  switch (E.Kind) {
+  case EventKind::QueryBegin:
+  case EventKind::QueryEnd:
+    return "query";
+  case EventKind::GoalBegin:
+  case EventKind::GoalEnd:
+    return "goal";
+  case EventKind::SpanBegin:
+  case EventKind::SpanEnd:
+    return E.Flag < NumSpanKinds ? spanKindName(static_cast<SpanKind>(E.Flag))
+                                 : "span";
+  default:
+    return nullptr;
+  }
+}
+
+bool isBegin(EventKind K) {
+  return K == EventKind::QueryBegin || K == EventKind::GoalBegin ||
+         K == EventKind::SpanBegin;
+}
+
+bool isEnd(EventKind K) {
+  return K == EventKind::QueryEnd || K == EventKind::GoalEnd ||
+         K == EventKind::SpanEnd;
+}
+
+/// Does \p End close \p Begin? Kinds must correspond and span frames
+/// must agree on the SpanKind byte.
+bool closes(const Event &Begin, const Event &End) {
+  switch (End.Kind) {
+  case EventKind::QueryEnd:
+    return Begin.Kind == EventKind::QueryBegin;
+  case EventKind::GoalEnd:
+    return Begin.Kind == EventKind::GoalBegin;
+  case EventKind::SpanEnd:
+    return Begin.Kind == EventKind::SpanBegin && Begin.Flag == End.Flag;
+  default:
+    return false;
+  }
+}
+
+/// Minimal JSON string escape for the (ASCII, internally generated)
+/// names that reach the output.
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (static_cast<unsigned char>(C) < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+}
+
+void appendRecord(std::string &Out, bool &First, const char *Fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void appendRecord(std::string &Out, bool &First, const char *Fmt, ...) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  int N = std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  if (N > 0)
+    Out.append(Buf, std::min<size_t>(static_cast<size_t>(N), sizeof(Buf) - 1));
+}
+
+} // namespace
+
+ChromeTraceStats
+apt::trace::writeChromeTrace(std::ostream &OS,
+                             const std::vector<Collector::ThreadBatch> &Batches,
+                             const ChromeTraceOptions &Opts) {
+  ChromeTraceStats Stats;
+
+  // The zero point: the earliest timed event anywhere in the run. Raw
+  // ticks are meaningless as absolutes (support/Clock.h), so every ts is
+  // a delta against this.
+  uint64_t MinTick = std::numeric_limits<uint64_t>::max();
+  for (const Collector::ThreadBatch &B : Batches) {
+    Stats.Dropped += B.Dropped;
+    for (const Event &E : B.Events)
+      if (E.Tick != 0 && E.Tick < MinTick)
+        MinTick = E.Tick;
+  }
+
+  std::string Out;
+  Out.reserve(1 << 14);
+  Out += "[\n";
+  bool First = true;
+
+  std::string ProcName;
+  appendEscaped(ProcName, Opts.ProcessName);
+  appendRecord(Out, First,
+               "{\"args\":{\"name\":\"%s\"},\"name\":\"process_name\","
+               "\"ph\":\"M\",\"pid\":1,\"tid\":0}",
+               ProcName.c_str());
+
+  uint64_t MaxEndNs = 0;
+  std::vector<OpenFrame> Stack;
+  std::vector<Complete> Frames;
+  for (const Collector::ThreadBatch &B : Batches) {
+    appendRecord(Out, First,
+                 "{\"args\":{\"name\":\"worker %llu\"},"
+                 "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                 "\"tid\":%llu}",
+                 static_cast<unsigned long long>(B.ThreadTag),
+                 static_cast<unsigned long long>(B.ThreadTag));
+
+    // Fold this thread's begin/end pairs. Scopes are RAII on the
+    // recording side, so within one ring they nest properly; anything
+    // unpaired here lost its partner to ring wrap-around.
+    Stack.clear();
+    Frames.clear();
+    for (const Event &E : B.Events) {
+      if (E.Tick == 0)
+        continue; // untimed events cannot be placed on the timeline
+      if (isBegin(E.Kind)) {
+        Stack.push_back({&E, frameName(E)});
+      } else if (isEnd(E.Kind)) {
+        if (!Stack.empty() && closes(*Stack.back().Begin, E)) {
+          const Event &Begin = *Stack.back().Begin;
+          Complete F;
+          F.TsNs = fastclock::ticksToNanos(Begin.Tick - MinTick);
+          F.DurNs = E.Tick >= Begin.Tick
+                        ? fastclock::ticksToNanos(E.Tick - Begin.Tick)
+                        : 0;
+          F.Name = Stack.back().Name;
+          F.GoalHash = Begin.GoalHash;
+          F.QueryId = Begin.QueryId ? Begin.QueryId : E.QueryId;
+          F.Depth = Begin.Depth;
+          Frames.push_back(F);
+          Stack.pop_back();
+          MaxEndNs = std::max(MaxEndNs, F.TsNs + F.DurNs);
+        } else {
+          ++Stats.Unmatched;
+        }
+      }
+    }
+    Stats.Unmatched += Stack.size();
+
+    // The viewer tolerates any array order, but the structural validator
+    // (and human diffing) want per-track monotone timestamps; at equal
+    // ts the longer frame first so enclosing scopes precede their
+    // children.
+    std::stable_sort(Frames.begin(), Frames.end(),
+                     [](const Complete &A, const Complete &B) {
+                       if (A.TsNs != B.TsNs)
+                         return A.TsNs < B.TsNs;
+                       return A.DurNs > B.DurNs;
+                     });
+
+    for (const Complete &F : Frames) {
+      char ArgsBuf[128];
+      int ArgsLen = 0;
+      ArgsBuf[0] = '\0';
+      if (F.GoalHash)
+        ArgsLen += std::snprintf(ArgsBuf + ArgsLen,
+                                 sizeof(ArgsBuf) - static_cast<size_t>(ArgsLen),
+                                 "%s\"goal\":\"0x%016llx\"",
+                                 ArgsLen ? "," : "",
+                                 static_cast<unsigned long long>(F.GoalHash));
+      if (F.QueryId)
+        ArgsLen += std::snprintf(ArgsBuf + ArgsLen,
+                                 sizeof(ArgsBuf) - static_cast<size_t>(ArgsLen),
+                                 "%s\"query\":%llu", ArgsLen ? "," : "",
+                                 static_cast<unsigned long long>(F.QueryId));
+      if (F.Depth)
+        ArgsLen += std::snprintf(ArgsBuf + ArgsLen,
+                                 sizeof(ArgsBuf) - static_cast<size_t>(ArgsLen),
+                                 "%s\"depth\":%u", ArgsLen ? "," : "", F.Depth);
+      appendRecord(Out, First,
+                   "{\"args\":{%s},\"cat\":\"apt\","
+                   "\"dur\":%llu.%03llu,"
+                   "\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%llu,"
+                   "\"ts\":%llu.%03llu}",
+                   ArgsBuf,
+                   static_cast<unsigned long long>(F.DurNs / 1000),
+                   static_cast<unsigned long long>(F.DurNs % 1000), F.Name,
+                   static_cast<unsigned long long>(B.ThreadTag),
+                   static_cast<unsigned long long>(F.TsNs / 1000),
+                   static_cast<unsigned long long>(F.TsNs % 1000));
+      ++Stats.Complete;
+    }
+  }
+
+  if (Opts.RequestId != 0) {
+    // Async bracket on its own track: b at the zero point, e past the
+    // last folded frame, so the request envelope encloses every event.
+    appendRecord(Out, First,
+                 "{\"cat\":\"request\",\"id\":%llu,\"name\":\"request "
+                 "%llu\",\"ph\":\"b\",\"pid\":1,\"tid\":0,\"ts\":0.000}",
+                 static_cast<unsigned long long>(Opts.RequestId),
+                 static_cast<unsigned long long>(Opts.RequestId));
+    appendRecord(Out, First,
+                 "{\"cat\":\"request\",\"id\":%llu,\"name\":\"request "
+                 "%llu\",\"ph\":\"e\",\"pid\":1,\"tid\":0,"
+                 "\"ts\":%llu.%03llu}",
+                 static_cast<unsigned long long>(Opts.RequestId),
+                 static_cast<unsigned long long>(Opts.RequestId),
+                 static_cast<unsigned long long>(MaxEndNs / 1000),
+                 static_cast<unsigned long long>(MaxEndNs % 1000));
+  }
+
+  Out += "\n]\n";
+  OS << Out;
+  return Stats;
+}

@@ -1,0 +1,68 @@
+//===- support/ChromeTrace.h - Chrome trace-event JSON export ---*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds a traced run's paired begin/end events into Chrome trace-event
+/// JSON (the format chrome://tracing and Perfetto load): QueryBegin/End,
+/// GoalBegin/End and SpanBegin/End pairs become "X" complete events with
+/// microsecond timestamps, one track per recording thread, plus "M"
+/// metadata naming the process and threads. When the run was served by
+/// the daemon, the request id becomes an async "b"/"e" bracket spanning
+/// the whole run so per-request latency reads directly off the timeline.
+///
+/// `aptc ... --trace-chrome=<file>` drives this from the command layer;
+/// it consumes Collector::snapshot() (non-destructive), so it composes
+/// with --trace and --profile on the same run. Only timed events (those
+/// carrying a fastclock tick — --trace-chrome forces timed mode) can be
+/// placed on the timeline; the writer is a single streaming pass with
+/// snprintf formatting, no JSON tree, because the profile overhead gate
+/// (traced+export <= 1.10x plain, bench_smoke_profile) covers it.
+///
+/// Structural guarantees, pinned by the chrome_trace_check ctest: the
+/// output is a valid JSON array; every duration event is balanced by
+/// construction (unpaired begins/ends are counted, not emitted); within
+/// one (pid, tid) track the "X" events appear in non-decreasing ts order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_CHROMETRACE_H
+#define APT_SUPPORT_CHROMETRACE_H
+
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace apt::trace {
+
+struct ChromeTraceOptions {
+  /// Shown as the process name in the trace viewer ("aptc deps", ...).
+  std::string ProcessName = "aptc";
+  /// Nonzero: the daemon request this run served; emitted as an async
+  /// "b"/"e" bracket (cat "request") spanning the run.
+  uint64_t RequestId = 0;
+};
+
+struct ChromeTraceStats {
+  size_t Complete = 0;   ///< "X" duration events emitted.
+  size_t Unmatched = 0;  ///< Begin/end events with no partner (skipped).
+  uint64_t Dropped = 0;  ///< Ring wrap-around losses across batches.
+};
+
+/// Writes \p Batches as one Chrome trace-event JSON array to \p OS.
+/// Deterministic for a fixed input (events are sorted per track).
+ChromeTraceStats
+writeChromeTrace(std::ostream &OS,
+                 const std::vector<Collector::ThreadBatch> &Batches,
+                 const ChromeTraceOptions &Opts = ChromeTraceOptions());
+
+} // namespace apt::trace
+
+#endif // APT_SUPPORT_CHROMETRACE_H

@@ -122,6 +122,16 @@ RegistrySnapshot Registry::snapshotAll() const {
   return Snap;
 }
 
+std::map<std::string, uint64_t> Registry::values() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &[Name, G] : Gauges)
+    Out[Name] = G->value();
+  for (const auto &[Name, C] : Counters)
+    Out[Name] = C->value(); // counters win on a (conventionless) collision
+  return Out;
+}
+
 static uint64_t satSub(uint64_t A, uint64_t B) { return A > B ? A - B : 0; }
 
 JsonValue Registry::toJson() const { return toJsonSince(RegistrySnapshot{}); }

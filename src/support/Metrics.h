@@ -125,6 +125,13 @@ public:
   /// Reads every counter and histogram (relaxed; monotone lower bound).
   RegistrySnapshot snapshotAll() const;
 
+  /// Current value of every counter and gauge, merged into one sorted
+  /// name -> value map (the two namespaces never collide by convention;
+  /// if they ever did, the counter wins). This is the cheap flat reading
+  /// the Timeline sampler stores per tick — histograms are deliberately
+  /// excluded, their snapshots are two orders of magnitude heavier.
+  std::map<std::string, uint64_t> values() const;
+
   /// {"version":1,"counters":{...},"gauges":{...},"histograms":{...}}.
   /// Deterministic (sorted names; see docs/metrics_schema.json).
   JsonValue toJson() const;

@@ -1,0 +1,56 @@
+//===- support/Timeline.cpp -----------------------------------------------===//
+//
+// Part of the APT project; see Timeline.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timeline.h"
+
+using namespace apt;
+using namespace apt::metrics;
+
+std::vector<std::string> Timeline::defaultPrefixes() {
+  return {"apt.svc.", "apt.mem.", "apt.trace.", "apt.lang.", "apt.triage."};
+}
+
+Timeline::Timeline(size_t Capacity, std::vector<std::string> Prefixes)
+    : Cap(Capacity == 0 ? 1 : Capacity), Prefixes(std::move(Prefixes)) {}
+
+void Timeline::sample(const Registry &R, uint64_t AtMs) {
+  Sample S;
+  S.AtMs = AtMs;
+  for (auto &[Name, Value] : R.values()) {
+    bool Keep = Prefixes.empty();
+    for (const std::string &P : Prefixes) {
+      if (Name.compare(0, P.size(), P) == 0) {
+        Keep = true;
+        break;
+      }
+    }
+    if (Keep)
+      S.Values.emplace(Name, Value);
+  }
+  if (Ring.size() == Cap) {
+    Ring.pop_front();
+    ++Evicted;
+  }
+  Ring.push_back(std::move(S));
+}
+
+JsonValue Timeline::toJson() const {
+  JsonValue::Object Root;
+  Root["capacity"] = JsonValue(static_cast<uint64_t>(Cap));
+  Root["dropped"] = JsonValue(Evicted);
+  JsonValue::Array Samples;
+  for (const Sample &S : Ring) {
+    JsonValue::Object O;
+    O["at_ms"] = JsonValue(S.AtMs);
+    JsonValue::Object Values;
+    for (const auto &[Name, Value] : S.Values)
+      Values[Name] = JsonValue(Value);
+    O["values"] = JsonValue(std::move(Values));
+    Samples.push_back(JsonValue(std::move(O)));
+  }
+  Root["samples"] = JsonValue(std::move(Samples));
+  return JsonValue(std::move(Root));
+}

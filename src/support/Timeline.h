@@ -1,0 +1,87 @@
+//===- support/Timeline.h - Bounded ring of metric snapshots ----*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded ring of periodic metric readings, the daemon's time-series
+/// memory. The `aptd` poll loop calls sample() on a fixed interval
+/// (--timeline-ms, default 1000); each sample stores the flat counter +
+/// gauge values whose names match a prefix filter (service traffic,
+/// cache gauges, arena high-water marks, trace-ring drops by default).
+/// When the ring is full the oldest sample is evicted and counted, so a
+/// long-lived daemon holds a sliding window, never unbounded history.
+///
+/// The ring is intentionally NOT thread-safe: the server's poll loop and
+/// the protocol handler that serves the `timeline` op run on the same
+/// thread (the daemon is single-threaded by design, docs/SERVICE.md).
+///
+/// Cost discipline: one sample is one Registry::values() walk (~a mutex
+/// plus copying <100 name/value pairs). bench_check.py --mode service
+/// gates it at <= 1% of the default 1 s sampling interval.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_TIMELINE_H
+#define APT_SUPPORT_TIMELINE_H
+
+#include "support/Json.h"
+#include "support/Metrics.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apt::metrics {
+
+class Timeline {
+public:
+  /// One periodic reading: milliseconds since the daemon started, and
+  /// the filtered flat counter/gauge values at that instant.
+  struct Sample {
+    uint64_t AtMs = 0;
+    std::map<std::string, uint64_t> Values;
+  };
+
+  /// The default name filter: service traffic, cache sizes, arena
+  /// high-water marks, and trace-ring drops. Everything the `status` op
+  /// summarizes, nothing per-query (those belong to --metrics-json).
+  static std::vector<std::string> defaultPrefixes();
+
+  explicit Timeline(size_t Capacity = 256,
+                    std::vector<std::string> Prefixes = defaultPrefixes());
+
+  /// Appends one reading of \p R taken at \p AtMs, evicting the oldest
+  /// sample when the ring is at capacity. AtMs must be non-decreasing
+  /// across calls (the sampler passes a monotone clock).
+  void sample(const Registry &R, uint64_t AtMs);
+
+  size_t size() const { return Ring.size(); }
+  size_t capacity() const { return Cap; }
+  /// Samples evicted to ring wrap-around since construction.
+  uint64_t dropped() const { return Evicted; }
+  /// Newest sample, or nullptr while empty.
+  const Sample *latest() const { return Ring.empty() ? nullptr : &Ring.back(); }
+  /// Oldest -> newest.
+  const std::deque<Sample> &samples() const { return Ring; }
+
+  /// {"capacity":N,"dropped":N,"samples":[{"at_ms":N,"values":{...}}]},
+  /// samples oldest first — the `timeline` op's result body
+  /// (docs/service_schema.json).
+  JsonValue toJson() const;
+
+private:
+  size_t Cap;
+  std::vector<std::string> Prefixes;
+  std::deque<Sample> Ring;
+  uint64_t Evicted = 0;
+};
+
+} // namespace apt::metrics
+
+#endif // APT_SUPPORT_TIMELINE_H

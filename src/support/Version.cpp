@@ -1,0 +1,73 @@
+//===- support/Version.cpp ------------------------------------------------===//
+//
+// Part of the APT project; see Version.h for an overview.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Version.h"
+
+#include "support/Arena.h"
+
+#include <cstring>
+
+using namespace apt;
+using namespace apt::version;
+
+// CMake always defines APT_SANITIZE_NAME (root CMakeLists.txt); the
+// fallback keeps non-CMake compiles (e.g. tooling one-offs) building.
+#ifndef APT_SANITIZE_NAME
+#define APT_SANITIZE_NAME "OFF"
+#endif
+
+const char *apt::version::sanitizerName() {
+  // The CMake cache spells the disabled state "OFF"; report it lowercase
+  // like the other values so consumers never case-fold.
+  if (std::strcmp(APT_SANITIZE_NAME, "OFF") == 0)
+    return "off";
+  return APT_SANITIZE_NAME;
+}
+
+bool apt::version::traceCompiledIn() {
+  // APT_TRACE_DISABLED is the CMake-level switch (Trace.h derives
+  // APT_TRACE_ENABLED from it); testing it directly avoids pulling the
+  // whole trace substrate into this translation unit.
+#if defined(APT_TRACE_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+bool apt::version::arenaEnabled() { return apt::Arena::enabledGlobal(); }
+
+std::string apt::version::buildConfigString() {
+  std::string S = "protocol ";
+  S += std::to_string(kProtocolVersion);
+  S += ", trace=";
+  S += traceCompiledIn() ? "on" : "off";
+  S += ", sanitizer=";
+  S += sanitizerName();
+  S += ", arena=";
+  S += arenaEnabled() ? "on" : "off";
+  return S;
+}
+
+std::string apt::version::versionLine(const char *Tool) {
+  std::string S = Tool;
+  S += ' ';
+  S += kRelease;
+  S += " (";
+  S += buildConfigString();
+  S += ')';
+  return S;
+}
+
+JsonValue apt::version::buildJson() {
+  JsonValue::Object O;
+  O["arena"] = JsonValue(arenaEnabled());
+  O["protocol"] = JsonValue(kProtocolVersion);
+  O["release"] = JsonValue(kRelease);
+  O["sanitizer"] = JsonValue(sanitizerName());
+  O["trace"] = JsonValue(traceCompiledIn());
+  return JsonValue(std::move(O));
+}

@@ -1,0 +1,61 @@
+//===- support/Version.h - Build identity and protocol version --*- C++ -*-===//
+//
+// Part of the APT project: a reproduction of Hummel, Hendren & Nicolau,
+// "A General Data Dependence Test for Dynamic, Pointer-Based Data
+// Structures" (PLDI 1994).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One place that knows what this binary is: release string, wire-protocol
+/// version, and the build configuration that changes observable behavior
+/// (APT_TRACE, sanitizer flavor, arena default). `aptc --version` /
+/// `aptd --version` print versionLine(); every artifact header (--trace,
+/// --profile, --metrics-json) and the daemon's `status` op embed
+/// buildJson() so a stray file can always be traced back to the binary
+/// and configuration that produced it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef APT_SUPPORT_VERSION_H
+#define APT_SUPPORT_VERSION_H
+
+#include "support/Json.h"
+
+#include <string>
+
+namespace apt::version {
+
+/// Release string; bumped when a PR lands a user-visible surface change.
+inline constexpr const char *kRelease = "0.10";
+
+/// Version of the aptd NDJSON wire protocol: the set of ops and the
+/// schema-pinned response shapes (docs/service_schema.json). Bumped only
+/// on incompatible changes; additive ops/fields keep the number.
+inline constexpr int64_t kProtocolVersion = 1;
+
+/// "address", "thread", or "off" — the APT_SANITIZE flavor compiled in.
+const char *sanitizerName();
+
+/// True when the APT_TRACE_EVENT sites are compiled in (APT_TRACE=ON).
+bool traceCompiledIn();
+
+/// True when the bump arena is the process default right now
+/// (support/Arena.h; flippable per run with --arena on|off).
+bool arenaEnabled();
+
+/// "protocol 1, trace=on, sanitizer=off, arena=on" — the parenthesized
+/// part of versionLine(), also usable on its own in logs.
+std::string buildConfigString();
+
+/// "aptc 0.10 (protocol 1, trace=on, sanitizer=off, arena=on)".
+std::string versionLine(const char *Tool);
+
+/// {"arena":bool,"protocol":1,"release":"0.10","sanitizer":"off",
+///  "trace":bool} — the `build` object embedded in artifact headers and
+/// the daemon's `status` op.
+JsonValue buildJson();
+
+} // namespace apt::version
+
+#endif // APT_SUPPORT_VERSION_H

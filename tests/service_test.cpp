@@ -20,6 +20,7 @@
 #include "service/ServiceState.h"
 #include "service/Snapshot.h"
 #include "support/Metrics.h"
+#include "support/Timeline.h"
 
 #include "gtest/gtest.h"
 
@@ -430,6 +431,150 @@ TEST(ServiceMetrics, BatchStatsSinceZeroIsIdentity) {
   BatchStats Delta = Later.since(S);
   EXPECT_EQ(Delta.Queries, 3u);
   EXPECT_EQ(Delta.Prover.GoalsExplored, 9u);
+}
+
+// --- Slow-request log (--slow-ms, docs/OBSERVABILITY.md) ---
+
+TEST(ServiceSlowLog, ThresholdBoundaryIsInclusive) {
+  ServiceState State;
+  ProtocolHandler Handler(State, /*SlowMs=*/5);
+  Handler.recordSlow(1, 4999, "run", "under");
+  EXPECT_TRUE(Handler.slowLog().empty());
+  Handler.recordSlow(2, 5000, "run", "at threshold");
+  Handler.recordSlow(3, 5001, "run", "over");
+  ASSERT_EQ(Handler.slowLog().size(), 2u);
+  // Slowest first.
+  EXPECT_EQ(Handler.slowLog()[0].RequestId, 3u);
+  EXPECT_EQ(Handler.slowLog()[1].RequestId, 2u);
+}
+
+TEST(ServiceSlowLog, ZeroThresholdDisablesTheLog) {
+  ServiceState State;
+  ProtocolHandler Handler(State, /*SlowMs=*/0);
+  Handler.recordSlow(1, 1000000000, "run", "would be slow");
+  EXPECT_TRUE(Handler.slowLog().empty());
+}
+
+TEST(ServiceSlowLog, CapKeepsTheSixteenSlowestSortedDescending) {
+  ServiceState State;
+  ProtocolHandler Handler(State, /*SlowMs=*/1);
+  // Ascending insertion is the adversarial order for a keep-the-top-N
+  // log: every new entry displaces the current minimum.
+  for (uint64_t I = 1; I <= 24; ++I)
+    Handler.recordSlow(I, I * 1000, "run", "entry " + std::to_string(I));
+  const std::vector<SlowQuery> &Log = Handler.slowLog();
+  ASSERT_EQ(Log.size(), 16u);
+  for (size_t I = 0; I < Log.size(); ++I) {
+    EXPECT_EQ(Log[I].WallUs, (24 - I) * 1000);
+    EXPECT_EQ(Log[I].RequestId, 24 - I);
+  }
+}
+
+TEST(ServiceSlowLog, StatsOpExportsEntriesWithRequestIds) {
+  ServiceState State;
+  ProtocolHandler Handler(State, /*SlowMs=*/1);
+  Handler.recordSlow(7, 2000, "run", "deps worklist.apt --jobs 4");
+  bool Shutdown = false;
+  JsonParseResult Stats =
+      parseJson(Handler.handleLine("{\"id\": 1, \"op\": \"stats\"}", Shutdown));
+  ASSERT_TRUE(Stats.Ok);
+  const JsonValue::Array &Slow =
+      Stats.Value["result"]["slow_queries"].asArray();
+  ASSERT_EQ(Slow.size(), 1u);
+  EXPECT_EQ(Slow[0]["request"].asInt(), 7);
+  EXPECT_EQ(Slow[0]["wall_us"].asInt(), 2000);
+  EXPECT_EQ(Slow[0]["op"].asString(), "run");
+  EXPECT_EQ(Slow[0]["detail"].asString(), "deps worklist.apt --jobs 4");
+}
+
+// --- Request ids, status, timeline (docs/SERVICE.md) ---
+
+TEST(ServiceProtocol, RequestIdsAreMonotonePerLine) {
+  ServiceState State;
+  ProtocolHandler Handler(State);
+  bool Shutdown = false;
+
+  Handler.handleLine("{\"id\": 1, \"op\": \"ping\"}", Shutdown); // rid 1
+  std::string RunLine = "{\"id\": 2, \"op\": \"run\", \"argv\": [\"loops\", " +
+                        jsonQuote(samplePath("worklist.apt")) + "]}";
+  JsonParseResult Run1 = parseJson(Handler.handleLine(RunLine, Shutdown));
+  ASSERT_TRUE(Run1.Ok);
+  EXPECT_EQ(Run1.Value["result"]["request"].asInt(), 2);
+
+  // Even an unparseable line consumes an id: the slow log and the
+  // daemon's stderr must be able to name every wire interaction.
+  Handler.handleLine("not json", Shutdown); // rid 3
+  JsonParseResult Run2 = parseJson(Handler.handleLine(RunLine, Shutdown));
+  ASSERT_TRUE(Run2.Ok);
+  EXPECT_EQ(Run2.Value["result"]["request"].asInt(), 4);
+  EXPECT_EQ(Handler.requestCount(), 4u);
+}
+
+TEST(ServiceProtocol, StatusReportsDaemonHealthShape) {
+  ServiceState State;
+  ProtocolHandler Handler(State);
+  bool Shutdown = false;
+  Handler.handleLine("{\"id\": 1, \"op\": \"ping\"}", Shutdown);
+
+  JsonParseResult Status =
+      parseJson(Handler.handleLine("{\"id\": 2, \"op\": \"status\"}", Shutdown));
+  ASSERT_TRUE(Status.Ok);
+  const JsonValue &R = Status.Value["result"];
+  EXPECT_GE(R["uptime_ms"].asInt(), 0);
+  EXPECT_EQ(R["requests"].asInt(), 2); // the ping and this status
+  EXPECT_FALSE(R["version"]["build"]["release"].asString().empty());
+  EXPECT_GT(R["version"]["protocol"].asInt(), 0);
+  ASSERT_EQ(R["ops"].asObject().count("ping"), 1u);
+  EXPECT_EQ(R["ops"]["ping"]["count"].asInt(), 1);
+  EXPECT_GE(R["ops"]["ping"]["max_us"].asInt(), 0);
+  EXPECT_EQ(R["slow_queries"].asInt(), 0);
+  EXPECT_FALSE(R["snapshot"]["loaded"].asBool());
+  // No timeline attached: the summary reports an absent ring, not an
+  // error (handler-level tests and --timeline-ms 0 daemons hit this).
+  EXPECT_EQ(R["timeline"]["capacity"].asInt(), 0);
+  EXPECT_EQ(R["timeline"]["samples"].asInt(), 0);
+}
+
+TEST(ServiceProtocol, TimelineOpServesTheAttachedRing) {
+  ServiceState State;
+  ProtocolHandler Handler(State);
+  bool Shutdown = false;
+
+  metrics::Registry Reg;
+  Reg.counter("apt.svc.proto.requests").add(5);
+  metrics::Timeline Ring(4);
+  Ring.sample(Reg, 10);
+  Reg.counter("apt.svc.proto.requests").add(1);
+  Ring.sample(Reg, 20);
+  Handler.setTimeline(&Ring, /*IntervalMs=*/250);
+
+  JsonParseResult TL = parseJson(
+      Handler.handleLine("{\"id\": 1, \"op\": \"timeline\"}", Shutdown));
+  ASSERT_TRUE(TL.Ok);
+  const JsonValue &R = TL.Value["result"];
+  EXPECT_EQ(R["capacity"].asInt(), 4);
+  EXPECT_EQ(R["dropped"].asInt(), 0);
+  EXPECT_EQ(R["interval_ms"].asInt(), 250);
+  const JsonValue::Array &Samples = R["samples"].asArray();
+  ASSERT_EQ(Samples.size(), 2u);
+  EXPECT_EQ(Samples[0]["at_ms"].asInt(), 10);
+  EXPECT_EQ(Samples[0]["values"]["apt.svc.proto.requests"].asInt(), 5);
+  EXPECT_EQ(Samples[1]["at_ms"].asInt(), 20);
+  EXPECT_EQ(Samples[1]["values"]["apt.svc.proto.requests"].asInt(), 6);
+
+  JsonParseResult Status = parseJson(
+      Handler.handleLine("{\"id\": 2, \"op\": \"status\"}", Shutdown));
+  ASSERT_TRUE(Status.Ok);
+  const JsonValue &TSum = Status.Value["result"]["timeline"];
+  EXPECT_EQ(TSum["samples"].asInt(), 2);
+  EXPECT_EQ(TSum["last_at_ms"].asInt(), 20);
+  EXPECT_EQ(TSum["interval_ms"].asInt(), 250);
+}
+
+TEST(ServiceCommands, TopWithoutConnectIsAUsageError) {
+  Captured C = runOneShot({"top"});
+  EXPECT_EQ(C.Exit, 2);
+  EXPECT_NE(C.Err.find("--connect"), std::string::npos);
 }
 
 } // namespace

@@ -4,11 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/ChromeTrace.h"
 #include "support/Clock.h"
 #include "support/FieldTable.h"
 #include "support/Json.h"
 #include "support/Metrics.h"
 #include "support/Strings.h"
+#include "support/Timeline.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -16,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -513,6 +516,180 @@ TEST(TraceTest, ConcurrentFlushAndThreadExitLosesNothing) {
   }
   EXPECT_EQ(Dropped, 0u);
   EXPECT_EQ(Total, static_cast<uint64_t>(NumThreads) * EventsPerThread * 4);
+}
+
+//===----------------------------------------------------------------------===//
+// ChromeTrace
+//===----------------------------------------------------------------------===//
+
+trace::Event mkEvent(trace::EventKind Kind, uint64_t Tick, uint64_t QueryId,
+                     uint64_t GoalHash = 0, uint32_t Depth = 0,
+                     uint8_t Flag = 0) {
+  static uint64_t Seq = 0;
+  trace::Event E;
+  E.Seq = ++Seq;
+  E.QueryId = QueryId;
+  E.GoalHash = GoalHash;
+  E.Tick = Tick;
+  E.Depth = Depth;
+  E.Kind = Kind;
+  E.Flag = Flag;
+  return E;
+}
+
+TEST(ChromeTraceTest, FoldsPairsCountsStraysAndBracketsTheRequest) {
+  fastclock::calibrate();
+  using trace::EventKind;
+  trace::Collector::ThreadBatch Worker;
+  Worker.ThreadTag = 3;
+  Worker.Events = {
+      mkEvent(EventKind::QueryBegin, 100, 7),
+      mkEvent(EventKind::GoalBegin, 200, 7, 0xabc, 2),
+      mkEvent(EventKind::GoalEnd, 300, 7, 0xabc, 2),
+      mkEvent(EventKind::QueryEnd, 400, 7),
+      // A stray end (its begin was lost to ring wrap-around) must be
+      // counted, never emitted half-open.
+      mkEvent(EventKind::GoalEnd, 450, 7, 0xdef),
+      // A begin left open at the end of the batch likewise.
+      mkEvent(EventKind::SpanBegin, 500, 7, 0, 0, 0),
+  };
+  trace::Collector::ThreadBatch Idle;
+  Idle.ThreadTag = 5;
+  Idle.Dropped = 4;
+  // Untimed events cannot be placed on a timeline and are skipped.
+  Idle.Events = {mkEvent(EventKind::GoalBegin, 0, 0)};
+
+  std::ostringstream Out;
+  trace::ChromeTraceOptions Opts;
+  Opts.ProcessName = "unit";
+  Opts.RequestId = 42;
+  trace::ChromeTraceStats Stats =
+      trace::writeChromeTrace(Out, {Worker, Idle}, Opts);
+
+  EXPECT_EQ(Stats.Complete, 2u);
+  EXPECT_EQ(Stats.Unmatched, 2u);
+  EXPECT_EQ(Stats.Dropped, 4u);
+
+  JsonParseResult Doc = parseJson(Out.str());
+  ASSERT_TRUE(Doc.Ok) << Out.str();
+  const JsonValue::Array &Events = Doc.Value.asArray();
+
+  std::vector<const JsonValue *> Completes;
+  std::vector<const JsonValue *> Brackets;
+  size_t Metadata = 0;
+  for (const JsonValue &E : Events) {
+    const std::string &Ph = E["ph"].asString();
+    if (Ph == "X")
+      Completes.push_back(&E);
+    else if (Ph == "b" || Ph == "e")
+      Brackets.push_back(&E);
+    else if (Ph == "M")
+      ++Metadata;
+  }
+  EXPECT_EQ(Metadata, 3u) << "process_name + one thread_name per batch";
+
+  // Both folded frames live on the worker's track; the enclosing query
+  // starts at the zero point and precedes the nested goal.
+  ASSERT_EQ(Completes.size(), 2u);
+  EXPECT_EQ((*Completes[0])["name"].asString(), "query");
+  EXPECT_EQ((*Completes[0])["tid"].asInt(), 3);
+  EXPECT_EQ((*Completes[0])["ts"].asDouble(), 0.0);
+  EXPECT_EQ((*Completes[0])["args"]["query"].asInt(), 7);
+  EXPECT_EQ((*Completes[1])["name"].asString(), "goal");
+  EXPECT_EQ((*Completes[1])["args"]["goal"].asString(),
+            "0x0000000000000abc");
+  EXPECT_EQ((*Completes[1])["args"]["depth"].asInt(), 2);
+  EXPECT_GE((*Completes[1])["ts"].asDouble(),
+            (*Completes[0])["ts"].asDouble());
+  EXPECT_GE((*Completes[0])["dur"].asDouble(),
+            (*Completes[1])["dur"].asDouble())
+      << "the enclosing query must outlast the nested goal";
+
+  // The daemon's request id becomes one async bracket around the run.
+  ASSERT_EQ(Brackets.size(), 2u);
+  EXPECT_EQ((*Brackets[0])["ph"].asString(), "b");
+  EXPECT_EQ((*Brackets[0])["id"].asInt(), 42);
+  EXPECT_EQ((*Brackets[1])["ph"].asString(), "e");
+  EXPECT_EQ((*Brackets[1])["id"].asInt(), 42);
+  EXPECT_GE((*Brackets[1])["ts"].asDouble(),
+            (*Completes[0])["ts"].asDouble() +
+                (*Completes[0])["dur"].asDouble());
+}
+
+TEST(ChromeTraceTest, NoRequestIdMeansNoAsyncTrack) {
+  std::ostringstream Out;
+  trace::ChromeTraceStats Stats = trace::writeChromeTrace(Out, {});
+  EXPECT_EQ(Stats.Complete, 0u);
+  JsonParseResult Doc = parseJson(Out.str());
+  ASSERT_TRUE(Doc.Ok);
+  for (const JsonValue &E : Doc.Value.asArray())
+    EXPECT_EQ(E["ph"].asString(), "M");
+}
+
+//===----------------------------------------------------------------------===//
+// Timeline
+//===----------------------------------------------------------------------===//
+
+TEST(TimelineTest, DefaultPrefixesFilterTheRegistryWalk) {
+  metrics::Registry Reg;
+  Reg.counter("apt.svc.proto.requests").add(3);
+  Reg.counter("apt.lang.dfa_cache_hits").add(9);
+  Reg.counter("someone.elses.metric").add(1);
+
+  metrics::Timeline T(4);
+  T.sample(Reg, 10);
+  ASSERT_EQ(T.size(), 1u);
+  const metrics::Timeline::Sample &S = *T.latest();
+  EXPECT_EQ(S.AtMs, 10u);
+  EXPECT_EQ(S.Values.count("apt.svc.proto.requests"), 1u);
+  EXPECT_EQ(S.Values.count("apt.lang.dfa_cache_hits"), 1u);
+  EXPECT_EQ(S.Values.count("someone.elses.metric"), 0u)
+      << "per-query metrics belong to --metrics-json, not the timeline";
+}
+
+TEST(TimelineTest, EmptyPrefixListKeepsEverything) {
+  metrics::Registry Reg;
+  Reg.counter("someone.elses.metric").add(1);
+  metrics::Timeline T(4, /*Prefixes=*/{});
+  T.sample(Reg, 1);
+  EXPECT_EQ(T.latest()->Values.count("someone.elses.metric"), 1u);
+}
+
+TEST(TimelineTest, RingEvictsOldestAndCountsDrops) {
+  metrics::Registry Reg;
+  metrics::Timeline T(2);
+  T.sample(Reg, 10);
+  T.sample(Reg, 20);
+  T.sample(Reg, 30);
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_EQ(T.dropped(), 1u);
+  EXPECT_EQ(T.samples().front().AtMs, 20u);
+  EXPECT_EQ(T.latest()->AtMs, 30u);
+  EXPECT_EQ(T.capacity(), 2u);
+}
+
+TEST(TimelineTest, ZeroCapacityIsClampedToOne) {
+  metrics::Timeline T(0);
+  EXPECT_EQ(T.capacity(), 1u);
+}
+
+TEST(TimelineTest, ToJsonMatchesTheTimelineOpSchema) {
+  metrics::Registry Reg;
+  Reg.counter("apt.svc.proto.requests").add(5);
+  metrics::Timeline T(2);
+  T.sample(Reg, 10);
+  Reg.counter("apt.svc.proto.requests").add(2);
+  T.sample(Reg, 20);
+  T.sample(Reg, 30); // evicts the at_ms=10 sample
+
+  JsonValue J = T.toJson();
+  EXPECT_EQ(J["capacity"].asInt(), 2);
+  EXPECT_EQ(J["dropped"].asInt(), 1);
+  const JsonValue::Array &Samples = J["samples"].asArray();
+  ASSERT_EQ(Samples.size(), 2u);
+  EXPECT_EQ(Samples[0]["at_ms"].asInt(), 20);
+  EXPECT_EQ(Samples[0]["values"]["apt.svc.proto.requests"].asInt(), 7);
+  EXPECT_EQ(Samples[1]["at_ms"].asInt(), 30);
 }
 
 } // namespace

@@ -29,6 +29,7 @@
 #include "service/Client.h"
 #include "service/Commands.h"
 #include "service/ServiceState.h"
+#include "support/Version.h"
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +37,10 @@
 #include <vector>
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", apt::version::versionLine("aptc").c_str());
+    return 0;
+  }
   std::vector<std::string> Args;
   std::string Socket;
   for (int I = 1; I < argc; ++I) {
@@ -54,6 +59,14 @@ int main(int argc, char **argv) {
     }
     Args.emplace_back(A);
   }
+
+  // `top` is daemon-only and interactive: it polls the status/timeline
+  // ops itself rather than wrapping argv in a `run` request, so route it
+  // before the generic daemon path. Without --connect it falls through
+  // to runServiceCommand, which explains the requirement.
+  if (!Socket.empty() && !Args.empty() && Args[0] == "top")
+    return apt::svc::runTopCommand(
+        Socket, std::vector<std::string>(Args.begin() + 1, Args.end()));
 
   if (!Socket.empty())
     return apt::svc::runViaDaemon(Socket, Args);

@@ -16,11 +16,15 @@
 //        --snapshot-load PATH     warm-start from a saved cache snapshot
 //        --snapshot-save PATH     write a snapshot on clean shutdown
 //        --slow-ms N              log requests slower than N ms (0 = off)
+//        --timeline-ms N          metric sampling interval for the
+//                                 status/timeline ops (default 1000, 0 = off)
+//        --version                print version/build line and exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
 #include "service/ServiceState.h"
+#include "support/Version.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +36,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: aptd --socket PATH [--snapshot-load PATH] "
-               "[--snapshot-save PATH] [--slow-ms N]\n");
+               "[--snapshot-save PATH] [--slow-ms N] [--timeline-ms N]\n");
   return 2;
 }
 
@@ -57,8 +61,12 @@ bool flagValue(int argc, char **argv, int &I, const char *Name,
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--version") == 0) {
+    std::printf("%s\n", apt::version::versionLine("aptd").c_str());
+    return 0;
+  }
   apt::svc::ServerOptions Opts;
-  std::string SlowMs;
+  std::string SlowMs, TimelineMs;
   for (int I = 1; I < argc; ++I) {
     if (flagValue(argc, argv, I, "--socket", Opts.SocketPath) ||
         flagValue(argc, argv, I, "--snapshot-load", Opts.SnapshotLoad) ||
@@ -73,6 +81,18 @@ int main(int argc, char **argv) {
         return 2;
       }
       Opts.SlowMs = V;
+      continue;
+    }
+    if (flagValue(argc, argv, I, "--timeline-ms", TimelineMs)) {
+      char *End = nullptr;
+      unsigned long long V = std::strtoull(TimelineMs.c_str(), &End, 10);
+      if (End == TimelineMs.c_str() || *End != '\0') {
+        std::fprintf(stderr,
+                     "error: --timeline-ms expects a number, got '%s'\n",
+                     TimelineMs.c_str());
+        return 2;
+      }
+      Opts.TimelineMs = V;
       continue;
     }
     std::fprintf(stderr, "error: unknown argument '%s'\n", argv[I]);

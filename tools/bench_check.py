@@ -31,9 +31,11 @@ like langops mode).
 aptd snapshot mechanism: restoring the interned minimal-DFA store from
 a snapshot file (BM_ServiceWarmStart, including read + parse) must cost
 at most --warm-ratio (default 0.6) of rebuilding it from scratch
-(BM_ServiceColdStart), min-of-repetitions; and the warm throughput must
-not drop more than --tolerance below the checked-in
-BENCH_service.baseline.json (self-seeds like langops mode).
+(BM_ServiceColdStart), min-of-repetitions; one daemon timeline reading
+(BM_TimelineSample, support/Timeline.h) must cost at most
+--timeline-budget (default 1%) of the default 1 s sampling interval;
+and the warm throughput must not drop more than --tolerance below the
+checked-in BENCH_service.baseline.json (self-seeds like langops mode).
 
 `profile` runs the warm-batch family of bench/batch_queries at one
 worker thread with repetitions and gates the time-attribution profiling
@@ -44,6 +46,17 @@ overhead on the min-of-repetitions wall time per iteration:
     (default 10%);
   * BM_BatchWarmTimedOff (timestamp switch on, tracing runtime-disabled)
     vs. BM_BatchWarm must stay within --overhead-disabled (default 5%);
+  * BM_BatchChrome alternates a plain cold batch and the same batch
+    under timed tracing + one Chrome trace-event export
+    (support/ChromeTrace.h) back to back inside one timing loop; each
+    iteration yields one paired ratio and the benchmark reports the
+    median over its iterations as a counter. The median of those
+    per-repetition medians must stay within --overhead-chrome (default
+    10%). The double pairing is the point: the halves of a ratio run
+    microseconds apart (drift cannot separate them) and a preemption
+    spike poisons only the iteration it lands in (the median discards
+    it) -- a cross-run comparison on a small shared host measures
+    scheduler noise, not overhead;
 
 and additionally fails if the plain warm throughput drops more than
 --tolerance below the checked-in BENCH_profile.baseline.json (self-seeds
@@ -62,6 +75,11 @@ like langops mode).
 sanitizer builds use it, since asan/tsan timings say nothing about the
 engines being measured.
 
+--history <file> appends one dated JSONL line per gated run (mode,
+pass/fail status, the full result object) to a tracked history file --
+bench/BENCH_history.jsonl in this repo -- so throughput trends survive
+baseline reseeds. History is skipped under --record-only.
+
 Exit codes: 0 ok, 1 regression or overhead breach, 2 harness error.
 """
 
@@ -70,6 +88,7 @@ import json
 import os
 import subprocess
 import sys
+import time
 
 
 WARM_BENCH = "BM_WarmQueries"
@@ -78,17 +97,23 @@ OVERHAULED_ARG = "1"
 
 # Profile mode: the warm-batch variants, all compared at jobs=1 (the
 # most stable configuration on a loaded or single-core CI host).
-PROFILE_FILTER = "BM_BatchWarm[A-Za-z]*/1$"
+PROFILE_FILTER = "(BM_BatchWarm[A-Za-z]*/1|BM_BatchChrome)$"
 PROFILE_VARIANTS = [
     "BM_BatchWarm",
     "BM_BatchWarmTraced",
     "BM_BatchWarmTimedOff",
     "BM_BatchWarmProfiled",
 ]
+# The chrome-export benchmark reports both halves of its paired
+# measurement (plain vs traced+exported cold batch) as counters; the
+# gate folds per-repetition ratios by median (see chrome_pair_stats).
+PROFILE_CHROME_BENCH = "BM_BatchChrome"
 
-# Service mode: cold store rebuild vs snapshot restore (docs/SERVICE.md).
-SERVICE_FILTER = "BM_Service(Cold|Warm)Start$"
-SERVICE_RUNS = ["BM_ServiceColdStart", "BM_ServiceWarmStart"]
+# Service mode: cold store rebuild vs snapshot restore (docs/SERVICE.md),
+# plus one daemon timeline reading (support/Timeline.h).
+SERVICE_FILTER = "(BM_Service(Cold|Warm)Start|BM_TimelineSample)$"
+SERVICE_RUNS = ["BM_ServiceColdStart", "BM_ServiceWarmStart",
+                "BM_TimelineSample"]
 
 # Triage mode: warm kill-rate run and the all-escalate miss-tax pair,
 # each at triage off (/0) and on (/1).
@@ -140,6 +165,11 @@ def run_benchmark(bench_path, min_time, bench_filter, repetitions=None):
         "--benchmark_out=" + out_path,
     ]
     if repetitions:
+        # Plain consecutive repetitions, full --min-time each. (Random
+        # interleaving would remove drift bias between the arms of a
+        # paired measurement, but google-benchmark divides min_time
+        # across interleaved repetitions, and the resulting handful of
+        # iterations per rep is far noisier than any drift.)
         cmd.append("--benchmark_repetitions=%d" % repetitions)
     proc = subprocess.run(cmd, stdout=subprocess.PIPE,
                           stderr=subprocess.STDOUT, text=True)
@@ -255,9 +285,10 @@ def run_langops(args):
 def warm_batch_times(report):
     """Min-of-repetitions wall time per iteration for each warm variant.
 
-    Min is the right aggregate for overhead ratios because scheduling
-    noise is strictly additive. Also returns best items/second per
-    variant (for the baseline throughput gate).
+    Min is the right aggregate for these overhead ratios because the
+    warm iterations are cache-hot and micro-scale, so scheduling noise
+    is strictly additive and the floor is the honest cost. Also returns
+    best items/second per variant (for the baseline throughput gate).
     """
     times = {}
     items = {}
@@ -286,6 +317,36 @@ def warm_batch_times(report):
     return times, items
 
 
+def chrome_pair_stats(report):
+    """The median repetition of BM_BatchChrome's paired measurement.
+
+    Each repetition already reports the median per-iteration-pair
+    ratio (plus median per-batch walls) as counters, so preemption
+    spikes were discarded inside the repetition; the median across
+    repetitions just guards against a wholly unlucky rep. Returns
+    (ratio, plain_seconds_per_batch, chrome_seconds_per_batch).
+    """
+    reps = []
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        if b.get("name", "").split("/")[0] != PROFILE_CHROME_BENCH:
+            continue
+        ratio = b.get("pair_ratio_median")
+        plain = b.get("plain_ns_median")
+        chrome = b.get("chrome_ns_median")
+        if not ratio or not plain or not chrome:
+            continue
+        reps.append((float(ratio), float(plain) / 1e9,
+                     float(chrome) / 1e9))
+    if not reps:
+        sys.stderr.write("bench_check: report is missing %s counters\n"
+                         % PROFILE_CHROME_BENCH)
+        sys.exit(2)
+    reps.sort()
+    return reps[len(reps) // 2]
+
+
 def run_profile(args):
     report = run_benchmark(args.bench, args.min_time, PROFILE_FILTER,
                            repetitions=args.repetitions)
@@ -295,6 +356,7 @@ def run_profile(args):
     traced = times["BM_BatchWarmTraced"]
     timed_off = times["BM_BatchWarmTimedOff"]
     profiled = times["BM_BatchWarmProfiled"]
+    ratio_chrome, chrome_plain, chrome = chrome_pair_stats(report)
     ratio_profiled = profiled / traced if traced else float("inf")
     ratio_disabled = timed_off / plain if plain else float("inf")
 
@@ -305,21 +367,26 @@ def run_profile(args):
         "traced_seconds": traced,
         "timed_off_seconds": timed_off,
         "profiled_seconds": profiled,
+        "chrome_plain_seconds": chrome_plain,
+        "chrome_seconds": chrome,
         "profiled_over_traced": ratio_profiled,
         "timed_off_over_plain": ratio_disabled,
+        "chrome_over_plain": ratio_chrome,
         "repetitions": args.repetitions,
         "host": report.get("context", {}).get("host_name", "unknown"),
         "num_cpus": report.get("context", {}).get("num_cpus"),
     }
     write_result(args.out, result)
     print("bench_check: warm %.3f ms, traced %.3f ms, timed-off %.3f ms, "
-          "profiled %.3f ms -> %s"
+          "profiled %.3f ms, chrome %.3f ms -> %s"
           % (plain * 1e3, traced * 1e3, timed_off * 1e3, profiled * 1e3,
-             args.out))
+             chrome * 1e3, args.out))
     print("bench_check: profiled/traced %.3fx (limit %.2fx), "
-          "timed-off/plain %.3fx (limit %.2fx)"
+          "timed-off/plain %.3fx (limit %.2fx), chrome/plain %.3fx "
+          "(limit %.2fx)"
           % (ratio_profiled, 1.0 + args.overhead_profiled,
-             ratio_disabled, 1.0 + args.overhead_disabled))
+             ratio_disabled, 1.0 + args.overhead_disabled,
+             ratio_chrome, 1.0 + args.overhead_chrome))
 
     if args.record_only:
         print("bench_check: --record-only, comparison skipped")
@@ -339,6 +406,12 @@ def run_profile(args):
             "the plain warm run (limit %.0f%%)\n"
             % (100.0 * (ratio_disabled - 1.0),
                100.0 * args.overhead_disabled))
+        failed = True
+    if ratio_chrome > 1.0 + args.overhead_chrome:
+        sys.stderr.write(
+            "bench_check: timed tracing + Chrome export costs %.1f%% "
+            "over the plain warm run (limit %.0f%%)\n"
+            % (100.0 * (ratio_chrome - 1.0), 100.0 * args.overhead_chrome))
         failed = True
 
     if compare_baseline(result, args.baseline,
@@ -383,7 +456,11 @@ def run_service(args):
 
     cold = times["BM_ServiceColdStart"]
     warm = times["BM_ServiceWarmStart"]
+    sample = times["BM_TimelineSample"]
     ratio = warm / cold if cold else float("inf")
+    # One timeline reading as a fraction of the default 1 s sampling
+    # interval -- the daemon's idle observability cost (docs/SERVICE.md).
+    sample_fraction = sample / 1.0
 
     result = {
         "benchmark": "BM_Service*Start",
@@ -392,14 +469,17 @@ def run_service(args):
         "warm_over_cold": ratio,
         "warm_items_per_second": items.get("BM_ServiceWarmStart", 0.0),
         "cold_items_per_second": items.get("BM_ServiceColdStart", 0.0),
+        "timeline_sample_seconds": sample,
+        "timeline_sample_fraction": sample_fraction,
         "repetitions": args.repetitions,
         "host": report.get("context", {}).get("host_name", "unknown"),
         "num_cpus": report.get("context", {}).get("num_cpus"),
     }
     write_result(args.out, result)
     print("bench_check: cold %.3f ms, warm %.3f ms "
-          "(warm/cold %.3fx, limit %.2fx) -> %s"
-          % (cold * 1e3, warm * 1e3, ratio, args.warm_ratio, args.out))
+          "(warm/cold %.3fx, limit %.2fx), timeline sample %.1f us -> %s"
+          % (cold * 1e3, warm * 1e3, ratio, args.warm_ratio, sample * 1e6,
+             args.out))
 
     if args.record_only:
         print("bench_check: --record-only, comparison skipped")
@@ -411,6 +491,12 @@ def run_service(args):
             "bench_check: snapshot warm start costs %.0f%% of a cold "
             "rebuild (limit %.0f%%)\n"
             % (100.0 * ratio, 100.0 * args.warm_ratio))
+        failed = True
+    if sample_fraction > args.timeline_budget:
+        sys.stderr.write(
+            "bench_check: one timeline sample costs %.2f%% of the 1 s "
+            "sampling interval (limit %.2f%%)\n"
+            % (100.0 * sample_fraction, 100.0 * args.timeline_budget))
         failed = True
 
     if compare_baseline(result, args.baseline,
@@ -710,6 +796,29 @@ def run_engine(args):
     return 1 if failed else 0
 
 
+def append_history(args, rc):
+    """Appends one line for this gated run to the --history JSONL file,
+    re-reading the result the mode runner just wrote to --out. The file
+    is append-only on purpose: each line is a dated, host-stamped record
+    of a gate that actually ran, so trends survive baseline reseeds."""
+    try:
+        with open(args.out) as f:
+            result = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("bench_check: cannot re-read %s for --history: "
+                         "%s\n" % (args.out, e))
+        return
+    entry = {
+        "utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "mode": args.mode,
+        "status": "ok" if rc == 0 else "regressed",
+        "result": result,
+    }
+    with open(args.history, "a") as f:
+        f.write(json.dumps(entry, sort_keys=True) + "\n")
+    print("bench_check: appended %s run to %s" % (args.mode, args.history))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--mode",
@@ -733,14 +842,28 @@ def main():
                     "(default .25)")
     ap.add_argument("--min-time", default="0.05",
                     help="benchmark_min_time per run, seconds")
-    ap.add_argument("--repetitions", type=int, default=3,
-                    help="repetitions for profile mode (min is kept)")
+    ap.add_argument("--repetitions", type=int, default=7,
+                    help="repetitions for overhead-ratio modes (min is "
+                    "kept; paired arms run back to back, so enough reps "
+                    "are needed for both mins to reach the true floor)")
     ap.add_argument("--overhead-profiled", type=float, default=0.10,
                     help="allowed profiled-over-traced overhead "
                     "(default .10)")
     ap.add_argument("--overhead-disabled", type=float, default=0.05,
                     help="allowed timed-off-over-plain overhead "
                     "(default .05)")
+    ap.add_argument("--overhead-chrome", type=float, default=0.10,
+                    help="allowed traced+chrome-export-over-plain "
+                    "overhead (default .10)")
+    ap.add_argument("--timeline-budget", type=float, default=0.01,
+                    help="service mode: maximum cost of one timeline "
+                    "sample as a fraction of the default 1 s sampling "
+                    "interval (default .01)")
+    ap.add_argument("--history",
+                    help="JSONL file to append this gated run's result "
+                    "to (one line per run: mode, status, result); "
+                    "skipped under --record-only since sanitizer "
+                    "timings say nothing about the engines")
     ap.add_argument("--kill-rate", type=float, default=0.40,
                     help="triage mode: minimum fraction of prover-bound "
                     "pairs the cascade must resolve (default .40)")
@@ -765,17 +888,18 @@ def main():
                     help="write results, skip all comparisons")
     args = ap.parse_args()
 
-    if args.mode == "profile":
-        return run_profile(args)
-    if args.mode == "triage":
-        return run_triage(args)
-    if args.mode == "service":
-        return run_service(args)
-    if args.mode == "reach":
-        return run_reach(args)
-    if args.mode == "engine":
-        return run_engine(args)
-    return run_langops(args)
+    runners = {
+        "profile": run_profile,
+        "triage": run_triage,
+        "service": run_service,
+        "reach": run_reach,
+        "engine": run_engine,
+        "langops": run_langops,
+    }
+    rc = runners[args.mode](args)
+    if args.history and not args.record_only and rc in (0, 1):
+        append_history(args, rc)
+    return rc
 
 
 if __name__ == "__main__":

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Structural validator for `aptc --trace-chrome` output.
+
+Runs a batch deps analysis at --jobs 1 and 4 plus a prove query, each
+with --trace-chrome, and validates every produced file:
+
+  * the file parses as one JSON array;
+  * every element is an object with "ph", "pid", "tid" and "name", and
+    "ph" is one of M (metadata), X (complete), b/e (async pair);
+  * every X event has a numeric "ts" and a numeric "dur" >= 0;
+  * within each (pid, tid) track, X timestamps are non-decreasing in
+    array order (the writer sorts per track; viewers do not need it,
+    humans diffing traces do);
+  * async b/e events balance per (cat, id);
+  * when the binary was built with tracing compiled in (detected from
+    `aptc --version`), each file must contain at least one X event —
+    an APT_TRACE=OFF build legitimately produces only metadata.
+
+Exit status: 0 on success, 1 with per-error report lines otherwise.
+No third-party dependencies.
+
+Usage: tools/chrome_trace_check.py <aptc> <samples-dir> <scratch-dir>
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def trace_compiled_in(aptc):
+    """Reads the build config from `aptc --version` (support/Version.h)."""
+    out = subprocess.run([aptc, "--version"], capture_output=True,
+                         text=True, check=True).stdout
+    return "trace=on" in out
+
+
+def validate_chrome_trace(path, name, require_events, errors):
+    try:
+        with open(path, encoding="utf-8") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append("%s: unreadable or invalid JSON: %s" % (name, e))
+        return
+    if not isinstance(events, list):
+        errors.append("%s: top level is not an array" % name)
+        return
+
+    track_last_ts = {}
+    async_open = {}
+    complete = 0
+    for i, ev in enumerate(events):
+        where = "%s[%d]" % (name, i)
+        if not isinstance(ev, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        for key in ("ph", "pid", "tid", "name"):
+            if key not in ev:
+                errors.append("%s: missing '%s'" % (where, key))
+        ph = ev.get("ph")
+        if ph not in ("M", "X", "b", "e"):
+            errors.append("%s: unexpected ph %r" % (where, ph))
+            continue
+        if ph == "X":
+            complete += 1
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)):
+                errors.append("%s: X without numeric ts: %r" % (where, ts))
+                continue
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append("%s: X with bad dur %r" % (where, dur))
+            track = (ev.get("pid"), ev.get("tid"))
+            last = track_last_ts.get(track)
+            if last is not None and ts < last:
+                errors.append("%s: ts %s goes backwards on track %r "
+                              "(previous %s)" % (where, ts, track, last))
+            track_last_ts[track] = ts
+        elif ph in ("b", "e"):
+            key = (ev.get("cat"), ev.get("id"))
+            if ev.get("id") is None:
+                errors.append("%s: async %s without id" % (where, ph))
+            if ph == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            else:
+                if async_open.get(key, 0) <= 0:
+                    errors.append("%s: 'e' without matching 'b' for %r" %
+                                  (where, key))
+                else:
+                    async_open[key] -= 1
+
+    for key, n in async_open.items():
+        if n != 0:
+            errors.append("%s: %d unclosed 'b' event(s) for %r" %
+                          (name, n, key))
+    if require_events and complete == 0:
+        errors.append("%s: no X events despite tracing compiled in" % name)
+
+
+def main():
+    if len(sys.argv) != 4:
+        sys.exit(__doc__)
+    aptc, samples, scratch = sys.argv[1:4]
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch, exist_ok=True)
+    require_events = trace_compiled_in(aptc)
+
+    worklist = os.path.join(samples, "worklist.apt")
+    llt = os.path.join(samples, "leaf_linked_tree.axioms")
+    runs = [
+        ("deps_j1", ["deps", worklist, "--jobs", "1"]),
+        ("deps_j4", ["deps", worklist, "--jobs", "4"]),
+        ("prove", ["prove", llt, "L.L.N", "L.R.N"]),
+    ]
+
+    errors = []
+    for name, tail in runs:
+        out = os.path.join(scratch, name + ".chrome.json")
+        proc = subprocess.run([aptc] + tail + ["--trace-chrome=" + out],
+                              capture_output=True)
+        if proc.returncode != 0:
+            errors.append("%s: aptc exited %d: %s" %
+                          (name, proc.returncode, proc.stderr[:300]))
+            continue
+        validate_chrome_trace(out, name, require_events, errors)
+
+    for e in errors:
+        print("chrome_trace_check: %s" % e)
+    if errors:
+        sys.exit(1)
+    print("chrome_trace_check: OK (%d traces, tracing %s)" %
+          (len(runs), "on" if require_events else "off"))
+
+
+if __name__ == "__main__":
+    main()

@@ -61,7 +61,10 @@ run_service_leg() {
     # service_parity_check drives a live aptd with the one-shot sample
     # suite through aptc --connect; keep the daemon tests serialized so
     # two daemons never race on socket paths or /tmp snapshots.
-    ctest --test-dir "$ROOT/$dir" --output-on-failure -R '[Ss]ervice'
+    # chrome_trace_check rides along: it validates the daemon-routed
+    # --trace-chrome export against the one-shot writer.
+    ctest --test-dir "$ROOT/$dir" --output-on-failure \
+      -R '[Ss]ervice|chrome_trace'
   done
 }
 

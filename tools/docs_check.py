@@ -45,6 +45,9 @@ FOREIGN_FLAGS = {
     "--record-only",  # tools/bench_check.py
     "--baseline",  # tools/bench_check.py
     "--mode",  # tools/bench_check.py
+    "--history",  # tools/bench_check.py
+    "--overhead-chrome",  # tools/bench_check.py
+    "--timeline-budget",  # tools/bench_check.py
 }
 
 # Where the CLI surface is defined: flags may live in any of these.

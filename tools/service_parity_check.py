@@ -15,6 +15,14 @@ Then exercises the snapshot cycle: `snapshot_save` through the protocol,
 daemon restart with --snapshot-load, and the full command set again
 against the warm-started daemon — verdicts must still be byte-identical.
 
+Finally the artifact-parity phase: against a fresh daemon per jobs
+level, a one-shot and a daemon-routed `deps --trace --metrics-json` run
+must produce (a) canonically byte-equal traces (verdict/proof records;
+event records are interleaving-dependent by design), (b) equal nonzero
+counter deltas excluding wall-time counters, and (c) on the daemon side
+a request id that matches between the trace header and the metrics meta
+block — the request-correlation contract of docs/SERVICE.md.
+
 Exit status: 0 on parity, 1 with per-command diffs otherwise.
 No third-party dependencies.
 
@@ -118,6 +126,99 @@ def run_pair(aptc, sock_path, name, tail, errors, phase):
     return one
 
 
+def canonical_trace(path):
+    """The deterministic projection of a JSONL trace: its verdict and
+    proof records, key-sorted and line-sorted (analysis/TraceExport.h's
+    canonicalTrace, reimplemented so the comparison is independent of
+    the binary under test)."""
+    kept = []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("type") in ("verdict", "proof"):
+                kept.append(json.dumps(rec, sort_keys=True))
+    return "\n".join(sorted(kept))
+
+
+def nonzero_counters(path):
+    """Counter deltas from a --metrics-json file, minus wall-time
+    counters (scheduling-dependent) and zero deltas (no information)."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {k: v for k, v in doc.get("counters", {}).items()
+            if v != 0 and "wall" not in k}
+
+
+def artifact_parity(aptc, aptd, samples, scratch, errors):
+    """One-shot vs daemon-routed runs with every artifact flag: traces
+    canonically equal, counters equal, request ids correlated."""
+    worklist = os.path.join(samples, "worklist.apt")
+    for jobs in ("1", "4"):
+        # Fresh daemon per jobs level: artifact counter deltas are only
+        # comparable against a cold session (a warm cache serves fewer
+        # proofs, which is correct but not parity-comparable).
+        sock_path = "/tmp/aptd_art_%d_%s.sock" % (os.getpid(), jobs)
+        daemon = subprocess.Popen([aptd, "--socket", sock_path],
+                                  stderr=subprocess.DEVNULL)
+        try:
+            wait_for_daemon(sock_path, daemon)
+            tag = "artifacts_j%s" % jobs
+            one_tr = os.path.join(scratch, tag + "_one.trace.jsonl")
+            via_tr = os.path.join(scratch, tag + "_via.trace.jsonl")
+            one_m = os.path.join(scratch, tag + "_one.metrics.json")
+            via_m = os.path.join(scratch, tag + "_via.metrics.json")
+            tail = ["deps", worklist, "--jobs", jobs]
+            one = subprocess.run(
+                [aptc] + tail + ["--trace=" + one_tr,
+                                 "--metrics-json=" + one_m],
+                capture_output=True)
+            via = subprocess.run(
+                [aptc] + tail + ["--trace=" + via_tr,
+                                 "--metrics-json=" + via_m,
+                                 "--connect", sock_path],
+                capture_output=True)
+            if one.returncode != via.returncode:
+                errors.append("%s: exit %d one-shot vs %d daemon" %
+                              (tag, one.returncode, via.returncode))
+                continue
+            if canonical_trace(one_tr) != canonical_trace(via_tr):
+                errors.append("%s: canonical traces differ" % tag)
+            if nonzero_counters(one_m) != nonzero_counters(via_m):
+                errors.append("%s: counter deltas differ\n  one-shot: %r\n"
+                              "  daemon:   %r" %
+                              (tag, nonzero_counters(one_m),
+                               nonzero_counters(via_m)))
+
+            with open(one_tr, encoding="utf-8") as f:
+                one_hdr = json.loads(f.readline())
+            with open(via_tr, encoding="utf-8") as f:
+                via_hdr = json.loads(f.readline())
+            if "request" in one_hdr:
+                errors.append("%s: one-shot trace header has a request id"
+                              % tag)
+            rid = via_hdr.get("request")
+            if not isinstance(rid, int) or rid < 1:
+                errors.append("%s: daemon trace header request id missing "
+                              "or bad: %r" % (tag, rid))
+            with open(via_m, encoding="utf-8") as f:
+                meta = json.load(f).get("meta", {})
+            if meta.get("request") != rid:
+                errors.append("%s: metrics meta request %r != trace header "
+                              "request %r" % (tag, meta.get("request"), rid))
+            if "build" not in via_hdr or "build" not in meta:
+                errors.append("%s: artifact missing build block" % tag)
+
+            request(sock_path, {"id": 99, "op": "shutdown"})
+            daemon.wait(timeout=20)
+        finally:
+            if daemon.poll() is None:
+                daemon.terminate()
+                daemon.wait(timeout=10)
+
+
 def main():
     if len(sys.argv) != 5:
         sys.exit(__doc__)
@@ -171,12 +272,15 @@ def main():
                 daemon.terminate()
                 daemon.wait(timeout=10)
 
+    if not errors:
+        artifact_parity(aptc, aptd, samples, scratch, errors)
+
     for e in errors:
         print("service_parity_check: %s" % e)
     if errors:
         sys.exit(1)
-    print("service_parity_check: OK (%d commands x cold/warm/restored)" %
-          len(cmds))
+    print("service_parity_check: OK (%d commands x cold/warm/restored "
+          "+ artifact parity at jobs 1/4)" % len(cmds))
 
 
 if __name__ == "__main__":

@@ -140,6 +140,16 @@ def main():
             True, "load_result")
         check("stats", request(sock_path, {"id": 6, "op": "stats"}),
               True, "stats_result")
+        resp = check("status", request(sock_path, {"id": 60, "op": "status"}),
+                     True, "status_result")
+        # The op table must reflect the traffic this very run generated.
+        ops = resp.get("result", {}).get("ops", {})
+        for op in ("ping", "run", "stats"):
+            if op not in ops:
+                errors.append("status: ops table missing '%s' after driving "
+                              "it: %r" % (op, sorted(ops)))
+        check("timeline", request(sock_path, {"id": 61, "op": "timeline"}),
+              True, "timeline_result")
 
         resp = check("metrics", request(sock_path, {"id": 7, "op": "metrics"}),
                      True)

@@ -1,0 +1,255 @@
+#!/usr/bin/env python3
+"""Service soak: a live aptd under a few hundred mixed requests, with
+the observability contracts checked end to end.
+
+Starts aptd with --slow-ms 1 and --timeline-ms 50, then:
+
+  1. Artifact phase (first, while the session is cold and therefore
+     guaranteed slow enough for the slow-request log): daemon-routed
+     `deps --jobs 1|4` with --trace, --trace-chrome and --metrics-json.
+     The request id in each trace header must equal the metrics meta id
+     and the chrome async-track id — the correlation contract.
+  2. Soak phase: a few hundred mixed requests (ping / run / stats /
+     status / timeline / metrics) with periodic status polls; uptime,
+     the request counter, and every per-op count must be monotone.
+  3. Final audit: the slow-request log must still hold the artifact
+     request ids with op=run and the right detail; the timeline must
+     hold >= 2 samples with non-decreasing at_ms and zero ring drops;
+     apt.trace.dropped_events must be 0; status.requests must equal the
+     number of requests this harness issued.
+
+Exit status: 0 on success, 1 with per-error report lines otherwise.
+No third-party dependencies.
+
+Usage: tools/service_soak_check.py <aptc> <aptd> <samples-dir> <scratch>
+"""
+
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import time
+
+
+def wait_for_daemon(sock_path, proc, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError("aptd exited during startup: %s" %
+                               proc.returncode)
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                s.settimeout(2.0)
+                s.connect(sock_path)
+                return
+        except OSError:
+            time.sleep(0.05)
+    raise RuntimeError("aptd did not come up on %s" % sock_path)
+
+
+class Client:
+    """Counts every request it sends, so the final status.requests
+    check can assert exact accounting."""
+
+    def __init__(self, sock_path):
+        self.sock_path = sock_path
+        self.sent = 0
+
+    def request(self, req):
+        self.sent += 1
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+            s.settimeout(120.0)
+            s.connect(self.sock_path)
+            s.sendall(json.dumps(req).encode() + b"\n")
+            data = b""
+            while b"\n" not in data:
+                chunk = s.recv(65536)
+                if not chunk:
+                    raise RuntimeError("daemon closed mid-response")
+                data += chunk
+            return json.loads(data.split(b"\n", 1)[0])
+
+    def result(self, op, errors, **kw):
+        resp = self.request(dict(id=self.sent + 1, op=op, **kw))
+        if not resp.get("ok"):
+            errors.append("%s failed: %r" % (op, resp))
+            return {}
+        return resp.get("result", {})
+
+
+def artifact_run(client, worklist, scratch, jobs, errors):
+    """One daemon-routed run with every artifact flag; returns its
+    request id (from the run result, cross-checked against every
+    artifact header) or None."""
+    tag = "soak_j%s" % jobs
+    tr = os.path.join(scratch, tag + ".trace.jsonl")
+    chrome = os.path.join(scratch, tag + ".chrome.json")
+    metrics = os.path.join(scratch, tag + ".metrics.json")
+    argv = ["deps", worklist, "--jobs", jobs, "--trace=" + tr,
+            "--trace-chrome=" + chrome, "--metrics-json=" + metrics]
+    result = client.result("run", errors, argv=argv)
+    if result.get("exit") != 0:
+        errors.append("%s: run exited %r" % (tag, result.get("exit")))
+        return None
+    rid = result.get("request")
+    if not isinstance(rid, int) or rid < 1:
+        errors.append("%s: run result carries no request id: %r" % (tag, rid))
+        return None
+
+    with open(tr, encoding="utf-8") as f:
+        header = json.loads(f.readline())
+    if header.get("request") != rid:
+        errors.append("%s: trace header request %r != run result %r" %
+                      (tag, header.get("request"), rid))
+    with open(metrics, encoding="utf-8") as f:
+        meta = json.load(f).get("meta", {})
+    if meta.get("request") != rid:
+        errors.append("%s: metrics meta request %r != run result %r" %
+                      (tag, meta.get("request"), rid))
+    with open(chrome, encoding="utf-8") as f:
+        events = json.load(f)
+    async_ids = sorted({ev.get("id") for ev in events
+                        if ev.get("ph") in ("b", "e")})
+    if async_ids != [rid]:
+        errors.append("%s: chrome async track ids %r, expected [%d]" %
+                      (tag, async_ids, rid))
+    return (rid, tr)
+
+
+def check_monotone(prev, status, errors):
+    """Asserts the status counters never move backwards between polls."""
+    if status.get("uptime_ms", 0) < prev.get("uptime_ms", 0):
+        errors.append("status: uptime went backwards: %r -> %r" %
+                      (prev.get("uptime_ms"), status.get("uptime_ms")))
+    if status.get("requests", 0) < prev.get("requests", 0):
+        errors.append("status: request counter went backwards: %r -> %r" %
+                      (prev.get("requests"), status.get("requests")))
+    for op, now in status.get("ops", {}).items():
+        before = prev.get("ops", {}).get(op, {})
+        if now.get("count", 0) < before.get("count", 0):
+            errors.append("status: op %s count went backwards: %r -> %r" %
+                          (op, before.get("count"), now.get("count")))
+
+
+def main():
+    if len(sys.argv) != 5:
+        sys.exit(__doc__)
+    _aptc, aptd, samples, scratch = sys.argv[1:5]
+    shutil.rmtree(scratch, ignore_errors=True)
+    os.makedirs(scratch, exist_ok=True)
+    sock_path = "/tmp/aptd_soak_%d.sock" % os.getpid()
+    worklist = os.path.join(samples, "worklist.apt")
+    llt = os.path.join(samples, "leaf_linked_tree.axioms")
+    errors = []
+
+    daemon = subprocess.Popen(
+        [aptd, "--socket", sock_path, "--slow-ms", "1",
+         "--timeline-ms", "50"],
+        stderr=subprocess.DEVNULL)
+    client = Client(sock_path)
+    try:
+        wait_for_daemon(sock_path, daemon)
+
+        # Phase 1: artifacts while cold — these are the heaviest requests
+        # of the whole soak, so the top-16 slow log must retain them.
+        artifacts = []
+        for jobs in ("1", "4"):
+            got = artifact_run(client, worklist, scratch, jobs, errors)
+            if got:
+                artifacts.append(got)
+
+        # Phase 2: mixed traffic with periodic monotonicity probes.
+        prev_status = {}
+        for i in range(300):
+            kind = i % 6
+            if kind == 0:
+                client.result("ping", errors)
+            elif kind == 1:
+                client.result("run", errors,
+                              argv=["prove", llt, "L.L.N", "L.R.N"])
+            elif kind == 2:
+                client.result("stats", errors)
+            elif kind == 3:
+                client.result("metrics", errors)
+            elif kind == 4:
+                client.result("timeline", errors)
+            else:
+                status = client.result("status", errors)
+                check_monotone(prev_status, status, errors)
+                prev_status = status
+            if errors and len(errors) > 20:
+                break  # something is systematically broken; stop early
+
+        # Phase 3: final audit. Let a few timeline intervals elapse first
+        # — on a fast machine the whole soak can finish inside one
+        # --timeline-ms period (the poll loop samples on its own clock,
+        # so this sleep needs no accompanying traffic).
+        time.sleep(0.3)
+        stats = client.result("stats", errors)
+        slow = stats.get("slow_queries", [])
+        slow_by_rid = {q.get("request"): q for q in slow}
+        for rid, trace_path in artifacts:
+            entry = slow_by_rid.get(rid)
+            if entry is None:
+                errors.append("slow log lost artifact request %d: %r" %
+                              (rid, [q.get("request") for q in slow]))
+                continue
+            if entry.get("op") != "run":
+                errors.append("slow entry %d has op %r, expected run" %
+                              (rid, entry.get("op")))
+            if trace_path not in entry.get("detail", ""):
+                errors.append("slow entry %d detail %r does not name its "
+                              "trace file" % (rid, entry.get("detail")))
+        walls = [q.get("wall_us", 0) for q in slow]
+        if walls != sorted(walls, reverse=True):
+            errors.append("slow log not sorted slowest-first: %r" % walls)
+        if len(slow) > 16:
+            errors.append("slow log exceeds its 16-entry cap: %d" % len(slow))
+
+        timeline = client.result("timeline", errors)
+        ats = [s.get("at_ms", 0) for s in timeline.get("samples", [])]
+        if len(ats) < 2:
+            errors.append("timeline holds %d sample(s), expected >= 2" %
+                          len(ats))
+        if ats != sorted(ats):
+            errors.append("timeline at_ms not monotone: %r" % ats[:20])
+
+        metrics = client.result("metrics", errors)
+        dropped = metrics.get("counters", {}).get("apt.trace.dropped_events",
+                                                  0)
+        if dropped != 0:
+            errors.append("trace ring dropped %r event(s) during the soak" %
+                          dropped)
+
+        status = client.result("status", errors)
+        # Every request this harness sent is in flight-accounted: the two
+        # artifact runs, the soak traffic, and the audit requests above,
+        # including this status itself.
+        if status.get("requests") != client.sent:
+            errors.append("status.requests %r != %d requests issued" %
+                          (status.get("requests"), client.sent))
+        tl_summary = status.get("timeline", {})
+        if tl_summary.get("dropped", 0) != timeline.get("dropped", 1):
+            errors.append("status timeline summary dropped %r != timeline "
+                          "op %r" % (tl_summary.get("dropped"),
+                                     timeline.get("dropped")))
+
+        client.result("shutdown", errors)
+        daemon.wait(timeout=30)
+    finally:
+        if daemon.poll() is None:
+            daemon.terminate()
+            daemon.wait(timeout=10)
+
+    for e in errors:
+        print("service_soak_check: %s" % e)
+    if errors:
+        sys.exit(1)
+    print("service_soak_check: OK (%d requests; slow log, timeline and "
+          "request ids audited)" % client.sent)
+
+
+if __name__ == "__main__":
+    main()
